@@ -1,0 +1,89 @@
+// Shared plumbing for the figure/table reproduction binaries.
+//
+// Methodology (paper §IV-C): each timed case runs `--warmup` untimed
+// iterations then `--reps` timed ones and reports the geometric mean.
+// Preprocessing (split + ABMC) is excluded from kernel timings, as in
+// the paper. Matrices come from the analogue suite (DESIGN.md §5),
+// scaled by --scale.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "gen/suite.hpp"
+#include "kernels/mpk_baseline.hpp"
+#include "perf/harness.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/threading.hpp"
+
+namespace fbmpk::bench {
+
+/// Names selected by the options (default: the whole suite).
+inline std::vector<std::string> selected_names(
+    const perf::BenchOptions& opts) {
+  return opts.matrices.empty() ? gen::suite_names() : opts.matrices;
+}
+
+/// Print the standard bench banner.
+inline void print_banner(const char* what, const perf::BenchOptions& o) {
+  std::printf("== FBMPK reproduction: %s ==\n", what);
+  std::printf("scale=%.3g reps=%d warmup=%d blocks=%d threads=%d\n\n",
+              o.scale, o.reps, o.warmup, static_cast<int>(o.num_blocks),
+              o.threads > 0 ? o.threads : max_threads());
+}
+
+/// Robust per-run estimate under a noisy host: the median of reps.
+/// (The paper reports the geometric mean of 50 runs on unloaded
+/// machines; on a shared VM the median rejects interference spikes.)
+inline double robust_seconds(const RunningStats& stats) {
+  return stats.median();
+}
+
+/// Median seconds of the standard MPK baseline (A^k x, row-parallel
+/// unrolled SpMV — the paper's "optimized kernel" baseline).
+inline double time_baseline_mpk(const CsrMatrix<double>& a,
+                                std::span<const double> x, int k,
+                                const perf::BenchOptions& o) {
+  const index_t n = a.rows();
+  MpkWorkspace<double> ws;
+  AlignedVector<double> y(static_cast<std::size_t>(n));
+  return robust_seconds(perf::time_runs(
+      [&] { mpk_power<double>(a, x, k, y, ws, SpmvExec::kParallel); },
+      o.reps, o.warmup));
+}
+
+/// Median seconds of FBMPK through a prebuilt plan (kernel time only).
+inline double time_plan_power(const MpkPlan& plan, MpkPlan::Workspace& ws,
+                              std::span<const double> x, int k,
+                              const perf::BenchOptions& o) {
+  AlignedVector<double> y(static_cast<std::size_t>(plan.rows()));
+  return robust_seconds(
+      perf::time_runs([&] { plan.power(x, k, y, ws); }, o.reps, o.warmup));
+}
+
+/// Build a plan from bench options.
+inline MpkPlan build_plan(const CsrMatrix<double>& a,
+                          const perf::BenchOptions& o,
+                          FbVariant variant = FbVariant::kBtb,
+                          bool parallel = true, bool reorder = true) {
+  PlanOptions popts;
+  popts.reorder = reorder;
+  popts.parallel = parallel;
+  popts.variant = variant;
+  popts.abmc.num_blocks = o.num_blocks;
+  return MpkPlan::build(a, popts);
+}
+
+/// Deterministic x0 for every bench.
+inline AlignedVector<double> bench_vector(index_t n) {
+  Rng rng(0xbe7c);
+  AlignedVector<double> v(static_cast<std::size_t>(n));
+  for (auto& e : v) e = rng.next_double(-1.0, 1.0);
+  return v;
+}
+
+}  // namespace fbmpk::bench

@@ -1,0 +1,146 @@
+// Chebyshev-filtered subspace iteration step — the eigensolver workload
+// (EVSL, ChASE) that motivates SSpMV in the paper's introduction,
+// driven by the three-term-recurrence FBMPK kernel.
+//
+// A degree-m Chebyshev filter p_m(A) damps every eigenvalue inside the
+// "unwanted" interval [lo, cut] to |p_m| <= 1 while amplifying the
+// wanted top of the spectrum exponentially in m. One filtered vector
+// therefore isolates the dominant eigenvector far faster than m plain
+// power iterations — and FBMPK evaluates the whole degree-m recurrence
+// with ~(m+1)/2 matrix sweeps instead of m.
+//
+//   ./chebyshev_filter [degree] [matrix-name]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/fbmpk.hpp"
+#include "kernels/fbmpk_recurrence.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+using namespace fbmpk;
+
+namespace {
+
+double norm2(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+// ||A v - rho v|| / |rho| for the normalized Rayleigh pair of v.
+double eigen_residual(const CsrMatrix<double>& a, std::span<const double> v,
+                      double* rho_out) {
+  AlignedVector<double> av(v.size());
+  spmv<double>(a, v, av);
+  double vv = 0.0, vav = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    vv += v[i] * v[i];
+    vav += v[i] * av[i];
+  }
+  const double rho = vav / vv;
+  double rnorm = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double r = av[i] - rho * v[i];
+    rnorm += r * r;
+  }
+  if (rho_out != nullptr) *rho_out = rho;
+  return std::sqrt(rnorm) / (std::abs(rho) * std::sqrt(vv));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int degree = argc > 1 ? std::atoi(argv[1]) : 14;
+  const std::string name = argc > 2 ? argv[2] : "Hook_1498";
+
+  const auto m = gen::make_suite_matrix(name, 0.2);
+  const auto& a = m.matrix;
+  const index_t n = a.rows();
+  std::printf("matrix %s: %d rows, %d nnz\n", name.c_str(), n, a.nnz());
+
+  // Gershgorin bounds on the spectrum.
+  double hi = -1e300, lo = 1e300;
+  for (index_t i = 0; i < n; ++i) {
+    double center = 0.0, radius = 0.0;
+    for (index_t e = a.row_ptr()[i]; e < a.row_ptr()[i + 1]; ++e) {
+      if (a.col_idx()[e] == i)
+        center = a.values()[e];
+      else
+        radius += std::abs(a.values()[e]);
+    }
+    hi = std::max(hi, center + radius);
+    lo = std::min(lo, center - radius);
+  }
+  // Gershgorin's upper bound overshoots lambda_max, so anchor the
+  // filter window to a cheap power-iteration estimate instead (the
+  // standard ChASE bootstrap).
+  Rng est_rng(7);
+  AlignedVector<double> est(static_cast<std::size_t>(n));
+  for (auto& v : est) v = est_rng.next_double(-1.0, 1.0);
+  AlignedVector<double> est_next(static_cast<std::size_t>(n));
+  double lambda_est = 0.0;
+  for (int it = 0; it < 10; ++it) {
+    spmv<double>(a, est, est_next);
+    lambda_est = norm2(est_next) / norm2(est);
+    const double nn = norm2(est_next);
+    for (index_t i = 0; i < n; ++i) est[i] = est_next[i] / nn;
+  }
+  // Damp everything below ~95% of the estimated top.
+  const double cut = lo + 0.95 * (lambda_est - lo);
+  std::printf("Gershgorin interval [%.3f, %.3f]; lambda_max estimate "
+              "%.3f; filtering [%.3f, %.3f]\n",
+              lo, hi, lambda_est, lo, cut);
+
+  // T_p of B = (2A - (cut+lo) I) / (cut-lo): |T_p| <= 1 on [lo, cut],
+  // exponential growth above it.
+  const double sa = 2.0 / (cut - lo);
+  const double sb = -(cut + lo) / (cut - lo);
+  std::vector<RecurrenceStep<double>> steps;
+  steps.push_back({sa, sb, 0.0});
+  for (int p = 2; p <= degree; ++p) steps.push_back({2 * sa, 2 * sb, -1.0});
+
+  const auto s = split_triangular(a);
+  Rng rng(31);
+  AlignedVector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+  const double xn = norm2(x);
+  for (auto& v : x) v /= xn;
+
+  // One Chebyshev filter application via recurrence-FBMPK.
+  AlignedVector<double> filtered(static_cast<std::size_t>(n));
+  FbWorkspace<double> ws;
+  Timer t_filter;
+  fbmpk_recurrence<double>(
+      s, std::span<const RecurrenceStep<double>>(steps), x, filtered, ws);
+  const double filter_ms = t_filter.milliseconds();
+
+  double rho_f = 0.0;
+  const double res_f = eigen_residual(a, filtered, &rho_f);
+
+  // Same matrix-sweep budget of plain power iterations for reference.
+  AlignedVector<double> y(static_cast<std::size_t>(n));
+  AlignedVector<double> p = x;
+  Timer t_power;
+  for (int it = 0; it < degree; ++it) {
+    spmv<double>(a, p, y);
+    const double yn = norm2(y);
+    for (index_t i = 0; i < n; ++i) p[i] = y[i] / yn;
+  }
+  const double power_ms = t_power.milliseconds();
+  double rho_p = 0.0;
+  const double res_p = eigen_residual(a, p, &rho_p);
+
+  std::printf("\nChebyshev filter (degree %d, one FBMPK recurrence pass):\n"
+              "  rho = %.6f, eigen-residual %.3e, %.1f ms\n",
+              degree, rho_f, res_f, filter_ms);
+  std::printf("power iteration (%d SpMV steps):\n"
+              "  rho = %.6f, eigen-residual %.3e, %.1f ms\n",
+              degree, rho_p, res_p, power_ms);
+  std::printf("\nfilter residual is %.1fx smaller at the same sweep budget\n",
+              res_p / res_f);
+  return res_f < res_p ? 0 : 1;
+}

@@ -1,0 +1,202 @@
+// fbmpk_cli — end-to-end command-line driver for the offline-
+// preprocessing workflow the paper assumes (§IV-C): build a plan once,
+// store it next to the matrix, reload and run it many times.
+//
+//   fbmpk_cli plan  --matrix=<src> --out=plan.bin [--blocks=512]
+//                   [--autotune-k=5]
+//   fbmpk_cli info  --plan=plan.bin
+//   fbmpk_cli power --plan=plan.bin --k=5 [--x=x.txt] [--out=y.txt]
+//   fbmpk_cli poly  --plan=plan.bin --coeffs=1,0.5,0.25 [--x=...] [--out=...]
+//
+// <src> is either "suite:<name>[:scale]" or "file:<path.mtx>".
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/autotune.hpp"
+#include "core/fbmpk.hpp"
+#include "sparse/vector_io.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+using namespace fbmpk;
+
+namespace {
+
+using Args = std::map<std::string, std::string>;
+
+Args parse_flags(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    FBMPK_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got " << arg);
+    const auto eq = arg.find('=');
+    FBMPK_CHECK_MSG(eq != std::string::npos, "flag needs a value: " << arg);
+    args[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+  }
+  return args;
+}
+
+std::string need(const Args& args, const std::string& key) {
+  const auto it = args.find(key);
+  FBMPK_CHECK_MSG(it != args.end(), "missing required --" << key << "=");
+  return it->second;
+}
+
+std::string get(const Args& args, const std::string& key,
+                const std::string& fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+CsrMatrix<double> load_matrix(const std::string& src) {
+  if (src.rfind("suite:", 0) == 0) {
+    const std::string rest = src.substr(6);
+    const auto colon = rest.find(':');
+    const std::string name =
+        colon == std::string::npos ? rest : rest.substr(0, colon);
+    const double scale =
+        colon == std::string::npos ? 0.3 : std::stod(rest.substr(colon + 1));
+    return gen::make_suite_matrix(name, scale).matrix;
+  }
+  if (src.rfind("file:", 0) == 0)
+    return read_matrix_market_file(src.substr(5));
+  FBMPK_CHECK_MSG(false, "matrix source must be suite:... or file:...");
+  return {};
+}
+
+AlignedVector<double> load_or_make_x(const Args& args, index_t n) {
+  if (args.count("x") != 0) {
+    auto v = read_vector_file(args.at("x"));
+    FBMPK_CHECK_MSG(v.size() == static_cast<std::size_t>(n),
+                    "x has " << v.size() << " entries, matrix has " << n
+                             << " rows");
+    return v;
+  }
+  Rng rng(1);
+  AlignedVector<double> v(static_cast<std::size_t>(n));
+  for (auto& e : v) e = rng.next_double(-1.0, 1.0);
+  return v;
+}
+
+void emit_result(const Args& args, const AlignedVector<double>& y) {
+  const std::string out = get(args, "out", "");
+  if (out.empty()) {
+    double norm = 0.0;
+    for (double v : y) norm += v * v;
+    std::printf("result: n=%zu, ||y||_2 = %.12e, y[0] = %.12e\n", y.size(),
+                std::sqrt(norm), y[0]);
+  } else {
+    write_vector_file(out, y);
+    std::printf("result written to %s\n", out.c_str());
+  }
+}
+
+int cmd_plan(const Args& args) {
+  const auto a = load_matrix(need(args, "matrix"));
+  std::printf("matrix: %d rows, %d nnz\n", a.rows(), a.nnz());
+
+  PlanOptions opts;
+  MpkPlan plan = [&] {
+    if (args.count("autotune-k") != 0) {
+      const int k = std::stoi(args.at("autotune-k"));
+      std::printf("autotuning block count for k=%d...\n", k);
+      const auto tuned = autotune_block_count(a, k);
+      for (const auto& s : tuned.samples)
+        std::printf("  blocks=%-5d colors=%-3d %.3f ms\n",
+                    static_cast<int>(s.num_blocks),
+                    static_cast<int>(s.num_colors), s.seconds * 1e3);
+      opts.abmc.num_blocks = tuned.best_blocks;
+      std::printf("picked %d blocks\n", static_cast<int>(tuned.best_blocks));
+      return MpkPlan::build(a, opts);
+    }
+    opts.abmc.num_blocks =
+        static_cast<index_t>(std::stoi(get(args, "blocks", "512")));
+    return MpkPlan::build(a, opts);
+  }();
+
+  const std::string out = need(args, "out");
+  save_plan_file(plan, out);
+  std::printf("plan: %d blocks, %d colors, built in %.1f ms, saved to %s\n",
+              static_cast<int>(plan.stats().num_blocks),
+              static_cast<int>(plan.stats().num_colors),
+              plan.stats().build_seconds * 1e3, out.c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const auto plan = load_plan_file(need(args, "plan"));
+  const auto& st = plan.stats();
+  std::printf("rows:            %d\n", plan.rows());
+  std::printf("blocks / colors: %d / %d\n", static_cast<int>(st.num_blocks),
+              static_cast<int>(st.num_colors));
+  std::printf("storage:         %.2f MB (L+U+d)\n",
+              static_cast<double>(st.storage_bytes) / (1024.0 * 1024.0));
+  std::printf("scheduler:       %s, parallel=%s, reorder=%s\n",
+              plan.options().scheduler == Scheduler::kAbmc ? "abmc" : "levels",
+              plan.options().parallel ? "yes" : "no",
+              plan.options().reorder ? "yes" : "no");
+  return 0;
+}
+
+int cmd_power(const Args& args) {
+  auto plan = load_plan_file(need(args, "plan"));
+  const int k = std::stoi(need(args, "k"));
+  const auto x = load_or_make_x(args, plan.rows());
+  AlignedVector<double> y(x.size());
+  Timer t;
+  plan.power(x, k, y);
+  std::printf("A^%d x computed in %.2f ms\n", k, t.milliseconds());
+  emit_result(args, y);
+  return 0;
+}
+
+int cmd_poly(const Args& args) {
+  auto plan = load_plan_file(need(args, "plan"));
+  AlignedVector<double> coeffs;
+  std::stringstream ss(need(args, "coeffs"));
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) coeffs.push_back(std::stod(item));
+  FBMPK_CHECK_MSG(!coeffs.empty(), "need at least one coefficient");
+
+  const auto x = load_or_make_x(args, plan.rows());
+  AlignedVector<double> y(x.size());
+  Timer t;
+  plan.polynomial(coeffs, x, y);
+  std::printf("sum of %zu terms computed in %.2f ms\n", coeffs.size(),
+              t.milliseconds());
+  emit_result(args, y);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s plan|info|power|poly --flag=value ...\n"
+                 "  plan  --matrix=suite:pwtk|file:a.mtx --out=plan.bin"
+                 " [--blocks=512] [--autotune-k=5]\n"
+                 "  info  --plan=plan.bin\n"
+                 "  power --plan=plan.bin --k=5 [--x=x.txt] [--out=y.txt]\n"
+                 "  poly  --plan=plan.bin --coeffs=1,0.5 [--x=] [--out=]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse_flags(argc, argv, 2);
+    if (cmd == "plan") return cmd_plan(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "power") return cmd_power(args);
+    if (cmd == "poly") return cmd_poly(args);
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

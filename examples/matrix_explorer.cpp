@@ -1,0 +1,106 @@
+// matrix_explorer — command-line tool over the library's sparse/reorder
+// substrates: inspect a matrix (from a MatrixMarket file or the built-in
+// suite), compare reorderings (RCM, ABMC), and optionally export the
+// permuted matrix.
+//
+//   ./matrix_explorer suite:<name> [--blocks=512] [--out=path.mtx]
+//   ./matrix_explorer file:<path.mtx> [...]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/fbmpk.hpp"
+#include "sparse/ops.hpp"
+#include "support/timer.hpp"
+
+using namespace fbmpk;
+
+namespace {
+
+void describe(const char* label, const CsrMatrix<double>& a) {
+  std::printf("%-10s rows=%d nnz=%d nnz/row=%.2f bandwidth=%d\n", label,
+              a.rows(), a.nnz(), static_cast<double>(a.nnz()) / a.rows(),
+              bandwidth(a));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s suite:<name>|file:<path.mtx> [--blocks=N] "
+                 "[--out=path.mtx]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string source = argv[1];
+  index_t blocks = 512;
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--blocks=", 0) == 0)
+      blocks = static_cast<index_t>(std::atoi(arg.c_str() + 9));
+    else if (arg.rfind("--out=", 0) == 0)
+      out_path = arg.substr(6);
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  CsrMatrix<double> a;
+  try {
+    if (source.rfind("suite:", 0) == 0)
+      a = gen::make_suite_matrix(source.substr(6), 0.3).matrix;
+    else if (source.rfind("file:", 0) == 0)
+      a = read_matrix_market_file(source.substr(5));
+    else {
+      std::fprintf(stderr, "source must start with suite: or file:\n");
+      return 2;
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "failed to load matrix: %s\n", e.what());
+    return 1;
+  }
+
+  describe("original", a);
+  std::printf("           structurally symmetric: %s, numerically: %s\n",
+              is_structurally_symmetric(a) ? "yes" : "no",
+              is_numerically_symmetric(a, 1e-12) ? "yes" : "no");
+
+  // RCM: the classical bandwidth reducer.
+  Timer t_rcm;
+  const auto rcm = rcm_order(a);
+  const auto a_rcm = permute_symmetric(a, rcm);
+  std::printf("\nRCM        computed in %.1f ms\n", t_rcm.milliseconds());
+  describe("rcm", a_rcm);
+
+  // ABMC with both blocking strategies.
+  for (const auto strategy :
+       {BlockingStrategy::kContiguous, BlockingStrategy::kBfs}) {
+    AbmcOptions opts;
+    opts.num_blocks = blocks;
+    opts.blocking = strategy;
+    Timer t_abmc;
+    const auto o = abmc_order(a, opts);
+    const auto a_abmc = permute_symmetric(a, o.perm);
+    const char* label =
+        strategy == BlockingStrategy::kContiguous ? "abmc-contig" : "abmc-bfs";
+    std::printf("\n%-10s computed in %.1f ms: %d blocks, %d colors, "
+                "schedule %s\n",
+                label, t_abmc.milliseconds(),
+                static_cast<int>(o.num_blocks),
+                static_cast<int>(o.num_colors),
+                is_valid_schedule(a_abmc, o) ? "valid" : "INVALID");
+    describe(label, a_abmc);
+  }
+
+  if (!out_path.empty()) {
+    AbmcOptions opts;
+    opts.num_blocks = blocks;
+    const auto o = abmc_order(a, opts);
+    write_matrix_market_file(out_path, permute_symmetric(a, o.perm));
+    std::printf("\nABMC-permuted matrix written to %s\n", out_path.c_str());
+  }
+  return 0;
+}

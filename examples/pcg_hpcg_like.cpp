@@ -1,0 +1,127 @@
+// HPCG-style preconditioned conjugate gradient — the workload family the
+// paper's matrix split originates from (§III-A cites the HPCG SYMGS
+// optimization) and a realistic consumer of both library kernels:
+// SYMGS as the preconditioner, SpMV (or MPK pieces) as the operator.
+//
+//   ./pcg_hpcg_like [nx] [max_iters]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fbmpk.hpp"
+#include "kernels/symgs.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+using namespace fbmpk;
+
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t nx = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 32;
+  const int max_iters = argc > 2 ? std::atoi(argv[2]) : 200;
+
+  // HPCG's operator: 3D 27-point stencil.
+  gen::BlockStencilOptions gopts;
+  gopts.kind = gen::StencilKind::kBox;
+  gopts.seed = 17;
+  const auto a = gen::make_block_stencil({nx, nx, nx}, gopts);
+  const index_t n = a.rows();
+  std::printf("3D 27-pt operator: %d rows, %d nnz\n", n, a.nnz());
+
+  // Preprocessing shared by both kernels: ABMC order once, split once.
+  AbmcOptions aopts;
+  const auto o = abmc_order(a, aopts);
+  const auto ap = permute_symmetric(a, o.perm);
+  const auto s = split_triangular(ap);
+
+  // RHS for a known random solution x* (all-ones would be a near-
+  // eigenvector of the row-sum-normalized stencil and trivialize CG).
+  Rng rng(23);
+  AlignedVector<double> x_star(static_cast<std::size_t>(n));
+  for (auto& v : x_star) v = rng.next_double(-1.0, 1.0);
+  AlignedVector<double> b(static_cast<std::size_t>(n));
+  spmv<double>(ap, x_star, b);
+
+  AlignedVector<double> x(static_cast<std::size_t>(n), 0.0);
+  AlignedVector<double> r = b;  // r = b - A*0
+  AlignedVector<double> z(static_cast<std::size_t>(n));
+  AlignedVector<double> p(static_cast<std::size_t>(n));
+  AlignedVector<double> ap_vec(static_cast<std::size_t>(n));
+
+  auto precondition = [&](std::span<const double> rin, std::span<double> zout) {
+    // One multi-color SYMGS sweep from a zero initial guess.
+    std::fill(zout.begin(), zout.end(), 0.0);
+    symgs_parallel<double>(s, o, rin, zout);
+  };
+
+  const double b_norm = std::sqrt(dot(b, b));
+  precondition(r, z);
+  p = z;
+  double rz = dot(r, z);
+
+  Timer timer;
+  int iters = 0;
+  double rel = 1.0;
+  for (; iters < max_iters; ++iters) {
+    spmv<double>(ap, p, ap_vec, SpmvExec::kParallel);
+    const double alpha = rz / dot(p, ap_vec);
+    for (index_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap_vec[i];
+    }
+    rel = std::sqrt(dot(r, r)) / b_norm;
+    if (rel < 1e-10) {
+      ++iters;
+      break;
+    }
+    precondition(r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (index_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  const double ms = timer.milliseconds();
+
+  double err = 0.0;
+  for (index_t i = 0; i < n; ++i)
+    err = std::max(err, std::abs(x[i] - x_star[i]));
+  std::printf("SYMGS-preconditioned CG: %d iterations, rel residual "
+              "%.2e, max error vs x*: %.2e (%.1f ms)\n",
+              iters, rel, err, ms);
+
+  // Reference: unpreconditioned CG needs far more iterations.
+  std::fill(x.begin(), x.end(), 0.0);
+  r = b;
+  p = r;
+  double rr = dot(r, r);
+  int plain_iters = 0;
+  for (; plain_iters < 10 * max_iters; ++plain_iters) {
+    spmv<double>(ap, p, ap_vec, SpmvExec::kParallel);
+    const double alpha = rr / dot(p, ap_vec);
+    for (index_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap_vec[i];
+    }
+    const double rr_new = dot(r, r);
+    if (std::sqrt(rr_new) / b_norm < 1e-10) {
+      ++plain_iters;
+      break;
+    }
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (index_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+  std::printf("plain CG reference:      %d iterations\n", plain_iters);
+  std::printf("SYMGS preconditioning cut iterations by %.1fx\n",
+              static_cast<double>(plain_iters) / iters);
+  return (rel < 1e-8 && err < 1e-6) ? 0 : 1;
+}

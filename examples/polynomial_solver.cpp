@@ -1,0 +1,108 @@
+// Polynomial linear solver — the linear-equations use case motivating
+// SSpMV (paper §I): approximate x = A^{-1} b with a residual polynomial
+// in A, evaluated in ONE FBMPK pass via MpkPlan::polynomial.
+//
+// Method: truncated Richardson/Neumann series. With tau = 1/row-sum
+// bound (Gershgorin), the iteration x_{m+1} = x_m + tau (b - A x_m)
+// unrolls to x_m = p_{m-1}(A) b where
+//     p_{m-1}(x) = tau * sum_{i=0}^{m-1} (1 - tau x)^i,
+// a degree-(m-1) polynomial whose monomial coefficients we expand
+// exactly. For the diagonally dominant matrices in the suite the series
+// converges geometrically — each added degree multiplies the residual
+// by the same contraction factor, which the program prints.
+//
+//   ./polynomial_solver [degree] [matrix-name]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/fbmpk.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+using namespace fbmpk;
+
+namespace {
+
+double norm2(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+// Monomial coefficients of p(x) = tau * sum_{i=0}^{deg} (1 - tau x)^i.
+std::vector<double> richardson_coefficients(int degree, double tau) {
+  // Maintain q(x) = sum_{i=0}^{m} (1-tau x)^i via q <- q*(1-tau x) + 1.
+  std::vector<double> q{1.0};  // m = 0
+  for (int m = 1; m <= degree; ++m) {
+    std::vector<double> next(q.size() + 1, 0.0);
+    for (std::size_t j = 0; j < q.size(); ++j) {
+      next[j] += q[j];            // q * 1
+      next[j + 1] -= tau * q[j];  // q * (-tau x)
+    }
+    next[0] += 1.0;
+    q = std::move(next);
+  }
+  for (auto& c : q) c *= tau;
+  return q;
+}
+
+// Gershgorin upper bound on the spectrum: max_i sum_j |a_ij|.
+double gershgorin_bound(const CsrMatrix<double>& a) {
+  double bound = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double row = 0.0;
+    for (index_t k = a.row_ptr()[i]; k < a.row_ptr()[i + 1]; ++k)
+      row += std::abs(a.values()[k]);
+    bound = std::max(bound, row);
+  }
+  return bound;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_degree = argc > 1 ? std::atoi(argv[1]) : 9;
+  const std::string name = argc > 2 ? argv[2] : "G3_circuit";
+
+  const auto m = gen::make_suite_matrix(name, 0.3);
+  const auto& a = m.matrix;
+  const index_t n = a.rows();
+  std::printf("matrix %s: %d rows, %d nnz\n", name.c_str(), n, a.nnz());
+
+  const double tau = 1.0 / gershgorin_bound(a);
+  std::printf("Richardson damping tau = %.4e\n", tau);
+
+  MpkPlan plan = MpkPlan::build(a);
+  Rng rng(3);
+  AlignedVector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.next_double(-1.0, 1.0);
+  const double b_norm = norm2(b);
+
+  AlignedVector<double> x(static_cast<std::size_t>(n));
+  AlignedVector<double> r(static_cast<std::size_t>(n));
+
+  std::printf("%-8s %-14s %-12s %s\n", "degree", "residual", "reduction",
+              "solve_ms");
+  double prev = 1.0;
+  for (int degree = 1; degree <= max_degree; degree += 2) {
+    const auto coeffs = richardson_coefficients(degree, tau);
+    Timer t;
+    plan.polynomial(AlignedVector<double>(coeffs.begin(), coeffs.end()), b,
+                    x);
+    const double ms = t.milliseconds();
+
+    // r = b - A x.
+    spmv<double>(a, x, r);
+    for (index_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    const double rel = norm2(r) / b_norm;
+    std::printf("%-8d %-14.6e %-12.4f %.2f\n", degree, rel, rel / prev, ms);
+    prev = rel;
+  }
+  std::printf("\nresidual shrinks geometrically with polynomial degree; one "
+              "FBMPK pass evaluates the whole polynomial with ~(k+1)/2 "
+              "matrix sweeps\n");
+  return prev < 0.5 ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+#include "core/autotune.hpp"
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+
+namespace fbmpk {
+
+std::span<const index_t> default_block_candidates() {
+  static const index_t kCandidates[] = {128, 256, 512, 1024, 2048};
+  return kCandidates;
+}
+
+AutotuneResult autotune_block_count(const CsrMatrix<double>& a, int k,
+                                    std::span<const index_t> candidates,
+                                    int reps, PlanOptions base) {
+  FBMPK_CHECK(!candidates.empty());
+  FBMPK_CHECK(k >= 1 && reps >= 1);
+
+  const index_t n = a.rows();
+  Rng rng(0x47u);
+  AlignedVector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+  AlignedVector<double> y(static_cast<std::size_t>(n));
+
+  AutotuneResult result;
+  for (index_t blocks : candidates) {
+    FBMPK_CHECK_MSG(blocks >= 1, "block candidate must be positive");
+    PlanOptions opts = base;
+    opts.abmc.num_blocks = blocks;
+
+    Timer build_timer;
+    MpkPlan plan = MpkPlan::build(a, opts);
+    AutotuneSample sample;
+    sample.num_blocks = blocks;
+    sample.num_colors = plan.stats().num_colors;
+    sample.build_seconds = build_timer.seconds();
+
+    MpkPlan::Workspace ws;
+    plan.power(x, k, y, ws);  // warmup (first touch of workspaces)
+    RunningStats stats;
+    for (int r = 0; r < reps; ++r) {
+      Timer t;
+      plan.power(x, k, y, ws);
+      stats.add(t.seconds());
+    }
+    sample.seconds = stats.median();
+    result.samples.push_back(sample);
+
+    if (result.best_blocks == 0 || sample.seconds < result.best_seconds) {
+      result.best_blocks = blocks;
+      result.best_seconds = sample.seconds;
+    }
+  }
+  return result;
+}
+
+MpkPlan build_autotuned_plan(const CsrMatrix<double>& a, int k,
+                             PlanOptions base) {
+  const AutotuneResult tuned = autotune_block_count(
+      a, k, default_block_candidates(), /*reps=*/3, base);
+  base.abmc.num_blocks = tuned.best_blocks;
+  return MpkPlan::build(a, base);
+}
+
+}  // namespace fbmpk

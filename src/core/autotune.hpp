@@ -1,0 +1,46 @@
+// Empirical autotuning of the ABMC block count.
+//
+// The paper exposes the block count as a user knob ("a trade-off
+// between performance and parallelism", §III-D) with a default of 512
+// or 1024. Since the best value depends on the matrix, the thread
+// count and the power k, this module measures a small candidate sweep
+// on the actual kernel and returns the winner — a one-off cost in the
+// same amortized-preprocessing budget as the reorder itself (§V-F).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/plan.hpp"
+
+namespace fbmpk {
+
+/// One measured candidate.
+struct AutotuneSample {
+  index_t num_blocks = 0;
+  index_t num_colors = 0;
+  double seconds = 0.0;       ///< median kernel time for A^k x
+  double build_seconds = 0.0; ///< plan construction time
+};
+
+struct AutotuneResult {
+  index_t best_blocks = 0;
+  double best_seconds = 0.0;
+  std::vector<AutotuneSample> samples;  ///< in candidate order
+};
+
+/// Default candidate ladder around the paper's 512/1024 defaults.
+std::span<const index_t> default_block_candidates();
+
+/// Measure each candidate block count on y = A^k x and pick the
+/// fastest. `base` supplies every option except abmc.num_blocks.
+AutotuneResult autotune_block_count(
+    const CsrMatrix<double>& a, int k,
+    std::span<const index_t> candidates = default_block_candidates(),
+    int reps = 3, PlanOptions base = {});
+
+/// Convenience: build a plan with the autotuned block count.
+MpkPlan build_autotuned_plan(const CsrMatrix<double>& a, int k,
+                             PlanOptions base = {});
+
+}  // namespace fbmpk

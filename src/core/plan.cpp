@@ -1,0 +1,254 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+
+#include "kernels/fbmpk_parallel.hpp"
+#include "support/timer.hpp"
+
+namespace fbmpk {
+
+MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
+  FBMPK_CHECK_MSG(a.rows() == a.cols(), "MpkPlan needs a square matrix");
+  FBMPK_CHECK_MSG(a.rows() > 0, "MpkPlan needs a non-empty matrix");
+  FBMPK_CHECK_MSG(
+      !opts.parallel || opts.reorder || opts.scheduler == Scheduler::kLevels,
+      "ABMC-scheduled parallel execution requires the reorder; use "
+      "Scheduler::kLevels to run parallel without reordering");
+
+  Timer total;
+  MpkPlan plan;
+  plan.n_ = a.rows();
+  plan.opts_ = opts;
+
+  if (opts.reorder) {
+    Timer reorder_timer;
+    plan.schedule_ = abmc_order(a, opts.abmc);
+    plan.perm_ = plan.schedule_.perm;
+    plan.stats_.reorder_seconds = reorder_timer.seconds();
+    plan.stats_.num_blocks = plan.schedule_.num_blocks;
+    plan.stats_.num_colors = plan.schedule_.num_colors;
+    const CsrMatrix<double> permuted = permute_symmetric(a, plan.perm_);
+    plan.split_ = split_triangular(permuted);
+  } else {
+    plan.perm_ = Permutation::identity(a.rows());
+    plan.split_ = split_triangular(a);
+  }
+
+  if (opts.parallel && opts.scheduler == Scheduler::kLevels) {
+    plan.levels_ = LevelSchedulePair::of(plan.split_);
+    plan.stats_.num_levels_forward = plan.levels_.forward.num_levels;
+    plan.stats_.num_levels_backward = plan.levels_.backward.num_levels;
+  }
+
+  plan.stats_.storage_bytes = plan.split_.storage_bytes();
+  plan.internal_ws_ = std::make_unique<Workspace>();
+  plan.stats_.build_seconds = total.seconds();
+  return plan;
+}
+
+void MpkPlan::run_power(std::span<const double> px, int k,
+                        std::span<double> py, FbWorkspace<double>& fb) const {
+  if (!opts_.parallel) {
+    fbmpk_power(split_, px, k, py, fb, opts_.variant);
+    return;
+  }
+  if (opts_.scheduler == Scheduler::kLevels)
+    fbmpk_level_power(split_, levels_, px, k, py, fb);
+  else
+    fbmpk_parallel_power(split_, schedule_, px, k, py, fb);
+}
+
+void MpkPlan::run_power_all(std::span<const double> px, int k,
+                            std::span<double> pout,
+                            FbWorkspace<double>& fb) const {
+  const auto n = px.size();
+  std::copy(px.begin(), px.end(), pout.begin());
+  if (k == 0) return;
+  double* op = pout.data();
+  auto emit = [&](int p, index_t i, double v) {
+    op[static_cast<std::size_t>(p) * n + i] = v;
+  };
+  if (!opts_.parallel)
+    fbmpk_sweep(split_, px, k, fb, emit, opts_.variant);
+  else if (opts_.scheduler == Scheduler::kLevels)
+    fbmpk_level_sweep(split_, levels_, px, k, fb, emit);
+  else
+    fbmpk_parallel_sweep(split_, schedule_, px, k, fb, emit);
+}
+
+void MpkPlan::run_polynomial(std::span<const double> coeffs,
+                             std::span<const double> px,
+                             std::span<double> py,
+                             FbWorkspace<double>& fb) const {
+  const int k = static_cast<int>(coeffs.size()) - 1;
+  for (std::size_t i = 0; i < py.size(); ++i) py[i] = coeffs[0] * px[i];
+  if (k == 0) return;
+  double* yp = py.data();
+  const double* cp = coeffs.data();
+  auto emit = [&](int p, index_t i, double v) { yp[i] += cp[p] * v; };
+  if (!opts_.parallel)
+    fbmpk_sweep(split_, px, k, fb, emit, opts_.variant);
+  else if (opts_.scheduler == Scheduler::kLevels)
+    fbmpk_level_sweep(split_, levels_, px, k, fb, emit);
+  else
+    fbmpk_parallel_sweep(split_, schedule_, px, k, fb, emit);
+}
+
+void MpkPlan::power(std::span<const double> x, int k, std::span<double> y,
+                    Workspace& ws) const {
+  FBMPK_CHECK(x.size() == static_cast<std::size_t>(n_));
+  FBMPK_CHECK(y.size() == static_cast<std::size_t>(n_));
+  FBMPK_CHECK(k >= 0);
+  if (perm_.is_identity()) {
+    run_power(x, k, y, ws.fb);
+    return;
+  }
+  ws.px.resize(x.size());
+  ws.py.resize(y.size());
+  permute_vector<double>(perm_, x, ws.px);
+  run_power(ws.px, k, ws.py, ws.fb);
+  unpermute_vector<double>(perm_, ws.py, y);
+}
+
+void MpkPlan::power(std::span<const double> x, int k, std::span<double> y) {
+  power(x, k, y, *internal_ws_);
+}
+
+void MpkPlan::power_all(std::span<const double> x, int k,
+                        std::span<double> out, Workspace& ws) const {
+  const auto n = static_cast<std::size_t>(n_);
+  FBMPK_CHECK(x.size() == n);
+  FBMPK_CHECK(out.size() == n * static_cast<std::size_t>(k + 1));
+  FBMPK_CHECK(k >= 0);
+  if (perm_.is_identity()) {
+    run_power_all(x, k, out, ws.fb);
+    return;
+  }
+  ws.px.resize(n);
+  ws.py.resize(n * static_cast<std::size_t>(k + 1));
+  permute_vector<double>(perm_, x, ws.px);
+  std::span<double> pout(ws.py);
+  run_power_all(std::span<const double>(ws.px), k, pout, ws.fb);
+  for (int p = 0; p <= k; ++p)
+    unpermute_vector<double>(perm_,
+                             pout.subspan(static_cast<std::size_t>(p) * n, n),
+                             out.subspan(static_cast<std::size_t>(p) * n, n));
+}
+
+void MpkPlan::power_all(std::span<const double> x, int k,
+                        std::span<double> out) {
+  power_all(x, k, out, *internal_ws_);
+}
+
+void MpkPlan::polynomial(std::span<const double> coeffs,
+                         std::span<const double> x, std::span<double> y,
+                         Workspace& ws) const {
+  const auto n = static_cast<std::size_t>(n_);
+  FBMPK_CHECK(x.size() == n && y.size() == n);
+  FBMPK_CHECK(!coeffs.empty());
+  if (perm_.is_identity()) {
+    run_polynomial(coeffs, x, y, ws.fb);
+    return;
+  }
+  ws.px.resize(n);
+  ws.py.resize(n);
+  permute_vector<double>(perm_, x, ws.px);
+  std::span<double> py(ws.py);
+  run_polynomial(coeffs, std::span<const double>(ws.px), py, ws.fb);
+  unpermute_vector<double>(perm_, py, y);
+}
+
+void MpkPlan::polynomial(std::span<const double> coeffs,
+                         std::span<const double> x, std::span<double> y) {
+  polynomial(coeffs, x, y, *internal_ws_);
+}
+
+void MpkPlan::recurrence(std::span<const RecurrenceStep<double>> steps,
+                         std::span<const double> x, std::span<double> y,
+                         Workspace& ws) const {
+  const auto n = static_cast<std::size_t>(n_);
+  FBMPK_CHECK(x.size() == n && y.size() == n);
+  FBMPK_CHECK(!steps.empty());
+  const int k = static_cast<int>(steps.size());
+
+  auto run = [&](std::span<const double> px, std::span<double> py) {
+    double* yp = py.data();
+    auto emit = [&](int p, index_t i, double v) {
+      if (p == k) yp[i] = v;
+    };
+    if (opts_.parallel)
+      // The level scheduler has no recurrence kernel; the ABMC schedule
+      // is always available on parallel plans built with it disabled…
+      // for kLevels plans fall back to the serial sweep (identical
+      // numerics, no parallelism).
+      if (opts_.scheduler == Scheduler::kAbmc)
+        fbmpk_recurrence_parallel_sweep(split_, schedule_, steps, px, ws.fb,
+                                        emit);
+      else
+        fbmpk_recurrence_sweep(split_, steps, px, ws.fb, emit);
+    else
+      fbmpk_recurrence_sweep(split_, steps, px, ws.fb, emit);
+  };
+
+  if (perm_.is_identity()) {
+    run(x, y);
+    return;
+  }
+  ws.px.resize(n);
+  ws.py.resize(n);
+  permute_vector<double>(perm_, x, ws.px);
+  run(std::span<const double>(ws.px), std::span<double>(ws.py));
+  unpermute_vector<double>(perm_, std::span<const double>(ws.py), y);
+}
+
+void MpkPlan::recurrence(std::span<const RecurrenceStep<double>> steps,
+                         std::span<const double> x, std::span<double> y) {
+  recurrence(steps, x, y, *internal_ws_);
+}
+
+void MpkPlan::polynomial(std::span<const std::complex<double>> coeffs,
+                         std::span<const double> x,
+                         std::span<std::complex<double>> y,
+                         Workspace& ws) const {
+  const auto n = static_cast<std::size_t>(n_);
+  FBMPK_CHECK(x.size() == n && y.size() == n);
+  FBMPK_CHECK(!coeffs.empty());
+  const int k = static_cast<int>(coeffs.size()) - 1;
+
+  // Work in the permuted space; y is accumulated there and unpermuted
+  // at the end (permuting complex vectors directly avoids a third
+  // scratch array).
+  std::span<const double> px = x;
+  if (!perm_.is_identity()) {
+    ws.px.resize(n);
+    permute_vector<double>(perm_, x, ws.px);
+    px = std::span<const double>(ws.px);
+  }
+
+  std::vector<std::complex<double>> acc(n);
+  for (std::size_t i = 0; i < n; ++i) acc[i] = coeffs[0] * px[i];
+  if (k >= 1) {
+    const std::complex<double>* cp = coeffs.data();
+    auto emit = [&](int p, index_t i, double v) { acc[i] += cp[p] * v; };
+    if (!opts_.parallel)
+      fbmpk_sweep(split_, px, k, ws.fb, emit, opts_.variant);
+    else if (opts_.scheduler == Scheduler::kLevels)
+      fbmpk_level_sweep(split_, levels_, px, k, ws.fb, emit);
+    else
+      fbmpk_parallel_sweep(split_, schedule_, px, k, ws.fb, emit);
+  }
+
+  if (perm_.is_identity())
+    std::copy(acc.begin(), acc.end(), y.begin());
+  else
+    unpermute_vector<std::complex<double>>(
+        perm_, std::span<const std::complex<double>>(acc), y);
+}
+
+void MpkPlan::polynomial(std::span<const std::complex<double>> coeffs,
+                         std::span<const double> x,
+                         std::span<std::complex<double>> y) {
+  polynomial(coeffs, x, y, *internal_ws_);
+}
+
+}  // namespace fbmpk

@@ -1,0 +1,153 @@
+// MpkPlan — the FBMPK library's public entry point.
+//
+// Usage:
+//   auto plan = fbmpk::MpkPlan::build(A);          // one-off preprocessing
+//   plan.power(x, k, y);                           // y = A^k x
+//   plan.power_all(x, k, basis);                   // full Krylov basis
+//   plan.polynomial(coeffs, x, y);                 // y = sum_i c_i A^i x
+//
+// build() performs the one-off preprocessing the paper amortizes over
+// many kernel invocations (§V-F): ABMC reorder (optional), triangular
+// split, and workspace sizing. All run methods operate in the caller's
+// original index space — permutation in/out is handled internally.
+//
+// Thread-safety: a built plan is immutable; concurrent run calls are
+// safe when each call uses its own Workspace. The convenience overloads
+// without a Workspace argument use a per-plan internal workspace and
+// must not be called concurrently on one plan.
+#pragma once
+
+#include <complex>
+#include <iosfwd>
+#include <memory>
+#include <span>
+
+#include "kernels/fbmpk.hpp"
+#include "kernels/fbmpk_level.hpp"
+#include "kernels/fbmpk_recurrence.hpp"
+#include "reorder/abmc.hpp"
+#include "reorder/permutation.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/split.hpp"
+
+namespace fbmpk {
+
+/// How the parallel sweeps are scheduled.
+enum class Scheduler {
+  kAbmc,    ///< ABMC coloring (paper §III-D): permutes the matrix,
+            ///< few barriers (2 x colors per pair)
+  kLevels,  ///< level scheduling (paper §VII): original order, no
+            ///< permutation, one barrier per dependency level
+};
+
+/// Plan construction options.
+struct PlanOptions {
+  /// Apply the ABMC reorder. Required for ABMC-scheduled parallel
+  /// execution; optional for the level scheduler.
+  bool reorder = true;
+  /// ABMC parameters (block count default 512, per the paper).
+  AbmcOptions abmc;
+  /// Use a parallel kernel (scheduled per `scheduler`).
+  bool parallel = true;
+  /// Parallel schedule construction.
+  Scheduler scheduler = Scheduler::kAbmc;
+  /// Serial pipeline flavor: BtB interleaved (default) or split vectors.
+  FbVariant variant = FbVariant::kBtb;
+};
+
+/// Timing/shape metadata captured at build.
+struct PlanStats {
+  double build_seconds = 0.0;    ///< total preprocessing time
+  double reorder_seconds = 0.0;  ///< ABMC portion of the above
+  index_t num_blocks = 0;
+  index_t num_colors = 0;
+  index_t num_levels_forward = 0;   ///< level scheduler only
+  index_t num_levels_backward = 0;  ///< level scheduler only
+  std::size_t storage_bytes = 0;  ///< bytes held by L + U + d
+};
+
+class MpkPlan {
+ public:
+  /// Scratch vectors for one concurrent run stream.
+  struct Workspace {
+    FbWorkspace<double> fb;
+    AlignedVector<double> px;  ///< permuted input
+    AlignedVector<double> py;  ///< permuted output
+  };
+
+  /// Preprocess matrix `a` (square). Throws fbmpk::Error on invalid
+  /// input or inconsistent options.
+  static MpkPlan build(const CsrMatrix<double>& a, PlanOptions opts = {});
+
+  MpkPlan(MpkPlan&&) noexcept = default;
+  MpkPlan& operator=(MpkPlan&&) noexcept = default;
+
+  index_t rows() const { return n_; }
+  const PlanOptions& options() const { return opts_; }
+  const PlanStats& stats() const { return stats_; }
+  const Permutation& permutation() const { return perm_; }
+  const AbmcOrdering& schedule() const { return schedule_; }
+  const TriangularSplit<double>& split() const { return split_; }
+
+  /// y = A^k x (k >= 0). x and y may alias only if identical spans.
+  void power(std::span<const double> x, int k, std::span<double> y,
+             Workspace& ws) const;
+  void power(std::span<const double> x, int k, std::span<double> y);
+
+  /// out[p*n + i] = (A^p x)[i] for p in [0, k] (row-major basis).
+  void power_all(std::span<const double> x, int k, std::span<double> out,
+                 Workspace& ws) const;
+  void power_all(std::span<const double> x, int k, std::span<double> out);
+
+  /// y = sum_{p=0..k} coeffs[p] * A^p x, k = coeffs.size()-1.
+  void polynomial(std::span<const double> coeffs, std::span<const double> x,
+                  std::span<double> y, Workspace& ws) const;
+  void polynomial(std::span<const double> coeffs, std::span<const double> x,
+                  std::span<double> y);
+
+  /// Three-term recurrence x_p = a_p A x_{p-1} + b_p x_{p-1} +
+  /// c_p x_{p-2} (x_{-1} = 0): y = x_k with k = steps.size(). Covers
+  /// Chebyshev-stable polynomial bases at FBMPK traffic. Serial and
+  /// ABMC-scheduled plans only (the level scheduler falls back to the
+  /// ABMC/serial path by construction of the options).
+  void recurrence(std::span<const RecurrenceStep<double>> steps,
+                  std::span<const double> x, std::span<double> y,
+                  Workspace& ws) const;
+  void recurrence(std::span<const RecurrenceStep<double>> steps,
+                  std::span<const double> x, std::span<double> y);
+
+  /// Complex-coefficient SSpMV (paper §I: "alpha_i are real or complex
+  /// constants"): y = sum_p coeffs[p] * A^p x with real A and x. One
+  /// FBMPK pass; each emitted iterate feeds both components.
+  void polynomial(std::span<const std::complex<double>> coeffs,
+                  std::span<const double> x,
+                  std::span<std::complex<double>> y, Workspace& ws) const;
+  void polynomial(std::span<const std::complex<double>> coeffs,
+                  std::span<const double> x,
+                  std::span<std::complex<double>> y);
+
+ private:
+  MpkPlan() = default;
+
+  friend void save_plan(const MpkPlan&, std::ostream&);
+  friend MpkPlan load_plan(std::istream&);
+
+  void run_power(std::span<const double> px, int k, std::span<double> py,
+                 FbWorkspace<double>& fb) const;
+  void run_power_all(std::span<const double> px, int k,
+                     std::span<double> pout, FbWorkspace<double>& fb) const;
+  void run_polynomial(std::span<const double> coeffs,
+                      std::span<const double> px, std::span<double> py,
+                      FbWorkspace<double>& fb) const;
+
+  index_t n_ = 0;
+  PlanOptions opts_;
+  PlanStats stats_;
+  Permutation perm_;         ///< identity when reorder is off
+  AbmcOrdering schedule_;    ///< empty when reorder is off
+  LevelSchedulePair levels_; ///< populated for the level scheduler
+  TriangularSplit<double> split_;
+  std::unique_ptr<Workspace> internal_ws_;  // for convenience overloads
+};
+
+}  // namespace fbmpk

@@ -1,0 +1,182 @@
+#include "core/plan_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'B', 'M', 'P', 'K', 'P', 'L', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+template <class T>
+void write_pod(std::ostream& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  FBMPK_CHECK_MSG(in.good(), "truncated plan stream");
+  return v;
+}
+
+template <class Vec>
+void write_vec(std::ostream& out, const Vec& v) {
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  if (!v.empty())
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() *
+                                           sizeof(typename Vec::value_type)));
+}
+
+template <class Vec>
+Vec read_vec(std::istream& in) {
+  const auto size = read_pod<std::uint64_t>(in);
+  // Sanity bound: refuse absurd sizes before allocating (corrupt file).
+  FBMPK_CHECK_MSG(size < (1ull << 40), "implausible vector size in plan");
+  Vec v(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(size *
+                                         sizeof(typename Vec::value_type)));
+    FBMPK_CHECK_MSG(in.good(), "truncated plan stream");
+  }
+  return v;
+}
+
+void write_csr(std::ostream& out, const CsrMatrix<double>& m) {
+  write_pod(out, m.rows());
+  write_pod(out, m.cols());
+  write_vec(out, AlignedVector<index_t>(m.row_ptr().begin(),
+                                        m.row_ptr().end()));
+  write_vec(out, AlignedVector<index_t>(m.col_idx().begin(),
+                                        m.col_idx().end()));
+  write_vec(out, AlignedVector<double>(m.values().begin(),
+                                       m.values().end()));
+}
+
+CsrMatrix<double> read_csr(std::istream& in) {
+  const auto rows = read_pod<index_t>(in);
+  const auto cols = read_pod<index_t>(in);
+  auto rp = read_vec<AlignedVector<index_t>>(in);
+  auto ci = read_vec<AlignedVector<index_t>>(in);
+  auto va = read_vec<AlignedVector<double>>(in);
+  // The CSR constructor re-validates the structure, so corrupt payloads
+  // surface as fbmpk::Error rather than undefined behavior.
+  return CsrMatrix<double>(rows, cols, std::move(rp), std::move(ci),
+                           std::move(va));
+}
+
+void write_level_schedule(std::ostream& out, const LevelSchedule& s) {
+  write_pod(out, s.num_levels);
+  write_vec(out, s.level_ptr);
+  write_vec(out, s.rows);
+}
+
+LevelSchedule read_level_schedule(std::istream& in) {
+  LevelSchedule s;
+  s.num_levels = read_pod<index_t>(in);
+  s.level_ptr = read_vec<std::vector<index_t>>(in);
+  s.rows = read_vec<std::vector<index_t>>(in);
+  return s;
+}
+
+}  // namespace
+
+void save_plan(const MpkPlan& plan, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint32_t>(sizeof(index_t)));
+
+  write_pod(out, plan.n_);
+  const PlanOptions& o = plan.opts_;
+  write_pod(out, o.reorder);
+  write_pod(out, o.abmc.num_blocks);
+  write_pod(out, o.abmc.blocking);
+  write_pod(out, o.abmc.coloring);
+  write_pod(out, o.parallel);
+  write_pod(out, o.scheduler);
+  write_pod(out, o.variant);
+  write_pod(out, plan.stats_);
+
+  write_vec(out, std::vector<index_t>(plan.perm_.order().begin(),
+                                      plan.perm_.order().end()));
+  write_pod(out, plan.schedule_.num_blocks);
+  write_pod(out, plan.schedule_.num_colors);
+  write_vec(out, plan.schedule_.block_ptr);
+  write_vec(out, plan.schedule_.color_ptr);
+  write_level_schedule(out, plan.levels_.forward);
+  write_level_schedule(out, plan.levels_.backward);
+
+  write_csr(out, plan.split_.lower);
+  write_csr(out, plan.split_.upper);
+  write_vec(out, plan.split_.diag);
+  FBMPK_CHECK_MSG(out.good(), "plan write failed");
+}
+
+MpkPlan load_plan(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  FBMPK_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 8) == 0,
+                  "not an FBMPK plan stream");
+  FBMPK_CHECK_MSG(read_pod<std::uint32_t>(in) == kVersion,
+                  "unsupported plan version");
+  FBMPK_CHECK_MSG(read_pod<std::uint32_t>(in) == sizeof(index_t),
+                  "plan was written with a different index width");
+
+  MpkPlan plan;
+  plan.n_ = read_pod<index_t>(in);
+  plan.opts_.reorder = read_pod<bool>(in);
+  plan.opts_.abmc.num_blocks = read_pod<index_t>(in);
+  plan.opts_.abmc.blocking = read_pod<BlockingStrategy>(in);
+  plan.opts_.abmc.coloring = read_pod<ColoringOrder>(in);
+  plan.opts_.parallel = read_pod<bool>(in);
+  plan.opts_.scheduler = read_pod<Scheduler>(in);
+  plan.opts_.variant = read_pod<FbVariant>(in);
+  plan.stats_ = read_pod<PlanStats>(in);
+
+  plan.perm_ = Permutation(read_vec<std::vector<index_t>>(in));
+  plan.schedule_.num_blocks = read_pod<index_t>(in);
+  plan.schedule_.num_colors = read_pod<index_t>(in);
+  plan.schedule_.block_ptr = read_vec<std::vector<index_t>>(in);
+  plan.schedule_.color_ptr = read_vec<std::vector<index_t>>(in);
+  plan.schedule_.perm = plan.perm_;
+  plan.levels_.forward = read_level_schedule(in);
+  plan.levels_.backward = read_level_schedule(in);
+
+  plan.split_.lower = read_csr(in);
+  plan.split_.upper = read_csr(in);
+  plan.split_.diag = read_vec<AlignedVector<double>>(in);
+
+  FBMPK_CHECK_MSG(plan.split_.lower.rows() == plan.n_ &&
+                      plan.split_.upper.rows() == plan.n_ &&
+                      plan.split_.diag.size() ==
+                          static_cast<std::size_t>(plan.n_) &&
+                      plan.perm_.size() == plan.n_,
+                  "inconsistent plan payload");
+  plan.internal_ws_ = std::make_unique<MpkPlan::Workspace>();
+  return plan;
+}
+
+void save_plan_file(const MpkPlan& plan, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  FBMPK_CHECK_MSG(out.is_open(), "cannot open for write: " << path);
+  save_plan(plan, out);
+}
+
+MpkPlan load_plan_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FBMPK_CHECK_MSG(in.is_open(), "cannot open: " << path);
+  return load_plan(in);
+}
+
+}  // namespace fbmpk

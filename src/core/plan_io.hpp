@@ -1,0 +1,28 @@
+// Binary serialization of MpkPlan — the "offline preprocessing" the
+// paper's methodology assumes (§IV-C: the split/reorder "can often be
+// performed offline when storing the matrix data", §V-F: one-off cost).
+//
+// Format: little-endian native POD dump with a magic/version header;
+// intended for same-architecture reload of a stored plan, not as an
+// interchange format. save/load round-trips every run-relevant field
+// (split triangles, diagonal, permutation, ABMC schedule, level
+// schedules, options).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/plan.hpp"
+
+namespace fbmpk {
+
+/// Serialize a built plan.
+void save_plan(const MpkPlan& plan, std::ostream& out);
+void save_plan_file(const MpkPlan& plan, const std::string& path);
+
+/// Reconstruct a plan. Throws fbmpk::Error on bad magic, version
+/// mismatch, or truncated/corrupt payload.
+MpkPlan load_plan(std::istream& in);
+MpkPlan load_plan_file(const std::string& path);
+
+}  // namespace fbmpk

@@ -1,0 +1,70 @@
+#include "gen/kkt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/stencil.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fbmpk::gen {
+
+CsrMatrix<double> make_kkt_saddle(index_t nx, index_t ny, index_t nz,
+                                  const KktOptions& opts) {
+  FBMPK_CHECK(nx >= 2 && ny >= 2 && nz >= 2);
+  FBMPK_CHECK(opts.constraints_per_variable_x1000 > 0 &&
+              opts.constraints_per_variable_x1000 <= 1000);
+  FBMPK_CHECK(opts.jacobian_row_nnz >= 1.0);
+  FBMPK_CHECK(opts.regularization > 0.0);
+
+  BlockStencilOptions hess;
+  hess.kind = StencilKind::kBox;
+  hess.dof = 1;
+  hess.seed = opts.seed;
+  const CsrMatrix<double> h = make_block_stencil({nx, ny, nz}, hess);
+
+  const index_t n = h.rows();
+  const auto m = static_cast<index_t>(
+      static_cast<long long>(n) * opts.constraints_per_variable_x1000 / 1000);
+  FBMPK_CHECK(m >= 1);
+  const index_t total = n + m;
+
+  CooMatrix<double> coo(total, total);
+  coo.reserve(static_cast<std::size_t>(h.nnz()) +
+              2 * static_cast<std::size_t>(
+                      static_cast<double>(m) * opts.jacobian_row_nnz) +
+              static_cast<std::size_t>(m));
+
+  // (1,1) block: the Hessian.
+  const auto rp = h.row_ptr();
+  const auto ci = h.col_idx();
+  const auto va = h.values();
+  for (index_t i = 0; i < n; ++i)
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k) coo.add(i, ci[k], va[k]);
+
+  // (2,1) block J and its transpose in (1,2). Each constraint row
+  // couples a short contiguous window of variables — typical for
+  // discretized constraints, and it keeps the bandwidth moderate.
+  Rng rng(opts.seed ^ 0x4b4bULL);
+  for (index_t c = 0; c < m; ++c) {
+    const index_t row = n + c;
+    auto count = static_cast<index_t>(opts.jacobian_row_nnz);
+    if (rng.next_bool(opts.jacobian_row_nnz - std::floor(opts.jacobian_row_nnz)))
+      ++count;
+    // Window anchored proportionally so constraints sweep the mesh.
+    const auto anchor = static_cast<index_t>(
+        (static_cast<long long>(c) * n) / m);
+    for (index_t e = 0; e < count; ++e) {
+      index_t col = anchor + static_cast<index_t>(rng.next_below(64));
+      if (col >= n) col = n - 1 - static_cast<index_t>(rng.next_below(64));
+      const double v = rng.next_double(-1.0, 1.0);
+      coo.add(row, col, v);
+      coo.add(col, row, v);
+    }
+    // (2,2) block: -c I regularization keeps the matrix nonsingular.
+    coo.add(row, row, -opts.regularization);
+  }
+  return CsrMatrix<double>::from_coo(coo);
+}
+
+}  // namespace fbmpk::gen

@@ -1,0 +1,29 @@
+// KKT saddle-point matrix generator — the nlpkkt120 analogue.
+//
+// Nonlinear-programming KKT systems have the 2x2 block structure
+//     K = [ H   J^T ]
+//         [ J  -c I  ]
+// with H an SPD-like Hessian on a 3D mesh and J a sparse constraint
+// Jacobian. We build H as a 3D box stencil and J as a short-banded
+// random rectangular block, mirroring the saddle-point sparsity that
+// makes nlpkkt matrices behave differently from pure FEM meshes.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace fbmpk::gen {
+
+struct KktOptions {
+  index_t constraints_per_variable_x1000 = 500;  ///< m = n * this / 1000
+  double jacobian_row_nnz = 6.0;  ///< average entries per constraint row
+  double regularization = 0.1;    ///< magnitude of the -c I block
+  std::uint64_t seed = 1;
+};
+
+/// Symmetric saddle-point matrix of size (n + m) where n = nx*ny*nz.
+CsrMatrix<double> make_kkt_saddle(index_t nx, index_t ny, index_t nz,
+                                  const KktOptions& opts);
+
+}  // namespace fbmpk::gen

@@ -1,0 +1,98 @@
+#include "gen/random_sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/stencil.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fbmpk::gen {
+
+CsrMatrix<double> make_random_banded(index_t n,
+                                     const RandomBandedOptions& opts) {
+  FBMPK_CHECK(n > 0);
+  FBMPK_CHECK(opts.bandwidth >= 1);
+  FBMPK_CHECK(opts.avg_row_nnz >= 1.0);
+  Rng rng(opts.seed);
+
+  CooMatrix<double> coo(n, n);
+  coo.reserve(static_cast<std::size_t>(
+      static_cast<double>(n) * (opts.avg_row_nnz + 1.0)));
+
+  // Off-diagonal budget per row; in symmetric mode each sampled upper
+  // entry contributes to two rows, so sample half as many.
+  const double per_row =
+      (opts.avg_row_nnz - 1.0) / (opts.symmetric ? 2.0 : 1.0);
+
+  for (index_t i = 0; i < n; ++i) {
+    // Poisson-ish count: floor(per_row) plus a Bernoulli for the
+    // fractional part keeps the expected value exact.
+    auto count = static_cast<index_t>(per_row);
+    if (rng.next_bool(per_row - std::floor(per_row))) ++count;
+
+    double row_mass = 0.0;
+    for (index_t c = 0; c < count; ++c) {
+      // Sample a column in the band, excluding the diagonal.
+      const index_t lo = std::max<index_t>(0, i - opts.bandwidth);
+      const index_t hi = std::min<index_t>(n - 1, i + opts.bandwidth);
+      index_t j = lo + static_cast<index_t>(rng.next_below(
+                           static_cast<std::uint64_t>(hi - lo + 1)));
+      if (j == i) continue;  // rare collision: drop rather than loop
+      if (opts.symmetric && j < i) j = i + (i - j);  // fold into upper
+      if (j >= n) continue;
+      const double v = -rng.next_double(0.5, 1.5);
+      coo.add(i, j, v);
+      row_mass += std::abs(v);
+      if (opts.symmetric) coo.add(j, i, v);
+    }
+    // Dominant diagonal keeps power sequences well-scaled. The bound
+    // 1 + avg*1.5 is a safe overestimate of any row's off-diag mass.
+    coo.add(i, i, 1.0 + opts.avg_row_nnz * 1.5);
+    (void)row_mass;
+  }
+  return CsrMatrix<double>::from_coo(coo);
+}
+
+CsrMatrix<double> make_circuit_like(index_t nx, index_t ny,
+                                    const CircuitOptions& opts) {
+  FBMPK_CHECK(nx >= 2 && ny >= 2);
+  // Base: local wiring, a scalar 5-point grid.
+  BlockStencilOptions base;
+  base.kind = StencilKind::kStar;
+  base.dof = 1;
+  base.seed = opts.seed;
+  CsrMatrix<double> grid = make_block_stencil({nx, ny}, base);
+
+  // Add long-range nets on top.
+  const index_t n = grid.rows();
+  Rng rng(opts.seed ^ 0xc19c417ULL);
+  CooMatrix<double> coo(n, n);
+  coo.reserve(static_cast<std::size_t>(grid.nnz()) +
+              2 * static_cast<std::size_t>(
+                      opts.long_range_fraction * static_cast<double>(n)));
+  const auto rp = grid.row_ptr();
+  const auto ci = grid.col_idx();
+  const auto va = grid.values();
+  for (index_t i = 0; i < n; ++i)
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k) coo.add(i, ci[k], va[k]);
+
+  const auto extra = static_cast<index_t>(
+      opts.long_range_fraction * static_cast<double>(n));
+  for (index_t e = 0; e < extra; ++e) {
+    const auto i = static_cast<index_t>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto j = static_cast<index_t>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    if (i == j) continue;
+    const double v = -rng.next_double(0.1, 0.5);
+    coo.add(i, j, v);
+    coo.add(j, i, v);
+    // Keep diagonal dominance: compensate on both diagonals.
+    coo.add(i, i, std::abs(v));
+    coo.add(j, j, std::abs(v));
+  }
+  return CsrMatrix<double>::from_coo(coo);
+}
+
+}  // namespace fbmpk::gen

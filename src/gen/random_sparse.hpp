@@ -1,0 +1,41 @@
+// Unstructured matrix generators: banded random (di)graphs and
+// circuit-like networks.
+//
+// These cover the evaluation-set members that are not FEM meshes:
+// cage14 (a banded, unsymmetric DNA-electrophoresis transition graph)
+// and G3_circuit (an extremely sparse circuit network, ~4.8 nnz/row).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace fbmpk::gen {
+
+/// Options for banded random matrices.
+struct RandomBandedOptions {
+  index_t bandwidth = 1000;      ///< |i - j| <= bandwidth for all entries
+  double avg_row_nnz = 18.0;     ///< expected stored entries per row
+  bool symmetric = true;         ///< mirror entries across the diagonal
+  std::uint64_t seed = 1;
+};
+
+/// Random matrix with entries confined to a diagonal band. Every row gets
+/// a diagonal entry; off-diagonals are sampled uniformly in the band.
+/// Symmetric mode samples the upper triangle and mirrors it.
+CsrMatrix<double> make_random_banded(index_t n,
+                                     const RandomBandedOptions& opts);
+
+/// Options for circuit-like matrices.
+struct CircuitOptions {
+  double long_range_fraction = 0.05;  ///< extra random edges per node
+  std::uint64_t seed = 1;
+};
+
+/// Circuit-network analogue: a 2D 5-point grid (local wiring) plus a
+/// sprinkle of random long-range symmetric connections (global nets).
+/// Average row count lands near G3_circuit's 4.8 nnz/row.
+CsrMatrix<double> make_circuit_like(index_t nx, index_t ny,
+                                    const CircuitOptions& opts);
+
+}  // namespace fbmpk::gen

@@ -1,0 +1,214 @@
+#include "gen/stencil.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fbmpk::gen {
+
+namespace {
+
+// Deterministic hash -> [0, 1). Used for value jitter and dropout
+// decisions so generation needs no stored randomness.
+double hash_unit(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                 std::uint64_t c = 0) {
+  SplitMix64 sm(seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                (b * 0xc2b2ae3d27d4eb4fULL) ^ (c * 0x165667b19e3779f9ULL));
+  // One extra scramble round decorrelates nearby (a, b) pairs.
+  sm.next();
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+struct GridShape {
+  std::vector<index_t> dims;
+  std::vector<index_t> strides;  // linear index = sum coord[d]*strides[d]
+  index_t nodes = 1;
+};
+
+GridShape make_shape(const std::vector<index_t>& dims) {
+  FBMPK_CHECK_MSG(dims.size() == 2 || dims.size() == 3,
+                  "grid must be 2D or 3D, got " << dims.size() << " dims");
+  GridShape s;
+  s.dims = dims;
+  s.strides.resize(dims.size());
+  index_t stride = 1;
+  // Last dimension is fastest-varying.
+  for (std::size_t d = dims.size(); d-- > 0;) {
+    FBMPK_CHECK_MSG(dims[d] >= 1, "grid extent must be >= 1");
+    s.strides[d] = stride;
+    stride *= dims[d];
+  }
+  s.nodes = stride;
+  return s;
+}
+
+// Neighbor offsets (including self) in ascending linear-index order.
+std::vector<std::vector<index_t>> neighbor_offsets(std::size_t ndims,
+                                                   StencilKind kind) {
+  std::vector<std::vector<index_t>> out;
+  if (kind == StencilKind::kBox) {
+    // All {-1,0,1}^ndims combinations, lexicographic order == ascending
+    // linear index order for interior nodes.
+    std::vector<index_t> off(ndims, -1);
+    while (true) {
+      out.push_back(off);
+      std::size_t d = ndims;
+      while (d-- > 0) {
+        if (off[d] < 1) {
+          ++off[d];
+          break;
+        }
+        off[d] = -1;
+        if (d == 0) return out;
+      }
+    }
+  }
+  // Star: one +-1 per axis plus self, sorted by linear offset.
+  for (std::size_t d = 0; d < ndims; ++d) {
+    std::vector<index_t> minus(ndims, 0), plus(ndims, 0);
+    minus[d] = -1;
+    plus[d] = 1;
+    out.push_back(minus);
+    out.push_back(plus);
+  }
+  out.push_back(std::vector<index_t>(ndims, 0));
+  return out;
+}
+
+}  // namespace
+
+CsrMatrix<double> make_block_stencil(const std::vector<index_t>& dims,
+                                     const BlockStencilOptions& opts) {
+  FBMPK_CHECK_MSG(opts.dof >= 1, "dof must be >= 1");
+  FBMPK_CHECK_MSG(opts.dropout >= 0.0 && opts.dropout < 1.0,
+                  "dropout must be in [0, 1)");
+  const GridShape shape = make_shape(dims);
+  const std::size_t ndims = dims.size();
+  auto offsets = neighbor_offsets(ndims, opts.kind);
+
+  const index_t dof = opts.dof;
+  const index_t n = shape.nodes * dof;
+  CooMatrix<double> coo(n, n);
+  coo.reserve(static_cast<std::size_t>(shape.nodes) * offsets.size() * dof *
+              dof);
+
+  std::vector<index_t> coord(ndims, 0);
+  std::vector<std::pair<index_t, double>> row_blocks;  // (neighbor node, w)
+
+  for (index_t node = 0; node < shape.nodes; ++node) {
+    // Collect surviving neighbor nodes with their coupling weights.
+    row_blocks.clear();
+    double diag_boost = 0.0;
+    for (const auto& off : offsets) {
+      index_t nbr = 0;
+      bool inside = true;
+      for (std::size_t d = 0; d < ndims; ++d) {
+        const index_t c = coord[d] + off[d];
+        if (c < 0 || c >= shape.dims[d]) {
+          inside = false;
+          break;
+        }
+        nbr += c * shape.strides[d];
+      }
+      if (!inside) continue;
+      if (nbr == node) continue;  // diagonal block handled separately
+      const auto lo = static_cast<std::uint64_t>(std::min(node, nbr));
+      const auto hi = static_cast<std::uint64_t>(std::max(node, nbr));
+      if (opts.dropout > 0.0 &&
+          hash_unit(opts.seed ^ 0xd509ULL, lo, hi) < opts.dropout)
+        continue;  // unordered-pair decision keeps symmetry intact
+      // Coupling weight in [-1.25, -0.75]: symmetric (derived from the
+      // unordered pair) unless an unsymmetric perturbation is requested.
+      double w = -(0.75 + 0.5 * hash_unit(opts.seed, lo, hi, 1));
+      if (opts.unsymmetric) {
+        const auto a = static_cast<std::uint64_t>(node);
+        const auto b = static_cast<std::uint64_t>(nbr);
+        w *= 0.8 + 0.4 * hash_unit(opts.seed ^ 0xa5a5ULL, a, b, 2);
+      }
+      row_blocks.emplace_back(nbr, w);
+      diag_boost += std::abs(w);
+    }
+
+    // Emit dof x dof blocks; neighbor nodes arrive in ascending order
+    // (property of the offset enumeration), except Star's unsorted list.
+    std::sort(row_blocks.begin(), row_blocks.end());
+
+    for (index_t r = 0; r < dof; ++r) {
+      const index_t row = node * dof + r;
+      bool diag_emitted = false;
+      auto emit_diag_block = [&] {
+        // Diagonal block: strongly dominant diagonal plus a small
+        // symmetric intra-node coupling.
+        for (index_t s = 0; s < dof; ++s) {
+          const index_t col = node * dof + s;
+          if (s == r) {
+            coo.add(row, col, 1.0 + diag_boost * dof);
+          } else {
+            const auto lo = static_cast<std::uint64_t>(std::min(r, s));
+            const auto hi = static_cast<std::uint64_t>(std::max(r, s));
+            coo.add(row, col,
+                    0.1 * hash_unit(opts.seed ^ 0x77ULL,
+                                    static_cast<std::uint64_t>(node), lo,
+                                    hi));
+          }
+        }
+        diag_emitted = true;
+      };
+
+      for (const auto& [nbr, w] : row_blocks) {
+        if (!diag_emitted && nbr > node) emit_diag_block();
+        const auto lo = static_cast<std::uint64_t>(std::min(node, nbr));
+        const auto hi = static_cast<std::uint64_t>(std::max(node, nbr));
+        for (index_t s = 0; s < dof; ++s) {
+          // Intra-block entry (r, s) of block (node, nbr). For symmetry,
+          // block(v, u) must equal block(u, v)^T: hash on the unordered
+          // node pair with (r, s) swapped when node > nbr.
+          const index_t hr = node < nbr ? r : s;
+          const index_t hs = node < nbr ? s : r;
+          double v = w * (hr == hs ? 1.0
+                                   : 0.3 * (hash_unit(opts.seed ^ 0x33ULL, lo,
+                                                      hi,
+                                                      static_cast<std::uint64_t>(
+                                                          hr * dof + hs)) -
+                                            0.5));
+          if (opts.unsymmetric && hr != hs)
+            v *= 0.9 + 0.2 * hash_unit(opts.seed ^ 0x99ULL,
+                                       static_cast<std::uint64_t>(node),
+                                       static_cast<std::uint64_t>(nbr),
+                                       static_cast<std::uint64_t>(r * dof + s));
+          coo.add(row, nbr * dof + s, v);
+        }
+      }
+      if (!diag_emitted) emit_diag_block();
+    }
+
+    // Advance grid coordinate (last dimension fastest).
+    std::size_t d = ndims;
+    while (d-- > 0) {
+      if (++coord[d] < shape.dims[d]) break;
+      coord[d] = 0;
+    }
+  }
+
+  return CsrMatrix<double>::from_sorted_coo(coo);
+}
+
+CsrMatrix<double> make_laplacian_2d(index_t nx, index_t ny,
+                                    std::uint64_t seed) {
+  BlockStencilOptions opts;
+  opts.kind = StencilKind::kStar;
+  opts.seed = seed;
+  return make_block_stencil({nx, ny}, opts);
+}
+
+CsrMatrix<double> make_laplacian_3d(index_t nx, index_t ny, index_t nz,
+                                    std::uint64_t seed) {
+  BlockStencilOptions opts;
+  opts.kind = StencilKind::kStar;
+  opts.seed = seed;
+  return make_block_stencil({nx, ny, nz}, opts);
+}
+
+}  // namespace fbmpk::gen

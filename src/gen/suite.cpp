@@ -1,0 +1,160 @@
+#include "gen/suite.hpp"
+
+#include <cmath>
+#include <functional>
+#include <map>
+
+#include "gen/kkt.hpp"
+#include "gen/random_sparse.hpp"
+#include "gen/stencil.hpp"
+#include "support/error.hpp"
+
+namespace fbmpk::gen {
+
+namespace {
+
+// Scale a linear grid extent so node count grows ~linearly with `scale`.
+index_t scaled(index_t base, double scale, double dimensionality) {
+  const double s = std::pow(scale, 1.0 / dimensionality);
+  const auto v = static_cast<index_t>(std::lround(base * s));
+  return std::max<index_t>(2, v);
+}
+
+CsrMatrix<double> box3d(index_t extent, int dof, double dropout, bool unsym,
+                        std::uint64_t seed, double scale) {
+  BlockStencilOptions o;
+  o.kind = StencilKind::kBox;
+  o.dof = dof;
+  o.dropout = dropout;
+  o.unsymmetric = unsym;
+  o.seed = seed;
+  const index_t e = scaled(extent, scale, 3.0);
+  return make_block_stencil({e, e, e}, o);
+}
+
+CsrMatrix<double> box2d(index_t extent, int dof, std::uint64_t seed,
+                        double scale) {
+  BlockStencilOptions o;
+  o.kind = StencilKind::kBox;
+  o.dof = dof;
+  o.seed = seed;
+  const index_t e = scaled(extent, scale, 2.0);
+  return make_block_stencil({e, e}, o);
+}
+
+CsrMatrix<double> star3d(index_t extent, int dof, std::uint64_t seed,
+                         double scale) {
+  BlockStencilOptions o;
+  o.kind = StencilKind::kStar;
+  o.dof = dof;
+  o.seed = seed;
+  const index_t e = scaled(extent, scale, 3.0);
+  return make_block_stencil({e, e, e}, o);
+}
+
+struct Recipe {
+  std::string description;
+  bool symmetric;
+  double paper_nnz_per_row;
+  std::function<CsrMatrix<double>(double scale)> build;
+};
+
+const std::map<std::string, Recipe>& recipes() {
+  static const std::map<std::string, Recipe> table = {
+      {"af_shell10",
+       {"2D 9-pt shell, 4 dof/node", true, 34.93,
+        [](double s) { return box2d(125, 4, 0xaf10, s); }}},
+      {"audikw_1",
+       {"3D 27-pt FEM, 3 dof/node", true, 82.28,
+        [](double s) { return box3d(26, 3, 0.0, false, 0xaad1, s); }}},
+      {"cage14",
+       {"banded random digraph, ~18 nnz/row", false, 18.02,
+        [](double s) {
+          RandomBandedOptions o;
+          o.bandwidth = 600;  // cage matrices are strongly banded/clustered
+          o.avg_row_nnz = 18.0;
+          o.symmetric = false;
+          o.seed = 0xca9e14;
+          return make_random_banded(
+              std::max<index_t>(64, static_cast<index_t>(94000 * s)), o);
+        }}},
+      {"cant",
+       {"2D 9-pt FEM, 7 dof/node (small)", true, 64.17,
+        [](double s) { return box2d(94, 7, 0xca27, s); }}},
+      {"Flan_1565",
+       {"3D 27-pt FEM, 3 dof, 8% dropout", true, 75.03,
+        [](double s) { return box3d(27, 3, 0.08, false, 0xf1a2, s); }}},
+      {"G3_circuit",
+       {"2D 5-pt grid + random circuit nets", true, 4.83,
+        [](double s) {
+          CircuitOptions o;
+          o.long_range_fraction = 0.05;
+          o.seed = 0x63c1;
+          const index_t e = scaled(300, s, 2.0);
+          return make_circuit_like(e, e, o);
+        }}},
+      {"Hook_1498",
+       {"3D 7-pt FEM, 6 dof/node", true, 40.67,
+        [](double s) { return star3d(21, 6, 0x800c, s); }}},
+      {"inline_1",
+       {"3D 27-pt FEM, 3 dof, 10% dropout", true, 73.09,
+        [](double s) { return box3d(26, 3, 0.10, false, 0x111e, s); }}},
+      {"ldoor",
+       {"3D 27-pt FEM, 2 dof, 10% dropout", true, 48.86,
+        [](double s) { return box3d(31, 2, 0.10, false, 0x1d00, s); }}},
+      {"ML_Geer",
+       {"3D 27-pt FEM, 3 dof, unsymmetric", false, 73.72,
+        [](double s) { return box3d(26, 3, 0.08, true, 0x313ee, s); }}},
+      {"nlpkkt120",
+       {"KKT saddle-point over 3D 27-pt Hessian", true, 27.34,
+        [](double s) {
+          KktOptions o;
+          o.seed = 0x1207;
+          const index_t e = scaled(32, s, 3.0);
+          return make_kkt_saddle(e, e, e, o);
+        }}},
+      {"pwtk",
+       {"3D 27-pt FEM, 2 dof/node", true, 53.39,
+        [](double s) { return box3d(31, 2, 0.0, false, 0x9717, s); }}},
+      {"Serena",
+       {"3D 27-pt FEM, 2 dof, 15% dropout", true, 46.38,
+        [](double s) { return box3d(31, 2, 0.15, false, 0x5e8e, s); }}},
+      {"shipsec1",
+       {"3D 27-pt FEM, 2 dof/node (small)", true, 55.46,
+        [](double s) { return box3d(26, 2, 0.0, false, 0x5419, s); }}},
+  };
+  return table;
+}
+
+}  // namespace
+
+const std::vector<std::string>& suite_names() {
+  static const std::vector<std::string> names = {
+      "af_shell10", "audikw_1", "cage14",    "cant",      "Flan_1565",
+      "G3_circuit", "Hook_1498", "inline_1", "ldoor",     "ML_Geer",
+      "nlpkkt120",  "pwtk",      "Serena",   "shipsec1"};
+  return names;
+}
+
+SuiteMatrix make_suite_matrix(const std::string& name, double scale) {
+  FBMPK_CHECK_MSG(scale > 0.0, "scale must be positive");
+  const auto it = recipes().find(name);
+  FBMPK_CHECK_MSG(it != recipes().end(), "unknown suite matrix: " << name);
+  SuiteMatrix out;
+  out.name = name;
+  out.description = it->second.description;
+  out.symmetric = it->second.symmetric;
+  out.paper_nnz_per_row = it->second.paper_nnz_per_row;
+  out.matrix = it->second.build(scale);
+  return out;
+}
+
+std::vector<SuiteMatrix> make_suite(double scale) {
+  std::vector<SuiteMatrix> out;
+  out.reserve(suite_names().size());
+  for (const auto& name : suite_names())
+    out.push_back(make_suite_matrix(name, scale));
+  return out;
+}
+
+}  // namespace fbmpk::gen

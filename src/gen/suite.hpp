@@ -1,0 +1,37 @@
+// The evaluation suite: synthetic analogues of the paper's Table II.
+//
+// The 14 SuiteSparse inputs are unavailable offline, so each is replaced
+// by a generated matrix of the same structural class with matching
+// nonzeros-per-row and symmetry (see DESIGN.md §4-5). `scale` multiplies
+// the row count; scale = 1 gives ~35k-95k rows and 0.4-4.5M nonzeros per
+// matrix — large enough that matrices exceed typical LLCs, small enough
+// that the full evaluation runs in minutes on one core.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace fbmpk::gen {
+
+/// Descriptor + generated matrix for one suite member.
+struct SuiteMatrix {
+  std::string name;        ///< paper input name (e.g. "audikw_1")
+  std::string description; ///< analogue generator summary
+  bool symmetric = true;   ///< symmetry of the paper's input
+  double paper_nnz_per_row = 0.0;  ///< Table II #nnz/N for reference
+  CsrMatrix<double> matrix;
+};
+
+/// Names of all 14 suite members, in Table II order.
+const std::vector<std::string>& suite_names();
+
+/// Generate a single suite member by name. Throws on unknown name or
+/// non-positive scale.
+SuiteMatrix make_suite_matrix(const std::string& name, double scale = 1.0);
+
+/// Generate the entire suite (14 matrices).
+std::vector<SuiteMatrix> make_suite(double scale = 1.0);
+
+}  // namespace fbmpk::gen

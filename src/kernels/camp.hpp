@@ -1,0 +1,236 @@
+// Communication-avoiding blocked MPK (CA-MPK) — the related-work
+// comparator family of the paper (§VI): LB-MPK [Alappat et al. 2022]
+// and the PA1 matrix-powers kernel of Demmel, Hoemmen, Mohiyuddin &
+// Yelick [46]. The paper could not build LB-MPK's code; we implement
+// the classical algorithm the family is built on so the comparison can
+// be reproduced.
+//
+// Idea: partition rows into cache-sized blocks. For block B, the rows
+// needed to compute k powers of its entries are reach_k(B) — everything
+// within graph distance k. Gather that subregion once, compute k local
+// SpMVs entirely in cache, emit B's rows of every power. The matrix is
+// streamed ONCE per k powers — even better than FBMPK's (k+1)/2 — but
+// the ghost region grows with every power, so redundant computation
+// (and the gathered working set) expands with k. That expansion is
+// precisely why LB-MPK's performance "drops significantly with a larger
+// k (~6-8)" (paper §VI) while FBMPK keeps only two live iterates.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "reorder/graph.hpp"
+#include "sparse/csr.hpp"
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+/// Preprocessing product: per block, the gathered subregion.
+template <class T>
+struct CampPlan {
+  index_t rows = 0;
+  int k = 0;
+
+  struct Block {
+    index_t row_begin = 0;  ///< owned rows [row_begin, row_end)
+    index_t row_end = 0;
+    /// Rows of the reach-k region, ascending; the owned rows are a
+    /// prefix-independent subset identified by local_owned.
+    std::vector<index_t> region;
+    std::vector<index_t> local_owned;  ///< indices into region of owned rows
+    /// Local CSR over the region. Columns outside the region would need
+    /// deeper powers than available and are dropped for rows whose
+    /// distance budget is exhausted — never happens for rows whose
+    /// required depth is within reach (correctness is in the tests).
+    CsrMatrix<T> local;
+  };
+  std::vector<Block> blocks;
+
+  /// Redundancy: total gathered region rows / matrix rows (1 = none).
+  double redundancy() const {
+    std::size_t total = 0;
+    for (const auto& b : blocks) total += b.region.size();
+    return rows == 0 ? 1.0
+                     : static_cast<double>(total) / static_cast<double>(rows);
+  }
+
+  /// Total gathered nonzeros across blocks / matrix nnz.
+  double nnz_redundancy(index_t matrix_nnz) const {
+    std::size_t total = 0;
+    for (const auto& b : blocks) total += b.local.nnz();
+    return matrix_nnz == 0 ? 1.0
+                           : static_cast<double>(total) /
+                                 static_cast<double>(matrix_nnz);
+  }
+};
+
+/// Build the CA-MPK plan: `num_blocks` contiguous row blocks, ghost
+/// regions of depth k following the directed dependency pattern of `a`.
+template <class T>
+CampPlan<T> camp_build(const CsrMatrix<T>& a, int k, index_t num_blocks);
+
+/// Compute all powers: out[p*n + i] = (A^p x0)[i], p in [0, k].
+template <class T>
+void camp_power_all(const CsrMatrix<T>& a, const CampPlan<T>& plan,
+                    std::span<const T> x0, std::span<T> out);
+
+/// y = A^k x0 through the blocked pipeline.
+template <class T>
+void camp_power(const CsrMatrix<T>& a, const CampPlan<T>& plan,
+                std::span<const T> x0, std::span<T> y);
+
+// ---------------------------------------------------------------------------
+// Implementation
+// ---------------------------------------------------------------------------
+
+template <class T>
+CampPlan<T> camp_build(const CsrMatrix<T>& a, int k, index_t num_blocks) {
+  FBMPK_CHECK(a.rows() == a.cols());
+  FBMPK_CHECK(k >= 1);
+  const index_t n = a.rows();
+  num_blocks = std::clamp<index_t>(num_blocks, 1, n);
+
+  // Reach computation uses the directed dependency: to produce row i of
+  // A^{p+1} x we need rows ci(i) of A^p x, i.e. follow out-edges of A's
+  // pattern (not the symmetrized graph).
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+
+  CampPlan<T> plan;
+  plan.rows = n;
+  plan.k = k;
+  plan.blocks.resize(static_cast<std::size_t>(num_blocks));
+
+  std::vector<index_t> stamp(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> frontier, next, region;
+
+  const index_t base = n / num_blocks;
+  const index_t extra = n % num_blocks;
+  index_t begin = 0;
+  for (index_t blk = 0; blk < num_blocks; ++blk) {
+    auto& b = plan.blocks[blk];
+    b.row_begin = begin;
+    b.row_end = begin + base + (blk < extra ? 1 : 0);
+    begin = b.row_end;
+
+    // BFS to depth k from the owned rows.
+    region.clear();
+    frontier.clear();
+    for (index_t i = b.row_begin; i < b.row_end; ++i) {
+      stamp[i] = blk;
+      region.push_back(i);
+      frontier.push_back(i);
+    }
+    for (int depth = 0; depth < k; ++depth) {
+      next.clear();
+      for (index_t v : frontier) {
+        for (index_t e = rp[v]; e < rp[v + 1]; ++e) {
+          const index_t u = ci[e];
+          if (stamp[u] != blk) {
+            stamp[u] = blk;
+            region.push_back(u);
+            next.push_back(u);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+    std::sort(region.begin(), region.end());
+    b.region = region;
+
+    // Global -> local index map for the region (dense scratch, reused
+    // across blocks).
+    static thread_local std::vector<index_t> dense_map;
+    dense_map.assign(static_cast<std::size_t>(n), -1);
+    for (std::size_t l = 0; l < region.size(); ++l)
+      dense_map[region[l]] = static_cast<index_t>(l);
+
+    b.local_owned.reserve(b.row_end - b.row_begin);
+    for (index_t i = b.row_begin; i < b.row_end; ++i)
+      b.local_owned.push_back(dense_map[i]);
+
+    // Gather the local CSR: rows = region; columns remapped to local
+    // ids; edges leaving the region are dropped (they are only ever
+    // used by rows whose remaining depth is 0, where the value does
+    // not feed an owned output).
+    CooMatrix<T> coo(static_cast<index_t>(region.size()),
+                     static_cast<index_t>(region.size()));
+    const auto va = a.values();
+    for (std::size_t l = 0; l < region.size(); ++l) {
+      const index_t g = region[l];
+      for (index_t e = rp[g]; e < rp[g + 1]; ++e) {
+        const index_t lc = dense_map[ci[e]];
+        if (lc >= 0) coo.add(static_cast<index_t>(l), lc, va[e]);
+      }
+    }
+    b.local = CsrMatrix<T>::from_sorted_coo(coo);
+  }
+  return plan;
+}
+
+template <class T>
+void camp_power_all(const CsrMatrix<T>& a, const CampPlan<T>& plan,
+                    std::span<const T> x0, std::span<T> out) {
+  const index_t n = a.rows();
+  FBMPK_CHECK(plan.rows == n);
+  FBMPK_CHECK(x0.size() == static_cast<std::size_t>(n));
+  const int k = plan.k;
+  FBMPK_CHECK(out.size() == static_cast<std::size_t>(n) *
+                                static_cast<std::size_t>(k + 1));
+  std::copy(x0.begin(), x0.end(), out.begin());
+
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+  {
+    AlignedVector<T> cur, nxt;
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic, 1)
+#endif
+    for (std::size_t blk = 0; blk < plan.blocks.size(); ++blk) {
+      const auto& b = plan.blocks[blk];
+      const auto m = b.region.size();
+      cur.resize(m);
+      nxt.resize(m);
+      for (std::size_t l = 0; l < m; ++l) cur[l] = x0[b.region[l]];
+
+      const index_t* lrp = b.local.row_ptr().data();
+      const index_t* lci = b.local.col_idx().data();
+      const T* lva = b.local.values().data();
+
+      for (int p = 1; p <= k; ++p) {
+        // Local SpMV. Rows farther than (k - p) from the owned block
+        // now hold garbage (their out-of-region deps were dropped), but
+        // they are never read by rows that still matter.
+        for (std::size_t l = 0; l < m; ++l) {
+          T sum{};
+          for (index_t e = lrp[l]; e < lrp[l + 1]; ++e)
+            sum += lva[e] * cur[lci[e]];
+          nxt[l] = sum;
+        }
+        cur.swap(nxt);
+        // Emit owned rows of power p.
+        T* dst = out.data() + static_cast<std::size_t>(p) * n;
+        for (index_t i = b.row_begin; i < b.row_end; ++i)
+          dst[i] = cur[b.local_owned[i - b.row_begin]];
+      }
+    }
+  }
+}
+
+template <class T>
+void camp_power(const CsrMatrix<T>& a, const CampPlan<T>& plan,
+                std::span<const T> x0, std::span<T> y) {
+  const index_t n = a.rows();
+  FBMPK_CHECK(y.size() == static_cast<std::size_t>(n));
+  // A dedicated single-power path would save the basis storage; CA-MPK
+  // is a comparator here, so reuse power_all for clarity.
+  AlignedVector<T> basis(static_cast<std::size_t>(n) *
+                         static_cast<std::size_t>(plan.k + 1));
+  camp_power_all(a, plan, x0, std::span<T>(basis));
+  std::copy(basis.end() - n, basis.end(), y.begin());
+}
+
+}  // namespace fbmpk

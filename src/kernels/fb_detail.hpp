@@ -1,0 +1,186 @@
+// Row-level building blocks shared by the serial and parallel FBMPK
+// sweeps. Both kernels MUST use these helpers so their floating-point
+// operation order is identical — the test suite asserts bitwise equality
+// between serial and color-scheduled execution.
+//
+// Each helper is 4-way unrolled with independent accumulator pairs: the
+// forward/backward sweeps accumulate TWO dot products per row (the
+// current iterate and the pipelined next iterate), so a plain loop
+// carries two dependent FMA chains; splitting each into (a, b) partial
+// sums restores the instruction-level parallelism the unrolled baseline
+// SpMV enjoys.
+#pragma once
+
+#include "kernels/tracer.hpp"
+#include "sparse/coo.hpp"
+
+namespace fbmpk::detail {
+
+/// BtB layout: accumulate s0 += row·xy[2c], s1 += row·xy[2c+1].
+template <class T, MemoryTracer Tr>
+inline void row_dot2_btb(const index_t* col, const T* val, index_t lo,
+                         index_t hi, const T* xy, T& s0, T& s1, Tr& tr) {
+  T a0{}, a1{}, b0{}, b1{}, c0s{}, c1s{}, d0{}, d1{};
+  index_t j = lo;
+  for (; j + 3 < hi; j += 4) {
+    const index_t c0 = col[j];
+    const index_t c1 = col[j + 1];
+    const index_t c2 = col[j + 2];
+    const index_t c3 = col[j + 3];
+    tr.read(col + j);
+    tr.read(val + j);
+    tr.read(col + j + 1);
+    tr.read(val + j + 1);
+    tr.read(col + j + 2);
+    tr.read(val + j + 2);
+    tr.read(col + j + 3);
+    tr.read(val + j + 3);
+    tr.read(xy + 2 * c0);
+    tr.read(xy + 2 * c0 + 1);
+    tr.read(xy + 2 * c1);
+    tr.read(xy + 2 * c1 + 1);
+    tr.read(xy + 2 * c2);
+    tr.read(xy + 2 * c2 + 1);
+    tr.read(xy + 2 * c3);
+    tr.read(xy + 2 * c3 + 1);
+    a0 += val[j] * xy[2 * c0];
+    a1 += val[j] * xy[2 * c0 + 1];
+    b0 += val[j + 1] * xy[2 * c1];
+    b1 += val[j + 1] * xy[2 * c1 + 1];
+    c0s += val[j + 2] * xy[2 * c2];
+    c1s += val[j + 2] * xy[2 * c2 + 1];
+    d0 += val[j + 3] * xy[2 * c3];
+    d1 += val[j + 3] * xy[2 * c3 + 1];
+  }
+  for (; j < hi; ++j) {
+    tr.read(col + j);
+    tr.read(val + j);
+    const index_t c = col[j];
+    tr.read(xy + 2 * c);
+    tr.read(xy + 2 * c + 1);
+    a0 += val[j] * xy[2 * c];
+    a1 += val[j] * xy[2 * c + 1];
+  }
+  s0 += (a0 + b0) + (c0s + d0);
+  s1 += (a1 + b1) + (c1s + d1);
+}
+
+/// Split layout: accumulate s0 += row·xa, s1 += row·xb.
+template <class T, MemoryTracer Tr>
+inline void row_dot2_split(const index_t* col, const T* val, index_t lo,
+                           index_t hi, const T* xa, const T* xb, T& s0,
+                           T& s1, Tr& tr) {
+  T a0{}, a1{}, b0{}, b1{}, c0s{}, c1s{}, d0{}, d1{};
+  index_t j = lo;
+  for (; j + 3 < hi; j += 4) {
+    const index_t c0 = col[j];
+    const index_t c1 = col[j + 1];
+    const index_t c2 = col[j + 2];
+    const index_t c3 = col[j + 3];
+    tr.read(col + j);
+    tr.read(val + j);
+    tr.read(col + j + 1);
+    tr.read(val + j + 1);
+    tr.read(col + j + 2);
+    tr.read(val + j + 2);
+    tr.read(col + j + 3);
+    tr.read(val + j + 3);
+    tr.read(xa + c0);
+    tr.read(xb + c0);
+    tr.read(xa + c1);
+    tr.read(xb + c1);
+    tr.read(xa + c2);
+    tr.read(xb + c2);
+    tr.read(xa + c3);
+    tr.read(xb + c3);
+    a0 += val[j] * xa[c0];
+    a1 += val[j] * xb[c0];
+    b0 += val[j + 1] * xa[c1];
+    b1 += val[j + 1] * xb[c1];
+    c0s += val[j + 2] * xa[c2];
+    c1s += val[j + 2] * xb[c2];
+    d0 += val[j + 3] * xa[c3];
+    d1 += val[j + 3] * xb[c3];
+  }
+  for (; j < hi; ++j) {
+    tr.read(col + j);
+    tr.read(val + j);
+    const index_t c = col[j];
+    tr.read(xa + c);
+    tr.read(xb + c);
+    a0 += val[j] * xa[c];
+    a1 += val[j] * xb[c];
+  }
+  s0 += (a0 + b0) + (c0s + d0);
+  s1 += (a1 + b1) + (c1s + d1);
+}
+
+/// Single dot against one BtB stream (offset 0 = even slots, 1 = odd):
+/// s += row·xy[2c + offset]. Used by head/tail and the non-priming final
+/// backward sweep.
+template <class T, MemoryTracer Tr>
+inline void row_dot1_btb(const index_t* col, const T* val, index_t lo,
+                         index_t hi, const T* xy, int offset, T& s, Tr& tr) {
+  T a{}, b{}, c2{}, d2{};
+  index_t j = lo;
+  for (; j + 3 < hi; j += 4) {
+    tr.read(col + j);
+    tr.read(val + j);
+    tr.read(col + j + 1);
+    tr.read(val + j + 1);
+    tr.read(col + j + 2);
+    tr.read(val + j + 2);
+    tr.read(col + j + 3);
+    tr.read(val + j + 3);
+    tr.read(xy + 2 * col[j] + offset);
+    tr.read(xy + 2 * col[j + 1] + offset);
+    tr.read(xy + 2 * col[j + 2] + offset);
+    tr.read(xy + 2 * col[j + 3] + offset);
+    a += val[j] * xy[2 * col[j] + offset];
+    b += val[j + 1] * xy[2 * col[j + 1] + offset];
+    c2 += val[j + 2] * xy[2 * col[j + 2] + offset];
+    d2 += val[j + 3] * xy[2 * col[j + 3] + offset];
+  }
+  for (; j < hi; ++j) {
+    tr.read(col + j);
+    tr.read(val + j);
+    tr.read(xy + 2 * col[j] + offset);
+    a += val[j] * xy[2 * col[j] + offset];
+  }
+  s += (a + b) + (c2 + d2);
+}
+
+/// Single dot against a plain array: s += row·x.
+template <class T, MemoryTracer Tr>
+inline void row_dot1_plain(const index_t* col, const T* val, index_t lo,
+                           index_t hi, const T* x, T& s, Tr& tr) {
+  T a{}, b{}, c2{}, d2{};
+  index_t j = lo;
+  for (; j + 3 < hi; j += 4) {
+    tr.read(col + j);
+    tr.read(val + j);
+    tr.read(col + j + 1);
+    tr.read(val + j + 1);
+    tr.read(col + j + 2);
+    tr.read(val + j + 2);
+    tr.read(col + j + 3);
+    tr.read(val + j + 3);
+    tr.read(x + col[j]);
+    tr.read(x + col[j + 1]);
+    tr.read(x + col[j + 2]);
+    tr.read(x + col[j + 3]);
+    a += val[j] * x[col[j]];
+    b += val[j + 1] * x[col[j + 1]];
+    c2 += val[j + 2] * x[col[j + 2]];
+    d2 += val[j + 3] * x[col[j + 3]];
+  }
+  for (; j < hi; ++j) {
+    tr.read(col + j);
+    tr.read(val + j);
+    tr.read(x + col[j]);
+    a += val[j] * x[col[j]];
+  }
+  s += (a + b) + (c2 + d2);
+}
+
+}  // namespace fbmpk::detail

@@ -1,0 +1,157 @@
+// Level-scheduled parallel FBMPK — the alternative scheduler from the
+// paper's discussion (§VII), built on reorder/level_schedule.hpp.
+//
+// Unlike the ABMC kernel this operates on the ORIGINAL matrix order: the
+// forward sweep executes dependency levels of L in sequence (rows within
+// a level in parallel), the backward sweep executes levels of U. The
+// per-row arithmetic is the shared fb_detail code, so results are
+// bitwise identical to serial FBMPK on the same matrix.
+#pragma once
+
+#include <span>
+
+#include "kernels/fb_detail.hpp"
+#include "kernels/fbmpk.hpp"
+#include "reorder/level_schedule.hpp"
+#include "sparse/split.hpp"
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+/// Forward+backward schedules for one split matrix.
+struct LevelSchedulePair {
+  LevelSchedule forward;   ///< levels of L (top-down sweep)
+  LevelSchedule backward;  ///< levels of U (bottom-up sweep)
+
+  template <class T>
+  static LevelSchedulePair of(const TriangularSplit<T>& s) {
+    return {forward_levels(s.lower), backward_levels(s.upper)};
+  }
+};
+
+/// Level-scheduled sweep; same Emit contract as the other kernels.
+template <class T, class Emit>
+void fbmpk_level_sweep(const TriangularSplit<T>& s,
+                       const LevelSchedulePair& sched,
+                       std::span<const T> x0, int k, FbWorkspace<T>& ws,
+                       Emit&& emit) {
+  const index_t n = s.lower.rows();
+  FBMPK_CHECK(s.upper.rows() == n &&
+              s.diag.size() == static_cast<std::size_t>(n));
+  FBMPK_CHECK(x0.size() == static_cast<std::size_t>(n));
+  FBMPK_CHECK(k >= 1);
+  FBMPK_CHECK_MSG(
+      sched.forward.rows.size() == static_cast<std::size_t>(n) &&
+          sched.backward.rows.size() == static_cast<std::size_t>(n),
+      "level schedule does not cover the matrix");
+  ws.resize(n);
+
+  const index_t* lrp = s.lower.row_ptr().data();
+  const index_t* lci = s.lower.col_idx().data();
+  const T* lva = s.lower.values().data();
+  const index_t* urp = s.upper.row_ptr().data();
+  const index_t* uci = s.upper.col_idx().data();
+  const T* uva = s.upper.values().data();
+  const T* d = s.diag.data();
+  T* xy = ws.xy.data();
+  T* tmp = ws.tmp.data();
+  const T* x0p = x0.data();
+
+  const int pairs = k / 2;
+  NullTracer tr;
+
+#ifdef _OPENMP
+#pragma omp parallel default(shared)
+#endif
+  {
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (index_t i = 0; i < n; ++i) xy[2 * i] = x0p[i];
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (index_t i = 0; i < n; ++i) {
+      T sum{};
+      detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 0, sum, tr);
+      tmp[i] = sum;
+    }
+
+    for (int it = 0; it < pairs; ++it) {
+      const int p_odd = 2 * it + 1;
+      const int p_even = 2 * it + 2;
+
+      for (index_t l = 0; l < sched.forward.num_levels; ++l) {
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+        for (index_t r = sched.forward.level_ptr[l];
+             r < sched.forward.level_ptr[l + 1]; ++r) {
+          const index_t i = sched.forward.rows[r];
+          T sum0 = tmp[i] + d[i] * xy[2 * i];
+          T sum1{};
+          detail::row_dot2_btb(lci, lva, lrp[i], lrp[i + 1], xy, sum0, sum1,
+                               tr);
+          xy[2 * i + 1] = sum0;
+          emit(p_odd, i, sum0);
+          tmp[i] = sum1 + d[i] * sum0;
+        }  // barrier: level l done before l+1
+      }
+
+      const bool prime_next = !(it == pairs - 1 && k % 2 == 0);
+      for (index_t l = 0; l < sched.backward.num_levels; ++l) {
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+        for (index_t r = sched.backward.level_ptr[l];
+             r < sched.backward.level_ptr[l + 1]; ++r) {
+          const index_t i = sched.backward.rows[r];
+          T sum0 = tmp[i];
+          if (prime_next) {
+            T sum1{};
+            detail::row_dot2_btb(uci, uva, urp[i], urp[i + 1], xy, sum1,
+                                 sum0, tr);
+            xy[2 * i] = sum0;
+            emit(p_even, i, sum0);
+            tmp[i] = sum1;
+          } else {
+            detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 1, sum0,
+                                 tr);
+            xy[2 * i] = sum0;
+            emit(p_even, i, sum0);
+          }
+        }
+      }
+    }
+
+    if (k % 2 == 1) {
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+      for (index_t i = 0; i < n; ++i) {
+        T sum = tmp[i] + d[i] * xy[2 * i];
+        detail::row_dot1_btb(lci, lva, lrp[i], lrp[i + 1], xy, 0, sum, tr);
+        emit(k, i, sum);
+      }
+    }
+  }
+}
+
+/// y = A^k x0 with the level schedule. k = 0 copies x0.
+template <class T>
+void fbmpk_level_power(const TriangularSplit<T>& s,
+                       const LevelSchedulePair& sched, std::span<const T> x0,
+                       int k, std::span<T> y, FbWorkspace<T>& ws) {
+  FBMPK_CHECK(y.size() == x0.size());
+  FBMPK_CHECK(k >= 0);
+  if (k == 0) {
+    std::copy(x0.begin(), x0.end(), y.begin());
+    return;
+  }
+  T* yp = y.data();
+  fbmpk_level_sweep(s, sched, x0, k, ws, [&](int p, index_t i, T v) {
+    if (p == k) yp[i] = v;
+  });
+}
+
+}  // namespace fbmpk

@@ -1,0 +1,193 @@
+// Parallel FBMPK under the ABMC color schedule (paper Algorithm 2,
+// §III-D/E).
+//
+// Preconditions: the TriangularSplit must come from the ABMC-*permuted*
+// matrix, and the AbmcOrdering must be the schedule that produced that
+// permutation. Forward sweeps walk colors in ascending order, backward
+// sweeps descending; blocks within one color run in parallel (their
+// rows share no matrix edges by the coloring invariant), with one
+// barrier per color per sweep. Head/tail sweeps are plain row-parallel
+// SpMVs — they only read completed vectors.
+//
+// The computation is exactly the serial FBMPK of the permuted matrix
+// (same FP operations per row; only row completion order changes), so
+// results are bitwise identical to the serial kernel.
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "kernels/fb_detail.hpp"
+#include "kernels/fbmpk.hpp"
+#include "reorder/abmc.hpp"
+#include "sparse/split.hpp"
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+/// Color-scheduled parallel sweep. emit(p, i, v) fires once per power
+/// p in [1, k] and (permuted) row i; it may be called concurrently for
+/// distinct rows and must be safe under that.
+template <class T, class Emit>
+void fbmpk_parallel_sweep(const TriangularSplit<T>& s, const AbmcOrdering& o,
+                          std::span<const T> x0, int k, FbWorkspace<T>& ws,
+                          Emit&& emit) {
+  const index_t n = s.lower.rows();
+  FBMPK_CHECK(s.upper.rows() == n &&
+              s.diag.size() == static_cast<std::size_t>(n));
+  FBMPK_CHECK(x0.size() == static_cast<std::size_t>(n));
+  FBMPK_CHECK(k >= 1);
+  FBMPK_CHECK_MSG(!o.block_ptr.empty() && o.block_ptr.back() == n,
+                  "schedule does not cover the matrix");
+  ws.resize(n);
+
+  const index_t* lrp = s.lower.row_ptr().data();
+  const index_t* lci = s.lower.col_idx().data();
+  const T* lva = s.lower.values().data();
+  const index_t* urp = s.upper.row_ptr().data();
+  const index_t* uci = s.upper.col_idx().data();
+  const T* uva = s.upper.values().data();
+  const T* d = s.diag.data();
+  T* xy = ws.xy.data();
+  T* tmp = ws.tmp.data();
+  const T* x0p = x0.data();
+
+  const int pairs = k / 2;
+  const index_t num_colors = o.num_colors;
+  NullTracer tr;  // row helpers are shared with the traced serial kernel
+
+#ifdef _OPENMP
+#pragma omp parallel default(shared)
+#endif
+  {
+    // Head: even slots <- x0; tmp <- U·x0. Row-parallel, no coloring
+    // needed (reads only x0).
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (index_t i = 0; i < n; ++i) xy[2 * i] = x0p[i];
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (index_t i = 0; i < n; ++i) {
+      T sum{};
+      detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 0, sum, tr);
+      tmp[i] = sum;
+    }
+
+    for (int it = 0; it < pairs; ++it) {
+      const int p_odd = 2 * it + 1;
+      const int p_even = 2 * it + 2;
+
+      // Forward: colors ascending; blocks of one color in parallel;
+      // rows within a block top-down.
+      for (index_t c = 0; c < num_colors; ++c) {
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+        for (index_t b = o.color_ptr[c]; b < o.color_ptr[c + 1]; ++b) {
+          for (index_t i = o.block_ptr[b]; i < o.block_ptr[b + 1]; ++i) {
+            T sum0 = tmp[i] + d[i] * xy[2 * i];
+            T sum1{};
+            detail::row_dot2_btb(lci, lva, lrp[i], lrp[i + 1], xy, sum0,
+                                 sum1, tr);
+            xy[2 * i + 1] = sum0;
+            emit(p_odd, i, sum0);
+            tmp[i] = sum1 + d[i] * sum0;
+          }
+        }  // implicit barrier: color c complete before c+1 starts
+      }
+
+      // Backward: colors descending; rows within a block bottom-up.
+      const bool prime_next = !(it == pairs - 1 && k % 2 == 0);
+      for (index_t c = num_colors; c-- > 0;) {
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+        for (index_t b = o.color_ptr[c]; b < o.color_ptr[c + 1]; ++b) {
+          for (index_t i = o.block_ptr[b + 1]; i-- > o.block_ptr[b];) {
+            T sum0 = tmp[i];
+            if (prime_next) {
+              T sum1{};
+              detail::row_dot2_btb(uci, uva, urp[i], urp[i + 1], xy, sum1,
+                                   sum0, tr);
+              xy[2 * i] = sum0;
+              emit(p_even, i, sum0);
+              tmp[i] = sum1;
+            } else {
+              detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 1,
+                                   sum0, tr);
+              xy[2 * i] = sum0;
+              emit(p_even, i, sum0);
+            }
+          }
+        }
+      }
+    }
+
+    if (k % 2 == 1) {
+      // Tail: reads only completed even slots and tmp; row-parallel.
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+      for (index_t i = 0; i < n; ++i) {
+        T sum = tmp[i] + d[i] * xy[2 * i];
+        detail::row_dot1_btb(lci, lva, lrp[i], lrp[i + 1], xy, 0, sum, tr);
+        emit(k, i, sum);
+      }
+    }
+  }
+}
+
+/// y = A^k x0, parallel; operates in the permuted index space.
+template <class T>
+void fbmpk_parallel_power(const TriangularSplit<T>& s, const AbmcOrdering& o,
+                          std::span<const T> x0, int k, std::span<T> y,
+                          FbWorkspace<T>& ws) {
+  FBMPK_CHECK(y.size() == x0.size());
+  FBMPK_CHECK(k >= 0);
+  if (k == 0) {
+    std::copy(x0.begin(), x0.end(), y.begin());
+    return;
+  }
+  T* yp = y.data();
+  fbmpk_parallel_sweep(s, o, x0, k, ws, [&](int p, index_t i, T v) {
+    if (p == k) yp[i] = v;
+  });
+}
+
+/// Krylov basis, parallel: out[p*n + i] = (A^p x0)[i], p in [0, k].
+template <class T>
+void fbmpk_parallel_power_all(const TriangularSplit<T>& s,
+                              const AbmcOrdering& o, std::span<const T> x0,
+                              int k, std::span<T> out, FbWorkspace<T>& ws) {
+  const auto n = x0.size();
+  FBMPK_CHECK(out.size() == n * static_cast<std::size_t>(k + 1));
+  std::copy(x0.begin(), x0.end(), out.begin());
+  if (k == 0) return;
+  T* op = out.data();
+  fbmpk_parallel_sweep(s, o, x0, k, ws, [&](int p, index_t i, T v) {
+    op[static_cast<std::size_t>(p) * n + i] = v;
+  });
+}
+
+/// y = sum_p coeffs[p] A^p x0, parallel.
+template <class T>
+void fbmpk_parallel_polynomial(const TriangularSplit<T>& s,
+                               const AbmcOrdering& o,
+                               std::span<const T> coeffs,
+                               std::span<const T> x0, std::span<T> y,
+                               FbWorkspace<T>& ws) {
+  FBMPK_CHECK(!coeffs.empty());
+  FBMPK_CHECK(y.size() == x0.size());
+  const int k = static_cast<int>(coeffs.size()) - 1;
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = coeffs[0] * x0[i];
+  if (k == 0) return;
+  T* yp = y.data();
+  const T* cp = coeffs.data();
+  fbmpk_parallel_sweep(s, o, x0, k, ws, [&](int p, index_t i, T v) {
+    yp[i] += cp[p] * v;
+  });
+}
+
+}  // namespace fbmpk

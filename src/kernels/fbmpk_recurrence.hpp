@@ -1,0 +1,273 @@
+// Three-term-recurrence FBMPK: generalizes the forward-backward
+// pipeline from monomial powers x_p = A x_{p-1} to
+//
+//     x_p = alpha_p * A x_{p-1} + beta_p * x_{p-1} + gamma_p * x_{p-2}
+//
+// (x_{-1} = 0). This covers the numerically stable polynomial bases of
+// the applications that motivate SSpMV in the paper's introduction —
+// Chebyshev filters in eigensolvers (EVSL [18], ChASE [19]) and
+// Chebyshev semi-iterations for linear systems — while keeping FBMPK's
+// ~(k+1)/2 matrix sweeps.
+//
+// Why the pipeline admits it: when the forward sweep finishes row i of
+// the odd iterate it has (A x_even)[i] in hand, x_even[i] in xy[2i] and
+// the two-generations-old odd iterate still in xy[2i+1] (about to be
+// overwritten) — exactly the three recurrence inputs. The backward
+// sweep is symmetric. The pipelined second dot product (L·x_odd or
+// U·x_even) automatically picks up the *recurrence-updated* neighbor
+// values because rows write before later rows read, so the saved matrix
+// sweeps carry over unchanged. alpha_p = 1, beta_p = gamma_p = 0
+// reduces bit-for-bit to the monomial kernel's results.
+#pragma once
+
+#include <span>
+
+#include "kernels/fb_detail.hpp"
+#include "kernels/fbmpk.hpp"
+#include "reorder/abmc.hpp"
+#include "sparse/split.hpp"
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+/// Per-step recurrence coefficients: step p (1-based) maps
+/// x_p = alpha * A x_{p-1} + beta * x_{p-1} + gamma * x_{p-2}.
+template <class T>
+struct RecurrenceStep {
+  T alpha{1};
+  T beta{0};
+  T gamma{0};
+};
+
+/// Serial recurrence sweep (BtB layout). steps.size() = k >= 1;
+/// emit(p, i, v) fires once per step p in [1, k] and row i with
+/// v = x_p[i].
+template <class T, class Emit>
+void fbmpk_recurrence_sweep(const TriangularSplit<T>& s,
+                            std::span<const RecurrenceStep<T>> steps,
+                            std::span<const T> x0, FbWorkspace<T>& ws,
+                            Emit&& emit) {
+  const index_t n = s.lower.rows();
+  FBMPK_CHECK(s.upper.rows() == n &&
+              s.diag.size() == static_cast<std::size_t>(n));
+  FBMPK_CHECK(x0.size() == static_cast<std::size_t>(n));
+  const int k = static_cast<int>(steps.size());
+  FBMPK_CHECK(k >= 1);
+  ws.resize(n);
+
+  const index_t* lrp = s.lower.row_ptr().data();
+  const index_t* lci = s.lower.col_idx().data();
+  const T* lva = s.lower.values().data();
+  const index_t* urp = s.upper.row_ptr().data();
+  const index_t* uci = s.upper.col_idx().data();
+  const T* uva = s.upper.values().data();
+  const T* d = s.diag.data();
+  T* xy = ws.xy.data();
+  T* tmp = ws.tmp.data();
+  NullTracer tr;
+
+  // Head: even slots <- x0, odd slots <- x_{-1} = 0, tmp <- U·x0.
+  for (index_t i = 0; i < n; ++i) {
+    xy[2 * i] = x0[i];
+    xy[2 * i + 1] = T{};
+  }
+  for (index_t i = 0; i < n; ++i) {
+    T sum{};
+    detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 0, sum, tr);
+    tmp[i] = sum;
+  }
+
+  const int pairs = k / 2;
+  for (int it = 0; it < pairs; ++it) {
+    const int p_odd = 2 * it + 1;
+    const int p_even = 2 * it + 2;
+    const RecurrenceStep<T> co = steps[p_odd - 1];
+    const RecurrenceStep<T> ce = steps[p_even - 1];
+
+    // Forward over L: finish x_{p_odd}, prime tmp = (L + D)·x_{p_odd}.
+    for (index_t i = 0; i < n; ++i) {
+      T raw = tmp[i] + d[i] * xy[2 * i];  // (A x_even)[i] accumulator
+      T sum1{};
+      detail::row_dot2_btb(lci, lva, lrp[i], lrp[i + 1], xy, raw, sum1, tr);
+      const T v = co.alpha * raw + co.beta * xy[2 * i] +
+                  co.gamma * xy[2 * i + 1];
+      xy[2 * i + 1] = v;
+      emit(p_odd, i, v);
+      tmp[i] = sum1 + d[i] * v;
+    }
+
+    // Backward over U: finish x_{p_even}, prime tmp = U·x_{p_even}.
+    const bool prime_next = !(it == pairs - 1 && k % 2 == 0);
+    for (index_t i = n; i-- > 0;) {
+      T raw = tmp[i];
+      T v;
+      if (prime_next) {
+        T sum1{};
+        detail::row_dot2_btb(uci, uva, urp[i], urp[i + 1], xy, sum1, raw,
+                             tr);
+        v = ce.alpha * raw + ce.beta * xy[2 * i + 1] +
+            ce.gamma * xy[2 * i];
+        xy[2 * i] = v;
+        emit(p_even, i, v);
+        tmp[i] = sum1;
+      } else {
+        detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 1, raw, tr);
+        v = ce.alpha * raw + ce.beta * xy[2 * i + 1] +
+            ce.gamma * xy[2 * i];
+        xy[2 * i] = v;
+        emit(p_even, i, v);
+      }
+    }
+  }
+
+  if (k % 2 == 1) {
+    const RecurrenceStep<T> ck = steps[k - 1];
+    // Tail: even slots hold x_{k-1}, odd slots x_{k-2}, tmp = U·x_{k-1}.
+    for (index_t i = 0; i < n; ++i) {
+      T raw = tmp[i] + d[i] * xy[2 * i];
+      detail::row_dot1_btb(lci, lva, lrp[i], lrp[i + 1], xy, 0, raw, tr);
+      emit(k, i,
+           ck.alpha * raw + ck.beta * xy[2 * i] + ck.gamma * xy[2 * i + 1]);
+    }
+  }
+}
+
+/// Parallel recurrence sweep under an ABMC color schedule (same
+/// preconditions as fbmpk_parallel_sweep; bitwise-equal to the serial
+/// sweep on the permuted matrix).
+template <class T, class Emit>
+void fbmpk_recurrence_parallel_sweep(const TriangularSplit<T>& s,
+                                     const AbmcOrdering& o,
+                                     std::span<const RecurrenceStep<T>> steps,
+                                     std::span<const T> x0,
+                                     FbWorkspace<T>& ws, Emit&& emit) {
+  const index_t n = s.lower.rows();
+  FBMPK_CHECK(s.upper.rows() == n &&
+              s.diag.size() == static_cast<std::size_t>(n));
+  FBMPK_CHECK(x0.size() == static_cast<std::size_t>(n));
+  const int k = static_cast<int>(steps.size());
+  FBMPK_CHECK(k >= 1);
+  FBMPK_CHECK_MSG(!o.block_ptr.empty() && o.block_ptr.back() == n,
+                  "schedule does not cover the matrix");
+  ws.resize(n);
+
+  const index_t* lrp = s.lower.row_ptr().data();
+  const index_t* lci = s.lower.col_idx().data();
+  const T* lva = s.lower.values().data();
+  const index_t* urp = s.upper.row_ptr().data();
+  const index_t* uci = s.upper.col_idx().data();
+  const T* uva = s.upper.values().data();
+  const T* d = s.diag.data();
+  T* xy = ws.xy.data();
+  T* tmp = ws.tmp.data();
+  const T* x0p = x0.data();
+  const RecurrenceStep<T>* st = steps.data();
+  const int pairs = k / 2;
+  NullTracer tr;
+
+#ifdef _OPENMP
+#pragma omp parallel default(shared)
+#endif
+  {
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (index_t i = 0; i < n; ++i) {
+      xy[2 * i] = x0p[i];
+      xy[2 * i + 1] = T{};
+    }
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (index_t i = 0; i < n; ++i) {
+      T sum{};
+      detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 0, sum, tr);
+      tmp[i] = sum;
+    }
+
+    for (int it = 0; it < pairs; ++it) {
+      const int p_odd = 2 * it + 1;
+      const int p_even = 2 * it + 2;
+      const RecurrenceStep<T> co = st[p_odd - 1];
+      const RecurrenceStep<T> ce = st[p_even - 1];
+
+      for (index_t c = 0; c < o.num_colors; ++c) {
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+        for (index_t b = o.color_ptr[c]; b < o.color_ptr[c + 1]; ++b) {
+          for (index_t i = o.block_ptr[b]; i < o.block_ptr[b + 1]; ++i) {
+            T raw = tmp[i] + d[i] * xy[2 * i];
+            T sum1{};
+            detail::row_dot2_btb(lci, lva, lrp[i], lrp[i + 1], xy, raw,
+                                 sum1, tr);
+            const T v = co.alpha * raw + co.beta * xy[2 * i] +
+                        co.gamma * xy[2 * i + 1];
+            xy[2 * i + 1] = v;
+            emit(p_odd, i, v);
+            tmp[i] = sum1 + d[i] * v;
+          }
+        }
+      }
+
+      const bool prime_next = !(it == pairs - 1 && k % 2 == 0);
+      for (index_t c = o.num_colors; c-- > 0;) {
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+        for (index_t b = o.color_ptr[c]; b < o.color_ptr[c + 1]; ++b) {
+          for (index_t i = o.block_ptr[b + 1]; i-- > o.block_ptr[b];) {
+            T raw = tmp[i];
+            T v;
+            if (prime_next) {
+              T sum1{};
+              detail::row_dot2_btb(uci, uva, urp[i], urp[i + 1], xy, sum1,
+                                   raw, tr);
+              v = ce.alpha * raw + ce.beta * xy[2 * i + 1] +
+                  ce.gamma * xy[2 * i];
+              xy[2 * i] = v;
+              emit(p_even, i, v);
+              tmp[i] = sum1;
+            } else {
+              detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 1, raw,
+                                   tr);
+              v = ce.alpha * raw + ce.beta * xy[2 * i + 1] +
+                  ce.gamma * xy[2 * i];
+              xy[2 * i] = v;
+              emit(p_even, i, v);
+            }
+          }
+        }
+      }
+    }
+
+    if (k % 2 == 1) {
+      const RecurrenceStep<T> ck = st[k - 1];
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+      for (index_t i = 0; i < n; ++i) {
+        T raw = tmp[i] + d[i] * xy[2 * i];
+        detail::row_dot1_btb(lci, lva, lrp[i], lrp[i + 1], xy, 0, raw, tr);
+        emit(k, i, ck.alpha * raw + ck.beta * xy[2 * i] +
+                       ck.gamma * xy[2 * i + 1]);
+      }
+    }
+  }
+}
+
+/// y = x_k of the recurrence, serial.
+template <class T>
+void fbmpk_recurrence(const TriangularSplit<T>& s,
+                      std::span<const RecurrenceStep<T>> steps,
+                      std::span<const T> x0, std::span<T> y,
+                      FbWorkspace<T>& ws) {
+  FBMPK_CHECK(y.size() == x0.size());
+  const int k = static_cast<int>(steps.size());
+  T* yp = y.data();
+  fbmpk_recurrence_sweep(s, steps, x0, ws, [&](int p, index_t i, T v) {
+    if (p == k) yp[i] = v;
+  });
+}
+
+}  // namespace fbmpk

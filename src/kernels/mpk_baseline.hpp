@@ -1,0 +1,114 @@
+// Standard matrix-power kernel (paper Algorithm 1): the baseline that
+// streams the full matrix from memory once per power.
+//
+// All entry points share the Emit convention used across the library:
+// emit(p, i, v) is invoked exactly once per power p in [1, k] and row i,
+// with v = (A^p x0)[i]. Wrappers turn that into "final vector only",
+// "full Krylov basis", or "polynomial accumulation".
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "kernels/spmv.hpp"
+#include "kernels/tracer.hpp"
+#include "sparse/csr.hpp"
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+/// Scratch for the baseline: two ping-pong vectors.
+template <class T>
+struct MpkWorkspace {
+  AlignedVector<T> a;
+  AlignedVector<T> b;
+
+  void resize(index_t n) {
+    a.resize(static_cast<std::size_t>(n));
+    b.resize(static_cast<std::size_t>(n));
+  }
+};
+
+/// Generic traced sweep of the standard MPK.
+template <class T, class Emit, MemoryTracer Tr>
+void mpk_standard_sweep_traced(const CsrMatrix<T>& m, std::span<const T> x0,
+                               int k, MpkWorkspace<T>& ws, Emit&& emit,
+                               Tr& tr, SpmvExec exec) {
+  FBMPK_CHECK(m.rows() == m.cols());
+  FBMPK_CHECK(x0.size() == static_cast<std::size_t>(m.rows()));
+  FBMPK_CHECK(k >= 0);
+  const index_t n = m.rows();
+  ws.resize(n);
+
+  std::copy(x0.begin(), x0.end(), ws.a.begin());
+  T* cur = ws.a.data();
+  T* nxt = ws.b.data();
+  for (int p = 1; p <= k; ++p) {
+    spmv_traced(m, std::span<const T>(cur, static_cast<std::size_t>(n)),
+                std::span<T>(nxt, static_cast<std::size_t>(n)), tr, exec);
+    for (index_t i = 0; i < n; ++i) emit(p, i, nxt[i]);
+    std::swap(cur, nxt);
+  }
+}
+
+/// Generic sweep, untraced.
+template <class T, class Emit>
+void mpk_standard_sweep(const CsrMatrix<T>& m, std::span<const T> x0, int k,
+                        MpkWorkspace<T>& ws, Emit&& emit,
+                        SpmvExec exec = SpmvExec::kUnrolled) {
+  NullTracer tr;
+  mpk_standard_sweep_traced(m, x0, k, ws, std::forward<Emit>(emit), tr, exec);
+}
+
+/// y = A^k x0 via the standard pipeline. k = 0 copies x0.
+template <class T>
+void mpk_power(const CsrMatrix<T>& m, std::span<const T> x0, int k,
+               std::span<T> y, MpkWorkspace<T>& ws,
+               SpmvExec exec = SpmvExec::kUnrolled) {
+  FBMPK_CHECK(y.size() == x0.size());
+  if (k == 0) {
+    std::copy(x0.begin(), x0.end(), y.begin());
+    return;
+  }
+  mpk_standard_sweep(
+      m, x0, k, ws,
+      [&](int p, index_t i, T v) {
+        if (p == k) y[i] = v;
+      },
+      exec);
+}
+
+/// Krylov basis: out holds k+1 rows of length n; out[0] = x0,
+/// out[p] = A^p x0.
+template <class T>
+void mpk_power_all(const CsrMatrix<T>& m, std::span<const T> x0, int k,
+                   std::span<T> out, MpkWorkspace<T>& ws,
+                   SpmvExec exec = SpmvExec::kUnrolled) {
+  const auto n = x0.size();
+  FBMPK_CHECK(out.size() == n * static_cast<std::size_t>(k + 1));
+  std::copy(x0.begin(), x0.end(), out.begin());
+  mpk_standard_sweep(
+      m, x0, k, ws,
+      [&](int p, index_t i, T v) {
+        out[static_cast<std::size_t>(p) * n + i] = v;
+      },
+      exec);
+}
+
+/// y = sum_{p=0..k} coeffs[p] * A^p x0 via the standard pipeline.
+template <class T>
+void mpk_polynomial(const CsrMatrix<T>& m, std::span<const T> coeffs,
+                    std::span<const T> x0, std::span<T> y,
+                    MpkWorkspace<T>& ws,
+                    SpmvExec exec = SpmvExec::kUnrolled) {
+  FBMPK_CHECK(!coeffs.empty());
+  FBMPK_CHECK(y.size() == x0.size());
+  const int k = static_cast<int>(coeffs.size()) - 1;
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = coeffs[0] * x0[i];
+  mpk_standard_sweep(
+      m, x0, k, ws,
+      [&](int p, index_t i, T v) { y[i] += coeffs[p] * v; }, exec);
+}
+
+}  // namespace fbmpk

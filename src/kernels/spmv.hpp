@@ -1,0 +1,119 @@
+// Sparse matrix-vector multiplication kernels (y = A x).
+//
+// Three execution flavors:
+//  - kSerial:   textbook CSR loop (paper Algorithm 1's SpMV).
+//  - kUnrolled: 4-way unrolled accumulators — the stand-in for the
+//               heavily optimized kernel / MKL the paper baselines on.
+//  - kParallel: OpenMP row-parallel version of the unrolled kernel.
+#pragma once
+
+#include <span>
+
+#include "kernels/tracer.hpp"
+#include "sparse/csr.hpp"
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+enum class SpmvExec { kSerial, kUnrolled, kParallel };
+
+namespace detail {
+
+/// Dot product of CSR row [lo, hi) with x: the textbook loop.
+template <class T, MemoryTracer Tr>
+inline T row_dot(const index_t* col, const T* val, index_t lo, index_t hi,
+                 const T* x, Tr& tr) {
+  T sum{};
+  for (index_t k = lo; k < hi; ++k) {
+    tr.read(col + k);
+    tr.read(val + k);
+    tr.read(x + col[k]);
+    sum += val[k] * x[col[k]];
+  }
+  return sum;
+}
+
+/// 4-way unrolled row dot product; independent accumulators break the
+/// FP-add dependency chain (the main serial bottleneck of CSR SpMV).
+template <class T, MemoryTracer Tr>
+inline T row_dot_unrolled(const index_t* col, const T* val, index_t lo,
+                          index_t hi, const T* x, Tr& tr) {
+  T s0{}, s1{}, s2{}, s3{};
+  index_t k = lo;
+  for (; k + 3 < hi; k += 4) {
+    tr.read(col + k);
+    tr.read(val + k);
+    tr.read(x + col[k]);
+    tr.read(x + col[k + 1]);
+    tr.read(x + col[k + 2]);
+    tr.read(x + col[k + 3]);
+    s0 += val[k] * x[col[k]];
+    s1 += val[k + 1] * x[col[k + 1]];
+    s2 += val[k + 2] * x[col[k + 2]];
+    s3 += val[k + 3] * x[col[k + 3]];
+  }
+  for (; k < hi; ++k) {
+    tr.read(col + k);
+    tr.read(val + k);
+    tr.read(x + col[k]);
+    s0 += val[k] * x[col[k]];
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+}  // namespace detail
+
+/// y = A x with an explicit tracer (cache-simulation entry point).
+template <class T, MemoryTracer Tr>
+void spmv_traced(const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y,
+                 Tr& tr, SpmvExec exec = SpmvExec::kSerial) {
+  FBMPK_CHECK(x.size() == static_cast<std::size_t>(a.cols()));
+  FBMPK_CHECK(y.size() == static_cast<std::size_t>(a.rows()));
+  const index_t* rp = a.row_ptr().data();
+  const index_t* ci = a.col_idx().data();
+  const T* va = a.values().data();
+  const T* xp = x.data();
+  T* yp = y.data();
+  const index_t n = a.rows();
+
+  switch (exec) {
+    case SpmvExec::kSerial:
+      for (index_t i = 0; i < n; ++i) {
+        tr.read(rp + i);
+        tr.read(rp + i + 1);
+        yp[i] = detail::row_dot(ci, va, rp[i], rp[i + 1], xp, tr);
+        tr.write(yp + i);
+      }
+      break;
+    case SpmvExec::kUnrolled:
+      for (index_t i = 0; i < n; ++i) {
+        tr.read(rp + i);
+        tr.read(rp + i + 1);
+        yp[i] = detail::row_dot_unrolled(ci, va, rp[i], rp[i + 1], xp, tr);
+        tr.write(yp + i);
+      }
+      break;
+    case SpmvExec::kParallel:
+      // Tracing a parallel run would interleave streams arbitrarily, so
+      // the parallel flavor requires the null tracer.
+      static_assert(MemoryTracer<Tr>);
+      FBMPK_CHECK_MSG((std::is_same_v<Tr, NullTracer>),
+                      "parallel SpMV cannot be traced");
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+      for (index_t i = 0; i < n; ++i)
+        yp[i] = detail::row_dot_unrolled(ci, va, rp[i], rp[i + 1], xp, tr);
+      break;
+  }
+}
+
+/// y = A x (production entry point).
+template <class T>
+void spmv(const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y,
+          SpmvExec exec = SpmvExec::kUnrolled) {
+  NullTracer tr;
+  spmv_traced(a, x, y, tr, exec);
+}
+
+}  // namespace fbmpk

@@ -1,0 +1,27 @@
+// Memory-access tracing policy for kernels.
+//
+// Every kernel in src/kernels is templated on a Tracer. The default
+// NullTracer compiles to nothing, so production kernels pay zero cost.
+// The cache simulator (src/perf/cache_sim.hpp) supplies a tracer that
+// replays the kernel's exact access stream through a cache hierarchy —
+// our stand-in for the paper's LIKWID DRAM counters (Fig 9).
+#pragma once
+
+namespace fbmpk {
+
+/// No-op tracer: the default for production kernels.
+struct NullTracer {
+  template <class T>
+  void read(const T*) {}
+  template <class T>
+  void write(T*) {}
+};
+
+/// Concept-lite check used in static_asserts of kernel templates.
+template <class Tr>
+concept MemoryTracer = requires(Tr t, const double* cp, double* p) {
+  t.read(cp);
+  t.write(p);
+};
+
+}  // namespace fbmpk

@@ -1,0 +1,139 @@
+#include "perf/cache_sim.hpp"
+
+#include <algorithm>
+
+namespace fbmpk::perf {
+
+namespace {
+
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+CacheHierarchy::CacheHierarchy(const std::vector<CacheConfig>& levels) {
+  FBMPK_CHECK_MSG(!levels.empty(), "need at least one cache level");
+  for (const auto& cfg : levels) {
+    FBMPK_CHECK(cfg.size_bytes > 0 && cfg.associativity > 0);
+    FBMPK_CHECK_MSG(is_pow2(cfg.line_bytes), "line size must be power of 2");
+    FBMPK_CHECK_MSG(cfg.line_bytes == levels.front().line_bytes,
+                    "all levels must share one line size");
+    Level lv;
+    lv.ways = cfg.associativity;
+    lv.line_bytes = cfg.line_bytes;
+    lv.sets = std::max<std::size_t>(1, cfg.size_bytes /
+                                           (cfg.associativity * cfg.line_bytes));
+    FBMPK_CHECK_MSG(is_pow2(lv.sets),
+                    "size/(assoc*line) must be a power of 2, got "
+                        << lv.sets << " sets");
+    lv.store.assign(lv.sets * lv.ways, Way{});
+    levels_.push_back(std::move(lv));
+  }
+  stats_.assign(levels_.size(), LevelStats{});
+}
+
+std::size_t CacheHierarchy::lookup(Level& lv, std::uint64_t line,
+                                   bool is_write) {
+  const std::uint64_t set = line & (lv.sets - 1);
+  const std::uint64_t tag = line >> 0;  // full line id as tag (simple)
+  Way* ways = lv.set_begin(set);
+  for (std::size_t w = 0; w < lv.ways; ++w) {
+    if (ways[w].valid && ways[w].tag == tag) {
+      ways[w].lru = ++tick_;
+      if (is_write) ways[w].dirty = true;
+      return w;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+void CacheHierarchy::fill(std::size_t level_idx, std::uint64_t line,
+                          bool dirty) {
+  Level& lv = levels_[level_idx];
+  const std::uint64_t set = line & (lv.sets - 1);
+  Way* ways = lv.set_begin(set);
+  // Choose an invalid way, else the LRU victim.
+  std::size_t victim = 0;
+  for (std::size_t w = 0; w < lv.ways; ++w) {
+    if (!ways[w].valid) {
+      victim = w;
+      break;
+    }
+    if (ways[w].lru < ways[victim].lru) victim = w;
+  }
+  if (ways[victim].valid && ways[victim].dirty) {
+    // Dirty eviction cascades to the next level; from the LLC it is a
+    // DRAM write.
+    if (level_idx + 1 < levels_.size()) {
+      const std::uint64_t evicted = ways[victim].tag;
+      // The lower level may or may not hold the line (non-inclusive
+      // victim handling): write-allocate it there.
+      Level& next = levels_[level_idx + 1];
+      const std::size_t hit_way = lookup(next, evicted, true);
+      if (hit_way == static_cast<std::size_t>(-1))
+        fill(level_idx + 1, evicted, true);
+    } else {
+      dram_write_bytes_ += lv.line_bytes;
+    }
+  }
+  ways[victim] = Way{line, ++tick_, true, dirty};
+}
+
+void CacheHierarchy::access(std::uintptr_t addr, bool is_write) {
+  const std::uint64_t line = addr / levels_.front().line_bytes;
+  // Probe levels top-down; on a hit at level h, fill levels above it.
+  std::size_t hit_level = levels_.size();
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    if (lookup(levels_[l], line, is_write && l == 0) !=
+        static_cast<std::size_t>(-1)) {
+      ++stats_[l].hits;
+      hit_level = l;
+      break;
+    }
+    ++stats_[l].misses;
+  }
+  if (hit_level == levels_.size()) dram_read_bytes_ += levels_[0].line_bytes;
+  // Allocate the line in every missed level above the hit (or all levels
+  // on a DRAM fetch). Dirty bit lives in L1 only (write-back upward).
+  for (std::size_t l = std::min(hit_level, levels_.size()); l-- > 0;)
+    fill(l, line, is_write && l == 0);
+}
+
+void CacheHierarchy::flush() {
+  // Account remaining dirty lines (any level) as DRAM writes once.
+  for (auto& lv : levels_) {
+    for (auto& w : lv.store) {
+      if (w.valid && w.dirty) {
+        dram_write_bytes_ += lv.line_bytes;
+        w.dirty = false;
+      }
+    }
+  }
+}
+
+void CacheHierarchy::clear() {
+  for (auto& lv : levels_) std::fill(lv.store.begin(), lv.store.end(), Way{});
+  std::fill(stats_.begin(), stats_.end(), LevelStats{});
+  dram_read_bytes_ = dram_write_bytes_ = 0;
+  tick_ = 0;
+}
+
+CacheHierarchy make_xeon_like_hierarchy(double scale) {
+  FBMPK_CHECK(scale > 0.0);
+  auto scaled = [&](std::size_t bytes) {
+    // Round the scaled size to a power-of-two set count by rounding the
+    // size itself to a power of two (associativity and line are fixed).
+    auto target = static_cast<std::size_t>(static_cast<double>(bytes) * scale);
+    std::size_t pow2 = 4096;  // floor: one 8-way set minimum
+    while (pow2 * 2 <= target) pow2 *= 2;
+    return pow2;
+  };
+  // Table I, Xeon Gold 6230R: 64 KB L1, 1 MB L2, 35.75 MB LLC (per
+  // socket; we model one socket and round the LLC to a power of two).
+  return CacheHierarchy({
+      CacheConfig{scaled(std::size_t{64} * 1024), 8, 64},
+      CacheConfig{scaled(std::size_t{1024} * 1024), 16, 64},
+      CacheConfig{scaled(std::size_t{32} * 1024 * 1024), 16, 64},
+  });
+}
+
+}  // namespace fbmpk::perf

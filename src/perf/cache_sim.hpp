@@ -1,0 +1,107 @@
+// Multi-level cache-hierarchy simulator — the stand-in for the paper's
+// LIKWID DRAM-traffic measurements (Fig 9; see DESIGN.md §4).
+//
+// Model: inclusive-fill, set-associative LRU levels with 64-byte lines,
+// write-allocate + write-back. A kernel templated on a Tracer (see
+// kernels/tracer.hpp) replays its exact access stream through the
+// hierarchy; DRAM read bytes are counted at last-level misses, DRAM
+// write bytes when dirty lines are evicted from the last level (plus the
+// dirty lines left at flush()).
+//
+// The simulator is single-threaded by design — Fig 9's measurements are
+// of traffic volume, which the serial access stream already determines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace fbmpk::perf {
+
+/// One cache level's geometry.
+struct CacheConfig {
+  std::size_t size_bytes = 0;
+  std::size_t associativity = 8;
+  std::size_t line_bytes = 64;
+};
+
+/// Counters accumulated per level.
+struct LevelStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+class CacheHierarchy {
+ public:
+  /// Build from level configs ordered L1 -> LLC. At least one level.
+  explicit CacheHierarchy(const std::vector<CacheConfig>& levels);
+
+  /// Simulate one memory access at `addr` (any byte of the datum).
+  void access(std::uintptr_t addr, bool is_write);
+
+  /// Write back all dirty lines (end-of-run accounting).
+  void flush();
+
+  /// Reset counters and contents.
+  void clear();
+
+  std::uint64_t dram_read_bytes() const { return dram_read_bytes_; }
+  std::uint64_t dram_write_bytes() const { return dram_write_bytes_; }
+  std::uint64_t dram_total_bytes() const {
+    return dram_read_bytes_ + dram_write_bytes_;
+  }
+  const LevelStats& level_stats(std::size_t level) const {
+    return stats_[level];
+  }
+  std::size_t num_levels() const { return levels_.size(); }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // larger = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  struct Level {
+    std::size_t sets = 0;
+    std::size_t ways = 0;
+    std::size_t line_bytes = 64;
+    std::vector<Way> store;  // sets * ways
+
+    Way* set_begin(std::uint64_t set) { return store.data() + set * ways; }
+  };
+
+  // Returns the way index on hit, or SIZE_MAX on miss.
+  std::size_t lookup(Level& lv, std::uint64_t line, bool is_write);
+  // Install a line into a level, evicting LRU; cascades dirty evictions.
+  void fill(std::size_t level_idx, std::uint64_t line, bool dirty);
+
+  std::vector<Level> levels_;
+  std::vector<LevelStats> stats_;
+  std::uint64_t dram_read_bytes_ = 0;
+  std::uint64_t dram_write_bytes_ = 0;
+  std::uint64_t tick_ = 0;
+};
+
+/// Tracer adapter plugging the hierarchy into the kernel templates.
+struct CacheTracer {
+  CacheHierarchy* sim = nullptr;
+
+  template <class T>
+  void read(const T* p) {
+    sim->access(reinterpret_cast<std::uintptr_t>(p), false);
+  }
+  template <class T>
+  void write(T* p) {
+    sim->access(reinterpret_cast<std::uintptr_t>(p), true);
+  }
+};
+
+/// A hierarchy shaped like the paper's Xeon (Table I), scaled by
+/// `scale` so that proportionally smaller matrices sit in the same
+/// matrix-to-LLC ratio regime as the paper's runs.
+CacheHierarchy make_xeon_like_hierarchy(double scale = 1.0);
+
+}  // namespace fbmpk::perf

@@ -1,0 +1,103 @@
+#include "perf/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace fbmpk::perf {
+
+RunningStats time_runs(const std::function<void()>& fn, int reps,
+                       int warmup) {
+  FBMPK_CHECK(reps >= 1 && warmup >= 0);
+  for (int i = 0; i < warmup; ++i) fn();
+  RunningStats stats;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    stats.add(t.seconds());
+  }
+  return stats;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FBMPK_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      std::printf("%s%-*s", c == 0 ? "" : "  ",
+                  static_cast<int>(widths[c]), row[c].c_str());
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c == 0 ? 0 : 2);
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+BenchOptions BenchOptions::parse(int argc, char** argv) {
+  BenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string val =
+        eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    if (key == "--scale") {
+      o.scale = std::stod(val);
+    } else if (key == "--reps") {
+      o.reps = std::stoi(val);
+    } else if (key == "--warmup") {
+      o.warmup = std::stoi(val);
+    } else if (key == "--matrices") {
+      o.matrices = split_csv(val);
+    } else if (key == "--k") {
+      for (const auto& s : split_csv(val)) o.powers.push_back(std::stoi(s));
+    } else if (key == "--threads") {
+      o.threads = std::stoi(val);
+    } else if (key == "--blocks") {
+      o.num_blocks = static_cast<index_t>(std::stoi(val));
+    } else {
+      FBMPK_CHECK_MSG(false, "unknown benchmark flag: " << arg);
+    }
+  }
+  FBMPK_CHECK(o.scale > 0.0 && o.reps >= 1 && o.warmup >= 0);
+  return o;
+}
+
+}  // namespace fbmpk::perf

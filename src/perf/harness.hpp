@@ -1,0 +1,57 @@
+// Shared benchmark-harness utilities: repeated timed runs with the
+// paper's methodology (warmup + geometric mean of repetitions, §IV-C),
+// fixed-width table printing, and command-line options common to all
+// figure/table reproduction binaries.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+
+namespace fbmpk::perf {
+
+/// Time `fn` (reps + warmup executions); returns per-run seconds.
+/// The paper runs each case 50 times and reports the geometric mean —
+/// reps is configurable so quick runs stay quick.
+RunningStats time_runs(const std::function<void()>& fn, int reps,
+                       int warmup = 1);
+
+/// Minimal fixed-width table printer for paper-style outputs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render to stdout with aligned columns.
+  void print() const;
+
+  /// Format helpers.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_ratio(double v) { return fmt(v, 2) + "x"; }
+  static std::string fmt_percent(double v) { return fmt(v * 100.0, 1) + "%"; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Options shared by the bench binaries.
+struct BenchOptions {
+  double scale = 1.0;                  ///< suite size multiplier
+  int reps = 5;                        ///< timed repetitions per case
+  int warmup = 1;
+  std::vector<std::string> matrices;   ///< empty = whole suite
+  std::vector<int> powers;             ///< ks to sweep (bench-specific default)
+  int threads = 0;                     ///< 0 = library default
+  index_t num_blocks = 512;            ///< ABMC block count
+
+  /// Parse --scale= --reps= --warmup= --matrices=a,b --k=3,5 --threads=
+  /// --blocks=; unknown flags throw. argv[0] is skipped.
+  static BenchOptions parse(int argc, char** argv);
+};
+
+}  // namespace fbmpk::perf

@@ -1,0 +1,67 @@
+// Analytic memory-traffic model for MPK pipelines (paper §III-B, §V-C).
+//
+// Counts the compulsory DRAM bytes each pipeline must stream assuming the
+// matrix is far larger than the last-level cache (the paper's regime):
+// every matrix byte is read once per sweep, and dense vectors are
+// streamed once per sweep they participate in. The model gives the
+// closed-form ratio the paper quotes — (k+1)/2k in the matrix-dominated
+// limit — and serves as a cross-check for the cache simulator.
+#pragma once
+
+#include <cstddef>
+
+#include "sparse/csr.hpp"
+#include "sparse/split.hpp"
+
+namespace fbmpk::perf {
+
+/// Byte totals for one full MPK evaluation (all k powers).
+struct TrafficEstimate {
+  std::size_t matrix_bytes = 0;  ///< CSR arrays streamed from DRAM
+  std::size_t vector_bytes = 0;  ///< dense vectors streamed from DRAM
+  std::size_t total() const { return matrix_bytes + vector_bytes; }
+};
+
+/// Matrix-size summary the model needs.
+struct MatrixShape {
+  index_t rows = 0;
+  index_t nnz = 0;           ///< of the full matrix A
+  index_t diag_entries = 0;  ///< stored diagonal entries of A
+
+  template <class T>
+  static MatrixShape of(const CsrMatrix<T>& a) {
+    MatrixShape s;
+    s.rows = a.rows();
+    s.nnz = a.nnz();
+    for (index_t i = 0; i < a.rows(); ++i)
+      for (index_t k = a.row_ptr()[i]; k < a.row_ptr()[i + 1]; ++k)
+        if (a.col_idx()[k] == i) ++s.diag_entries;
+    return s;
+  }
+};
+
+/// Bytes streamed per full-CSR sweep (values + col_idx + row_ptr).
+std::size_t csr_sweep_bytes(index_t rows, index_t nnz, std::size_t value_size);
+
+/// Standard MPK (Algorithm 1), k powers: k sweeps of A, plus per sweep a
+/// read of x and a write of y.
+TrafficEstimate standard_mpk_traffic(const MatrixShape& m, int k,
+                                     std::size_t value_size = sizeof(double));
+
+/// FBMPK: head + ⌊k/2⌋ forward/backward pairs (+ tail when k is odd).
+/// L and U sweeps stream only their triangle; vector traffic includes
+/// the interleaved xy pair, tmp and the diagonal.
+TrafficEstimate fbmpk_traffic(const MatrixShape& m, int k,
+                              std::size_t value_size = sizeof(double));
+
+/// Number of full-matrix-equivalent sweeps each pipeline performs —
+/// k for standard, (k+1+(k odd ? 1 : 2)/2)/2-style count for FBMPK;
+/// exposed for tests of the paper's sweep arithmetic (§III-B).
+double standard_sweep_count(int k);
+double fbmpk_sweep_count(int k);
+
+/// Convenience: predicted FBMPK/standard total-traffic ratio.
+double traffic_ratio(const MatrixShape& m, int k,
+                     std::size_t value_size = sizeof(double));
+
+}  // namespace fbmpk::perf

@@ -1,0 +1,90 @@
+#include "reorder/blocking.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fbmpk {
+
+namespace {
+
+Blocking from_row_order(std::vector<index_t> row_order, index_t n,
+                        index_t num_blocks) {
+  Blocking b;
+  b.num_blocks = num_blocks;
+  b.row_order = std::move(row_order);
+  b.block_ptr.resize(static_cast<std::size_t>(num_blocks) + 1);
+  b.block_of.resize(static_cast<std::size_t>(n));
+  // Balanced sizes: first (n % num_blocks) blocks get one extra row.
+  const index_t base = n / num_blocks;
+  const index_t extra = n % num_blocks;
+  index_t pos = 0;
+  for (index_t blk = 0; blk < num_blocks; ++blk) {
+    b.block_ptr[blk] = pos;
+    pos += base + (blk < extra ? 1 : 0);
+  }
+  b.block_ptr[num_blocks] = pos;
+  FBMPK_CHECK(pos == n);
+  for (index_t blk = 0; blk < num_blocks; ++blk)
+    for (index_t k = b.block_ptr[blk]; k < b.block_ptr[blk + 1]; ++k)
+      b.block_of[b.row_order[k]] = blk;
+  return b;
+}
+
+}  // namespace
+
+Blocking build_blocking(const AdjacencyGraph& g, index_t n,
+                        index_t num_blocks, BlockingStrategy strategy) {
+  FBMPK_CHECK(n > 0);
+  num_blocks = std::clamp<index_t>(num_blocks, 1, n);
+
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  if (strategy == BlockingStrategy::kContiguous) {
+    order.resize(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+  } else {
+    // Algebraic blocking: BFS discovery order groups connected rows, so
+    // chunking that order yields blocks of tightly coupled rows.
+    FBMPK_CHECK_MSG(g.n == n, "BFS blocking needs the adjacency graph");
+    std::vector<char> visited(static_cast<std::size_t>(n), 0);
+    std::size_t head = 0;
+    for (index_t seed = 0; seed < n; ++seed) {
+      if (visited[seed]) continue;
+      visited[seed] = 1;
+      order.push_back(seed);
+      while (head < order.size()) {
+        const index_t v = order[head++];
+        for (index_t k = g.ptr[v]; k < g.ptr[v + 1]; ++k) {
+          const index_t u = g.adj[k];
+          if (!visited[u]) {
+            visited[u] = 1;
+            order.push_back(u);
+          }
+        }
+      }
+    }
+  }
+  return from_row_order(std::move(order), n, num_blocks);
+}
+
+bool is_valid_blocking(const Blocking& b, index_t n) {
+  if (b.num_blocks < 1) return false;
+  if (b.block_of.size() != static_cast<std::size_t>(n)) return false;
+  if (b.row_order.size() != static_cast<std::size_t>(n)) return false;
+  if (b.block_ptr.size() != static_cast<std::size_t>(b.num_blocks) + 1)
+    return false;
+  if (b.block_ptr.front() != 0 || b.block_ptr.back() != n) return false;
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  for (index_t blk = 0; blk < b.num_blocks; ++blk) {
+    if (b.block_ptr[blk] > b.block_ptr[blk + 1]) return false;
+    for (index_t k = b.block_ptr[blk]; k < b.block_ptr[blk + 1]; ++k) {
+      const index_t row = b.row_order[k];
+      if (row < 0 || row >= n || seen[row]) return false;
+      seen[row] = 1;
+      if (b.block_of[row] != blk) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fbmpk

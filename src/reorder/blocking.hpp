@@ -1,0 +1,40 @@
+// Row blocking for ABMC (paper §III-D): aggregate matrix rows into
+// blocks that become the parallel work units and coloring vertices.
+#pragma once
+
+#include <vector>
+
+#include "reorder/graph.hpp"
+
+namespace fbmpk {
+
+/// How rows are aggregated into blocks.
+enum class BlockingStrategy {
+  kContiguous,  ///< equal-size chunks of consecutive row indices
+  kBfs,         ///< "algebraic": BFS over the adjacency graph, so each
+                ///< block holds connected, locality-friendly rows
+};
+
+/// A block assignment: rows_of_block lists every block's member rows in
+/// the order they will appear after permutation; block_of inverts it.
+struct Blocking {
+  std::vector<index_t> block_of;  ///< row -> block id
+  std::vector<index_t> block_ptr; ///< block -> offset into row_order
+  std::vector<index_t> row_order; ///< rows grouped by block, in-block order
+  index_t num_blocks = 0;
+
+  index_t block_size(index_t b) const {
+    return block_ptr[b + 1] - block_ptr[b];
+  }
+};
+
+/// Partition n rows into `num_blocks` blocks. For kBfs the graph drives
+/// aggregation; for kContiguous it is ignored (may be empty). Block
+/// count is clamped to [1, n].
+Blocking build_blocking(const AdjacencyGraph& g, index_t n,
+                        index_t num_blocks, BlockingStrategy strategy);
+
+/// Verify structural invariants of a blocking over n rows.
+bool is_valid_blocking(const Blocking& b, index_t n);
+
+}  // namespace fbmpk

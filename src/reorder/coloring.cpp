@@ -1,0 +1,98 @@
+#include "reorder/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fbmpk {
+
+namespace {
+
+std::vector<index_t> visit_order(const AdjacencyGraph& g,
+                                 ColoringOrder order) {
+  std::vector<index_t> v(static_cast<std::size_t>(g.n));
+  std::iota(v.begin(), v.end(), 0);
+  switch (order) {
+    case ColoringOrder::kNatural:
+      break;
+    case ColoringOrder::kLargestDegreeFirst:
+      std::stable_sort(v.begin(), v.end(), [&](index_t a, index_t b) {
+        return g.degree(a) > g.degree(b);
+      });
+      break;
+    case ColoringOrder::kSmallestLast: {
+      // Repeatedly remove a minimum-remaining-degree vertex; color in
+      // reverse removal order. Bucketed implementation, O(V + E).
+      std::vector<index_t> deg(static_cast<std::size_t>(g.n));
+      index_t max_deg = 0;
+      for (index_t u = 0; u < g.n; ++u) {
+        deg[u] = g.degree(u);
+        max_deg = std::max(max_deg, deg[u]);
+      }
+      std::vector<std::vector<index_t>> buckets(
+          static_cast<std::size_t>(max_deg) + 1);
+      for (index_t u = 0; u < g.n; ++u) buckets[deg[u]].push_back(u);
+      std::vector<char> removed(static_cast<std::size_t>(g.n), 0);
+      std::vector<index_t> removal;
+      removal.reserve(static_cast<std::size_t>(g.n));
+      index_t cursor = 0;
+      while (static_cast<index_t>(removal.size()) < g.n) {
+        while (cursor <= max_deg && buckets[cursor].empty()) ++cursor;
+        // Lazy deletion: entries may be stale (vertex already removed or
+        // its degree decreased); skip those.
+        index_t u = buckets[cursor].back();
+        buckets[cursor].pop_back();
+        if (removed[u] || deg[u] != cursor) {
+          cursor = 0;
+          continue;
+        }
+        removed[u] = 1;
+        removal.push_back(u);
+        for (index_t k = g.ptr[u]; k < g.ptr[u + 1]; ++k) {
+          const index_t w = g.adj[k];
+          if (!removed[w]) {
+            --deg[w];
+            buckets[deg[w]].push_back(w);
+          }
+        }
+        cursor = 0;
+      }
+      std::reverse(removal.begin(), removal.end());
+      v = std::move(removal);
+      break;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+Coloring greedy_color(const AdjacencyGraph& g, ColoringOrder order) {
+  Coloring c;
+  c.color_of.assign(static_cast<std::size_t>(g.n), -1);
+  const std::vector<index_t> visit = visit_order(g, order);
+
+  std::vector<index_t> mark(static_cast<std::size_t>(g.n), -1);
+  for (index_t v : visit) {
+    for (index_t k = g.ptr[v]; k < g.ptr[v + 1]; ++k) {
+      const index_t cu = c.color_of[g.adj[k]];
+      if (cu >= 0) mark[cu] = v;
+    }
+    index_t color = 0;
+    while (mark[color] == v) ++color;
+    c.color_of[v] = color;
+    c.num_colors = std::max(c.num_colors, color + 1);
+  }
+  return c;
+}
+
+bool is_valid_coloring(const AdjacencyGraph& g, const Coloring& c) {
+  if (c.color_of.size() != static_cast<std::size_t>(g.n)) return false;
+  for (index_t v = 0; v < g.n; ++v) {
+    if (c.color_of[v] < 0 || c.color_of[v] >= c.num_colors) return false;
+    for (index_t k = g.ptr[v]; k < g.ptr[v + 1]; ++k)
+      if (c.color_of[g.adj[k]] == c.color_of[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace fbmpk

@@ -1,0 +1,33 @@
+// Greedy distance-1 graph coloring — the in-tree substitute for the
+// Colpack library the paper uses to color ABMC blocks.
+#pragma once
+
+#include <vector>
+
+#include "reorder/graph.hpp"
+
+namespace fbmpk {
+
+/// Vertex visit order for the greedy coloring.
+enum class ColoringOrder {
+  kNatural,             ///< vertices in index order
+  kLargestDegreeFirst,  ///< classic LF ordering — usually fewer colors
+  kSmallestLast,        ///< SL ordering — best color counts, more work
+};
+
+/// Result of a coloring: color_of[v] in [0, num_colors).
+struct Coloring {
+  std::vector<index_t> color_of;
+  index_t num_colors = 0;
+};
+
+/// Greedy distance-1 coloring: each vertex takes the smallest color not
+/// used by an already-colored neighbor.
+Coloring greedy_color(const AdjacencyGraph& g,
+                      ColoringOrder order = ColoringOrder::kNatural);
+
+/// Verify the distance-1 property: no edge joins two equal colors.
+/// Returns true when valid.
+bool is_valid_coloring(const AdjacencyGraph& g, const Coloring& c);
+
+}  // namespace fbmpk

@@ -1,0 +1,39 @@
+#include "reorder/graph.hpp"
+
+#include <algorithm>
+
+namespace fbmpk {
+
+AdjacencyGraph quotient_graph(const AdjacencyGraph& g,
+                              const std::vector<index_t>& block_of,
+                              index_t num_blocks) {
+  FBMPK_CHECK(block_of.size() == static_cast<std::size_t>(g.n));
+  std::vector<std::vector<index_t>> nbrs(
+      static_cast<std::size_t>(num_blocks));
+  for (index_t v = 0; v < g.n; ++v) {
+    const index_t bv = block_of[v];
+    FBMPK_CHECK(bv >= 0 && bv < num_blocks);
+    for (index_t k = g.ptr[v]; k < g.ptr[v + 1]; ++k) {
+      const index_t bu = block_of[g.adj[k]];
+      if (bu != bv) nbrs[bv].push_back(bu);
+    }
+  }
+  AdjacencyGraph q;
+  q.n = num_blocks;
+  q.ptr.assign(static_cast<std::size_t>(num_blocks) + 1, 0);
+  std::size_t total = 0;
+  for (index_t b = 0; b < num_blocks; ++b) {
+    auto& list = nbrs[b];
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    total += list.size();
+  }
+  q.adj.reserve(total);
+  for (index_t b = 0; b < num_blocks; ++b) {
+    q.adj.insert(q.adj.end(), nbrs[b].begin(), nbrs[b].end());
+    q.ptr[b + 1] = static_cast<index_t>(q.adj.size());
+  }
+  return q;
+}
+
+}  // namespace fbmpk

@@ -1,0 +1,82 @@
+// Undirected adjacency graphs derived from sparse-matrix patterns.
+//
+// RCM, blocking and coloring all operate on the symmetrized structure of
+// the matrix (an edge {i, j} exists when A(i,j) or A(j,i) is stored,
+// i != j). This header provides that graph plus the block quotient graph
+// used by ABMC.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+/// CSR-style undirected adjacency list. No self loops; neighbor lists
+/// are sorted and duplicate-free.
+struct AdjacencyGraph {
+  index_t n = 0;
+  std::vector<index_t> ptr;  ///< size n+1
+  std::vector<index_t> adj;  ///< concatenated neighbor lists
+
+  index_t degree(index_t v) const { return ptr[v + 1] - ptr[v]; }
+
+  void validate() const {
+    FBMPK_CHECK(ptr.size() == static_cast<std::size_t>(n) + 1);
+    FBMPK_CHECK(ptr.front() == 0);
+    FBMPK_CHECK(ptr.back() == static_cast<index_t>(adj.size()));
+    for (index_t v = 0; v < n; ++v)
+      for (index_t k = ptr[v]; k < ptr[v + 1]; ++k) {
+        FBMPK_CHECK(adj[k] >= 0 && adj[k] < n && adj[k] != v);
+        if (k > ptr[v]) FBMPK_CHECK(adj[k - 1] < adj[k]);
+      }
+  }
+};
+
+/// Build the symmetrized adjacency graph of a square matrix's pattern.
+template <class T>
+AdjacencyGraph adjacency_from_matrix(const CsrMatrix<T>& a) {
+  FBMPK_CHECK(a.rows() == a.cols());
+  const index_t n = a.rows();
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+
+  // Count each undirected edge's contribution to both endpoints. An edge
+  // stored in both directions would be counted twice, so dedupe with a
+  // per-row merge after bucketing.
+  std::vector<std::vector<index_t>> nbrs(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k) {
+      const index_t j = ci[k];
+      if (j == i) continue;
+      nbrs[i].push_back(j);
+      nbrs[j].push_back(i);
+    }
+
+  AdjacencyGraph g;
+  g.n = n;
+  g.ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::size_t total = 0;
+  for (index_t v = 0; v < n; ++v) {
+    auto& list = nbrs[v];
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    total += list.size();
+  }
+  g.adj.reserve(total);
+  for (index_t v = 0; v < n; ++v) {
+    g.adj.insert(g.adj.end(), nbrs[v].begin(), nbrs[v].end());
+    g.ptr[v + 1] = static_cast<index_t>(g.adj.size());
+  }
+  return g;
+}
+
+/// Quotient graph of `g` under a block assignment: vertices are blocks,
+/// blocks P and Q adjacent iff some edge of g crosses them (P != Q).
+/// `block_of[v]` must lie in [0, num_blocks).
+AdjacencyGraph quotient_graph(const AdjacencyGraph& g,
+                              const std::vector<index_t>& block_of,
+                              index_t num_blocks);
+
+}  // namespace fbmpk

@@ -1,0 +1,25 @@
+// Reverse Cuthill–McKee ordering (paper §II-C): the classical
+// bandwidth/locality-improving reordering, used both standalone and as
+// an optional pre-pass before ABMC blocking.
+#pragma once
+
+#include "reorder/graph.hpp"
+#include "reorder/permutation.hpp"
+
+namespace fbmpk {
+
+/// RCM ordering of an adjacency graph. Disconnected components are each
+/// started from a pseudo-peripheral vertex and concatenated.
+Permutation rcm_order(const AdjacencyGraph& g);
+
+/// Convenience: RCM of a matrix's symmetrized pattern.
+template <class T>
+Permutation rcm_order(const CsrMatrix<T>& a) {
+  return rcm_order(adjacency_from_matrix(a));
+}
+
+/// Find a pseudo-peripheral vertex of the component containing `start`
+/// (George–Liu doubling of BFS eccentricity). Exposed for tests.
+index_t pseudo_peripheral_vertex(const AdjacencyGraph& g, index_t start);
+
+}  // namespace fbmpk

@@ -1,0 +1,127 @@
+// Iterative solvers and eigen-utilities built on the library's kernels —
+// the application layer the paper motivates SSpMV with (§I: linear
+// equations, eigenvalue problems, multigrid).
+//
+// Everything here consumes the public substrate: SpMV, MpkPlan
+// (polynomial preconditioning), SYMGS (smoothing/preconditioning), and
+// the ABMC schedule (exact parallel smoothers).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/plan.hpp"
+#include "kernels/spmv.hpp"
+#include "kernels/symgs.hpp"
+#include "reorder/abmc.hpp"
+#include "sparse/split.hpp"
+#include "support/aligned_buffer.hpp"
+
+namespace fbmpk::solvers {
+
+/// Convergence report shared by the solvers.
+struct SolveResult {
+  int iterations = 0;
+  double relative_residual = 0.0;  ///< ||b - A x|| / ||b|| at exit
+  bool converged = false;
+};
+
+/// Solver controls.
+struct SolveOptions {
+  int max_iterations = 1000;
+  double tolerance = 1e-10;  ///< on the relative residual
+};
+
+/// A preconditioner maps a residual r to z ~= M^{-1} r.
+using Preconditioner =
+    std::function<void(std::span<const double> r, std::span<double> z)>;
+
+/// Identity preconditioner (plain CG).
+Preconditioner identity_preconditioner();
+
+/// One multi-color SYMGS sweep from a zero guess — SPD for SPD A, the
+/// HPCG preconditioner. The split/schedule must belong to the SAME
+/// (permuted) matrix the solver runs on.
+Preconditioner symgs_preconditioner(const TriangularSplit<double>& split,
+                                    const AbmcOrdering& schedule);
+
+/// Degree-d Richardson/Neumann polynomial preconditioner evaluated in
+/// one FBMPK pass through `plan` (which must be built from A).
+Preconditioner polynomial_preconditioner(const MpkPlan& plan, int degree,
+                                         double tau);
+
+/// Preconditioned conjugate gradient for SPD A. x holds the initial
+/// guess on entry and the solution on exit.
+SolveResult pcg(const CsrMatrix<double>& a, std::span<const double> b,
+                std::span<double> x, const Preconditioner& precond,
+                const SolveOptions& opts = {});
+
+/// Chebyshev semi-iteration for SPD A with spectrum inside
+/// [lambda_min, lambda_max]: fixed coefficients, no inner products —
+/// the communication-free iteration MPK kernels exist to accelerate.
+SolveResult chebyshev_iteration(const CsrMatrix<double>& a,
+                                std::span<const double> b,
+                                std::span<double> x, double lambda_min,
+                                double lambda_max,
+                                const SolveOptions& opts = {});
+
+/// Dominant eigenpair via power iteration blocked through an MpkPlan
+/// (s SpMV steps per normalized block, as in the paper's eigensolver
+/// motivation). Returns the Rayleigh-quotient estimate; v holds the
+/// normalized eigenvector approximation.
+struct EigenResult {
+  double eigenvalue = 0.0;
+  int matvecs = 0;
+  bool converged = false;
+};
+EigenResult power_method(const CsrMatrix<double>& a, const MpkPlan& plan,
+                         std::span<double> v, int block_steps = 6,
+                         const SolveOptions& opts = {});
+
+/// Gershgorin bounds [lo, hi] on the spectrum of A.
+std::pair<double, double> gershgorin_interval(const CsrMatrix<double>& a);
+
+/// Two-level multigrid V-cycle solver for SPD grid-like operators:
+/// SYMGS pre/post smoothing, full-weighting-style aggregation
+/// restriction (pairwise row aggregation by the matrix graph), Galerkin
+/// coarse operator, direct-ish coarse solve (CG to tight tolerance).
+/// Built once per matrix; apply as a solver or a preconditioner.
+class TwoLevelMultigrid {
+ public:
+  struct Options {
+    int pre_smooth = 1;
+    int post_smooth = 1;
+    index_t min_coarse_rows = 64;   ///< stop aggregating below this
+    index_t abmc_blocks = 256;      ///< for the smoother schedule
+  };
+
+  static TwoLevelMultigrid build(const CsrMatrix<double>& a,
+                                 const Options& opts);
+  /// Overload with default options (a default argument of a nested
+  /// aggregate is ill-formed inside the enclosing class definition).
+  static TwoLevelMultigrid build(const CsrMatrix<double>& a) {
+    return build(a, Options{});
+  }
+
+  /// One V-cycle applied to (b, x) in place.
+  void vcycle(std::span<const double> b, std::span<double> x) const;
+
+  /// Solve to tolerance via repeated V-cycles.
+  SolveResult solve(std::span<const double> b, std::span<double> x,
+                    const SolveOptions& opts = {}) const;
+
+  index_t fine_rows() const { return n_; }
+  index_t coarse_rows() const { return coarse_.rows(); }
+
+ private:
+  index_t n_ = 0;
+  Options opts_;
+  CsrMatrix<double> fine_;              // ABMC-permuted fine operator
+  Permutation perm_;                    // fine permutation
+  AbmcOrdering schedule_;               // smoother schedule
+  TriangularSplit<double> split_;       // fine split for SYMGS
+  std::vector<index_t> aggregate_of_;   // fine (permuted) row -> coarse row
+  CsrMatrix<double> coarse_;            // Galerkin coarse operator
+};
+
+}  // namespace fbmpk::solvers

@@ -1,0 +1,80 @@
+// Coordinate (triplet) sparse matrix format.
+//
+// COO is the assembly format: generators and the Matrix Market reader
+// produce triplets, which are then compressed into CSR for computation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+/// Index type used across the library. 32-bit indices halve index traffic
+/// versus 64-bit and cover all matrices in the evaluation (< 2^31 rows/nnz).
+using index_t = std::int32_t;
+
+/// One nonzero entry.
+template <class T>
+struct Triplet {
+  index_t row;
+  index_t col;
+  T value;
+
+  friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+/// Coordinate-format sparse matrix: an unordered bag of triplets.
+template <class T>
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+
+  CooMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+    FBMPK_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  std::size_t nnz() const { return entries_.size(); }
+
+  /// Append one entry; duplicates are allowed and summed at CSR build.
+  void add(index_t row, index_t col, T value) {
+    FBMPK_DCHECK(row >= 0 && row < rows_);
+    FBMPK_DCHECK(col >= 0 && col < cols_);
+    entries_.push_back({row, col, value});
+  }
+
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  const std::vector<Triplet<T>>& entries() const { return entries_; }
+  std::vector<Triplet<T>>& entries() { return entries_; }
+
+  /// Sort entries row-major (row, then column). Stable so duplicate
+  /// summation order is deterministic.
+  void sort_row_major() {
+    std::stable_sort(entries_.begin(), entries_.end(),
+                     [](const Triplet<T>& a, const Triplet<T>& b) {
+                       return a.row != b.row ? a.row < b.row : a.col < b.col;
+                     });
+  }
+
+  /// Validate all indices are within bounds. Throws on violation.
+  void validate() const {
+    for (const auto& e : entries_) {
+      FBMPK_CHECK_MSG(e.row >= 0 && e.row < rows_,
+                      "row index out of range: " << e.row);
+      FBMPK_CHECK_MSG(e.col >= 0 && e.col < cols_,
+                      "col index out of range: " << e.col);
+    }
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<Triplet<T>> entries_;
+};
+
+}  // namespace fbmpk

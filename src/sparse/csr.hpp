@@ -1,0 +1,139 @@
+// Compressed Sparse Row matrix — the computational storage format
+// (paper §II-A, Fig 1).
+//
+// row_ptr has length rows()+1; row i's entries occupy
+// [row_ptr[i], row_ptr[i+1]) in col_idx / values. Columns within a row
+// are sorted ascending and unique (enforced by the builders).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "sparse/coo.hpp"
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+template <class T>
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Take ownership of prebuilt arrays. Validates the structure.
+  CsrMatrix(index_t rows, index_t cols, AlignedVector<index_t> row_ptr,
+            AlignedVector<index_t> col_idx, AlignedVector<T> values)
+      : rows_(rows),
+        cols_(cols),
+        row_ptr_(std::move(row_ptr)),
+        col_idx_(std::move(col_idx)),
+        values_(std::move(values)) {
+    validate();
+  }
+
+  /// Compress a COO matrix: sorts row-major and sums duplicates.
+  static CsrMatrix from_coo(const CooMatrix<T>& coo) {
+    CooMatrix<T> sorted = coo;  // keep caller's triplet order intact
+    sorted.sort_row_major();
+    return from_sorted_coo(sorted);
+  }
+
+  /// Compress an already row-major-sorted COO matrix (sums duplicates).
+  static CsrMatrix from_sorted_coo(const CooMatrix<T>& coo) {
+    CsrMatrix m;
+    m.rows_ = coo.rows();
+    m.cols_ = coo.cols();
+    m.row_ptr_.assign(static_cast<std::size_t>(m.rows_) + 1, 0);
+    m.col_idx_.reserve(coo.nnz());
+    m.values_.reserve(coo.nnz());
+
+    index_t prev_row = -1;
+    index_t prev_col = -1;
+    for (const auto& e : coo.entries()) {
+      FBMPK_CHECK_MSG(e.row >= prev_row, "COO entries not sorted row-major");
+      if (e.row == prev_row && e.col == prev_col) {
+        m.values_.back() += e.value;  // duplicate: accumulate
+        continue;
+      }
+      FBMPK_CHECK_MSG(e.row > prev_row || e.col > prev_col,
+                      "COO entries not sorted by column within row");
+      m.col_idx_.push_back(e.col);
+      m.values_.push_back(e.value);
+      m.row_ptr_[static_cast<std::size_t>(e.row) + 1] += 1;
+      prev_row = e.row;
+      prev_col = e.col;
+    }
+    for (std::size_t i = 1; i < m.row_ptr_.size(); ++i)
+      m.row_ptr_[i] += m.row_ptr_[i - 1];
+    m.validate();
+    return m;
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+
+  std::span<const index_t> row_ptr() const { return row_ptr_; }
+  std::span<const index_t> col_idx() const { return col_idx_; }
+  std::span<const T> values() const { return values_; }
+  std::span<T> values_mutable() { return values_; }
+
+  /// Number of stored entries in row i.
+  index_t row_nnz(index_t i) const {
+    FBMPK_DCHECK(i >= 0 && i < rows_);
+    return row_ptr_[static_cast<std::size_t>(i) + 1] -
+           row_ptr_[static_cast<std::size_t>(i)];
+  }
+
+  /// Stored value at (i, j), or T{} when the position is not stored.
+  T at(index_t i, index_t j) const {
+    FBMPK_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      if (col_idx_[k] == j) return values_[k];
+    return T{};
+  }
+
+  /// Bytes of heap storage held by the three arrays (Table IV).
+  std::size_t storage_bytes() const {
+    return row_ptr_.size() * sizeof(index_t) +
+           col_idx_.size() * sizeof(index_t) + values_.size() * sizeof(T);
+  }
+
+  bool empty() const { return rows_ == 0; }
+
+  /// Full structural validation; throws fbmpk::Error on any violation.
+  void validate() const {
+    FBMPK_CHECK(rows_ >= 0 && cols_ >= 0);
+    FBMPK_CHECK(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1);
+    FBMPK_CHECK(row_ptr_.front() == 0);
+    FBMPK_CHECK(row_ptr_.back() == static_cast<index_t>(values_.size()));
+    FBMPK_CHECK(col_idx_.size() == values_.size());
+    for (index_t i = 0; i < rows_; ++i) {
+      FBMPK_CHECK_MSG(row_ptr_[i] <= row_ptr_[i + 1],
+                      "row_ptr not monotone at row " << i);
+      for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        FBMPK_CHECK_MSG(col_idx_[k] >= 0 && col_idx_[k] < cols_,
+                        "column out of range in row " << i);
+        if (k > row_ptr_[i])
+          FBMPK_CHECK_MSG(col_idx_[k - 1] < col_idx_[k],
+                          "columns not strictly ascending in row " << i);
+      }
+    }
+  }
+
+  friend bool operator==(const CsrMatrix& a, const CsrMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.row_ptr_ == b.row_ptr_ && a.col_idx_ == b.col_idx_ &&
+           a.values_ == b.values_;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  AlignedVector<index_t> row_ptr_{0};  // valid empty matrix: [0]
+  AlignedVector<index_t> col_idx_;
+  AlignedVector<T> values_;
+};
+
+}  // namespace fbmpk

@@ -1,0 +1,128 @@
+#include "sparse/mm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+// Reads the next non-comment, non-blank line. Returns false at EOF.
+bool next_data_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (line[pos] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CooMatrix<double> read_matrix_market(std::istream& in,
+                                     MatrixMarketHeader* header) {
+  std::string banner;
+  FBMPK_CHECK_MSG(std::getline(in, banner), "empty MatrixMarket stream");
+
+  std::istringstream bs(banner);
+  std::string tag, object, format, field, symmetry;
+  bs >> tag >> object >> format >> field >> symmetry;
+  FBMPK_CHECK_MSG(tag == "%%MatrixMarket", "missing MatrixMarket banner");
+  FBMPK_CHECK_MSG(lower(object) == "matrix", "unsupported object: " << object);
+  FBMPK_CHECK_MSG(lower(format) == "coordinate",
+                  "only coordinate format supported, got: " << format);
+
+  MatrixMarketHeader hdr;
+  const std::string f = lower(field);
+  if (f == "pattern")
+    hdr.pattern = true;
+  else
+    FBMPK_CHECK_MSG(f == "real" || f == "integer" || f == "double",
+                    "unsupported field type: " << field);
+
+  const std::string sym = lower(symmetry);
+  if (sym == "symmetric")
+    hdr.symmetric = true;
+  else
+    FBMPK_CHECK_MSG(sym == "general",
+                    "unsupported symmetry type: " << symmetry);
+
+  std::string line;
+  FBMPK_CHECK_MSG(next_data_line(in, line), "missing size line");
+  {
+    std::istringstream ss(line);
+    long long r = 0, c = 0;
+    long long nnz = 0;
+    ss >> r >> c >> nnz;
+    FBMPK_CHECK_MSG(!ss.fail() && r > 0 && c > 0 && nnz >= 0,
+                    "malformed size line: " << line);
+    hdr.rows = static_cast<index_t>(r);
+    hdr.cols = static_cast<index_t>(c);
+    hdr.declared_nnz = static_cast<std::size_t>(nnz);
+  }
+
+  CooMatrix<double> coo(hdr.rows, hdr.cols);
+  coo.reserve(hdr.symmetric ? 2 * hdr.declared_nnz : hdr.declared_nnz);
+  for (std::size_t k = 0; k < hdr.declared_nnz; ++k) {
+    FBMPK_CHECK_MSG(next_data_line(in, line),
+                    "file ends after " << k << " of " << hdr.declared_nnz
+                                       << " entries");
+    std::istringstream ss(line);
+    long long i = 0, j = 0;
+    double v = 1.0;
+    ss >> i >> j;
+    if (!hdr.pattern) ss >> v;
+    FBMPK_CHECK_MSG(!ss.fail(), "malformed entry line: " << line);
+    FBMPK_CHECK_MSG(i >= 1 && i <= hdr.rows && j >= 1 && j <= hdr.cols,
+                    "entry index out of range: " << line);
+    const auto row = static_cast<index_t>(i - 1);
+    const auto col = static_cast<index_t>(j - 1);
+    coo.add(row, col, v);
+    if (hdr.symmetric && row != col) coo.add(col, row, v);
+  }
+
+  if (header != nullptr) *header = hdr;
+  return coo;
+}
+
+CsrMatrix<double> read_matrix_market_file(const std::string& path,
+                                          MatrixMarketHeader* header) {
+  std::ifstream in(path);
+  FBMPK_CHECK_MSG(in.is_open(), "cannot open file: " << path);
+  return CsrMatrix<double>::from_coo(read_matrix_market(in, header));
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix<double>& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
+  out << std::setprecision(17);
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.values();
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k)
+      out << (i + 1) << ' ' << (ci[k] + 1) << ' ' << va[k] << '\n';
+}
+
+void write_matrix_market_file(const std::string& path,
+                              const CsrMatrix<double>& a) {
+  std::ofstream out(path);
+  FBMPK_CHECK_MSG(out.is_open(), "cannot open file for write: " << path);
+  write_matrix_market(out, a);
+  FBMPK_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+}  // namespace fbmpk

@@ -1,0 +1,43 @@
+// Matrix Market (.mtx) reader/writer.
+//
+// Supports the coordinate format with real/integer/pattern fields and
+// general/symmetric symmetry — the subset covering the SuiteSparse
+// collection the paper evaluates on. Symmetric files are expanded to a
+// full (general) matrix on read, matching what the kernels expect.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace fbmpk {
+
+/// Metadata parsed from the MatrixMarket banner.
+struct MatrixMarketHeader {
+  bool pattern = false;    ///< entries have no value field (implicit 1.0)
+  bool symmetric = false;  ///< file stores only the lower triangle
+  index_t rows = 0;
+  index_t cols = 0;
+  std::size_t declared_nnz = 0;  ///< entry count declared in the size line
+};
+
+/// Read a MatrixMarket stream into COO. Symmetric storage is expanded
+/// (the mirrored entry is added for every off-diagonal). Throws on
+/// malformed input or unsupported variants (complex, array format).
+CooMatrix<double> read_matrix_market(std::istream& in,
+                                     MatrixMarketHeader* header = nullptr);
+
+/// Convenience: read a .mtx file into CSR.
+CsrMatrix<double> read_matrix_market_file(const std::string& path,
+                                          MatrixMarketHeader* header = nullptr);
+
+/// Write a CSR matrix as a general real coordinate MatrixMarket stream.
+void write_matrix_market(std::ostream& out, const CsrMatrix<double>& a);
+
+/// Convenience: write a .mtx file.
+void write_matrix_market_file(const std::string& path,
+                              const CsrMatrix<double>& a);
+
+}  // namespace fbmpk

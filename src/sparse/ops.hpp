@@ -1,0 +1,170 @@
+// Structural and numeric operations on CSR matrices: transpose, symmetry
+// analysis, bandwidth, diagonal extraction, dense conversion (for tests).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "support/aligned_buffer.hpp"
+
+namespace fbmpk {
+
+/// Transpose (also converts CSR <-> CSC interpretation).
+template <class T>
+CsrMatrix<T> transpose(const CsrMatrix<T>& a);
+
+/// True when the sparsity pattern is symmetric (values ignored).
+template <class T>
+bool is_structurally_symmetric(const CsrMatrix<T>& a);
+
+/// True when A == A^T within |a_ij - a_ji| <= tol.
+template <class T>
+bool is_numerically_symmetric(const CsrMatrix<T>& a, T tol = T(0));
+
+/// Matrix bandwidth: max |i - j| over stored entries.
+template <class T>
+index_t bandwidth(const CsrMatrix<T>& a);
+
+/// Diagonal of A as a dense vector (missing diagonal entries are zero).
+template <class T>
+AlignedVector<T> extract_diagonal(const CsrMatrix<T>& a);
+
+/// Dense row-major copy — test/debug utility, O(rows*cols) memory.
+template <class T>
+std::vector<T> to_dense(const CsrMatrix<T>& a);
+
+/// Dense row-major -> CSR (drops exact zeros) — test/debug utility.
+template <class T>
+CsrMatrix<T> from_dense(index_t rows, index_t cols, const std::vector<T>& d);
+
+/// Explicitly symmetrize the PATTERN: returns A with any missing (j,i)
+/// position filled with value 0 wherever (i,j) is stored. Used when an
+/// unsymmetric matrix must pass through algorithms that expect a
+/// structurally symmetric adjacency (e.g. RCM, ABMC quotient graphs).
+template <class T>
+CsrMatrix<T> symmetrize_pattern(const CsrMatrix<T>& a);
+
+// ---------------------------------------------------------------------------
+// Implementation
+// ---------------------------------------------------------------------------
+
+template <class T>
+CsrMatrix<T> transpose(const CsrMatrix<T>& a) {
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.values();
+  const index_t n = a.rows();
+  const index_t m = a.cols();
+  const std::size_t nnz = va.size();
+
+  AlignedVector<index_t> t_ptr(static_cast<std::size_t>(m) + 1, 0);
+  for (std::size_t k = 0; k < nnz; ++k) t_ptr[ci[k] + 1] += 1;
+  for (std::size_t j = 1; j < t_ptr.size(); ++j) t_ptr[j] += t_ptr[j - 1];
+
+  AlignedVector<index_t> t_col(nnz);
+  AlignedVector<T> t_val(nnz);
+  AlignedVector<index_t> cursor(t_ptr.begin(), t_ptr.end() - 1);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k) {
+      const index_t pos = cursor[ci[k]]++;
+      t_col[pos] = i;
+      t_val[pos] = va[k];
+    }
+  }
+  // Row-major traversal of A emits ascending row indices per transposed
+  // row, so columns of the result are already sorted.
+  return CsrMatrix<T>(m, n, std::move(t_ptr), std::move(t_col),
+                      std::move(t_val));
+}
+
+template <class T>
+bool is_structurally_symmetric(const CsrMatrix<T>& a) {
+  if (a.rows() != a.cols()) return false;
+  const CsrMatrix<T> t = transpose(a);
+  return a.row_ptr().size() == t.row_ptr().size() &&
+         std::equal(a.row_ptr().begin(), a.row_ptr().end(),
+                    t.row_ptr().begin()) &&
+         std::equal(a.col_idx().begin(), a.col_idx().end(),
+                    t.col_idx().begin());
+}
+
+template <class T>
+bool is_numerically_symmetric(const CsrMatrix<T>& a, T tol) {
+  if (!is_structurally_symmetric(a)) return false;
+  const CsrMatrix<T> t = transpose(a);
+  const auto va = a.values();
+  const auto vt = t.values();
+  for (std::size_t k = 0; k < va.size(); ++k)
+    if (std::abs(va[k] - vt[k]) > tol) return false;
+  return true;
+}
+
+template <class T>
+index_t bandwidth(const CsrMatrix<T>& a) {
+  index_t bw = 0;
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k)
+      bw = std::max(bw, std::abs(i - ci[k]));
+  return bw;
+}
+
+template <class T>
+AlignedVector<T> extract_diagonal(const CsrMatrix<T>& a) {
+  FBMPK_CHECK(a.rows() == a.cols());
+  AlignedVector<T> d(static_cast<std::size_t>(a.rows()), T{});
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.values();
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k)
+      if (ci[k] == i) d[i] = va[k];
+  return d;
+}
+
+template <class T>
+std::vector<T> to_dense(const CsrMatrix<T>& a) {
+  std::vector<T> d(static_cast<std::size_t>(a.rows()) * a.cols(), T{});
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.values();
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k)
+      d[static_cast<std::size_t>(i) * a.cols() + ci[k]] = va[k];
+  return d;
+}
+
+template <class T>
+CsrMatrix<T> from_dense(index_t rows, index_t cols, const std::vector<T>& d) {
+  FBMPK_CHECK(d.size() == static_cast<std::size_t>(rows) * cols);
+  CooMatrix<T> coo(rows, cols);
+  for (index_t i = 0; i < rows; ++i)
+    for (index_t j = 0; j < cols; ++j) {
+      const T v = d[static_cast<std::size_t>(i) * cols + j];
+      if (v != T{}) coo.add(i, j, v);
+    }
+  return CsrMatrix<T>::from_sorted_coo(coo);
+}
+
+template <class T>
+CsrMatrix<T> symmetrize_pattern(const CsrMatrix<T>& a) {
+  FBMPK_CHECK(a.rows() == a.cols());
+  CooMatrix<T> coo(a.rows(), a.cols());
+  coo.reserve(2 * static_cast<std::size_t>(a.nnz()));
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.values();
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k) {
+      coo.add(i, ci[k], va[k]);
+      if (ci[k] != i) coo.add(ci[k], i, T{});  // pattern-only mirror
+    }
+  // Duplicate (i,j) entries sum; the mirror adds 0 so values of stored
+  // positions are unchanged.
+  return CsrMatrix<T>::from_coo(coo);
+}
+
+}  // namespace fbmpk

@@ -1,0 +1,160 @@
+// SELL-C-sigma sparse format (Kreutzer et al., SIAM SISC 2014) — the
+// SIMD-friendly format the paper names as future work for FBMPK's
+// triangles (§VII, "Sparse matrix storage formats").
+//
+// Rows are grouped into chunks of C consecutive rows; within a sorting
+// window of sigma rows, rows are ordered by descending length so chunk
+// mates have similar lengths and padding stays small. Each chunk is
+// stored column-major (lane r of iteration j at chunk_offset + j*C + r),
+// which lets one SIMD instruction process C rows in lockstep.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+template <class T>
+class SellMatrix {
+ public:
+  SellMatrix() = default;
+
+  /// Convert from CSR. chunk = C (rows per chunk), sigma = sorting
+  /// window in rows (use 1 for no reordering, rows() for a full sort);
+  /// sigma is rounded up to a multiple of chunk.
+  static SellMatrix from_csr(const CsrMatrix<T>& a, index_t chunk = 8,
+                             index_t sigma = 1) {
+    FBMPK_CHECK(chunk >= 1);
+    FBMPK_CHECK(sigma >= 1);
+    SellMatrix m;
+    m.rows_ = a.rows();
+    m.cols_ = a.cols();
+    m.chunk_ = chunk;
+    m.nnz_ = a.nnz();
+    const index_t n = a.rows();
+    sigma = std::max(sigma, chunk);
+
+    // Row order: descending length inside each sigma window (stable so
+    // equal-length rows keep their relative order).
+    m.row_order_.resize(static_cast<std::size_t>(n));
+    std::iota(m.row_order_.begin(), m.row_order_.end(), 0);
+    for (index_t w = 0; w < n; w += sigma) {
+      const index_t end = std::min<index_t>(n, w + sigma);
+      std::stable_sort(m.row_order_.begin() + w, m.row_order_.begin() + end,
+                       [&](index_t x, index_t y) {
+                         return a.row_nnz(x) > a.row_nnz(y);
+                       });
+    }
+
+    const index_t num_chunks = (n + chunk - 1) / chunk;
+    m.chunk_ptr_.assign(static_cast<std::size_t>(num_chunks) + 1, 0);
+    m.chunk_len_.assign(static_cast<std::size_t>(num_chunks), 0);
+    for (index_t c = 0; c < num_chunks; ++c) {
+      index_t len = 0;
+      for (index_t r = c * chunk; r < std::min<index_t>(n, (c + 1) * chunk);
+           ++r)
+        len = std::max(len, a.row_nnz(m.row_order_[r]));
+      m.chunk_len_[c] = len;
+      m.chunk_ptr_[c + 1] = m.chunk_ptr_[c] + len * chunk;
+    }
+
+    const auto padded = static_cast<std::size_t>(m.chunk_ptr_[num_chunks]);
+    // Padding lanes point at column 0 with value 0: mathematically a
+    // no-op, branch-free in the kernel.
+    m.col_idx_.assign(padded, 0);
+    m.values_.assign(padded, T{});
+    for (index_t c = 0; c < num_chunks; ++c) {
+      for (index_t lane = 0; lane < chunk; ++lane) {
+        const index_t slot = c * chunk + lane;
+        if (slot >= n) continue;
+        const index_t row = m.row_order_[slot];
+        const index_t lo = a.row_ptr()[row];
+        const index_t len = a.row_nnz(row);
+        for (index_t j = 0; j < len; ++j) {
+          const std::size_t pos = static_cast<std::size_t>(m.chunk_ptr_[c]) +
+                                  static_cast<std::size_t>(j) * chunk + lane;
+          m.col_idx_[pos] = a.col_idx()[lo + j];
+          m.values_[pos] = a.values()[lo + j];
+        }
+      }
+    }
+    return m;
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return nnz_; }
+  index_t chunk() const { return chunk_; }
+  index_t num_chunks() const {
+    return static_cast<index_t>(chunk_len_.size());
+  }
+
+  /// Stored slots including padding.
+  std::size_t padded_size() const { return values_.size(); }
+
+  /// Padding overhead: padded slots / nnz (1.0 = no padding).
+  double padding_factor() const {
+    return nnz_ == 0 ? 1.0
+                     : static_cast<double>(padded_size()) /
+                           static_cast<double>(nnz_);
+  }
+
+  std::size_t storage_bytes() const {
+    return col_idx_.size() * sizeof(index_t) + values_.size() * sizeof(T) +
+           chunk_ptr_.size() * sizeof(index_t) +
+           chunk_len_.size() * sizeof(index_t) +
+           row_order_.size() * sizeof(index_t);
+  }
+
+  /// y = A x. Lanes of a chunk advance in lockstep (SIMD-friendly).
+  void spmv(std::span<const T> x, std::span<T> y) const {
+    FBMPK_CHECK(x.size() == static_cast<std::size_t>(cols_));
+    FBMPK_CHECK(y.size() == static_cast<std::size_t>(rows_));
+    const index_t n = rows_;
+    const index_t C = chunk_;
+    const index_t* ci = col_idx_.data();
+    const T* va = values_.data();
+    const T* xp = x.data();
+
+    // Accumulators for one chunk live on the stack; C is small.
+    FBMPK_CHECK_MSG(C <= 64, "chunk height > 64 unsupported");
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (index_t c = 0; c < num_chunks(); ++c) {
+      T acc[64];
+      const index_t base = chunk_ptr_[c];
+      const index_t len = chunk_len_[c];
+      for (index_t lane = 0; lane < C; ++lane) acc[lane] = T{};
+      for (index_t j = 0; j < len; ++j) {
+        const index_t off = base + j * C;
+        for (index_t lane = 0; lane < C; ++lane)
+          acc[lane] += va[off + lane] * xp[ci[off + lane]];
+      }
+      for (index_t lane = 0; lane < C; ++lane) {
+        const index_t slot = c * C + lane;
+        if (slot < n) y[row_order_[slot]] = acc[lane];
+      }
+    }
+  }
+
+  std::span<const index_t> row_order() const { return row_order_; }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t nnz_ = 0;
+  index_t chunk_ = 8;
+  std::vector<index_t> row_order_;       ///< slot -> original row
+  AlignedVector<index_t> chunk_ptr_;     ///< chunk -> base offset
+  AlignedVector<index_t> chunk_len_;     ///< chunk -> padded row length
+  AlignedVector<index_t> col_idx_;       ///< column-major per chunk
+  AlignedVector<T> values_;
+};
+
+}  // namespace fbmpk

@@ -1,0 +1,44 @@
+#include "sparse/vector_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+AlignedVector<double> read_vector(std::istream& in) {
+  AlignedVector<double> v;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '%') continue;
+    std::istringstream ss(line);
+    double value = 0.0;
+    while (ss >> value) v.push_back(value);
+    FBMPK_CHECK_MSG(ss.eof(), "malformed vector line: " << line);
+  }
+  return v;
+}
+
+AlignedVector<double> read_vector_file(const std::string& path) {
+  std::ifstream in(path);
+  FBMPK_CHECK_MSG(in.is_open(), "cannot open vector file: " << path);
+  return read_vector(in);
+}
+
+void write_vector(std::ostream& out, const AlignedVector<double>& v) {
+  out << std::setprecision(17);
+  for (double x : v) out << x << '\n';
+}
+
+void write_vector_file(const std::string& path,
+                       const AlignedVector<double>& v) {
+  std::ofstream out(path);
+  FBMPK_CHECK_MSG(out.is_open(), "cannot open for write: " << path);
+  write_vector(out, v);
+  FBMPK_CHECK_MSG(out.good(), "vector write failed: " << path);
+}
+
+}  // namespace fbmpk

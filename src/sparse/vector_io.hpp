@@ -1,0 +1,23 @@
+// Dense-vector file I/O: plain text, one value per line, '%' comments —
+// compatible with the MatrixMarket array convention used by SuiteSparse
+// tooling for right-hand sides.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "support/aligned_buffer.hpp"
+
+namespace fbmpk {
+
+/// Read all values from a stream (whitespace-separated; '%'-prefixed
+/// lines skipped). Throws on malformed numbers.
+AlignedVector<double> read_vector(std::istream& in);
+AlignedVector<double> read_vector_file(const std::string& path);
+
+/// Write one value per line at full precision.
+void write_vector(std::ostream& out, const AlignedVector<double>& v);
+void write_vector_file(const std::string& path,
+                       const AlignedVector<double>& v);
+
+}  // namespace fbmpk

@@ -1,0 +1,62 @@
+// Cache-line/SIMD aligned storage for numeric arrays.
+//
+// Sparse kernels stream large arrays of indices and values; aligning them
+// to 64 bytes keeps every vector load within one cache line and gives the
+// compiler a known alignment for vectorization.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace fbmpk {
+
+/// Default alignment for all numeric buffers (one x86/ARM cache line).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal C++17 aligned allocator; std::vector<T, AlignedAllocator<T>>
+/// gives 64-byte aligned, value-initialized storage.
+template <class T, std::size_t Align = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Align >= alignof(T), "alignment weaker than natural");
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of 2");
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    // Round the byte count up to a multiple of the alignment as required
+    // by std::aligned_alloc.
+    std::size_t bytes = (n * sizeof(T) + Align - 1) / Align * Align;
+    void* p = std::aligned_alloc(Align, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// The library-wide vector type for numeric data.
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace fbmpk

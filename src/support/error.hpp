@@ -1,0 +1,58 @@
+// Error handling primitives for the FBMPK library.
+//
+// All precondition violations throw fbmpk::Error (a std::runtime_error)
+// carrying the failing expression and source location. Hot kernel loops
+// never check; checks live at API boundaries and in debug assertions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fbmpk {
+
+/// Exception type thrown on any precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FBMPK check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace fbmpk
+
+/// Boundary check: always active, throws fbmpk::Error on failure.
+#define FBMPK_CHECK(expr)                                                   \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::fbmpk::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Boundary check with a streamed message:
+///   FBMPK_CHECK_MSG(n > 0, "matrix must be non-empty, n=" << n);
+#define FBMPK_CHECK_MSG(expr, stream_expr)                                   \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream fbmpk_check_os_;                                    \
+      fbmpk_check_os_ << stream_expr;                                        \
+      ::fbmpk::detail::throw_check_failure(#expr, __FILE__, __LINE__,        \
+                                           fbmpk_check_os_.str());           \
+    }                                                                        \
+  } while (0)
+
+/// Debug-only assertion for kernel internals; compiled out in release.
+#ifdef NDEBUG
+#define FBMPK_DCHECK(expr) ((void)0)
+#else
+#define FBMPK_DCHECK(expr) FBMPK_CHECK(expr)
+#endif

@@ -1,0 +1,77 @@
+// Small statistics toolkit: the paper reports the geometric mean of 50
+// repeated runs per data point, and geometric-mean speedups across the
+// matrix suite; benchmarks reuse these helpers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+/// Geometric mean of strictly positive samples.
+inline double geometric_mean(std::span<const double> xs) {
+  FBMPK_CHECK(!xs.empty());
+  double log_sum = 0.0;
+  for (double x : xs) {
+    FBMPK_CHECK_MSG(x > 0.0, "geometric mean requires positive samples");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/// Arithmetic mean.
+inline double mean(std::span<const double> xs) {
+  FBMPK_CHECK(!xs.empty());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+/// Minimum element.
+inline double min_value(std::span<const double> xs) {
+  FBMPK_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+/// Median (of a copy; does not reorder the input).
+inline double median(std::span<const double> xs) {
+  FBMPK_CHECK(!xs.empty());
+  std::vector<double> tmp(xs.begin(), xs.end());
+  std::size_t mid = tmp.size() / 2;
+  std::nth_element(tmp.begin(), tmp.begin() + mid, tmp.end());
+  double hi = tmp[mid];
+  if (tmp.size() % 2 == 1) return hi;
+  double lo = *std::max_element(tmp.begin(), tmp.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+/// Sample standard deviation.
+inline double stddev(std::span<const double> xs) {
+  FBMPK_CHECK(xs.size() >= 2);
+  double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+/// Running accumulator used where samples arrive one at a time.
+class RunningStats {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const { return samples_.size(); }
+  double geomean() const { return geometric_mean(samples_); }
+  double mean() const { return ::fbmpk::mean(samples_); }
+  double min() const { return min_value(samples_); }
+  double median() const { return ::fbmpk::median(samples_); }
+  std::span<const double> samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace fbmpk

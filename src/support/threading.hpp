@@ -1,0 +1,47 @@
+// Thin OpenMP abstraction. Everything compiles (serially) when OpenMP is
+// unavailable, so the library has no hard dependency on it.
+#pragma once
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fbmpk {
+
+/// Number of threads an upcoming parallel region will use.
+inline int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Calling thread's id inside a parallel region (0 outside one).
+inline int thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Set the global OpenMP thread count (no-op without OpenMP).
+inline void set_threads(int n) {
+#ifdef _OPENMP
+  if (n > 0) omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+/// True when compiled with OpenMP support.
+inline constexpr bool has_openmp() {
+#ifdef _OPENMP
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace fbmpk

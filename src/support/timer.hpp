@@ -1,0 +1,30 @@
+// Wall-clock timing helpers used by benchmarks and the preprocessing
+// overhead measurements.
+#pragma once
+
+#include <chrono>
+
+namespace fbmpk {
+
+/// Monotonic stopwatch. Construction starts it.
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace fbmpk

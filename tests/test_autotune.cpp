@@ -1,0 +1,66 @@
+// Tests for the ABMC block-count autotuner.
+#include <gtest/gtest.h>
+
+#include "core/autotune.hpp"
+#include "gen/stencil.hpp"
+#include "kernels/mpk_baseline.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+TEST(Autotune, SamplesEveryCandidateAndPicksMinimum) {
+  const auto a = gen::make_laplacian_2d(30, 30);
+  const index_t candidates[] = {8, 32, 128};
+  const auto r = autotune_block_count(a, 3, candidates, 2);
+  ASSERT_EQ(r.samples.size(), 3u);
+  double best = 1e300;
+  for (const auto& s : r.samples) {
+    EXPECT_GT(s.seconds, 0.0);
+    EXPECT_GE(s.num_colors, 1);
+    best = std::min(best, s.seconds);
+  }
+  EXPECT_DOUBLE_EQ(r.best_seconds, best);
+  bool found = false;
+  for (const auto& s : r.samples)
+    if (s.num_blocks == r.best_blocks) {
+      found = true;
+      EXPECT_DOUBLE_EQ(s.seconds, r.best_seconds);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Autotune, BuiltPlanUsesWinnerAndIsCorrect) {
+  const auto a = test::random_matrix(200, 6.0, true, 3);
+  auto plan = build_autotuned_plan(a, 4);
+  EXPECT_GT(plan.options().abmc.num_blocks, 0);
+
+  const auto x = test::random_vector(200, 4);
+  AlignedVector<double> y(200), ref(200);
+  plan.power(x, 4, y);
+  MpkWorkspace<double> ws;
+  mpk_power<double>(a, x, 4, ref, ws);
+  test::expect_near_rel(y, ref, 1e-8);
+}
+
+TEST(Autotune, RejectsBadArguments) {
+  const auto a = gen::make_laplacian_2d(5, 5);
+  EXPECT_THROW(autotune_block_count(a, 0), Error);
+  EXPECT_THROW(autotune_block_count(a, 3, {}, 1), Error);
+  const index_t bad[] = {0};
+  EXPECT_THROW(autotune_block_count(a, 3, bad, 1), Error);
+}
+
+TEST(Autotune, RespectsBaseOptions) {
+  const auto a = test::random_matrix(100, 5.0, true, 5);
+  PlanOptions base;
+  base.variant = FbVariant::kSplit;
+  base.parallel = false;
+  base.reorder = true;
+  auto plan = build_autotuned_plan(a, 3, base);
+  EXPECT_EQ(plan.options().variant, FbVariant::kSplit);
+  EXPECT_FALSE(plan.options().parallel);
+}
+
+}  // namespace
+}  // namespace fbmpk

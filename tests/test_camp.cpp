@@ -1,0 +1,133 @@
+// Tests for the CA-MPK comparator (communication-avoiding blocked
+// matrix-powers kernel): correctness against the standard baseline and
+// the redundancy-growth property the paper's related-work critique
+// rests on (§VI).
+#include <gtest/gtest.h>
+
+#include "gen/stencil.hpp"
+#include "gen/suite.hpp"
+#include "kernels/camp.hpp"
+#include "kernels/mpk_baseline.hpp"
+#include "support/threading.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+class CampCorrectnessTest
+    : public ::testing::TestWithParam<std::tuple<int, index_t>> {};
+
+TEST_P(CampCorrectnessTest, PowerAllMatchesBaseline) {
+  const auto [k, num_blocks] = GetParam();
+  const auto a = test::random_matrix(250, 6.0, false, 31);
+  const auto x = test::random_vector(250, 32);
+  const auto plan = camp_build(a, k, num_blocks);
+
+  AlignedVector<double> basis_camp(250 * (k + 1));
+  camp_power_all<double>(a, plan, x, basis_camp);
+
+  MpkWorkspace<double> ws;
+  AlignedVector<double> basis_ref(250 * (k + 1));
+  mpk_power_all<double>(a, x, k, basis_ref, ws);
+
+  for (int p = 0; p <= k; ++p)
+    test::expect_near_rel(
+        std::span<const double>(basis_camp).subspan(250 * p, 250),
+        std::span<const double>(basis_ref).subspan(250 * p, 250),
+        1e-12 * std::pow(4.0, p), "camp power");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PowersAndBlocks, CampCorrectnessTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values<index_t>(1, 4, 16, 64)));
+
+TEST(Camp, PowerMatchesOnGridAndSuite) {
+  for (const char* name : {"G3_circuit", "cage14"}) {
+    const auto m = gen::make_suite_matrix(name, 0.02);
+    const index_t n = m.matrix.rows();
+    const auto x = test::random_vector(n, 7);
+    const auto plan = camp_build(m.matrix, 4, 16);
+    AlignedVector<double> y(n), ref(n);
+    camp_power<double>(m.matrix, plan, x, y);
+    MpkWorkspace<double> ws;
+    mpk_power<double>(m.matrix, x, 4, ref, ws);
+    test::expect_near_rel(y, ref, 1e-8, name);
+  }
+}
+
+TEST(Camp, RedundancyGrowsWithK) {
+  // The structural core of the paper's LB-MPK critique: ghost regions —
+  // and hence redundant work — expand with every extra power.
+  const auto a = gen::make_laplacian_2d(40, 40);
+  double prev = 1.0;
+  for (int k : {1, 2, 4, 8}) {
+    const auto plan = camp_build(a, k, 16);
+    const double red = plan.redundancy();
+    EXPECT_GT(red, prev * 0.999) << "k=" << k;
+    prev = red;
+  }
+  EXPECT_GT(prev, 1.5);  // at k=8 ghosts dominate 100-row blocks
+}
+
+TEST(Camp, RedundancyGrowsWithBlockCount) {
+  const auto a = gen::make_laplacian_2d(40, 40);
+  const double few = camp_build(a, 4, 4).redundancy();
+  const double many = camp_build(a, 4, 64).redundancy();
+  EXPECT_GT(many, few);
+  EXPECT_DOUBLE_EQ(camp_build(a, 4, 1).redundancy(), 1.0);  // no ghosts
+}
+
+TEST(Camp, SingleBlockEqualsStandardComputation) {
+  const auto a = test::random_matrix(80, 5.0, true, 41);
+  const auto x = test::random_vector(80, 42);
+  const auto plan = camp_build(a, 5, 1);
+  EXPECT_DOUBLE_EQ(plan.nnz_redundancy(a.nnz()), 1.0);
+  AlignedVector<double> y(80), ref(80);
+  camp_power<double>(a, plan, x, y);
+  MpkWorkspace<double> ws;
+  mpk_power<double>(a, x, 5, ref, ws);
+  test::expect_near_rel(y, ref, 1e-10);
+}
+
+TEST(Camp, UnsymmetricDependencyHandled) {
+  // Strictly upper bidiagonal: row i depends only on i+1 — reach must
+  // follow out-edges, not the symmetrized pattern.
+  CooMatrix<double> coo(20, 20);
+  for (index_t i = 0; i < 20; ++i) {
+    coo.add(i, i, 1.0);
+    if (i + 1 < 20) coo.add(i, i + 1, 2.0);
+  }
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  const auto x = test::random_vector(20, 43);
+  const auto plan = camp_build(a, 3, 5);
+  AlignedVector<double> y(20), ref(20);
+  camp_power<double>(a, plan, x, y);
+  MpkWorkspace<double> ws;
+  mpk_power<double>(a, x, 3, ref, ws);
+  test::expect_near_rel(y, ref, 1e-13);
+}
+
+TEST(Camp, ParallelBlocksMatchSerialExecution) {
+  set_threads(4);
+  const auto a = gen::make_laplacian_3d(8, 8, 8);
+  const auto x = test::random_vector(512, 44);
+  const auto plan = camp_build(a, 4, 32);
+  AlignedVector<double> y(512), ref(512);
+  camp_power<double>(a, plan, x, y);
+  set_threads(1);
+  camp_power<double>(a, plan, x, ref);
+  for (index_t i = 0; i < 512; ++i) ASSERT_EQ(y[i], ref[i]);
+  set_threads(max_threads());
+}
+
+TEST(Camp, RejectsBadArguments) {
+  const auto a = gen::make_laplacian_2d(4, 4);
+  EXPECT_THROW(camp_build(a, 0, 4), Error);
+  CooMatrix<double> rect(2, 3);
+  rect.add(0, 0, 1.0);
+  EXPECT_THROW(camp_build(CsrMatrix<double>::from_coo(rect), 2, 2), Error);
+}
+
+}  // namespace
+}  // namespace fbmpk

@@ -1,0 +1,216 @@
+// Edge-case and consistency tests across modules: degenerate matrices,
+// tracer transparency (tracing must not change numerics), float
+// instantiations, and robustness of the I/O layer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/plan.hpp"
+#include "gen/stencil.hpp"
+#include "kernels/fbmpk.hpp"
+#include "kernels/mpk_baseline.hpp"
+#include "perf/cache_sim.hpp"
+#include "sparse/mm_io.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/split.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+TEST(EdgeCases, MatrixWithEmptyRowsThroughFullPipeline) {
+  // Rows 1 and 3 are completely empty (no diagonal either).
+  CooMatrix<double> coo(5, 5);
+  coo.add(0, 0, 2.0);
+  coo.add(2, 0, 1.0);
+  coo.add(2, 2, 1.5);
+  coo.add(2, 4, 0.5);
+  coo.add(4, 2, -1.0);
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  const auto s = split_triangular(a);
+  const auto x = test::random_vector(5, 1);
+  FbWorkspace<double> ws;
+  AlignedVector<double> y(5);
+  for (int k : {1, 2, 3, 4}) {
+    fbmpk_power<double>(s, x, k, y, ws);
+    const auto ref = test::dense_power_reference(a, x, k);
+    test::expect_near_rel(y, ref, 1e-12);
+  }
+}
+
+TEST(EdgeCases, SingleRowMatrix) {
+  CooMatrix<double> coo(1, 1);
+  coo.add(0, 0, 3.0);
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  auto plan = MpkPlan::build(a);
+  const AlignedVector<double> x{2.0};
+  AlignedVector<double> y(1);
+  plan.power(x, 4, y);
+  EXPECT_DOUBLE_EQ(y[0], 81.0 * 2.0);
+}
+
+TEST(EdgeCases, ZeroDiagonalMatrix) {
+  // Anti-diagonal permutation-like matrix: no stored diagonal at all.
+  CooMatrix<double> coo(4, 4);
+  coo.add(0, 3, 1.0);
+  coo.add(1, 2, 1.0);
+  coo.add(2, 1, 1.0);
+  coo.add(3, 0, 1.0);
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  auto plan = MpkPlan::build(a);
+  const AlignedVector<double> x{1.0, 2.0, 3.0, 4.0};
+  AlignedVector<double> y(4);
+  plan.power(x, 2, y);  // anti-diagonal squared = identity
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(EdgeCases, FullyDenseSmallMatrix) {
+  CooMatrix<double> coo(8, 8);
+  Rng rng(5);
+  for (index_t i = 0; i < 8; ++i)
+    for (index_t j = 0; j < 8; ++j) coo.add(i, j, rng.next_double(-1, 1));
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  const auto s = split_triangular(a);
+  const auto x = test::random_vector(8, 6);
+  FbWorkspace<double> ws;
+  AlignedVector<double> y(8);
+  fbmpk_power<double>(s, x, 5, y, ws);
+  const auto ref = test::dense_power_reference(a, x, 5);
+  test::expect_near_rel(y, ref, 1e-10);
+}
+
+TEST(EdgeCases, HighPowerStaysFinite) {
+  // Scaled so the spectral radius is < 1: A^40 x must shrink, not blow
+  // up or produce NaN.
+  auto a = test::random_matrix(50, 5.0, true, 7);
+  for (auto& v : a.values_mutable()) v *= 0.05;
+  const auto s = split_triangular(a);
+  const auto x = test::random_vector(50, 8);
+  FbWorkspace<double> ws;
+  AlignedVector<double> y(50);
+  fbmpk_power<double>(s, x, 40, y, ws);
+  for (double v : y) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LT(std::abs(v), 1.0);
+  }
+}
+
+TEST(TracerConsistency, TracedSpmvProducesIdenticalValues) {
+  const auto a = test::random_matrix(200, 6.0, false, 9);
+  const auto x = test::random_vector(200, 10);
+  AlignedVector<double> y_plain(200), y_traced(200);
+  spmv<double>(a, x, y_plain, SpmvExec::kSerial);
+  perf::CacheHierarchy sim({perf::CacheConfig{8192, 4, 64}});
+  perf::CacheTracer tr{&sim};
+  spmv_traced<double>(a, x, y_traced, tr, SpmvExec::kSerial);
+  for (index_t i = 0; i < 200; ++i) ASSERT_EQ(y_plain[i], y_traced[i]);
+  EXPECT_GT(sim.dram_read_bytes(), 0u);
+}
+
+TEST(TracerConsistency, TracedFbmpkProducesIdenticalValues) {
+  const auto a = test::random_matrix(150, 7.0, true, 11);
+  const auto s = split_triangular(a);
+  const auto x = test::random_vector(150, 12);
+  FbWorkspace<double> w1, w2;
+  AlignedVector<double> y_plain(150), y_traced(150, 0.0);
+
+  fbmpk_power<double>(s, x, 6, y_plain, w1);
+  perf::CacheHierarchy sim({perf::CacheConfig{8192, 4, 64}});
+  perf::CacheTracer tr{&sim};
+  fbmpk_sweep_btb(
+      s, std::span<const double>(x), 6, w2,
+      [&](int p, index_t i, double v) {
+        if (p == 6) y_traced[i] = v;
+      },
+      tr);
+  for (index_t i = 0; i < 150; ++i) ASSERT_EQ(y_plain[i], y_traced[i]);
+}
+
+TEST(TracerConsistency, ParallelSpmvRejectsTracing) {
+  const auto a = test::random_matrix(20, 3.0, true, 13);
+  const auto x = test::random_vector(20, 14);
+  AlignedVector<double> y(20);
+  perf::CacheHierarchy sim({perf::CacheConfig{4096, 4, 64}});
+  perf::CacheTracer tr{&sim};
+  EXPECT_THROW(spmv_traced<double>(a, x, y, tr, SpmvExec::kParallel), Error);
+}
+
+TEST(FloatSupport, FbmpkPowerInSinglePrecision) {
+  CooMatrix<float> coo(30, 30);
+  Rng rng(15);
+  for (index_t i = 0; i < 30; ++i) {
+    coo.add(i, i, 2.0f);
+    const auto j = static_cast<index_t>(rng.next_below(30));
+    if (j != i) coo.add(i, j, static_cast<float>(rng.next_double(-0.1, 0.1)));
+  }
+  const auto a = CsrMatrix<float>::from_coo(coo);
+  const auto s = split_triangular(a);
+  AlignedVector<float> x(30, 1.0f), y_fb(30), y_base(30);
+  FbWorkspace<float> fws;
+  MpkWorkspace<float> mws;
+  fbmpk_power<float>(s, x, 4, y_fb, fws);
+  mpk_power<float>(a, x, 4, y_base, mws);
+  for (index_t i = 0; i < 30; ++i)
+    EXPECT_NEAR(y_fb[i], y_base[i], 1e-3f * (1.0f + std::abs(y_base[i])));
+}
+
+TEST(MmIo, HandlesWindowsLineEndings) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\r\n"
+      "2 2 2\r\n"
+      "1 1 1.5\r\n"
+      "2 2 2.5\r\n");
+  const auto a = CsrMatrix<double>::from_coo(read_matrix_market(in));
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 2.5);
+}
+
+TEST(MmIo, ScientificNotationValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.5e-3\n"
+      "2 2 -2.5E+2\n");
+  const auto a = CsrMatrix<double>::from_coo(read_matrix_market(in));
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.5e-3);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), -250.0);
+}
+
+TEST(CacheSimLru, EvictsLeastRecentlyUsedWay) {
+  // One set, 2 ways, 64 B lines: a, b fill the set; touching a again
+  // then loading c must evict b (LRU), so a still hits and b misses.
+  perf::CacheHierarchy sim({perf::CacheConfig{128, 2, 64}});
+  alignas(64) static double slots[8 * 3];  // three distinct lines
+  auto addr = [&](int line) {
+    return reinterpret_cast<std::uintptr_t>(&slots[8 * line]);
+  };
+  sim.access(addr(0), false);  // miss
+  sim.access(addr(1), false);  // miss
+  sim.access(addr(0), false);  // hit; makes line 1 the LRU
+  sim.access(addr(2), false);  // miss; evicts line 1
+  sim.access(addr(0), false);  // hit
+  sim.access(addr(1), false);  // miss (was evicted)
+  EXPECT_EQ(sim.level_stats(0).hits, 2u);
+  EXPECT_EQ(sim.level_stats(0).misses, 4u);
+}
+
+TEST(PlanEdge, PowerAllWithKZero) {
+  const auto a = gen::make_laplacian_2d(4, 4);
+  auto plan = MpkPlan::build(a);
+  const auto x = test::random_vector(16, 20);
+  AlignedVector<double> out(16);
+  plan.power_all(x, 0, out);
+  EXPECT_TRUE(std::equal(x.begin(), x.end(), out.begin()));
+}
+
+TEST(PlanEdge, ConstantCoefficientPolynomial) {
+  const auto a = gen::make_laplacian_2d(5, 5);
+  auto plan = MpkPlan::build(a);
+  const auto x = test::random_vector(25, 21);
+  AlignedVector<double> y(25);
+  plan.polynomial(AlignedVector<double>{3.0}, x, y);  // y = 3 x
+  for (index_t i = 0; i < 25; ++i) EXPECT_DOUBLE_EQ(y[i], 3.0 * x[i]);
+}
+
+}  // namespace
+}  // namespace fbmpk

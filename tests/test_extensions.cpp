@@ -1,0 +1,230 @@
+// Tests for the extension modules: SYMGS sweeps, the SELL-C-sigma
+// format, and complex-coefficient SSpMV.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "core/plan.hpp"
+#include "gen/stencil.hpp"
+#include "kernels/mpk_baseline.hpp"
+#include "kernels/symgs.hpp"
+#include "reorder/abmc.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/sell.hpp"
+#include "sparse/split.hpp"
+#include "support/threading.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+// --------------------------------------------------------------------------
+// SYMGS
+// --------------------------------------------------------------------------
+
+double residual_norm(const CsrMatrix<double>& a, std::span<const double> b,
+                     std::span<const double> x) {
+  AlignedVector<double> r(b.size());
+  spmv<double>(a, x, r);
+  double s = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const double d = b[i] - r[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+TEST(Symgs, MatchesDenseReferenceSweep) {
+  const auto a = test::random_matrix(40, 4.0, true, 3);
+  const auto s = split_triangular(a);
+  const auto b = test::random_vector(40, 4);
+  AlignedVector<double> x(40, 0.0);
+  symgs_serial<double>(s, b, x);
+
+  // Dense reference of the same forward+backward relaxation.
+  const auto dense = to_dense(a);
+  std::vector<double> xr(40, 0.0);
+  auto relax = [&](index_t i) {
+    double diag = dense[static_cast<std::size_t>(i) * 40 + i];
+    if (diag == 0.0) return;
+    double sum = b[i];
+    for (index_t j = 0; j < 40; ++j)
+      if (j != i) sum -= dense[static_cast<std::size_t>(i) * 40 + j] * xr[j];
+    xr[i] = sum / diag;
+  };
+  for (index_t i = 0; i < 40; ++i) relax(i);
+  for (index_t i = 40; i-- > 0;) relax(i);
+  test::expect_near_rel(x, xr, 1e-12);
+}
+
+TEST(Symgs, ConvergesOnDiagonallyDominantSystem) {
+  const auto a = gen::make_laplacian_2d(20, 20);
+  const auto s = split_triangular(a);
+  const auto b = test::random_vector(400, 5);
+  AlignedVector<double> x(400, 0.0);
+  double prev = residual_norm(a, b, x);
+  for (int sweep = 0; sweep < 10; ++sweep) {
+    symgs_serial<double>(s, b, x);
+    const double cur = residual_norm(a, b, x);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+  // Gauss-Seidel on the 2D grid contracts steadily but not fast; ask
+  // for three orders of magnitude over ten sweeps.
+  EXPECT_LT(prev, 1e-3 * residual_norm(a, b, AlignedVector<double>(400)));
+}
+
+TEST(Symgs, ParallelEqualsSerialOnPermutedMatrix) {
+  for (int threads : {1, 4}) {
+    set_threads(threads);
+    const auto a = test::random_matrix(300, 7.0, true, 7);
+    AbmcOptions opts;
+    opts.num_blocks = 32;
+    const auto o = abmc_order(a, opts);
+    const auto permuted = permute_symmetric(a, o.perm);
+    const auto s = split_triangular(permuted);
+    const auto b = test::random_vector(300, 8);
+
+    AlignedVector<double> x_ser(300, 0.0), x_par(300, 0.0);
+    for (int sweep = 0; sweep < 3; ++sweep) {
+      symgs_serial<double>(s, b, x_ser);
+      symgs_parallel<double>(s, o, b, x_par);
+    }
+    for (index_t i = 0; i < 300; ++i)
+      ASSERT_EQ(x_ser[i], x_par[i]) << "row " << i << " threads " << threads;
+  }
+  set_threads(max_threads());
+}
+
+TEST(Symgs, SkipsZeroDiagonalRows) {
+  CooMatrix<double> coo(3, 3);
+  coo.add(0, 0, 2.0);
+  coo.add(1, 0, 1.0);  // row 1 has no diagonal
+  coo.add(2, 2, 4.0);
+  const auto s = split_triangular(CsrMatrix<double>::from_coo(coo));
+  const AlignedVector<double> b{2.0, 5.0, 8.0};
+  AlignedVector<double> x{0.0, 7.0, 0.0};
+  symgs_serial<double>(s, b, x);
+  EXPECT_DOUBLE_EQ(x[1], 7.0);  // untouched
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], 2.0);
+}
+
+// --------------------------------------------------------------------------
+// SELL-C-sigma
+// --------------------------------------------------------------------------
+
+TEST(Sell, SpmvMatchesCsr) {
+  for (std::uint64_t seed : {1u, 2u}) {
+    const auto a = test::random_matrix(200, 7.0, false, seed);
+    const auto x = test::random_vector(200, seed + 10);
+    AlignedVector<double> y_csr(200), y_sell(200);
+    spmv<double>(a, x, y_csr, SpmvExec::kSerial);
+    for (index_t chunk : {1, 4, 8, 32}) {
+      for (index_t sigma : {1, 64, 200}) {
+        const auto sell = SellMatrix<double>::from_csr(a, chunk, sigma);
+        sell.spmv(x, y_sell);
+        for (index_t i = 0; i < 200; ++i)
+          ASSERT_NEAR(y_sell[i], y_csr[i],
+                      1e-12 * (1.0 + std::abs(y_csr[i])))
+              << "chunk " << chunk << " sigma " << sigma;
+      }
+    }
+  }
+}
+
+TEST(Sell, RowCountNotMultipleOfChunk) {
+  const auto a = test::random_matrix(37, 5.0, true, 3);  // 37 % 8 != 0
+  const auto sell = SellMatrix<double>::from_csr(a, 8, 16);
+  const auto x = test::random_vector(37, 4);
+  AlignedVector<double> y_csr(37), y_sell(37);
+  spmv<double>(a, x, y_csr, SpmvExec::kSerial);
+  sell.spmv(x, y_sell);
+  test::expect_near_rel(y_sell, y_csr, 1e-12);
+}
+
+TEST(Sell, SigmaSortingReducesPadding) {
+  // Strongly skewed row lengths: one long row per 64 rows.
+  CooMatrix<double> coo(256, 256);
+  Rng rng(9);
+  for (index_t i = 0; i < 256; ++i) {
+    coo.add(i, i, 1.0);
+    const index_t extras = (i % 64 == 0) ? 60 : 2;
+    for (index_t e = 0; e < extras; ++e) {
+      const auto j = static_cast<index_t>(rng.next_below(256));
+      if (j != i) coo.add(i, j, 0.5);
+    }
+  }
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  const auto unsorted = SellMatrix<double>::from_csr(a, 8, 1);
+  const auto sorted = SellMatrix<double>::from_csr(a, 8, 256);
+  EXPECT_LT(sorted.padding_factor(), unsorted.padding_factor());
+  EXPECT_GE(sorted.padding_factor(), 1.0);
+}
+
+TEST(Sell, UniformRowsHaveNoPadding) {
+  // A box stencil interior is uniform; padding only from boundaries.
+  const auto a = gen::make_laplacian_2d(32, 32);
+  const auto sell = SellMatrix<double>::from_csr(a, 8, 1024);
+  EXPECT_LT(sell.padding_factor(), 1.10);
+}
+
+TEST(Sell, PreservesNnzAndShape) {
+  const auto a = test::random_matrix(100, 6.0, false, 11);
+  const auto sell = SellMatrix<double>::from_csr(a, 16, 32);
+  EXPECT_EQ(sell.rows(), a.rows());
+  EXPECT_EQ(sell.cols(), a.cols());
+  EXPECT_EQ(sell.nnz(), a.nnz());
+  EXPECT_GE(sell.padded_size(), static_cast<std::size_t>(a.nnz()));
+}
+
+// --------------------------------------------------------------------------
+// Complex-coefficient SSpMV
+// --------------------------------------------------------------------------
+
+TEST(ComplexPolynomial, MatchesSeparateRealEvaluations) {
+  const auto a = test::random_matrix(120, 6.0, true, 13);
+  auto plan = MpkPlan::build(a);
+  const auto x = test::random_vector(120, 14);
+
+  using cd = std::complex<double>;
+  const std::vector<cd> coeffs{cd(1.0, 2.0), cd(-0.5, 0.25), cd(0.0, 1.0)};
+
+  AlignedVector<cd> y(120);
+  plan.polynomial(std::span<const cd>(coeffs), x, y);
+
+  // Reference: evaluate real and imaginary coefficient vectors apart.
+  AlignedVector<double> cre(3), cim(3);
+  for (int i = 0; i < 3; ++i) {
+    cre[i] = coeffs[i].real();
+    cim[i] = coeffs[i].imag();
+  }
+  AlignedVector<double> yre(120), yim(120);
+  MpkWorkspace<double> mws;
+  mpk_polynomial<double>(a, cre, x, yre, mws);
+  mpk_polynomial<double>(a, cim, x, yim, mws);
+  for (index_t i = 0; i < 120; ++i) {
+    EXPECT_NEAR(y[i].real(), yre[i], 1e-9 * (1.0 + std::abs(yre[i])));
+    EXPECT_NEAR(y[i].imag(), yim[i], 1e-9 * (1.0 + std::abs(yim[i])));
+  }
+}
+
+TEST(ComplexPolynomial, WorksWithoutReorder) {
+  const auto a = gen::make_laplacian_2d(10, 10);
+  PlanOptions opts;
+  opts.reorder = false;
+  opts.parallel = false;
+  auto plan = MpkPlan::build(a, opts);
+  const auto x = test::random_vector(100, 15);
+  using cd = std::complex<double>;
+  const std::vector<cd> coeffs{cd(0.0, 1.0)};  // y = i * x
+  AlignedVector<cd> y(100);
+  plan.polynomial(std::span<const cd>(coeffs), x, y);
+  for (index_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(y[i].real(), 0.0);
+    EXPECT_DOUBLE_EQ(y[i].imag(), x[i]);
+  }
+}
+
+}  // namespace
+}  // namespace fbmpk

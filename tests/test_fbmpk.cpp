@@ -1,0 +1,280 @@
+// Tests for the serial FBMPK pipeline: correctness against the standard
+// MPK baseline and a dense reference, across powers, variants and
+// matrix families (property sweeps via TEST_P).
+#include <gtest/gtest.h>
+
+#include "gen/stencil.hpp"
+#include "gen/suite.hpp"
+#include "kernels/fbmpk.hpp"
+#include "kernels/mpk_baseline.hpp"
+#include "sparse/split.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+// Tolerance grows mildly with k: FBMPK reassociates sums, and iterate
+// magnitudes grow like ||A||^k.
+double rtol_for(int k) { return 1e-12 * std::pow(4.0, k); }
+
+TEST(MpkBaseline, PowerMatchesDenseReference) {
+  const auto a = test::random_matrix(60, 5.0, false, 17);
+  const auto x = test::random_vector(60, 2);
+  MpkWorkspace<double> ws;
+  for (int k : {0, 1, 2, 3, 5}) {
+    AlignedVector<double> y(60);
+    mpk_power<double>(a, x, k, y, ws);
+    const auto ref = test::dense_power_reference(a, x, k);
+    test::expect_near_rel(y, ref, rtol_for(k));
+  }
+}
+
+TEST(MpkBaseline, PowerAllStoresEveryIterate) {
+  const auto a = test::random_matrix(40, 4.0, true, 19);
+  const auto x = test::random_vector(40, 3);
+  MpkWorkspace<double> ws;
+  const int k = 4;
+  AlignedVector<double> basis(40 * (k + 1));
+  mpk_power_all<double>(a, x, k, basis, ws);
+  for (int p = 0; p <= k; ++p) {
+    const auto ref = test::dense_power_reference(a, x, p);
+    test::expect_near_rel(
+        std::span<const double>(basis).subspan(40 * p, 40), ref,
+        rtol_for(p));
+  }
+}
+
+TEST(MpkBaseline, PolynomialMatchesManualSum) {
+  const auto a = test::random_matrix(50, 5.0, false, 23);
+  const auto x = test::random_vector(50, 4);
+  const AlignedVector<double> coeffs{0.5, -1.0, 0.25, 2.0};
+  MpkWorkspace<double> ws;
+  AlignedVector<double> y(50);
+  mpk_polynomial<double>(a, coeffs, x, y, ws);
+  std::vector<double> ref(50, 0.0);
+  for (int p = 0; p < 4; ++p) {
+    const auto ap = test::dense_power_reference(a, x, p);
+    for (index_t i = 0; i < 50; ++i) ref[i] += coeffs[p] * ap[i];
+  }
+  test::expect_near_rel(y, ref, rtol_for(3));
+}
+
+struct FbCase {
+  index_t n;
+  double avg_nnz;
+  bool symmetric;
+  std::uint64_t seed;
+};
+
+class FbmpkPropertyTest
+    : public ::testing::TestWithParam<std::tuple<FbCase, int, FbVariant>> {};
+
+TEST_P(FbmpkPropertyTest, PowerMatchesBaseline) {
+  const auto [c, k, variant] = GetParam();
+  const auto a = test::random_matrix(c.n, c.avg_nnz, c.symmetric, c.seed);
+  const auto x = test::random_vector(c.n, c.seed ^ 0xff);
+  const auto s = split_triangular(a);
+
+  AlignedVector<double> y_fb(c.n), y_base(c.n);
+  FbWorkspace<double> fws;
+  MpkWorkspace<double> mws;
+  fbmpk_power<double>(s, x, k, y_fb, fws, variant);
+  mpk_power<double>(a, x, k, y_base, mws);
+  test::expect_near_rel(y_fb, y_base, rtol_for(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PowersAndMatrices, FbmpkPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(FbCase{30, 4.0, true, 1}, FbCase{64, 6.0, false, 2},
+                          FbCase{101, 8.0, true, 3},
+                          FbCase{200, 12.0, false, 4},
+                          FbCase{17, 3.0, true, 5}),
+        ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9),
+        ::testing::Values(FbVariant::kBtb, FbVariant::kSplit)));
+
+TEST(Fbmpk, PowerZeroCopiesInput) {
+  const auto a = test::random_matrix(20, 3.0, true, 9);
+  const auto x = test::random_vector(20, 10);
+  const auto s = split_triangular(a);
+  FbWorkspace<double> ws;
+  AlignedVector<double> y(20);
+  fbmpk_power<double>(s, x, 0, y, ws);
+  EXPECT_TRUE(std::equal(x.begin(), x.end(), y.begin()));
+}
+
+TEST(Fbmpk, PowerOneEqualsSpmv) {
+  const auto a = test::random_matrix(80, 6.0, false, 12);
+  const auto x = test::random_vector(80, 13);
+  const auto s = split_triangular(a);
+  FbWorkspace<double> ws;
+  AlignedVector<double> y(80);
+  fbmpk_power<double>(s, x, 1, y, ws);
+  const auto ref = test::dense_power_reference(a, x, 1);
+  test::expect_near_rel(y, ref, 1e-12);
+}
+
+TEST(Fbmpk, PowerAllMatchesDenseAtEveryPower) {
+  const auto a = test::random_matrix(45, 5.0, true, 29);
+  const auto x = test::random_vector(45, 30);
+  const auto s = split_triangular(a);
+  FbWorkspace<double> ws;
+  const int k = 6;
+  AlignedVector<double> basis(45 * (k + 1));
+  fbmpk_power_all<double>(s, x, k, basis, ws);
+  for (int p = 0; p <= k; ++p) {
+    const auto ref = test::dense_power_reference(a, x, p);
+    test::expect_near_rel(
+        std::span<const double>(basis).subspan(45 * p, 45), ref,
+        rtol_for(p));
+  }
+}
+
+TEST(Fbmpk, PolynomialMatchesBaselinePolynomial) {
+  const auto a = test::random_matrix(70, 7.0, false, 31);
+  const auto x = test::random_vector(70, 32);
+  const auto s = split_triangular(a);
+  // Both parities of top power.
+  for (std::size_t terms : {4u, 5u}) {
+    AlignedVector<double> coeffs(terms);
+    Rng rng(terms);
+    for (auto& ci : coeffs) ci = rng.next_double(-1.0, 1.0);
+    AlignedVector<double> y_fb(70), y_base(70);
+    FbWorkspace<double> fws;
+    MpkWorkspace<double> mws;
+    fbmpk_polynomial<double>(s, coeffs, x, y_fb, fws);
+    mpk_polynomial<double>(a, coeffs, x, y_base, mws);
+    test::expect_near_rel(y_fb, y_base, rtol_for(static_cast<int>(terms)));
+  }
+}
+
+TEST(Fbmpk, BtbAndSplitVariantsAgreeBitwise) {
+  // Both variants perform the identical FP operations in identical
+  // order; only the iterate storage differs, so results are bitwise
+  // equal.
+  const auto a = test::random_matrix(90, 8.0, true, 37);
+  const auto x = test::random_vector(90, 38);
+  const auto s = split_triangular(a);
+  FbWorkspace<double> w1, w2;
+  for (int k : {1, 2, 3, 4, 5, 6}) {
+    AlignedVector<double> y1(90), y2(90);
+    fbmpk_power<double>(s, x, k, y1, w1, FbVariant::kBtb);
+    fbmpk_power<double>(s, x, k, y2, w2, FbVariant::kSplit);
+    for (index_t i = 0; i < 90; ++i)
+      ASSERT_EQ(y1[i], y2[i]) << "k=" << k << " i=" << i;
+  }
+}
+
+TEST(Fbmpk, DiagonalOnlyMatrix) {
+  // L and U empty: x_k[i] = d[i]^k x0[i].
+  CooMatrix<double> coo(5, 5);
+  for (index_t i = 0; i < 5; ++i) coo.add(i, i, 2.0);
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  const auto s = split_triangular(a);
+  const AlignedVector<double> x{1, 2, 3, 4, 5};
+  FbWorkspace<double> ws;
+  AlignedVector<double> y(5);
+  fbmpk_power<double>(s, x, 3, y, ws);
+  for (index_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(y[i], 8.0 * x[i]);
+}
+
+TEST(Fbmpk, LowerTriangularOnlyMatrix) {
+  // U empty exercises the empty-backward-rows path.
+  CooMatrix<double> coo(4, 4);
+  coo.add(1, 0, 1.0);
+  coo.add(2, 1, 1.0);
+  coo.add(3, 2, 1.0);
+  for (index_t i = 0; i < 4; ++i) coo.add(i, i, 1.0);
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  const auto s = split_triangular(a);
+  const AlignedVector<double> x{1, 0, 0, 0};
+  FbWorkspace<double> ws;
+  AlignedVector<double> y(4);
+  fbmpk_power<double>(s, x, 2, y, ws);
+  const auto ref = test::dense_power_reference(a, x, 2);
+  test::expect_near_rel(y, ref, 1e-14);
+}
+
+TEST(Fbmpk, UpperTriangularOnlyMatrix) {
+  CooMatrix<double> coo(4, 4);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 2, 1.0);
+  coo.add(2, 3, 1.0);
+  for (index_t i = 0; i < 4; ++i) coo.add(i, i, 1.0);
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  const auto s = split_triangular(a);
+  const AlignedVector<double> x{0, 0, 0, 1};
+  FbWorkspace<double> ws;
+  AlignedVector<double> y(4);
+  fbmpk_power<double>(s, x, 3, y, ws);
+  const auto ref = test::dense_power_reference(a, x, 3);
+  test::expect_near_rel(y, ref, 1e-14);
+}
+
+TEST(Fbmpk, TinyMatrices) {
+  for (index_t n : {1, 2, 3}) {
+    const auto a = test::random_matrix(n, 2.0, true, 50 + n);
+    const auto x = test::random_vector(n, 60 + n);
+    const auto s = split_triangular(a);
+    FbWorkspace<double> ws;
+    for (int k : {1, 2, 3}) {
+      AlignedVector<double> y(n);
+      fbmpk_power<double>(s, x, k, y, ws);
+      const auto ref = test::dense_power_reference(a, x, k);
+      test::expect_near_rel(y, ref, 1e-10, "tiny");
+    }
+  }
+}
+
+TEST(Fbmpk, NegativeKThrows) {
+  const auto a = test::random_matrix(10, 3.0, true, 70);
+  const auto s = split_triangular(a);
+  const auto x = test::random_vector(10, 71);
+  FbWorkspace<double> ws;
+  AlignedVector<double> y(10);
+  EXPECT_THROW(fbmpk_power<double>(s, x, -1, y, ws), Error);
+}
+
+TEST(Fbmpk, EmitContractFiresExactlyOncePerPowerAndRow) {
+  // The Emit protocol underpins power/power_all/polynomial: every
+  // (p, i) pair in [1,k] x [0,n) must be emitted exactly once, for both
+  // parities of k and both variants.
+  const index_t n = 37;
+  const auto a = test::random_matrix(n, 5.0, false, 91);
+  const auto s = split_triangular(a);
+  const auto x = test::random_vector(n, 92);
+  for (int k : {1, 2, 5, 6}) {
+    for (auto variant : {FbVariant::kBtb, FbVariant::kSplit}) {
+      std::vector<int> count(static_cast<std::size_t>(k) * n, 0);
+      FbWorkspace<double> ws;
+      fbmpk_sweep(
+          s, std::span<const double>(x), k, ws,
+          [&](int p, index_t i, double) {
+            ASSERT_GE(p, 1);
+            ASSERT_LE(p, k);
+            count[static_cast<std::size_t>(p - 1) * n + i] += 1;
+          },
+          variant);
+      for (int c : count) EXPECT_EQ(c, 1) << "k=" << k;
+    }
+  }
+}
+
+TEST(Fbmpk, SuiteMatricesSmallScaleAgreeWithBaseline) {
+  // End-to-end on miniature versions of every evaluation matrix.
+  for (const auto& name : gen::suite_names()) {
+    const auto m = gen::make_suite_matrix(name, 0.02);
+    const index_t n = m.matrix.rows();
+    const auto x = test::random_vector(n, 123);
+    const auto s = split_triangular(m.matrix);
+    FbWorkspace<double> fws;
+    MpkWorkspace<double> mws;
+    AlignedVector<double> y_fb(n), y_base(n);
+    fbmpk_power<double>(s, x, 5, y_fb, fws);
+    mpk_power<double>(m.matrix, x, 5, y_base, mws);
+    test::expect_near_rel(y_fb, y_base, rtol_for(5), name.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace fbmpk

@@ -1,0 +1,222 @@
+// Unit tests for src/gen: stencils, random graphs, KKT, and the
+// 14-matrix analogue suite.
+#include <gtest/gtest.h>
+
+#include "gen/kkt.hpp"
+#include "gen/random_sparse.hpp"
+#include "gen/stencil.hpp"
+#include "gen/suite.hpp"
+#include "sparse/ops.hpp"
+
+namespace fbmpk::gen {
+namespace {
+
+TEST(Stencil, Laplacian2dShape) {
+  const auto a = make_laplacian_2d(4, 5);
+  EXPECT_EQ(a.rows(), 20);
+  // Interior nodes of a 5-pt stencil have 5 entries; corner nodes 3.
+  EXPECT_EQ(a.row_nnz(0), 3);
+  a.validate();
+}
+
+TEST(Stencil, Laplacian3dInteriorRowHas7Entries) {
+  const auto a = make_laplacian_3d(5, 5, 5);
+  EXPECT_EQ(a.rows(), 125);
+  const index_t center = 2 * 25 + 2 * 5 + 2;
+  EXPECT_EQ(a.row_nnz(center), 7);
+}
+
+TEST(Stencil, Box2dInteriorRowHas9Entries) {
+  BlockStencilOptions o;
+  o.kind = StencilKind::kBox;
+  const auto a = make_block_stencil({5, 5}, o);
+  const index_t center = 2 * 5 + 2;
+  EXPECT_EQ(a.row_nnz(center), 9);
+}
+
+TEST(Stencil, Box3dInteriorRowHas27Entries) {
+  BlockStencilOptions o;
+  o.kind = StencilKind::kBox;
+  const auto a = make_block_stencil({5, 5, 5}, o);
+  const index_t center = 2 * 25 + 2 * 5 + 2;
+  EXPECT_EQ(a.row_nnz(center), 27);
+}
+
+TEST(Stencil, DofMultipliesRowsAndEntries) {
+  BlockStencilOptions o;
+  o.kind = StencilKind::kBox;
+  o.dof = 3;
+  const auto a = make_block_stencil({4, 4, 4}, o);
+  EXPECT_EQ(a.rows(), 64 * 3);
+  // Interior row: 27 neighbor blocks x 3 dof = 81 entries.
+  const index_t center_node = 1 * 16 + 1 * 4 + 1;
+  EXPECT_EQ(a.row_nnz(center_node * 3), 81);
+}
+
+TEST(Stencil, SymmetricByConstruction) {
+  BlockStencilOptions o;
+  o.kind = StencilKind::kBox;
+  o.dof = 2;
+  o.dropout = 0.1;
+  const auto a = make_block_stencil({6, 6, 6}, o);
+  EXPECT_TRUE(is_numerically_symmetric(a, 0.0));
+}
+
+TEST(Stencil, UnsymmetricOptionBreaksSymmetry) {
+  BlockStencilOptions o;
+  o.kind = StencilKind::kBox;
+  o.unsymmetric = true;
+  const auto a = make_block_stencil({6, 6}, o);
+  EXPECT_TRUE(is_structurally_symmetric(a));  // pattern stays symmetric
+  EXPECT_FALSE(is_numerically_symmetric(a, 1e-12));
+}
+
+TEST(Stencil, DeterministicForSameSeed) {
+  BlockStencilOptions o;
+  o.dropout = 0.2;
+  o.seed = 42;
+  const auto a = make_block_stencil({8, 8}, o);
+  const auto b = make_block_stencil({8, 8}, o);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Stencil, DropoutReducesNnz) {
+  BlockStencilOptions dense, sparse;
+  dense.kind = sparse.kind = StencilKind::kBox;
+  sparse.dropout = 0.3;
+  const auto a = make_block_stencil({10, 10, 10}, dense);
+  const auto b = make_block_stencil({10, 10, 10}, sparse);
+  EXPECT_LT(b.nnz(), a.nnz());
+  EXPECT_GT(b.nnz(), a.nnz() / 2);  // ~30% of off-diagonals dropped
+}
+
+TEST(Stencil, DiagonallyDominant) {
+  BlockStencilOptions o;
+  o.kind = StencilKind::kBox;
+  o.dof = 2;
+  const auto a = make_block_stencil({5, 5}, o);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double off = 0.0;
+    for (index_t k = a.row_ptr()[i]; k < a.row_ptr()[i + 1]; ++k)
+      if (a.col_idx()[k] != i) off += std::abs(a.values()[k]);
+    EXPECT_GT(a.at(i, i), off * 0.5) << "row " << i;
+  }
+}
+
+TEST(Stencil, RejectsBadArguments) {
+  BlockStencilOptions o;
+  EXPECT_THROW(make_block_stencil({5}, o), Error);          // 1D
+  EXPECT_THROW(make_block_stencil({5, 5, 5, 5}, o), Error); // 4D
+  o.dof = 0;
+  EXPECT_THROW(make_block_stencil({5, 5}, o), Error);
+  o.dof = 1;
+  o.dropout = 1.0;
+  EXPECT_THROW(make_block_stencil({5, 5}, o), Error);
+}
+
+TEST(RandomBanded, RespectsBandwidth) {
+  RandomBandedOptions o;
+  o.bandwidth = 10;
+  o.avg_row_nnz = 5.0;
+  o.seed = 3;
+  const auto a = make_random_banded(200, o);
+  EXPECT_LE(bandwidth(a), 10);
+}
+
+TEST(RandomBanded, SymmetricModeIsSymmetric) {
+  RandomBandedOptions o;
+  o.bandwidth = 50;
+  o.avg_row_nnz = 8.0;
+  o.symmetric = true;
+  const auto a = make_random_banded(300, o);
+  EXPECT_TRUE(is_numerically_symmetric(a, 0.0));
+}
+
+TEST(RandomBanded, UnsymmetricModeIsNot) {
+  RandomBandedOptions o;
+  o.bandwidth = 50;
+  o.avg_row_nnz = 8.0;
+  o.symmetric = false;
+  const auto a = make_random_banded(300, o);
+  EXPECT_FALSE(is_structurally_symmetric(a));
+}
+
+TEST(RandomBanded, AverageRowNnzNearTarget) {
+  RandomBandedOptions o;
+  o.bandwidth = 2000;
+  o.avg_row_nnz = 18.0;
+  o.symmetric = false;
+  const auto a = make_random_banded(5000, o);
+  const double avg = static_cast<double>(a.nnz()) / a.rows();
+  EXPECT_NEAR(avg, 18.0, 2.0);
+}
+
+TEST(RandomBanded, EveryRowHasDiagonal) {
+  RandomBandedOptions o;
+  o.avg_row_nnz = 3.0;
+  const auto a = make_random_banded(100, o);
+  for (index_t i = 0; i < a.rows(); ++i) EXPECT_NE(a.at(i, i), 0.0);
+}
+
+TEST(CircuitLike, ExtremelySparseAndSymmetric) {
+  CircuitOptions o;
+  const auto a = make_circuit_like(50, 50, o);
+  const double avg = static_cast<double>(a.nnz()) / a.rows();
+  EXPECT_LT(avg, 6.0);
+  EXPECT_GT(avg, 4.0);
+  EXPECT_TRUE(is_numerically_symmetric(a, 0.0));
+}
+
+TEST(Kkt, SaddlePointShapeAndSymmetry) {
+  KktOptions o;
+  const auto a = make_kkt_saddle(8, 8, 8, o);
+  const index_t n = 512;
+  EXPECT_EQ(a.rows(), n + n / 2);
+  EXPECT_TRUE(is_numerically_symmetric(a, 0.0));
+  // (2,2) block is the negative regularization.
+  EXPECT_DOUBLE_EQ(a.at(n, n), -o.regularization);
+}
+
+TEST(Suite, HasAllFourteenMembers) {
+  EXPECT_EQ(suite_names().size(), 14u);
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(make_suite_matrix("not_a_matrix"), Error);
+  EXPECT_THROW(make_suite_matrix("audikw_1", -1.0), Error);
+}
+
+TEST(Suite, NnzPerRowTracksPaperWithin20Percent) {
+  // Small scale keeps this test fast; nnz/row is scale-invariant for
+  // stencil analogues (boundary effects shrink as matrices grow, so the
+  // tolerance is generous at this size).
+  for (const auto& name : suite_names()) {
+    const auto m = make_suite_matrix(name, 0.05);
+    const double avg = static_cast<double>(m.matrix.nnz()) / m.matrix.rows();
+    EXPECT_GT(avg, m.paper_nnz_per_row * 0.6) << name;
+    EXPECT_LT(avg, m.paper_nnz_per_row * 1.4) << name;
+  }
+}
+
+TEST(Suite, SymmetryMatchesPaperTable) {
+  for (const auto& name : suite_names()) {
+    const auto m = make_suite_matrix(name, 0.03);
+    EXPECT_EQ(is_numerically_symmetric(m.matrix, 0.0), m.symmetric) << name;
+  }
+}
+
+TEST(Suite, ScaleGrowsRowCount) {
+  const auto small = make_suite_matrix("pwtk", 0.05);
+  const auto large = make_suite_matrix("pwtk", 0.2);
+  EXPECT_GT(large.matrix.rows(), small.matrix.rows());
+}
+
+TEST(Suite, MatricesAreValidAndDeterministic) {
+  const auto a = make_suite_matrix("Serena", 0.05);
+  const auto b = make_suite_matrix("Serena", 0.05);
+  a.matrix.validate();
+  EXPECT_EQ(a.matrix, b.matrix);
+}
+
+}  // namespace
+}  // namespace fbmpk::gen

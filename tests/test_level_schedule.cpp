@@ -1,0 +1,175 @@
+// Tests for level scheduling (paper §VII alternative parallelization):
+// schedule construction, validity, and bitwise agreement of the
+// level-scheduled FBMPK kernel with the serial kernel.
+#include <gtest/gtest.h>
+
+#include "core/plan.hpp"
+#include "gen/stencil.hpp"
+#include "kernels/fbmpk.hpp"
+#include "kernels/fbmpk_level.hpp"
+#include "kernels/mpk_baseline.hpp"
+#include "reorder/level_schedule.hpp"
+#include "sparse/split.hpp"
+#include "support/threading.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+TEST(LevelSchedule, ChainMatrixHasOneLevelPerRow) {
+  // Bidiagonal chain: row i depends on i-1, so n forward levels.
+  CooMatrix<double> coo(6, 6);
+  for (index_t i = 0; i < 6; ++i) {
+    coo.add(i, i, 2.0);
+    if (i > 0) coo.add(i, i - 1, -1.0);
+  }
+  const auto s = split_triangular(CsrMatrix<double>::from_coo(coo));
+  const auto fwd = forward_levels(s.lower);
+  EXPECT_EQ(fwd.num_levels, 6);
+  EXPECT_TRUE(is_valid_level_schedule(s.lower, fwd, false));
+  // Upper triangle empty: everything is level 0 backward.
+  const auto bwd = backward_levels(s.upper);
+  EXPECT_EQ(bwd.num_levels, 1);
+}
+
+TEST(LevelSchedule, DiagonalMatrixIsOneLevel) {
+  CooMatrix<double> coo(5, 5);
+  for (index_t i = 0; i < 5; ++i) coo.add(i, i, 1.0);
+  const auto s = split_triangular(CsrMatrix<double>::from_coo(coo));
+  EXPECT_EQ(forward_levels(s.lower).num_levels, 1);
+  EXPECT_EQ(backward_levels(s.upper).num_levels, 1);
+}
+
+TEST(LevelSchedule, ValidOnRandomAndGridMatrices) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto a = test::random_matrix(300, 7.0, seed % 2 == 0, seed);
+    const auto s = split_triangular(a);
+    const auto fwd = forward_levels(s.lower);
+    const auto bwd = backward_levels(s.upper);
+    EXPECT_TRUE(is_valid_level_schedule(s.lower, fwd, false)) << seed;
+    EXPECT_TRUE(is_valid_level_schedule(s.upper, bwd, true)) << seed;
+  }
+  const auto g = gen::make_laplacian_2d(20, 20);
+  const auto s = split_triangular(g);
+  EXPECT_TRUE(is_valid_level_schedule(s.lower, forward_levels(s.lower),
+                                      false));
+}
+
+TEST(LevelSchedule, ForwardAndBackwardLevelCountsMirrorOnSymmetric) {
+  const auto a = test::random_matrix(200, 6.0, true, 9);
+  const auto s = split_triangular(a);
+  // For a symmetric pattern U = L^T, so the dependency DAGs are mirror
+  // images and the level counts coincide.
+  EXPECT_EQ(forward_levels(s.lower).num_levels,
+            backward_levels(s.upper).num_levels);
+}
+
+TEST(LevelSchedule, DetectsInvalidSchedules) {
+  const auto a = test::random_matrix(50, 5.0, true, 11);
+  const auto s = split_triangular(a);
+  auto fwd = forward_levels(s.lower);
+  // Collapse everything into one level: invalid unless L is empty.
+  LevelSchedule broken;
+  broken.num_levels = 1;
+  broken.level_ptr = {0, a.rows()};
+  broken.rows = fwd.rows;
+  EXPECT_FALSE(is_valid_level_schedule(s.lower, broken, false));
+}
+
+class LevelKernelTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(LevelKernelTest, BitwiseEqualsSerial) {
+  const auto [k, threads] = GetParam();
+  set_threads(threads);
+  const auto a = test::random_matrix(350, 8.0, false, 77);
+  const auto s = split_triangular(a);
+  const auto sched = LevelSchedulePair::of(s);
+  const auto x = test::random_vector(350, 78);
+
+  AlignedVector<double> y_lvl(350), y_ser(350);
+  FbWorkspace<double> wl, ws;
+  fbmpk_level_power<double>(s, sched, x, k, y_lvl, wl);
+  fbmpk_power<double>(s, x, k, y_ser, ws);
+  for (index_t i = 0; i < 350; ++i)
+    ASSERT_EQ(y_lvl[i], y_ser[i]) << "row " << i << " k=" << k;
+  set_threads(max_threads());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PowersAndThreads, LevelKernelTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7),
+                       ::testing::Values(1, 4)));
+
+TEST(LevelKernel, PlanWithLevelSchedulerNoReorder) {
+  const auto a = gen::make_laplacian_3d(12, 12, 12);
+  PlanOptions opts;
+  opts.reorder = false;
+  opts.parallel = true;
+  opts.scheduler = Scheduler::kLevels;
+  auto plan = MpkPlan::build(a, opts);
+  EXPECT_TRUE(plan.permutation().is_identity());
+  EXPECT_GT(plan.stats().num_levels_forward, 1);
+  EXPECT_GT(plan.stats().num_levels_backward, 1);
+
+  const auto x = test::random_vector(a.rows(), 5);
+  AlignedVector<double> y(a.rows()), ref(a.rows());
+  plan.power(x, 5, y);
+  MpkWorkspace<double> mws;
+  mpk_power<double>(a, x, 5, ref, mws);
+  test::expect_near_rel(y, ref, 1e-9);
+}
+
+TEST(LevelKernel, PlanLevelsWithReorderAlsoWorks) {
+  const auto a = test::random_matrix(250, 6.0, true, 13);
+  PlanOptions opts;
+  opts.reorder = true;
+  opts.parallel = true;
+  opts.scheduler = Scheduler::kLevels;
+  auto plan = MpkPlan::build(a, opts);
+  const auto x = test::random_vector(a.rows(), 14);
+  AlignedVector<double> y(a.rows()), ref(a.rows());
+  plan.power(x, 4, y);
+  MpkWorkspace<double> mws;
+  mpk_power<double>(a, x, 4, ref, mws);
+  test::expect_near_rel(y, ref, 1e-9);
+}
+
+TEST(LevelKernel, PlanPowerAllAndPolynomial) {
+  const auto a = test::random_matrix(150, 5.0, true, 15);
+  PlanOptions opts;
+  opts.reorder = false;
+  opts.parallel = true;
+  opts.scheduler = Scheduler::kLevels;
+  auto plan = MpkPlan::build(a, opts);
+  const auto x = test::random_vector(150, 16);
+
+  const int k = 4;
+  AlignedVector<double> basis(150 * (k + 1));
+  plan.power_all(x, k, basis);
+  for (int p = 0; p <= k; ++p) {
+    const auto ref = test::dense_power_reference(a, x, p);
+    test::expect_near_rel(
+        std::span<const double>(basis).subspan(150 * p, 150), ref, 1e-8);
+  }
+
+  const AlignedVector<double> coeffs{1.0, -0.5, 0.25};
+  AlignedVector<double> y(150), ref(150);
+  plan.polynomial(coeffs, x, y);
+  MpkWorkspace<double> mws;
+  mpk_polynomial<double>(a, coeffs, x, ref, mws);
+  test::expect_near_rel(y, ref, 1e-9);
+}
+
+TEST(LevelKernel, GridLevelsAreFarFewerThanRows) {
+  // Grid matrices have wide wavefronts: level count ~ grid diameter,
+  // much smaller than n — the property that makes the schedule useful.
+  const auto a = gen::make_laplacian_2d(30, 30);
+  const auto s = split_triangular(a);
+  const auto fwd = forward_levels(s.lower);
+  EXPECT_LT(fwd.num_levels, a.rows() / 4);
+  EXPECT_GE(fwd.num_levels, 30);  // at least the grid diameter
+}
+
+}  // namespace
+}  // namespace fbmpk

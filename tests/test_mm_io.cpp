@@ -1,0 +1,114 @@
+// Unit tests for the Matrix Market reader/writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/mm_io.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+TEST(MatrixMarket, ReadsGeneralRealCoordinate) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "1 3 -1.5\n"
+      "2 2 4.0\n"
+      "3 1 0.5\n");
+  MatrixMarketHeader hdr;
+  const auto a = CsrMatrix<double>::from_coo(read_matrix_market(in, &hdr));
+  EXPECT_EQ(hdr.rows, 3);
+  EXPECT_EQ(hdr.declared_nnz, 4u);
+  EXPECT_FALSE(hdr.symmetric);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), -1.5);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), 0.5);
+}
+
+TEST(MatrixMarket, ExpandsSymmetricStorage) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "3 3 5.0\n");
+  const auto a = CsrMatrix<double>::from_coo(read_matrix_market(in));
+  EXPECT_EQ(a.nnz(), 4);  // off-diagonal mirrored, diagonals not
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+  EXPECT_TRUE(is_numerically_symmetric(a));
+}
+
+TEST(MatrixMarket, PatternEntriesDefaultToOne) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const auto a = CsrMatrix<double>::from_coo(read_matrix_market(in));
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+}
+
+TEST(MatrixMarket, RoundTripPreservesMatrix) {
+  const auto a = test::random_matrix(50, 5.0, false, 21);
+  std::stringstream buf;
+  write_matrix_market(buf, a);
+  const auto b = CsrMatrix<double>::from_coo(read_matrix_market(buf));
+  EXPECT_EQ(a, b);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner) {
+  std::istringstream in("3 3 1\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsComplexField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate complex general\n"
+      "1 1 1\n"
+      "1 1 1.0 0.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat) {
+  std::istringstream in(
+      "%%MatrixMarket matrix array real general\n"
+      "1 1\n"
+      "1.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 5\n"
+      "1 1 2.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeIndices) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 2.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const auto a = test::random_matrix(30, 4.0, true, 8);
+  const std::string path = ::testing::TempDir() + "/fbmpk_roundtrip.mtx";
+  write_matrix_market_file(path, a);
+  const auto b = read_matrix_market_file(path);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/path.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace fbmpk

@@ -1,0 +1,158 @@
+// End-to-end tests of the public MpkPlan API.
+#include <gtest/gtest.h>
+
+#include "core/plan.hpp"
+#include "gen/stencil.hpp"
+#include "gen/suite.hpp"
+#include "kernels/mpk_baseline.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+TEST(Plan, PowerMatchesBaselineOnGrid) {
+  const auto a = gen::make_laplacian_2d(30, 30);
+  const index_t n = a.rows();
+  auto plan = MpkPlan::build(a);
+  const auto x = test::random_vector(n, 1);
+  AlignedVector<double> y(n), y_base(n);
+  plan.power(x, 5, y);
+  MpkWorkspace<double> mws;
+  mpk_power<double>(a, x, 5, y_base, mws);
+  test::expect_near_rel(y, y_base, 1e-9);
+}
+
+TEST(Plan, AllOptionCombinationsAgree) {
+  const auto a = test::random_matrix(300, 8.0, true, 7);
+  const index_t n = a.rows();
+  const auto x = test::random_vector(n, 8);
+  AlignedVector<double> ref(n);
+  MpkWorkspace<double> mws;
+  mpk_power<double>(a, x, 6, ref, mws);
+
+  for (bool reorder : {false, true}) {
+    for (bool parallel : {false, true}) {
+      if (parallel && !reorder) continue;  // rejected combination
+      for (auto variant : {FbVariant::kBtb, FbVariant::kSplit}) {
+        PlanOptions opts;
+        opts.reorder = reorder;
+        opts.parallel = parallel;
+        opts.variant = variant;
+        opts.abmc.num_blocks = 32;
+        auto plan = MpkPlan::build(a, opts);
+        AlignedVector<double> y(n);
+        plan.power(x, 6, y);
+        test::expect_near_rel(y, ref, 1e-8, "option combo");
+      }
+    }
+  }
+}
+
+TEST(Plan, ParallelWithoutReorderThrows) {
+  const auto a = gen::make_laplacian_2d(5, 5);
+  PlanOptions opts;
+  opts.reorder = false;
+  opts.parallel = true;
+  EXPECT_THROW(MpkPlan::build(a, opts), Error);
+}
+
+TEST(Plan, RejectsNonSquareAndEmpty) {
+  CooMatrix<double> coo(2, 3);
+  coo.add(0, 0, 1.0);
+  EXPECT_THROW(MpkPlan::build(CsrMatrix<double>::from_coo(coo)), Error);
+  EXPECT_THROW(MpkPlan::build(CsrMatrix<double>()), Error);
+}
+
+TEST(Plan, PowerAllReturnsBasisInOriginalSpace) {
+  const auto a = test::random_matrix(80, 5.0, false, 9);
+  auto plan = MpkPlan::build(a);
+  const auto x = test::random_vector(80, 10);
+  const int k = 4;
+  AlignedVector<double> basis(80 * (k + 1));
+  plan.power_all(x, k, basis);
+  for (int p = 0; p <= k; ++p) {
+    const auto ref = test::dense_power_reference(a, x, p);
+    test::expect_near_rel(
+        std::span<const double>(basis).subspan(80 * p, 80), ref, 1e-8);
+  }
+}
+
+TEST(Plan, PolynomialInOriginalSpace) {
+  const auto a = test::random_matrix(90, 6.0, true, 11);
+  auto plan = MpkPlan::build(a);
+  const auto x = test::random_vector(90, 12);
+  const AlignedVector<double> coeffs{2.0, -1.0, 0.5};
+  AlignedVector<double> y(90), ref(90);
+  plan.polynomial(coeffs, x, y);
+  MpkWorkspace<double> mws;
+  mpk_polynomial<double>(a, coeffs, x, ref, mws);
+  test::expect_near_rel(y, ref, 1e-9);
+}
+
+TEST(Plan, StatsArePopulated) {
+  const auto a = gen::make_laplacian_2d(40, 40);
+  PlanOptions opts;
+  opts.abmc.num_blocks = 64;
+  auto plan = MpkPlan::build(a, opts);
+  EXPECT_EQ(plan.stats().num_blocks, 64);
+  EXPECT_GE(plan.stats().num_colors, 2);
+  EXPECT_GT(plan.stats().storage_bytes, 0u);
+  EXPECT_GE(plan.stats().build_seconds, plan.stats().reorder_seconds);
+  EXPECT_EQ(plan.rows(), a.rows());
+  EXPECT_EQ(plan.permutation().size(), a.rows());
+}
+
+TEST(Plan, ExternalWorkspaceSupportsConcurrentStreams) {
+  const auto a = test::random_matrix(100, 5.0, true, 13);
+  auto plan = MpkPlan::build(a);
+  const auto x1 = test::random_vector(100, 14);
+  const auto x2 = test::random_vector(100, 15);
+  MpkPlan::Workspace w1, w2;
+  AlignedVector<double> y1(100), y2(100);
+  const MpkPlan& cref = plan;
+  cref.power(x1, 3, y1, w1);
+  cref.power(x2, 3, y2, w2);
+  const auto r1 = test::dense_power_reference(a, x1, 3);
+  const auto r2 = test::dense_power_reference(a, x2, 3);
+  test::expect_near_rel(y1, r1, 1e-9);
+  test::expect_near_rel(y2, r2, 1e-9);
+}
+
+TEST(Plan, PowerKZeroReturnsInput) {
+  const auto a = gen::make_laplacian_2d(8, 8);
+  auto plan = MpkPlan::build(a);
+  const auto x = test::random_vector(64, 16);
+  AlignedVector<double> y(64);
+  plan.power(x, 0, y);
+  EXPECT_TRUE(std::equal(x.begin(), x.end(), y.begin()));
+}
+
+TEST(Plan, SizeMismatchesThrow) {
+  const auto a = gen::make_laplacian_2d(6, 6);
+  auto plan = MpkPlan::build(a);
+  AlignedVector<double> x(36), y_bad(35);
+  EXPECT_THROW(plan.power(x, 2, y_bad), Error);
+  AlignedVector<double> basis_bad(36 * 2);
+  EXPECT_THROW(plan.power_all(x, 2, basis_bad), Error);
+  AlignedVector<double> y(36);
+  EXPECT_THROW(plan.polynomial({}, x, y), Error);
+}
+
+TEST(Plan, WholeSuiteSmallScale) {
+  for (const auto& name : gen::suite_names()) {
+    const auto m = gen::make_suite_matrix(name, 0.02);
+    const index_t n = m.matrix.rows();
+    PlanOptions opts;
+    opts.abmc.num_blocks = 64;
+    auto plan = MpkPlan::build(m.matrix, opts);
+    const auto x = test::random_vector(n, 17);
+    AlignedVector<double> y(n), ref(n);
+    plan.power(x, 5, y);
+    MpkWorkspace<double> mws;
+    mpk_power<double>(m.matrix, x, 5, ref, mws);
+    test::expect_near_rel(y, ref, 1e-7, name.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace fbmpk

@@ -1,0 +1,122 @@
+// Tests for plan serialization (offline preprocessing, paper §IV-C).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/plan.hpp"
+#include "core/plan_io.hpp"
+#include "gen/stencil.hpp"
+#include "kernels/mpk_baseline.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+void expect_plans_equivalent(MpkPlan& a, MpkPlan& b,
+                             const CsrMatrix<double>& matrix, int k) {
+  const index_t n = matrix.rows();
+  const auto x = test::random_vector(n, 99);
+  AlignedVector<double> ya(n), yb(n);
+  a.power(x, k, ya);
+  b.power(x, k, yb);
+  for (index_t i = 0; i < n; ++i) ASSERT_EQ(ya[i], yb[i]) << "row " << i;
+}
+
+TEST(PlanIo, RoundTripAbmcParallelPlan) {
+  const auto a = gen::make_laplacian_3d(10, 10, 10);
+  auto plan = MpkPlan::build(a);
+  std::stringstream buf;
+  save_plan(plan, buf);
+  auto loaded = load_plan(buf);
+
+  EXPECT_EQ(loaded.rows(), plan.rows());
+  EXPECT_EQ(loaded.permutation(), plan.permutation());
+  EXPECT_EQ(loaded.stats().num_colors, plan.stats().num_colors);
+  EXPECT_EQ(loaded.split().lower, plan.split().lower);
+  EXPECT_EQ(loaded.split().upper, plan.split().upper);
+  expect_plans_equivalent(plan, loaded, a, 5);
+}
+
+TEST(PlanIo, RoundTripSerialPlan) {
+  const auto a = test::random_matrix(120, 6.0, false, 3);
+  PlanOptions opts;
+  opts.reorder = false;
+  opts.parallel = false;
+  opts.variant = FbVariant::kSplit;
+  auto plan = MpkPlan::build(a, opts);
+  std::stringstream buf;
+  save_plan(plan, buf);
+  auto loaded = load_plan(buf);
+  EXPECT_EQ(loaded.options().variant, FbVariant::kSplit);
+  EXPECT_FALSE(loaded.options().parallel);
+  expect_plans_equivalent(plan, loaded, a, 4);
+}
+
+TEST(PlanIo, RoundTripLevelScheduledPlan) {
+  const auto a = test::random_matrix(200, 7.0, true, 5);
+  PlanOptions opts;
+  opts.reorder = false;
+  opts.scheduler = Scheduler::kLevels;
+  auto plan = MpkPlan::build(a, opts);
+  std::stringstream buf;
+  save_plan(plan, buf);
+  auto loaded = load_plan(buf);
+  EXPECT_EQ(loaded.stats().num_levels_forward,
+            plan.stats().num_levels_forward);
+  expect_plans_equivalent(plan, loaded, a, 6);
+}
+
+TEST(PlanIo, FileRoundTrip) {
+  const auto a = gen::make_laplacian_2d(15, 15);
+  auto plan = MpkPlan::build(a);
+  const std::string path = ::testing::TempDir() + "/fbmpk_plan.bin";
+  save_plan_file(plan, path);
+  auto loaded = load_plan_file(path);
+  expect_plans_equivalent(plan, loaded, a, 3);
+}
+
+TEST(PlanIo, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("this is not a plan");
+  EXPECT_THROW(load_plan(garbage), Error);
+
+  const auto a = gen::make_laplacian_2d(6, 6);
+  auto plan = MpkPlan::build(a);
+  std::stringstream buf;
+  save_plan(plan, buf);
+  const std::string full = buf.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_plan(truncated), Error);
+
+  // Flip a byte inside the CSR payload: structural validation catches it
+  // or the stream fails — either way an Error, never UB.
+  std::string corrupt = full;
+  corrupt[full.size() - 9] = static_cast<char>(0xff);
+  std::stringstream cbuf(corrupt);
+  EXPECT_NO_THROW({
+    try {
+      auto p = load_plan(cbuf);
+      (void)p;
+    } catch (const Error&) {
+      // acceptable outcome
+    }
+  });
+  EXPECT_THROW(load_plan_file("/nonexistent/plan.bin"), Error);
+}
+
+TEST(PlanIo, LoadedPlanMatchesBaselineNumerics) {
+  const auto a = test::random_matrix(150, 8.0, true, 7);
+  auto plan = MpkPlan::build(a);
+  std::stringstream buf;
+  save_plan(plan, buf);
+  auto loaded = load_plan(buf);
+
+  const auto x = test::random_vector(150, 8);
+  AlignedVector<double> y(150), ref(150);
+  loaded.power(x, 5, y);
+  MpkWorkspace<double> ws;
+  mpk_power<double>(a, x, 5, ref, ws);
+  test::expect_near_rel(y, ref, 1e-8);
+}
+
+}  // namespace
+}  // namespace fbmpk

@@ -1,0 +1,209 @@
+// Tests for the three-term-recurrence FBMPK generalization.
+#include <gtest/gtest.h>
+
+#include "core/plan.hpp"
+#include "gen/stencil.hpp"
+#include "kernels/fbmpk.hpp"
+#include "kernels/fbmpk_recurrence.hpp"
+#include "kernels/spmv.hpp"
+#include "reorder/abmc.hpp"
+#include "sparse/split.hpp"
+#include "support/threading.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+// Reference: evaluate the recurrence with plain SpMVs.
+std::vector<AlignedVector<double>> reference_recurrence(
+    const CsrMatrix<double>& a,
+    std::span<const RecurrenceStep<double>> steps,
+    std::span<const double> x0) {
+  const index_t n = a.rows();
+  std::vector<AlignedVector<double>> xs;
+  xs.emplace_back(x0.begin(), x0.end());
+  AlignedVector<double> ax(static_cast<std::size_t>(n));
+  for (std::size_t p = 1; p <= steps.size(); ++p) {
+    const auto& prev = xs[p - 1];
+    spmv<double>(a, prev, ax, SpmvExec::kSerial);
+    AlignedVector<double> next(static_cast<std::size_t>(n));
+    const auto& st = steps[p - 1];
+    for (index_t i = 0; i < n; ++i) {
+      next[i] = st.alpha * ax[i] + st.beta * prev[i];
+      if (p >= 2) next[i] += st.gamma * xs[p - 2][i];
+    }
+    xs.push_back(std::move(next));
+  }
+  return xs;
+}
+
+std::vector<RecurrenceStep<double>> random_steps(int k, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RecurrenceStep<double>> steps(static_cast<std::size_t>(k));
+  for (auto& s : steps) {
+    s.alpha = rng.next_double(0.5, 1.5);
+    s.beta = rng.next_double(-0.5, 0.5);
+    s.gamma = rng.next_double(-0.5, 0.5);
+  }
+  return steps;
+}
+
+class RecurrenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecurrenceTest, MatchesReferenceAtEveryStep) {
+  const int k = GetParam();
+  const auto a = test::random_matrix(150, 6.0, false, 51);
+  const auto x = test::random_vector(150, 52);
+  const auto s = split_triangular(a);
+  const auto steps = random_steps(k, 53);
+  const auto ref = reference_recurrence(a, steps, x);
+
+  std::vector<AlignedVector<double>> got(
+      k + 1, AlignedVector<double>(150, 0.0));
+  FbWorkspace<double> ws;
+  fbmpk_recurrence_sweep<double>(
+      s, steps, x, ws,
+      [&](int p, index_t i, double v) { got[p][i] = v; });
+  for (int p = 1; p <= k; ++p)
+    test::expect_near_rel(got[p], ref[p], 1e-10 * std::pow(4.0, p),
+                          "recurrence step");
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, RecurrenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Recurrence, MonomialCoefficientsReduceToFbmpkBitwise) {
+  const auto a = test::random_matrix(200, 8.0, true, 55);
+  const auto x = test::random_vector(200, 56);
+  const auto s = split_triangular(a);
+  for (int k : {2, 5}) {
+    const std::vector<RecurrenceStep<double>> steps(
+        static_cast<std::size_t>(k), RecurrenceStep<double>{1.0, 0.0, 0.0});
+    AlignedVector<double> y_rec(200), y_fb(200);
+    FbWorkspace<double> w1, w2;
+    fbmpk_recurrence<double>(s, steps, x, y_rec, w1);
+    fbmpk_power<double>(s, x, k, y_fb, w2);
+    for (index_t i = 0; i < 200; ++i)
+      ASSERT_EQ(y_rec[i], y_fb[i]) << "k=" << k << " i=" << i;
+  }
+}
+
+TEST(Recurrence, ChebyshevBasisIsBounded) {
+  // Chebyshev polynomials of a matrix with spectrum inside the mapped
+  // interval stay bounded (|T_p| <= 1 on [-1, 1]) — the numerical
+  // stability property the recurrence kernel exists for.
+  const auto a = gen::make_laplacian_2d(15, 15);
+  const index_t n = a.rows();
+  // Gershgorin interval [lo, hi].
+  double hi = 0.0, lo = 1e300;
+  for (index_t i = 0; i < n; ++i) {
+    double center = 0.0, radius = 0.0;
+    for (index_t e = a.row_ptr()[i]; e < a.row_ptr()[i + 1]; ++e) {
+      if (a.col_idx()[e] == i)
+        center = a.values()[e];
+      else
+        radius += std::abs(a.values()[e]);
+    }
+    hi = std::max(hi, center + radius);
+    lo = std::min(lo, center - radius);
+  }
+  // Map spectrum to [-1, 1]: B = (2A - (hi+lo)I) / (hi-lo).
+  // T_1(B) x = B x; T_{p+1} = 2 B T_p - T_{p-1}. In terms of A:
+  //   B x = (2/(hi-lo)) A x - ((hi+lo)/(hi-lo)) x.
+  const double sa = 2.0 / (hi - lo);
+  const double sb = -(hi + lo) / (hi - lo);
+  const int k = 12;
+  std::vector<RecurrenceStep<double>> steps;
+  steps.push_back({sa, sb, 0.0});  // T_1 = B x0 (with T_{-1} slot zero)
+  for (int p = 2; p <= k; ++p) steps.push_back({2 * sa, 2 * sb, -1.0});
+
+  const auto s = split_triangular(a);
+  AlignedVector<double> x(static_cast<std::size_t>(n), 1.0);
+  double max_abs = 0.0;
+  FbWorkspace<double> ws;
+  fbmpk_recurrence_sweep<double>(
+      s, std::span<const RecurrenceStep<double>>(steps), x, ws,
+      [&](int, index_t, double v) {
+        max_abs = std::max(max_abs, std::abs(v));
+      });
+  // ||T_p(B) x||_inf <= ||x||_inf * kappa-ish bound; with spectrum in
+  // [-1,1] the iterates must not blow up (monomial powers of A would
+  // reach ~hi^12 ~ 1e9 here).
+  EXPECT_LT(max_abs, 50.0);
+}
+
+TEST(Recurrence, ParallelBitwiseEqualsSerial) {
+  for (int threads : {1, 4}) {
+    set_threads(threads);
+    const auto a = test::random_matrix(300, 7.0, true, 61);
+    AbmcOptions aopts;
+    aopts.num_blocks = 32;
+    const auto o = abmc_order(a, aopts);
+    const auto permuted = permute_symmetric(a, o.perm);
+    const auto s = split_triangular(permuted);
+    const auto x = test::random_vector(300, 62);
+    const auto steps = random_steps(6, 63);
+
+    AlignedVector<double> y_par(300, 0.0), y_ser(300, 0.0);
+    FbWorkspace<double> wp, wsr;
+    fbmpk_recurrence_parallel_sweep<double>(
+        s, o, steps, x, wp, [&](int p, index_t i, double v) {
+          if (p == 6) y_par[i] = v;
+        });
+    fbmpk_recurrence<double>(s, steps, x, y_ser, wsr);
+    for (index_t i = 0; i < 300; ++i)
+      ASSERT_EQ(y_par[i], y_ser[i]) << "threads " << threads;
+  }
+  set_threads(max_threads());
+}
+
+TEST(Recurrence, GammaOnFirstStepIsHarmless) {
+  // x_{-1} = 0, so gamma_1 must have no effect.
+  const auto a = test::random_matrix(50, 5.0, true, 71);
+  const auto x = test::random_vector(50, 72);
+  const auto s = split_triangular(a);
+  std::vector<RecurrenceStep<double>> with{{1.0, 0.5, 123.0}};
+  std::vector<RecurrenceStep<double>> without{{1.0, 0.5, 0.0}};
+  AlignedVector<double> y1(50), y2(50);
+  FbWorkspace<double> w1, w2;
+  fbmpk_recurrence<double>(s, with, x, y1, w1);
+  fbmpk_recurrence<double>(s, without, x, y2, w2);
+  for (index_t i = 0; i < 50; ++i) ASSERT_EQ(y1[i], y2[i]);
+}
+
+TEST(Recurrence, PlanApiMatchesDirectKernel) {
+  const auto a = test::random_matrix(180, 6.0, true, 81);
+  const auto x = test::random_vector(180, 82);
+  const auto steps = random_steps(5, 83);
+
+  // Direct serial kernel on the raw split.
+  const auto s = split_triangular(a);
+  AlignedVector<double> y_direct(180);
+  FbWorkspace<double> ws;
+  fbmpk_recurrence<double>(s, steps, x, y_direct, ws);
+
+  // Through the plan (ABMC parallel, permutation handled internally).
+  auto plan = MpkPlan::build(a);
+  AlignedVector<double> y_plan(180);
+  plan.recurrence(steps, x, y_plan);
+  test::expect_near_rel(y_plan, y_direct, 1e-9);
+
+  // Serial no-reorder plan must agree bitwise with the direct kernel.
+  PlanOptions sopts;
+  sopts.reorder = false;
+  sopts.parallel = false;
+  auto splan = MpkPlan::build(a, sopts);
+  AlignedVector<double> y_splan(180);
+  splan.recurrence(steps, x, y_splan);
+  for (index_t i = 0; i < 180; ++i) ASSERT_EQ(y_splan[i], y_direct[i]);
+}
+
+TEST(Recurrence, PlanApiRejectsEmptySteps) {
+  const auto a = gen::make_laplacian_2d(5, 5);
+  auto plan = MpkPlan::build(a);
+  AlignedVector<double> x(25, 1.0), y(25);
+  EXPECT_THROW(plan.recurrence({}, x, y), Error);
+}
+
+}  // namespace
+}  // namespace fbmpk

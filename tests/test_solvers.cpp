@@ -1,0 +1,195 @@
+// Tests for src/solvers: PCG with every preconditioner, Chebyshev
+// semi-iteration, blocked power method, and two-level multigrid.
+#include <gtest/gtest.h>
+
+#include "gen/stencil.hpp"
+#include "reorder/permutation.hpp"
+#include "solvers/solvers.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk::solvers {
+namespace {
+
+// SPD test problem with a known solution.
+struct Problem {
+  CsrMatrix<double> a;
+  AlignedVector<double> x_star;
+  AlignedVector<double> b;
+};
+
+Problem grid_problem(index_t nx, index_t ny, std::uint64_t seed) {
+  Problem p;
+  p.a = gen::make_laplacian_2d(nx, ny, seed);
+  const index_t n = p.a.rows();
+  p.x_star = test::random_vector(n, seed + 1);
+  p.b.resize(static_cast<std::size_t>(n));
+  spmv<double>(p.a, p.x_star, p.b);
+  return p;
+}
+
+void expect_solved(const Problem& p, std::span<const double> x,
+                   double tol = 1e-6) {
+  for (index_t i = 0; i < p.a.rows(); ++i)
+    ASSERT_NEAR(x[i], p.x_star[i], tol * (1.0 + std::abs(p.x_star[i])));
+}
+
+TEST(Pcg, PlainCgSolvesSpdSystem) {
+  const auto p = grid_problem(20, 20, 3);
+  AlignedVector<double> x(p.b.size(), 0.0);
+  const auto r = pcg(p.a, p.b, x, identity_preconditioner());
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.relative_residual, 1e-10);
+  expect_solved(p, x);
+}
+
+TEST(Pcg, SymgsPreconditioningReducesIterations) {
+  const auto p = grid_problem(30, 30, 5);
+  AbmcOptions aopts;
+  aopts.num_blocks = 64;
+  const auto o = abmc_order(p.a, aopts);
+  const auto permuted = permute_symmetric(p.a, o.perm);
+  const auto split = split_triangular(permuted);
+
+  // Solve in the permuted space with matching b.
+  AlignedVector<double> pb(p.b.size());
+  permute_vector<double>(o.perm, p.b, pb);
+
+  AlignedVector<double> x_plain(p.b.size(), 0.0), x_pre(p.b.size(), 0.0);
+  const auto plain = pcg(permuted, pb, x_plain, identity_preconditioner());
+  const auto pre = pcg(permuted, pb, x_pre, symgs_preconditioner(split, o));
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(pre.converged);
+  EXPECT_LT(pre.iterations, plain.iterations);
+}
+
+TEST(Pcg, PolynomialPreconditioningReducesIterations) {
+  const auto p = grid_problem(25, 25, 7);
+  PlanOptions popts;
+  auto plan = MpkPlan::build(p.a, popts);
+  const auto [lo, hi] = gershgorin_interval(p.a);
+  (void)lo;
+  AlignedVector<double> x_plain(p.b.size(), 0.0), x_pre(p.b.size(), 0.0);
+  const auto plain = pcg(p.a, p.b, x_plain, identity_preconditioner());
+  const auto pre =
+      pcg(p.a, p.b, x_pre, polynomial_preconditioner(plan, 4, 1.0 / hi));
+  EXPECT_TRUE(pre.converged);
+  EXPECT_LT(pre.iterations, plain.iterations);
+  expect_solved(p, x_pre);
+}
+
+TEST(Pcg, ZeroRhsGivesZeroSolution) {
+  const auto a = gen::make_laplacian_2d(6, 6);
+  AlignedVector<double> b(36, 0.0), x(36, 5.0);
+  const auto r = pcg(a, b, x, identity_preconditioner());
+  EXPECT_TRUE(r.converged);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Pcg, ReportsNonConvergenceWithinBudget) {
+  const auto p = grid_problem(25, 25, 9);
+  AlignedVector<double> x(p.b.size(), 0.0);
+  SolveOptions opts;
+  opts.max_iterations = 2;
+  const auto r = pcg(p.a, p.b, x, identity_preconditioner(), opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 2);
+  EXPECT_GT(r.relative_residual, 0.0);
+}
+
+TEST(Chebyshev, SolvesWithGershgorinBounds) {
+  const auto p = grid_problem(20, 20, 11);
+  auto [lo, hi] = gershgorin_interval(p.a);
+  lo = std::max(lo, 0.05 * hi);  // Gershgorin lo can reach 0; clamp
+  AlignedVector<double> x(p.b.size(), 0.0);
+  SolveOptions opts;
+  opts.max_iterations = 3000;
+  opts.tolerance = 1e-9;
+  const auto r = chebyshev_iteration(p.a, p.b, x, lo, hi, opts);
+  EXPECT_TRUE(r.converged) << r.relative_residual;
+  expect_solved(p, x, 1e-5);
+}
+
+TEST(Chebyshev, RejectsBadInterval) {
+  const auto a = gen::make_laplacian_2d(4, 4);
+  AlignedVector<double> b(16, 1.0), x(16, 0.0);
+  EXPECT_THROW(chebyshev_iteration(a, b, x, 2.0, 1.0), Error);
+  EXPECT_THROW(chebyshev_iteration(a, b, x, -1.0, 1.0), Error);
+}
+
+TEST(PowerMethod, FindsDominantEigenvalueOfDiagonalMatrix) {
+  CooMatrix<double> coo(6, 6);
+  const double eigs[] = {1.0, 2.0, 3.0, 4.0, 5.0, 9.0};
+  for (index_t i = 0; i < 6; ++i) coo.add(i, i, eigs[i]);
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  auto plan = MpkPlan::build(a);
+  AlignedVector<double> v = test::random_vector(6, 13);
+  SolveOptions opts;
+  opts.tolerance = 1e-12;
+  const auto r = power_method(a, plan, v, 4, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, 9.0, 1e-6);
+  EXPECT_GT(std::abs(v[5]), 0.999);  // eigenvector ~ e_6
+}
+
+TEST(PowerMethod, AgreesWithItselfAcrossBlockSizes) {
+  const auto a = test::random_matrix(120, 6.0, true, 15);
+  auto plan = MpkPlan::build(a);
+  SolveOptions opts;
+  opts.tolerance = 1e-11;
+  opts.max_iterations = 4000;
+  AlignedVector<double> v1 = test::random_vector(120, 16);
+  AlignedVector<double> v2 = test::random_vector(120, 16);
+  const auto r1 = power_method(a, plan, v1, 2, opts);
+  const auto r2 = power_method(a, plan, v2, 8, opts);
+  EXPECT_TRUE(r1.converged && r2.converged);
+  EXPECT_NEAR(r1.eigenvalue, r2.eigenvalue,
+              1e-6 * std::abs(r1.eigenvalue));
+}
+
+TEST(Multigrid, CoarseningRoughlyHalvesRows) {
+  const auto a = gen::make_laplacian_2d(32, 32);
+  const auto mg = TwoLevelMultigrid::build(a);
+  EXPECT_LT(mg.coarse_rows(), a.rows());
+  EXPECT_GE(mg.coarse_rows(), a.rows() / 3);  // pairwise aggregation
+}
+
+TEST(Multigrid, VcycleContractsResidual) {
+  const auto p = grid_problem(24, 24, 17);
+  const auto mg = TwoLevelMultigrid::build(p.a);
+  AlignedVector<double> x(p.b.size(), 0.0);
+  AlignedVector<double> r(p.b.size());
+
+  auto residual = [&] {
+    spmv<double>(p.a, x, r);
+    double s = 0.0;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      const double d = p.b[i] - r[i];
+      s += d * d;
+    }
+    return std::sqrt(s);
+  };
+
+  const double r0 = residual();
+  mg.vcycle(p.b, x);
+  const double r1 = residual();
+  mg.vcycle(p.b, x);
+  const double r2 = residual();
+  EXPECT_LT(r1, 0.7 * r0);
+  EXPECT_LT(r2, 0.7 * r1);
+}
+
+TEST(Multigrid, SolveReachesTolerance) {
+  const auto p = grid_problem(20, 20, 19);
+  const auto mg = TwoLevelMultigrid::build(p.a);
+  AlignedVector<double> x(p.b.size(), 0.0);
+  SolveOptions opts;
+  opts.tolerance = 1e-9;
+  opts.max_iterations = 60;
+  const auto r = mg.solve(p.b, x, opts);
+  EXPECT_TRUE(r.converged) << r.relative_residual;
+  expect_solved(p, x, 1e-5);
+}
+
+}  // namespace
+}  // namespace fbmpk::solvers

@@ -1,0 +1,235 @@
+// Unit tests for src/sparse: COO, CSR, structural ops, triangular split.
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/split.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+CsrMatrix<double> fig1_matrix() {
+  // The 4x4 example of the paper's Fig 1:
+  //   [a . b .]
+  //   [. . . .]
+  //   [c d . e]
+  //   [. . f g]
+  CooMatrix<double> coo(4, 4);
+  coo.add(0, 0, 1.0);  // a
+  coo.add(0, 2, 2.0);  // b
+  coo.add(2, 0, 3.0);  // c
+  coo.add(2, 1, 4.0);  // d
+  coo.add(2, 3, 5.0);  // e
+  coo.add(3, 2, 6.0);  // f
+  coo.add(3, 3, 7.0);  // g
+  return CsrMatrix<double>::from_coo(coo);
+}
+
+TEST(Coo, AddAndQuery) {
+  CooMatrix<double> coo(3, 3);
+  coo.add(0, 1, 2.0);
+  coo.add(2, 2, 3.0);
+  EXPECT_EQ(coo.nnz(), 2u);
+  EXPECT_EQ(coo.rows(), 3);
+  coo.validate();
+}
+
+TEST(Coo, SortRowMajorIsStable) {
+  CooMatrix<double> coo(2, 4);
+  coo.add(1, 3, 1.0);
+  coo.add(0, 2, 2.0);
+  coo.add(1, 0, 3.0);
+  coo.sort_row_major();
+  EXPECT_EQ(coo.entries()[0].row, 0);
+  EXPECT_EQ(coo.entries()[1].col, 0);
+  EXPECT_EQ(coo.entries()[2].col, 3);
+}
+
+TEST(Csr, MatchesPaperFig1Layout) {
+  const auto a = fig1_matrix();
+  // row_ptr [0 2 2 5 7], col_idx [0 2 0 1 3 2 3] per Fig 1.
+  const std::vector<index_t> rp{0, 2, 2, 5, 7};
+  const std::vector<index_t> ci{0, 2, 0, 1, 3, 2, 3};
+  EXPECT_TRUE(std::equal(rp.begin(), rp.end(), a.row_ptr().begin()));
+  EXPECT_TRUE(std::equal(ci.begin(), ci.end(), a.col_idx().begin()));
+  EXPECT_EQ(a.nnz(), 7);
+}
+
+TEST(Csr, DuplicateEntriesAreSummed) {
+  CooMatrix<double> coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 0, 2.5);
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  EXPECT_EQ(a.nnz(), 1);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.5);
+}
+
+TEST(Csr, AtReturnsZeroForUnstored) {
+  const auto a = fig1_matrix();
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 2.0);
+}
+
+TEST(Csr, RowNnzPerRow) {
+  const auto a = fig1_matrix();
+  EXPECT_EQ(a.row_nnz(0), 2);
+  EXPECT_EQ(a.row_nnz(1), 0);
+  EXPECT_EQ(a.row_nnz(2), 3);
+  EXPECT_EQ(a.row_nnz(3), 2);
+}
+
+TEST(Csr, ValidateRejectsBadRowPtr) {
+  AlignedVector<index_t> rp{0, 2, 1};  // not monotone
+  AlignedVector<index_t> ci{0, 1};
+  AlignedVector<double> va{1.0, 2.0};
+  EXPECT_THROW(CsrMatrix<double>(2, 2, rp, ci, va), Error);
+}
+
+TEST(Csr, ValidateRejectsColumnOutOfRange) {
+  AlignedVector<index_t> rp{0, 1};
+  AlignedVector<index_t> ci{5};
+  AlignedVector<double> va{1.0};
+  EXPECT_THROW(CsrMatrix<double>(1, 2, rp, ci, va), Error);
+}
+
+TEST(Csr, ValidateRejectsUnsortedColumns) {
+  AlignedVector<index_t> rp{0, 2};
+  AlignedVector<index_t> ci{1, 0};
+  AlignedVector<double> va{1.0, 2.0};
+  EXPECT_THROW(CsrMatrix<double>(1, 2, rp, ci, va), Error);
+}
+
+TEST(Csr, EmptyMatrixIsValid) {
+  CsrMatrix<double> a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.nnz(), 0);
+}
+
+TEST(Csr, StorageBytesCountsAllArrays) {
+  const auto a = fig1_matrix();
+  const std::size_t expected = 5 * sizeof(index_t)    // row_ptr
+                               + 7 * sizeof(index_t)  // col_idx
+                               + 7 * sizeof(double);  // values
+  EXPECT_EQ(a.storage_bytes(), expected);
+}
+
+TEST(Ops, TransposeRoundTrip) {
+  const auto a = test::random_matrix(60, 5.0, false, 123);
+  const auto att = transpose(transpose(a));
+  EXPECT_EQ(a, att);
+}
+
+TEST(Ops, TransposeSwapsEntry) {
+  const auto a = fig1_matrix();
+  const auto t = transpose(a);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 2.0);  // b moved from (0,2)
+  EXPECT_DOUBLE_EQ(t.at(0, 2), 3.0);  // c moved from (2,0)
+}
+
+TEST(Ops, SymmetryDetection) {
+  EXPECT_TRUE(is_structurally_symmetric(test::random_matrix(50, 6.0, true, 7)));
+  EXPECT_FALSE(is_structurally_symmetric(fig1_matrix()));
+  EXPECT_TRUE(is_numerically_symmetric(test::random_matrix(50, 6.0, true, 7)));
+}
+
+TEST(Ops, BandwidthOfTridiagonal) {
+  CooMatrix<double> coo(5, 5);
+  for (index_t i = 0; i < 5; ++i) {
+    coo.add(i, i, 2.0);
+    if (i > 0) coo.add(i, i - 1, -1.0);
+    if (i < 4) coo.add(i, i + 1, -1.0);
+  }
+  EXPECT_EQ(bandwidth(CsrMatrix<double>::from_coo(coo)), 1);
+}
+
+TEST(Ops, ExtractDiagonalHandlesMissingEntries) {
+  const auto a = fig1_matrix();
+  const auto d = extract_diagonal(a);
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);  // row 1 has no diagonal
+  EXPECT_DOUBLE_EQ(d[2], 0.0);
+  EXPECT_DOUBLE_EQ(d[3], 7.0);
+}
+
+TEST(Ops, DenseRoundTrip) {
+  const auto a = test::random_matrix(40, 4.0, false, 99);
+  const auto back = from_dense(a.rows(), a.cols(), to_dense(a));
+  EXPECT_EQ(a, back);
+}
+
+TEST(Ops, SymmetrizePatternKeepsValues) {
+  const auto a = fig1_matrix();
+  const auto s = symmetrize_pattern(a);
+  EXPECT_TRUE(is_structurally_symmetric(s));
+  // Original values preserved; mirrored-only positions are zero.
+  EXPECT_DOUBLE_EQ(s.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 2), 0.0);  // mirror of (2,1)
+  EXPECT_DOUBLE_EQ(s.at(2, 1), 4.0);
+}
+
+TEST(Split, FigureExampleTriangles) {
+  const auto s = split_triangular(fig1_matrix());
+  EXPECT_EQ(s.lower.nnz(), 3);  // c, d, f
+  EXPECT_EQ(s.upper.nnz(), 2);  // b, e
+  EXPECT_DOUBLE_EQ(s.diag[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.diag[3], 7.0);
+  EXPECT_DOUBLE_EQ(s.lower.at(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(s.upper.at(2, 3), 5.0);
+}
+
+TEST(Split, MergeRoundTripsRandomMatrices) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto a = test::random_matrix(80, 7.0, false, seed);
+    const auto merged = merge_triangular(split_triangular(a));
+    // Merge may drop explicit zero diagonal entries; compare densely.
+    EXPECT_EQ(to_dense(a), to_dense(merged)) << "seed " << seed;
+  }
+}
+
+TEST(Split, StrictTriangularityHolds) {
+  const auto a = test::random_matrix(100, 8.0, true, 5);
+  const auto s = split_triangular(a);
+  for (index_t i = 0; i < s.lower.rows(); ++i) {
+    for (index_t k = s.lower.row_ptr()[i]; k < s.lower.row_ptr()[i + 1]; ++k)
+      EXPECT_LT(s.lower.col_idx()[k], i);
+    for (index_t k = s.upper.row_ptr()[i]; k < s.upper.row_ptr()[i + 1]; ++k)
+      EXPECT_GT(s.upper.col_idx()[k], i);
+  }
+}
+
+TEST(Split, NnzConservation) {
+  const auto a = test::random_matrix(120, 9.0, false, 17);
+  const auto s = split_triangular(a);
+  index_t diag_count = 0;
+  for (index_t i = 0; i < a.rows(); ++i)
+    if (a.at(i, i) != 0.0) ++diag_count;
+  EXPECT_EQ(s.lower.nnz() + s.upper.nnz() + diag_count, a.nnz());
+}
+
+TEST(Split, StorageMatchesTableIV) {
+  // Table IV: L+U+d stores (nnz - ndiag) indices/values, 2(n+1) row
+  // pointers and n diagonal entries.
+  const auto a = test::random_matrix(64, 6.0, true, 3);
+  const auto s = split_triangular(a);
+  index_t ndiag = 0;
+  for (index_t i = 0; i < a.rows(); ++i)
+    if (a.at(i, i) != 0.0) ++ndiag;
+  const std::size_t n = a.rows();
+  const std::size_t offdiag = a.nnz() - ndiag;
+  const std::size_t expected = offdiag * (sizeof(index_t) + sizeof(double)) +
+                               2 * (n + 1) * sizeof(index_t) +
+                               n * sizeof(double);
+  EXPECT_EQ(s.storage_bytes(), expected);
+}
+
+TEST(Split, RejectsNonSquare) {
+  CooMatrix<double> coo(2, 3);
+  coo.add(0, 0, 1.0);
+  EXPECT_THROW(split_triangular(CsrMatrix<double>::from_coo(coo)), Error);
+}
+
+}  // namespace
+}  // namespace fbmpk

@@ -1,0 +1,146 @@
+// Whole-suite property sweeps: every analogue matrix through every plan
+// configuration, plus randomized fuzz checks of the sparse substrate
+// against simple reference implementations.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/plan.hpp"
+#include "gen/suite.hpp"
+#include "kernels/mpk_baseline.hpp"
+#include "reorder/abmc.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+struct PlanConfig {
+  const char* label;
+  bool reorder;
+  bool parallel;
+  Scheduler scheduler;
+  FbVariant variant;
+};
+
+const PlanConfig kConfigs[] = {
+    {"serial_btb", false, false, Scheduler::kAbmc, FbVariant::kBtb},
+    {"serial_split", false, false, Scheduler::kAbmc, FbVariant::kSplit},
+    {"abmc_parallel", true, true, Scheduler::kAbmc, FbVariant::kBtb},
+    {"level_parallel", false, true, Scheduler::kLevels, FbVariant::kBtb},
+    {"reorder_serial", true, false, Scheduler::kAbmc, FbVariant::kBtb},
+};
+
+class SuitePropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(SuitePropertyTest, EveryConfigMatchesBaseline) {
+  const auto [name, config_idx] = GetParam();
+  const auto& cfg = kConfigs[config_idx];
+  const auto m = gen::make_suite_matrix(name, 0.015);
+  const index_t n = m.matrix.rows();
+  const auto x = test::random_vector(n, 0xcafe);
+
+  AlignedVector<double> ref(static_cast<std::size_t>(n));
+  MpkWorkspace<double> mws;
+  mpk_power<double>(m.matrix, x, 5, ref, mws);
+
+  PlanOptions opts;
+  opts.reorder = cfg.reorder;
+  opts.parallel = cfg.parallel;
+  opts.scheduler = cfg.scheduler;
+  opts.variant = cfg.variant;
+  opts.abmc.num_blocks = 48;
+  auto plan = MpkPlan::build(m.matrix, opts);
+  AlignedVector<double> y(static_cast<std::size_t>(n));
+  plan.power(x, 5, y);
+  test::expect_near_rel(y, ref, 1e-7, cfg.label);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMatricesAllConfigs, SuitePropertyTest,
+    ::testing::Combine(::testing::ValuesIn(gen::suite_names()),
+                       ::testing::Range(0, 5)),
+    [](const auto& suite_info) {
+      return std::get<0>(suite_info.param) + "_" +
+             kConfigs[std::get<1>(suite_info.param)].label;
+    });
+
+TEST(SuiteProperties, AbmcSchedulesValidForWholeSuite) {
+  for (const auto& name : gen::suite_names()) {
+    const auto m = gen::make_suite_matrix(name, 0.015);
+    AbmcOptions opts;
+    opts.num_blocks = 48;
+    const auto o = abmc_order(m.matrix, opts);
+    const auto permuted = permute_symmetric(m.matrix, o.perm);
+    EXPECT_TRUE(is_valid_schedule(permuted, o)) << name;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Fuzz: COO -> CSR against a map-based reference
+// --------------------------------------------------------------------------
+
+class CooFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CooFuzzTest, CompressionMatchesMapReference) {
+  Rng rng(GetParam());
+  const auto n = static_cast<index_t>(5 + rng.next_below(60));
+  const auto entries = static_cast<std::size_t>(rng.next_below(400));
+
+  CooMatrix<double> coo(n, n);
+  std::map<std::pair<index_t, index_t>, double> ref;
+  for (std::size_t e = 0; e < entries; ++e) {
+    const auto i = static_cast<index_t>(rng.next_below(n));
+    const auto j = static_cast<index_t>(rng.next_below(n));
+    const double v = rng.next_double(-1.0, 1.0);
+    coo.add(i, j, v);  // duplicates intentional
+    ref[{i, j}] += v;
+  }
+
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  a.validate();
+  EXPECT_EQ(a.nnz(), static_cast<index_t>(ref.size()));
+  for (const auto& [pos, v] : ref)
+    EXPECT_NEAR(a.at(pos.first, pos.second), v, 1e-12) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CooFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --------------------------------------------------------------------------
+// Fuzz: random permutations round-trip matrices and vectors
+// --------------------------------------------------------------------------
+
+class PermFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermFuzzTest, SymmetricPermuteRoundTrips) {
+  Rng rng(GetParam() * 977);
+  const auto n = static_cast<index_t>(10 + rng.next_below(100));
+  const auto a = test::random_matrix(n, 5.0, false, GetParam());
+
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  const Permutation p(order);
+
+  // Permuting with p then with p.inverse() restores A.
+  const auto forward = permute_symmetric(a, p);
+  const auto back = permute_symmetric(forward, Permutation(p.inverse()));
+  EXPECT_EQ(back, a);
+
+  // Vector round-trip.
+  const auto x = test::random_vector(n, GetParam() + 5);
+  AlignedVector<double> px(static_cast<std::size_t>(n)),
+      upx(static_cast<std::size_t>(n));
+  permute_vector<double>(p, x, px);
+  unpermute_vector<double>(p, px, upx);
+  EXPECT_TRUE(std::equal(x.begin(), x.end(), upx.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace fbmpk

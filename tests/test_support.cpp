@@ -1,0 +1,165 @@
+// Unit tests for src/support: RNG, stats, aligned buffers, error macros.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/threading.hpp"
+#include "support/timer.hpp"
+
+namespace fbmpk {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double(-2.5, 3.5);
+    EXPECT_GE(d, -2.5);
+    EXPECT_LT(d, 3.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(SplitMix64, MatchesReferenceSequence) {
+  // Reference values from the published SplitMix64 algorithm, seed 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(Stats, GeometricMeanOfConstant) {
+  const std::vector<double> xs{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(xs), 2.0);
+}
+
+TEST(Stats, GeometricMeanKnownValue) {
+  const std::vector<double> xs{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(xs), 2.0);
+}
+
+TEST(Stats, GeometricMeanRejectsNonPositive) {
+  const std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW(geometric_mean(xs), Error);
+}
+
+TEST(Stats, GeometricMeanRejectsEmpty) {
+  EXPECT_THROW(geometric_mean({}), Error);
+}
+
+TEST(Stats, MeanAndMin) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+  EXPECT_DOUBLE_EQ(min_value(xs), 1.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, StddevKnownValue) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);
+}
+
+TEST(Stats, RunningStatsAccumulates) {
+  RunningStats rs;
+  rs.add(1.0);
+  rs.add(4.0);
+  EXPECT_EQ(rs.count(), 2u);
+  EXPECT_DOUBLE_EQ(rs.geomean(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 2.5);
+}
+
+TEST(AlignedBuffer, VectorIsCacheLineAligned) {
+  AlignedVector<double> v(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(AlignedBuffer, GrowsAndKeepsAlignment) {
+  AlignedVector<int> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes, 0u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(Error, CheckThrowsWithExpression) {
+  try {
+    FBMPK_CHECK(1 == 2);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckMsgIncludesStreamedMessage) {
+  try {
+    FBMPK_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(Error, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(FBMPK_CHECK(true));
+}
+
+TEST(Threading, MaxThreadsAtLeastOne) { EXPECT_GE(max_threads(), 1); }
+
+TEST(Timer, MeasuresNonNegativeDurations) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.milliseconds(), t.seconds());  // ms numerically larger
+}
+
+}  // namespace
+}  // namespace fbmpk

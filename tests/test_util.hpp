@@ -1,0 +1,74 @@
+// Shared helpers for the FBMPK test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "gen/random_sparse.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/ops.hpp"
+#include "support/aligned_buffer.hpp"
+#include "support/rng.hpp"
+
+namespace fbmpk::test {
+
+/// Deterministic random vector with entries in [-1, 1).
+inline AlignedVector<double> random_vector(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  AlignedVector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.next_double(-1.0, 1.0);
+  return v;
+}
+
+/// Small random square CSR matrix for property sweeps. Diagonally
+/// dominant so powers stay well-scaled.
+inline CsrMatrix<double> random_matrix(index_t n, double avg_row_nnz,
+                                       bool symmetric, std::uint64_t seed) {
+  gen::RandomBandedOptions o;
+  o.bandwidth = std::max<index_t>(1, n / 2);
+  o.avg_row_nnz = avg_row_nnz;
+  o.symmetric = symmetric;
+  o.seed = seed;
+  return gen::make_random_banded(n, o);
+}
+
+/// Reference y = A^k x via the dense representation (O(n^2) per power;
+/// use only on small matrices).
+inline std::vector<double> dense_power_reference(const CsrMatrix<double>& a,
+                                                 std::span<const double> x,
+                                                 int k) {
+  const index_t n = a.rows();
+  const std::vector<double> d = to_dense(a);
+  std::vector<double> cur(x.begin(), x.end());
+  std::vector<double> nxt(static_cast<std::size_t>(n));
+  for (int p = 0; p < k; ++p) {
+    for (index_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (index_t j = 0; j < n; ++j)
+        sum += d[static_cast<std::size_t>(i) * n + j] * cur[j];
+      nxt[i] = sum;
+    }
+    cur.swap(nxt);
+  }
+  return cur;
+}
+
+/// Relative comparison robust to the large dynamic range of matrix
+/// powers: |a - b| <= rtol * (1 + max(|a|, |b|)).
+inline void expect_near_rel(std::span<const double> actual,
+                            std::span<const double> expected, double rtol,
+                            const char* label = "") {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double scale =
+        1.0 + std::max(std::abs(actual[i]), std::abs(expected[i]));
+    ASSERT_NEAR(actual[i], expected[i], rtol * scale)
+        << label << " mismatch at index " << i;
+  }
+}
+
+}  // namespace fbmpk::test

@@ -1,0 +1,46 @@
+// Tests for dense-vector file I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/vector_io.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+TEST(VectorIo, RoundTripPreservesValues) {
+  const auto v = test::random_vector(100, 3);
+  std::stringstream buf;
+  write_vector(buf, v);
+  const auto back = read_vector(buf);
+  ASSERT_EQ(back.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(back[i], v[i]);
+}
+
+TEST(VectorIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in("% header\n1.5\n\n  % another\n-2.0 3.0\n");
+  const auto v = read_vector(in);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  EXPECT_DOUBLE_EQ(v[1], -2.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(VectorIo, RejectsMalformedValues) {
+  std::istringstream in("1.0\nnotanumber\n");
+  EXPECT_THROW(read_vector(in), Error);
+}
+
+TEST(VectorIo, FileRoundTripAndMissingFile) {
+  const auto v = test::random_vector(20, 5);
+  const std::string path = ::testing::TempDir() + "/fbmpk_vec.txt";
+  write_vector_file(path, v);
+  const auto back = read_vector_file(path);
+  EXPECT_EQ(back.size(), v.size());
+  EXPECT_THROW(read_vector_file("/nonexistent/vec.txt"), Error);
+}
+
+}  // namespace
+}  // namespace fbmpk
