@@ -1,6 +1,7 @@
 #include "core/plan.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "kernels/fbmpk_parallel.hpp"
 #include "support/timer.hpp"
@@ -8,12 +9,16 @@
 namespace fbmpk {
 
 MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
-  FBMPK_CHECK_MSG(a.rows() == a.cols(), "MpkPlan needs a square matrix");
-  FBMPK_CHECK_MSG(a.rows() > 0, "MpkPlan needs a non-empty matrix");
+  FBMPK_CHECK_CODE(a.rows() == a.cols(), ErrorCode::kInvalidMatrix,
+                   "MpkPlan needs a square matrix, got " << a.rows() << " x "
+                                                         << a.cols());
+  FBMPK_CHECK_CODE(a.rows() > 0, ErrorCode::kInvalidMatrix,
+                   "MpkPlan needs a non-empty matrix");
   FBMPK_CHECK_MSG(
       !opts.parallel || opts.reorder || opts.scheduler == Scheduler::kLevels,
       "ABMC-scheduled parallel execution requires the reorder; use "
       "Scheduler::kLevels to run parallel without reordering");
+  if (opts.validate_input) check_matrix(a, opts.sanitize);
 
   Timer total;
   MpkPlan plan;
@@ -163,13 +168,22 @@ void MpkPlan::polynomial(std::span<const double> coeffs,
   polynomial(coeffs, x, y, *internal_ws_);
 }
 
-void MpkPlan::recurrence(std::span<const RecurrenceStep<double>> steps,
-                         std::span<const double> x, std::span<double> y,
-                         Workspace& ws) const {
+KernelStatus MpkPlan::recurrence(std::span<const RecurrenceStep<double>> steps,
+                                 std::span<const double> x,
+                                 std::span<double> y, Workspace& ws) const {
   const auto n = static_cast<std::size_t>(n_);
   FBMPK_CHECK(x.size() == n && y.size() == n);
   FBMPK_CHECK(!steps.empty());
   const int k = static_cast<int>(steps.size());
+
+  // Breakdown detection up front: a non-finite input or coefficient
+  // would NaN-poison every row of the sweep.
+  for (const auto& st : steps)
+    if (!std::isfinite(st.alpha) || !std::isfinite(st.beta) ||
+        !std::isfinite(st.gamma))
+      return KernelStatus::breakdown(-1, "non-finite recurrence coefficient");
+  if (auto st = check_finite(x, "non-finite input vector"); !st.ok)
+    return st;
 
   auto run = [&](std::span<const double> px, std::span<double> py) {
     double* yp = py.data();
@@ -192,18 +206,21 @@ void MpkPlan::recurrence(std::span<const RecurrenceStep<double>> steps,
 
   if (perm_.is_identity()) {
     run(x, y);
-    return;
+  } else {
+    ws.px.resize(n);
+    ws.py.resize(n);
+    permute_vector<double>(perm_, x, ws.px);
+    run(std::span<const double>(ws.px), std::span<double>(ws.py));
+    unpermute_vector<double>(perm_, std::span<const double>(ws.py), y);
   }
-  ws.px.resize(n);
-  ws.py.resize(n);
-  permute_vector<double>(perm_, x, ws.px);
-  run(std::span<const double>(ws.px), std::span<double>(ws.py));
-  unpermute_vector<double>(perm_, std::span<const double>(ws.py), y);
+  return check_finite(std::span<const double>(y.data(), y.size()),
+                      "non-finite recurrence iterate");
 }
 
-void MpkPlan::recurrence(std::span<const RecurrenceStep<double>> steps,
-                         std::span<const double> x, std::span<double> y) {
-  recurrence(steps, x, y, *internal_ws_);
+KernelStatus MpkPlan::recurrence(std::span<const RecurrenceStep<double>> steps,
+                                 std::span<const double> x,
+                                 std::span<double> y) {
+  return recurrence(steps, x, y, *internal_ws_);
 }
 
 void MpkPlan::polynomial(std::span<const std::complex<double>> coeffs,

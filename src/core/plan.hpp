@@ -29,6 +29,7 @@
 #include "reorder/permutation.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/split.hpp"
+#include "sparse/validate.hpp"
 
 namespace fbmpk {
 
@@ -53,6 +54,13 @@ struct PlanOptions {
   Scheduler scheduler = Scheduler::kAbmc;
   /// Serial pipeline flavor: BtB interleaved (default) or split vectors.
   FbVariant variant = FbVariant::kBtb;
+  /// Run the matrix sanitizer on the input at build. The default
+  /// rejects non-finite values (a NaN matrix would otherwise poison
+  /// every sequence run through the plan); structural soundness is
+  /// guaranteed by CsrMatrix regardless. Set check_diagonal for
+  /// D^-1-consuming workloads, or policy kWarnOnly to opt out.
+  bool validate_input = true;
+  SanitizeOptions sanitize;
 };
 
 /// Timing/shape metadata captured at build.
@@ -109,12 +117,15 @@ class MpkPlan {
   /// c_p x_{p-2} (x_{-1} = 0): y = x_k with k = steps.size(). Covers
   /// Chebyshev-stable polynomial bases at FBMPK traffic. Serial and
   /// ABMC-scheduled plans only (the level scheduler falls back to the
-  /// ABMC/serial path by construction of the options).
-  void recurrence(std::span<const RecurrenceStep<double>> steps,
-                  std::span<const double> x, std::span<double> y,
-                  Workspace& ws) const;
-  void recurrence(std::span<const RecurrenceStep<double>> steps,
-                  std::span<const double> x, std::span<double> y);
+  /// ABMC/serial path by construction of the options). Returns a
+  /// breakdown status instead of propagating NaN: non-finite inputs
+  /// are rejected before the sweep, non-finite iterates are reported
+  /// after it (y is written either way).
+  KernelStatus recurrence(std::span<const RecurrenceStep<double>> steps,
+                          std::span<const double> x, std::span<double> y,
+                          Workspace& ws) const;
+  KernelStatus recurrence(std::span<const RecurrenceStep<double>> steps,
+                          std::span<const double> x, std::span<double> y);
 
   /// Complex-coefficient SSpMV (paper §I: "alpha_i are real or complex
   /// constants"): y = sum_p coeffs[p] * A^p x with real A and x. One

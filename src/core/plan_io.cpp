@@ -1,182 +1,505 @@
 #include "core/plan_io.hpp"
 
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
+#include <string>
+#include <type_traits>
 
+#include "support/checksum.hpp"
 #include "support/error.hpp"
 
 namespace fbmpk {
 
 namespace {
 
+// ---------------------------------------------------------------------------
+// Format v2 (see docs/ROBUSTNESS.md):
+//
+//   [ magic "FBMPKPLN" | u32 version | u32 index_width |
+//     u64 payload_size | u32 payload_crc32 ]  -- fixed header
+//   [ payload: framed sections ]
+//
+// The payload is a sequence of sections, each
+//   [ u32 tag | u64 length | length bytes ],
+// and the CRC32 covers every payload byte. Deserialization never
+// trusts a byte it has not bounds-checked: section lengths are checked
+// against the remaining payload, vector sizes against the remaining
+// section, and every enum/bool against its legal range. Any violation
+// throws a typed fbmpk::Error (kCorruptPlan / kVersionMismatch) —
+// a truncated or bit-flipped plan file can never reach undefined
+// behavior or silently load.
+// ---------------------------------------------------------------------------
+
 constexpr char kMagic[8] = {'F', 'B', 'M', 'P', 'K', 'P', 'L', 'N'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 
-template <class T>
-void write_pod(std::ostream& out, const T& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
+// Section tags, in the order they are written.
+enum : std::uint32_t {
+  kSecOptions = 0x4F505453,   // 'OPTS'
+  kSecStats = 0x53544154,     // 'STAT'
+  kSecPerm = 0x5045524D,      // 'PERM'
+  kSecSchedule = 0x53434844,  // 'SCHD'
+  kSecLevels = 0x4C564C53,    // 'LVLS'
+  kSecSplit = 0x53504C54,     // 'SPLT'
+};
 
-template <class T>
-T read_pod(std::istream& in) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  T v{};
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  FBMPK_CHECK_MSG(in.good(), "truncated plan stream");
-  return v;
-}
+// Serialized payloads are bounded: a section or vector claiming more
+// than this is corrupt by definition (matches the read_vec bound the
+// v1 format used).
+constexpr std::uint64_t kMaxPlausibleBytes = 1ull << 40;
 
-template <class Vec>
-void write_vec(std::ostream& out, const Vec& v) {
-  write_pod(out, static_cast<std::uint64_t>(v.size()));
-  if (!v.empty())
-    out.write(reinterpret_cast<const char*>(v.data()),
-              static_cast<std::streamsize>(v.size() *
-                                           sizeof(typename Vec::value_type)));
-}
+// --------------------------- writing ---------------------------------------
 
-template <class Vec>
-Vec read_vec(std::istream& in) {
-  const auto size = read_pod<std::uint64_t>(in);
-  // Sanity bound: refuse absurd sizes before allocating (corrupt file).
-  FBMPK_CHECK_MSG(size < (1ull << 40), "implausible vector size in plan");
-  Vec v(static_cast<std::size_t>(size));
-  if (size > 0) {
-    in.read(reinterpret_cast<char*>(v.data()),
-            static_cast<std::streamsize>(size *
-                                         sizeof(typename Vec::value_type)));
-    FBMPK_CHECK_MSG(in.good(), "truncated plan stream");
+/// Accumulates the payload in memory so the CRC and total length are
+/// known before anything hits the output stream.
+class BlobWriter {
+ public:
+  template <class T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    append(&v, sizeof(T));
   }
-  return v;
+
+  void boolean(bool b) { pod<std::uint8_t>(b ? 1 : 0); }
+
+  template <class E>
+  void enumeration(E e) {
+    pod<std::uint32_t>(static_cast<std::uint32_t>(e));
+  }
+
+  template <class Vec>
+  void vec(const Vec& v) {
+    pod<std::uint64_t>(v.size());
+    if (!v.empty())
+      append(v.data(), v.size() * sizeof(typename Vec::value_type));
+  }
+
+  /// Begin a framed section; returns after patching the previous one.
+  void begin_section(std::uint32_t tag) {
+    end_section();
+    pod<std::uint32_t>(tag);
+    length_pos_ = buf_.size();
+    pod<std::uint64_t>(0);  // patched by end_section
+  }
+
+  void end_section() {
+    if (length_pos_ == std::string::npos) return;
+    const std::uint64_t len = buf_.size() - length_pos_ - sizeof(std::uint64_t);
+    std::memcpy(buf_.data() + length_pos_, &len, sizeof(len));
+    length_pos_ = std::string::npos;
+  }
+
+  const std::string& blob() {
+    end_section();
+    return buf_;
+  }
+
+ private:
+  void append(const void* data, std::size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+
+  std::string buf_;
+  std::size_t length_pos_ = std::string::npos;
+};
+
+// --------------------------- reading ---------------------------------------
+
+/// Bounds-checked cursor over the in-memory, checksum-verified payload.
+class BlobReader {
+ public:
+  BlobReader(const char* data, std::size_t size) : data_(data), end_(size) {}
+
+  template <class T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T v{};
+    std::memcpy(&v, data_ + off_, sizeof(T));
+    off_ += sizeof(T);
+    return v;
+  }
+
+  bool boolean() {
+    const auto b = pod<std::uint8_t>();
+    FBMPK_CHECK_CODE(b <= 1, ErrorCode::kCorruptPlan,
+                     "bool byte out of range: " << static_cast<int>(b));
+    return b == 1;
+  }
+
+  /// Read an enum stored as u32 and range-check it against [0, count).
+  template <class E>
+  E enumeration(std::uint32_t count, const char* name) {
+    const auto raw = pod<std::uint32_t>();
+    FBMPK_CHECK_CODE(raw < count, ErrorCode::kCorruptPlan,
+                     name << " enum value out of range: " << raw);
+    return static_cast<E>(raw);
+  }
+
+  template <class Vec>
+  Vec vec() {
+    const auto size = pod<std::uint64_t>();
+    using V = typename Vec::value_type;
+    FBMPK_CHECK_CODE(size < kMaxPlausibleBytes / sizeof(V),
+                     ErrorCode::kCorruptPlan,
+                     "implausible vector size in plan: " << size);
+    require(size * sizeof(V));
+    Vec v(static_cast<std::size_t>(size));
+    if (size > 0) {
+      std::memcpy(v.data(), data_ + off_,
+                  static_cast<std::size_t>(size) * sizeof(V));
+      off_ += static_cast<std::size_t>(size) * sizeof(V);
+    }
+    return v;
+  }
+
+  /// Enter the next section; it must carry `tag` and fit the payload.
+  /// Returns the section's end offset for end_section().
+  std::size_t begin_section(std::uint32_t tag, const char* name) {
+    const auto found = pod<std::uint32_t>();
+    FBMPK_CHECK_CODE(found == tag, ErrorCode::kCorruptPlan,
+                     "expected section " << name << ", found tag 0x"
+                                         << std::hex << found);
+    const auto len = pod<std::uint64_t>();
+    require(len);
+    return off_ + static_cast<std::size_t>(len);
+  }
+
+  /// Verify the cursor landed exactly on the section boundary.
+  void end_section(std::size_t section_end, const char* name) {
+    FBMPK_CHECK_CODE(off_ == section_end, ErrorCode::kCorruptPlan,
+                     "section " << name << " length mismatch: cursor at "
+                                << off_ << ", frame ends at " << section_end);
+  }
+
+  void expect_exhausted() {
+    FBMPK_CHECK_CODE(off_ == end_, ErrorCode::kCorruptPlan,
+                     "trailing bytes after final section");
+  }
+
+ private:
+  void require(std::uint64_t n) {
+    FBMPK_CHECK_CODE(n <= end_ - off_, ErrorCode::kCorruptPlan,
+                     "plan payload overrun: need " << n << " bytes, have "
+                                                   << (end_ - off_));
+  }
+
+  const char* data_;
+  std::size_t end_;
+  std::size_t off_ = 0;
+};
+
+// --------------------------- matrices --------------------------------------
+
+void write_csr(BlobWriter& w, const CsrMatrix<double>& m) {
+  w.pod(m.rows());
+  w.pod(m.cols());
+  w.vec(AlignedVector<index_t>(m.row_ptr().begin(), m.row_ptr().end()));
+  w.vec(AlignedVector<index_t>(m.col_idx().begin(), m.col_idx().end()));
+  w.vec(AlignedVector<double>(m.values().begin(), m.values().end()));
 }
 
-void write_csr(std::ostream& out, const CsrMatrix<double>& m) {
-  write_pod(out, m.rows());
-  write_pod(out, m.cols());
-  write_vec(out, AlignedVector<index_t>(m.row_ptr().begin(),
-                                        m.row_ptr().end()));
-  write_vec(out, AlignedVector<index_t>(m.col_idx().begin(),
-                                        m.col_idx().end()));
-  write_vec(out, AlignedVector<double>(m.values().begin(),
-                                       m.values().end()));
+CsrMatrix<double> read_csr(BlobReader& r) {
+  const auto rows = r.pod<index_t>();
+  const auto cols = r.pod<index_t>();
+  auto rp = r.vec<AlignedVector<index_t>>();
+  auto ci = r.vec<AlignedVector<index_t>>();
+  auto va = r.vec<AlignedVector<double>>();
+  // The CSR constructor re-validates the structure; surface its
+  // verdict as plan corruption rather than an internal error.
+  try {
+    return CsrMatrix<double>(rows, cols, std::move(rp), std::move(ci),
+                             std::move(va));
+  } catch (const Error& e) {
+    throw Error(ErrorCode::kCorruptPlan,
+                std::string("corrupt CSR payload in plan: ") + e.what());
+  }
 }
 
-CsrMatrix<double> read_csr(std::istream& in) {
-  const auto rows = read_pod<index_t>(in);
-  const auto cols = read_pod<index_t>(in);
-  auto rp = read_vec<AlignedVector<index_t>>(in);
-  auto ci = read_vec<AlignedVector<index_t>>(in);
-  auto va = read_vec<AlignedVector<double>>(in);
-  // The CSR constructor re-validates the structure, so corrupt payloads
-  // surface as fbmpk::Error rather than undefined behavior.
-  return CsrMatrix<double>(rows, cols, std::move(rp), std::move(ci),
-                           std::move(va));
+void write_level_schedule(BlobWriter& w, const LevelSchedule& s) {
+  w.pod(s.num_levels);
+  w.vec(s.level_ptr);
+  w.vec(s.rows);
 }
 
-void write_level_schedule(std::ostream& out, const LevelSchedule& s) {
-  write_pod(out, s.num_levels);
-  write_vec(out, s.level_ptr);
-  write_vec(out, s.rows);
-}
-
-LevelSchedule read_level_schedule(std::istream& in) {
+LevelSchedule read_level_schedule(BlobReader& r) {
   LevelSchedule s;
-  s.num_levels = read_pod<index_t>(in);
-  s.level_ptr = read_vec<std::vector<index_t>>(in);
-  s.rows = read_vec<std::vector<index_t>>(in);
+  s.num_levels = r.pod<index_t>();
+  s.level_ptr = r.vec<std::vector<index_t>>();
+  s.rows = r.vec<std::vector<index_t>>();
+  FBMPK_CHECK_CODE(
+      s.num_levels >= 0 &&
+          (s.level_ptr.empty()
+               ? s.num_levels == 0 && s.rows.empty()
+               : s.level_ptr.size() ==
+                     static_cast<std::size_t>(s.num_levels) + 1),
+      ErrorCode::kCorruptPlan, "level schedule shape mismatch");
+  if (!s.level_ptr.empty()) {
+    FBMPK_CHECK_CODE(s.level_ptr.front() == 0 &&
+                         s.level_ptr.back() ==
+                             static_cast<index_t>(s.rows.size()),
+                     ErrorCode::kCorruptPlan,
+                     "level schedule pointer endpoints invalid");
+    for (std::size_t i = 1; i < s.level_ptr.size(); ++i)
+      FBMPK_CHECK_CODE(s.level_ptr[i - 1] <= s.level_ptr[i],
+                       ErrorCode::kCorruptPlan,
+                       "level schedule pointers not monotone");
+  }
   return s;
+}
+
+// Monotone non-negative pointer array ending exactly at `total`.
+void check_ptr_array(const std::vector<index_t>& ptr, index_t total,
+                     const char* name) {
+  if (ptr.empty()) return;
+  FBMPK_CHECK_CODE(ptr.front() == 0 && ptr.back() == total,
+                   ErrorCode::kCorruptPlan,
+                   name << " endpoints invalid in plan");
+  for (std::size_t i = 1; i < ptr.size(); ++i)
+    FBMPK_CHECK_CODE(ptr[i - 1] <= ptr[i], ErrorCode::kCorruptPlan,
+                     name << " not monotone in plan");
 }
 
 }  // namespace
 
 void save_plan(const MpkPlan& plan, std::ostream& out) {
-  out.write(kMagic, sizeof(kMagic));
-  write_pod(out, kVersion);
-  write_pod(out, static_cast<std::uint32_t>(sizeof(index_t)));
+  BlobWriter w;
 
-  write_pod(out, plan.n_);
+  w.begin_section(kSecOptions);
+  w.pod(plan.n_);
   const PlanOptions& o = plan.opts_;
-  write_pod(out, o.reorder);
-  write_pod(out, o.abmc.num_blocks);
-  write_pod(out, o.abmc.blocking);
-  write_pod(out, o.abmc.coloring);
-  write_pod(out, o.parallel);
-  write_pod(out, o.scheduler);
-  write_pod(out, o.variant);
-  write_pod(out, plan.stats_);
+  w.boolean(o.reorder);
+  w.pod(o.abmc.num_blocks);
+  w.enumeration(o.abmc.blocking);
+  w.enumeration(o.abmc.coloring);
+  w.boolean(o.parallel);
+  w.enumeration(o.scheduler);
+  w.enumeration(o.variant);
+  w.boolean(o.validate_input);
+  w.enumeration(o.sanitize.policy);
+  w.boolean(o.sanitize.check_finite);
+  w.boolean(o.sanitize.check_duplicates);
+  w.boolean(o.sanitize.check_explicit_zeros);
+  w.boolean(o.sanitize.check_diagonal);
+  w.pod(o.sanitize.zero_diag_tolerance);
+  w.pod(o.sanitize.patched_diagonal);
 
-  write_vec(out, std::vector<index_t>(plan.perm_.order().begin(),
-                                      plan.perm_.order().end()));
-  write_pod(out, plan.schedule_.num_blocks);
-  write_pod(out, plan.schedule_.num_colors);
-  write_vec(out, plan.schedule_.block_ptr);
-  write_vec(out, plan.schedule_.color_ptr);
-  write_level_schedule(out, plan.levels_.forward);
-  write_level_schedule(out, plan.levels_.backward);
+  w.begin_section(kSecStats);
+  w.pod(plan.stats_);
 
-  write_csr(out, plan.split_.lower);
-  write_csr(out, plan.split_.upper);
-  write_vec(out, plan.split_.diag);
-  FBMPK_CHECK_MSG(out.good(), "plan write failed");
+  w.begin_section(kSecPerm);
+  w.vec(std::vector<index_t>(plan.perm_.order().begin(),
+                             plan.perm_.order().end()));
+
+  w.begin_section(kSecSchedule);
+  w.pod(plan.schedule_.num_blocks);
+  w.pod(plan.schedule_.num_colors);
+  w.vec(plan.schedule_.block_ptr);
+  w.vec(plan.schedule_.color_ptr);
+
+  w.begin_section(kSecLevels);
+  write_level_schedule(w, plan.levels_.forward);
+  write_level_schedule(w, plan.levels_.backward);
+
+  w.begin_section(kSecSplit);
+  write_csr(w, plan.split_.lower);
+  write_csr(w, plan.split_.upper);
+  w.vec(plan.split_.diag);
+
+  const std::string& payload = w.blob();
+  const auto payload_crc = crc32(payload.data(), payload.size());
+
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kVersion;
+  const std::uint32_t index_width = sizeof(index_t);
+  const std::uint64_t payload_size = payload.size();
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&index_width), sizeof(index_width));
+  out.write(reinterpret_cast<const char*>(&payload_size),
+            sizeof(payload_size));
+  out.write(reinterpret_cast<const char*>(&payload_crc), sizeof(payload_crc));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  FBMPK_CHECK_CODE(out.good(), ErrorCode::kIo, "plan write failed");
 }
 
 MpkPlan load_plan(std::istream& in) {
   char magic[8];
   in.read(magic, sizeof(magic));
-  FBMPK_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 8) == 0,
-                  "not an FBMPK plan stream");
-  FBMPK_CHECK_MSG(read_pod<std::uint32_t>(in) == kVersion,
-                  "unsupported plan version");
-  FBMPK_CHECK_MSG(read_pod<std::uint32_t>(in) == sizeof(index_t),
-                  "plan was written with a different index width");
+  FBMPK_CHECK_CODE(in.good() && std::memcmp(magic, kMagic, 8) == 0,
+                   ErrorCode::kCorruptPlan, "not an FBMPK plan stream");
 
+  std::uint32_t version = 0, index_width = 0;
+  std::uint64_t payload_size = 0;
+  std::uint32_t stored_crc = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  FBMPK_CHECK_CODE(in.good(), ErrorCode::kCorruptPlan,
+                   "truncated plan header");
+  FBMPK_CHECK_CODE(version == kVersion, ErrorCode::kVersionMismatch,
+                   "unsupported plan version "
+                       << version << " (this build reads version "
+                       << kVersion << "; v1 files predate the checksum "
+                       << "and must be regenerated)");
+  in.read(reinterpret_cast<char*>(&index_width), sizeof(index_width));
+  in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
+  in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+  FBMPK_CHECK_CODE(in.good(), ErrorCode::kCorruptPlan,
+                   "truncated plan header");
+  FBMPK_CHECK_CODE(index_width == sizeof(index_t),
+                   ErrorCode::kVersionMismatch,
+                   "plan was written with index width " << index_width
+                                                        << ", this build uses "
+                                                        << sizeof(index_t));
+  FBMPK_CHECK_CODE(payload_size < kMaxPlausibleBytes,
+                   ErrorCode::kCorruptPlan,
+                   "implausible payload size: " << payload_size);
+
+  // Read the payload in bounded chunks: a corrupted payload_size just
+  // under the plausibility bound must not commit a huge zero-filled
+  // allocation before the stream reveals it holds far fewer bytes.
+  std::string payload;
+  {
+    constexpr std::size_t kChunk = std::size_t{1} << 20;
+    std::uint64_t got = 0;
+    while (got < payload_size) {
+      const auto want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kChunk, payload_size - got));
+      const std::size_t old = payload.size();
+      payload.resize(old + want);
+      in.read(payload.data() + old, static_cast<std::streamsize>(want));
+      const auto n = static_cast<std::uint64_t>(in.gcount());
+      got += n;
+      if (n < want) {
+        payload.resize(old + static_cast<std::size_t>(n));
+        break;
+      }
+    }
+    FBMPK_CHECK_CODE(got == payload_size, ErrorCode::kCorruptPlan,
+                     "truncated plan payload: expected " << payload_size
+                                                         << " bytes, got "
+                                                         << got);
+  }
+  const auto actual_crc = crc32(payload.data(), payload.size());
+  FBMPK_CHECK_CODE(actual_crc == stored_crc, ErrorCode::kCorruptPlan,
+                   "plan payload checksum mismatch (stored 0x"
+                       << std::hex << stored_crc << ", computed 0x"
+                       << actual_crc << ")");
+
+  BlobReader r(payload.data(), payload.size());
   MpkPlan plan;
-  plan.n_ = read_pod<index_t>(in);
-  plan.opts_.reorder = read_pod<bool>(in);
-  plan.opts_.abmc.num_blocks = read_pod<index_t>(in);
-  plan.opts_.abmc.blocking = read_pod<BlockingStrategy>(in);
-  plan.opts_.abmc.coloring = read_pod<ColoringOrder>(in);
-  plan.opts_.parallel = read_pod<bool>(in);
-  plan.opts_.scheduler = read_pod<Scheduler>(in);
-  plan.opts_.variant = read_pod<FbVariant>(in);
-  plan.stats_ = read_pod<PlanStats>(in);
 
-  plan.perm_ = Permutation(read_vec<std::vector<index_t>>(in));
-  plan.schedule_.num_blocks = read_pod<index_t>(in);
-  plan.schedule_.num_colors = read_pod<index_t>(in);
-  plan.schedule_.block_ptr = read_vec<std::vector<index_t>>(in);
-  plan.schedule_.color_ptr = read_vec<std::vector<index_t>>(in);
+  auto sec = r.begin_section(kSecOptions, "options");
+  plan.n_ = r.pod<index_t>();
+  FBMPK_CHECK_CODE(plan.n_ >= 0, ErrorCode::kCorruptPlan,
+                   "negative dimension in plan");
+  plan.opts_.reorder = r.boolean();
+  plan.opts_.abmc.num_blocks = r.pod<index_t>();
+  plan.opts_.abmc.blocking = r.enumeration<BlockingStrategy>(2, "blocking");
+  plan.opts_.abmc.coloring = r.enumeration<ColoringOrder>(3, "coloring");
+  plan.opts_.parallel = r.boolean();
+  plan.opts_.scheduler = r.enumeration<Scheduler>(2, "scheduler");
+  plan.opts_.variant = r.enumeration<FbVariant>(2, "variant");
+  plan.opts_.validate_input = r.boolean();
+  plan.opts_.sanitize.policy = r.enumeration<RepairPolicy>(3, "policy");
+  plan.opts_.sanitize.check_finite = r.boolean();
+  plan.opts_.sanitize.check_duplicates = r.boolean();
+  plan.opts_.sanitize.check_explicit_zeros = r.boolean();
+  plan.opts_.sanitize.check_diagonal = r.boolean();
+  plan.opts_.sanitize.zero_diag_tolerance = r.pod<double>();
+  plan.opts_.sanitize.patched_diagonal = r.pod<double>();
+  r.end_section(sec, "options");
+
+  sec = r.begin_section(kSecStats, "stats");
+  plan.stats_ = r.pod<PlanStats>();
+  r.end_section(sec, "stats");
+
+  sec = r.begin_section(kSecPerm, "permutation");
+  try {
+    plan.perm_ = Permutation(r.vec<std::vector<index_t>>());
+  } catch (const Error& e) {
+    throw Error(ErrorCode::kCorruptPlan,
+                std::string("corrupt permutation in plan: ") + e.what());
+  }
+  r.end_section(sec, "permutation");
+
+  sec = r.begin_section(kSecSchedule, "schedule");
+  plan.schedule_.num_blocks = r.pod<index_t>();
+  plan.schedule_.num_colors = r.pod<index_t>();
+  plan.schedule_.block_ptr = r.vec<std::vector<index_t>>();
+  plan.schedule_.color_ptr = r.vec<std::vector<index_t>>();
+  FBMPK_CHECK_CODE(
+      plan.schedule_.num_blocks >= 0 && plan.schedule_.num_colors >= 0,
+      ErrorCode::kCorruptPlan, "negative schedule counts in plan");
+  FBMPK_CHECK_CODE(
+      plan.schedule_.block_ptr.empty() ||
+          plan.schedule_.block_ptr.size() ==
+              static_cast<std::size_t>(plan.schedule_.num_blocks) + 1,
+      ErrorCode::kCorruptPlan, "schedule block_ptr shape mismatch");
+  FBMPK_CHECK_CODE(
+      plan.schedule_.color_ptr.empty() ||
+          plan.schedule_.color_ptr.size() ==
+              static_cast<std::size_t>(plan.schedule_.num_colors) + 1,
+      ErrorCode::kCorruptPlan, "schedule color_ptr shape mismatch");
+  check_ptr_array(plan.schedule_.block_ptr, plan.n_, "schedule block_ptr");
+  check_ptr_array(plan.schedule_.color_ptr, plan.schedule_.num_blocks,
+                  "schedule color_ptr");
   plan.schedule_.perm = plan.perm_;
-  plan.levels_.forward = read_level_schedule(in);
-  plan.levels_.backward = read_level_schedule(in);
+  r.end_section(sec, "schedule");
 
-  plan.split_.lower = read_csr(in);
-  plan.split_.upper = read_csr(in);
-  plan.split_.diag = read_vec<AlignedVector<double>>(in);
+  sec = r.begin_section(kSecLevels, "levels");
+  plan.levels_.forward = read_level_schedule(r);
+  plan.levels_.backward = read_level_schedule(r);
+  r.end_section(sec, "levels");
 
-  FBMPK_CHECK_MSG(plan.split_.lower.rows() == plan.n_ &&
-                      plan.split_.upper.rows() == plan.n_ &&
-                      plan.split_.diag.size() ==
-                          static_cast<std::size_t>(plan.n_) &&
-                      plan.perm_.size() == plan.n_,
-                  "inconsistent plan payload");
+  sec = r.begin_section(kSecSplit, "split");
+  plan.split_.lower = read_csr(r);
+  plan.split_.upper = read_csr(r);
+  plan.split_.diag = r.vec<AlignedVector<double>>();
+  r.end_section(sec, "split");
+  r.expect_exhausted();
+
+  FBMPK_CHECK_CODE(plan.split_.lower.rows() == plan.n_ &&
+                       plan.split_.lower.cols() == plan.n_ &&
+                       plan.split_.upper.rows() == plan.n_ &&
+                       plan.split_.upper.cols() == plan.n_ &&
+                       plan.split_.diag.size() ==
+                           static_cast<std::size_t>(plan.n_) &&
+                       plan.perm_.size() == plan.n_,
+                   ErrorCode::kCorruptPlan, "inconsistent plan payload");
   plan.internal_ws_ = std::make_unique<MpkPlan::Workspace>();
   return plan;
 }
 
 void save_plan_file(const MpkPlan& plan, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  FBMPK_CHECK_MSG(out.is_open(), "cannot open for write: " << path);
+  FBMPK_CHECK_CODE(out.is_open(), ErrorCode::kIo,
+                   "cannot open for write: " << path);
   save_plan(plan, out);
 }
 
 MpkPlan load_plan_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  FBMPK_CHECK_MSG(in.is_open(), "cannot open: " << path);
+  FBMPK_CHECK_CODE(in.is_open(), ErrorCode::kIo, "cannot open: " << path);
   return load_plan(in);
+}
+
+Expected<MpkPlan> try_load_plan(std::istream& in) {
+  try {
+    return load_plan(in);
+  } catch (const Error& e) {
+    return e;
+  }
+}
+
+Expected<MpkPlan> try_load_plan_file(const std::string& path) {
+  try {
+    return load_plan_file(path);
+  } catch (const Error& e) {
+    return e;
+  }
 }
 
 }  // namespace fbmpk

@@ -2,11 +2,20 @@
 // paper's methodology assumes (§IV-C: the split/reorder "can often be
 // performed offline when storing the matrix data", §V-F: one-off cost).
 //
-// Format: little-endian native POD dump with a magic/version header;
-// intended for same-architecture reload of a stored plan, not as an
-// interchange format. save/load round-trips every run-relevant field
-// (split triangles, diagonal, permutation, ABMC schedule, level
-// schedules, options).
+// Format v2 (docs/ROBUSTNESS.md): little-endian native dump with a
+// magic/version header, a CRC32 over the whole payload, and per-section
+// length framing. Intended for same-architecture reload of a stored
+// plan, not as an interchange format. save/load round-trips every
+// run-relevant field (split triangles, diagonal, permutation, ABMC
+// schedule, level schedules, options).
+//
+// Plan files are persistent artifacts and therefore untrusted input:
+// deserialization bounds-checks every read, range-validates every
+// enum and bool, and verifies the checksum before parsing, so a
+// truncated or bit-flipped file always fails with a typed Error
+// (ErrorCode::kCorruptPlan / kVersionMismatch) and never reaches
+// undefined behavior. Pre-checksum (v1) streams are rejected with
+// kVersionMismatch.
 #pragma once
 
 #include <iosfwd>
@@ -16,13 +25,21 @@
 
 namespace fbmpk {
 
-/// Serialize a built plan.
+/// Serialize a built plan (format v2, checksummed).
 void save_plan(const MpkPlan& plan, std::ostream& out);
 void save_plan_file(const MpkPlan& plan, const std::string& path);
 
-/// Reconstruct a plan. Throws fbmpk::Error on bad magic, version
-/// mismatch, or truncated/corrupt payload.
+/// Reconstruct a plan. Throws fbmpk::Error with kCorruptPlan on bad
+/// magic, checksum or framing violations, kVersionMismatch on a v1 or
+/// foreign-index-width file, kIo when the file cannot be opened.
 MpkPlan load_plan(std::istream& in);
 MpkPlan load_plan_file(const std::string& path);
+
+/// Non-throwing variants: the Error that load_plan would throw is
+/// returned in the Expected instead, so ingestion pipelines can branch
+/// on Expected::code() (e.g. retry kIo, regenerate on kVersionMismatch,
+/// quarantine on kCorruptPlan) without exception plumbing.
+Expected<MpkPlan> try_load_plan(std::istream& in);
+Expected<MpkPlan> try_load_plan_file(const std::string& path);
 
 }  // namespace fbmpk

@@ -20,6 +20,7 @@
 // reduces bit-for-bit to the monomial kernel's results.
 #pragma once
 
+#include <cmath>
 #include <span>
 
 #include "kernels/fb_detail.hpp"
@@ -38,6 +39,32 @@ struct RecurrenceStep {
   T beta{0};
   T gamma{0};
 };
+
+/// Outcome of a checked kernel execution. Long unattended SSpMV
+/// sequences report numerical breakdown (NaN/Inf iterates) through
+/// this instead of silently propagating non-finite values into the
+/// caller's output.
+struct KernelStatus {
+  bool ok = true;
+  ErrorCode code = ErrorCode::kInternal;  ///< meaningful when !ok
+  index_t row = -1;                       ///< first offending row, or -1
+  const char* detail = "";                ///< short static description
+
+  static KernelStatus success() { return {}; }
+  static KernelStatus breakdown(index_t row, const char* detail) {
+    return {false, ErrorCode::kNumericalBreakdown, row, detail};
+  }
+};
+
+/// Scan a vector for NaN/Inf; returns a breakdown status naming the
+/// first offending row, or success.
+template <class T>
+KernelStatus check_finite(std::span<const T> v, const char* detail) {
+  for (std::size_t i = 0; i < v.size(); ++i)
+    if (!std::isfinite(v[i]))
+      return KernelStatus::breakdown(static_cast<index_t>(i), detail);
+  return KernelStatus::success();
+}
 
 /// Serial recurrence sweep (BtB layout). steps.size() = k >= 1;
 /// emit(p, i, v) fires once per step p in [1, k] and row i with
@@ -268,6 +295,26 @@ void fbmpk_recurrence(const TriangularSplit<T>& s,
   fbmpk_recurrence_sweep(s, steps, x0, ws, [&](int p, index_t i, T v) {
     if (p == k) yp[i] = v;
   });
+}
+
+/// Checked variant: rejects a non-finite input vector or non-finite
+/// recurrence coefficients up front, runs the sweep, and reports
+/// non-finite entries in y as a breakdown status instead of handing
+/// the caller NaN. y is fully written either way.
+template <class T>
+KernelStatus fbmpk_recurrence_checked(const TriangularSplit<T>& s,
+                                      std::span<const RecurrenceStep<T>> steps,
+                                      std::span<const T> x0, std::span<T> y,
+                                      FbWorkspace<T>& ws) {
+  for (const auto& st : steps)
+    if (!std::isfinite(st.alpha) || !std::isfinite(st.beta) ||
+        !std::isfinite(st.gamma))
+      return KernelStatus::breakdown(-1, "non-finite recurrence coefficient");
+  if (auto st = check_finite(x0, "non-finite input vector"); !st.ok)
+    return st;
+  fbmpk_recurrence(s, steps, x0, y, ws);
+  return check_finite(std::span<const T>(y.data(), y.size()),
+                      "non-finite recurrence iterate");
 }
 
 }  // namespace fbmpk

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "reorder/permutation.hpp"
+#include "sparse/validate.hpp"
 #include "support/error.hpp"
 
 namespace fbmpk::solvers {
@@ -95,7 +96,20 @@ SolveResult pcg(const CsrMatrix<double>& a, std::span<const double> b,
   for (res.iterations = 0; res.iterations < opts.max_iterations;) {
     spmv<double>(a, p, ap, SpmvExec::kParallel);
     const double pap = dot(p, ap);
-    FBMPK_CHECK_MSG(pap > 0.0, "matrix not SPD along search direction");
+    // Breakdown, not a bug: indefinite operators and NaN-poisoned
+    // preconditioners surface here. Report instead of throwing so long
+    // unattended runs get a diagnosable status.
+    if (!std::isfinite(pap)) {
+      res.breakdown = true;
+      res.status = KernelStatus::breakdown(-1, "non-finite p^T A p");
+      return res;
+    }
+    if (pap <= 0.0) {
+      res.breakdown = true;
+      res.status = KernelStatus::breakdown(
+          -1, "matrix not SPD along search direction");
+      return res;
+    }
     const double alpha = rz / pap;
     for (index_t i = 0; i < n; ++i) {
       x[i] += alpha * p[i];
@@ -103,12 +117,23 @@ SolveResult pcg(const CsrMatrix<double>& a, std::span<const double> b,
     }
     ++res.iterations;
     res.relative_residual = norm2(r) / b_norm;
+    if (!std::isfinite(res.relative_residual)) {
+      res.breakdown = true;
+      res.status = KernelStatus::breakdown(-1, "non-finite residual");
+      return res;
+    }
     if (res.relative_residual < opts.tolerance) {
       res.converged = true;
       return res;
     }
     precond(r, z);
     const double rz_new = dot(r, z);
+    if (!std::isfinite(rz_new) || rz_new == 0.0) {
+      res.breakdown = true;
+      res.status = KernelStatus::breakdown(
+          -1, "preconditioned inner product degenerate");
+      return res;
+    }
     const double beta = rz_new / rz;
     rz = rz_new;
     for (index_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
@@ -152,6 +177,11 @@ SolveResult chebyshev_iteration(const CsrMatrix<double>& a,
     for (index_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
     ++res.iterations;
     res.relative_residual = norm2(r) / b_norm;
+    if (!std::isfinite(res.relative_residual)) {
+      res.breakdown = true;
+      res.status = KernelStatus::breakdown(-1, "non-finite residual");
+      return res;
+    }
     if (res.relative_residual < opts.tolerance) {
       res.converged = true;
       return res;
@@ -200,6 +230,12 @@ EigenResult power_method(const CsrMatrix<double>& a, const MpkPlan& plan,
     plan.power(std::span<const double>(v.data(), v.size()), block_steps, y,
                ws);
     const double yn = norm2(y);
+    if (!std::isfinite(yn) || yn == 0.0) {
+      // A^s v overflowed, NaN-poisoned, or annihilated v — normalizing
+      // would propagate NaN into the eigenvector estimate.
+      res.breakdown = true;
+      return res;
+    }
     for (index_t i = 0; i < n; ++i) v[i] = y[i] / yn;
     res.matvecs += block_steps;
 
@@ -222,6 +258,14 @@ EigenResult power_method(const CsrMatrix<double>& a, const MpkPlan& plan,
 TwoLevelMultigrid TwoLevelMultigrid::build(const CsrMatrix<double>& a,
                                            const Options& opts) {
   FBMPK_CHECK(a.rows() == a.cols() && a.rows() > 0);
+  // The SYMGS smoother divides by the diagonal: a zero diagonal is a
+  // breakdown of the method, reported as a typed error at build time
+  // rather than as skipped rows during every smoothing sweep.
+  {
+    SanitizeOptions sopts;
+    sopts.check_diagonal = true;
+    check_matrix(a, sopts);
+  }
   TwoLevelMultigrid mg;
   mg.n_ = a.rows();
   mg.opts_ = opts;

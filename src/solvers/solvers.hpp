@@ -19,11 +19,17 @@
 
 namespace fbmpk::solvers {
 
-/// Convergence report shared by the solvers.
+/// Convergence report shared by the solvers. A numerical breakdown
+/// (non-finite residual/iterate, loss of positive-definiteness along a
+/// search direction, zero diagonal hit by a D^-1 sweep) ends the
+/// iteration with `breakdown` set and a diagnostic in `status` —
+/// solvers report it instead of looping on NaN or throwing.
 struct SolveResult {
   int iterations = 0;
   double relative_residual = 0.0;  ///< ||b - A x|| / ||b|| at exit
   bool converged = false;
+  bool breakdown = false;          ///< iteration stopped on a breakdown
+  KernelStatus status;             ///< details when breakdown is set
 };
 
 /// Solver controls.
@@ -73,6 +79,7 @@ struct EigenResult {
   double eigenvalue = 0.0;
   int matvecs = 0;
   bool converged = false;
+  bool breakdown = false;  ///< A^s v became non-finite or zero
 };
 EigenResult power_method(const CsrMatrix<double>& a, const MpkPlan& plan,
                          std::span<double> v, int block_steps = 6,

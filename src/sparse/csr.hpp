@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <utility>
 
@@ -41,6 +42,13 @@ class CsrMatrix {
 
   /// Compress an already row-major-sorted COO matrix (sums duplicates).
   static CsrMatrix from_sorted_coo(const CooMatrix<T>& coo) {
+    // nnz is stored in index_t: refuse assemblies that would overflow
+    // the 32-bit index arithmetic used throughout the kernels.
+    FBMPK_CHECK_CODE(
+        coo.nnz() <=
+            static_cast<std::size_t>(std::numeric_limits<index_t>::max()),
+        ErrorCode::kResourceLimit,
+        "nnz " << coo.nnz() << " overflows the 32-bit index type");
     CsrMatrix m;
     m.rows_ = coo.rows();
     m.cols_ = coo.cols();
@@ -102,22 +110,41 @@ class CsrMatrix {
 
   bool empty() const { return rows_ == 0; }
 
-  /// Full structural validation; throws fbmpk::Error on any violation.
+  /// Full structural validation; throws fbmpk::Error with
+  /// ErrorCode::kInvalidMatrix on any violation. Index arithmetic is
+  /// overflow-safe: bounds are established before they are dereferenced.
   void validate() const {
-    FBMPK_CHECK(rows_ >= 0 && cols_ >= 0);
-    FBMPK_CHECK(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1);
-    FBMPK_CHECK(row_ptr_.front() == 0);
-    FBMPK_CHECK(row_ptr_.back() == static_cast<index_t>(values_.size()));
-    FBMPK_CHECK(col_idx_.size() == values_.size());
+    FBMPK_CHECK_CODE(rows_ >= 0 && cols_ >= 0, ErrorCode::kInvalidMatrix,
+                     "negative dimensions " << rows_ << " x " << cols_);
+    FBMPK_CHECK_CODE(
+        values_.size() <=
+            static_cast<std::size_t>(std::numeric_limits<index_t>::max()),
+        ErrorCode::kResourceLimit,
+        "nnz " << values_.size() << " overflows the 32-bit index type");
+    FBMPK_CHECK_CODE(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1,
+                     ErrorCode::kInvalidMatrix,
+                     "row_ptr length " << row_ptr_.size() << " != rows+1");
+    FBMPK_CHECK_CODE(row_ptr_.front() == 0, ErrorCode::kInvalidMatrix,
+                     "row_ptr[0] = " << row_ptr_.front() << ", expected 0");
+    FBMPK_CHECK_CODE(row_ptr_.back() == static_cast<index_t>(values_.size()),
+                     ErrorCode::kInvalidMatrix,
+                     "row_ptr[rows] = " << row_ptr_.back() << " != nnz "
+                                        << values_.size());
+    FBMPK_CHECK_CODE(col_idx_.size() == values_.size(),
+                     ErrorCode::kInvalidMatrix,
+                     "col_idx/values length mismatch");
     for (index_t i = 0; i < rows_; ++i) {
-      FBMPK_CHECK_MSG(row_ptr_[i] <= row_ptr_[i + 1],
-                      "row_ptr not monotone at row " << i);
+      FBMPK_CHECK_CODE(row_ptr_[i] >= 0 && row_ptr_[i] <= row_ptr_[i + 1],
+                       ErrorCode::kInvalidMatrix,
+                       "row_ptr not monotone at row " << i);
       for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-        FBMPK_CHECK_MSG(col_idx_[k] >= 0 && col_idx_[k] < cols_,
-                        "column out of range in row " << i);
+        FBMPK_CHECK_CODE(col_idx_[k] >= 0 && col_idx_[k] < cols_,
+                         ErrorCode::kInvalidMatrix,
+                         "column out of range in row " << i);
         if (k > row_ptr_[i])
-          FBMPK_CHECK_MSG(col_idx_[k - 1] < col_idx_[k],
-                          "columns not strictly ascending in row " << i);
+          FBMPK_CHECK_CODE(col_idx_[k - 1] < col_idx_[k],
+                           ErrorCode::kInvalidMatrix,
+                           "columns not strictly ascending in row " << i);
       }
     }
   }

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -19,10 +20,18 @@ std::string lower(std::string s) {
   return s;
 }
 
-// Reads the next non-comment, non-blank line. Returns false at EOF.
-bool next_data_line(std::istream& in, std::string& line) {
+// Strips a trailing '\r' so CRLF files parse identically to LF files.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+// Reads the next non-comment, non-blank line, tracking the 1-based
+// line number for error messages. Returns false at EOF.
+bool next_data_line(std::istream& in, std::string& line, std::size_t& lineno) {
   while (std::getline(in, line)) {
-    std::size_t pos = line.find_first_not_of(" \t\r");
+    ++lineno;
+    strip_cr(line);
+    std::size_t pos = line.find_first_not_of(" \t");
     if (pos == std::string::npos) continue;
     if (line[pos] == '%') continue;
     return true;
@@ -30,79 +39,162 @@ bool next_data_line(std::istream& in, std::string& line) {
   return false;
 }
 
+constexpr long long kMaxIndex = std::numeric_limits<index_t>::max();
+
 }  // namespace
 
 CooMatrix<double> read_matrix_market(std::istream& in,
                                      MatrixMarketHeader* header) {
   std::string banner;
-  FBMPK_CHECK_MSG(std::getline(in, banner), "empty MatrixMarket stream");
+  FBMPK_CHECK_CODE(static_cast<bool>(std::getline(in, banner)),
+                   ErrorCode::kParse, "empty MatrixMarket stream");
+  strip_cr(banner);
+  std::size_t lineno = 1;
 
   std::istringstream bs(banner);
   std::string tag, object, format, field, symmetry;
   bs >> tag >> object >> format >> field >> symmetry;
-  FBMPK_CHECK_MSG(tag == "%%MatrixMarket", "missing MatrixMarket banner");
-  FBMPK_CHECK_MSG(lower(object) == "matrix", "unsupported object: " << object);
-  FBMPK_CHECK_MSG(lower(format) == "coordinate",
-                  "only coordinate format supported, got: " << format);
+  FBMPK_CHECK_CODE(tag == "%%MatrixMarket", ErrorCode::kParse,
+                   "missing MatrixMarket banner");
+  FBMPK_CHECK_CODE(lower(object) == "matrix", ErrorCode::kUnsupported,
+                   "unsupported object: " << object);
+  FBMPK_CHECK_CODE(lower(format) == "coordinate", ErrorCode::kUnsupported,
+                   "only coordinate format supported, got: " << format);
 
   MatrixMarketHeader hdr;
   const std::string f = lower(field);
-  if (f == "pattern")
+  if (f == "pattern") {
     hdr.pattern = true;
-  else
-    FBMPK_CHECK_MSG(f == "real" || f == "integer" || f == "double",
-                    "unsupported field type: " << field);
+  } else if (f == "complex") {
+    FBMPK_FAIL(ErrorCode::kUnsupported,
+               "complex field is not supported (real/integer/pattern only)");
+  } else {
+    FBMPK_CHECK_CODE(f == "real" || f == "integer" || f == "double",
+                     ErrorCode::kUnsupported,
+                     "unsupported field type: " << field);
+  }
 
   const std::string sym = lower(symmetry);
-  if (sym == "symmetric")
+  if (sym == "symmetric") {
     hdr.symmetric = true;
-  else
-    FBMPK_CHECK_MSG(sym == "general",
-                    "unsupported symmetry type: " << symmetry);
+  } else if (sym == "skew-symmetric") {
+    FBMPK_CHECK_CODE(!hdr.pattern, ErrorCode::kParse,
+                     "skew-symmetric is meaningless with a pattern field");
+    hdr.symmetric = true;
+    hdr.skew = true;
+  } else if (sym == "hermitian") {
+    FBMPK_FAIL(ErrorCode::kUnsupported,
+               "hermitian symmetry requires the (unsupported) complex "
+               "field; re-export the matrix as symmetric");
+  } else {
+    FBMPK_CHECK_CODE(sym == "general", ErrorCode::kUnsupported,
+                     "unsupported symmetry type: " << symmetry);
+  }
 
   std::string line;
-  FBMPK_CHECK_MSG(next_data_line(in, line), "missing size line");
+  FBMPK_CHECK_CODE(next_data_line(in, line, lineno), ErrorCode::kParse,
+                   "missing size line");
   {
     std::istringstream ss(line);
     long long r = 0, c = 0;
     long long nnz = 0;
     ss >> r >> c >> nnz;
-    FBMPK_CHECK_MSG(!ss.fail() && r > 0 && c > 0 && nnz >= 0,
-                    "malformed size line: " << line);
+    FBMPK_CHECK_CODE(!ss.fail() && r > 0 && c > 0 && nnz >= 0,
+                     ErrorCode::kParse,
+                     "malformed size line " << lineno << ": " << line);
+    // Narrowing guards: dimensions must fit index_t, and the entry
+    // count (doubled for symmetric expansion) must fit both index_t
+    // nnz arithmetic and the reserve() below.
+    FBMPK_CHECK_CODE(r <= kMaxIndex && c <= kMaxIndex,
+                     ErrorCode::kResourceLimit,
+                     "dimensions " << r << " x " << c
+                                   << " overflow the 32-bit index type");
+    const long long expanded = hdr.symmetric ? 2 * nnz : nnz;
+    FBMPK_CHECK_CODE(nnz <= kMaxIndex / 2 && expanded <= kMaxIndex,
+                     ErrorCode::kResourceLimit,
+                     "declared nnz " << nnz
+                                     << " overflows the 32-bit index type");
     hdr.rows = static_cast<index_t>(r);
     hdr.cols = static_cast<index_t>(c);
     hdr.declared_nnz = static_cast<std::size_t>(nnz);
   }
 
   CooMatrix<double> coo(hdr.rows, hdr.cols);
-  coo.reserve(hdr.symmetric ? 2 * hdr.declared_nnz : hdr.declared_nnz);
+  // Cap the up-front reservation: a corrupt size line declaring
+  // billions of entries must not commit gigabytes before the entry
+  // loop has read a single line. Legitimate large files just grow.
+  constexpr std::size_t kMaxReserve = std::size_t{1} << 24;
+  coo.reserve(std::min<std::size_t>(
+      hdr.symmetric ? 2 * hdr.declared_nnz : hdr.declared_nnz, kMaxReserve));
   for (std::size_t k = 0; k < hdr.declared_nnz; ++k) {
-    FBMPK_CHECK_MSG(next_data_line(in, line),
-                    "file ends after " << k << " of " << hdr.declared_nnz
-                                       << " entries");
+    FBMPK_CHECK_CODE(next_data_line(in, line, lineno), ErrorCode::kParse,
+                     "file ends after " << k << " of " << hdr.declared_nnz
+                                        << " entries");
     std::istringstream ss(line);
     long long i = 0, j = 0;
     double v = 1.0;
     ss >> i >> j;
     if (!hdr.pattern) ss >> v;
-    FBMPK_CHECK_MSG(!ss.fail(), "malformed entry line: " << line);
-    FBMPK_CHECK_MSG(i >= 1 && i <= hdr.rows && j >= 1 && j <= hdr.cols,
-                    "entry index out of range: " << line);
+    FBMPK_CHECK_CODE(!ss.fail(), ErrorCode::kParse,
+                     "malformed entry line " << lineno << ": " << line);
+    FBMPK_CHECK_CODE(i >= 1 && i <= hdr.rows && j >= 1 && j <= hdr.cols,
+                     ErrorCode::kInvalidMatrix,
+                     "entry index out of range on line " << lineno << ": "
+                                                         << line);
     const auto row = static_cast<index_t>(i - 1);
     const auto col = static_cast<index_t>(j - 1);
+    if (hdr.skew && row == col) {
+      FBMPK_CHECK_CODE(v == 0.0, ErrorCode::kInvalidMatrix,
+                       "skew-symmetric file stores a nonzero diagonal "
+                       "entry on line "
+                           << lineno << ": " << line);
+      continue;  // diagonal of a skew-symmetric matrix is zero
+    }
     coo.add(row, col, v);
-    if (hdr.symmetric && row != col) coo.add(col, row, v);
+    if (hdr.symmetric && row != col)
+      coo.add(col, row, hdr.skew ? -v : v);
   }
 
   if (header != nullptr) *header = hdr;
   return coo;
 }
 
+CooMatrix<double> read_matrix_market(std::istream& in,
+                                     const SanitizeOptions& sanitize_opts,
+                                     MatrixMarketHeader* header,
+                                     SanitizeReport* report) {
+  CooMatrix<double> coo = read_matrix_market(in, header);
+  SanitizeReport rep = sanitize(coo, sanitize_opts);
+  if (report != nullptr) *report = rep;
+  return coo;
+}
+
 CsrMatrix<double> read_matrix_market_file(const std::string& path,
                                           MatrixMarketHeader* header) {
   std::ifstream in(path);
-  FBMPK_CHECK_MSG(in.is_open(), "cannot open file: " << path);
+  FBMPK_CHECK_CODE(in.is_open(), ErrorCode::kIo,
+                   "cannot open file: " << path);
   return CsrMatrix<double>::from_coo(read_matrix_market(in, header));
+}
+
+CsrMatrix<double> read_matrix_market_file(const std::string& path,
+                                          const SanitizeOptions& sanitize_opts,
+                                          MatrixMarketHeader* header,
+                                          SanitizeReport* report) {
+  std::ifstream in(path);
+  FBMPK_CHECK_CODE(in.is_open(), ErrorCode::kIo,
+                   "cannot open file: " << path);
+  return CsrMatrix<double>::from_coo(
+      read_matrix_market(in, sanitize_opts, header, report));
+}
+
+Expected<CsrMatrix<double>> try_read_matrix_market_file(
+    const std::string& path, MatrixMarketHeader* header) {
+  try {
+    return read_matrix_market_file(path, header);
+  } catch (const Error& e) {
+    return e;
+  }
 }
 
 void write_matrix_market(std::ostream& out, const CsrMatrix<double>& a) {
@@ -120,9 +212,10 @@ void write_matrix_market(std::ostream& out, const CsrMatrix<double>& a) {
 void write_matrix_market_file(const std::string& path,
                               const CsrMatrix<double>& a) {
   std::ofstream out(path);
-  FBMPK_CHECK_MSG(out.is_open(), "cannot open file for write: " << path);
+  FBMPK_CHECK_CODE(out.is_open(), ErrorCode::kIo,
+                   "cannot open file for write: " << path);
   write_matrix_market(out, a);
-  FBMPK_CHECK_MSG(out.good(), "write failed: " << path);
+  FBMPK_CHECK_CODE(out.good(), ErrorCode::kIo, "write failed: " << path);
 }
 
 }  // namespace fbmpk

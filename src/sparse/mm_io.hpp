@@ -1,9 +1,16 @@
 // Matrix Market (.mtx) reader/writer.
 //
 // Supports the coordinate format with real/integer/pattern fields and
-// general/symmetric symmetry — the subset covering the SuiteSparse
-// collection the paper evaluates on. Symmetric files are expanded to a
-// full (general) matrix on read, matching what the kernels expect.
+// general/symmetric/skew-symmetric symmetry — the subset covering the
+// SuiteSparse collection the paper evaluates on. Symmetric files are
+// expanded to a full (general) matrix on read, matching what the
+// kernels expect; skew-symmetric files mirror with negated values.
+//
+// This is an untrusted-input boundary: every failure throws a typed
+// fbmpk::Error — kIo (cannot open), kParse (malformed text, with the
+// offending line number), kUnsupported (complex/array/hermitian
+// variants), kInvalidMatrix (out-of-range indices), kResourceLimit
+// (dimensions or nnz that overflow the 32-bit index type).
 #pragma once
 
 #include <iosfwd>
@@ -11,6 +18,7 @@
 
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/validate.hpp"
 
 namespace fbmpk {
 
@@ -18,20 +26,43 @@ namespace fbmpk {
 struct MatrixMarketHeader {
   bool pattern = false;    ///< entries have no value field (implicit 1.0)
   bool symmetric = false;  ///< file stores only the lower triangle
+  bool skew = false;       ///< skew-symmetric: mirrored entries negated
   index_t rows = 0;
   index_t cols = 0;
   std::size_t declared_nnz = 0;  ///< entry count declared in the size line
 };
 
 /// Read a MatrixMarket stream into COO. Symmetric storage is expanded
-/// (the mirrored entry is added for every off-diagonal). Throws on
-/// malformed input or unsupported variants (complex, array format).
+/// (the mirrored entry is added for every off-diagonal; negated for
+/// skew-symmetric). Throws on malformed input or unsupported variants
+/// (complex, hermitian, array format).
 CooMatrix<double> read_matrix_market(std::istream& in,
                                      MatrixMarketHeader* header = nullptr);
+
+/// As above, then run the matrix sanitizer on the parsed triplets under
+/// `sanitize_opts` (kRepair mutates, kReject throws on defects). The
+/// defect counts land in `*report` when given.
+CooMatrix<double> read_matrix_market(std::istream& in,
+                                     const SanitizeOptions& sanitize_opts,
+                                     MatrixMarketHeader* header = nullptr,
+                                     SanitizeReport* report = nullptr);
 
 /// Convenience: read a .mtx file into CSR.
 CsrMatrix<double> read_matrix_market_file(const std::string& path,
                                           MatrixMarketHeader* header = nullptr);
+
+/// Convenience: read + sanitize a .mtx file into CSR.
+CsrMatrix<double> read_matrix_market_file(const std::string& path,
+                                          const SanitizeOptions& sanitize_opts,
+                                          MatrixMarketHeader* header = nullptr,
+                                          SanitizeReport* report = nullptr);
+
+/// Non-throwing variant: the Error that read_matrix_market_file would
+/// throw comes back in the Expected instead, so batch ingestion can
+/// branch on Expected::code() (skip kUnsupported files, abort on kIo)
+/// without exception plumbing.
+Expected<CsrMatrix<double>> try_read_matrix_market_file(
+    const std::string& path, MatrixMarketHeader* header = nullptr);
 
 /// Write a CSR matrix as a general real coordinate MatrixMarket stream.
 void write_matrix_market(std::ostream& out, const CsrMatrix<double>& a);

@@ -1,0 +1,220 @@
+#include "sparse/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+namespace {
+
+constexpr std::size_t kMaxNnz =
+    static_cast<std::size_t>(std::numeric_limits<index_t>::max());
+
+void append_count(std::ostringstream& os, std::size_t n, const char* what) {
+  if (n == 0) return;
+  if (os.tellp() > 0) os << ", ";
+  os << n << ' ' << what;
+}
+
+}  // namespace
+
+std::string SanitizeReport::summary() const {
+  std::ostringstream os;
+  append_count(os, out_of_range, "out-of-range");
+  append_count(os, duplicates, "duplicates");
+  append_count(os, unsorted, "unsorted rows");
+  append_count(os, explicit_zeros, "explicit zeros");
+  append_count(os, nonfinite, "non-finite values");
+  append_count(os, zero_diagonals, "zero/near-zero diagonals");
+  if (os.tellp() == 0) os << "clean";
+  return os.str();
+}
+
+SanitizeReport sanitize(CooMatrix<double>& coo, const SanitizeOptions& opts) {
+  SanitizeReport rep;
+  const index_t rows = coo.rows();
+  const index_t cols = coo.cols();
+  const bool square = rows == cols;
+  auto& entries = coo.entries();
+
+  // nnz overflow: CSR compression stores nnz in index_t. Unfixable.
+  FBMPK_CHECK_CODE(entries.size() <= kMaxNnz, ErrorCode::kResourceLimit,
+                   "nnz " << entries.size()
+                          << " overflows the 32-bit index type");
+
+  // Pass 1: unfixable defects — index range and finiteness.
+  for (const auto& e : entries) {
+    if (e.row < 0 || e.row >= rows || e.col < 0 || e.col >= cols) {
+      ++rep.out_of_range;
+      FBMPK_CHECK_CODE(opts.policy == RepairPolicy::kWarnOnly,
+                       ErrorCode::kInvalidMatrix,
+                       "entry (" << e.row << ", " << e.col
+                                 << ") outside " << rows << " x " << cols);
+    }
+    if (opts.check_finite && !std::isfinite(e.value)) {
+      ++rep.nonfinite;
+      FBMPK_CHECK_CODE(opts.policy == RepairPolicy::kWarnOnly,
+                       ErrorCode::kNumericalBreakdown,
+                       "non-finite value at (" << e.row << ", " << e.col
+                                               << ")");
+    }
+  }
+  if (rep.out_of_range > 0 || rep.nonfinite > 0)
+    return rep;  // kWarnOnly: further analysis would index out of range
+
+  // Pass 2: duplicates and explicit zeros (order-independent count via
+  // a sorted copy; kRepair sorts the real entries in place).
+  if (opts.check_duplicates || opts.check_explicit_zeros) {
+    if (opts.policy == RepairPolicy::kRepair) {
+      coo.sort_row_major();
+      std::vector<Triplet<double>> merged;
+      merged.reserve(entries.size());
+      for (const auto& e : entries) {
+        if (opts.check_duplicates && !merged.empty() &&
+            merged.back().row == e.row && merged.back().col == e.col) {
+          merged.back().value += e.value;
+          ++rep.duplicates;
+        } else {
+          merged.push_back(e);
+        }
+      }
+      if (opts.check_explicit_zeros) {
+        std::size_t kept = 0;
+        for (const auto& e : merged) {
+          if (e.value == 0.0) {
+            ++rep.explicit_zeros;
+            continue;
+          }
+          merged[kept++] = e;
+        }
+        merged.resize(kept);
+      }
+      entries = std::move(merged);
+    } else {
+      auto sorted = entries;
+      std::stable_sort(sorted.begin(), sorted.end(),
+                       [](const Triplet<double>& a, const Triplet<double>& b) {
+                         return a.row != b.row ? a.row < b.row
+                                               : a.col < b.col;
+                       });
+      for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (opts.check_duplicates && i > 0 &&
+            sorted[i].row == sorted[i - 1].row &&
+            sorted[i].col == sorted[i - 1].col)
+          ++rep.duplicates;
+        if (opts.check_explicit_zeros && sorted[i].value == 0.0)
+          ++rep.explicit_zeros;
+      }
+      FBMPK_CHECK_CODE(
+          opts.policy != RepairPolicy::kReject || rep.duplicates == 0,
+          ErrorCode::kInvalidMatrix,
+          rep.duplicates << " duplicate entries (policy kReject)");
+      FBMPK_CHECK_CODE(
+          opts.policy != RepairPolicy::kReject || rep.explicit_zeros == 0,
+          ErrorCode::kInvalidMatrix,
+          rep.explicit_zeros << " explicit zero entries (policy kReject)");
+    }
+  }
+
+  // Pass 3: diagonal health (square matrices, opt-in).
+  if (opts.check_diagonal && square && rows > 0) {
+    std::vector<double> diag(static_cast<std::size_t>(rows), 0.0);
+    for (const auto& e : entries)
+      if (e.row == e.col) diag[static_cast<std::size_t>(e.row)] += e.value;
+    std::vector<bool> flagged(static_cast<std::size_t>(rows), false);
+    for (index_t i = 0; i < rows; ++i) {
+      if (std::abs(diag[static_cast<std::size_t>(i)]) <=
+          opts.zero_diag_tolerance) {
+        flagged[static_cast<std::size_t>(i)] = true;
+        ++rep.zero_diagonals;
+      }
+    }
+    FBMPK_CHECK_CODE(
+        opts.policy != RepairPolicy::kReject || rep.zero_diagonals == 0,
+        ErrorCode::kInvalidMatrix,
+        rep.zero_diagonals << " zero/near-zero diagonals (policy kReject)");
+    if (opts.policy == RepairPolicy::kRepair && rep.zero_diagonals > 0) {
+      // Remove any stored (but near-zero) diagonal entries on flagged
+      // rows, then append one patched entry per flagged row.
+      auto& es = coo.entries();
+      std::size_t kept = 0;
+      for (const auto& e : es) {
+        if (e.row == e.col && flagged[static_cast<std::size_t>(e.row)])
+          continue;
+        es[kept++] = e;
+      }
+      es.resize(kept);
+      for (index_t i = 0; i < rows; ++i)
+        if (flagged[static_cast<std::size_t>(i)])
+          coo.add(i, i, opts.patched_diagonal);
+      coo.sort_row_major();
+    }
+  }
+
+  rep.repaired = opts.policy == RepairPolicy::kRepair && !rep.clean();
+  return rep;
+}
+
+SanitizeReport check_matrix(const CsrMatrix<double>& a,
+                            const SanitizeOptions& opts) {
+  SanitizeReport rep;
+  const index_t n = a.rows();
+  const bool square = n == a.cols();
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.values();
+
+  for (std::size_t k = 0; k < va.size(); ++k) {
+    if (opts.check_explicit_zeros && va[k] == 0.0) ++rep.explicit_zeros;
+    if (opts.check_finite && !std::isfinite(va[k])) {
+      ++rep.nonfinite;
+      FBMPK_CHECK_CODE(opts.policy != RepairPolicy::kReject,
+                       ErrorCode::kNumericalBreakdown,
+                       "non-finite stored value at position " << k);
+    }
+  }
+  FBMPK_CHECK_CODE(
+      opts.policy != RepairPolicy::kReject || rep.explicit_zeros == 0,
+      ErrorCode::kInvalidMatrix,
+      rep.explicit_zeros << " explicit zero entries (policy kReject)");
+
+  if (opts.check_diagonal && square) {
+    for (index_t i = 0; i < n; ++i) {
+      double d = 0.0;
+      for (index_t k = rp[i]; k < rp[i + 1]; ++k)
+        if (ci[k] == i) d = va[k];
+      if (std::abs(d) <= opts.zero_diag_tolerance) ++rep.zero_diagonals;
+    }
+    FBMPK_CHECK_CODE(
+        opts.policy != RepairPolicy::kReject || rep.zero_diagonals == 0,
+        ErrorCode::kInvalidMatrix,
+        rep.zero_diagonals << " zero/near-zero diagonals (policy kReject)");
+  }
+  return rep;
+}
+
+CsrMatrix<double> repair(const CsrMatrix<double>& a,
+                         const SanitizeOptions& opts,
+                         SanitizeReport* report) {
+  CooMatrix<double> coo(a.rows(), a.cols());
+  coo.reserve(static_cast<std::size_t>(a.nnz()));
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.values();
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t k = rp[i]; k < rp[i + 1]; ++k) coo.add(i, ci[k], va[k]);
+
+  SanitizeOptions ropts = opts;
+  ropts.policy = RepairPolicy::kRepair;
+  SanitizeReport rep = sanitize(coo, ropts);
+  if (report != nullptr) *report = rep;
+  return CsrMatrix<double>::from_sorted_coo(coo);
+}
+
+}  // namespace fbmpk

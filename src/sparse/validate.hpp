@@ -1,0 +1,97 @@
+// Matrix sanitizer — structural and numerical validation of untrusted
+// sparse input under configurable policies.
+//
+// Every ingestion boundary (Matrix Market parsing, COO assembly, plan
+// construction) funnels through these checks so that hostile or broken
+// input surfaces as a typed fbmpk::Error (ErrorCode::kInvalidMatrix /
+// kNumericalBreakdown / kResourceLimit) at the boundary instead of as
+// silent garbage deep inside a kernel sweep.
+//
+// Policies:
+//   kReject   — any defect throws. The default for plan construction.
+//   kRepair   — fixable defects are repaired in place: duplicates
+//               merged, explicit zeros dropped, zero/near-zero
+//               diagonals patched to `patched_diagonal`. Unfixable
+//               defects (out-of-range indices, non-finite values,
+//               index overflow) still throw.
+//   kWarnOnly — defects are only counted in the SanitizeReport; the
+//               caller decides. Nothing throws, nothing is mutated.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace fbmpk {
+
+/// What to do when the sanitizer finds a defect.
+enum class RepairPolicy { kReject, kRepair, kWarnOnly };
+
+/// Sanitizer configuration. Index-range and overflow checks are always
+/// on (they guard undefined behavior); the numeric checks are gated so
+/// callers pay only for what they care about.
+struct SanitizeOptions {
+  RepairPolicy policy = RepairPolicy::kReject;
+  /// Scan values for NaN/Inf (kNumericalBreakdown; never repairable).
+  bool check_finite = true;
+  /// COO only: detect repeated (i, j) positions. kRepair merges them;
+  /// kReject refuses the assembly.
+  bool check_duplicates = true;
+  /// Detect stored entries with value exactly 0.0. Off by default:
+  /// explicit zeros are legal, just wasteful. kRepair drops them.
+  bool check_explicit_zeros = false;
+  /// Flag rows whose diagonal magnitude is <= zero_diag_tolerance.
+  /// Relevant for the D^-1 paths (SYMGS smoothing, preconditioning,
+  /// the D^-1-scaled recurrence) where a zero diagonal is a breakdown.
+  /// Square matrices only.
+  bool check_diagonal = false;
+  double zero_diag_tolerance = 0.0;
+  /// Value patched onto flagged diagonals under kRepair.
+  double patched_diagonal = 1.0;
+};
+
+/// Defect counts from one sanitizer pass. Counts describe the input as
+/// found; under kRepair they also describe what was repaired.
+struct SanitizeReport {
+  std::size_t out_of_range = 0;     ///< entries with invalid indices
+  std::size_t duplicates = 0;       ///< extra entries at repeated (i,j)
+  std::size_t unsorted = 0;         ///< CSR rows with unsorted columns
+  std::size_t explicit_zeros = 0;   ///< stored entries with value 0.0
+  std::size_t nonfinite = 0;        ///< NaN or Inf values
+  std::size_t zero_diagonals = 0;   ///< rows with |diag| <= tolerance
+  bool repaired = false;            ///< a kRepair pass changed the matrix
+
+  /// True when no defect of any kind was found.
+  bool clean() const {
+    return out_of_range == 0 && duplicates == 0 && unsorted == 0 &&
+           explicit_zeros == 0 && nonfinite == 0 && zero_diagonals == 0;
+  }
+  /// Human-readable one-line digest ("2 duplicates, 1 zero diagonal").
+  std::string summary() const;
+};
+
+/// Sanitize a COO assembly in place. Checks index ranges, 32-bit nnz
+/// overflow, finiteness and (optionally) the diagonal; under kRepair
+/// merges duplicates, drops explicit zeros and patches flagged
+/// diagonals (appending a diagonal entry when none is stored).
+SanitizeReport sanitize(CooMatrix<double>& coo,
+                        const SanitizeOptions& opts = {});
+
+/// Non-mutating numerical check of a built CSR matrix (structure is
+/// already guaranteed by CsrMatrix's constructor). Under kReject a
+/// defect throws; under kRepair/kWarnOnly defects are only reported —
+/// use `repair` to obtain a fixed matrix.
+SanitizeReport check_matrix(const CsrMatrix<double>& a,
+                            const SanitizeOptions& opts = {});
+
+/// Rebuild `a` with explicit zeros dropped and flagged diagonals
+/// patched per `opts` (policy is ignored; this IS the repair). The
+/// report describes the defects found. Non-finite values are not
+/// repairable and throw kNumericalBreakdown when check_finite is set.
+CsrMatrix<double> repair(const CsrMatrix<double>& a,
+                         const SanitizeOptions& opts = {},
+                         SanitizeReport* report = nullptr);
+
+}  // namespace fbmpk

@@ -1,0 +1,54 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte
+// buffers — integrity check for persistent preprocessing artifacts
+// (plan files). Table-driven software implementation; the table is
+// built once at first use. Incremental interface so framed sections can
+// be folded into one digest without a contiguous copy.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace fbmpk {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int b = 0; b < 8; ++b)
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// Fold `size` bytes into a running CRC32 state. Start from
+/// `kCrc32Init`; finish with `crc32_finish`.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+inline std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                                  std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = detail::crc32_table();
+  for (std::size_t i = 0; i < size; ++i)
+    state = table[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  return state;
+}
+
+inline std::uint32_t crc32_finish(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC32 of a buffer.
+inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_finish(crc32_update(kCrc32Init, data, size));
+}
+
+}  // namespace fbmpk

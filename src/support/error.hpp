@@ -1,35 +1,152 @@
 // Error handling primitives for the FBMPK library.
 //
 // All precondition violations throw fbmpk::Error (a std::runtime_error)
-// carrying the failing expression and source location. Hot kernel loops
-// never check; checks live at API boundaries and in debug assertions.
+// carrying an ErrorCode, the failing expression and source location.
+// Boundary APIs that face untrusted input (file parsing, plan
+// deserialization) can instead return Expected<T>/Status so callers can
+// branch on the code — retryable I/O faults versus permanent structural
+// corruption — without exception plumbing. Hot kernel loops never
+// check; checks live at API boundaries and in debug assertions.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace fbmpk {
+
+/// Failure taxonomy. Every Error carries exactly one code; callers that
+/// need to distinguish retryable faults (kIo) from permanent ones
+/// (kParse, kCorruptPlan, kInvalidMatrix) branch on it.
+enum class ErrorCode {
+  kInternal = 0,         ///< invariant/precondition violation (a bug)
+  kIo,                   ///< OS-level I/O fault: open/read/write failed
+  kParse,                ///< malformed text input (Matrix Market, vectors)
+  kUnsupported,          ///< recognized but unimplemented variant
+  kInvalidMatrix,        ///< structurally invalid sparse matrix
+  kNumericalBreakdown,   ///< NaN/Inf iterate, zero pivot/diagonal
+  kResourceLimit,        ///< size/overflow guard tripped
+  kCorruptPlan,          ///< plan blob failed checksum/framing/validation
+  kVersionMismatch,      ///< plan format or index-width mismatch
+};
+
+/// Stable lowercase name for an ErrorCode (used in messages and logs).
+constexpr const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kInvalidMatrix: return "invalid_matrix";
+    case ErrorCode::kNumericalBreakdown: return "numerical_breakdown";
+    case ErrorCode::kResourceLimit: return "resource_limit";
+    case ErrorCode::kCorruptPlan: return "corrupt_plan";
+    case ErrorCode::kVersionMismatch: return "version_mismatch";
+  }
+  return "unknown";
+}
 
 /// Exception type thrown on any precondition or invariant violation.
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kInternal;
+};
+
+/// Non-throwing result wrapper for boundary APIs: holds either a value
+/// or an Error. Deliberately minimal (no monadic chaining) — the
+/// library's callers either branch once at the boundary or rethrow.
+template <class T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}       // NOLINT(implicit)
+  Expected(Error error) : error_(std::move(error)) {}   // NOLINT(implicit)
+
+  bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  /// The held value; throws the held Error when there is none, so
+  /// `std::move(result).value()` is the "promote back to exception"
+  /// escape hatch.
+  T& value() & {
+    if (!value_) throw *error_;
+    return *value_;
+  }
+  const T& value() const& {
+    if (!value_) throw *error_;
+    return *value_;
+  }
+  T&& value() && {
+    if (!value_) throw *error_;
+    return std::move(*value_);
+  }
+
+  /// The held error; only valid when has_value() is false.
+  const Error& error() const { return *error_; }
+  ErrorCode code() const {
+    return error_ ? error_->code() : ErrorCode::kInternal;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+/// Expected<void>: success or an Error.
+class Status {
+ public:
+  Status() = default;                                  // success
+  Status(Error error) : error_(std::move(error)) {}    // NOLINT(implicit)
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const { return *error_; }
+  ErrorCode code() const {
+    return error_ ? error_->code() : ErrorCode::kInternal;
+  }
+
+  /// Rethrow the held error (no-op on success).
+  void value() const {
+    if (error_) throw *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
 };
 
 namespace detail {
 
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
-                                             int line, const std::string& msg) {
+                                             int line, const std::string& msg,
+                                             ErrorCode code =
+                                                 ErrorCode::kInternal) {
   std::ostringstream os;
-  os << "FBMPK check failed: (" << expr << ") at " << file << ":" << line;
+  os << "FBMPK " << error_code_name(code) << " error: (" << expr << ") at "
+     << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
+  throw Error(code, os.str());
 }
 
 }  // namespace detail
 
-}  // namespace fbmpk
+/// Build an Error with a streamed message without throwing:
+///   return make_error(ErrorCode::kIo, "cannot open " << path);
+#define FBMPK_MAKE_ERROR(code, stream_expr)                        \
+  ([&]() -> ::fbmpk::Error {                                       \
+    std::ostringstream fbmpk_err_os_;                              \
+    fbmpk_err_os_ << "FBMPK " << ::fbmpk::error_code_name(code)    \
+                  << " error: " << stream_expr;                    \
+    return ::fbmpk::Error((code), fbmpk_err_os_.str());            \
+  }())
 
 /// Boundary check: always active, throws fbmpk::Error on failure.
 #define FBMPK_CHECK(expr)                                                   \
@@ -50,9 +167,33 @@ namespace detail {
     }                                                                        \
   } while (0)
 
+/// Typed boundary check: like FBMPK_CHECK_MSG but the thrown Error
+/// carries the given ErrorCode instead of kInternal.
+#define FBMPK_CHECK_CODE(expr, code, stream_expr)                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream fbmpk_check_os_;                                    \
+      fbmpk_check_os_ << stream_expr;                                        \
+      ::fbmpk::detail::throw_check_failure(#expr, __FILE__, __LINE__,        \
+                                           fbmpk_check_os_.str(), (code));   \
+    }                                                                        \
+  } while (0)
+
+/// Unconditional typed failure:
+///   FBMPK_FAIL(ErrorCode::kUnsupported, "complex field");
+#define FBMPK_FAIL(code, stream_expr)                                        \
+  do {                                                                       \
+    std::ostringstream fbmpk_fail_os_;                                       \
+    fbmpk_fail_os_ << stream_expr;                                           \
+    ::fbmpk::detail::throw_check_failure("failure", __FILE__, __LINE__,      \
+                                         fbmpk_fail_os_.str(), (code));      \
+  } while (0)
+
 /// Debug-only assertion for kernel internals; compiled out in release.
 #ifdef NDEBUG
 #define FBMPK_DCHECK(expr) ((void)0)
 #else
 #define FBMPK_DCHECK(expr) FBMPK_CHECK(expr)
 #endif
+
+}  // namespace fbmpk

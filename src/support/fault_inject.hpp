@@ -1,0 +1,96 @@
+// Deterministic fault injection for robustness tests.
+//
+// Three primitives exercise the untrusted-input paths:
+//   * ShortReadStream  — an istream that yields the first N bytes of a
+//     blob and then reports EOF, simulating truncated files.
+//   * FailingStream    — an istream whose underlying buffer hard-fails
+//     (badbit) after N bytes, simulating mid-read I/O errors.
+//   * flip_byte        — single-byte XOR mutator for checksum tests.
+//
+// Everything is header-only and deterministic: no clocks, no RNG. The
+// fault-injection suite (tests/test_fault_injection.cpp) uses these to
+// prove that every single-byte mutation and every truncation point of a
+// valid plan blob is rejected with a typed fbmpk::Error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <streambuf>
+#include <string>
+
+namespace fbmpk {
+
+/// Streambuf over an in-memory blob that stops delivering bytes after
+/// `limit` — reads past the limit see EOF, exactly like a truncated
+/// file on disk.
+class ShortReadBuf : public std::streambuf {
+ public:
+  ShortReadBuf(const std::string& blob, std::size_t limit)
+      : data_(blob.data()), size_(blob.size() < limit ? blob.size() : limit) {
+    char* base = const_cast<char*>(data_);
+    setg(base, base, base + size_);
+  }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+};
+
+/// istream that delivers only the first `limit` bytes of `blob`.
+class ShortReadStream : public std::istream {
+ public:
+  ShortReadStream(const std::string& blob, std::size_t limit)
+      : std::istream(nullptr), buf_(blob, limit) {
+    rdbuf(&buf_);
+  }
+
+ private:
+  ShortReadBuf buf_;
+};
+
+/// Streambuf that serves `limit` bytes and then signals a hard device
+/// failure (underflow throws, which iostreams translate to badbit) —
+/// distinct from EOF: the OS said "read error", not "end of file".
+class FailingBuf : public std::streambuf {
+ public:
+  FailingBuf(const std::string& blob, std::size_t limit)
+      : blob_(blob), limit_(limit < blob.size() ? limit : blob.size()) {
+    char* base = const_cast<char*>(blob_.data());
+    setg(base, base, base + limit_);
+  }
+
+ protected:
+  int_type underflow() override {
+    throw std::ios_base::failure("injected read fault");
+  }
+
+ private:
+  std::string blob_;
+  std::size_t limit_;
+};
+
+/// istream whose source hard-fails after `limit` bytes. The stream is
+/// configured so the injected failure surfaces as badbit rather than an
+/// escaping ios_base::failure.
+class FailingStream : public std::istream {
+ public:
+  FailingStream(const std::string& blob, std::size_t limit)
+      : std::istream(nullptr), buf_(blob, limit) {
+    rdbuf(&buf_);
+    exceptions(std::ios_base::goodbit);  // failures become badbit
+  }
+
+ private:
+  FailingBuf buf_;
+};
+
+/// XOR the byte at `pos` with `mask` (mask must be nonzero to actually
+/// mutate). Returns the mutated copy.
+inline std::string flip_byte(std::string blob, std::size_t pos,
+                             std::uint8_t mask = 0xFF) {
+  blob[pos] = static_cast<char>(static_cast<std::uint8_t>(blob[pos]) ^ mask);
+  return blob;
+}
+
+}  // namespace fbmpk

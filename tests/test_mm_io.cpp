@@ -98,6 +98,111 @@ TEST(MatrixMarket, RejectsOutOfRangeIndices) {
   EXPECT_THROW(read_matrix_market(in), Error);
 }
 
+TEST(MatrixMarket, ParsesCrlfLineEndings) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\r\n"
+      "% dos comment\r\n"
+      "2 2 2\r\n"
+      "1 1 3.0\r\n"
+      "2 2 4.0\r\n");
+  const auto a = CsrMatrix<double>::from_coo(read_matrix_market(in));
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 4.0);
+}
+
+TEST(MatrixMarket, ExpandsSkewSymmetricWithNegatedMirror) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 2 -1.5\n");
+  MatrixMarketHeader hdr;
+  const auto a = CsrMatrix<double>::from_coo(read_matrix_market(in, &hdr));
+  EXPECT_TRUE(hdr.skew);
+  EXPECT_EQ(a.nnz(), 4);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -5.0);  // mirror is negated
+  EXPECT_DOUBLE_EQ(a.at(2, 1), -1.5);
+  EXPECT_DOUBLE_EQ(a.at(1, 2), 1.5);
+}
+
+TEST(MatrixMarket, SkewSymmetricZeroDiagonalEntriesAreDropped) {
+  // Some exporters store the (zero) diagonal explicitly; accept and
+  // skip it, but reject a nonzero value there.
+  std::istringstream ok(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 2\n"
+      "1 1 0.0\n"
+      "2 1 1.0\n");
+  const auto a = CsrMatrix<double>::from_coo(read_matrix_market(ok));
+  EXPECT_EQ(a.nnz(), 2);
+
+  std::istringstream bad(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "1 1 3.0\n");
+  try {
+    read_matrix_market(bad);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidMatrix);
+  }
+}
+
+TEST(MatrixMarket, HermitianRejectedWithActionableMessage) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real hermitian\n"
+      "1 1 1\n"
+      "1 1 1.0\n");
+  try {
+    read_matrix_market(in);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnsupported);
+    EXPECT_NE(std::string(e.what()).find("symmetric"), std::string::npos);
+  }
+}
+
+TEST(MatrixMarket, RejectsDimensionsOverflowingIndexType) {
+  std::istringstream dims(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3000000000 2 0\n");
+  try {
+    read_matrix_market(dims);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceLimit);
+  }
+
+  // Symmetric doubling may overflow even when the declared nnz fits.
+  std::istringstream nnz(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2000000000 2000000000 1500000000\n");
+  try {
+    read_matrix_market(nnz);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceLimit);
+  }
+}
+
+TEST(MatrixMarket, ParseErrorsCarryLineNumbers) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "1 bogus 1.0\n");
+  try {
+    read_matrix_market(in);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParse);
+    EXPECT_NE(std::string(e.what()).find("line 5"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(MatrixMarket, FileRoundTrip) {
   const auto a = test::random_matrix(30, 4.0, true, 8);
   const std::string path = ::testing::TempDir() + "/fbmpk_roundtrip.mtx";
@@ -108,6 +213,19 @@ TEST(MatrixMarket, FileRoundTrip) {
 
 TEST(MatrixMarket, MissingFileThrows) {
   EXPECT_THROW(read_matrix_market_file("/nonexistent/path.mtx"), Error);
+}
+
+TEST(MatrixMarket, TryReadReturnsExpectedInsteadOfThrowing) {
+  const auto missing = try_read_matrix_market_file("/nonexistent/path.mtx");
+  ASSERT_FALSE(missing);
+  EXPECT_EQ(missing.code(), ErrorCode::kIo);
+
+  const auto a = test::random_matrix(10, 3.0, false, 2);
+  const std::string path = ::testing::TempDir() + "/fbmpk_try_read.mtx";
+  write_matrix_market_file(path, a);
+  const auto loaded = try_read_matrix_market_file(path);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded.value(), a);
 }
 
 }  // namespace

@@ -1,0 +1,238 @@
+// Numerical edge cases the robustness layer must handle deliberately:
+// zero diagonals (legal for MPK, fatal for D^-1 consumers), non-finite
+// inputs (detected and reported, never silently propagated by the
+// checked APIs), and degenerate nnz=0 matrices through the full
+// plan -> execute -> serialize path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/plan_io.hpp"
+#include "kernels/mpk_baseline.hpp"
+#include "solvers/solvers.hpp"
+#include "sparse/validate.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+const double kNan = std::numeric_limits<double>::quiet_NaN();
+const double kInf = std::numeric_limits<double>::infinity();
+
+// Square matrix whose diagonal is entirely zero (pure off-diagonal
+// coupling, e.g. an adjacency matrix).
+CsrMatrix<double> zero_diag_matrix(index_t n) {
+  CooMatrix<double> coo(n, n);
+  for (index_t i = 0; i + 1 < n; ++i) {
+    coo.add(i, i + 1, 1.0 + 0.1 * static_cast<double>(i));
+    coo.add(i + 1, i, 0.5);
+  }
+  return CsrMatrix<double>::from_coo(coo);
+}
+
+TEST(NumericalEdges, ZeroDiagonalRecurrenceMatchesBaseline) {
+  // The recurrence kernel never divides by d, so a zero diagonal is
+  // numerically fine — it must run and agree with the reference MPK.
+  const auto a = zero_diag_matrix(40);
+  const auto s = split_triangular(a);
+  const auto x = test::random_vector(40, 99);
+  const int k = 4;
+  const std::vector<RecurrenceStep<double>> steps(
+      static_cast<std::size_t>(k), RecurrenceStep<double>{1.0, 0.0, 0.0});
+
+  std::vector<double> y(40);
+  FbWorkspace<double> ws;
+  const auto st = fbmpk_recurrence_checked(
+      s, std::span<const RecurrenceStep<double>>(steps),
+      std::span<const double>(x.data(), x.size()), std::span<double>(y), ws);
+  EXPECT_TRUE(st.ok) << st.detail;
+
+  std::vector<double> ref(40);
+  MpkWorkspace<double> mws;
+  mpk_power<double>(a, std::span<const double>(x.data(), x.size()), k,
+                    std::span<double>(ref), mws);
+  test::expect_near_rel(y, ref, 1e-12, "zero-diag recurrence");
+}
+
+TEST(NumericalEdges, ZeroDiagonalRejectedOnlyWhenDiagonalCheckOn) {
+  const auto a = zero_diag_matrix(20);
+  // Default plan build: zero diagonal is allowed (MPK never divides).
+  EXPECT_NO_THROW(MpkPlan::build(a));
+  // D^-1 consumers opt in to the diagonal check and get a typed error.
+  PlanOptions opts;
+  opts.sanitize.check_diagonal = true;
+  try {
+    MpkPlan::build(a, opts);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidMatrix);
+  }
+}
+
+TEST(NumericalEdges, MultigridRejectsZeroDiagonal) {
+  // TwoLevelMultigrid smooths with SYMGS (divides by d): building it
+  // on a zero-diagonal operator must fail up front, not NaN later.
+  const auto a = zero_diag_matrix(128);
+  try {
+    solvers::TwoLevelMultigrid::build(a);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidMatrix);
+  }
+}
+
+TEST(NumericalEdges, CheckedRecurrenceReportsNonFiniteInput) {
+  const auto a = test::random_matrix(30, 4.0, true, 3);
+  const auto s = split_triangular(a);
+  const std::vector<RecurrenceStep<double>> steps(
+      3, RecurrenceStep<double>{1.0, 0.1, 0.0});
+  FbWorkspace<double> ws;
+  std::vector<double> y(30);
+
+  for (double bad : {kNan, kInf, -kInf}) {
+    auto x = test::random_vector(30, 7);
+    x[13] = bad;
+    const auto st = fbmpk_recurrence_checked(
+        s, std::span<const RecurrenceStep<double>>(steps),
+        std::span<const double>(x.data(), x.size()), std::span<double>(y), ws);
+    EXPECT_FALSE(st.ok);
+    EXPECT_EQ(st.code, ErrorCode::kNumericalBreakdown);
+    EXPECT_EQ(st.row, 13);
+  }
+}
+
+TEST(NumericalEdges, CheckedRecurrenceReportsNonFiniteCoefficient) {
+  const auto a = test::random_matrix(20, 3.0, true, 4);
+  const auto s = split_triangular(a);
+  FbWorkspace<double> ws;
+  std::vector<double> y(20);
+  const auto x = test::random_vector(20, 8);
+  const std::vector<RecurrenceStep<double>> steps{{1.0, kNan, 0.0}};
+  const auto st = fbmpk_recurrence_checked(
+      s, std::span<const RecurrenceStep<double>>(steps),
+      std::span<const double>(x.data(), x.size()), std::span<double>(y), ws);
+  EXPECT_FALSE(st.ok);
+  EXPECT_EQ(st.code, ErrorCode::kNumericalBreakdown);
+  EXPECT_EQ(st.row, -1);
+}
+
+TEST(NumericalEdges, PlanRecurrenceReportsBreakdownThroughPermutation) {
+  // The plan-level API must catch non-finite inputs even when the plan
+  // permutes (the offending row moves; detection happens pre-permute).
+  const auto a = test::random_matrix(60, 4.0, true, 5);
+  auto plan = MpkPlan::build(a);
+  auto x = test::random_vector(60, 9);
+  x[31] = kNan;
+  std::vector<double> y(60);
+  const std::vector<RecurrenceStep<double>> steps(
+      2, RecurrenceStep<double>{0.9, 0.05, 0.0});
+  const auto st =
+      plan.recurrence(std::span<const RecurrenceStep<double>>(steps),
+                      std::span<const double>(x.data(), x.size()),
+                      std::span<double>(y));
+  EXPECT_FALSE(st.ok);
+  EXPECT_EQ(st.code, ErrorCode::kNumericalBreakdown);
+  EXPECT_EQ(st.row, 31);
+
+  // And a clean run on the same plan still succeeds.
+  x[31] = 0.25;
+  const auto ok =
+      plan.recurrence(std::span<const RecurrenceStep<double>>(steps),
+                      std::span<const double>(x.data(), x.size()),
+                      std::span<double>(y));
+  EXPECT_TRUE(ok.ok) << ok.detail;
+}
+
+TEST(NumericalEdges, UncheckedBaselinePropagatesButScanDetects) {
+  // The raw kernels stay unchecked (hot path); the contract is that
+  // check_finite exposes the poison the baseline propagates.
+  const auto a = test::random_matrix(25, 3.0, false, 6);
+  auto x = test::random_vector(25, 10);
+  x[0] = kNan;
+  std::vector<double> y(25);
+  MpkWorkspace<double> ws;
+  mpk_power<double>(a, std::span<const double>(x.data(), x.size()), 3,
+                    std::span<double>(y), ws);
+  const auto st = check_finite(std::span<const double>(y), "poisoned");
+  EXPECT_FALSE(st.ok);
+  EXPECT_EQ(st.code, ErrorCode::kNumericalBreakdown);
+}
+
+TEST(NumericalEdges, EmptyMatrixFullPipeline) {
+  // nnz = 0: a legal (if useless) operator. Build, execute, serialize,
+  // reload, execute again — all without error; A^k x = 0 for k >= 1.
+  CooMatrix<double> coo(8, 8);
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  ASSERT_EQ(a.nnz(), 0);
+
+  auto plan = MpkPlan::build(a);
+  const auto x = test::random_vector(8, 11);
+  std::vector<double> y(8, 123.0);
+
+  plan.power(std::span<const double>(x.data(), x.size()), 3,
+             std::span<double>(y));
+  for (double v : y) EXPECT_EQ(v, 0.0);
+
+  // k = 0 is the identity even on the empty operator.
+  plan.power(std::span<const double>(x.data(), x.size()), 0,
+             std::span<double>(y));
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], x[i]);
+
+  std::stringstream buf;
+  save_plan(plan, buf);
+  auto reloaded = load_plan(buf);
+  EXPECT_EQ(reloaded.rows(), 8);
+  std::vector<double> y2(8, -1.0);
+  reloaded.power(std::span<const double>(x.data(), x.size()), 2,
+                 std::span<double>(y2));
+  for (double v : y2) EXPECT_EQ(v, 0.0);
+}
+
+TEST(NumericalEdges, SolverBreakdownStatuses) {
+  // PCG on an indefinite matrix: p^T A p goes non-positive -> breakdown
+  // status, not an exception and not a NaN loop.
+  CooMatrix<double> coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, -1.0);  // indefinite
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  std::vector<double> b{1.0, 1.0};
+  std::vector<double> x{0.0, 0.0};
+  const auto res = solvers::pcg(a, b, x, solvers::identity_preconditioner());
+  EXPECT_TRUE(res.breakdown || res.converged);
+  if (res.breakdown) {
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.status.code, ErrorCode::kNumericalBreakdown);
+  }
+
+  // Chebyshev with a NaN right-hand side: breakdown, not a hang.
+  const auto spd = test::random_matrix(30, 4.0, true, 12);
+  std::vector<double> bb(30, 1.0);
+  bb[5] = kNan;
+  std::vector<double> xx(30, 0.0);
+  const auto [lo, hi] = solvers::gershgorin_interval(spd);
+  const auto cres = solvers::chebyshev_iteration(
+      spd, bb, xx, std::max(lo, 1e-3), hi);
+  EXPECT_TRUE(cres.breakdown);
+  EXPECT_FALSE(cres.converged);
+
+  // Power method on a nilpotent operator: A^s v == 0 for s >= n, so
+  // the normalization hits yn == 0 -> breakdown flag instead of a
+  // divide-by-zero poisoning the eigenvector estimate.
+  CooMatrix<double> nil(4, 4);
+  nil.add(0, 1, 1.0);
+  nil.add(1, 2, 1.0);
+  nil.add(2, 3, 1.0);
+  const auto na = CsrMatrix<double>::from_coo(nil);
+  auto plan = MpkPlan::build(na);
+  std::vector<double> v(4, 1.0);
+  const auto eres = solvers::power_method(na, plan, v, /*block_steps=*/6);
+  EXPECT_TRUE(eres.breakdown);
+  EXPECT_FALSE(eres.converged);
+}
+
+}  // namespace
+}  // namespace fbmpk

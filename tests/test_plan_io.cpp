@@ -1,6 +1,7 @@
 // Tests for plan serialization (offline preprocessing, paper §IV-C).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "core/plan.hpp"
@@ -87,20 +88,74 @@ TEST(PlanIo, RejectsGarbageAndTruncation) {
   std::stringstream truncated(full.substr(0, full.size() / 2));
   EXPECT_THROW(load_plan(truncated), Error);
 
-  // Flip a byte inside the CSR payload: structural validation catches it
-  // or the stream fails — either way an Error, never UB.
+  // Flip a byte inside the payload: the CRC32 makes every flip a hard,
+  // typed error — silent acceptance is no longer an allowed outcome
+  // (test_fault_injection sweeps all positions; this spot-checks one).
   std::string corrupt = full;
-  corrupt[full.size() - 9] = static_cast<char>(0xff);
+  corrupt[full.size() - 9] = static_cast<char>(
+      static_cast<unsigned char>(corrupt[full.size() - 9]) ^ 0xff);
   std::stringstream cbuf(corrupt);
-  EXPECT_NO_THROW({
-    try {
-      auto p = load_plan(cbuf);
-      (void)p;
-    } catch (const Error&) {
-      // acceptable outcome
-    }
-  });
+  try {
+    load_plan(cbuf);
+    FAIL() << "corrupted payload byte was silently accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCorruptPlan);
+  }
   EXPECT_THROW(load_plan_file("/nonexistent/plan.bin"), Error);
+}
+
+TEST(PlanIo, RejectsOldFormatVersionWithTypedError) {
+  // A v1 header (raw-POD era) must fail with kVersionMismatch, not be
+  // misparsed as framed sections.
+  std::string v1("FBMPKPLN", 8);
+  const std::uint32_t version = 1, width = 4;
+  v1.append(reinterpret_cast<const char*>(&version), 4);
+  v1.append(reinterpret_cast<const char*>(&width), 4);
+  v1.append(128, '\0');
+  std::stringstream buf(v1);
+  try {
+    load_plan(buf);
+    FAIL() << "v1 stream accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kVersionMismatch);
+  }
+}
+
+TEST(PlanIo, ChecksumCoversWholePayload) {
+  // Same build twice -> identical bytes (the format is deterministic),
+  // and the serialized stream round-trips the sanitize options too.
+  const auto a = gen::make_laplacian_2d(7, 7);
+  PlanOptions opts;
+  opts.sanitize.policy = RepairPolicy::kWarnOnly;
+  opts.sanitize.check_diagonal = true;
+  auto plan = MpkPlan::build(a, opts);
+  std::stringstream b1, b2;
+  save_plan(plan, b1);
+  save_plan(plan, b2);
+  EXPECT_EQ(b1.str(), b2.str());
+
+  auto loaded = load_plan(b1);
+  EXPECT_EQ(loaded.options().sanitize.policy, RepairPolicy::kWarnOnly);
+  EXPECT_TRUE(loaded.options().sanitize.check_diagonal);
+}
+
+TEST(PlanIo, TryLoadReturnsExpectedInsteadOfThrowing) {
+  const auto bad = try_load_plan_file("/nonexistent/plan.bin");
+  ASSERT_FALSE(bad);
+  EXPECT_EQ(bad.code(), ErrorCode::kIo);
+
+  std::stringstream garbage("not a plan at all........");
+  const auto corrupt = try_load_plan(garbage);
+  ASSERT_FALSE(corrupt);
+  EXPECT_EQ(corrupt.code(), ErrorCode::kCorruptPlan);
+
+  const auto a = gen::make_laplacian_2d(6, 6);
+  auto plan = MpkPlan::build(a);
+  std::stringstream buf;
+  save_plan(plan, buf);
+  auto loaded = try_load_plan(buf);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded.value().rows(), 36);
 }
 
 TEST(PlanIo, LoadedPlanMatchesBaselineNumerics) {

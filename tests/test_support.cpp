@@ -151,6 +151,74 @@ TEST(Error, PassingCheckDoesNotThrow) {
   EXPECT_NO_THROW(FBMPK_CHECK(true));
 }
 
+TEST(Error, DefaultCodeIsInternal) {
+  try {
+    FBMPK_CHECK(1 == 2);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInternal);
+  }
+}
+
+TEST(Error, CheckCodeCarriesCodeAndMessage) {
+  try {
+    FBMPK_CHECK_CODE(false, ErrorCode::kResourceLimit, "nnz " << 7 << " too big");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceLimit);
+    EXPECT_NE(std::string(e.what()).find("nnz 7 too big"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("resource_limit"), std::string::npos);
+  }
+}
+
+TEST(Error, FailThrowsUnconditionally) {
+  try {
+    FBMPK_FAIL(ErrorCode::kUnsupported, "no " << "thanks");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnsupported);
+    EXPECT_NE(std::string(e.what()).find("no thanks"), std::string::npos);
+  }
+}
+
+TEST(Error, CodeNamesAreStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCorruptPlan), "corrupt_plan");
+  EXPECT_STREQ(error_code_name(ErrorCode::kVersionMismatch),
+               "version_mismatch");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNumericalBreakdown),
+               "numerical_breakdown");
+}
+
+TEST(Expected, HoldsValueOrError) {
+  Expected<int> good(42);
+  ASSERT_TRUE(good);
+  EXPECT_EQ(good.value(), 42);
+
+  Expected<int> bad(FBMPK_MAKE_ERROR(ErrorCode::kIo, "disk on fire"));
+  ASSERT_FALSE(bad);
+  EXPECT_EQ(bad.code(), ErrorCode::kIo);
+  EXPECT_NE(std::string(bad.error().what()).find("disk on fire"),
+            std::string::npos);
+  try {
+    bad.value();  // promoting back to an exception rethrows the error
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+  }
+}
+
+TEST(Expected, StatusOkAndError) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_NO_THROW(ok.value());
+
+  Status bad(FBMPK_MAKE_ERROR(ErrorCode::kParse, "line 3"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), ErrorCode::kParse);
+  EXPECT_THROW(bad.value(), Error);
+}
+
 TEST(Threading, MaxThreadsAtLeastOne) { EXPECT_GE(max_threads(), 1); }
 
 TEST(Timer, MeasuresNonNegativeDurations) {

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 verification, optionally followed by a sanitizer pass.
+#
+#   tools/run_tier1.sh              # Release build + full ctest suite
+#   tools/run_tier1.sh --sanitize   # ...then Debug + ASan/UBSan ctest
+#   FBMPK_SANITIZE=thread tools/run_tier1.sh --sanitize
+#                                   # pick the sanitizer for the second pass
+#
+# The sanitizer pass builds into a separate directory so it never
+# pollutes the primary build tree, and runs with halt-on-error
+# semantics (-fno-sanitize-recover=all at compile time plus strict
+# runtime options) so any finding fails the script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+SANITIZE="${FBMPK_SANITIZE:-address,undefined}"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j "$JOBS"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+}
+
+echo "== tier-1: Release build + tests =="
+run_suite build
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  echo "== tier-1: Debug + ${SANITIZE} sanitizer pass =="
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=0}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+  run_suite "build-sanitize" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DFBMPK_SANITIZE="$SANITIZE" \
+    -DFBMPK_BUILD_BENCH=OFF
+fi
+
+echo "== tier-1: all checks passed =="
