@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "gen/suite.hpp"
 #include "kernels/mpk_baseline.hpp"
 #include "perf/harness.hpp"
+#include "perf/traffic_model.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/threading.hpp"
@@ -85,5 +88,75 @@ inline AlignedVector<double> bench_vector(index_t n) {
   for (auto& e : v) e = rng.next_double(-1.0, 1.0);
   return v;
 }
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: every figure bench can mirror its table
+// into BENCH_<name>.json so plots and regression checks do not have to
+// scrape stdout.
+// ---------------------------------------------------------------------------
+
+/// One timed case. `bytes_moved` comes from the traffic model (the
+/// compulsory-DRAM estimate for the whole A^k x evaluation), `gflops`
+/// from the 2·nnz·sweeps flop count over the measured time.
+struct JsonRecord {
+  std::string matrix;
+  std::string kernel;  ///< e.g. "fbmpk", "mpk", "engine_p2p"
+  int k = 0;
+  int threads = 1;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  std::size_t bytes_moved = 0;
+};
+
+/// Accumulates records and writes `BENCH_<name>.json` on write() (or
+/// destruction). The schema is a flat array of objects — stable keys,
+/// no nesting — so `jq`/pandas can consume it directly.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+  ~JsonReport() {
+    if (!written_) write();
+  }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  void add(JsonRecord rec) { records_.push_back(std::move(rec)); }
+
+  /// FBMPK flop rate for a measured case: both triangle sweeps touch
+  /// each off-diagonal nnz once per pair plus head/tail, which is the
+  /// same 2·nnz per full-matrix-equivalent sweep as standard MPK.
+  static double gflops_of(const perf::MatrixShape& shape, double sweeps,
+                          double seconds) {
+    if (seconds <= 0.0) return 0.0;
+    return 2.0 * static_cast<double>(shape.nnz) * sweeps / seconds / 1e9;
+  }
+
+  void write() {
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const JsonRecord& r = records_[i];
+      out << "  {\"matrix\": \"" << r.matrix << "\", \"kernel\": \""
+          << r.kernel << "\", \"k\": " << r.k
+          << ", \"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+          << ", \"gflops\": " << r.gflops
+          << ", \"bytes_moved\": " << r.bytes_moved << "}"
+          << (i + 1 < records_.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+  }
+
+ private:
+  std::string name_;
+  std::vector<JsonRecord> records_;
+  bool written_ = false;
+};
 
 }  // namespace fbmpk::bench

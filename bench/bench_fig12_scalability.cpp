@@ -55,16 +55,27 @@ int main(int argc, char** argv) {
   std::printf("\nmeasured on this host (%d hardware thread(s)):\n",
               max_threads());
   perf::Table measured({"matrix", "t=1 speedup vs 1-thread baseline"});
+  bench::JsonReport report("fig12_scalability");
   for (const auto& name : bench::selected_names(opts)) {
     const auto m = gen::make_suite_matrix(name, opts.scale);
     const auto x = bench::bench_vector(m.matrix.rows());
     const auto plan = bench::build_plan(m.matrix, opts);
+    const auto shape = perf::MatrixShape::of(m.matrix);
     MpkPlan::Workspace ws;
     set_threads(1);
     const double base1 = bench::time_baseline_mpk(m.matrix, x, k, opts);
     const double fb1 = bench::time_plan_power(plan, ws, x, k, opts);
     measured.add_row({m.name, perf::Table::fmt_ratio(base1 / fb1)});
+    report.add({m.name, "mpk", k, 1, base1,
+                bench::JsonReport::gflops_of(
+                    shape, perf::standard_sweep_count(k), base1),
+                perf::standard_mpk_traffic(shape, k).total()});
+    report.add({m.name, "fbmpk", k, 1, fb1,
+                bench::JsonReport::gflops_of(shape,
+                                             perf::fbmpk_sweep_count(k), fb1),
+                perf::fbmpk_traffic(shape, k).total()});
   }
   measured.print();
+  report.write();
   return 0;
 }

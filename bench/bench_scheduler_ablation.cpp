@@ -8,6 +8,8 @@
 // forward+backward pair) and the measured kernel times on this host.
 #include "bench_common.hpp"
 #include "kernels/fbmpk_level.hpp"
+#include "perf/cost_model.hpp"
+#include "reorder/nnz_partition.hpp"
 #include "sparse/split.hpp"
 
 using namespace fbmpk;
@@ -20,6 +22,9 @@ int main(int argc, char** argv) {
 
   perf::Table table({"matrix", "colors", "levels(fwd)", "barriers/pair:abmc",
                      "barriers/pair:lvl", "abmc_ms", "level_ms", "serial_ms"});
+  const index_t part_threads = opts.threads > 0 ? opts.threads : 4;
+  perf::Table imbalance({"matrix", "threads", "static:worst", "static:mean",
+                         "lpt:worst", "lpt:mean"});
 
   for (const auto& name : bench::selected_names(opts)) {
     const auto m = gen::make_suite_matrix(name, opts.scale);
@@ -52,9 +57,29 @@ int main(int argc, char** argv) {
                    perf::Table::fmt(abmc_s * 1e3),
                    perf::Table::fmt(lvl_s * 1e3),
                    perf::Table::fmt(ser_s * 1e3)});
+
+    // Per-color thread imbalance (max/mean nnz per thread): what the
+    // sweep engine's nnz-LPT partition buys over the omp-static split.
+    const auto& split = abmc_plan.split();
+    const auto weights = block_nnz_weights(
+        abmc_plan.schedule(), split.lower.row_ptr(), split.upper.row_ptr());
+    const auto stat = perf::partition_imbalance(
+        abmc_plan.schedule(), weights, part_threads,
+        PartitionStrategy::kBlockStatic);
+    const auto lpt = perf::partition_imbalance(
+        abmc_plan.schedule(), weights, part_threads,
+        PartitionStrategy::kNnzLpt);
+    imbalance.add_row({m.name, std::to_string(part_threads),
+                       perf::Table::fmt(stat.worst),
+                       perf::Table::fmt(stat.mean),
+                       perf::Table::fmt(lpt.worst),
+                       perf::Table::fmt(lpt.mean)});
   }
 
   table.print();
+  std::printf("\nper-color load imbalance (max/mean nnz per thread; 1.0 = "
+              "perfect):\n");
+  imbalance.print();
   std::printf(
       "\nlevel scheduling keeps the original order (no locality loss, no "
       "permutation cost)\nbut needs orders of magnitude more barriers per "

@@ -99,6 +99,14 @@ int cmd_plan(const Args& args) {
   std::printf("matrix: %d rows, %d nnz\n", a.rows(), a.nnz());
 
   PlanOptions opts;
+  const std::string sweep = get(args, "sweep", "barrier");
+  if (sweep == "p2p") {
+    opts.sweep.sync = SweepSync::kPointToPoint;
+  } else {
+    FBMPK_CHECK_MSG(sweep == "barrier", "--sweep must be barrier or p2p");
+  }
+  opts.sweep.threads =
+      static_cast<index_t>(std::stoi(get(args, "sweep-threads", "0")));
   MpkPlan plan = [&] {
     if (args.count("autotune-k") != 0) {
       const int k = std::stoi(args.at("autotune-k"));
@@ -138,6 +146,12 @@ int cmd_info(const Args& args) {
               plan.options().scheduler == Scheduler::kAbmc ? "abmc" : "levels",
               plan.options().parallel ? "yes" : "no",
               plan.options().reorder ? "yes" : "no");
+  if (plan.options().sweep.sync == SweepSync::kPointToPoint)
+    std::printf("sweep:           point-to-point, %d threads%s\n",
+                static_cast<int>(plan.sweep_schedule().num_threads),
+                plan.options().sweep.pin_threads ? ", pinned" : "");
+  else
+    std::printf("sweep:           barrier\n");
   return 0;
 }
 
@@ -180,6 +194,7 @@ int main(int argc, char** argv) {
                  "usage: %s plan|info|power|poly --flag=value ...\n"
                  "  plan  --matrix=suite:pwtk|file:a.mtx --out=plan.bin"
                  " [--blocks=512] [--autotune-k=5]\n"
+                 "        [--sweep=barrier|p2p] [--sweep-threads=0]\n"
                  "  info  --plan=plan.bin\n"
                  "  power --plan=plan.bin --k=5 [--x=x.txt] [--out=y.txt]\n"
                  "  poly  --plan=plan.bin --coeffs=1,0.5 [--x=] [--out=]\n",

@@ -55,11 +55,50 @@ AutotuneResult autotune_block_count(const CsrMatrix<double>& a, int k,
   return result;
 }
 
+SweepSyncResult autotune_sweep_sync(const CsrMatrix<double>& a, int k,
+                                    int reps, PlanOptions base) {
+  FBMPK_CHECK(k >= 1 && reps >= 1);
+  SweepSyncResult result;
+  if (!base.parallel || base.scheduler != Scheduler::kAbmc ||
+      max_threads() <= 1)
+    return result;  // point-to-point cannot win; keep the barrier
+
+  const index_t n = a.rows();
+  Rng rng(0x47u);
+  AlignedVector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+  AlignedVector<double> y(static_cast<std::size_t>(n));
+
+  auto measure = [&](SweepSync sync) {
+    PlanOptions opts = base;
+    opts.sweep.sync = sync;
+    MpkPlan plan = MpkPlan::build(a, opts);
+    MpkPlan::Workspace ws;
+    plan.power(x, k, y, ws);  // warmup (first touch of workspaces)
+    RunningStats stats;
+    for (int r = 0; r < reps; ++r) {
+      Timer t;
+      plan.power(x, k, y, ws);
+      stats.add(t.seconds());
+    }
+    return stats.median();
+  };
+
+  result.barrier_seconds = measure(SweepSync::kBarrier);
+  result.point_to_point_seconds = measure(SweepSync::kPointToPoint);
+  result.best = result.point_to_point_seconds < result.barrier_seconds
+                    ? SweepSync::kPointToPoint
+                    : SweepSync::kBarrier;
+  return result;
+}
+
 MpkPlan build_autotuned_plan(const CsrMatrix<double>& a, int k,
                              PlanOptions base) {
   const AutotuneResult tuned = autotune_block_count(
       a, k, default_block_candidates(), /*reps=*/3, base);
   base.abmc.num_blocks = tuned.best_blocks;
+  if (base.parallel && base.scheduler == Scheduler::kAbmc)
+    base.sweep.sync = autotune_sweep_sync(a, k, /*reps=*/3, base).best;
   return MpkPlan::build(a, base);
 }
 

@@ -32,6 +32,20 @@ struct AutotuneResult {
 /// Default candidate ladder around the paper's 512/1024 defaults.
 std::span<const index_t> default_block_candidates();
 
+/// Barrier-vs-point-to-point measurement for one matrix.
+struct SweepSyncResult {
+  SweepSync best = SweepSync::kBarrier;
+  double barrier_seconds = 0.0;
+  double point_to_point_seconds = 0.0;
+};
+
+/// Measure y = A^k x under both sweep synchronization modes (same
+/// options otherwise) and pick the faster. Skips the measurement and
+/// returns kBarrier for serial plans, the level scheduler, or a
+/// single-thread runtime, where point-to-point cannot win.
+SweepSyncResult autotune_sweep_sync(const CsrMatrix<double>& a, int k,
+                                    int reps = 3, PlanOptions base = {});
+
 /// Measure each candidate block count on y = A^k x and pick the
 /// fastest. `base` supplies every option except abmc.num_blocks.
 AutotuneResult autotune_block_count(
@@ -39,7 +53,8 @@ AutotuneResult autotune_block_count(
     std::span<const index_t> candidates = default_block_candidates(),
     int reps = 3, PlanOptions base = {});
 
-/// Convenience: build a plan with the autotuned block count.
+/// Convenience: build a plan with the autotuned block count and, for
+/// parallel ABMC plans, the autotuned sweep synchronization.
 MpkPlan build_autotuned_plan(const CsrMatrix<double>& a, int k,
                              PlanOptions base = {});
 

@@ -45,6 +45,16 @@ MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
     plan.stats_.num_levels_backward = plan.levels_.backward.num_levels;
   }
 
+  if (opts.parallel && opts.scheduler == Scheduler::kAbmc &&
+      opts.sweep.sync == SweepSync::kPointToPoint) {
+    const index_t threads = opts.sweep.threads > 0
+                                ? opts.sweep.threads
+                                : static_cast<index_t>(max_threads());
+    plan.sweep_schedule_ =
+        build_sweep_schedule(plan.schedule_, plan.split_, threads);
+    plan.stats_.sweep_threads = threads;
+  }
+
   plan.stats_.storage_bytes = plan.split_.storage_bytes();
   plan.internal_ws_ = std::make_unique<Workspace>();
   plan.stats_.build_seconds = total.seconds();
@@ -52,20 +62,22 @@ MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
 }
 
 void MpkPlan::run_power(std::span<const double> px, int k,
-                        std::span<double> py, FbWorkspace<double>& fb) const {
+                        std::span<double> py, Workspace& ws) const {
   if (!opts_.parallel) {
-    fbmpk_power(split_, px, k, py, fb, opts_.variant);
+    fbmpk_power(split_, px, k, py, ws.fb, opts_.variant);
     return;
   }
   if (opts_.scheduler == Scheduler::kLevels)
-    fbmpk_level_power(split_, levels_, px, k, py, fb);
+    fbmpk_level_power(split_, levels_, px, k, py, ws.fb);
+  else if (use_engine())
+    fbmpk_engine_power(split_, schedule_, sweep_schedule_, px, k, py,
+                       ws.sweep, opts_.sweep.pin_threads);
   else
-    fbmpk_parallel_power(split_, schedule_, px, k, py, fb);
+    fbmpk_parallel_power(split_, schedule_, px, k, py, ws.fb);
 }
 
 void MpkPlan::run_power_all(std::span<const double> px, int k,
-                            std::span<double> pout,
-                            FbWorkspace<double>& fb) const {
+                            std::span<double> pout, Workspace& ws) const {
   const auto n = px.size();
   std::copy(px.begin(), px.end(), pout.begin());
   if (k == 0) return;
@@ -74,17 +86,19 @@ void MpkPlan::run_power_all(std::span<const double> px, int k,
     op[static_cast<std::size_t>(p) * n + i] = v;
   };
   if (!opts_.parallel)
-    fbmpk_sweep(split_, px, k, fb, emit, opts_.variant);
+    fbmpk_sweep(split_, px, k, ws.fb, emit, opts_.variant);
   else if (opts_.scheduler == Scheduler::kLevels)
-    fbmpk_level_sweep(split_, levels_, px, k, fb, emit);
+    fbmpk_level_sweep(split_, levels_, px, k, ws.fb, emit);
+  else if (use_engine())
+    fbmpk_engine_sweep(split_, schedule_, sweep_schedule_, px, k, ws.sweep,
+                       emit, opts_.sweep.pin_threads);
   else
-    fbmpk_parallel_sweep(split_, schedule_, px, k, fb, emit);
+    fbmpk_parallel_sweep(split_, schedule_, px, k, ws.fb, emit);
 }
 
 void MpkPlan::run_polynomial(std::span<const double> coeffs,
                              std::span<const double> px,
-                             std::span<double> py,
-                             FbWorkspace<double>& fb) const {
+                             std::span<double> py, Workspace& ws) const {
   const int k = static_cast<int>(coeffs.size()) - 1;
   for (std::size_t i = 0; i < py.size(); ++i) py[i] = coeffs[0] * px[i];
   if (k == 0) return;
@@ -92,11 +106,14 @@ void MpkPlan::run_polynomial(std::span<const double> coeffs,
   const double* cp = coeffs.data();
   auto emit = [&](int p, index_t i, double v) { yp[i] += cp[p] * v; };
   if (!opts_.parallel)
-    fbmpk_sweep(split_, px, k, fb, emit, opts_.variant);
+    fbmpk_sweep(split_, px, k, ws.fb, emit, opts_.variant);
   else if (opts_.scheduler == Scheduler::kLevels)
-    fbmpk_level_sweep(split_, levels_, px, k, fb, emit);
+    fbmpk_level_sweep(split_, levels_, px, k, ws.fb, emit);
+  else if (use_engine())
+    fbmpk_engine_sweep(split_, schedule_, sweep_schedule_, px, k, ws.sweep,
+                       emit, opts_.sweep.pin_threads);
   else
-    fbmpk_parallel_sweep(split_, schedule_, px, k, fb, emit);
+    fbmpk_parallel_sweep(split_, schedule_, px, k, ws.fb, emit);
 }
 
 void MpkPlan::power(std::span<const double> x, int k, std::span<double> y,
@@ -105,13 +122,13 @@ void MpkPlan::power(std::span<const double> x, int k, std::span<double> y,
   FBMPK_CHECK(y.size() == static_cast<std::size_t>(n_));
   FBMPK_CHECK(k >= 0);
   if (perm_.is_identity()) {
-    run_power(x, k, y, ws.fb);
+    run_power(x, k, y, ws);
     return;
   }
   ws.px.resize(x.size());
   ws.py.resize(y.size());
   permute_vector<double>(perm_, x, ws.px);
-  run_power(ws.px, k, ws.py, ws.fb);
+  run_power(ws.px, k, ws.py, ws);
   unpermute_vector<double>(perm_, ws.py, y);
 }
 
@@ -126,14 +143,14 @@ void MpkPlan::power_all(std::span<const double> x, int k,
   FBMPK_CHECK(out.size() == n * static_cast<std::size_t>(k + 1));
   FBMPK_CHECK(k >= 0);
   if (perm_.is_identity()) {
-    run_power_all(x, k, out, ws.fb);
+    run_power_all(x, k, out, ws);
     return;
   }
   ws.px.resize(n);
   ws.py.resize(n * static_cast<std::size_t>(k + 1));
   permute_vector<double>(perm_, x, ws.px);
   std::span<double> pout(ws.py);
-  run_power_all(std::span<const double>(ws.px), k, pout, ws.fb);
+  run_power_all(std::span<const double>(ws.px), k, pout, ws);
   for (int p = 0; p <= k; ++p)
     unpermute_vector<double>(perm_,
                              pout.subspan(static_cast<std::size_t>(p) * n, n),
@@ -152,14 +169,14 @@ void MpkPlan::polynomial(std::span<const double> coeffs,
   FBMPK_CHECK(x.size() == n && y.size() == n);
   FBMPK_CHECK(!coeffs.empty());
   if (perm_.is_identity()) {
-    run_polynomial(coeffs, x, y, ws.fb);
+    run_polynomial(coeffs, x, y, ws);
     return;
   }
   ws.px.resize(n);
   ws.py.resize(n);
   permute_vector<double>(perm_, x, ws.px);
   std::span<double> py(ws.py);
-  run_polynomial(coeffs, std::span<const double>(ws.px), py, ws.fb);
+  run_polynomial(coeffs, std::span<const double>(ws.px), py, ws);
   unpermute_vector<double>(perm_, py, y);
 }
 

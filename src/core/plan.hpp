@@ -24,7 +24,9 @@
 
 #include "kernels/fbmpk.hpp"
 #include "kernels/fbmpk_level.hpp"
+#include "kernels/fbmpk_parallel.hpp"
 #include "kernels/fbmpk_recurrence.hpp"
+#include "kernels/sweep_schedule.hpp"
 #include "reorder/abmc.hpp"
 #include "reorder/permutation.hpp"
 #include "sparse/csr.hpp"
@@ -41,6 +43,25 @@ enum class Scheduler {
             ///< permutation, one barrier per dependency level
 };
 
+/// How an ABMC-scheduled parallel sweep synchronizes between colors.
+enum class SweepSync {
+  kBarrier,       ///< one team barrier per color per sweep (baseline)
+  kPointToPoint,  ///< persistent threads, per-thread epoch counters,
+                  ///< precomputed SweepSchedule (docs/PARALLELISM.md)
+};
+
+/// Persistent-threads engine options (ABMC scheduler only).
+struct SweepOptions {
+  SweepSync sync = SweepSync::kBarrier;
+  /// Thread count the schedule is built for; 0 means the runtime
+  /// default (max_threads()) at build time. A loaded plan whose stored
+  /// count differs from the runtime default is rebuilt transparently.
+  index_t threads = 0;
+  /// Pin team threads compactly (thread t -> cpu t). Skipped when the
+  /// user configured OMP_PLACES/OMP_PROC_BIND.
+  bool pin_threads = false;
+};
+
 /// Plan construction options.
 struct PlanOptions {
   /// Apply the ABMC reorder. Required for ABMC-scheduled parallel
@@ -52,6 +73,8 @@ struct PlanOptions {
   bool parallel = true;
   /// Parallel schedule construction.
   Scheduler scheduler = Scheduler::kAbmc;
+  /// Sweep synchronization for the ABMC scheduler.
+  SweepOptions sweep;
   /// Serial pipeline flavor: BtB interleaved (default) or split vectors.
   FbVariant variant = FbVariant::kBtb;
   /// Run the matrix sanitizer on the input at build. The default
@@ -71,6 +94,7 @@ struct PlanStats {
   index_t num_colors = 0;
   index_t num_levels_forward = 0;   ///< level scheduler only
   index_t num_levels_backward = 0;  ///< level scheduler only
+  index_t sweep_threads = 0;  ///< point-to-point engine only
   std::size_t storage_bytes = 0;  ///< bytes held by L + U + d
 };
 
@@ -79,6 +103,7 @@ class MpkPlan {
   /// Scratch vectors for one concurrent run stream.
   struct Workspace {
     FbWorkspace<double> fb;
+    SweepWorkspace<double> sweep;  ///< point-to-point engine scratch
     AlignedVector<double> px;  ///< permuted input
     AlignedVector<double> py;  ///< permuted output
   };
@@ -95,6 +120,7 @@ class MpkPlan {
   const PlanStats& stats() const { return stats_; }
   const Permutation& permutation() const { return perm_; }
   const AbmcOrdering& schedule() const { return schedule_; }
+  const SweepSchedule& sweep_schedule() const { return sweep_schedule_; }
   const TriangularSplit<double>& split() const { return split_; }
 
   /// y = A^k x (k >= 0). x and y may alias only if identical spans.
@@ -143,13 +169,18 @@ class MpkPlan {
   friend void save_plan(const MpkPlan&, std::ostream&);
   friend MpkPlan load_plan(std::istream&);
 
+  bool use_engine() const {
+    return opts_.sweep.sync == SweepSync::kPointToPoint &&
+           !sweep_schedule_.empty();
+  }
+
   void run_power(std::span<const double> px, int k, std::span<double> py,
-                 FbWorkspace<double>& fb) const;
+                 Workspace& ws) const;
   void run_power_all(std::span<const double> px, int k,
-                     std::span<double> pout, FbWorkspace<double>& fb) const;
+                     std::span<double> pout, Workspace& ws) const;
   void run_polynomial(std::span<const double> coeffs,
                       std::span<const double> px, std::span<double> py,
-                      FbWorkspace<double>& fb) const;
+                      Workspace& ws) const;
 
   index_t n_ = 0;
   PlanOptions opts_;
@@ -157,6 +188,7 @@ class MpkPlan {
   Permutation perm_;         ///< identity when reorder is off
   AbmcOrdering schedule_;    ///< empty when reorder is off
   LevelSchedulePair levels_; ///< populated for the level scheduler
+  SweepSchedule sweep_schedule_;  ///< point-to-point sync only
   TriangularSplit<double> split_;
   std::unique_ptr<Workspace> internal_ws_;  // for convenience overloads
 };

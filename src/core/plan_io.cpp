@@ -17,7 +17,7 @@ namespace fbmpk {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Format v2 (see docs/ROBUSTNESS.md):
+// Format v3 (see docs/ROBUSTNESS.md):
 //
 //   [ magic "FBMPKPLN" | u32 version | u32 index_width |
 //     u64 payload_size | u32 payload_crc32 ]  -- fixed header
@@ -32,10 +32,17 @@ namespace {
 // throws a typed fbmpk::Error (kCorruptPlan / kVersionMismatch) —
 // a truncated or bit-flipped plan file can never reach undefined
 // behavior or silently load.
+//
+// v3 added the sweep-engine options to OPTS, the SWEP section (the
+// persistent-threads SweepSchedule), and the sweep_threads stats
+// field. v1/v2 files are rejected with kVersionMismatch. A loaded
+// schedule is structurally re-validated (validate_sweep_schedule) and
+// rebuilt from the split when its stored thread count does not match
+// the runtime's.
 // ---------------------------------------------------------------------------
 
 constexpr char kMagic[8] = {'F', 'B', 'M', 'P', 'K', 'P', 'L', 'N'};
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 3;
 
 // Section tags, in the order they are written.
 enum : std::uint32_t {
@@ -43,6 +50,7 @@ enum : std::uint32_t {
   kSecStats = 0x53544154,     // 'STAT'
   kSecPerm = 0x5045524D,      // 'PERM'
   kSecSchedule = 0x53434844,  // 'SCHD'
+  kSecSweep = 0x53574550,     // 'SWEP'
   kSecLevels = 0x4C564C53,    // 'LVLS'
   kSecSplit = 0x53504C54,     // 'SPLT'
 };
@@ -279,6 +287,9 @@ void save_plan(const MpkPlan& plan, std::ostream& out) {
   w.boolean(o.parallel);
   w.enumeration(o.scheduler);
   w.enumeration(o.variant);
+  w.enumeration(o.sweep.sync);
+  w.pod(o.sweep.threads);
+  w.boolean(o.sweep.pin_threads);
   w.boolean(o.validate_input);
   w.enumeration(o.sanitize.policy);
   w.boolean(o.sanitize.check_finite);
@@ -300,6 +311,21 @@ void save_plan(const MpkPlan& plan, std::ostream& out) {
   w.pod(plan.schedule_.num_colors);
   w.vec(plan.schedule_.block_ptr);
   w.vec(plan.schedule_.color_ptr);
+
+  w.begin_section(kSecSweep);
+  const SweepSchedule& ss = plan.sweep_schedule_;
+  w.pod(ss.num_threads);
+  w.pod(ss.num_colors);
+  w.pod(ss.num_blocks);
+  w.vec(ss.part_ptr);
+  w.vec(ss.part_blocks);
+  w.vec(ss.fwd_dep_ptr);
+  w.vec(ss.fwd_deps);
+  w.vec(ss.bwd_dep_ptr);
+  w.vec(ss.bwd_deps);
+  w.vec(ss.all_dep_ptr);
+  w.vec(ss.all_deps);
+  w.vec(ss.load);
 
   w.begin_section(kSecLevels);
   write_level_schedule(w, plan.levels_.forward);
@@ -341,8 +367,8 @@ MpkPlan load_plan(std::istream& in) {
   FBMPK_CHECK_CODE(version == kVersion, ErrorCode::kVersionMismatch,
                    "unsupported plan version "
                        << version << " (this build reads version "
-                       << kVersion << "; v1 files predate the checksum "
-                       << "and must be regenerated)");
+                       << kVersion << "; older files predate the checksum "
+                       << "or the sweep schedule and must be regenerated)");
   in.read(reinterpret_cast<char*>(&index_width), sizeof(index_width));
   in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
   in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
@@ -402,6 +428,11 @@ MpkPlan load_plan(std::istream& in) {
   plan.opts_.parallel = r.boolean();
   plan.opts_.scheduler = r.enumeration<Scheduler>(2, "scheduler");
   plan.opts_.variant = r.enumeration<FbVariant>(2, "variant");
+  plan.opts_.sweep.sync = r.enumeration<SweepSync>(2, "sweep sync");
+  plan.opts_.sweep.threads = r.pod<index_t>();
+  FBMPK_CHECK_CODE(plan.opts_.sweep.threads >= 0, ErrorCode::kCorruptPlan,
+                   "negative sweep thread count in plan");
+  plan.opts_.sweep.pin_threads = r.boolean();
   plan.opts_.validate_input = r.boolean();
   plan.opts_.sanitize.policy = r.enumeration<RepairPolicy>(3, "policy");
   plan.opts_.sanitize.check_finite = r.boolean();
@@ -449,6 +480,27 @@ MpkPlan load_plan(std::istream& in) {
   plan.schedule_.perm = plan.perm_;
   r.end_section(sec, "schedule");
 
+  sec = r.begin_section(kSecSweep, "sweep");
+  SweepSchedule& ss = plan.sweep_schedule_;
+  ss.num_threads = r.pod<index_t>();
+  ss.num_colors = r.pod<index_t>();
+  ss.num_blocks = r.pod<index_t>();
+  ss.part_ptr = r.vec<std::vector<index_t>>();
+  ss.part_blocks = r.vec<std::vector<index_t>>();
+  ss.fwd_dep_ptr = r.vec<std::vector<index_t>>();
+  ss.fwd_deps = r.vec<std::vector<SweepDep>>();
+  ss.bwd_dep_ptr = r.vec<std::vector<index_t>>();
+  ss.bwd_deps = r.vec<std::vector<SweepDep>>();
+  ss.all_dep_ptr = r.vec<std::vector<index_t>>();
+  ss.all_deps = r.vec<std::vector<index_t>>();
+  ss.load = r.vec<std::vector<index_t>>();
+  FBMPK_CHECK_CODE(ss.num_threads >= 0, ErrorCode::kCorruptPlan,
+                   "negative sweep schedule thread count in plan");
+  FBMPK_CHECK_CODE(ss.empty() || validate_sweep_schedule(ss, plan.schedule_),
+                   ErrorCode::kCorruptPlan,
+                   "sweep schedule fails structural validation");
+  r.end_section(sec, "sweep");
+
   sec = r.begin_section(kSecLevels, "levels");
   plan.levels_.forward = read_level_schedule(r);
   plan.levels_.backward = read_level_schedule(r);
@@ -469,6 +521,24 @@ MpkPlan load_plan(std::istream& in) {
                            static_cast<std::size_t>(plan.n_) &&
                        plan.perm_.size() == plan.n_,
                    ErrorCode::kCorruptPlan, "inconsistent plan payload");
+
+  // A schedule is data for one thread count. When the plan wants the
+  // runtime default (threads == 0) and this process's default differs
+  // from the stored one, rebuild from the (already validated) split
+  // rather than failing or silently running a mismatched schedule.
+  if (plan.opts_.parallel && plan.opts_.scheduler == Scheduler::kAbmc &&
+      plan.opts_.sweep.sync == SweepSync::kPointToPoint) {
+    const index_t want = plan.opts_.sweep.threads > 0
+                             ? plan.opts_.sweep.threads
+                             : static_cast<index_t>(max_threads());
+    if (plan.sweep_schedule_.empty() ||
+        plan.sweep_schedule_.num_threads != want) {
+      plan.sweep_schedule_ =
+          build_sweep_schedule(plan.schedule_, plan.split_, want);
+      plan.stats_.sweep_threads = want;
+    }
+  }
+
   plan.internal_ws_ = std::make_unique<MpkPlan::Workspace>();
   return plan;
 }

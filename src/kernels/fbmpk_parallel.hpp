@@ -14,14 +14,20 @@
 // results are bitwise identical to the serial kernel.
 #pragma once
 
+#include <atomic>
+#include <cstdlib>
+#include <memory>
 #include <span>
 #include <utility>
 
 #include "kernels/fb_detail.hpp"
 #include "kernels/fbmpk.hpp"
+#include "kernels/sweep_schedule.hpp"
 #include "reorder/abmc.hpp"
 #include "sparse/split.hpp"
+#include "support/aligned_buffer.hpp"
 #include "support/error.hpp"
+#include "support/threading.hpp"
 
 namespace fbmpk {
 
@@ -188,6 +194,372 @@ void fbmpk_parallel_polynomial(const TriangularSplit<T>& s,
   fbmpk_parallel_sweep(s, o, x0, k, ws, [&](int p, index_t i, T v) {
     yp[i] += cp[p] * v;
   });
+}
+
+// ---------------------------------------------------------------------------
+// Persistent-threads sweep engine (point-to-point synchronization).
+// ---------------------------------------------------------------------------
+
+/// Workspace of the persistent-threads engine. The buffers are
+/// allocated *uninitialized* on purpose: the head stage writes every
+/// element of xy and tmp through the owning (thread, color) partition,
+/// so on a first-touch NUMA policy each page lands on the node of the
+/// thread that will keep streaming it. A value-initializing vector
+/// would have the allocating thread touch (and place) everything.
+/// `fallback` backs the barrier kernel when the engine cannot run
+/// (team-size mismatch, empty schedule).
+template <class T>
+struct SweepWorkspace {
+  SweepWorkspace() = default;
+
+  void resize(index_t n) {
+    if (n == n_) return;
+    xy_.reset(raw_alloc(2 * static_cast<std::size_t>(n)));
+    tmp_.reset(raw_alloc(static_cast<std::size_t>(n)));
+    n_ = n;
+    warmed = false;
+  }
+
+  T* xy() { return xy_.get(); }
+  T* tmp() { return tmp_.get(); }
+  index_t size() const { return n_; }
+
+  /// Set once the split arrays have been streamed by their owning
+  /// threads (cold-start cache/NUMA warm pass, done on first use).
+  bool warmed = false;
+  FbWorkspace<T> fallback;
+
+ private:
+  struct FreeDeleter {
+    void operator()(T* p) const { std::free(p); }
+  };
+  static T* raw_alloc(std::size_t count) {
+    if (count == 0) return nullptr;
+    const std::size_t bytes =
+        (count * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes *
+        kCacheLineBytes;
+    void* p = std::aligned_alloc(kCacheLineBytes, bytes);
+    FBMPK_CHECK_MSG(p != nullptr, "sweep workspace allocation failed");
+    return static_cast<T*>(p);
+  }
+  std::unique_ptr<T[], FreeDeleter> xy_;
+  std::unique_ptr<T[], FreeDeleter> tmp_;
+  index_t n_ = 0;
+};
+
+namespace detail {
+
+/// One cache line per thread's epoch counter — threads spin on foreign
+/// counters, so sharing a line would turn every bump into a broadcast.
+struct alignas(kCacheLineBytes) SweepEpoch {
+  std::atomic<long long> value{0};
+};
+
+/// Wait until the epoch counter reaches `target`: a bounded spin phase
+/// (tuned down to zero on oversubscribed teams, where spinning only
+/// steals the awaited thread's timeslice), then a futex-style block on
+/// the counter — the same sleeping a team barrier would do, but woken
+/// by the one thread this stage actually depends on.
+inline void sweep_wait(std::atomic<long long>& e, long long target,
+                       int spin_rounds) {
+  SpinWaiter w;
+  for (int i = 0; i < spin_rounds; ++i) {
+    if (e.load(std::memory_order_acquire) >= target) return;
+    w.wait();
+  }
+  long long cur = e.load(std::memory_order_acquire);
+  while (cur < target) {
+    e.wait(cur, std::memory_order_acquire);
+    cur = e.load(std::memory_order_acquire);
+  }
+}
+
+}  // namespace detail
+
+/// Point-to-point engine behind fbmpk_engine_sweep. Returns false
+/// without touching any output when it cannot run safely — the caller
+/// then falls back to the barrier kernel. Reasons: schedule empty,
+/// schedule shape not matching the ordering, or the OpenMP runtime
+/// delivering a team smaller than schedule.num_threads (nested
+/// parallelism, thread limits).
+///
+/// Epoch protocol (derivation in sweep_schedule.hpp and
+/// docs/PARALLELISM.md): each thread owns one monotone counter,
+/// bumped with release order after every stage. With C colors and
+/// `pairs` forward/backward pairs the global stage list is
+///   head0, head1, {F_0..F_{C-1}, B_{C-1}..B_0} x pairs, [tail]
+/// so after head0 a thread's counter reads 1, after head1 it reads 2,
+/// after F_c of pair `it` it reads 2 + it*2C + c + 1, and after B_c of
+/// pair `it` it reads 2 + it*2C + C + (C - 1 - c) + 1. Stage waits
+/// compare foreign counters against these values with acquire order.
+/// Every dependency targets a strictly earlier stage in the list and
+/// every thread visits every stage (even with an empty partition), so
+/// the wait graph is acyclic: no deadlock.
+template <class T, class Emit>
+bool fbmpk_engine_try_sweep(const TriangularSplit<T>& s,
+                            const AbmcOrdering& o, const SweepSchedule& sched,
+                            std::span<const T> x0, int k,
+                            SweepWorkspace<T>& ws, bool pin_threads,
+                            Emit&& emit) {
+  const index_t n = s.lower.rows();
+  FBMPK_CHECK(s.upper.rows() == n &&
+              s.diag.size() == static_cast<std::size_t>(n));
+  FBMPK_CHECK(x0.size() == static_cast<std::size_t>(n));
+  FBMPK_CHECK(k >= 1);
+  FBMPK_CHECK_MSG(!o.block_ptr.empty() && o.block_ptr.back() == n,
+                  "schedule does not cover the matrix");
+  if (sched.empty() || sched.num_colors != o.num_colors ||
+      sched.num_blocks != o.num_blocks)
+    return false;
+
+  const index_t T_n = sched.num_threads;
+  if (T_n > max_threads()) return false;
+  ws.resize(n);
+
+  const index_t* lrp = s.lower.row_ptr().data();
+  const index_t* lci = s.lower.col_idx().data();
+  const T* lva = s.lower.values().data();
+  const index_t* urp = s.upper.row_ptr().data();
+  const index_t* uci = s.upper.col_idx().data();
+  const T* uva = s.upper.values().data();
+  const T* d = s.diag.data();
+  T* xy = ws.xy();
+  T* tmp = ws.tmp();
+  const T* x0p = x0.data();
+
+  const int pairs = k / 2;
+  const index_t C = sched.num_colors;
+  const long long stage_pairs = 2LL * C;
+  NullTracer tr;
+  const bool warm_split = !ws.warmed;
+
+  const auto epochs = std::make_unique<detail::SweepEpoch[]>(
+      static_cast<std::size_t>(T_n));
+  std::atomic<bool> team_ok{true};
+
+  parallel_region_n(static_cast<int>(T_n), [&](int tid, int team) {
+    if (team != static_cast<int>(T_n)) {
+      // Whole team sees the same size; everyone bails consistently
+      // before touching shared state.
+      if (tid == 0) team_ok.store(false, std::memory_order_relaxed);
+      return;
+    }
+    if (pin_threads) pin_team_compact();
+
+    // Oversubscribed teams skip the spin phase entirely: the awaited
+    // thread is not running concurrently, so spinning only delays its
+    // next timeslice. Dedicated cores spin briefly before sleeping.
+    const int pause_spins = team > hardware_cpus() ? 0 : 1024;
+    const index_t t = static_cast<index_t>(tid);
+    std::atomic<long long>& my = epochs[t].value;
+    const auto bump = [&my] {
+      my.fetch_add(1, std::memory_order_release);
+      my.notify_all();
+    };
+    // Walk this thread's rows across all its color partitions.
+    const auto for_own_rows = [&](auto&& row_fn) {
+      for (index_t c = 0; c < C; ++c) {
+        const std::size_t slot = sched.slot(t, c);
+        for (index_t pi = sched.part_ptr[slot]; pi < sched.part_ptr[slot + 1];
+             ++pi) {
+          const index_t b = sched.part_blocks[pi];
+          for (index_t i = o.block_ptr[b]; i < o.block_ptr[b + 1]; ++i)
+            row_fn(i);
+        }
+      }
+    };
+    const auto wait_all = [&](long long target) {
+      for (index_t q = sched.all_dep_ptr[t]; q < sched.all_dep_ptr[t + 1];
+           ++q)
+        detail::sweep_wait(epochs[sched.all_deps[q]].value, target,
+                           pause_spins);
+    };
+
+    // head0: xy even slots <- x0 over owned rows. This is the
+    // first-touch pass for xy; the warm read of the split arrays rides
+    // along (row i's CSR data is only ever read while processing row
+    // i, always by its owner, so this races with nothing).
+    T sink{};
+    for_own_rows([&](index_t i) {
+      xy[2 * i] = x0p[i];
+      if (warm_split) {
+        T acc{};
+        for (index_t q = lrp[i]; q < lrp[i + 1]; ++q)
+          acc += lva[q] + static_cast<T>(lci[q]);
+        for (index_t q = urp[i]; q < urp[i + 1]; ++q)
+          acc += uva[q] + static_cast<T>(uci[q]);
+        sink += acc + d[i];
+      }
+    });
+    if (warm_split) {
+      volatile T keep = sink;  // keep the warm reads observable
+      (void)keep;
+    }
+    bump();  // epoch 1
+
+    // head1: tmp <- U·x0. Reads foreign xy even slots; needs every
+    // neighbor owner past head0.
+    wait_all(1);
+    for_own_rows([&](index_t i) {
+      T sum{};
+      detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 0, sum, tr);
+      tmp[i] = sum;
+    });
+    bump();  // epoch 2
+
+    for (int it = 0; it < pairs; ++it) {
+      const int p_odd = 2 * it + 1;
+      const int p_even = 2 * it + 2;
+      const long long base = 2 + it * stage_pairs;
+      const bool prime_next = !(it == pairs - 1 && k % 2 == 0);
+
+      // Forward stages: colors ascending, rows top-down.
+      for (index_t c = 0; c < C; ++c) {
+        const std::size_t slot = sched.slot(t, c);
+        for (index_t q = sched.fwd_dep_ptr[slot];
+             q < sched.fwd_dep_ptr[slot + 1]; ++q) {
+          const SweepDep& dep = sched.fwd_deps[q];
+          detail::sweep_wait(epochs[dep.thread].value, base + dep.color + 1,
+                             pause_spins);
+        }
+        for (index_t pi = sched.part_ptr[slot];
+             pi < sched.part_ptr[slot + 1]; ++pi) {
+          const index_t b = sched.part_blocks[pi];
+          for (index_t i = o.block_ptr[b]; i < o.block_ptr[b + 1]; ++i) {
+            T sum0 = tmp[i] + d[i] * xy[2 * i];
+            T sum1{};
+            detail::row_dot2_btb(lci, lva, lrp[i], lrp[i + 1], xy, sum0,
+                                 sum1, tr);
+            xy[2 * i + 1] = sum0;
+            emit(p_odd, i, sum0);
+            tmp[i] = sum1 + d[i] * sum0;
+          }
+        }
+        bump();  // epoch base + c + 1
+      }
+
+      // Backward stages: colors descending, rows bottom-up.
+      for (index_t c = C; c-- > 0;) {
+        const std::size_t slot = sched.slot(t, c);
+        for (index_t q = sched.bwd_dep_ptr[slot];
+             q < sched.bwd_dep_ptr[slot + 1]; ++q) {
+          const SweepDep& dep = sched.bwd_deps[q];
+          detail::sweep_wait(epochs[dep.thread].value,
+                             base + C + (C - 1 - dep.color) + 1, pause_spins);
+        }
+        for (index_t pi = sched.part_ptr[slot];
+             pi < sched.part_ptr[slot + 1]; ++pi) {
+          const index_t b = sched.part_blocks[pi];
+          for (index_t i = o.block_ptr[b + 1]; i-- > o.block_ptr[b];) {
+            T sum0 = tmp[i];
+            if (prime_next) {
+              T sum1{};
+              detail::row_dot2_btb(uci, uva, urp[i], urp[i + 1], xy, sum1,
+                                   sum0, tr);
+              xy[2 * i] = sum0;
+              emit(p_even, i, sum0);
+              tmp[i] = sum1;
+            } else {
+              detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 1,
+                                   sum0, tr);
+              xy[2 * i] = sum0;
+              emit(p_even, i, sum0);
+            }
+          }
+        }
+        bump();  // epoch base + C + (C-1-c) + 1
+      }
+    }
+
+    if (k % 2 == 1) {
+      // Tail: reads foreign even slots; needs every neighbor owner
+      // through the whole pair sequence.
+      wait_all(2 + pairs * stage_pairs);
+      for_own_rows([&](index_t i) {
+        T sum = tmp[i] + d[i] * xy[2 * i];
+        detail::row_dot1_btb(lci, lva, lrp[i], lrp[i + 1], xy, 0, sum, tr);
+        emit(k, i, sum);
+      });
+      bump();
+    }
+  });
+
+  if (!team_ok.load(std::memory_order_relaxed)) return false;
+  ws.warmed = true;
+  return true;
+}
+
+/// Point-to-point sweep with automatic fallback to the per-color
+/// barrier kernel when the engine cannot run. Same emit contract and
+/// bitwise-identical results either way.
+template <class T, class Emit>
+void fbmpk_engine_sweep(const TriangularSplit<T>& s, const AbmcOrdering& o,
+                        const SweepSchedule& sched, std::span<const T> x0,
+                        int k, SweepWorkspace<T>& ws, Emit&& emit,
+                        bool pin_threads = false) {
+  if (!fbmpk_engine_try_sweep(s, o, sched, x0, k, ws, pin_threads, emit))
+    fbmpk_parallel_sweep(s, o, x0, k, ws.fallback, emit);
+}
+
+/// y = A^k x0 via the persistent-threads engine.
+template <class T>
+void fbmpk_engine_power(const TriangularSplit<T>& s, const AbmcOrdering& o,
+                        const SweepSchedule& sched, std::span<const T> x0,
+                        int k, std::span<T> y, SweepWorkspace<T>& ws,
+                        bool pin_threads = false) {
+  FBMPK_CHECK(y.size() == x0.size());
+  FBMPK_CHECK(k >= 0);
+  if (k == 0) {
+    std::copy(x0.begin(), x0.end(), y.begin());
+    return;
+  }
+  T* yp = y.data();
+  fbmpk_engine_sweep(
+      s, o, sched, x0, k, ws,
+      [&](int p, index_t i, T v) {
+        if (p == k) yp[i] = v;
+      },
+      pin_threads);
+}
+
+/// Krylov basis via the persistent-threads engine.
+template <class T>
+void fbmpk_engine_power_all(const TriangularSplit<T>& s,
+                            const AbmcOrdering& o, const SweepSchedule& sched,
+                            std::span<const T> x0, int k, std::span<T> out,
+                            SweepWorkspace<T>& ws, bool pin_threads = false) {
+  const auto n = x0.size();
+  FBMPK_CHECK(out.size() == n * static_cast<std::size_t>(k + 1));
+  std::copy(x0.begin(), x0.end(), out.begin());
+  if (k == 0) return;
+  T* op = out.data();
+  fbmpk_engine_sweep(
+      s, o, sched, x0, k, ws,
+      [&](int p, index_t i, T v) {
+        op[static_cast<std::size_t>(p) * n + i] = v;
+      },
+      pin_threads);
+}
+
+/// y = sum_p coeffs[p] A^p x0 via the persistent-threads engine.
+template <class T>
+void fbmpk_engine_polynomial(const TriangularSplit<T>& s,
+                             const AbmcOrdering& o,
+                             const SweepSchedule& sched,
+                             std::span<const T> coeffs, std::span<const T> x0,
+                             std::span<T> y, SweepWorkspace<T>& ws,
+                             bool pin_threads = false) {
+  FBMPK_CHECK(!coeffs.empty());
+  FBMPK_CHECK(y.size() == x0.size());
+  const int k = static_cast<int>(coeffs.size()) - 1;
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = coeffs[0] * x0[i];
+  if (k == 0) return;
+  T* yp = y.data();
+  const T* cp = coeffs.data();
+  fbmpk_engine_sweep(
+      s, o, sched, x0, k, ws,
+      [&](int p, index_t i, T v) { yp[i] += cp[p] * v; },
+      pin_threads);
 }
 
 }  // namespace fbmpk

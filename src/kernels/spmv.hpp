@@ -12,6 +12,7 @@
 #include "kernels/tracer.hpp"
 #include "sparse/csr.hpp"
 #include "support/error.hpp"
+#include "support/threading.hpp"
 
 namespace fbmpk {
 
@@ -99,11 +100,9 @@ void spmv_traced(const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y,
       static_assert(MemoryTracer<Tr>);
       FBMPK_CHECK_MSG((std::is_same_v<Tr, NullTracer>),
                       "parallel SpMV cannot be traced");
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-      for (index_t i = 0; i < n; ++i)
+      parallel_for(n, [&](index_t i) {
         yp[i] = detail::row_dot_unrolled(ci, va, rp[i], rp[i + 1], xp, tr);
+      });
       break;
   }
 }

@@ -1,0 +1,118 @@
+// Precomputed sweep schedule for the persistent-threads parallel FBMPK
+// engine (docs/PARALLELISM.md).
+//
+// The barrier kernel in fbmpk_parallel.hpp opens one parallel region
+// but still pays a full team barrier after every color — 2·num_colors
+// barriers per forward/backward pair — and splits each color's blocks
+// by *count*, so one heavy block serializes its color. A SweepSchedule
+// fixes both at plan time:
+//
+//  - each color's blocks are distributed across threads by nnz (greedy
+//    LPT over the L/U row ranges, reorder/nnz_partition.hpp);
+//  - the full barriers are replaced by point-to-point dependencies: for
+//    every (thread, color) partition, the schedule lists exactly which
+//    other threads' earlier color stages must have completed, derived
+//    from the ABMC block quotient graph. A thread whose neighbors are
+//    done proceeds immediately — no convoy behind the slowest thread of
+//    an unrelated subdomain.
+//
+// Dependency rule (see docs/PARALLELISM.md for the derivation): in the
+// permuted matrix, a row of color c has lower neighbors only in colors
+// < c and upper neighbors only in colors > c. Per pair iteration the
+// stage order is F_0 … F_{C-1}, B_{C-1} … B_0; thread t may start F_c
+// once every owner u of a neighboring block with color c' < c has
+// finished its own F_{c'} of this pair (which, because each thread
+// walks stages in order, also implies u finished all earlier stages —
+// covering the B_{c'} reads of the previous pair and every
+// antidependency). Symmetrically, B_c may start once each neighbor
+// owner with color c' > c has finished B_{c'} of this pair. Head and
+// tail stages wait on all neighbor owners.
+//
+// A schedule is data for a fixed thread count; MpkPlan serializes it
+// (plan format v3) and rebuilds it when the runtime thread count
+// differs from the stored one.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "reorder/abmc.hpp"
+#include "reorder/nnz_partition.hpp"
+#include "sparse/split.hpp"
+#include "support/error.hpp"
+
+namespace fbmpk {
+
+/// One point-to-point wait: "thread `thread` must have completed its
+/// stage of color `color` (same sweep direction, same pair)".
+struct SweepDep {
+  index_t thread = 0;
+  index_t color = 0;
+  friend bool operator==(const SweepDep&, const SweepDep&) = default;
+};
+
+/// The precomputed partition + dependency structure. All CSR-style
+/// index arrays; POD vectors so plan_io can frame them directly.
+struct SweepSchedule {
+  index_t num_threads = 0;
+  index_t num_colors = 0;
+  index_t num_blocks = 0;
+
+  /// Blocks of (thread t, color c):
+  /// part_blocks[part_ptr[slot(t,c)] .. part_ptr[slot(t,c)+1]).
+  std::vector<index_t> part_ptr;
+  std::vector<index_t> part_blocks;
+
+  /// Forward-stage waits of (t, c): deps with color < c, at most one
+  /// per foreign thread (the max such color — waiting for it implies
+  /// all earlier ones).
+  std::vector<index_t> fwd_dep_ptr;
+  std::vector<SweepDep> fwd_deps;
+  /// Backward-stage waits of (t, c): deps with color > c, at most one
+  /// per foreign thread (the min such color).
+  std::vector<index_t> bwd_dep_ptr;
+  std::vector<SweepDep> bwd_deps;
+
+  /// Head/tail waits of thread t: every foreign thread owning any block
+  /// adjacent to one of t's blocks: all_deps[all_dep_ptr[t] ..
+  /// all_dep_ptr[t+1]).
+  std::vector<index_t> all_dep_ptr;
+  std::vector<index_t> all_deps;
+
+  /// nnz weight executed by (t, c) — the imbalance diagnostic.
+  std::vector<index_t> load;
+
+  bool empty() const { return num_threads == 0; }
+
+  std::size_t slot(index_t t, index_t c) const {
+    return static_cast<std::size_t>(t) * num_colors + c;
+  }
+};
+
+/// Build the schedule for `num_threads` persistent threads from the
+/// ABMC ordering and the permuted matrix's split triangle patterns.
+SweepSchedule build_sweep_schedule(const AbmcOrdering& o,
+                                   std::span<const index_t> lower_rp,
+                                   std::span<const index_t> lower_ci,
+                                   std::span<const index_t> upper_rp,
+                                   std::span<const index_t> upper_ci,
+                                   index_t num_threads);
+
+/// Convenience overload on a TriangularSplit of the permuted matrix.
+template <class T>
+SweepSchedule build_sweep_schedule(const AbmcOrdering& o,
+                                   const TriangularSplit<T>& s,
+                                   index_t num_threads) {
+  return build_sweep_schedule(o, s.lower.row_ptr(), s.lower.col_idx(),
+                              s.upper.row_ptr(), s.upper.col_idx(),
+                              num_threads);
+}
+
+/// Structural validation against the ordering it claims to schedule:
+/// shapes, partition-covers-every-color's-blocks-exactly-once, dep
+/// thread/color ranges, dep colors on the correct side of their stage.
+/// Returns false on any violation (used by plan deserialization, which
+/// maps false to kCorruptPlan).
+bool validate_sweep_schedule(const SweepSchedule& s, const AbmcOrdering& o);
+
+}  // namespace fbmpk

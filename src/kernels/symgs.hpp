@@ -21,6 +21,7 @@
 #include "reorder/abmc.hpp"
 #include "sparse/split.hpp"
 #include "support/error.hpp"
+#include "support/threading.hpp"
 
 namespace fbmpk {
 
@@ -95,15 +96,12 @@ void symgs_parallel(const TriangularSplit<T>& s, const AbmcOrdering& o,
   // impossible by coloring), already finished before this color's
   // barrier; j > i lies in a later color, not yet touched this sweep —
   // exactly the serial visitation semantics.
-#ifdef _OPENMP
-#pragma omp parallel default(shared)
-#endif
-  {
+  parallel_region([&](int t, int num_t) {
     for (index_t c = 0; c < o.num_colors; ++c) {
-#ifdef _OPENMP
-#pragma omp for schedule(static)
-#endif
-      for (index_t blk = o.color_ptr[c]; blk < o.color_ptr[c + 1]; ++blk) {
+      const auto r = static_chunk(o.color_ptr[c + 1] - o.color_ptr[c], t,
+                                  num_t);
+      for (index_t blk = o.color_ptr[c] + static_cast<index_t>(r.begin);
+           blk < o.color_ptr[c] + static_cast<index_t>(r.end); ++blk) {
         for (index_t i = o.block_ptr[blk]; i < o.block_ptr[blk + 1]; ++i) {
           if (d[i] == T{}) continue;
           T acc{};
@@ -112,12 +110,13 @@ void symgs_parallel(const TriangularSplit<T>& s, const AbmcOrdering& o,
           xp[i] = (bp[i] - acc) / d[i];
         }
       }
+      team_barrier();  // color c complete before c+1 starts
     }
     for (index_t c = o.num_colors; c-- > 0;) {
-#ifdef _OPENMP
-#pragma omp for schedule(static)
-#endif
-      for (index_t blk = o.color_ptr[c]; blk < o.color_ptr[c + 1]; ++blk) {
+      const auto r = static_chunk(o.color_ptr[c + 1] - o.color_ptr[c], t,
+                                  num_t);
+      for (index_t blk = o.color_ptr[c] + static_cast<index_t>(r.begin);
+           blk < o.color_ptr[c] + static_cast<index_t>(r.end); ++blk) {
         for (index_t i = o.block_ptr[blk + 1]; i-- > o.block_ptr[blk];) {
           if (d[i] == T{}) continue;
           T acc{};
@@ -126,8 +125,9 @@ void symgs_parallel(const TriangularSplit<T>& s, const AbmcOrdering& o,
           xp[i] = (bp[i] - acc) / d[i];
         }
       }
+      team_barrier();
     }
-  }
+  });
 }
 
 }  // namespace fbmpk

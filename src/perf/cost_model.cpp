@@ -119,4 +119,32 @@ double predict_fbmpk_scalability(const PlatformSpec& p,
   return base1 / fb_t;
 }
 
+PartitionImbalance partition_imbalance(const AbmcOrdering& o,
+                                       std::span<const index_t> weights,
+                                       index_t threads,
+                                       PartitionStrategy strategy) {
+  FBMPK_CHECK(threads >= 1);
+  const ColorPartition part = partition_colors(o, weights, threads, strategy);
+  PartitionImbalance result;
+  double weighted = 0.0, total = 0.0;
+  for (index_t c = 0; c < o.num_colors; ++c) {
+    long long color_nnz = 0;
+    long long max_load = 0;
+    for (index_t t = 0; t < threads; ++t) {
+      const long long load = part.load[part.slot(t, c)];
+      color_nnz += load;
+      max_load = std::max(max_load, load);
+    }
+    if (color_nnz == 0) continue;
+    const double mean_load =
+        static_cast<double>(color_nnz) / static_cast<double>(threads);
+    const double ratio = static_cast<double>(max_load) / mean_load;
+    result.worst = std::max(result.worst, ratio);
+    weighted += ratio * static_cast<double>(color_nnz);
+    total += static_cast<double>(color_nnz);
+  }
+  result.mean = total > 0.0 ? weighted / total : 1.0;
+  return result;
+}
+
 }  // namespace fbmpk::perf

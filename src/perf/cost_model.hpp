@@ -19,10 +19,12 @@
 // of Fig 7/8's platform spread, not absolute times.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "reorder/abmc.hpp"
+#include "reorder/nnz_partition.hpp"
 #include "sparse/csr.hpp"
 
 namespace fbmpk::perf {
@@ -84,5 +86,22 @@ double predict_fbmpk_seconds(const PlatformSpec& p, const WorkloadShape& w,
 /// normalization).
 double predict_fbmpk_scalability(const PlatformSpec& p,
                                  const WorkloadShape& w, int k, int threads);
+
+/// Load imbalance of a per-color thread partition, as max/mean nnz per
+/// thread. 1.0 is a perfect split; a color sweep finishes when its
+/// most-loaded thread does, so the ratio is the slowdown the partition
+/// itself costs (barriers aside).
+struct PartitionImbalance {
+  double worst = 1.0;  ///< max over colors
+  double mean = 1.0;   ///< nnz-weighted mean over colors
+};
+
+/// Evaluate `strategy` (block-static vs nnz-LPT) for an ordering at a
+/// given thread count; `weights` are per-block nnz weights
+/// (block_nnz_weights).
+PartitionImbalance partition_imbalance(const AbmcOrdering& o,
+                                       std::span<const index_t> weights,
+                                       index_t threads,
+                                       PartitionStrategy strategy);
 
 }  // namespace fbmpk::perf

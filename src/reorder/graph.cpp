@@ -36,4 +36,68 @@ AdjacencyGraph quotient_graph(const AdjacencyGraph& g,
   return q;
 }
 
+AdjacencyGraph block_quotient_from_split(std::span<const index_t> lower_rp,
+                                         std::span<const index_t> lower_ci,
+                                         std::span<const index_t> upper_rp,
+                                         std::span<const index_t> upper_ci,
+                                         std::span<const index_t> block_ptr) {
+  FBMPK_CHECK(!block_ptr.empty() && block_ptr.front() == 0);
+  const index_t n = block_ptr.back();
+  const auto num_blocks = static_cast<index_t>(block_ptr.size()) - 1;
+  FBMPK_CHECK(lower_rp.size() == static_cast<std::size_t>(n) + 1 &&
+              upper_rp.size() == static_cast<std::size_t>(n) + 1);
+
+  std::vector<index_t> block_of(static_cast<std::size_t>(n));
+  for (index_t b = 0; b < num_blocks; ++b) {
+    FBMPK_CHECK(block_ptr[b] <= block_ptr[b + 1]);
+    for (index_t r = block_ptr[b]; r < block_ptr[b + 1]; ++r) block_of[r] = b;
+  }
+
+  // Per-block neighbor sets. Every stored entry contributes the edge in
+  // BOTH directions — for unsymmetric matrices an L entry (i, j) has no
+  // mirrored U entry (j, i), yet the dependency it induces (and its
+  // antidependency) runs both ways. A last-seen stamp dedupes the
+  // forward direction within one source block's scan; the final
+  // sort+unique dedupes the rest.
+  std::vector<std::vector<index_t>> nbrs(static_cast<std::size_t>(num_blocks));
+  std::vector<index_t> stamp(static_cast<std::size_t>(num_blocks), -1);
+  for (index_t b = 0; b < num_blocks; ++b) {
+    for (index_t i = block_ptr[b]; i < block_ptr[b + 1]; ++i) {
+      for (index_t k = lower_rp[i]; k < lower_rp[i + 1]; ++k) {
+        const index_t nb = block_of[lower_ci[k]];
+        if (nb != b && stamp[nb] != b) {
+          stamp[nb] = b;
+          nbrs[b].push_back(nb);
+          nbrs[nb].push_back(b);
+        }
+      }
+      for (index_t k = upper_rp[i]; k < upper_rp[i + 1]; ++k) {
+        const index_t nb = block_of[upper_ci[k]];
+        if (nb != b && stamp[nb] != b) {
+          stamp[nb] = b;
+          nbrs[b].push_back(nb);
+          nbrs[nb].push_back(b);
+        }
+      }
+    }
+  }
+
+  AdjacencyGraph q;
+  q.n = num_blocks;
+  q.ptr.assign(static_cast<std::size_t>(num_blocks) + 1, 0);
+  std::size_t total = 0;
+  for (index_t b = 0; b < num_blocks; ++b) {
+    auto& list = nbrs[b];
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    total += list.size();
+  }
+  q.adj.reserve(total);
+  for (index_t b = 0; b < num_blocks; ++b) {
+    q.adj.insert(q.adj.end(), nbrs[b].begin(), nbrs[b].end());
+    q.ptr[b + 1] = static_cast<index_t>(q.adj.size());
+  }
+  return q;
+}
+
 }  // namespace fbmpk

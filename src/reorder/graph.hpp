@@ -6,6 +6,7 @@
 // used by ABMC.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "sparse/csr.hpp"
@@ -78,5 +79,19 @@ AdjacencyGraph adjacency_from_matrix(const CsrMatrix<T>& a) {
 AdjacencyGraph quotient_graph(const AdjacencyGraph& g,
                               const std::vector<index_t>& block_of,
                               index_t num_blocks);
+
+/// Block quotient graph rebuilt from two CSR *patterns* (the L and U
+/// triangles of a permuted matrix) and contiguous block row ranges
+/// (block b covers rows [block_ptr[b], block_ptr[b+1])). Equivalent to
+/// adjacency_from_matrix + quotient_graph but without materializing the
+/// row-level graph — this is what sweep-schedule planning runs on the
+/// already-split matrix. Both triangles together cover every
+/// off-diagonal entry, and since row i's L entry (i, j) mirrors row j's
+/// U entry (j, i), scanning both symmetrizes the pattern for free.
+AdjacencyGraph block_quotient_from_split(std::span<const index_t> lower_rp,
+                                         std::span<const index_t> lower_ci,
+                                         std::span<const index_t> upper_rp,
+                                         std::span<const index_t> upper_ci,
+                                         std::span<const index_t> block_ptr);
 
 }  // namespace fbmpk

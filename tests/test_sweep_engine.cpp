@@ -1,0 +1,347 @@
+// Tests for the persistent-threads sweep engine (docs/PARALLELISM.md):
+// the point-to-point engine must equal the serial FBMPK kernel bitwise
+// for every thread count, power parity and matrix family, the schedule
+// must validate structurally and survive plan serialization, and every
+// unsafe configuration must fall back to the barrier kernel rather
+// than produce a different answer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "core/plan.hpp"
+#include "core/plan_io.hpp"
+#include "gen/kkt.hpp"
+#include "gen/stencil.hpp"
+#include "kernels/fbmpk.hpp"
+#include "kernels/fbmpk_parallel.hpp"
+#include "kernels/sweep_schedule.hpp"
+#include "perf/cost_model.hpp"
+#include "reorder/abmc.hpp"
+#include "reorder/nnz_partition.hpp"
+#include "sparse/split.hpp"
+#include "support/threading.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+struct Prepared {
+  CsrMatrix<double> permuted;
+  TriangularSplit<double> split;
+  AbmcOrdering schedule;
+};
+
+Prepared prepare(const CsrMatrix<double>& a, index_t num_blocks) {
+  AbmcOptions opts;
+  opts.num_blocks = num_blocks;
+  Prepared p;
+  p.schedule = abmc_order(a, opts);
+  p.permuted = permute_symmetric(a, p.schedule.perm);
+  p.split = split_triangular(p.permuted);
+  return p;
+}
+
+/// Restores the OpenMP thread default when a test body returns.
+struct ThreadGuard {
+  int saved = max_threads();
+  ~ThreadGuard() { set_threads(saved); }
+};
+
+/// The matrix families named by the acceptance criteria: structured
+/// stencil, random symmetric, random unsymmetric, and a KKT saddle
+/// point (many colors, uneven block weights).
+std::vector<std::pair<std::string, CsrMatrix<double>>> test_matrices() {
+  std::vector<std::pair<std::string, CsrMatrix<double>>> out;
+  out.emplace_back("laplacian_2d", gen::make_laplacian_2d(16, 16));
+  out.emplace_back("random_sym", test::random_matrix(300, 7.0, true, 21));
+  out.emplace_back("random_unsym", test::random_matrix(300, 6.0, false, 22));
+  out.emplace_back("kkt_saddle", gen::make_kkt_saddle(5, 5, 5, {}));
+  return out;
+}
+
+class SweepEngineTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SweepEngineTest, BitwiseEqualsSerialAcrossMatrixFamilies) {
+  const auto [k, threads] = GetParam();
+  ThreadGuard guard;
+  set_threads(threads);
+  for (const auto& [name, a] : test_matrices()) {
+    const index_t n = a.rows();
+    const auto p = prepare(a, 24);
+    const auto sched =
+        build_sweep_schedule(p.schedule, p.split, threads);
+    ASSERT_TRUE(validate_sweep_schedule(sched, p.schedule)) << name;
+    const auto x = test::random_vector(n, 23);
+
+    AlignedVector<double> y_eng(n), y_ser(n);
+    SweepWorkspace<double> we;
+    FbWorkspace<double> ws;
+    fbmpk_engine_power<double>(p.split, p.schedule, sched, x, k, y_eng, we);
+    fbmpk_power<double>(p.split, x, k, y_ser, ws);
+    for (index_t i = 0; i < n; ++i)
+      ASSERT_EQ(y_eng[i], y_ser[i])
+          << name << " row " << i << " k=" << k << " threads=" << threads;
+  }
+}
+
+// Thread counts cross the container's core count on purpose
+// (oversubscription exercises the futex-wait path); k values cover odd
+// and even pair parities including the tail stage.
+INSTANTIATE_TEST_SUITE_P(
+    PowersAndThreads, SweepEngineTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 5, 8),
+                       ::testing::Values(1, 2, 4, 7)));
+
+TEST(SweepEngine, PowerAllMatchesSerialBitwise) {
+  ThreadGuard guard;
+  set_threads(4);
+  const auto a = test::random_matrix(200, 6.0, false, 31);
+  const auto p = prepare(a, 16);
+  const auto sched = build_sweep_schedule(p.schedule, p.split, 4);
+  const auto x = test::random_vector(200, 32);
+  const int k = 5;
+  AlignedVector<double> b_eng(200 * (k + 1)), b_ser(200 * (k + 1));
+  SweepWorkspace<double> we;
+  FbWorkspace<double> ws;
+  fbmpk_engine_power_all<double>(p.split, p.schedule, sched, x, k, b_eng, we);
+  fbmpk_power_all<double>(p.split, x, k, b_ser, ws);
+  for (std::size_t i = 0; i < b_eng.size(); ++i)
+    ASSERT_EQ(b_eng[i], b_ser[i]) << "entry " << i;
+}
+
+TEST(SweepEngine, PolynomialMatchesSerialBitwise) {
+  ThreadGuard guard;
+  set_threads(4);
+  const auto a = test::random_matrix(200, 6.0, true, 33);
+  const auto p = prepare(a, 16);
+  const auto sched = build_sweep_schedule(p.schedule, p.split, 4);
+  const auto x = test::random_vector(200, 34);
+  const AlignedVector<double> coeffs{2.0, -1.0, 0.5, -0.25, 0.125};
+  AlignedVector<double> y_eng(200), y_ser(200);
+  SweepWorkspace<double> we;
+  FbWorkspace<double> ws;
+  fbmpk_engine_polynomial<double>(p.split, p.schedule, sched, coeffs, x,
+                                  y_eng, we);
+  fbmpk_polynomial<double>(p.split, coeffs, x, y_ser, ws);
+  for (index_t i = 0; i < 200; ++i) ASSERT_EQ(y_eng[i], y_ser[i]);
+}
+
+TEST(SweepEngine, WorkspaceReusesAcrossPowersAndMatrices) {
+  // One workspace across changing k and changing matrix size: resize
+  // and the first-touch warm flag must not leak state between runs.
+  ThreadGuard guard;
+  set_threads(2);
+  SweepWorkspace<double> we;
+  for (const index_t n : {100, 240, 100}) {
+    const auto a = test::random_matrix(n, 6.0, true, 40 + n);
+    const auto p = prepare(a, 12);
+    const auto sched = build_sweep_schedule(p.schedule, p.split, 2);
+    const auto x = test::random_vector(n, 41);
+    for (const int k : {0, 1, 4, 5}) {
+      AlignedVector<double> y_eng(n), y_ser(n);
+      FbWorkspace<double> ws;
+      fbmpk_engine_power<double>(p.split, p.schedule, sched, x, k, y_eng,
+                                 we);
+      fbmpk_power<double>(p.split, x, k, y_ser, ws);
+      for (index_t i = 0; i < n; ++i)
+        ASSERT_EQ(y_eng[i], y_ser[i]) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(SweepEngine, OversubscribedScheduleFallsBackBitwiseCorrect) {
+  // A schedule built for more threads than the runtime offers cannot
+  // run point-to-point; try must refuse and the wrapper must still
+  // produce the serial answer through the barrier fallback.
+  ThreadGuard guard;
+  set_threads(2);
+  const auto a = test::random_matrix(150, 6.0, true, 51);
+  const auto p = prepare(a, 16);
+  const auto sched =
+      build_sweep_schedule(p.schedule, p.split, max_threads() + 14);
+  const auto x = test::random_vector(150, 52);
+
+  SweepWorkspace<double> we;
+  EXPECT_FALSE(fbmpk_engine_try_sweep<double>(
+      p.split, p.schedule, sched, x, 3, we, false,
+      [](int, index_t, double) {}));
+
+  AlignedVector<double> y_eng(150), y_ser(150);
+  FbWorkspace<double> ws;
+  fbmpk_engine_power<double>(p.split, p.schedule, sched, x, 3, y_eng, we);
+  fbmpk_power<double>(p.split, x, 3, y_ser, ws);
+  for (index_t i = 0; i < 150; ++i) ASSERT_EQ(y_eng[i], y_ser[i]);
+}
+
+TEST(SweepSchedule, ValidatesAndRejectsTampering) {
+  const auto a = test::random_matrix(250, 7.0, true, 61);
+  const auto p = prepare(a, 20);
+  for (const index_t t : {1, 2, 4, 7}) {
+    const auto sched = build_sweep_schedule(p.schedule, p.split, t);
+    EXPECT_TRUE(validate_sweep_schedule(sched, p.schedule)) << t;
+    EXPECT_EQ(sched.num_threads, t);
+    EXPECT_EQ(sched.num_colors, p.schedule.num_colors);
+    EXPECT_EQ(sched.num_blocks, p.schedule.num_blocks);
+  }
+
+  auto sched = build_sweep_schedule(p.schedule, p.split, 3);
+  {
+    auto broken = sched;  // a block assigned to the wrong color slot
+    ASSERT_GE(broken.part_blocks.size(), 2u);
+    std::swap(broken.part_blocks.front(), broken.part_blocks.back());
+    EXPECT_FALSE(validate_sweep_schedule(broken, p.schedule));
+  }
+  {
+    auto broken = sched;  // dep pointing at a thread outside the team
+    if (!broken.fwd_deps.empty()) {
+      broken.fwd_deps.front().thread = broken.num_threads;
+      EXPECT_FALSE(validate_sweep_schedule(broken, p.schedule));
+    }
+  }
+  {
+    auto broken = sched;  // non-monotone partition pointer
+    broken.part_ptr.back() += 1;
+    EXPECT_FALSE(validate_sweep_schedule(broken, p.schedule));
+  }
+}
+
+TEST(SweepSchedule, LptBalancesSkewedWeightsBetterThanStatic) {
+  // One color, one heavy block: static by-count puts the heavy block
+  // plus half the light ones on thread 0 (load 11); LPT isolates it
+  // (load 8 vs 7).
+  AbmcOrdering o;
+  o.num_blocks = 8;
+  o.num_colors = 1;
+  o.color_ptr = {0, 8};
+  const std::vector<index_t> w{8, 1, 1, 1, 1, 1, 1, 1};
+
+  const auto stat =
+      partition_colors(o, w, 2, PartitionStrategy::kBlockStatic);
+  const auto lpt = partition_colors(o, w, 2, PartitionStrategy::kNnzLpt);
+  const auto max_load = [](const ColorPartition& p) {
+    index_t m = 0;
+    for (index_t l : p.load) m = std::max(m, l);
+    return m;
+  };
+  EXPECT_EQ(max_load(stat), 11);
+  EXPECT_EQ(max_load(lpt), 8);
+}
+
+TEST(SweepSchedule, ImbalanceMetricIsSaneOnRealMatrix) {
+  const auto a = test::random_matrix(400, 8.0, true, 71);
+  const auto p = prepare(a, 32);
+  const auto w = block_nnz_weights(p.schedule, p.split.lower.row_ptr(),
+                                   p.split.upper.row_ptr());
+  for (const auto strat :
+       {PartitionStrategy::kBlockStatic, PartitionStrategy::kNnzLpt}) {
+    const auto imb = perf::partition_imbalance(p.schedule, w, 4, strat);
+    EXPECT_GE(imb.worst, imb.mean);
+    EXPECT_GE(imb.mean, 1.0);
+  }
+}
+
+TEST(SweepPlanIo, PointToPointPlanRoundTrips) {
+  const auto a = gen::make_laplacian_3d(8, 8, 8);
+  PlanOptions opts;
+  opts.sweep.sync = SweepSync::kPointToPoint;
+  opts.sweep.threads = 2;
+  auto plan = MpkPlan::build(a, opts);
+  ASSERT_FALSE(plan.sweep_schedule().empty());
+  EXPECT_EQ(plan.sweep_schedule().num_threads, 2);
+  EXPECT_EQ(plan.stats().sweep_threads, 2);
+
+  std::stringstream buf;
+  save_plan(plan, buf);
+  auto loaded = load_plan(buf);
+  EXPECT_EQ(loaded.options().sweep.sync, SweepSync::kPointToPoint);
+  EXPECT_EQ(loaded.options().sweep.threads, 2);
+  ASSERT_FALSE(loaded.sweep_schedule().empty());
+  EXPECT_EQ(loaded.sweep_schedule().num_threads, 2);
+  EXPECT_EQ(loaded.sweep_schedule().part_blocks,
+            plan.sweep_schedule().part_blocks);
+  EXPECT_TRUE(
+      validate_sweep_schedule(loaded.sweep_schedule(), loaded.schedule()));
+
+  const auto x = test::random_vector(a.rows(), 81);
+  AlignedVector<double> ya(a.rows()), yb(a.rows());
+  plan.power(x, 6, ya);
+  loaded.power(x, 6, yb);
+  for (index_t i = 0; i < a.rows(); ++i) ASSERT_EQ(ya[i], yb[i]);
+}
+
+TEST(SweepPlanIo, PointToPointPlanMatchesBarrierPlanBitwise) {
+  // Same ABMC schedule, different synchronization: the engine performs
+  // the identical FP operations per row, so the two plans must agree
+  // bitwise, not just approximately.
+  ThreadGuard guard;
+  set_threads(4);
+  const auto a = test::random_matrix(300, 7.0, true, 82);
+  PlanOptions barrier_opts;
+  auto barrier_plan = MpkPlan::build(a, barrier_opts);
+  PlanOptions p2p_opts;
+  p2p_opts.sweep.sync = SweepSync::kPointToPoint;
+  auto p2p_plan = MpkPlan::build(a, p2p_opts);
+
+  const auto x = test::random_vector(300, 83);
+  for (const int k : {1, 4, 7}) {
+    AlignedVector<double> yb(300), yp(300);
+    barrier_plan.power(x, k, yb);
+    p2p_plan.power(x, k, yp);
+    for (index_t i = 0; i < 300; ++i) ASSERT_EQ(yb[i], yp[i]) << "k=" << k;
+  }
+}
+
+TEST(SweepPlanIo, CorruptedSweepBytesAreTypedError) {
+  const auto a = gen::make_laplacian_2d(12, 12);
+  PlanOptions opts;
+  opts.sweep.sync = SweepSync::kPointToPoint;
+  opts.sweep.threads = 2;
+  auto plan = MpkPlan::build(a, opts);
+  std::stringstream buf;
+  save_plan(plan, buf);
+  const std::string full = buf.str();
+
+  // Flip bytes at several payload offsets (the SWEP section sits
+  // between SCHD and LVLS; the CRC turns any flip into a typed error).
+  for (const std::size_t pos :
+       {full.size() / 3, full.size() / 2, full.size() - 9}) {
+    std::string corrupt = full;
+    corrupt[pos] = static_cast<char>(
+        static_cast<unsigned char>(corrupt[pos]) ^ 0xff);
+    std::stringstream cbuf(corrupt);
+    const auto r = try_load_plan(cbuf);
+    ASSERT_FALSE(r) << "flip at " << pos << " accepted";
+    EXPECT_EQ(r.code(), ErrorCode::kCorruptPlan) << "flip at " << pos;
+  }
+}
+
+TEST(SweepPlanIo, RebuildsScheduleWhenRuntimeThreadsDiffer) {
+  if (!has_openmp()) GTEST_SKIP() << "thread count fixed without OpenMP";
+  ThreadGuard guard;
+  set_threads(4);
+  const auto a = gen::make_laplacian_2d(14, 14);
+  PlanOptions opts;
+  opts.sweep.sync = SweepSync::kPointToPoint;  // threads = 0: runtime default
+  auto plan = MpkPlan::build(a, opts);
+  ASSERT_EQ(plan.sweep_schedule().num_threads, 4);
+  std::stringstream buf;
+  save_plan(plan, buf);
+
+  set_threads(2);  // loading host differs from the build host
+  auto loaded = load_plan(buf);
+  ASSERT_FALSE(loaded.sweep_schedule().empty());
+  EXPECT_EQ(loaded.sweep_schedule().num_threads, 2);
+  EXPECT_TRUE(
+      validate_sweep_schedule(loaded.sweep_schedule(), loaded.schedule()));
+
+  const auto x = test::random_vector(a.rows(), 91);
+  AlignedVector<double> ya(a.rows()), yb(a.rows());
+  plan.power(x, 5, ya);
+  loaded.power(x, 5, yb);
+  for (index_t i = 0; i < a.rows(); ++i) ASSERT_EQ(ya[i], yb[i]);
+}
+
+}  // namespace
+}  // namespace fbmpk
