@@ -109,10 +109,13 @@ struct JsonRecord {
 };
 
 /// Accumulates records and writes `BENCH_<name>.json` on write() (or
-/// destruction). The schema is a flat array of objects — stable keys,
-/// no nesting — so `jq`/pandas can consume it directly.
+/// destruction). Schema v2: a top-level object `{"schema_version": 2,
+/// "records": [...]}` where each record keeps the flat stable keys of
+/// v1, so `jq .records` / pandas can consume it directly.
 class JsonReport {
  public:
+  static constexpr int kSchemaVersion = 2;
+
   explicit JsonReport(std::string name) : name_(std::move(name)) {}
   ~JsonReport() {
     if (!written_) write();
@@ -131,6 +134,35 @@ class JsonReport {
     return 2.0 * static_cast<double>(shape.nnz) * sweeps / seconds / 1e9;
   }
 
+  /// JSON string escaping (RFC 8259): quotes, backslashes and control
+  /// characters. Matrix/kernel labels are normally plain identifiers,
+  /// but a hostile --matrices flag must not produce invalid JSON.
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
   void write() {
     written_ = true;
     const std::string path = "BENCH_" + name_ + ".json";
@@ -139,17 +171,18 @@ class JsonReport {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
       return;
     }
-    out << "[\n";
+    out << "{\n\"schema_version\": " << kSchemaVersion << ",\n"
+        << "\"records\": [\n";
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const JsonRecord& r = records_[i];
-      out << "  {\"matrix\": \"" << r.matrix << "\", \"kernel\": \""
-          << r.kernel << "\", \"k\": " << r.k
+      out << "  {\"matrix\": \"" << escape(r.matrix) << "\", \"kernel\": \""
+          << escape(r.kernel) << "\", \"k\": " << r.k
           << ", \"threads\": " << r.threads << ", \"seconds\": " << r.seconds
           << ", \"gflops\": " << r.gflops
           << ", \"bytes_moved\": " << r.bytes_moved << "}"
           << (i + 1 < records_.size() ? ",\n" : "\n");
     }
-    out << "]\n";
+    out << "]\n}\n";
     std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
   }
 

@@ -3,7 +3,8 @@
 // store it next to the matrix, reload and run it many times.
 //
 //   fbmpk_cli plan  --matrix=<src> --out=plan.bin [--blocks=512]
-//                   [--autotune-k=5]
+//                   [--autotune-k=5] [--backend=auto|scalar|avx2|avx512]
+//                   [--index-compress] [--prefetch-dist=16]
 //   fbmpk_cli info  --plan=plan.bin
 //   fbmpk_cli power --plan=plan.bin --k=5 [--x=x.txt] [--out=y.txt]
 //   fbmpk_cli poly  --plan=plan.bin --coeffs=1,0.5,0.25 [--x=...] [--out=...]
@@ -33,8 +34,11 @@ Args parse_flags(int argc, char** argv, int first) {
     const std::string arg = argv[i];
     FBMPK_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got " << arg);
     const auto eq = arg.find('=');
-    FBMPK_CHECK_MSG(eq != std::string::npos, "flag needs a value: " << arg);
-    args[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    // A bare "--flag" is a boolean switch: store "1".
+    if (eq == std::string::npos)
+      args.insert_or_assign(arg.substr(2), std::string("1"));
+    else
+      args.insert_or_assign(arg.substr(2, eq - 2), arg.substr(eq + 1));
   }
   return args;
 }
@@ -107,6 +111,11 @@ int cmd_plan(const Args& args) {
   }
   opts.sweep.threads =
       static_cast<index_t>(std::stoi(get(args, "sweep-threads", "0")));
+  // Row-kernel configuration. "scalar" keeps the exact mode; anything
+  // else opts into fast mode (docs/KERNELS.md).
+  opts.kernel_backend = parse_backend(get(args, "backend", "scalar"));
+  opts.index_compress = get(args, "index-compress", "0") != "0";
+  opts.prefetch_dist = std::stoi(get(args, "prefetch-dist", "16"));
   MpkPlan plan = [&] {
     if (args.count("autotune-k") != 0) {
       const int k = std::stoi(args.at("autotune-k"));
@@ -131,6 +140,8 @@ int cmd_plan(const Args& args) {
               static_cast<int>(plan.stats().num_blocks),
               static_cast<int>(plan.stats().num_colors),
               plan.stats().build_seconds * 1e3, out.c_str());
+  std::printf("kernel: backend=%s%s\n", backend_name(plan.resolved_backend()),
+              plan.options().index_compress ? ", compressed indices" : "");
   return 0;
 }
 
@@ -152,6 +163,18 @@ int cmd_info(const Args& args) {
                 plan.options().sweep.pin_threads ? ", pinned" : "");
   else
     std::printf("sweep:           barrier\n");
+  std::printf("kernel:          %s (stored %s), prefetch=%d\n",
+              backend_name(plan.resolved_backend()),
+              backend_name(plan.options().kernel_backend),
+              plan.options().prefetch_dist);
+  if (plan.options().index_compress)
+    std::printf("indices:         compressed, %.2f bytes/nnz sidecar "
+                "(%.2f MB)\n",
+                plan.packed_index().bytes_per_nnz(),
+                static_cast<double>(st.packed_index_bytes) /
+                    (1024.0 * 1024.0));
+  else
+    std::printf("indices:         plain (%zu-byte)\n", sizeof(index_t));
   return 0;
 }
 
@@ -195,6 +218,8 @@ int main(int argc, char** argv) {
                  "  plan  --matrix=suite:pwtk|file:a.mtx --out=plan.bin"
                  " [--blocks=512] [--autotune-k=5]\n"
                  "        [--sweep=barrier|p2p] [--sweep-threads=0]\n"
+                 "        [--backend=auto|scalar|generic|avx2|avx512]"
+                 " [--index-compress] [--prefetch-dist=16]\n"
                  "  info  --plan=plan.bin\n"
                  "  power --plan=plan.bin --k=5 [--x=x.txt] [--out=y.txt]\n"
                  "  poly  --plan=plan.bin --coeffs=1,0.5 [--x=] [--out=]\n",

@@ -92,13 +92,84 @@ SweepSyncResult autotune_sweep_sync(const CsrMatrix<double>& a, int k,
   return result;
 }
 
+KernelConfigResult autotune_kernel_config(const CsrMatrix<double>& a, int k,
+                                          int reps, PlanOptions base,
+                                          bool allow_fast) {
+  FBMPK_CHECK(k >= 1 && reps >= 1);
+  KernelConfigResult result;
+
+  // The plan builder only routes dispatched kernels through the BtB
+  // variant and the ABMC/serial schedulers; elsewhere the scalar/plain
+  // baseline is the only legal configuration.
+  const bool dispatch_ok =
+      base.variant == FbVariant::kBtb &&
+      !(base.parallel && base.scheduler == Scheduler::kLevels);
+
+  struct Candidate {
+    KernelBackend backend;
+    bool compress;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({KernelBackend::kScalar, false});
+  if (dispatch_ok) {
+    candidates.push_back({KernelBackend::kScalar, true});
+    if (allow_fast) {
+      const KernelBackend fast = resolve_backend(KernelBackend::kAuto);
+      if (fast != KernelBackend::kScalar) {
+        candidates.push_back({fast, false});
+        candidates.push_back({fast, true});
+      }
+    }
+  }
+
+  const index_t n = a.rows();
+  Rng rng(0x47u);
+  AlignedVector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+  AlignedVector<double> y(static_cast<std::size_t>(n));
+
+  for (const Candidate& c : candidates) {
+    PlanOptions opts = base;
+    opts.kernel_backend = c.backend;
+    opts.index_compress = c.compress;
+    MpkPlan plan = MpkPlan::build(a, opts);
+
+    MpkPlan::Workspace ws;
+    plan.power(x, k, y, ws);  // warmup (first touch of workspaces)
+    RunningStats stats;
+    for (int r = 0; r < reps; ++r) {
+      Timer t;
+      plan.power(x, k, y, ws);
+      stats.add(t.seconds());
+    }
+
+    KernelConfigSample sample;
+    sample.backend = c.backend;
+    sample.index_compress = c.compress;
+    sample.seconds = stats.median();
+    sample.packed_index_bytes = plan.stats().packed_index_bytes;
+    result.samples.push_back(sample);
+
+    if (result.samples.size() == 1 || sample.seconds < result.best_seconds) {
+      result.best_backend = c.backend;
+      result.best_index_compress = c.compress;
+      result.best_seconds = sample.seconds;
+    }
+  }
+  return result;
+}
+
 MpkPlan build_autotuned_plan(const CsrMatrix<double>& a, int k,
-                             PlanOptions base) {
+                             PlanOptions base, bool allow_fast_kernels) {
   const AutotuneResult tuned = autotune_block_count(
       a, k, default_block_candidates(), /*reps=*/3, base);
   base.abmc.num_blocks = tuned.best_blocks;
   if (base.parallel && base.scheduler == Scheduler::kAbmc)
     base.sweep.sync = autotune_sweep_sync(a, k, /*reps=*/3, base).best;
+  const KernelConfigResult kcfg =
+      autotune_kernel_config(a, k, /*reps=*/3, base, allow_fast_kernels);
+  base.kernel_backend = kcfg.best_backend;
+  base.index_compress = kcfg.best_index_compress;
   return MpkPlan::build(a, base);
 }
 

@@ -53,9 +53,40 @@ AutotuneResult autotune_block_count(
     std::span<const index_t> candidates = default_block_candidates(),
     int reps = 3, PlanOptions base = {});
 
-/// Convenience: build a plan with the autotuned block count and, for
-/// parallel ABMC plans, the autotuned sweep synchronization.
+/// One measured row-kernel configuration.
+struct KernelConfigSample {
+  KernelBackend backend = KernelBackend::kScalar;
+  bool index_compress = false;
+  double seconds = 0.0;            ///< median kernel time for A^k x
+  std::size_t packed_index_bytes = 0;  ///< sidecar size (0 when plain)
+};
+
+struct KernelConfigResult {
+  KernelBackend best_backend = KernelBackend::kScalar;
+  bool best_index_compress = false;
+  double best_seconds = 0.0;
+  std::vector<KernelConfigSample> samples;  ///< in candidate order
+};
+
+/// Measure y = A^k x across row-kernel configurations — the exact
+/// scalar backend vs the widest available vector backend, each with
+/// plain and band-compressed column indices — and pick the fastest.
+/// Vector (fast-mode) candidates are only tried when `allow_fast` is
+/// set: fast mode trades the bitwise serial<->parallel identity for a
+/// bounded reassociation error (docs/KERNELS.md), so the caller must
+/// opt in. Configurations the plan builder rejects (split variant,
+/// parallel level scheduler) are skipped, leaving the scalar/plain
+/// baseline.
+KernelConfigResult autotune_kernel_config(const CsrMatrix<double>& a, int k,
+                                          int reps = 3, PlanOptions base = {},
+                                          bool allow_fast = false);
+
+/// Convenience: build a plan with the autotuned block count, for
+/// parallel ABMC plans the autotuned sweep synchronization, and — only
+/// when `allow_fast_kernels` opts in — the autotuned row-kernel
+/// backend / index compression.
 MpkPlan build_autotuned_plan(const CsrMatrix<double>& a, int k,
-                             PlanOptions base = {});
+                             PlanOptions base = {},
+                             bool allow_fast_kernels = false);
 
 }  // namespace fbmpk

@@ -8,6 +8,8 @@
 #include "gen/random_sparse.hpp"        // unstructured generators
 #include "gen/stencil.hpp"              // structured-grid generators
 #include "gen/suite.hpp"                // evaluation-suite generators
+#include "kernels/dispatch.hpp"         // runtime row-kernel backends
+#include "kernels/fb_simd.hpp"          // fast-mode (dispatched) sweeps
 #include "kernels/fbmpk.hpp"            // serial FBMPK kernels
 #include "kernels/fbmpk_parallel.hpp"   // color-scheduled parallel FBMPK
 #include "kernels/mpk_baseline.hpp"     // standard MPK baseline
@@ -18,6 +20,7 @@
 #include "reorder/rcm.hpp"              // RCM ordering
 #include "sparse/csr.hpp"               // CSR storage
 #include "sparse/mm_io.hpp"             // Matrix Market I/O
+#include "sparse/packed_tri.hpp"        // band-compressed column indices
 #include "sparse/sell.hpp"              // SELL-C-sigma format
 #include "sparse/split.hpp"             // triangular split
 #include "solvers/solvers.hpp"          // CG/PCG, Chebyshev, multigrid, eigen

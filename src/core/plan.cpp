@@ -18,6 +18,20 @@ MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
       !opts.parallel || opts.reorder || opts.scheduler == Scheduler::kLevels,
       "ABMC-scheduled parallel execution requires the reorder; use "
       "Scheduler::kLevels to run parallel without reordering");
+  const bool wants_dispatch =
+      opts.kernel_backend != KernelBackend::kScalar || opts.index_compress;
+  FBMPK_CHECK_CODE(!wants_dispatch || opts.variant == FbVariant::kBtb,
+                   ErrorCode::kUnsupported,
+                   "fast kernel backends / index compression cover the BtB "
+                   "variant only");
+  FBMPK_CHECK_CODE(
+      !(wants_dispatch && opts.parallel &&
+        opts.scheduler == Scheduler::kLevels),
+      ErrorCode::kUnsupported,
+      "fast kernel backends are not wired into the level scheduler");
+  FBMPK_CHECK_MSG(opts.prefetch_dist >= 0 && opts.prefetch_dist <= 1024,
+                  "prefetch_dist must be in [0, 1024], got "
+                      << opts.prefetch_dist);
   if (opts.validate_input) check_matrix(a, opts.sanitize);
 
   Timer total;
@@ -55,14 +69,58 @@ MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
     plan.stats_.sweep_threads = threads;
   }
 
+  if (opts.index_compress) {
+    plan.packed_.lower = PackedTriangleIndex::build(plan.split_.lower);
+    plan.packed_.upper = PackedTriangleIndex::build(plan.split_.upper);
+    plan.stats_.packed_index_bytes = plan.packed_.index_bytes();
+  }
+  // Resolve the executing backend now so an impossible explicit request
+  // fails at build, not at the first power() call. kAuto goes through
+  // the CPUID probe.
+  if (opts.kernel_backend != KernelBackend::kAuto)
+    FBMPK_CHECK_CODE(backend_available(opts.kernel_backend),
+                     ErrorCode::kUnsupported,
+                     "kernel backend "
+                         << backend_name(opts.kernel_backend)
+                         << " is not available on this CPU");
+  plan.resolved_backend_ = resolve_backend(opts.kernel_backend);
+
   plan.stats_.storage_bytes = plan.split_.storage_bytes();
   plan.internal_ws_ = std::make_unique<Workspace>();
   plan.stats_.build_seconds = total.seconds();
   return plan;
 }
 
+DispatchRows MpkPlan::dispatch_rows() const {
+  return make_dispatch_rows(split_,
+                            opts_.index_compress ? &packed_ : nullptr,
+                            row_kernels(resolved_backend_),
+                            opts_.prefetch_dist);
+}
+
 void MpkPlan::run_power(std::span<const double> px, int k,
                         std::span<double> py, Workspace& ws) const {
+  if (use_dispatch()) {
+    const DispatchRows rows = dispatch_rows();
+    if (!opts_.parallel) {
+      fbmpk_power_fast(split_, rows, px, k, py, ws.fb);
+      return;
+    }
+    if (k == 0) {
+      std::copy(px.begin(), px.end(), py.begin());
+      return;
+    }
+    double* yp = py.data();
+    auto emit = [&](int p, index_t i, double v) {
+      if (p == k) yp[i] = v;
+    };
+    if (use_engine())
+      fbmpk_engine_sweep_rows(split_, schedule_, sweep_schedule_, rows, px, k,
+                              ws.sweep, emit, opts_.sweep.pin_threads);
+    else
+      fbmpk_parallel_sweep_rows(split_, schedule_, rows, px, k, ws.fb, emit);
+    return;
+  }
   if (!opts_.parallel) {
     fbmpk_power(split_, px, k, py, ws.fb, opts_.variant);
     return;
@@ -85,6 +143,17 @@ void MpkPlan::run_power_all(std::span<const double> px, int k,
   auto emit = [&](int p, index_t i, double v) {
     op[static_cast<std::size_t>(p) * n + i] = v;
   };
+  if (use_dispatch()) {
+    const DispatchRows rows = dispatch_rows();
+    if (!opts_.parallel)
+      fbmpk_sweep_btb_fast(split_, rows, px, k, ws.fb, emit);
+    else if (use_engine())
+      fbmpk_engine_sweep_rows(split_, schedule_, sweep_schedule_, rows, px, k,
+                              ws.sweep, emit, opts_.sweep.pin_threads);
+    else
+      fbmpk_parallel_sweep_rows(split_, schedule_, rows, px, k, ws.fb, emit);
+    return;
+  }
   if (!opts_.parallel)
     fbmpk_sweep(split_, px, k, ws.fb, emit, opts_.variant);
   else if (opts_.scheduler == Scheduler::kLevels)
@@ -105,6 +174,17 @@ void MpkPlan::run_polynomial(std::span<const double> coeffs,
   double* yp = py.data();
   const double* cp = coeffs.data();
   auto emit = [&](int p, index_t i, double v) { yp[i] += cp[p] * v; };
+  if (use_dispatch()) {
+    const DispatchRows rows = dispatch_rows();
+    if (!opts_.parallel)
+      fbmpk_sweep_btb_fast(split_, rows, px, k, ws.fb, emit);
+    else if (use_engine())
+      fbmpk_engine_sweep_rows(split_, schedule_, sweep_schedule_, rows, px, k,
+                              ws.sweep, emit, opts_.sweep.pin_threads);
+    else
+      fbmpk_parallel_sweep_rows(split_, schedule_, rows, px, k, ws.fb, emit);
+    return;
+  }
   if (!opts_.parallel)
     fbmpk_sweep(split_, px, k, ws.fb, emit, opts_.variant);
   else if (opts_.scheduler == Scheduler::kLevels)
@@ -264,7 +344,14 @@ void MpkPlan::polynomial(std::span<const std::complex<double>> coeffs,
   if (k >= 1) {
     const std::complex<double>* cp = coeffs.data();
     auto emit = [&](int p, index_t i, double v) { acc[i] += cp[p] * v; };
-    if (!opts_.parallel)
+    if (use_dispatch()) {
+      const DispatchRows rows = dispatch_rows();
+      if (!opts_.parallel)
+        fbmpk_sweep_btb_fast(split_, rows, px, k, ws.fb, emit);
+      else
+        fbmpk_parallel_sweep_rows(split_, schedule_, rows, px, k, ws.fb,
+                                  emit);
+    } else if (!opts_.parallel)
       fbmpk_sweep(split_, px, k, ws.fb, emit, opts_.variant);
     else if (opts_.scheduler == Scheduler::kLevels)
       fbmpk_level_sweep(split_, levels_, px, k, ws.fb, emit);

@@ -22,11 +22,13 @@
 #include <memory>
 #include <span>
 
+#include "kernels/fb_simd.hpp"
 #include "kernels/fbmpk.hpp"
 #include "kernels/fbmpk_level.hpp"
 #include "kernels/fbmpk_parallel.hpp"
 #include "kernels/fbmpk_recurrence.hpp"
 #include "kernels/sweep_schedule.hpp"
+#include "sparse/packed_tri.hpp"
 #include "reorder/abmc.hpp"
 #include "reorder/permutation.hpp"
 #include "sparse/csr.hpp"
@@ -84,6 +86,24 @@ struct PlanOptions {
   /// D^-1-consuming workloads, or policy kWarnOnly to opt out.
   bool validate_input = true;
   SanitizeOptions sanitize;
+  /// Row-kernel backend (kernels/dispatch.hpp). kScalar (default) is
+  /// the exact mode: bitwise-identical serial <-> parallel, required
+  /// by the solvers' reproducibility contract. Anything else opts into
+  /// fast mode — vectorized row dots with a bounded reassociation
+  /// error (see docs/KERNELS.md). kAuto resolves via CPUID once per
+  /// process. Fast mode covers the BtB variant and the ABMC/serial
+  /// schedulers only.
+  KernelBackend kernel_backend = KernelBackend::kScalar;
+  /// Store triangle column indices band-compressed (u16 offsets from a
+  /// per-band base, full-width fallback per band). Cuts index traffic
+  /// roughly in half on banded matrices; results stay bitwise
+  /// identical under the scalar backend (the decode twins replicate
+  /// the exact accumulation order).
+  bool index_compress = false;
+  /// Software-prefetch lookahead (in nonzeros) for the col/val streams
+  /// of dispatched kernels; 0 disables. Ignored by the exact scalar
+  /// backend.
+  int prefetch_dist = 16;
 };
 
 /// Timing/shape metadata captured at build.
@@ -96,6 +116,9 @@ struct PlanStats {
   index_t num_levels_backward = 0;  ///< level scheduler only
   index_t sweep_threads = 0;  ///< point-to-point engine only
   std::size_t storage_bytes = 0;  ///< bytes held by L + U + d
+  /// Bytes of the compressed column sidecar (0 when index_compress is
+  /// off). Compare against 2 * nnz(L) … see perf/traffic_model.
+  std::size_t packed_index_bytes = 0;
 };
 
 class MpkPlan {
@@ -122,6 +145,11 @@ class MpkPlan {
   const AbmcOrdering& schedule() const { return schedule_; }
   const SweepSchedule& sweep_schedule() const { return sweep_schedule_; }
   const TriangularSplit<double>& split() const { return split_; }
+  const PackedSplitIndex& packed_index() const { return packed_; }
+  /// Concrete backend this plan executes with (kAuto already resolved;
+  /// a loaded plan whose stored backend is unavailable on this CPU is
+  /// re-resolved portably).
+  KernelBackend resolved_backend() const { return resolved_backend_; }
 
   /// y = A^k x (k >= 0). x and y may alias only if identical spans.
   void power(std::span<const double> x, int k, std::span<double> y,
@@ -173,6 +201,14 @@ class MpkPlan {
     return opts_.sweep.sync == SweepSync::kPointToPoint &&
            !sweep_schedule_.empty();
   }
+  /// True when the sweeps route through the runtime-dispatched row
+  /// kernels (non-scalar backend and/or compressed indices) instead of
+  /// the exact fb_detail path.
+  bool use_dispatch() const {
+    return resolved_backend_ != KernelBackend::kScalar ||
+           opts_.index_compress;
+  }
+  DispatchRows dispatch_rows() const;
 
   void run_power(std::span<const double> px, int k, std::span<double> py,
                  Workspace& ws) const;
@@ -190,6 +226,10 @@ class MpkPlan {
   LevelSchedulePair levels_; ///< populated for the level scheduler
   SweepSchedule sweep_schedule_;  ///< point-to-point sync only
   TriangularSplit<double> split_;
+  PackedSplitIndex packed_;  ///< populated when index_compress is on
+  /// Concrete executing backend; derived from opts_.kernel_backend at
+  /// build/load time, never serialized.
+  KernelBackend resolved_backend_ = KernelBackend::kScalar;
   std::unique_ptr<Workspace> internal_ws_;  // for convenience overloads
 };
 

@@ -35,14 +35,18 @@ namespace {
 //
 // v3 added the sweep-engine options to OPTS, the SWEP section (the
 // persistent-threads SweepSchedule), and the sweep_threads stats
-// field. v1/v2 files are rejected with kVersionMismatch. A loaded
-// schedule is structurally re-validated (validate_sweep_schedule) and
-// rebuilt from the split when its stored thread count does not match
-// the runtime's.
+// field. v4 added the kernel-backend / index-compression / prefetch
+// options to OPTS, the packed_index_bytes stats field, and the PCKD
+// section (both triangles' compressed column sidecars). v1-v3 files
+// are rejected with kVersionMismatch. A loaded schedule is
+// structurally re-validated (validate_sweep_schedule) and rebuilt from
+// the split when its stored thread count does not match the runtime's;
+// a loaded packed sidecar is decode-compared against the split's
+// column stream (any mismatch -> kCorruptPlan).
 // ---------------------------------------------------------------------------
 
 constexpr char kMagic[8] = {'F', 'B', 'M', 'P', 'K', 'P', 'L', 'N'};
-constexpr std::uint32_t kVersion = 3;
+constexpr std::uint32_t kVersion = 4;
 
 // Section tags, in the order they are written.
 enum : std::uint32_t {
@@ -53,6 +57,7 @@ enum : std::uint32_t {
   kSecSweep = 0x53574550,     // 'SWEP'
   kSecLevels = 0x4C564C53,    // 'LVLS'
   kSecSplit = 0x53504C54,     // 'SPLT'
+  kSecPacked = 0x50434B44,    // 'PCKD'
 };
 
 // Serialized payloads are bounded: a section or vector claiming more
@@ -260,6 +265,37 @@ LevelSchedule read_level_schedule(BlobReader& r) {
   return s;
 }
 
+void write_packed(BlobWriter& w, const PackedTriangleIndex& p) {
+  const PackedTriangleIndex::Raw raw = p.to_raw();
+  w.pod(raw.rows);
+  w.pod(raw.nnz);
+  w.pod(raw.band_shift);
+  w.vec(raw.band_base);
+  w.vec(raw.band_wide);
+  w.vec(raw.band_off);
+  w.vec(raw.band_gbase);
+  w.vec(raw.col16);
+  w.vec(raw.col32);
+}
+
+PackedTriangleIndex read_packed(BlobReader& r, const char* name) {
+  PackedTriangleIndex::Raw raw;
+  raw.rows = r.pod<index_t>();
+  raw.nnz = r.pod<index_t>();
+  raw.band_shift = r.pod<index_t>();
+  raw.band_base = r.vec<AlignedVector<index_t>>();
+  raw.band_wide = r.vec<AlignedVector<std::uint8_t>>();
+  raw.band_off = r.vec<AlignedVector<std::uint64_t>>();
+  raw.band_gbase = r.vec<AlignedVector<index_t>>();
+  raw.col16 = r.vec<AlignedVector<std::uint16_t>>();
+  raw.col32 = r.vec<AlignedVector<index_t>>();
+  PackedTriangleIndex out;
+  FBMPK_CHECK_CODE(PackedTriangleIndex::from_raw(std::move(raw), out),
+                   ErrorCode::kCorruptPlan,
+                   name << " packed index fails structural validation");
+  return out;
+}
+
 // Monotone non-negative pointer array ending exactly at `total`.
 void check_ptr_array(const std::vector<index_t>& ptr, index_t total,
                      const char* name) {
@@ -298,6 +334,9 @@ void save_plan(const MpkPlan& plan, std::ostream& out) {
   w.boolean(o.sanitize.check_diagonal);
   w.pod(o.sanitize.zero_diag_tolerance);
   w.pod(o.sanitize.patched_diagonal);
+  w.enumeration(o.kernel_backend);
+  w.boolean(o.index_compress);
+  w.pod(static_cast<std::int32_t>(o.prefetch_dist));
 
   w.begin_section(kSecStats);
   w.pod(plan.stats_);
@@ -336,6 +375,10 @@ void save_plan(const MpkPlan& plan, std::ostream& out) {
   write_csr(w, plan.split_.upper);
   w.vec(plan.split_.diag);
 
+  w.begin_section(kSecPacked);
+  write_packed(w, plan.packed_.lower);
+  write_packed(w, plan.packed_.upper);
+
   const std::string& payload = w.blob();
   const auto payload_crc = crc32(payload.data(), payload.size());
 
@@ -367,8 +410,9 @@ MpkPlan load_plan(std::istream& in) {
   FBMPK_CHECK_CODE(version == kVersion, ErrorCode::kVersionMismatch,
                    "unsupported plan version "
                        << version << " (this build reads version "
-                       << kVersion << "; older files predate the checksum "
-                       << "or the sweep schedule and must be regenerated)");
+                       << kVersion << "; older files predate the checksum, "
+                       << "the sweep schedule, or the packed-index section "
+                       << "and must be regenerated)");
   in.read(reinterpret_cast<char*>(&index_width), sizeof(index_width));
   in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
   in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
@@ -441,6 +485,14 @@ MpkPlan load_plan(std::istream& in) {
   plan.opts_.sanitize.check_diagonal = r.boolean();
   plan.opts_.sanitize.zero_diag_tolerance = r.pod<double>();
   plan.opts_.sanitize.patched_diagonal = r.pod<double>();
+  plan.opts_.kernel_backend =
+      r.enumeration<KernelBackend>(5, "kernel backend");
+  plan.opts_.index_compress = r.boolean();
+  plan.opts_.prefetch_dist = r.pod<std::int32_t>();
+  FBMPK_CHECK_CODE(
+      plan.opts_.prefetch_dist >= 0 && plan.opts_.prefetch_dist <= 1024,
+      ErrorCode::kCorruptPlan,
+      "prefetch distance out of range in plan: " << plan.opts_.prefetch_dist);
   r.end_section(sec, "options");
 
   sec = r.begin_section(kSecStats, "stats");
@@ -511,7 +563,39 @@ MpkPlan load_plan(std::istream& in) {
   plan.split_.upper = read_csr(r);
   plan.split_.diag = r.vec<AlignedVector<double>>();
   r.end_section(sec, "split");
+
+  sec = r.begin_section(kSecPacked, "packed index");
+  plan.packed_.lower = read_packed(r, "lower");
+  plan.packed_.upper = read_packed(r, "upper");
+  r.end_section(sec, "packed index");
   r.expect_exhausted();
+
+  if (plan.opts_.index_compress) {
+    // The CRC already rejects raw byte flips; this decode-compare
+    // additionally rejects any internally-consistent sidecar that does
+    // not reproduce the split's column stream (same discipline as the
+    // sweep schedule's structural re-validation).
+    FBMPK_CHECK_CODE(
+        plan.packed_.lower.matches(plan.split_.lower.rows(),
+                                   plan.split_.lower.row_ptr().data(),
+                                   plan.split_.lower.col_idx().data()) &&
+            plan.packed_.upper.matches(plan.split_.upper.rows(),
+                                       plan.split_.upper.row_ptr().data(),
+                                       plan.split_.upper.col_idx().data()),
+        ErrorCode::kCorruptPlan,
+        "packed index does not reproduce the split's column stream");
+  } else {
+    FBMPK_CHECK_CODE(plan.packed_.empty(), ErrorCode::kCorruptPlan,
+                     "plan carries a packed index but index_compress is off");
+  }
+
+  // Re-resolve the executing backend for this process: kAuto probes
+  // CPUID; a stored concrete backend this CPU cannot run degrades to
+  // the portable probe result instead of failing the load.
+  plan.resolved_backend_ =
+      backend_available(plan.opts_.kernel_backend)
+          ? resolve_backend(plan.opts_.kernel_backend)
+          : resolve_backend(KernelBackend::kAuto);
 
   FBMPK_CHECK_CODE(plan.split_.lower.rows() == plan.n_ &&
                        plan.split_.lower.cols() == plan.n_ &&

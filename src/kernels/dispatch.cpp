@@ -1,0 +1,554 @@
+// Backend implementations for the runtime row-kernel dispatch.
+//
+// Layout of this file:
+//   1. scalar   — thin wrappers over fb_detail.hpp (exact reference)
+//                 plus u16 narrow-band twins that replicate the exact
+//                 4-way accumulation order, so `exact + compressed`
+//                 stays bitwise identical to `exact + plain`.
+//   2. generic  — same operation order as scalar with software
+//                 prefetch of the col/val streams; the portable "fast"
+//                 path for CPUs without AVX (also bitwise == scalar).
+//   3. avx2/avx512 — gather-based vector kernels, compiled inside
+//                 `#pragma GCC target` regions so the translation unit
+//                 itself needs no -march flags; guarded by CPUID at
+//                 dispatch time. These reassociate (lane-parallel
+//                 partial sums) and are only reachable in fast mode.
+//
+// Explicit non-template functions (not function templates with target
+// attributes) keep GCC's per-function ISA switching reliable.
+#include "kernels/dispatch.hpp"
+
+#include <cstdlib>
+
+#include "kernels/fb_detail.hpp"
+#include "support/error.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define FBMPK_X86 1
+#include <immintrin.h>
+#else
+#define FBMPK_X86 0
+#endif
+
+namespace fbmpk {
+namespace {
+
+// ---------------------------------------------------------------------
+// 1. scalar — exact reference (fb_detail operation order).
+// ---------------------------------------------------------------------
+
+void dot2_scalar(const index_t* col, const double* val, index_t len,
+                 const double* xy, int /*prefetch*/, double& s0, double& s1) {
+  NullTracer tr;
+  detail::row_dot2_btb(col, val, index_t{0}, len, xy, s0, s1, tr);
+}
+
+void dot1_scalar(const index_t* col, const double* val, index_t len,
+                 const double* xy, int offset, int /*prefetch*/, double& s) {
+  NullTracer tr;
+  detail::row_dot1_btb(col, val, index_t{0}, len, xy, offset, s, tr);
+}
+
+/// u16 twin of detail::row_dot2_btb. The accumulator structure and the
+/// final (a0+b0)+(c0s+d0) reduction are copied verbatim so widening the
+/// stored index never changes a single bit of the result.
+void dot2_u16_scalar(const std::uint16_t* col, const double* val, index_t len,
+                     index_t base, const double* xy, int /*prefetch*/,
+                     double& s0, double& s1) {
+  double a0{}, a1{}, b0{}, b1{}, c0s{}, c1s{}, d0{}, d1{};
+  index_t j = 0;
+  for (; j + 3 < len; j += 4) {
+    const index_t c0 = base + col[j];
+    const index_t c1 = base + col[j + 1];
+    const index_t c2 = base + col[j + 2];
+    const index_t c3 = base + col[j + 3];
+    a0 += val[j] * xy[2 * c0];
+    a1 += val[j] * xy[2 * c0 + 1];
+    b0 += val[j + 1] * xy[2 * c1];
+    b1 += val[j + 1] * xy[2 * c1 + 1];
+    c0s += val[j + 2] * xy[2 * c2];
+    c1s += val[j + 2] * xy[2 * c2 + 1];
+    d0 += val[j + 3] * xy[2 * c3];
+    d1 += val[j + 3] * xy[2 * c3 + 1];
+  }
+  for (; j < len; ++j) {
+    const index_t c = base + col[j];
+    a0 += val[j] * xy[2 * c];
+    a1 += val[j] * xy[2 * c + 1];
+  }
+  s0 += (a0 + b0) + (c0s + d0);
+  s1 += (a1 + b1) + (c1s + d1);
+}
+
+/// u16 twin of detail::row_dot1_btb (same reduction shape).
+void dot1_u16_scalar(const std::uint16_t* col, const double* val, index_t len,
+                     index_t base, const double* xy, int offset,
+                     int /*prefetch*/, double& s) {
+  double a{}, b{}, c2{}, d2{};
+  index_t j = 0;
+  for (; j + 3 < len; j += 4) {
+    a += val[j] * xy[2 * (base + col[j]) + offset];
+    b += val[j + 1] * xy[2 * (base + col[j + 1]) + offset];
+    c2 += val[j + 2] * xy[2 * (base + col[j + 2]) + offset];
+    d2 += val[j + 3] * xy[2 * (base + col[j + 3]) + offset];
+  }
+  for (; j < len; ++j) a += val[j] * xy[2 * (base + col[j]) + offset];
+  s += (a + b) + (c2 + d2);
+}
+
+// ---------------------------------------------------------------------
+// 2. generic — scalar order + software prefetch (portable fast path).
+//    __builtin_prefetch never faults, so running past the end of the
+//    stream by the lookahead distance is safe.
+// ---------------------------------------------------------------------
+
+void dot2_generic(const index_t* col, const double* val, index_t len,
+                  const double* xy, int prefetch, double& s0, double& s1) {
+  double a0{}, a1{}, b0{}, b1{}, c0s{}, c1s{}, d0{}, d1{};
+  index_t j = 0;
+  for (; j + 3 < len; j += 4) {
+    if (prefetch > 0) {
+      __builtin_prefetch(col + j + prefetch);
+      __builtin_prefetch(val + j + prefetch);
+    }
+    const index_t c0 = col[j];
+    const index_t c1 = col[j + 1];
+    const index_t c2 = col[j + 2];
+    const index_t c3 = col[j + 3];
+    a0 += val[j] * xy[2 * c0];
+    a1 += val[j] * xy[2 * c0 + 1];
+    b0 += val[j + 1] * xy[2 * c1];
+    b1 += val[j + 1] * xy[2 * c1 + 1];
+    c0s += val[j + 2] * xy[2 * c2];
+    c1s += val[j + 2] * xy[2 * c2 + 1];
+    d0 += val[j + 3] * xy[2 * c3];
+    d1 += val[j + 3] * xy[2 * c3 + 1];
+  }
+  for (; j < len; ++j) {
+    const index_t c = col[j];
+    a0 += val[j] * xy[2 * c];
+    a1 += val[j] * xy[2 * c + 1];
+  }
+  s0 += (a0 + b0) + (c0s + d0);
+  s1 += (a1 + b1) + (c1s + d1);
+}
+
+void dot1_generic(const index_t* col, const double* val, index_t len,
+                  const double* xy, int offset, int prefetch, double& s) {
+  double a{}, b{}, c2{}, d2{};
+  index_t j = 0;
+  for (; j + 3 < len; j += 4) {
+    if (prefetch > 0) {
+      __builtin_prefetch(col + j + prefetch);
+      __builtin_prefetch(val + j + prefetch);
+    }
+    a += val[j] * xy[2 * col[j] + offset];
+    b += val[j + 1] * xy[2 * col[j + 1] + offset];
+    c2 += val[j + 2] * xy[2 * col[j + 2] + offset];
+    d2 += val[j + 3] * xy[2 * col[j + 3] + offset];
+  }
+  for (; j < len; ++j) a += val[j] * xy[2 * col[j] + offset];
+  s += (a + b) + (c2 + d2);
+}
+
+void dot2_u16_generic(const std::uint16_t* col, const double* val,
+                      index_t len, index_t base, const double* xy,
+                      int prefetch, double& s0, double& s1) {
+  if (prefetch > 0) {
+    // u16 streams cover 2x the nnz per line; one hint per block is
+    // enough, issued from the scalar twin's loop below via the plain
+    // pointer arithmetic here.
+    __builtin_prefetch(col + prefetch);
+    __builtin_prefetch(val + prefetch);
+  }
+  dot2_u16_scalar(col, val, len, base, xy, 0, s0, s1);
+}
+
+void dot1_u16_generic(const std::uint16_t* col, const double* val,
+                      index_t len, index_t base, const double* xy, int offset,
+                      int prefetch, double& s) {
+  if (prefetch > 0) {
+    __builtin_prefetch(col + prefetch);
+    __builtin_prefetch(val + prefetch);
+  }
+  dot1_u16_scalar(col, val, len, base, xy, offset, 0, s);
+}
+
+#if FBMPK_X86
+
+// ---------------------------------------------------------------------
+// 3a. AVX2 — 4 nnz / iteration. The BtB layout makes both gathers use
+//     the same index vector (2c for even slots, the same indices off
+//     base xy+1 for odd slots), so one index computation feeds two
+//     gathers + two FMAs.
+// ---------------------------------------------------------------------
+
+#pragma GCC push_options
+#pragma GCC target("avx2,fma")
+// The gather intrinsics expand through _mm*_undefined_* helpers that
+// GCC 12 flags as "maybe uninitialized" when inlined (GCC PR 105593);
+// the lanes in question are fully overwritten by the gather.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+inline double hsum256(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+void dot2_avx2(const index_t* col, const double* val, index_t len,
+               const double* xy, int prefetch, double& s0, double& s1) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  index_t j = 0;
+  for (; j + 4 <= len; j += 4) {
+    if (prefetch > 0) {
+      __builtin_prefetch(col + j + prefetch);
+      __builtin_prefetch(val + j + prefetch);
+    }
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(col + j));
+    const __m128i c2 = _mm_slli_epi32(c, 1);
+    const __m256d xe = _mm256_i32gather_pd(xy, c2, 8);
+    const __m256d xo = _mm256_i32gather_pd(xy + 1, c2, 8);
+    const __m256d v = _mm256_loadu_pd(val + j);
+    acc0 = _mm256_fmadd_pd(v, xe, acc0);
+    acc1 = _mm256_fmadd_pd(v, xo, acc1);
+  }
+  double t0 = hsum256(acc0);
+  double t1 = hsum256(acc1);
+  for (; j < len; ++j) {
+    const index_t c = col[j];
+    t0 += val[j] * xy[2 * c];
+    t1 += val[j] * xy[2 * c + 1];
+  }
+  s0 += t0;
+  s1 += t1;
+}
+
+void dot1_avx2(const index_t* col, const double* val, index_t len,
+               const double* xy, int offset, int prefetch, double& s) {
+  const double* base = xy + offset;
+  __m256d acc = _mm256_setzero_pd();
+  index_t j = 0;
+  for (; j + 4 <= len; j += 4) {
+    if (prefetch > 0) {
+      __builtin_prefetch(col + j + prefetch);
+      __builtin_prefetch(val + j + prefetch);
+    }
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(col + j));
+    const __m128i c2 = _mm_slli_epi32(c, 1);
+    const __m256d x = _mm256_i32gather_pd(base, c2, 8);
+    const __m256d v = _mm256_loadu_pd(val + j);
+    acc = _mm256_fmadd_pd(v, x, acc);
+  }
+  double t = hsum256(acc);
+  for (; j < len; ++j) t += val[j] * xy[2 * col[j] + offset];
+  s += t;
+}
+
+void dot2_u16_avx2(const std::uint16_t* col, const double* val, index_t len,
+                   index_t base, const double* xy, int prefetch, double& s0,
+                   double& s1) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  const __m128i vbase = _mm_set1_epi32(base);
+  index_t j = 0;
+  for (; j + 4 <= len; j += 4) {
+    if (prefetch > 0) {
+      __builtin_prefetch(col + j + prefetch);
+      __builtin_prefetch(val + j + prefetch);
+    }
+    const __m128i raw =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(col + j));
+    const __m128i c = _mm_add_epi32(_mm_cvtepu16_epi32(raw), vbase);
+    const __m128i c2 = _mm_slli_epi32(c, 1);
+    const __m256d xe = _mm256_i32gather_pd(xy, c2, 8);
+    const __m256d xo = _mm256_i32gather_pd(xy + 1, c2, 8);
+    const __m256d v = _mm256_loadu_pd(val + j);
+    acc0 = _mm256_fmadd_pd(v, xe, acc0);
+    acc1 = _mm256_fmadd_pd(v, xo, acc1);
+  }
+  double t0 = hsum256(acc0);
+  double t1 = hsum256(acc1);
+  for (; j < len; ++j) {
+    const index_t c = base + col[j];
+    t0 += val[j] * xy[2 * c];
+    t1 += val[j] * xy[2 * c + 1];
+  }
+  s0 += t0;
+  s1 += t1;
+}
+
+void dot1_u16_avx2(const std::uint16_t* col, const double* val, index_t len,
+                   index_t base, const double* xy, int offset, int prefetch,
+                   double& s) {
+  const double* xp = xy + offset;
+  __m256d acc = _mm256_setzero_pd();
+  const __m128i vbase = _mm_set1_epi32(base);
+  index_t j = 0;
+  for (; j + 4 <= len; j += 4) {
+    if (prefetch > 0) {
+      __builtin_prefetch(col + j + prefetch);
+      __builtin_prefetch(val + j + prefetch);
+    }
+    const __m128i raw =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(col + j));
+    const __m128i c = _mm_add_epi32(_mm_cvtepu16_epi32(raw), vbase);
+    const __m128i c2 = _mm_slli_epi32(c, 1);
+    const __m256d x = _mm256_i32gather_pd(xp, c2, 8);
+    const __m256d v = _mm256_loadu_pd(val + j);
+    acc = _mm256_fmadd_pd(v, x, acc);
+  }
+  double t = hsum256(acc);
+  for (; j < len; ++j) t += val[j] * xy[2 * (base + col[j]) + offset];
+  s += t;
+}
+
+#pragma GCC diagnostic pop
+#pragma GCC pop_options
+
+// ---------------------------------------------------------------------
+// 3b. AVX-512 — 8 nnz / iteration, same shape as AVX2 with 512-bit
+//     gathers. avx2+fma listed explicitly so the 128/256-bit helper
+//     intrinsics in the tails are valid regardless of implication
+//     rules.
+// ---------------------------------------------------------------------
+
+#pragma GCC push_options
+#pragma GCC target("avx512f,avx2,fma")
+// Same GCC PR 105593 false positive as the AVX2 block above.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+void dot2_avx512(const index_t* col, const double* val, index_t len,
+                 const double* xy, int prefetch, double& s0, double& s1) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  index_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    if (prefetch > 0) {
+      __builtin_prefetch(col + j + prefetch);
+      __builtin_prefetch(val + j + prefetch);
+    }
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + j));
+    const __m256i c2 = _mm256_slli_epi32(c, 1);
+    const __m512d xe = _mm512_i32gather_pd(c2, xy, 8);
+    const __m512d xo = _mm512_i32gather_pd(c2, xy + 1, 8);
+    const __m512d v = _mm512_loadu_pd(val + j);
+    acc0 = _mm512_fmadd_pd(v, xe, acc0);
+    acc1 = _mm512_fmadd_pd(v, xo, acc1);
+  }
+  double t0 = _mm512_reduce_add_pd(acc0);
+  double t1 = _mm512_reduce_add_pd(acc1);
+  for (; j < len; ++j) {
+    const index_t c = col[j];
+    t0 += val[j] * xy[2 * c];
+    t1 += val[j] * xy[2 * c + 1];
+  }
+  s0 += t0;
+  s1 += t1;
+}
+
+void dot1_avx512(const index_t* col, const double* val, index_t len,
+                 const double* xy, int offset, int prefetch, double& s) {
+  const double* base = xy + offset;
+  __m512d acc = _mm512_setzero_pd();
+  index_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    if (prefetch > 0) {
+      __builtin_prefetch(col + j + prefetch);
+      __builtin_prefetch(val + j + prefetch);
+    }
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + j));
+    const __m256i c2 = _mm256_slli_epi32(c, 1);
+    const __m512d x = _mm512_i32gather_pd(c2, base, 8);
+    const __m512d v = _mm512_loadu_pd(val + j);
+    acc = _mm512_fmadd_pd(v, x, acc);
+  }
+  double t = _mm512_reduce_add_pd(acc);
+  for (; j < len; ++j) t += val[j] * xy[2 * col[j] + offset];
+  s += t;
+}
+
+void dot2_u16_avx512(const std::uint16_t* col, const double* val, index_t len,
+                     index_t base, const double* xy, int prefetch, double& s0,
+                     double& s1) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  const __m256i vbase = _mm256_set1_epi32(base);
+  index_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    if (prefetch > 0) {
+      __builtin_prefetch(col + j + prefetch);
+      __builtin_prefetch(val + j + prefetch);
+    }
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(col + j));
+    const __m256i c = _mm256_add_epi32(_mm256_cvtepu16_epi32(raw), vbase);
+    const __m256i c2 = _mm256_slli_epi32(c, 1);
+    const __m512d xe = _mm512_i32gather_pd(c2, xy, 8);
+    const __m512d xo = _mm512_i32gather_pd(c2, xy + 1, 8);
+    const __m512d v = _mm512_loadu_pd(val + j);
+    acc0 = _mm512_fmadd_pd(v, xe, acc0);
+    acc1 = _mm512_fmadd_pd(v, xo, acc1);
+  }
+  double t0 = _mm512_reduce_add_pd(acc0);
+  double t1 = _mm512_reduce_add_pd(acc1);
+  for (; j < len; ++j) {
+    const index_t c = base + col[j];
+    t0 += val[j] * xy[2 * c];
+    t1 += val[j] * xy[2 * c + 1];
+  }
+  s0 += t0;
+  s1 += t1;
+}
+
+void dot1_u16_avx512(const std::uint16_t* col, const double* val, index_t len,
+                     index_t base, const double* xy, int offset, int prefetch,
+                     double& s) {
+  const double* xp = xy + offset;
+  __m512d acc = _mm512_setzero_pd();
+  const __m256i vbase = _mm256_set1_epi32(base);
+  index_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    if (prefetch > 0) {
+      __builtin_prefetch(col + j + prefetch);
+      __builtin_prefetch(val + j + prefetch);
+    }
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(col + j));
+    const __m256i c = _mm256_add_epi32(_mm256_cvtepu16_epi32(raw), vbase);
+    const __m256i c2 = _mm256_slli_epi32(c, 1);
+    const __m512d x = _mm512_i32gather_pd(c2, xp, 8);
+    const __m512d v = _mm512_loadu_pd(val + j);
+    acc = _mm512_fmadd_pd(v, x, acc);
+  }
+  double t = _mm512_reduce_add_pd(acc);
+  for (; j < len; ++j) t += val[j] * xy[2 * (base + col[j]) + offset];
+  s += t;
+}
+
+#pragma GCC diagnostic pop
+#pragma GCC pop_options
+
+#endif  // FBMPK_X86
+
+constexpr RowOps kScalarOps{dot2_scalar, dot1_scalar, dot2_u16_scalar,
+                            dot1_u16_scalar};
+constexpr RowOps kGenericOps{dot2_generic, dot1_generic, dot2_u16_generic,
+                             dot1_u16_generic};
+#if FBMPK_X86
+constexpr RowOps kAvx2Ops{dot2_avx2, dot1_avx2, dot2_u16_avx2, dot1_u16_avx2};
+constexpr RowOps kAvx512Ops{dot2_avx512, dot1_avx512, dot2_u16_avx512,
+                            dot1_u16_avx512};
+#endif
+
+KernelBackend probe_widest() {
+#if FBMPK_X86
+  if (__builtin_cpu_supports("avx512f")) return KernelBackend::kAvx512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return KernelBackend::kAvx2;
+#endif
+  return KernelBackend::kGeneric;
+}
+
+}  // namespace
+
+bool backend_available(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kAuto:
+    case KernelBackend::kScalar:
+    case KernelBackend::kGeneric:
+      return true;
+    case KernelBackend::kAvx2:
+#if FBMPK_X86
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case KernelBackend::kAvx512:
+#if FBMPK_X86
+      return __builtin_cpu_supports("avx512f");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+KernelBackend resolve_backend(KernelBackend backend) {
+  if (backend != KernelBackend::kAuto) return backend;
+  static const KernelBackend picked = [] {
+    if (const char* env = std::getenv("FBMPK_BACKEND")) {
+      try {
+        const KernelBackend req = parse_backend(env);
+        if (req != KernelBackend::kAuto && backend_available(req)) return req;
+      } catch (const Error&) {
+        // Unknown name in the environment: fall through to the probe
+        // rather than failing every kernel launch.
+      }
+    }
+    return probe_widest();
+  }();
+  return picked;
+}
+
+const RowOps& row_kernels(KernelBackend backend) {
+  const KernelBackend b = resolve_backend(backend);
+  FBMPK_CHECK_CODE(backend_available(b), ErrorCode::kUnsupported,
+                   "kernel backend " << backend_name(b)
+                                     << " not supported on this CPU");
+  switch (b) {
+    case KernelBackend::kScalar:
+      return kScalarOps;
+    case KernelBackend::kGeneric:
+      return kGenericOps;
+#if FBMPK_X86
+    case KernelBackend::kAvx2:
+      return kAvx2Ops;
+    case KernelBackend::kAvx512:
+      return kAvx512Ops;
+#endif
+    default:
+      break;
+  }
+  FBMPK_FAIL(ErrorCode::kUnsupported,
+             "kernel backend " << backend_name(b) << " not compiled in");
+}
+
+const char* backend_name(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kAuto:
+      return "auto";
+    case KernelBackend::kScalar:
+      return "scalar";
+    case KernelBackend::kGeneric:
+      return "generic";
+    case KernelBackend::kAvx2:
+      return "avx2";
+    case KernelBackend::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+KernelBackend parse_backend(const std::string& name) {
+  if (name == "auto") return KernelBackend::kAuto;
+  if (name == "scalar") return KernelBackend::kScalar;
+  if (name == "generic") return KernelBackend::kGeneric;
+  if (name == "avx2") return KernelBackend::kAvx2;
+  if (name == "avx512") return KernelBackend::kAvx512;
+  FBMPK_FAIL(ErrorCode::kUnsupported,
+             "unknown kernel backend '"
+                 << name << "' (want auto|scalar|generic|avx2|avx512)");
+}
+
+}  // namespace fbmpk

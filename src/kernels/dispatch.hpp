@@ -1,0 +1,80 @@
+// Runtime-dispatched row-kernel backends (PR 3).
+//
+// The FBMPK inner loops come in two numerical flavours:
+//  - exact:  the scalar helpers in fb_detail.hpp — fixed operation
+//            order, bitwise identical serial <-> parallel. Default.
+//  - fast:   vectorized variants that reassociate the dot products
+//            (AVX2 / AVX-512 gathers over the BtB iterate pair) and
+//            software-prefetch the col/val streams. Error vs exact is
+//            bounded by standard summation analysis: each row dot of
+//            length m reassociated into lanes differs by <= m·eps·
+//            sum|a_ij||x_j|, and k sweeps compound to <= 4·k·eps·‖A‖
+//            relative (asserted in tests/test_fb_simd.cpp).
+//
+// The backend is chosen once per process from CPUID (resolve_backend);
+// every implementation is compile-time guarded so the same binary runs
+// on machines without the wider ISA. `FBMPK_BACKEND=<name>` in the
+// environment overrides the probe — CI uses it to force the portable
+// generic path on AVX hardware.
+//
+// All function pointers operate on double only: the fast layer is a
+// perf feature for the paper's double-precision benchmarks, and the
+// scalar exact path remains the only one instantiated for other types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/coo.hpp"
+
+namespace fbmpk {
+
+/// Which row-kernel implementation a plan executes with.
+enum class KernelBackend : std::uint8_t {
+  kAuto = 0,    ///< resolve once from CPUID at first use
+  kScalar = 1,  ///< fb_detail helpers — exact, bitwise reference
+  kGeneric = 2, ///< portable scalar fast path (prefetch, same order)
+  kAvx2 = 3,    ///< 256-bit FMA + gathers (4 nnz / iteration)
+  kAvx512 = 4,  ///< 512-bit FMA + gathers (8 nnz / iteration)
+};
+
+/// Row-dot implementations a backend provides. `col/val` point at the
+/// first entry of the row (callers pre-offset by row_ptr[i]); `len` is
+/// the row's nnz. `xy` is the BtB interleaved iterate array. `prefetch`
+/// is the lookahead distance in nonzeros (0 disables).
+struct RowOps {
+  /// s0 += row·xy[2c], s1 += row·xy[2c+1].
+  void (*dot2_btb)(const index_t* col, const double* val, index_t len,
+                   const double* xy, int prefetch, double& s0, double& s1);
+  /// s += row·xy[2c + offset] (offset 0 = even slots, 1 = odd).
+  void (*dot1_btb)(const index_t* col, const double* val, index_t len,
+                   const double* xy, int offset, int prefetch, double& s);
+  /// Narrow-band variants: columns are u16 offsets from `base`.
+  void (*dot2_btb_u16)(const std::uint16_t* col, const double* val,
+                       index_t len, index_t base, const double* xy,
+                       int prefetch, double& s0, double& s1);
+  void (*dot1_btb_u16)(const std::uint16_t* col, const double* val,
+                       index_t len, index_t base, const double* xy,
+                       int offset, int prefetch, double& s);
+};
+
+/// Kernel table for a concrete backend (kAuto is resolved first).
+/// Asks for an unavailable backend -> throws kUnsupported.
+const RowOps& row_kernels(KernelBackend backend);
+
+/// Resolve kAuto to the widest backend this CPU supports (cached after
+/// the first call). Honors the FBMPK_BACKEND environment override when
+/// it names an available backend. Non-auto inputs pass through.
+KernelBackend resolve_backend(KernelBackend backend);
+
+/// True iff the backend was compiled in AND the CPU supports it.
+/// kScalar/kGeneric/kAuto are always available.
+bool backend_available(KernelBackend backend);
+
+/// "auto" / "scalar" / "generic" / "avx2" / "avx512".
+const char* backend_name(KernelBackend backend);
+
+/// Inverse of backend_name; throws kUnsupported on unknown names.
+KernelBackend parse_backend(const std::string& name);
+
+}  // namespace fbmpk

@@ -1,0 +1,250 @@
+// Fast-mode FBMPK sweeps: dispatched row kernels + packed indices.
+//
+// The exact sweeps in fbmpk.hpp / fbmpk_parallel.hpp are the numerical
+// reference — fixed scalar operation order, bitwise identical between
+// serial and every parallel schedule. This header provides the `fast`
+// flavour: the same head / forward-backward-pair / tail pipeline, but
+// each row dot goes through a RowOps table chosen at runtime
+// (kernels/dispatch.hpp) and may read the narrow packed column stream
+// (sparse/packed_tri.hpp) instead of full-width CSR indices.
+//
+// Numerical contract: a fast sweep differs from exact only inside
+// single row dots (lane-parallel partial sums). Per power p the error
+// is bounded by m·eps·‖A‖∞^p·‖x‖∞ (m = max row nnz) and the test suite
+// asserts ‖fast − exact‖∞ ≤ 4·k·m·eps·‖A‖∞^k·‖x‖∞. Determinism still
+// holds in fast mode: every schedule (serial, barrier, engine) issues
+// the same per-row kernel with the same arguments, so fast results are
+// bitwise reproducible across schedules and runs on one machine.
+//
+// Fast mode is double-only (the dispatch tables are double) and covers
+// the BtB variant only — the split ablation stays scalar.
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "kernels/dispatch.hpp"
+#include "kernels/fbmpk.hpp"
+#include "kernels/fbmpk_parallel.hpp"
+#include "sparse/packed_tri.hpp"
+
+namespace fbmpk {
+
+/// Row-dot frontend for one triangle: plain CSR columns or the packed
+/// sidecar (u16 narrow bands with full-width fallback), routed through
+/// a backend's RowOps. Pointers are non-owning.
+struct TriRowKernel {
+  const index_t* rp = nullptr;
+  const index_t* ci = nullptr;
+  const double* va = nullptr;
+  const PackedTriangleIndex* packed = nullptr;  ///< null = plain CSR
+  const RowOps* ops = nullptr;
+  int prefetch = 0;
+
+  void dot2(index_t i, const double* xy, double& s0, double& s1) const {
+    const index_t lo = rp[i];
+    const index_t len = rp[i + 1] - lo;
+    if (packed == nullptr) {
+      ops->dot2_btb(ci + lo, va + lo, len, xy, prefetch, s0, s1);
+      return;
+    }
+    const auto v = packed->row(i, lo);
+    if (v.c16 != nullptr)
+      ops->dot2_btb_u16(v.c16, va + lo, len, v.base, xy, prefetch, s0, s1);
+    else
+      ops->dot2_btb(v.c32, va + lo, len, xy, prefetch, s0, s1);
+  }
+
+  void dot1(index_t i, const double* xy, int offset, double& s) const {
+    const index_t lo = rp[i];
+    const index_t len = rp[i + 1] - lo;
+    if (packed == nullptr) {
+      ops->dot1_btb(ci + lo, va + lo, len, xy, offset, prefetch, s);
+      return;
+    }
+    const auto v = packed->row(i, lo);
+    if (v.c16 != nullptr)
+      ops->dot1_btb_u16(v.c16, va + lo, len, v.base, xy, offset, prefetch, s);
+    else
+      ops->dot1_btb(v.c32, va + lo, len, xy, offset, prefetch, s);
+  }
+
+  /// Stream row i's index/value data into `acc` (engine NUMA warm pass).
+  void warm(index_t i, double& acc) const {
+    const index_t lo = rp[i];
+    const index_t hi = rp[i + 1];
+    if (packed == nullptr) {
+      for (index_t q = lo; q < hi; ++q)
+        acc += va[q] + static_cast<double>(ci[q]);
+      return;
+    }
+    const auto v = packed->row(i, lo);
+    for (index_t q = 0; q < hi - lo; ++q) {
+      const index_t c = v.c16 != nullptr
+                            ? v.base + static_cast<index_t>(v.c16[q])
+                            : v.c32[q];
+      acc += va[lo + q] + static_cast<double>(c);
+    }
+  }
+};
+
+/// Row policy (see fbmpk_parallel.hpp's ScalarRows for the exact twin)
+/// that routes both triangles through dispatched kernels.
+struct DispatchRows {
+  TriRowKernel l;
+  TriRowKernel u;
+
+  void l_dot2(index_t i, const double* xy, double& s0, double& s1) const {
+    l.dot2(i, xy, s0, s1);
+  }
+  void u_dot2(index_t i, const double* xy, double& s0, double& s1) const {
+    u.dot2(i, xy, s0, s1);
+  }
+  void l_dot1(index_t i, const double* xy, int offset, double& s) const {
+    l.dot1(i, xy, offset, s);
+  }
+  void u_dot1(index_t i, const double* xy, int offset, double& s) const {
+    u.dot1(i, xy, offset, s);
+  }
+  void warm(index_t i, double& acc) const {
+    l.warm(i, acc);
+    u.warm(i, acc);
+  }
+};
+
+/// Assemble the fast row policy for a split. `packed` may be null
+/// (plain indices); `ops` must outlive the returned value (the tables
+/// from row_kernels() are process-lifetime statics).
+inline DispatchRows make_dispatch_rows(const TriangularSplit<double>& s,
+                                       const PackedSplitIndex* packed,
+                                       const RowOps& ops, int prefetch) {
+  DispatchRows r;
+  r.l = {s.lower.row_ptr().data(), s.lower.col_idx().data(),
+         s.lower.values().data(),
+         packed != nullptr ? &packed->lower : nullptr, &ops, prefetch};
+  r.u = {s.upper.row_ptr().data(), s.upper.col_idx().data(),
+         s.upper.values().data(),
+         packed != nullptr ? &packed->upper : nullptr, &ops, prefetch};
+  return r;
+}
+
+/// Serial fast sweep — fbmpk_sweep_btb's pipeline with dispatched row
+/// dots. emit(p, i, v) fires once per power p in [1, k], row i.
+template <class Rows, class Emit>
+void fbmpk_sweep_btb_fast(const TriangularSplit<double>& s, const Rows& rows,
+                          std::span<const double> x0, int k,
+                          FbWorkspace<double>& ws, Emit&& emit) {
+  const index_t n = s.lower.rows();
+  FBMPK_CHECK(s.upper.rows() == n &&
+              s.diag.size() == static_cast<std::size_t>(n));
+  FBMPK_CHECK(x0.size() == static_cast<std::size_t>(n));
+  FBMPK_CHECK(k >= 1);
+  ws.resize(n);
+
+  const double* d = s.diag.data();
+  double* xy = ws.xy.data();
+  double* tmp = ws.tmp.data();
+
+  for (index_t i = 0; i < n; ++i) xy[2 * i] = x0[i];
+  for (index_t i = 0; i < n; ++i) {
+    double sum{};
+    rows.u_dot1(i, xy, 0, sum);
+    tmp[i] = sum;
+  }
+
+  const int pairs = k / 2;
+  for (int it = 0; it < pairs; ++it) {
+    const int p_odd = 2 * it + 1;
+    const int p_even = 2 * it + 2;
+
+    for (index_t i = 0; i < n; ++i) {
+      double sum0 = tmp[i] + d[i] * xy[2 * i];
+      double sum1{};
+      rows.l_dot2(i, xy, sum0, sum1);
+      xy[2 * i + 1] = sum0;
+      emit(p_odd, i, sum0);
+      tmp[i] = sum1 + d[i] * sum0;
+    }
+
+    const bool prime_next = !(it == pairs - 1 && k % 2 == 0);
+    if (prime_next) {
+      for (index_t i = n; i-- > 0;) {
+        double sum0 = tmp[i];
+        double sum1{};
+        // dot2 accumulates (even, odd); backward wants sum0 += odd,
+        // sum1 += even — same output swap as the exact sweep.
+        rows.u_dot2(i, xy, sum1, sum0);
+        xy[2 * i] = sum0;
+        emit(p_even, i, sum0);
+        tmp[i] = sum1;
+      }
+    } else {
+      for (index_t i = n; i-- > 0;) {
+        double sum0 = tmp[i];
+        rows.u_dot1(i, xy, 1, sum0);
+        xy[2 * i] = sum0;
+        emit(p_even, i, sum0);
+      }
+    }
+  }
+
+  if (k % 2 == 1) {
+    for (index_t i = 0; i < n; ++i) {
+      double sum = tmp[i] + d[i] * xy[2 * i];
+      rows.l_dot1(i, xy, 0, sum);
+      emit(k, i, sum);
+    }
+  }
+}
+
+/// y = A^k x0, serial fast. k = 0 copies x0.
+template <class Rows>
+void fbmpk_power_fast(const TriangularSplit<double>& s, const Rows& rows,
+                      std::span<const double> x0, int k, std::span<double> y,
+                      FbWorkspace<double>& ws) {
+  FBMPK_CHECK(y.size() == x0.size());
+  FBMPK_CHECK(k >= 0);
+  if (k == 0) {
+    std::copy(x0.begin(), x0.end(), y.begin());
+    return;
+  }
+  double* yp = y.data();
+  fbmpk_sweep_btb_fast(s, rows, x0, k, ws, [&](int p, index_t i, double v) {
+    if (p == k) yp[i] = v;
+  });
+}
+
+/// Krylov basis, serial fast: out[p*n + i] = (A^p x0)[i], p in [0, k].
+template <class Rows>
+void fbmpk_power_all_fast(const TriangularSplit<double>& s, const Rows& rows,
+                          std::span<const double> x0, int k,
+                          std::span<double> out, FbWorkspace<double>& ws) {
+  const auto n = x0.size();
+  FBMPK_CHECK(out.size() == n * static_cast<std::size_t>(k + 1));
+  std::copy(x0.begin(), x0.end(), out.begin());
+  if (k == 0) return;
+  double* op = out.data();
+  fbmpk_sweep_btb_fast(s, rows, x0, k, ws, [&](int p, index_t i, double v) {
+    op[static_cast<std::size_t>(p) * n + i] = v;
+  });
+}
+
+/// y = sum_p coeffs[p] A^p x0, serial fast.
+template <class Rows>
+void fbmpk_polynomial_fast(const TriangularSplit<double>& s, const Rows& rows,
+                           std::span<const double> coeffs,
+                           std::span<const double> x0, std::span<double> y,
+                           FbWorkspace<double>& ws) {
+  FBMPK_CHECK(!coeffs.empty());
+  FBMPK_CHECK(y.size() == x0.size());
+  const int k = static_cast<int>(coeffs.size()) - 1;
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = coeffs[0] * x0[i];
+  if (k == 0) return;
+  double* yp = y.data();
+  const double* cp = coeffs.data();
+  fbmpk_sweep_btb_fast(s, rows, x0, k, ws, [&](int p, index_t i, double v) {
+    yp[i] += cp[p] * v;
+  });
+}
+
+}  // namespace fbmpk

@@ -31,13 +31,63 @@
 
 namespace fbmpk {
 
-/// Color-scheduled parallel sweep. emit(p, i, v) fires once per power
-/// p in [1, k] and (permuted) row i; it may be called concurrently for
-/// distinct rows and must be safe under that.
-template <class T, class Emit>
-void fbmpk_parallel_sweep(const TriangularSplit<T>& s, const AbmcOrdering& o,
-                          std::span<const T> x0, int k, FbWorkspace<T>& ws,
-                          Emit&& emit) {
+/// Exact row policy: every L/U row dot goes straight to the shared
+/// fb_detail helpers, so any sweep parameterized on it performs exactly
+/// the operations of the serial reference kernel (bitwise identical).
+/// kernels/fb_simd.hpp provides DispatchRows, the fast-mode twin with
+/// the same member signatures (runtime-dispatched SIMD + packed
+/// indices); both parallel sweeps below are templated on the policy.
+template <class T>
+struct ScalarRows {
+  const index_t* lrp;
+  const index_t* lci;
+  const T* lva;
+  const index_t* urp;
+  const index_t* uci;
+  const T* uva;
+
+  explicit ScalarRows(const TriangularSplit<T>& s)
+      : lrp(s.lower.row_ptr().data()),
+        lci(s.lower.col_idx().data()),
+        lva(s.lower.values().data()),
+        urp(s.upper.row_ptr().data()),
+        uci(s.upper.col_idx().data()),
+        uva(s.upper.values().data()) {}
+
+  void l_dot2(index_t i, const T* xy, T& s0, T& s1) const {
+    NullTracer tr;
+    detail::row_dot2_btb(lci, lva, lrp[i], lrp[i + 1], xy, s0, s1, tr);
+  }
+  void u_dot2(index_t i, const T* xy, T& s0, T& s1) const {
+    NullTracer tr;
+    detail::row_dot2_btb(uci, uva, urp[i], urp[i + 1], xy, s0, s1, tr);
+  }
+  void l_dot1(index_t i, const T* xy, int offset, T& s) const {
+    NullTracer tr;
+    detail::row_dot1_btb(lci, lva, lrp[i], lrp[i + 1], xy, offset, s, tr);
+  }
+  void u_dot1(index_t i, const T* xy, int offset, T& s) const {
+    NullTracer tr;
+    detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, offset, s, tr);
+  }
+  /// Stream row i's index/value data (engine NUMA warm pass).
+  void warm(index_t i, T& acc) const {
+    for (index_t q = lrp[i]; q < lrp[i + 1]; ++q)
+      acc += lva[q] + static_cast<T>(lci[q]);
+    for (index_t q = urp[i]; q < urp[i + 1]; ++q)
+      acc += uva[q] + static_cast<T>(uci[q]);
+  }
+};
+
+/// Color-scheduled parallel sweep over an explicit row policy.
+/// emit(p, i, v) fires once per power p in [1, k] and (permuted) row i;
+/// it may be called concurrently for distinct rows and must be safe
+/// under that.
+template <class T, class Rows, class Emit>
+void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
+                               const AbmcOrdering& o, const Rows& rows,
+                               std::span<const T> x0, int k,
+                               FbWorkspace<T>& ws, Emit&& emit) {
   const index_t n = s.lower.rows();
   FBMPK_CHECK(s.upper.rows() == n &&
               s.diag.size() == static_cast<std::size_t>(n));
@@ -47,12 +97,6 @@ void fbmpk_parallel_sweep(const TriangularSplit<T>& s, const AbmcOrdering& o,
                   "schedule does not cover the matrix");
   ws.resize(n);
 
-  const index_t* lrp = s.lower.row_ptr().data();
-  const index_t* lci = s.lower.col_idx().data();
-  const T* lva = s.lower.values().data();
-  const index_t* urp = s.upper.row_ptr().data();
-  const index_t* uci = s.upper.col_idx().data();
-  const T* uva = s.upper.values().data();
   const T* d = s.diag.data();
   T* xy = ws.xy.data();
   T* tmp = ws.tmp.data();
@@ -60,7 +104,6 @@ void fbmpk_parallel_sweep(const TriangularSplit<T>& s, const AbmcOrdering& o,
 
   const int pairs = k / 2;
   const index_t num_colors = o.num_colors;
-  NullTracer tr;  // row helpers are shared with the traced serial kernel
 
 #ifdef _OPENMP
 #pragma omp parallel default(shared)
@@ -77,7 +120,7 @@ void fbmpk_parallel_sweep(const TriangularSplit<T>& s, const AbmcOrdering& o,
 #endif
     for (index_t i = 0; i < n; ++i) {
       T sum{};
-      detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 0, sum, tr);
+      rows.u_dot1(i, xy, 0, sum);
       tmp[i] = sum;
     }
 
@@ -95,8 +138,7 @@ void fbmpk_parallel_sweep(const TriangularSplit<T>& s, const AbmcOrdering& o,
           for (index_t i = o.block_ptr[b]; i < o.block_ptr[b + 1]; ++i) {
             T sum0 = tmp[i] + d[i] * xy[2 * i];
             T sum1{};
-            detail::row_dot2_btb(lci, lva, lrp[i], lrp[i + 1], xy, sum0,
-                                 sum1, tr);
+            rows.l_dot2(i, xy, sum0, sum1);
             xy[2 * i + 1] = sum0;
             emit(p_odd, i, sum0);
             tmp[i] = sum1 + d[i] * sum0;
@@ -115,14 +157,12 @@ void fbmpk_parallel_sweep(const TriangularSplit<T>& s, const AbmcOrdering& o,
             T sum0 = tmp[i];
             if (prime_next) {
               T sum1{};
-              detail::row_dot2_btb(uci, uva, urp[i], urp[i + 1], xy, sum1,
-                                   sum0, tr);
+              rows.u_dot2(i, xy, sum1, sum0);
               xy[2 * i] = sum0;
               emit(p_even, i, sum0);
               tmp[i] = sum1;
             } else {
-              detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 1,
-                                   sum0, tr);
+              rows.u_dot1(i, xy, 1, sum0);
               xy[2 * i] = sum0;
               emit(p_even, i, sum0);
             }
@@ -138,11 +178,21 @@ void fbmpk_parallel_sweep(const TriangularSplit<T>& s, const AbmcOrdering& o,
 #endif
       for (index_t i = 0; i < n; ++i) {
         T sum = tmp[i] + d[i] * xy[2 * i];
-        detail::row_dot1_btb(lci, lva, lrp[i], lrp[i + 1], xy, 0, sum, tr);
+        rows.l_dot1(i, xy, 0, sum);
         emit(k, i, sum);
       }
     }
   }
+}
+
+/// Color-scheduled parallel sweep with the exact scalar row policy —
+/// bitwise identical to the serial kernel.
+template <class T, class Emit>
+void fbmpk_parallel_sweep(const TriangularSplit<T>& s, const AbmcOrdering& o,
+                          std::span<const T> x0, int k, FbWorkspace<T>& ws,
+                          Emit&& emit) {
+  fbmpk_parallel_sweep_rows(s, o, ScalarRows<T>(s), x0, k, ws,
+                            std::forward<Emit>(emit));
 }
 
 /// y = A^k x0, parallel; operates in the permuted index space.
@@ -295,12 +345,13 @@ inline void sweep_wait(std::atomic<long long>& e, long long target,
 /// Every dependency targets a strictly earlier stage in the list and
 /// every thread visits every stage (even with an empty partition), so
 /// the wait graph is acyclic: no deadlock.
-template <class T, class Emit>
-bool fbmpk_engine_try_sweep(const TriangularSplit<T>& s,
-                            const AbmcOrdering& o, const SweepSchedule& sched,
-                            std::span<const T> x0, int k,
-                            SweepWorkspace<T>& ws, bool pin_threads,
-                            Emit&& emit) {
+template <class T, class Rows, class Emit>
+bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
+                                 const AbmcOrdering& o,
+                                 const SweepSchedule& sched, const Rows& rows,
+                                 std::span<const T> x0, int k,
+                                 SweepWorkspace<T>& ws, bool pin_threads,
+                                 Emit&& emit) {
   const index_t n = s.lower.rows();
   FBMPK_CHECK(s.upper.rows() == n &&
               s.diag.size() == static_cast<std::size_t>(n));
@@ -316,12 +367,6 @@ bool fbmpk_engine_try_sweep(const TriangularSplit<T>& s,
   if (T_n > max_threads()) return false;
   ws.resize(n);
 
-  const index_t* lrp = s.lower.row_ptr().data();
-  const index_t* lci = s.lower.col_idx().data();
-  const T* lva = s.lower.values().data();
-  const index_t* urp = s.upper.row_ptr().data();
-  const index_t* uci = s.upper.col_idx().data();
-  const T* uva = s.upper.values().data();
   const T* d = s.diag.data();
   T* xy = ws.xy();
   T* tmp = ws.tmp();
@@ -330,7 +375,6 @@ bool fbmpk_engine_try_sweep(const TriangularSplit<T>& s,
   const int pairs = k / 2;
   const index_t C = sched.num_colors;
   const long long stage_pairs = 2LL * C;
-  NullTracer tr;
   const bool warm_split = !ws.warmed;
 
   const auto epochs = std::make_unique<detail::SweepEpoch[]>(
@@ -384,10 +428,7 @@ bool fbmpk_engine_try_sweep(const TriangularSplit<T>& s,
       xy[2 * i] = x0p[i];
       if (warm_split) {
         T acc{};
-        for (index_t q = lrp[i]; q < lrp[i + 1]; ++q)
-          acc += lva[q] + static_cast<T>(lci[q]);
-        for (index_t q = urp[i]; q < urp[i + 1]; ++q)
-          acc += uva[q] + static_cast<T>(uci[q]);
+        rows.warm(i, acc);
         sink += acc + d[i];
       }
     });
@@ -402,7 +443,7 @@ bool fbmpk_engine_try_sweep(const TriangularSplit<T>& s,
     wait_all(1);
     for_own_rows([&](index_t i) {
       T sum{};
-      detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 0, sum, tr);
+      rows.u_dot1(i, xy, 0, sum);
       tmp[i] = sum;
     });
     bump();  // epoch 2
@@ -428,8 +469,7 @@ bool fbmpk_engine_try_sweep(const TriangularSplit<T>& s,
           for (index_t i = o.block_ptr[b]; i < o.block_ptr[b + 1]; ++i) {
             T sum0 = tmp[i] + d[i] * xy[2 * i];
             T sum1{};
-            detail::row_dot2_btb(lci, lva, lrp[i], lrp[i + 1], xy, sum0,
-                                 sum1, tr);
+            rows.l_dot2(i, xy, sum0, sum1);
             xy[2 * i + 1] = sum0;
             emit(p_odd, i, sum0);
             tmp[i] = sum1 + d[i] * sum0;
@@ -454,14 +494,12 @@ bool fbmpk_engine_try_sweep(const TriangularSplit<T>& s,
             T sum0 = tmp[i];
             if (prime_next) {
               T sum1{};
-              detail::row_dot2_btb(uci, uva, urp[i], urp[i + 1], xy, sum1,
-                                   sum0, tr);
+              rows.u_dot2(i, xy, sum1, sum0);
               xy[2 * i] = sum0;
               emit(p_even, i, sum0);
               tmp[i] = sum1;
             } else {
-              detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 1,
-                                   sum0, tr);
+              rows.u_dot1(i, xy, 1, sum0);
               xy[2 * i] = sum0;
               emit(p_even, i, sum0);
             }
@@ -477,7 +515,7 @@ bool fbmpk_engine_try_sweep(const TriangularSplit<T>& s,
       wait_all(2 + pairs * stage_pairs);
       for_own_rows([&](index_t i) {
         T sum = tmp[i] + d[i] * xy[2 * i];
-        detail::row_dot1_btb(lci, lva, lrp[i], lrp[i + 1], xy, 0, sum, tr);
+        rows.l_dot1(i, xy, 0, sum);
         emit(k, i, sum);
       });
       bump();
@@ -489,6 +527,32 @@ bool fbmpk_engine_try_sweep(const TriangularSplit<T>& s,
   return true;
 }
 
+/// Engine sweep with the exact scalar row policy (the PR 2 behavior).
+template <class T, class Emit>
+bool fbmpk_engine_try_sweep(const TriangularSplit<T>& s,
+                            const AbmcOrdering& o, const SweepSchedule& sched,
+                            std::span<const T> x0, int k,
+                            SweepWorkspace<T>& ws, bool pin_threads,
+                            Emit&& emit) {
+  return fbmpk_engine_try_sweep_rows(s, o, sched, ScalarRows<T>(s), x0, k, ws,
+                                     pin_threads, std::forward<Emit>(emit));
+}
+
+/// Point-to-point sweep over an explicit row policy with automatic
+/// fallback to the per-color barrier kernel when the engine cannot
+/// run. Same emit contract and identical results either way (both
+/// paths issue the same per-row kernels).
+template <class T, class Rows, class Emit>
+void fbmpk_engine_sweep_rows(const TriangularSplit<T>& s,
+                             const AbmcOrdering& o, const SweepSchedule& sched,
+                             const Rows& rows, std::span<const T> x0, int k,
+                             SweepWorkspace<T>& ws, Emit&& emit,
+                             bool pin_threads = false) {
+  if (!fbmpk_engine_try_sweep_rows(s, o, sched, rows, x0, k, ws, pin_threads,
+                                   emit))
+    fbmpk_parallel_sweep_rows(s, o, rows, x0, k, ws.fallback, emit);
+}
+
 /// Point-to-point sweep with automatic fallback to the per-color
 /// barrier kernel when the engine cannot run. Same emit contract and
 /// bitwise-identical results either way.
@@ -497,8 +561,8 @@ void fbmpk_engine_sweep(const TriangularSplit<T>& s, const AbmcOrdering& o,
                         const SweepSchedule& sched, std::span<const T> x0,
                         int k, SweepWorkspace<T>& ws, Emit&& emit,
                         bool pin_threads = false) {
-  if (!fbmpk_engine_try_sweep(s, o, sched, x0, k, ws, pin_threads, emit))
-    fbmpk_parallel_sweep(s, o, x0, k, ws.fallback, emit);
+  fbmpk_engine_sweep_rows(s, o, sched, ScalarRows<T>(s), x0, k, ws,
+                          std::forward<Emit>(emit), pin_threads);
 }
 
 /// y = A^k x0 via the persistent-threads engine.

@@ -9,12 +9,15 @@
 
 namespace fbmpk {
 
-/// No-op tracer: the default for production kernels.
+/// No-op tracer: the default for production kernels. The hooks are
+/// constexpr-empty and force-inlined so no call, argument setup, or
+/// symbol survives into release kernel objects — tests/check_notracer
+/// greps the compiled objects to keep it that way.
 struct NullTracer {
   template <class T>
-  void read(const T*) {}
+  [[gnu::always_inline]] constexpr void read(const T*) const noexcept {}
   template <class T>
-  void write(T*) {}
+  [[gnu::always_inline]] constexpr void write(T*) const noexcept {}
 };
 
 /// Concept-lite check used in static_asserts of kernel templates.

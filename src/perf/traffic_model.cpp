@@ -6,7 +6,18 @@ namespace fbmpk::perf {
 
 std::size_t csr_sweep_bytes(index_t rows, index_t nnz,
                             std::size_t value_size) {
-  return static_cast<std::size_t>(nnz) * (value_size + sizeof(index_t)) +
+  return csr_sweep_bytes_custom(rows, nnz, value_size,
+                                static_cast<double>(sizeof(index_t)));
+}
+
+std::size_t csr_sweep_bytes_custom(index_t rows, index_t nnz,
+                                   std::size_t value_size,
+                                   double col_index_bytes) {
+  FBMPK_CHECK_MSG(col_index_bytes >= 0.0,
+                  "column index width must be non-negative");
+  const double idx_bytes = static_cast<double>(nnz) * col_index_bytes;
+  return static_cast<std::size_t>(nnz) * value_size +
+         static_cast<std::size_t>(idx_bytes + 0.5) +
          (static_cast<std::size_t>(rows) + 1) * sizeof(index_t);
 }
 
@@ -33,13 +44,20 @@ TrafficEstimate standard_mpk_traffic(const MatrixShape& m, int k,
 
 TrafficEstimate fbmpk_traffic(const MatrixShape& m, int k,
                               std::size_t value_size) {
+  return fbmpk_traffic_compressed(m, k, static_cast<double>(sizeof(index_t)),
+                                  value_size);
+}
+
+TrafficEstimate fbmpk_traffic_compressed(const MatrixShape& m, int k,
+                                         double col_index_bytes,
+                                         std::size_t value_size) {
   FBMPK_CHECK(k >= 1);
   const bool odd = (k % 2 != 0);
   const index_t offdiag = m.nnz - m.diag_entries;
   // The split is assumed balanced; for structurally symmetric matrices
   // it is exact.
-  const std::size_t tri_bytes =
-      csr_sweep_bytes(m.rows, offdiag / 2, value_size);
+  const std::size_t tri_bytes = csr_sweep_bytes_custom(
+      m.rows, offdiag / 2, value_size, col_index_bytes);
   const std::size_t u_sweeps = odd ? (k + 1) / 2 : k / 2 + 1;
   const std::size_t l_sweeps = odd ? (k + 1) / 2 : k / 2;
 

@@ -43,6 +43,14 @@ struct MatrixShape {
 /// Bytes streamed per full-CSR sweep (values + col_idx + row_ptr).
 std::size_t csr_sweep_bytes(index_t rows, index_t nnz, std::size_t value_size);
 
+/// Same, with a caller-supplied column-index width. `col_index_bytes`
+/// may be fractional: a band-compressed sidecar
+/// (sparse/packed_tri.hpp) mixes u16 and full-width bands, so its
+/// effective width is PackedTriangleIndex::bytes_per_nnz().
+std::size_t csr_sweep_bytes_custom(index_t rows, index_t nnz,
+                                   std::size_t value_size,
+                                   double col_index_bytes);
+
 /// Standard MPK (Algorithm 1), k powers: k sweeps of A, plus per sweep a
 /// read of x and a write of y.
 TrafficEstimate standard_mpk_traffic(const MatrixShape& m, int k,
@@ -53,6 +61,15 @@ TrafficEstimate standard_mpk_traffic(const MatrixShape& m, int k,
 /// the interleaved xy pair, tmp and the diagonal.
 TrafficEstimate fbmpk_traffic(const MatrixShape& m, int k,
                               std::size_t value_size = sizeof(double));
+
+/// FBMPK with compressed triangle column indices: identical sweep
+/// structure, but each triangle nonzero's index costs
+/// `col_index_bytes` instead of sizeof(index_t). Pass the measured
+/// PackedSplitIndex::bytes_per_nnz() to predict the traffic saved by
+/// PlanOptions::index_compress.
+TrafficEstimate fbmpk_traffic_compressed(
+    const MatrixShape& m, int k, double col_index_bytes,
+    std::size_t value_size = sizeof(double));
 
 /// Number of full-matrix-equivalent sweeps each pipeline performs —
 /// k for standard, (k+1+(k odd ? 1 : 2)/2)/2-style count for FBMPK;

@@ -43,6 +43,8 @@ class SellMatrix {
     // equal-length rows keep their relative order).
     m.row_order_.resize(static_cast<std::size_t>(n));
     std::iota(m.row_order_.begin(), m.row_order_.end(), 0);
+    m.row_len_.resize(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) m.row_len_[i] = a.row_nnz(i);
     for (index_t w = 0; w < n; w += sigma) {
       const index_t end = std::min<index_t>(n, w + sigma);
       std::stable_sort(m.row_order_.begin() + w, m.row_order_.begin() + end,
@@ -108,7 +110,36 @@ class SellMatrix {
     return col_idx_.size() * sizeof(index_t) + values_.size() * sizeof(T) +
            chunk_ptr_.size() * sizeof(index_t) +
            chunk_len_.size() * sizeof(index_t) +
-           row_order_.size() * sizeof(index_t);
+           row_order_.size() * sizeof(index_t) +
+           row_len_.size() * sizeof(index_t);
+  }
+
+  /// Convert back to CSR in the original row order. Exact inverse of
+  /// from_csr: per-row lengths are stored, so padding slots (and any
+  /// explicit zeros the caller kept) round-trip losslessly.
+  CsrMatrix<T> to_csr() const {
+    const index_t n = rows_;
+    AlignedVector<index_t> rp(static_cast<std::size_t>(n) + 1, 0);
+    for (index_t i = 0; i < n; ++i) rp[i + 1] = rp[i] + row_len_[i];
+    AlignedVector<index_t> ci(static_cast<std::size_t>(rp[n]));
+    AlignedVector<T> va(static_cast<std::size_t>(rp[n]));
+    for (index_t c = 0; c < num_chunks(); ++c) {
+      for (index_t lane = 0; lane < chunk_; ++lane) {
+        const index_t slot = c * chunk_ + lane;
+        if (slot >= n) continue;
+        const index_t row = row_order_[slot];
+        const index_t lo = rp[row];
+        const index_t len = row_len_[row];
+        for (index_t j = 0; j < len; ++j) {
+          const std::size_t pos = static_cast<std::size_t>(chunk_ptr_[c]) +
+                                  static_cast<std::size_t>(j) * chunk_ + lane;
+          ci[lo + j] = col_idx_[pos];
+          va[lo + j] = values_[pos];
+        }
+      }
+    }
+    return CsrMatrix<T>(n, cols_, std::move(rp), std::move(ci),
+                        std::move(va));
   }
 
   /// y = A x. Lanes of a chunk advance in lockstep (SIMD-friendly).
@@ -151,6 +182,7 @@ class SellMatrix {
   index_t nnz_ = 0;
   index_t chunk_ = 8;
   std::vector<index_t> row_order_;       ///< slot -> original row
+  std::vector<index_t> row_len_;         ///< original row -> its nnz
   AlignedVector<index_t> chunk_ptr_;     ///< chunk -> base offset
   AlignedVector<index_t> chunk_len_;     ///< chunk -> padded row length
   AlignedVector<index_t> col_idx_;       ///< column-major per chunk

@@ -1,0 +1,31 @@
+# ctest script: assert the NullTracer hooks left no trace in the
+# optimized kernel object (tests/notracer_probe.cpp).
+#
+# Invoked as:
+#   cmake -DNM=<nm> -DOBJS=<obj1;obj2;...> -P check_notracer.cmake
+#
+# Fails if any object defines or references a NullTracer member — the
+# hooks are always_inline empty bodies and must vanish entirely. The
+# sweep templates themselves legitimately mangle "NullTracer" into
+# their own names (they are parameterized on the tracer type), so the
+# check targets the hook methods, not any mention of the type.
+if(NOT DEFINED NM OR NOT DEFINED OBJS)
+  message(FATAL_ERROR "usage: cmake -DNM=... -DOBJS=... -P check_notracer.cmake")
+endif()
+
+foreach(obj IN LISTS OBJS)
+  execute_process(
+    COMMAND "${NM}" -C "${obj}"
+    OUTPUT_VARIABLE symbols
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "nm failed on ${obj}")
+  endif()
+  string(REGEX MATCH "NullTracer::(read|write)" hit "${symbols}")
+  if(hit)
+    message(FATAL_ERROR
+      "tracer hook symbol survived in release object ${obj}: ${hit}\n"
+      "NullTracer::read/write must inline away (see kernels/tracer.hpp)")
+  endif()
+endforeach()
+message(STATUS "no tracer hook symbols in release kernel objects")

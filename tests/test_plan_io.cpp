@@ -1,11 +1,14 @@
 // Tests for plan serialization (offline preprocessing, paper §IV-C).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <sstream>
 
 #include "core/plan.hpp"
 #include "core/plan_io.hpp"
+#include "support/checksum.hpp"
 #include "gen/stencil.hpp"
 #include "kernels/mpk_baseline.hpp"
 #include "test_util.hpp"
@@ -156,6 +159,127 @@ TEST(PlanIo, TryLoadReturnsExpectedInsteadOfThrowing) {
   auto loaded = try_load_plan(buf);
   ASSERT_TRUE(loaded);
   EXPECT_EQ(loaded.value().rows(), 36);
+}
+
+// --- format v4: kernel options + PCKD packed-index section -----------------
+
+TEST(PlanIo, RoundTripCompressedDispatchPlan) {
+  const auto a = gen::make_laplacian_2d(20, 18);
+  PlanOptions opts;
+  opts.kernel_backend = KernelBackend::kGeneric;
+  opts.index_compress = true;
+  opts.prefetch_dist = 8;
+  auto plan = MpkPlan::build(a, opts);
+  ASSERT_GT(plan.stats().packed_index_bytes, 0u);
+
+  std::stringstream buf;
+  save_plan(plan, buf);
+  auto loaded = load_plan(buf);
+
+  EXPECT_EQ(loaded.options().kernel_backend, KernelBackend::kGeneric);
+  EXPECT_TRUE(loaded.options().index_compress);
+  EXPECT_EQ(loaded.options().prefetch_dist, 8);
+  EXPECT_EQ(loaded.resolved_backend(), KernelBackend::kGeneric);
+  EXPECT_EQ(loaded.stats().packed_index_bytes,
+            plan.stats().packed_index_bytes);
+  EXPECT_EQ(loaded.packed_index().bytes_per_nnz(),
+            plan.packed_index().bytes_per_nnz());
+  expect_plans_equivalent(plan, loaded, a, 5);
+}
+
+TEST(PlanIo, RoundTripResolvesAutoBackendOnLoad) {
+  const auto a = gen::make_laplacian_2d(9, 9);
+  PlanOptions opts;
+  opts.kernel_backend = KernelBackend::kAuto;
+  auto plan = MpkPlan::build(a, opts);
+  std::stringstream buf;
+  save_plan(plan, buf);
+  auto loaded = load_plan(buf);
+  // The stored option stays kAuto; the executing backend re-resolves on
+  // the loading machine (here: the same one).
+  EXPECT_EQ(loaded.options().kernel_backend, KernelBackend::kAuto);
+  EXPECT_EQ(loaded.resolved_backend(), plan.resolved_backend());
+  expect_plans_equivalent(plan, loaded, a, 4);
+}
+
+namespace {
+// Byte offsets of the fixed header before the CRC'd payload.
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 4;
+constexpr std::size_t kCrcOffset = 8 + 4 + 4 + 8;
+
+// Re-stamp the header CRC after tampering payload bytes, so the load
+// failure exercises semantic validation rather than the checksum.
+void fix_crc(std::string& stream) {
+  const std::uint32_t crc = crc32(stream.data() + kHeaderBytes,
+                                  stream.size() - kHeaderBytes);
+  std::memcpy(stream.data() + kCrcOffset, &crc, sizeof(crc));
+}
+}  // namespace
+
+TEST(PlanIo, TamperedPackedSectionFailsDecodeCompare) {
+  const auto a = gen::make_laplacian_2d(16, 16);
+  PlanOptions opts;
+  opts.index_compress = true;
+  auto plan = MpkPlan::build(a, opts);
+  std::stringstream buf;
+  save_plan(plan, buf);
+  std::string stream = buf.str();
+
+  // PCKD is the last section and its final vector (upper.col32) is
+  // empty on this banded matrix, so the byte 9 from the end is the last
+  // u16 of upper.col16 — flip it and re-stamp the CRC. The framing and
+  // checksum now pass; only the decode-compare can catch it.
+  ASSERT_GT(stream.size(), 32u);
+  stream[stream.size() - 9] = static_cast<char>(
+      static_cast<unsigned char>(stream[stream.size() - 9]) ^ 0x01);
+  fix_crc(stream);
+
+  std::stringstream tampered(stream);
+  try {
+    load_plan(tampered);
+    FAIL() << "tampered packed index was accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCorruptPlan);
+  }
+}
+
+TEST(PlanIo, PackedPayloadWithCompressOffIsCorrupt) {
+  // A plan claiming index_compress=off must not smuggle in a packed
+  // sidecar. Craft one by flipping the OPTS boolean of a compressed
+  // plan's stream: the first payload byte that differs between the
+  // compressed and uncompressed builds is exactly that flag.
+  const auto a = gen::make_laplacian_2d(12, 12);
+  PlanOptions on, off;
+  on.index_compress = true;
+  off.index_compress = false;
+  auto plan_on = MpkPlan::build(a, on);
+  auto plan_off = MpkPlan::build(a, off);
+  std::stringstream bon, boff;
+  save_plan(plan_on, bon);
+  save_plan(plan_off, boff);
+  std::string s_on = bon.str();
+  const std::string s_off = boff.str();
+
+  std::size_t flag = std::string::npos;
+  for (std::size_t i = kHeaderBytes;
+       i < std::min(s_on.size(), s_off.size()); ++i) {
+    if (s_on[i] != s_off[i]) {
+      flag = i;
+      break;
+    }
+  }
+  ASSERT_NE(flag, std::string::npos);
+  ASSERT_EQ(s_on[flag], 1);  // the serialized boolean
+  s_on[flag] = 0;
+  fix_crc(s_on);
+
+  std::stringstream tampered(s_on);
+  try {
+    load_plan(tampered);
+    FAIL() << "packed payload with index_compress=off was accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCorruptPlan);
+  }
 }
 
 TEST(PlanIo, LoadedPlanMatchesBaselineNumerics) {

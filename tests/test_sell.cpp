@@ -1,0 +1,148 @@
+// SELL-C-sigma: CSR round-trips, spmv agreement, sigma-window edges.
+#include "sparse/sell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/kkt.hpp"
+#include "gen/stencil.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+void expect_csr_equal(const CsrMatrix<double>& a, const CsrMatrix<double>& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (index_t i = 0; i <= a.rows(); ++i)
+    ASSERT_EQ(a.row_ptr()[i], b.row_ptr()[i]) << "row_ptr " << i;
+  for (index_t j = 0; j < a.nnz(); ++j) {
+    ASSERT_EQ(a.col_idx()[j], b.col_idx()[j]) << "col " << j;
+    ASSERT_EQ(a.values()[j], b.values()[j]) << "val " << j;
+  }
+}
+
+void expect_round_trip(const CsrMatrix<double>& a, index_t chunk,
+                       index_t sigma) {
+  const auto sell = SellMatrix<double>::from_csr(a, chunk, sigma);
+  expect_csr_equal(sell.to_csr(), a);
+
+  // spmv through SELL matches CSR-side reference.
+  const auto x = test::random_vector(a.cols(), 1234);
+  AlignedVector<double> ys(static_cast<std::size_t>(a.rows()));
+  sell.spmv(x, ys);
+  AlignedVector<double> yr(static_cast<std::size_t>(a.rows()));
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (index_t j = a.row_ptr()[i]; j < a.row_ptr()[i + 1]; ++j)
+      sum += a.values()[j] * x[a.col_idx()[j]];
+    yr[i] = sum;
+  }
+  test::expect_near_rel(ys, yr, 1e-13, "sell spmv");
+}
+
+TEST(Sell, RoundTripsStencil) {
+  const auto a = gen::make_laplacian_2d(19, 17);
+  for (const index_t chunk : {1, 4, 8})
+    for (const index_t sigma : {1, 8, 64, a.rows()})
+      expect_round_trip(a, chunk, sigma);
+}
+
+TEST(Sell, RoundTripsRandom) {
+  const auto a = test::random_matrix(211, 7.0, /*symmetric=*/false, 99);
+  for (const index_t chunk : {2, 8, 16})
+    for (const index_t sigma : {1, 16, a.rows()})
+      expect_round_trip(a, chunk, sigma);
+}
+
+TEST(Sell, RoundTripsKkt) {
+  const auto a = gen::make_kkt_saddle(6, 5, 4, {});
+  expect_round_trip(a, 8, 32);
+  expect_round_trip(a, 8, a.rows());
+}
+
+TEST(Sell, RoundTripsWithZeroNnzRows) {
+  // Alternating empty rows exercise per-row length bookkeeping: an
+  // empty row shares a chunk with full rows and is pure padding there.
+  const index_t n = 61;
+  AlignedVector<index_t> rp(static_cast<std::size_t>(n) + 1, 0);
+  AlignedVector<index_t> ci;
+  AlignedVector<double> va;
+  for (index_t i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      if (i > 0) {
+        ci.push_back(i - 1);
+        va.push_back(-1.0);
+      }
+      ci.push_back(i);
+      va.push_back(2.0 + i);
+    }
+    rp[i + 1] = static_cast<index_t>(ci.size());
+  }
+  const CsrMatrix<double> a(n, n, std::move(rp), std::move(ci),
+                            std::move(va));
+  for (const index_t chunk : {1, 4, 8})
+    for (const index_t sigma : {1, 4, n}) expect_round_trip(a, chunk, sigma);
+}
+
+TEST(Sell, RoundTripsAllRowsEmpty) {
+  const index_t n = 10;
+  const CsrMatrix<double> a(
+      n, n, AlignedVector<index_t>(static_cast<std::size_t>(n) + 1, 0),
+      AlignedVector<index_t>{}, AlignedVector<double>{});
+  const auto sell = SellMatrix<double>::from_csr(a, 4, 8);
+  EXPECT_EQ(sell.padded_size(), 0u);
+  expect_csr_equal(sell.to_csr(), a);
+}
+
+TEST(Sell, RowsFewerThanChunk) {
+  // n < C: a single partial chunk with trailing ghost lanes.
+  const auto a = test::random_matrix(5, 3.0, /*symmetric=*/false, 7);
+  expect_round_trip(a, 8, 8);
+}
+
+TEST(Sell, RowsNotMultipleOfChunkOrSigma) {
+  // n = 23 with C = 8, sigma = 16: both the last sigma window and the
+  // last chunk are partial.
+  const auto a = test::random_matrix(23, 4.0, /*symmetric=*/false, 55);
+  expect_round_trip(a, 8, 16);
+}
+
+TEST(Sell, SigmaSmallerThanChunkIsClamped) {
+  // sigma < C is rounded up to the chunk size, so sorting windows never
+  // split a chunk. The round-trip must still be exact.
+  const auto a = test::random_matrix(64, 6.0, /*symmetric=*/false, 12);
+  expect_round_trip(a, 16, 2);
+}
+
+TEST(Sell, SortingReducesPaddingOnSkewedRows) {
+  // Alternating long/short rows: with sigma = 1 every chunk contains a
+  // long row and pads the short ones to its length; a full sort groups
+  // similar lengths so the short-row chunks stay dense.
+  const index_t n = 64;
+  AlignedVector<index_t> rp(static_cast<std::size_t>(n) + 1, 0);
+  AlignedVector<index_t> ci;
+  AlignedVector<double> va;
+  for (index_t i = 0; i < n; ++i) {
+    if (i % 2 == 1) {
+      for (index_t j = 0; j < 9; ++j) {
+        ci.push_back(j);
+        va.push_back(1.0 + j);
+      }
+    } else {
+      ci.push_back(i);
+      va.push_back(2.0);
+    }
+    rp[i + 1] = static_cast<index_t>(ci.size());
+  }
+  const CsrMatrix<double> a(n, n, std::move(rp), std::move(ci),
+                            std::move(va));
+  const auto unsorted = SellMatrix<double>::from_csr(a, 8, 1);
+  const auto sorted = SellMatrix<double>::from_csr(a, 8, n);
+  EXPECT_LT(sorted.padded_size(), unsorted.padded_size());
+  expect_csr_equal(unsorted.to_csr(), a);
+  expect_csr_equal(sorted.to_csr(), a);
+}
+
+}  // namespace
+}  // namespace fbmpk
