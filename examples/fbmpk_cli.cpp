@@ -116,6 +116,10 @@ int cmd_plan(const Args& args) {
   opts.kernel_backend = parse_backend(get(args, "backend", "scalar"));
   opts.index_compress = get(args, "index-compress", "0") != "0";
   opts.prefetch_dist = std::stoi(get(args, "prefetch-dist", "16"));
+  // Value storage precision. fp64 is the exact default; fp32 and split
+  // narrow the stored value stream while accumulating in fp64
+  // (docs/KERNELS.md has the error bound).
+  opts.value_precision = parse_precision(get(args, "precision", "fp64"));
   MpkPlan plan = [&] {
     if (args.count("autotune-k") != 0) {
       const int k = std::stoi(args.at("autotune-k"));
@@ -140,8 +144,10 @@ int cmd_plan(const Args& args) {
               static_cast<int>(plan.stats().num_blocks),
               static_cast<int>(plan.stats().num_colors),
               plan.stats().build_seconds * 1e3, out.c_str());
-  std::printf("kernel: backend=%s%s\n", backend_name(plan.resolved_backend()),
-              plan.options().index_compress ? ", compressed indices" : "");
+  std::printf("kernel: backend=%s%s, values=%s\n",
+              backend_name(plan.resolved_backend()),
+              plan.options().index_compress ? ", compressed indices" : "",
+              precision_name(plan.options().value_precision));
   return 0;
 }
 
@@ -175,6 +181,23 @@ int cmd_info(const Args& args) {
                     (1024.0 * 1024.0));
   else
     std::printf("indices:         plain (%zu-byte)\n", sizeof(index_t));
+  if (plan.options().value_precision != ValuePrecision::kFp64)
+    std::printf("values:          %s%s, %.2f MB sidecar\n",
+                precision_name(plan.options().value_precision),
+                plan.packed_values().lossless() ? " (lossless)" : "",
+                static_cast<double>(st.packed_value_bytes) /
+                    (1024.0 * 1024.0));
+  else
+    std::printf("values:          fp64\n");
+  const TunedConfig& tuned = plan.tuned_config();
+  if (tuned.valid)
+    std::printf("tuned:           backend=%s, compress=%s, values=%s, "
+                "%d threads%s\n",
+                backend_name(tuned.backend),
+                tuned.index_compress ? "yes" : "no",
+                precision_name(tuned.value_precision),
+                static_cast<int>(tuned.tuned_threads),
+                tuned.stale ? " (STALE on this machine)" : "");
   return 0;
 }
 
@@ -220,6 +243,7 @@ int main(int argc, char** argv) {
                  "        [--sweep=barrier|p2p] [--sweep-threads=0]\n"
                  "        [--backend=auto|scalar|generic|avx2|avx512]"
                  " [--index-compress] [--prefetch-dist=16]\n"
+                 "        [--precision=fp64|fp32|split]\n"
                  "  info  --plan=plan.bin\n"
                  "  power --plan=plan.bin --k=5 [--x=x.txt] [--out=y.txt]\n"
                  "  poly  --plan=plan.bin --coeffs=1,0.5 [--x=] [--out=]\n",

@@ -108,16 +108,46 @@ KernelConfigResult autotune_kernel_config(const CsrMatrix<double>& a, int k,
   struct Candidate {
     KernelBackend backend;
     bool compress;
+    ValuePrecision precision;
   };
   std::vector<Candidate> candidates;
-  candidates.push_back({KernelBackend::kScalar, false});
+  candidates.push_back({KernelBackend::kScalar, false, ValuePrecision::kFp64});
   if (dispatch_ok) {
-    candidates.push_back({KernelBackend::kScalar, true});
+    candidates.push_back({KernelBackend::kScalar, true, ValuePrecision::kFp64});
+
+    // Reduced value precision needs every value inside float range; the
+    // split pair is additionally *exact* when each value survives the
+    // hi/lo round-trip, which makes it eligible without allow_fast.
+    const auto vals = std::span<const double>(a.values());
+    const bool fits = values_fit_fp32(vals);
+    bool lossless = fits;
+    if (fits) {
+      for (double v : vals) {
+        float hi = 0.0f, lo = 0.0f;
+        split_value(v, hi, lo);
+        if (join_split(hi, lo) != v) {
+          lossless = false;
+          break;
+        }
+      }
+    }
+    if (lossless) {
+      candidates.push_back(
+          {KernelBackend::kScalar, false, ValuePrecision::kSplit});
+      candidates.push_back(
+          {KernelBackend::kScalar, true, ValuePrecision::kSplit});
+    }
     if (allow_fast) {
       const KernelBackend fast = resolve_backend(KernelBackend::kAuto);
       if (fast != KernelBackend::kScalar) {
-        candidates.push_back({fast, false});
-        candidates.push_back({fast, true});
+        candidates.push_back({fast, false, ValuePrecision::kFp64});
+        candidates.push_back({fast, true, ValuePrecision::kFp64});
+      }
+      if (fits) {
+        candidates.push_back({fast, false, ValuePrecision::kFp32});
+        candidates.push_back({fast, true, ValuePrecision::kFp32});
+        if (!lossless)  // approximate split: fast-mode only
+          candidates.push_back({fast, true, ValuePrecision::kSplit});
       }
     }
   }
@@ -132,6 +162,7 @@ KernelConfigResult autotune_kernel_config(const CsrMatrix<double>& a, int k,
     PlanOptions opts = base;
     opts.kernel_backend = c.backend;
     opts.index_compress = c.compress;
+    opts.value_precision = c.precision;
     MpkPlan plan = MpkPlan::build(a, opts);
 
     MpkPlan::Workspace ws;
@@ -146,13 +177,16 @@ KernelConfigResult autotune_kernel_config(const CsrMatrix<double>& a, int k,
     KernelConfigSample sample;
     sample.backend = c.backend;
     sample.index_compress = c.compress;
+    sample.value_precision = c.precision;
     sample.seconds = stats.median();
     sample.packed_index_bytes = plan.stats().packed_index_bytes;
+    sample.packed_value_bytes = plan.stats().packed_value_bytes;
     result.samples.push_back(sample);
 
     if (result.samples.size() == 1 || sample.seconds < result.best_seconds) {
       result.best_backend = c.backend;
       result.best_index_compress = c.compress;
+      result.best_value_precision = c.precision;
       result.best_seconds = sample.seconds;
     }
   }
@@ -170,7 +204,18 @@ MpkPlan build_autotuned_plan(const CsrMatrix<double>& a, int k,
       autotune_kernel_config(a, k, /*reps=*/3, base, allow_fast_kernels);
   base.kernel_backend = kcfg.best_backend;
   base.index_compress = kcfg.best_index_compress;
-  return MpkPlan::build(a, base);
+  base.value_precision = kcfg.best_value_precision;
+  MpkPlan plan = MpkPlan::build(a, base);
+
+  TunedConfig chosen;
+  chosen.valid = true;
+  chosen.backend = kcfg.best_backend;
+  chosen.index_compress = kcfg.best_index_compress;
+  chosen.value_precision = kcfg.best_value_precision;
+  chosen.tuned_threads = static_cast<index_t>(max_threads());
+  chosen.best_seconds = kcfg.best_seconds;
+  plan.set_tuned_config(chosen);
+  return plan;
 }
 
 }  // namespace fbmpk

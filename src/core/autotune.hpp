@@ -57,26 +57,32 @@ AutotuneResult autotune_block_count(
 struct KernelConfigSample {
   KernelBackend backend = KernelBackend::kScalar;
   bool index_compress = false;
+  ValuePrecision value_precision = ValuePrecision::kFp64;
   double seconds = 0.0;            ///< median kernel time for A^k x
   std::size_t packed_index_bytes = 0;  ///< sidecar size (0 when plain)
+  std::size_t packed_value_bytes = 0;  ///< value sidecar size (0 = fp64)
 };
 
 struct KernelConfigResult {
   KernelBackend best_backend = KernelBackend::kScalar;
   bool best_index_compress = false;
+  ValuePrecision best_value_precision = ValuePrecision::kFp64;
   double best_seconds = 0.0;
   std::vector<KernelConfigSample> samples;  ///< in candidate order
 };
 
 /// Measure y = A^k x across row-kernel configurations — the exact
 /// scalar backend vs the widest available vector backend, each with
-/// plain and band-compressed column indices — and pick the fastest.
-/// Vector (fast-mode) candidates are only tried when `allow_fast` is
-/// set: fast mode trades the bitwise serial<->parallel identity for a
-/// bounded reassociation error (docs/KERNELS.md), so the caller must
-/// opt in. Configurations the plan builder rejects (split variant,
-/// parallel level scheduler) are skipped, leaving the scalar/plain
-/// baseline.
+/// plain and band-compressed column indices, and fp64 vs reduced value
+/// precision — and pick the fastest. Vector (fast-mode) and fp32
+/// candidates are only tried when `allow_fast` is set: both trade the
+/// bitwise exact result for a bounded error (docs/KERNELS.md), so the
+/// caller must opt in. Split hi/lo storage is *exact-eligible*: when
+/// every matrix value survives the hi/lo round-trip, split candidates
+/// are measured even without `allow_fast` because the scalar split
+/// kernel reproduces the exact result bitwise. Configurations the plan
+/// builder rejects (split variant, parallel level scheduler) are
+/// skipped, leaving the scalar/plain baseline.
 KernelConfigResult autotune_kernel_config(const CsrMatrix<double>& a, int k,
                                           int reps = 3, PlanOptions base = {},
                                           bool allow_fast = false);
@@ -84,7 +90,10 @@ KernelConfigResult autotune_kernel_config(const CsrMatrix<double>& a, int k,
 /// Convenience: build a plan with the autotuned block count, for
 /// parallel ABMC plans the autotuned sweep synchronization, and — only
 /// when `allow_fast_kernels` opts in — the autotuned row-kernel
-/// backend / index compression.
+/// backend / index compression / value precision. The winning
+/// configuration is recorded on the plan (MpkPlan::tuned_config) and
+/// persisted by save_plan, so a reloaded plan knows what was tuned and
+/// whether the choice is stale on the loading machine.
 MpkPlan build_autotuned_plan(const CsrMatrix<double>& a, int k,
                              PlanOptions base = {},
                              bool allow_fast_kernels = false);

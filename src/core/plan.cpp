@@ -19,7 +19,8 @@ MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
       "ABMC-scheduled parallel execution requires the reorder; use "
       "Scheduler::kLevels to run parallel without reordering");
   const bool wants_dispatch =
-      opts.kernel_backend != KernelBackend::kScalar || opts.index_compress;
+      opts.kernel_backend != KernelBackend::kScalar || opts.index_compress ||
+      opts.value_precision != ValuePrecision::kFp64;
   FBMPK_CHECK_CODE(!wants_dispatch || opts.variant == FbVariant::kBtb,
                    ErrorCode::kUnsupported,
                    "fast kernel backends / index compression cover the BtB "
@@ -74,6 +75,24 @@ MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
     plan.packed_.upper = PackedTriangleIndex::build(plan.split_.upper);
     plan.stats_.packed_index_bytes = plan.packed_.index_bytes();
   }
+  if (opts.value_precision != ValuePrecision::kFp64) {
+    const auto lv = std::span<const double>(plan.split_.lower.values());
+    const auto uv = std::span<const double>(plan.split_.upper.values());
+    const auto dv = std::span<const double>(plan.split_.diag);
+    FBMPK_CHECK_CODE(
+        values_fit_fp32(lv) && values_fit_fp32(uv) && values_fit_fp32(dv),
+        ErrorCode::kUnsupported,
+        "matrix values exceed float range; "
+            << precision_name(opts.value_precision)
+            << " storage needs every value finite and within float range");
+    plan.values_.precision = opts.value_precision;
+    plan.values_.lower =
+        PackedTriangleValues::build(lv, opts.value_precision);
+    plan.values_.upper =
+        PackedTriangleValues::build(uv, opts.value_precision);
+    plan.values_.diag = PackedTriangleValues::build(dv, opts.value_precision);
+    plan.stats_.packed_value_bytes = plan.values_.value_bytes();
+  }
   // Resolve the executing backend now so an impossible explicit request
   // fails at build, not at the first power() call. kAuto goes through
   // the CPUID probe.
@@ -94,8 +113,14 @@ MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
 DispatchRows MpkPlan::dispatch_rows() const {
   return make_dispatch_rows(split_,
                             opts_.index_compress ? &packed_ : nullptr,
-                            row_kernels(resolved_backend_),
+                            &values_, row_kernels(resolved_backend_),
                             opts_.prefetch_dist);
+}
+
+bool tuned_config_stale(const TunedConfig& cfg, index_t runtime_threads) {
+  if (!cfg.valid) return false;
+  if (!backend_available(cfg.backend)) return true;
+  return cfg.tuned_threads != runtime_threads;
 }
 
 void MpkPlan::run_power(std::span<const double> px, int k,

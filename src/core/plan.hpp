@@ -104,7 +104,38 @@ struct PlanOptions {
   /// of dispatched kernels; 0 disables. Ignored by the exact scalar
   /// backend.
   int prefetch_dist = 16;
+  /// How triangle/diagonal values are *stored* for the sweeps. kFp64
+  /// (default) reads the CSR doubles. kFp32 stores floats (4 bytes/nnz,
+  /// per-value rounding <= eps_f32 relative — see docs/KERNELS.md);
+  /// kSplit stores a hi/lo float pair whose sum reconstructs the
+  /// double (lossless on many matrices). Accumulation is always fp64,
+  /// and results stay bitwise deterministic across schedules for a
+  /// fixed precision. Non-fp64 requires the BtB variant, a non-levels
+  /// scheduler, and all values finite within float range.
+  ValuePrecision value_precision = ValuePrecision::kFp64;
 };
+
+/// Autotuned kernel configuration, persisted with the plan (format v5
+/// TUNE section) so later processes skip the re-measurement. `valid`
+/// is false when the plan was never autotuned. On load the config is
+/// revalidated via tuned_config_stale(); a stale config is kept for
+/// inspection but flagged so callers re-measure instead of trusting
+/// a choice made for different hardware or thread counts.
+struct TunedConfig {
+  bool valid = false;
+  KernelBackend backend = KernelBackend::kScalar;
+  bool index_compress = false;
+  ValuePrecision value_precision = ValuePrecision::kFp64;
+  index_t tuned_threads = 0;  ///< max_threads() when measured
+  double best_seconds = 0.0;  ///< measured median kernel time
+  bool stale = false;         ///< set on load when revalidation fails
+};
+
+/// Pure revalidation predicate: a persisted tuned config is stale when
+/// its backend is unavailable on the executing CPU or the runtime
+/// thread count differs from the one it was measured with. Invalid
+/// (never-tuned) configs are never stale.
+bool tuned_config_stale(const TunedConfig& cfg, index_t runtime_threads);
 
 /// Timing/shape metadata captured at build.
 struct PlanStats {
@@ -119,6 +150,8 @@ struct PlanStats {
   /// Bytes of the compressed column sidecar (0 when index_compress is
   /// off). Compare against 2 * nnz(L) … see perf/traffic_model.
   std::size_t packed_index_bytes = 0;
+  /// Bytes of the reduced-precision value sidecar (0 for fp64).
+  std::size_t packed_value_bytes = 0;
 };
 
 class MpkPlan {
@@ -146,6 +179,13 @@ class MpkPlan {
   const SweepSchedule& sweep_schedule() const { return sweep_schedule_; }
   const TriangularSplit<double>& split() const { return split_; }
   const PackedSplitIndex& packed_index() const { return packed_; }
+  /// Reduced-precision value sidecar (empty for fp64 plans).
+  const PackedSplitValues& packed_values() const { return values_; }
+  /// Persisted autotune choice (valid == false when never tuned).
+  const TunedConfig& tuned_config() const { return tuned_; }
+  /// Record an autotune result for serialization with the plan
+  /// (core/autotune.cpp calls this from build_autotuned_plan).
+  void set_tuned_config(const TunedConfig& cfg) { tuned_ = cfg; }
   /// Concrete backend this plan executes with (kAuto already resolved;
   /// a loaded plan whose stored backend is unavailable on this CPU is
   /// re-resolved portably).
@@ -206,7 +246,8 @@ class MpkPlan {
   /// the exact fb_detail path.
   bool use_dispatch() const {
     return resolved_backend_ != KernelBackend::kScalar ||
-           opts_.index_compress;
+           opts_.index_compress ||
+           opts_.value_precision != ValuePrecision::kFp64;
   }
   DispatchRows dispatch_rows() const;
 
@@ -227,6 +268,8 @@ class MpkPlan {
   SweepSchedule sweep_schedule_;  ///< point-to-point sync only
   TriangularSplit<double> split_;
   PackedSplitIndex packed_;  ///< populated when index_compress is on
+  PackedSplitValues values_; ///< populated when value_precision != fp64
+  TunedConfig tuned_;        ///< persisted autotune choice (may be invalid)
   /// Concrete executing backend; derived from opts_.kernel_backend at
   /// build/load time, never serialized.
   KernelBackend resolved_backend_ = KernelBackend::kScalar;

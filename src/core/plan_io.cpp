@@ -6,6 +6,7 @@
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <span>
 #include <string>
 #include <type_traits>
 
@@ -37,16 +38,24 @@ namespace {
 // persistent-threads SweepSchedule), and the sweep_threads stats
 // field. v4 added the kernel-backend / index-compression / prefetch
 // options to OPTS, the packed_index_bytes stats field, and the PCKD
-// section (both triangles' compressed column sidecars). v1-v3 files
-// are rejected with kVersionMismatch. A loaded schedule is
+// section (both triangles' compressed column sidecars). v5 added the
+// value_precision option to OPTS, the packed_value_bytes stats field,
+// the VALP section (reduced-precision value sidecars for L/U/diag),
+// and the TUNE section (the persisted autotune choice). v1-v3 files
+// are rejected with kVersionMismatch; v4 files still load (precision
+// defaults to fp64, tuned config to never-tuned). A loaded schedule is
 // structurally re-validated (validate_sweep_schedule) and rebuilt from
 // the split when its stored thread count does not match the runtime's;
 // a loaded packed sidecar is decode-compared against the split's
-// column stream (any mismatch -> kCorruptPlan).
+// column stream, and a loaded value sidecar is re-encoded from the
+// split's fp64 values and compared bitwise (any mismatch ->
+// kCorruptPlan). A loaded tuned config is revalidated against the
+// executing machine (tuned_config_stale) rather than trusted.
 // ---------------------------------------------------------------------------
 
 constexpr char kMagic[8] = {'F', 'B', 'M', 'P', 'K', 'P', 'L', 'N'};
-constexpr std::uint32_t kVersion = 4;
+constexpr std::uint32_t kVersion = 5;
+constexpr std::uint32_t kMinVersion = 4;  // oldest still-loadable format
 
 // Section tags, in the order they are written.
 enum : std::uint32_t {
@@ -58,6 +67,23 @@ enum : std::uint32_t {
   kSecLevels = 0x4C564C53,    // 'LVLS'
   kSecSplit = 0x53504C54,     // 'SPLT'
   kSecPacked = 0x50434B44,    // 'PCKD'
+  kSecValues = 0x56414C50,    // 'VALP' (v5)
+  kSecTuned = 0x54554E45,     // 'TUNE' (v5)
+};
+
+/// The exact PlanStats layout v4 plans were written with (raw memcpy
+/// of the struct). v5 appended packed_value_bytes; reading a v4 STAT
+/// section must use the old shape or the frame length check fails.
+struct PlanStatsV4 {
+  double build_seconds = 0.0;
+  double reorder_seconds = 0.0;
+  index_t num_blocks = 0;
+  index_t num_colors = 0;
+  index_t num_levels_forward = 0;
+  index_t num_levels_backward = 0;
+  index_t sweep_threads = 0;
+  std::size_t storage_bytes = 0;
+  std::size_t packed_index_bytes = 0;
 };
 
 // Serialized payloads are bounded: a section or vector claiming more
@@ -278,6 +304,31 @@ void write_packed(BlobWriter& w, const PackedTriangleIndex& p) {
   w.vec(raw.col32);
 }
 
+void write_values(BlobWriter& w, const PackedTriangleValues& p) {
+  const PackedTriangleValues::Raw raw = p.to_raw();
+  w.pod(raw.precision);
+  w.pod(raw.lossless);
+  w.pod(raw.count);
+  w.vec(raw.f32);
+  w.vec(raw.hi);
+  w.vec(raw.lo);
+}
+
+PackedTriangleValues read_values(BlobReader& r, const char* name) {
+  PackedTriangleValues::Raw raw;
+  raw.precision = r.pod<std::uint8_t>();
+  raw.lossless = r.pod<std::uint8_t>();
+  raw.count = r.pod<std::uint64_t>();
+  raw.f32 = r.vec<AlignedVector<float>>();
+  raw.hi = r.vec<AlignedVector<float>>();
+  raw.lo = r.vec<AlignedVector<float>>();
+  PackedTriangleValues out;
+  FBMPK_CHECK_CODE(PackedTriangleValues::from_raw(std::move(raw), out),
+                   ErrorCode::kCorruptPlan,
+                   name << " value sidecar fails structural validation");
+  return out;
+}
+
 PackedTriangleIndex read_packed(BlobReader& r, const char* name) {
   PackedTriangleIndex::Raw raw;
   raw.rows = r.pod<index_t>();
@@ -337,6 +388,7 @@ void save_plan(const MpkPlan& plan, std::ostream& out) {
   w.enumeration(o.kernel_backend);
   w.boolean(o.index_compress);
   w.pod(static_cast<std::int32_t>(o.prefetch_dist));
+  w.enumeration(o.value_precision);
 
   w.begin_section(kSecStats);
   w.pod(plan.stats_);
@@ -379,6 +431,23 @@ void save_plan(const MpkPlan& plan, std::ostream& out) {
   write_packed(w, plan.packed_.lower);
   write_packed(w, plan.packed_.upper);
 
+  w.begin_section(kSecValues);
+  w.enumeration(plan.values_.precision);
+  write_values(w, plan.values_.lower);
+  write_values(w, plan.values_.upper);
+  write_values(w, plan.values_.diag);
+
+  // The tuned config travels with the plan so a reload does not repeat
+  // the autotune sweep; `stale` is recomputed on load, never stored.
+  w.begin_section(kSecTuned);
+  const TunedConfig& t = plan.tuned_;
+  w.boolean(t.valid);
+  w.enumeration(t.backend);
+  w.boolean(t.index_compress);
+  w.enumeration(t.value_precision);
+  w.pod(t.tuned_threads);
+  w.pod(t.best_seconds);
+
   const std::string& payload = w.blob();
   const auto payload_crc = crc32(payload.data(), payload.size());
 
@@ -407,12 +476,14 @@ MpkPlan load_plan(std::istream& in) {
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
   FBMPK_CHECK_CODE(in.good(), ErrorCode::kCorruptPlan,
                    "truncated plan header");
-  FBMPK_CHECK_CODE(version == kVersion, ErrorCode::kVersionMismatch,
+  FBMPK_CHECK_CODE(version >= kMinVersion && version <= kVersion,
+                   ErrorCode::kVersionMismatch,
                    "unsupported plan version "
-                       << version << " (this build reads version "
-                       << kVersion << "; older files predate the checksum, "
-                       << "the sweep schedule, or the packed-index section "
-                       << "and must be regenerated)");
+                       << version << " (this build reads versions "
+                       << kMinVersion << "-" << kVersion
+                       << "; older files predate the checksum, the sweep "
+                       << "schedule, or the packed-index section and must "
+                       << "be regenerated)");
   in.read(reinterpret_cast<char*>(&index_width), sizeof(index_width));
   in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
   in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
@@ -493,10 +564,27 @@ MpkPlan load_plan(std::istream& in) {
       plan.opts_.prefetch_dist >= 0 && plan.opts_.prefetch_dist <= 1024,
       ErrorCode::kCorruptPlan,
       "prefetch distance out of range in plan: " << plan.opts_.prefetch_dist);
+  if (version >= 5)
+    plan.opts_.value_precision =
+        r.enumeration<ValuePrecision>(3, "value precision");
   r.end_section(sec, "options");
 
   sec = r.begin_section(kSecStats, "stats");
-  plan.stats_ = r.pod<PlanStats>();
+  if (version >= 5) {
+    plan.stats_ = r.pod<PlanStats>();
+  } else {
+    const auto s4 = r.pod<PlanStatsV4>();
+    plan.stats_.build_seconds = s4.build_seconds;
+    plan.stats_.reorder_seconds = s4.reorder_seconds;
+    plan.stats_.num_blocks = s4.num_blocks;
+    plan.stats_.num_colors = s4.num_colors;
+    plan.stats_.num_levels_forward = s4.num_levels_forward;
+    plan.stats_.num_levels_backward = s4.num_levels_backward;
+    plan.stats_.sweep_threads = s4.sweep_threads;
+    plan.stats_.storage_bytes = s4.storage_bytes;
+    plan.stats_.packed_index_bytes = s4.packed_index_bytes;
+    plan.stats_.packed_value_bytes = 0;
+  }
   r.end_section(sec, "stats");
 
   sec = r.begin_section(kSecPerm, "permutation");
@@ -568,6 +656,30 @@ MpkPlan load_plan(std::istream& in) {
   plan.packed_.lower = read_packed(r, "lower");
   plan.packed_.upper = read_packed(r, "upper");
   r.end_section(sec, "packed index");
+
+  if (version >= 5) {
+    sec = r.begin_section(kSecValues, "packed values");
+    plan.values_.precision =
+        r.enumeration<ValuePrecision>(3, "sidecar precision");
+    plan.values_.lower = read_values(r, "lower");
+    plan.values_.upper = read_values(r, "upper");
+    plan.values_.diag = read_values(r, "diag");
+    r.end_section(sec, "packed values");
+
+    sec = r.begin_section(kSecTuned, "tuned config");
+    plan.tuned_.valid = r.boolean();
+    plan.tuned_.backend = r.enumeration<KernelBackend>(5, "tuned backend");
+    plan.tuned_.index_compress = r.boolean();
+    plan.tuned_.value_precision =
+        r.enumeration<ValuePrecision>(3, "tuned precision");
+    plan.tuned_.tuned_threads = r.pod<index_t>();
+    FBMPK_CHECK_CODE(plan.tuned_.tuned_threads >= 0, ErrorCode::kCorruptPlan,
+                     "negative tuned thread count in plan");
+    plan.tuned_.best_seconds = r.pod<double>();
+    FBMPK_CHECK_CODE(plan.tuned_.best_seconds >= 0.0, ErrorCode::kCorruptPlan,
+                     "negative tuned timing in plan");
+    r.end_section(sec, "tuned config");
+  }
   r.expect_exhausted();
 
   if (plan.opts_.index_compress) {
@@ -587,6 +699,30 @@ MpkPlan load_plan(std::istream& in) {
   } else {
     FBMPK_CHECK_CODE(plan.packed_.empty(), ErrorCode::kCorruptPlan,
                      "plan carries a packed index but index_compress is off");
+  }
+
+  if (plan.opts_.value_precision != ValuePrecision::kFp64) {
+    // Same discipline as PCKD: re-encode the split's fp64 values at the
+    // stored precision and require a bitwise match, so an
+    // internally-consistent but tampered value stream cannot load.
+    const auto lv = std::span<const double>(plan.split_.lower.values());
+    const auto uv = std::span<const double>(plan.split_.upper.values());
+    const auto dv = std::span<const double>(plan.split_.diag);
+    FBMPK_CHECK_CODE(plan.values_.precision == plan.opts_.value_precision,
+                     ErrorCode::kCorruptPlan,
+                     "value sidecar precision disagrees with plan options");
+    FBMPK_CHECK_CODE(plan.values_.lower.matches(lv) &&
+                         plan.values_.upper.matches(uv) &&
+                         plan.values_.diag.matches(dv),
+                     ErrorCode::kCorruptPlan,
+                     "value sidecar does not reproduce the split's values");
+    plan.stats_.packed_value_bytes = plan.values_.value_bytes();
+  } else {
+    FBMPK_CHECK_CODE(plan.values_.empty() && plan.values_.lower.empty() &&
+                         plan.values_.upper.empty() &&
+                         plan.values_.diag.empty(),
+                     ErrorCode::kCorruptPlan,
+                     "plan carries value sidecars but precision is fp64");
   }
 
   // Re-resolve the executing backend for this process: kAuto probes
@@ -622,6 +758,12 @@ MpkPlan load_plan(std::istream& in) {
       plan.stats_.sweep_threads = want;
     }
   }
+
+  // The tuned choice is advice from the machine that ran the autotuner;
+  // flag it stale (rather than dropping it) when this process cannot
+  // honor it, so callers can decide whether to re-tune.
+  plan.tuned_.stale =
+      tuned_config_stale(plan.tuned_, static_cast<index_t>(max_threads()));
 
   plan.internal_ws_ = std::make_unique<MpkPlan::Workspace>();
   return plan;

@@ -17,9 +17,12 @@
 // environment overrides the probe — CI uses it to force the portable
 // generic path on AVX hardware.
 //
-// All function pointers operate on double only: the fast layer is a
-// perf feature for the paper's double-precision benchmarks, and the
-// scalar exact path remains the only one instantiated for other types.
+// All accumulation is double: the fast layer is a perf feature for the
+// paper's double-precision benchmarks, and the scalar exact path
+// remains the only one instantiated for other types. PR 4 adds
+// reduced-precision *storage* variants (fp32 and split hi/lo value
+// streams, widened per element) — see ValuePrecision in
+// sparse/packed_tri.hpp and the error-bound notes in docs/KERNELS.md.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +59,42 @@ struct RowOps {
   void (*dot1_btb_u16)(const std::uint16_t* col, const double* val,
                        index_t len, index_t base, const double* xy,
                        int offset, int prefetch, double& s);
+
+  // --- reduced-precision value streams (PR 4) ------------------------
+  // Values are stored narrow and widened to double before every FMA;
+  // accumulation is always fp64. The vector backends widen with
+  // vcvtps2pd; the scalar/generic twins keep the exact accumulation
+  // order so the *shape* of the rounding error is the value encoding
+  // alone, never the summation.
+
+  /// fp32 value stream: val[j] is widened per element.
+  void (*dot2_btb_f32)(const index_t* col, const float* val, index_t len,
+                       const double* xy, int prefetch, double& s0, double& s1);
+  void (*dot1_btb_f32)(const index_t* col, const float* val, index_t len,
+                       const double* xy, int offset, int prefetch, double& s);
+  void (*dot2_btb_u16_f32)(const std::uint16_t* col, const float* val,
+                           index_t len, index_t base, const double* xy,
+                           int prefetch, double& s0, double& s1);
+  void (*dot1_btb_u16_f32)(const std::uint16_t* col, const float* val,
+                           index_t len, index_t base, const double* xy,
+                           int offset, int prefetch, double& s);
+
+  /// Split hi/lo stream: the value is hi[j] + lo[j] (exact in fp64 —
+  /// both widen losslessly, and the sum of two floats fits a double).
+  void (*dot2_btb_split)(const index_t* col, const float* hi, const float* lo,
+                         index_t len, const double* xy, int prefetch,
+                         double& s0, double& s1);
+  void (*dot1_btb_split)(const index_t* col, const float* hi, const float* lo,
+                         index_t len, const double* xy, int offset,
+                         int prefetch, double& s);
+  void (*dot2_btb_u16_split)(const std::uint16_t* col, const float* hi,
+                             const float* lo, index_t len, index_t base,
+                             const double* xy, int prefetch, double& s0,
+                             double& s1);
+  void (*dot1_btb_u16_split)(const std::uint16_t* col, const float* hi,
+                             const float* lo, index_t len, index_t base,
+                             const double* xy, int offset, int prefetch,
+                             double& s);
 };
 
 /// Kernel table for a concrete backend (kAuto is resolved first).

@@ -16,8 +16,12 @@
 // the same per-row kernel with the same arguments, so fast results are
 // bitwise reproducible across schedules and runs on one machine.
 //
-// Fast mode is double-only (the dispatch tables are double) and covers
-// the BtB variant only — the split ablation stays scalar.
+// Accumulation is double-only (the dispatch tables accumulate fp64)
+// and fast mode covers the BtB variant only — the split-vector
+// ablation stays scalar. PR 4 adds reduced-precision *storage*: when
+// the plan carries a PackedSplitValues sidecar (fp32 or split hi/lo),
+// the row kernels read the narrow stream and widen per element; the
+// diagonal follows the same precision through Rows::diag(i).
 #pragma once
 
 #include <span>
@@ -40,33 +44,87 @@ struct TriRowKernel {
   const PackedTriangleIndex* packed = nullptr;  ///< null = plain CSR
   const RowOps* ops = nullptr;
   int prefetch = 0;
+  // Reduced-precision value streams (at most one active; both null =
+  // read the fp64 CSR values). Set via make_dispatch_rows.
+  const float* v32 = nullptr;  ///< kFp32 stream
+  const float* vhi = nullptr;  ///< kSplit hi
+  const float* vlo = nullptr;  ///< kSplit lo
 
   void dot2(index_t i, const double* xy, double& s0, double& s1) const {
     const index_t lo = rp[i];
     const index_t len = rp[i + 1] - lo;
     if (packed == nullptr) {
-      ops->dot2_btb(ci + lo, va + lo, len, xy, prefetch, s0, s1);
+      if (v32 != nullptr)
+        ops->dot2_btb_f32(ci + lo, v32 + lo, len, xy, prefetch, s0, s1);
+      else if (vhi != nullptr)
+        ops->dot2_btb_split(ci + lo, vhi + lo, vlo + lo, len, xy, prefetch,
+                            s0, s1);
+      else
+        ops->dot2_btb(ci + lo, va + lo, len, xy, prefetch, s0, s1);
       return;
     }
     const auto v = packed->row(i, lo);
-    if (v.c16 != nullptr)
-      ops->dot2_btb_u16(v.c16, va + lo, len, v.base, xy, prefetch, s0, s1);
-    else
-      ops->dot2_btb(v.c32, va + lo, len, xy, prefetch, s0, s1);
+    if (v.c16 != nullptr) {
+      if (v32 != nullptr)
+        ops->dot2_btb_u16_f32(v.c16, v32 + lo, len, v.base, xy, prefetch, s0,
+                              s1);
+      else if (vhi != nullptr)
+        ops->dot2_btb_u16_split(v.c16, vhi + lo, vlo + lo, len, v.base, xy,
+                                prefetch, s0, s1);
+      else
+        ops->dot2_btb_u16(v.c16, va + lo, len, v.base, xy, prefetch, s0, s1);
+    } else {
+      if (v32 != nullptr)
+        ops->dot2_btb_f32(v.c32, v32 + lo, len, xy, prefetch, s0, s1);
+      else if (vhi != nullptr)
+        ops->dot2_btb_split(v.c32, vhi + lo, vlo + lo, len, xy, prefetch, s0,
+                            s1);
+      else
+        ops->dot2_btb(v.c32, va + lo, len, xy, prefetch, s0, s1);
+    }
   }
 
   void dot1(index_t i, const double* xy, int offset, double& s) const {
     const index_t lo = rp[i];
     const index_t len = rp[i + 1] - lo;
     if (packed == nullptr) {
-      ops->dot1_btb(ci + lo, va + lo, len, xy, offset, prefetch, s);
+      if (v32 != nullptr)
+        ops->dot1_btb_f32(ci + lo, v32 + lo, len, xy, offset, prefetch, s);
+      else if (vhi != nullptr)
+        ops->dot1_btb_split(ci + lo, vhi + lo, vlo + lo, len, xy, offset,
+                            prefetch, s);
+      else
+        ops->dot1_btb(ci + lo, va + lo, len, xy, offset, prefetch, s);
       return;
     }
     const auto v = packed->row(i, lo);
-    if (v.c16 != nullptr)
-      ops->dot1_btb_u16(v.c16, va + lo, len, v.base, xy, offset, prefetch, s);
-    else
-      ops->dot1_btb(v.c32, va + lo, len, xy, offset, prefetch, s);
+    if (v.c16 != nullptr) {
+      if (v32 != nullptr)
+        ops->dot1_btb_u16_f32(v.c16, v32 + lo, len, v.base, xy, offset,
+                              prefetch, s);
+      else if (vhi != nullptr)
+        ops->dot1_btb_u16_split(v.c16, vhi + lo, vlo + lo, len, v.base, xy,
+                                offset, prefetch, s);
+      else
+        ops->dot1_btb_u16(v.c16, va + lo, len, v.base, xy, offset, prefetch,
+                          s);
+    } else {
+      if (v32 != nullptr)
+        ops->dot1_btb_f32(v.c32, v32 + lo, len, xy, offset, prefetch, s);
+      else if (vhi != nullptr)
+        ops->dot1_btb_split(v.c32, vhi + lo, vlo + lo, len, xy, offset,
+                            prefetch, s);
+      else
+        ops->dot1_btb(v.c32, va + lo, len, xy, offset, prefetch, s);
+    }
+  }
+
+  /// Value of nonzero q as the sweep will read it (for the warm pass).
+  double value_at(index_t q) const {
+    if (v32 != nullptr) return static_cast<double>(v32[q]);
+    if (vhi != nullptr)
+      return static_cast<double>(vhi[q]) + static_cast<double>(vlo[q]);
+    return va[q];
   }
 
   /// Stream row i's index/value data into `acc` (engine NUMA warm pass).
@@ -75,7 +133,7 @@ struct TriRowKernel {
     const index_t hi = rp[i + 1];
     if (packed == nullptr) {
       for (index_t q = lo; q < hi; ++q)
-        acc += va[q] + static_cast<double>(ci[q]);
+        acc += value_at(q) + static_cast<double>(ci[q]);
       return;
     }
     const auto v = packed->row(i, lo);
@@ -83,7 +141,7 @@ struct TriRowKernel {
       const index_t c = v.c16 != nullptr
                             ? v.base + static_cast<index_t>(v.c16[q])
                             : v.c32[q];
-      acc += va[lo + q] + static_cast<double>(c);
+      acc += value_at(lo + q) + static_cast<double>(c);
     }
   }
 };
@@ -93,6 +151,12 @@ struct TriRowKernel {
 struct DispatchRows {
   TriRowKernel l;
   TriRowKernel u;
+  // Diagonal stream at the plan's value precision (exactly one of d64
+  // / d32 / (dhi,dlo) is active).
+  const double* d64 = nullptr;
+  const float* d32 = nullptr;
+  const float* dhi = nullptr;
+  const float* dlo = nullptr;
 
   void l_dot2(index_t i, const double* xy, double& s0, double& s1) const {
     l.dot2(i, xy, s0, s1);
@@ -106,6 +170,13 @@ struct DispatchRows {
   void u_dot1(index_t i, const double* xy, int offset, double& s) const {
     u.dot1(i, xy, offset, s);
   }
+  /// Diagonal entry i, widened to double from the stored precision.
+  double diag(index_t i) const {
+    if (d32 != nullptr) return static_cast<double>(d32[i]);
+    if (dhi != nullptr)
+      return static_cast<double>(dhi[i]) + static_cast<double>(dlo[i]);
+    return d64[i];
+  }
   void warm(index_t i, double& acc) const {
     l.warm(i, acc);
     u.warm(i, acc);
@@ -113,10 +184,12 @@ struct DispatchRows {
 };
 
 /// Assemble the fast row policy for a split. `packed` may be null
-/// (plain indices); `ops` must outlive the returned value (the tables
-/// from row_kernels() are process-lifetime statics).
+/// (plain indices), as may `values` (fp64 storage); `ops` must outlive
+/// the returned value (the tables from row_kernels() are
+/// process-lifetime statics), and so must `values`.
 inline DispatchRows make_dispatch_rows(const TriangularSplit<double>& s,
                                        const PackedSplitIndex* packed,
+                                       const PackedSplitValues* values,
                                        const RowOps& ops, int prefetch) {
   DispatchRows r;
   r.l = {s.lower.row_ptr().data(), s.lower.col_idx().data(),
@@ -125,6 +198,23 @@ inline DispatchRows make_dispatch_rows(const TriangularSplit<double>& s,
   r.u = {s.upper.row_ptr().data(), s.upper.col_idx().data(),
          s.upper.values().data(),
          packed != nullptr ? &packed->upper : nullptr, &ops, prefetch};
+  r.d64 = s.diag.data();
+  if (values != nullptr && !values->empty()) {
+    if (values->precision == ValuePrecision::kFp32) {
+      r.l.v32 = values->lower.f32();
+      r.u.v32 = values->upper.f32();
+      r.d64 = nullptr;
+      r.d32 = values->diag.f32();
+    } else {
+      r.l.vhi = values->lower.hi();
+      r.l.vlo = values->lower.lo();
+      r.u.vhi = values->upper.hi();
+      r.u.vlo = values->upper.lo();
+      r.d64 = nullptr;
+      r.dhi = values->diag.hi();
+      r.dlo = values->diag.lo();
+    }
+  }
   return r;
 }
 
@@ -141,7 +231,6 @@ void fbmpk_sweep_btb_fast(const TriangularSplit<double>& s, const Rows& rows,
   FBMPK_CHECK(k >= 1);
   ws.resize(n);
 
-  const double* d = s.diag.data();
   double* xy = ws.xy.data();
   double* tmp = ws.tmp.data();
 
@@ -158,12 +247,13 @@ void fbmpk_sweep_btb_fast(const TriangularSplit<double>& s, const Rows& rows,
     const int p_even = 2 * it + 2;
 
     for (index_t i = 0; i < n; ++i) {
-      double sum0 = tmp[i] + d[i] * xy[2 * i];
+      const double di = rows.diag(i);
+      double sum0 = tmp[i] + di * xy[2 * i];
       double sum1{};
       rows.l_dot2(i, xy, sum0, sum1);
       xy[2 * i + 1] = sum0;
       emit(p_odd, i, sum0);
-      tmp[i] = sum1 + d[i] * sum0;
+      tmp[i] = sum1 + di * sum0;
     }
 
     const bool prime_next = !(it == pairs - 1 && k % 2 == 0);
@@ -190,7 +280,7 @@ void fbmpk_sweep_btb_fast(const TriangularSplit<double>& s, const Rows& rows,
 
   if (k % 2 == 1) {
     for (index_t i = 0; i < n; ++i) {
-      double sum = tmp[i] + d[i] * xy[2 * i];
+      double sum = tmp[i] + rows.diag(i) * xy[2 * i];
       rows.l_dot1(i, xy, 0, sum);
       emit(k, i, sum);
     }

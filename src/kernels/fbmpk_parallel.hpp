@@ -45,6 +45,7 @@ struct ScalarRows {
   const index_t* urp;
   const index_t* uci;
   const T* uva;
+  const T* dgv;
 
   explicit ScalarRows(const TriangularSplit<T>& s)
       : lrp(s.lower.row_ptr().data()),
@@ -52,7 +53,8 @@ struct ScalarRows {
         lva(s.lower.values().data()),
         urp(s.upper.row_ptr().data()),
         uci(s.upper.col_idx().data()),
-        uva(s.upper.values().data()) {}
+        uva(s.upper.values().data()),
+        dgv(s.diag.data()) {}
 
   void l_dot2(index_t i, const T* xy, T& s0, T& s1) const {
     NullTracer tr;
@@ -70,6 +72,8 @@ struct ScalarRows {
     NullTracer tr;
     detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, offset, s, tr);
   }
+  /// Diagonal entry i (exact storage — the fp64 reference stream).
+  T diag(index_t i) const { return dgv[i]; }
   /// Stream row i's index/value data (engine NUMA warm pass).
   void warm(index_t i, T& acc) const {
     for (index_t q = lrp[i]; q < lrp[i + 1]; ++q)
@@ -97,7 +101,6 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
                   "schedule does not cover the matrix");
   ws.resize(n);
 
-  const T* d = s.diag.data();
   T* xy = ws.xy.data();
   T* tmp = ws.tmp.data();
   const T* x0p = x0.data();
@@ -136,12 +139,13 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
 #endif
         for (index_t b = o.color_ptr[c]; b < o.color_ptr[c + 1]; ++b) {
           for (index_t i = o.block_ptr[b]; i < o.block_ptr[b + 1]; ++i) {
-            T sum0 = tmp[i] + d[i] * xy[2 * i];
+            const T di = rows.diag(i);
+            T sum0 = tmp[i] + di * xy[2 * i];
             T sum1{};
             rows.l_dot2(i, xy, sum0, sum1);
             xy[2 * i + 1] = sum0;
             emit(p_odd, i, sum0);
-            tmp[i] = sum1 + d[i] * sum0;
+            tmp[i] = sum1 + di * sum0;
           }
         }  // implicit barrier: color c complete before c+1 starts
       }
@@ -177,7 +181,7 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
 #pragma omp for schedule(static)
 #endif
       for (index_t i = 0; i < n; ++i) {
-        T sum = tmp[i] + d[i] * xy[2 * i];
+        T sum = tmp[i] + rows.diag(i) * xy[2 * i];
         rows.l_dot1(i, xy, 0, sum);
         emit(k, i, sum);
       }
@@ -367,7 +371,6 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
   if (T_n > max_threads()) return false;
   ws.resize(n);
 
-  const T* d = s.diag.data();
   T* xy = ws.xy();
   T* tmp = ws.tmp();
   const T* x0p = x0.data();
@@ -429,7 +432,7 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
       if (warm_split) {
         T acc{};
         rows.warm(i, acc);
-        sink += acc + d[i];
+        sink += acc + rows.diag(i);
       }
     });
     if (warm_split) {
@@ -467,12 +470,13 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
              pi < sched.part_ptr[slot + 1]; ++pi) {
           const index_t b = sched.part_blocks[pi];
           for (index_t i = o.block_ptr[b]; i < o.block_ptr[b + 1]; ++i) {
-            T sum0 = tmp[i] + d[i] * xy[2 * i];
+            const T di = rows.diag(i);
+            T sum0 = tmp[i] + di * xy[2 * i];
             T sum1{};
             rows.l_dot2(i, xy, sum0, sum1);
             xy[2 * i + 1] = sum0;
             emit(p_odd, i, sum0);
-            tmp[i] = sum1 + d[i] * sum0;
+            tmp[i] = sum1 + di * sum0;
           }
         }
         bump();  // epoch base + c + 1
@@ -514,7 +518,7 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
       // through the whole pair sequence.
       wait_all(2 + pairs * stage_pairs);
       for_own_rows([&](index_t i) {
-        T sum = tmp[i] + d[i] * xy[2 * i];
+        T sum = tmp[i] + rows.diag(i) * xy[2 * i];
         rows.l_dot1(i, xy, 0, sum);
         emit(k, i, sum);
       });

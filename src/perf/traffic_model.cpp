@@ -48,16 +48,23 @@ TrafficEstimate fbmpk_traffic(const MatrixShape& m, int k,
                                   value_size);
 }
 
-TrafficEstimate fbmpk_traffic_compressed(const MatrixShape& m, int k,
-                                         double col_index_bytes,
-                                         std::size_t value_size) {
+namespace {
+
+// Shared body: `matrix_value_size` prices each stored triangle value
+// and diagonal entry, `vector_value_size` the dense vector elements.
+// The public entry points keep them equal (uniform precision) or set
+// the matrix side from precision_value_bytes (mixed precision).
+TrafficEstimate fbmpk_traffic_impl(const MatrixShape& m, int k,
+                                   double col_index_bytes,
+                                   std::size_t matrix_value_size,
+                                   std::size_t vector_value_size) {
   FBMPK_CHECK(k >= 1);
   const bool odd = (k % 2 != 0);
   const index_t offdiag = m.nnz - m.diag_entries;
   // The split is assumed balanced; for structurally symmetric matrices
   // it is exact.
   const std::size_t tri_bytes = csr_sweep_bytes_custom(
-      m.rows, offdiag / 2, value_size, col_index_bytes);
+      m.rows, offdiag / 2, matrix_value_size, col_index_bytes);
   const std::size_t u_sweeps = odd ? (k + 1) / 2 : k / 2 + 1;
   const std::size_t l_sweeps = odd ? (k + 1) / 2 : k / 2;
 
@@ -66,7 +73,7 @@ TrafficEstimate fbmpk_traffic_compressed(const MatrixShape& m, int k,
                    // the dense diagonal is streamed once per forward
                    // sweep and once in the tail
                    (static_cast<std::size_t>(k / 2) + (odd ? 1 : 0)) *
-                       static_cast<std::size_t>(m.rows) * value_size;
+                       static_cast<std::size_t>(m.rows) * matrix_value_size;
 
   // Vector stream counts per stage (reads + writes of n-length arrays):
   //   head: read x0, write xy-even, write tmp                  -> 3n
@@ -75,8 +82,23 @@ TrafficEstimate fbmpk_traffic_compressed(const MatrixShape& m, int k,
   //   tail: read tmp + xy-even, write y                        -> 3n
   const std::size_t n = static_cast<std::size_t>(m.rows);
   const std::size_t pair_streams = 12 * static_cast<std::size_t>(k / 2);
-  t.vector_bytes = (3 + pair_streams + (odd ? 3 : 0)) * n * value_size;
+  t.vector_bytes = (3 + pair_streams + (odd ? 3 : 0)) * n * vector_value_size;
   return t;
+}
+
+}  // namespace
+
+TrafficEstimate fbmpk_traffic_compressed(const MatrixShape& m, int k,
+                                         double col_index_bytes,
+                                         std::size_t value_size) {
+  return fbmpk_traffic_impl(m, k, col_index_bytes, value_size, value_size);
+}
+
+TrafficEstimate fbmpk_traffic_mixed(const MatrixShape& m, int k,
+                                    double col_index_bytes,
+                                    ValuePrecision precision) {
+  return fbmpk_traffic_impl(m, k, col_index_bytes,
+                            precision_value_bytes(precision), sizeof(double));
 }
 
 double traffic_ratio(const MatrixShape& m, int k, std::size_t value_size) {

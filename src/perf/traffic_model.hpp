@@ -11,6 +11,7 @@
 #include <cstddef>
 
 #include "sparse/csr.hpp"
+#include "sparse/packed_tri.hpp"
 #include "sparse/split.hpp"
 
 namespace fbmpk::perf {
@@ -70,6 +71,16 @@ TrafficEstimate fbmpk_traffic(const MatrixShape& m, int k,
 TrafficEstimate fbmpk_traffic_compressed(
     const MatrixShape& m, int k, double col_index_bytes,
     std::size_t value_size = sizeof(double));
+
+/// FBMPK with compressed column indices *and* reduced-precision value
+/// storage (PlanOptions::value_precision): each stored triangle value
+/// and diagonal entry costs precision_value_bytes(p) — 4 for fp32, 8
+/// for split (two floats) and fp64 — while the dense vectors stay fp64.
+/// fp32 therefore cuts the value stream in half; split changes nothing
+/// in this model (it trades no bytes, only mantissa width).
+TrafficEstimate fbmpk_traffic_mixed(const MatrixShape& m, int k,
+                                    double col_index_bytes,
+                                    ValuePrecision precision);
 
 /// Number of full-matrix-equivalent sweeps each pipeline performs —
 /// k for standard, (k+1+(k odd ? 1 : 2)/2)/2-style count for FBMPK;

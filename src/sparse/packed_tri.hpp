@@ -18,11 +18,45 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <string>
 
 #include "sparse/csr.hpp"
 #include "support/aligned_buffer.hpp"
 
 namespace fbmpk {
+
+/// How triangle/diagonal values are stored for the sweeps (PR 4).
+/// Accumulation is always fp64; only the *stored* value stream narrows.
+enum class ValuePrecision : std::uint8_t {
+  kFp64 = 0,  ///< plain doubles (default; the exact representation)
+  kFp32 = 1,  ///< single floats — 4 bytes/nnz, bounded rounding error
+  kSplit = 2, ///< hi/lo float pair whose sum reconstructs the double;
+              ///< lossless when the value fits 2x24 mantissa bits
+};
+
+/// "fp64" / "fp32" / "split".
+const char* precision_name(ValuePrecision p);
+
+/// Inverse of precision_name; throws kUnsupported on unknown names.
+ValuePrecision parse_precision(const std::string& name);
+
+/// Bytes one stored matrix value costs under a precision (the traffic
+/// model's 4/8/8 per-nnz value term).
+constexpr std::size_t precision_value_bytes(ValuePrecision p) {
+  return p == ValuePrecision::kFp32 ? sizeof(float) : sizeof(double);
+}
+
+/// Split a double into the hi/lo float pair: hi = fl32(v),
+/// lo = fl32(v - hi). join_split(hi, lo) == v whenever v's mantissa
+/// fits the combined 48 bits (and v is within float range).
+inline void split_value(double v, float& hi, float& lo) {
+  hi = static_cast<float>(v);
+  lo = static_cast<float>(v - static_cast<double>(hi));
+}
+inline double join_split(float hi, float lo) {
+  return static_cast<double>(hi) + static_cast<double>(lo);
+}
 
 /// Column-index sidecar for one CSR triangle, compressed per row-band.
 class PackedTriangleIndex {
@@ -125,6 +159,85 @@ class PackedTriangleIndex {
   AlignedVector<std::uint16_t> col16_;      // narrow pool: col - base
   AlignedVector<index_t> col32_;            // wide pool: absolute cols
 };
+
+/// Reduced-precision value sidecar for one triangle (or the dense
+/// diagonal). Like the index sidecar, the owning CsrMatrix's fp64
+/// `values` stay authoritative — this stream is a build-time re-encode
+/// the kernels read instead, and deserialized sidecars are re-encoded
+/// and compared before being trusted (plan format v5 VALP section).
+class PackedTriangleValues {
+ public:
+  PackedTriangleValues() = default;
+
+  /// Encode an fp64 value stream at `p`. kFp64 yields an empty store
+  /// (the kernels then read the CSR values directly). Values must be
+  /// finite and within float range for kFp32/kSplit — the caller
+  /// (MpkPlan::build) rejects matrices outside it.
+  static PackedTriangleValues build(std::span<const double> values,
+                                    ValuePrecision p);
+
+  ValuePrecision precision() const { return prec_; }
+  bool empty() const { return prec_ == ValuePrecision::kFp64; }
+  std::size_t size() const { return count_; }
+  /// True iff decoding reproduces every source double bit-for-bit.
+  /// Trivially true for fp64; for split it holds on many matrices
+  /// (values with <= 48 significant mantissa bits).
+  bool lossless() const { return lossless_; }
+
+  const float* f32() const { return f32_.data(); }  ///< kFp32 stream
+  const float* hi() const { return hi_.data(); }    ///< kSplit hi
+  const float* lo() const { return lo_.data(); }    ///< kSplit lo
+
+  /// Bytes of the reduced value stream (0 for fp64 — no sidecar).
+  std::size_t value_bytes() const;
+
+  /// Re-encode `values` at this precision and compare bitwise — the
+  /// decode-compare used to validate deserialized sidecars. False on
+  /// any size, precision-derived, or content mismatch.
+  bool matches(std::span<const double> values) const;
+
+  // --- serialization access (core/plan_io.cpp) -----------------------
+  struct Raw {
+    std::uint8_t precision = 0;
+    std::uint8_t lossless = 1;
+    std::uint64_t count = 0;
+    AlignedVector<float> f32;
+    AlignedVector<float> hi;
+    AlignedVector<float> lo;
+  };
+  Raw to_raw() const;
+  /// Structural validation only (precision in range, stream sizes
+  /// consistent); callers must decode-compare via matches().
+  static bool from_raw(Raw raw, PackedTriangleValues& out);
+
+ private:
+  ValuePrecision prec_ = ValuePrecision::kFp64;
+  bool lossless_ = true;
+  std::size_t count_ = 0;
+  AlignedVector<float> f32_;  ///< kFp32 pool
+  AlignedVector<float> hi_;   ///< kSplit high parts
+  AlignedVector<float> lo_;   ///< kSplit low parts
+};
+
+/// Value sidecars for both triangles and the diagonal of a split.
+struct PackedSplitValues {
+  ValuePrecision precision = ValuePrecision::kFp64;
+  PackedTriangleValues lower;
+  PackedTriangleValues upper;
+  PackedTriangleValues diag;
+
+  bool empty() const { return precision == ValuePrecision::kFp64; }
+  bool lossless() const {
+    return lower.lossless() && upper.lossless() && diag.lossless();
+  }
+  std::size_t value_bytes() const {
+    return lower.value_bytes() + upper.value_bytes() + diag.value_bytes();
+  }
+};
+
+/// True iff every value is finite and within float magnitude range —
+/// the precondition for kFp32/kSplit storage.
+bool values_fit_fp32(std::span<const double> values);
 
 /// Packed sidecars for both triangles of a TriangularSplit.
 struct PackedSplitIndex {

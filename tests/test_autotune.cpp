@@ -1,6 +1,8 @@
 // Tests for the ABMC block-count autotuner.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/autotune.hpp"
 #include "gen/stencil.hpp"
 #include "kernels/mpk_baseline.hpp"
@@ -60,6 +62,85 @@ TEST(Autotune, RespectsBaseOptions) {
   auto plan = build_autotuned_plan(a, 3, base);
   EXPECT_EQ(plan.options().variant, FbVariant::kSplit);
   EXPECT_FALSE(plan.options().parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-config autotuning over value precisions, and the persisted
+// tuned config (PR 4).
+// ---------------------------------------------------------------------------
+
+// Round values to a coarse binary grid so each survives the hi/lo
+// float round-trip — the generators jitter values with full mantissas,
+// which would disqualify the split exact-eligibility path.
+CsrMatrix<double> quantized_laplacian(index_t nx, index_t ny) {
+  const auto a = gen::make_laplacian_2d(nx, ny);
+  AlignedVector<index_t> rp(a.row_ptr().begin(), a.row_ptr().end());
+  AlignedVector<index_t> ci(a.col_idx().begin(), a.col_idx().end());
+  AlignedVector<double> va(a.values().begin(), a.values().end());
+  for (auto& v : va) {
+    v = std::round(v * 1024.0) * 0x1.0p-10;
+    if (v == 0.0) v = 0x1.0p-10;
+  }
+  return CsrMatrix<double>(a.rows(), a.cols(), std::move(rp), std::move(ci),
+                           std::move(va));
+}
+
+TEST(Autotune, KernelConfigSweepsPrecisionCandidates) {
+  const auto a = quantized_laplacian(24, 24);  // split-lossless values
+  const auto conservative = autotune_kernel_config(a, 3, /*reps=*/1);
+  // Without allow_fast: scalar plain/compressed fp64, plus the split
+  // candidates (exact-eligible on a split-lossless matrix).
+  ASSERT_EQ(conservative.samples.size(), 4u);
+  for (const auto& s : conservative.samples) {
+    EXPECT_EQ(s.backend, KernelBackend::kScalar);
+    EXPECT_NE(s.value_precision, ValuePrecision::kFp32);
+    if (s.value_precision == ValuePrecision::kSplit)
+      EXPECT_GT(s.packed_value_bytes, 0u);
+  }
+
+  const auto fast = autotune_kernel_config(a, 3, /*reps=*/1, {},
+                                           /*allow_fast=*/true);
+  EXPECT_GE(fast.samples.size(), conservative.samples.size());
+  bool saw_fp32 = false;
+  for (const auto& s : fast.samples)
+    if (s.value_precision == ValuePrecision::kFp32) {
+      saw_fp32 = true;
+      EXPECT_GT(s.packed_value_bytes, 0u);
+    }
+  EXPECT_TRUE(saw_fp32) << "allow_fast must add fp32 candidates";
+}
+
+TEST(Autotune, BuildAutotunedPlanRecordsTunedConfig) {
+  const auto a = test::random_matrix(150, 6.0, true, 11);
+  auto plan = build_autotuned_plan(a, 3, {}, /*allow_fast_kernels=*/true);
+  const TunedConfig& cfg = plan.tuned_config();
+  EXPECT_TRUE(cfg.valid);
+  EXPECT_EQ(cfg.backend, plan.options().kernel_backend);
+  EXPECT_EQ(cfg.index_compress, plan.options().index_compress);
+  EXPECT_EQ(cfg.value_precision, plan.options().value_precision);
+  EXPECT_EQ(cfg.tuned_threads, static_cast<index_t>(max_threads()));
+  EXPECT_GT(cfg.best_seconds, 0.0);
+  EXPECT_FALSE(cfg.stale);
+}
+
+TEST(Autotune, TunedConfigStalenessPredicate) {
+  const auto threads = static_cast<index_t>(max_threads());
+
+  TunedConfig cfg;  // invalid: never stale, nothing to be stale about
+  EXPECT_FALSE(tuned_config_stale(cfg, threads));
+  EXPECT_FALSE(tuned_config_stale(cfg, threads + 5));
+
+  cfg.valid = true;
+  cfg.backend = KernelBackend::kScalar;
+  cfg.tuned_threads = threads;
+  EXPECT_FALSE(tuned_config_stale(cfg, threads));
+  EXPECT_TRUE(tuned_config_stale(cfg, threads + 1));
+
+  // A backend this machine cannot run makes the config stale even at
+  // the matching thread count; an available one does not.
+  cfg.backend = KernelBackend::kAvx512;
+  EXPECT_EQ(tuned_config_stale(cfg, threads),
+            !backend_available(KernelBackend::kAvx512));
 }
 
 }  // namespace

@@ -26,6 +26,20 @@ std::string valid_plan_blob() {
   return buf.str();
 }
 
+/// A v5 blob whose VALP section carries real reduced-precision streams
+/// (and PCKD a real sidecar) — the corpus for the mixed-precision
+/// corruption sweeps.
+std::string valid_plan_blob_mixed(ValuePrecision p) {
+  const auto a = gen::make_laplacian_2d(6, 6);
+  PlanOptions o;
+  o.index_compress = true;
+  o.value_precision = p;
+  auto plan = MpkPlan::build(a, o);
+  std::ostringstream buf;
+  save_plan(plan, buf);
+  return buf.str();
+}
+
 // Every corruption must surface as one of the ingestion error codes —
 // never kInternal (that would mean a validation hole reached deep
 // library invariants) and never a crash.
@@ -51,6 +65,61 @@ TEST(FaultInjection, EverySingleByteFlipIsRejected) {
     }
     // No other exception type may escape (ASSERT via gtest's default
     // unexpected-exception handling -> test failure).
+  }
+}
+
+// Same exhaustive sweep over blobs whose VALP section holds fp32 and
+// split hi/lo streams: every flipped byte — header, options, value
+// sidecar, tuned config — must surface as an ingestion error.
+TEST(FaultInjection, EveryByteFlipInMixedPrecisionPlanIsRejected) {
+  for (const ValuePrecision p :
+       {ValuePrecision::kFp32, ValuePrecision::kSplit}) {
+    const std::string blob = valid_plan_blob_mixed(p);
+    ASSERT_GT(blob.size(), 100u);
+    for (std::size_t pos = 0; pos < blob.size(); ++pos) {
+      const std::string mutated = flip_byte(blob, pos, 0xFF);
+      std::istringstream in(mutated);
+      try {
+        auto plan = load_plan(in);
+        FAIL() << precision_name(p) << ": byte flip at " << pos << " of "
+               << blob.size() << " was silently accepted";
+      } catch (const Error& e) {
+        EXPECT_TRUE(is_ingestion_code(e.code()))
+            << precision_name(p) << ": byte flip at " << pos << " raised '"
+            << e.what() << "' with code " << error_code_name(e.code());
+      }
+    }
+  }
+}
+
+TEST(FaultInjection, EveryTruncationOfMixedPrecisionPlanIsRejected) {
+  for (const ValuePrecision p :
+       {ValuePrecision::kFp32, ValuePrecision::kSplit}) {
+    const std::string blob = valid_plan_blob_mixed(p);
+    for (std::size_t len = 0; len < blob.size(); ++len) {
+      ShortReadStream in(blob, len);
+      try {
+        auto plan = load_plan(in);
+        FAIL() << precision_name(p) << ": truncation to " << len << " of "
+               << blob.size() << " bytes was silently accepted";
+      } catch (const Error& e) {
+        EXPECT_TRUE(is_ingestion_code(e.code()))
+            << precision_name(p) << ": truncation to " << len
+            << " raised code " << error_code_name(e.code());
+      }
+    }
+  }
+}
+
+TEST(FaultInjection, MixedPrecisionRoundTripStillWorks) {
+  for (const ValuePrecision p :
+       {ValuePrecision::kFp32, ValuePrecision::kSplit}) {
+    const std::string blob = valid_plan_blob_mixed(p);
+    std::istringstream in(blob);
+    auto plan = load_plan(in);
+    EXPECT_EQ(plan.rows(), 36);
+    EXPECT_EQ(plan.options().value_precision, p);
+    EXPECT_GT(plan.stats().packed_value_bytes, 0u);
   }
 }
 

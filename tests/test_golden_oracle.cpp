@@ -1,0 +1,132 @@
+// Golden-file oracle tests (PR 4): the exact serial scalar result of
+// y = A^k x for three structurally distinct suite matrices is committed
+// as text vectors under tests/golden/. Any change to the sweep
+// pipeline, the reorderer, the suite generators or the RNG that alters
+// a single output bit fails here — the files pin the end-to-end
+// numerics, not just internal invariants.
+//
+// Regenerate (after an *intentional* numerical change) with:
+//   FBMPK_REGEN_GOLDEN=1 ./fbmpk_tests --gtest_filter='GoldenOracle.*'
+// and commit the rewritten .vec files alongside the change.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "core/plan.hpp"
+#include "gen/suite.hpp"
+#include "kernels/dispatch.hpp"
+#include "sparse/vector_io.hpp"
+#include "test_util.hpp"
+
+#ifndef FBMPK_TEST_GOLDEN_DIR
+#error "FBMPK_TEST_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace fbmpk {
+namespace {
+
+struct GoldenCase {
+  const char* name;
+  double scale;
+};
+
+// Small scales keep the committed vectors a few thousand entries while
+// exercising a FEM mesh, a circuit network and an unsymmetric digraph.
+constexpr GoldenCase kCases[] = {
+    {"cant", 0.03}, {"G3_circuit", 0.04}, {"cage14", 0.04}};
+constexpr int kPowers[] = {4, 16};
+constexpr std::uint64_t kXSeed = 0x60f1d;
+
+std::string golden_path(const std::string& name, int k) {
+  return std::string(FBMPK_TEST_GOLDEN_DIR) + "/" + name + "_k" +
+         std::to_string(k) + ".vec";
+}
+
+AlignedVector<double> oracle_power(const CsrMatrix<double>& a, int k) {
+  PlanOptions o;
+  o.parallel = false;
+  auto plan = MpkPlan::build(a, o);
+  const auto x = test::random_vector(a.rows(), kXSeed);
+  AlignedVector<double> y(x.size());
+  plan.power(x, k, y);
+  return y;
+}
+
+TEST(GoldenOracle, SerialScalarPowerMatchesCommittedVectors) {
+  const bool regen = std::getenv("FBMPK_REGEN_GOLDEN") != nullptr;
+  for (const GoldenCase& c : kCases) {
+    const auto a = gen::make_suite_matrix(c.name, c.scale).matrix;
+    for (const int k : kPowers) {
+      SCOPED_TRACE(std::string(c.name) + " k=" + std::to_string(k));
+      const auto y = oracle_power(a, k);
+      const std::string path = golden_path(c.name, k);
+      if (regen) {
+        write_vector_file(path, y);
+        continue;
+      }
+      const auto want = read_vector_file(path);
+      ASSERT_EQ(y.size(), want.size());
+      // setprecision(17) round-trips doubles exactly, so the committed
+      // text pins the result bit-for-bit.
+      for (std::size_t i = 0; i < y.size(); ++i)
+        ASSERT_EQ(y[i], want[i]) << "i=" << i;
+    }
+  }
+}
+
+// The golden files double as an accuracy oracle for every fast / mixed-
+// precision configuration: reduced-precision storage on the widest
+// available backend with compressed indices must stay within the
+// documented bound of the committed exact result.
+TEST(GoldenOracle, MixedPrecisionStaysWithinBoundOfGoldenVectors) {
+  if (std::getenv("FBMPK_REGEN_GOLDEN") != nullptr)
+    GTEST_SKIP() << "regenerating golden files";
+  const double eps64 = std::numeric_limits<double>::epsilon();
+  for (const GoldenCase& c : kCases) {
+    const auto a = gen::make_suite_matrix(c.name, c.scale).matrix;
+    const auto x = test::random_vector(a.rows(), kXSeed);
+
+    double anorm = 0.0, xnorm = 0.0;
+    index_t mrow = 0;
+    for (index_t i = 0; i < a.rows(); ++i) {
+      double row = 0.0;
+      for (index_t j = a.row_ptr()[i]; j < a.row_ptr()[i + 1]; ++j)
+        row += std::abs(a.values()[j]);
+      anorm = std::max(anorm, row);
+      mrow = std::max(mrow, a.row_nnz(i));
+    }
+    for (double v : x) xnorm = std::max(xnorm, std::abs(v));
+
+    for (const int k : kPowers) {
+      const auto want = read_vector_file(golden_path(c.name, k));
+      for (const ValuePrecision prec :
+           {ValuePrecision::kFp32, ValuePrecision::kSplit}) {
+        SCOPED_TRACE(std::string(c.name) + " k=" + std::to_string(k) +
+                     " precision=" + precision_name(prec));
+        PlanOptions o;
+        o.parallel = false;
+        o.kernel_backend = resolve_backend(KernelBackend::kAuto);
+        o.index_compress = true;
+        o.value_precision = prec;
+        auto plan = MpkPlan::build(a, o);
+        AlignedVector<double> y(x.size());
+        plan.power(x, k, y);
+
+        const double eps_prec =
+            prec == ValuePrecision::kFp32 ? 0x1.0p-24 : 0x1.0p-48;
+        const double bound = 8.0 * k *
+                             (static_cast<double>(mrow) * eps64 + eps_prec) *
+                             std::pow(anorm, k) * xnorm;
+        ASSERT_EQ(y.size(), want.size());
+        for (std::size_t i = 0; i < y.size(); ++i)
+          ASSERT_LE(std::abs(y[i] - want[i]), bound) << "i=" << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fbmpk

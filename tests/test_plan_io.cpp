@@ -225,13 +225,22 @@ TEST(PlanIo, TamperedPackedSectionFailsDecodeCompare) {
   save_plan(plan, buf);
   std::string stream = buf.str();
 
-  // PCKD is the last section and its final vector (upper.col32) is
-  // empty on this banded matrix, so the byte 9 from the end is the last
-  // u16 of upper.col16 — flip it and re-stamp the CRC. The framing and
+  // Locate the PCKD frame by its tag bytes (u32 little-endian -> the
+  // byte string "DKCP"; VALP/TUNE follow it since v5 so it is no
+  // longer last). Its final vector (upper.col32) is empty on this
+  // banded matrix, so the byte 9 from the frame's end is the last u16
+  // of upper.col16 — flip it and re-stamp the CRC. The framing and
   // checksum now pass; only the decode-compare can catch it.
   ASSERT_GT(stream.size(), 32u);
-  stream[stream.size() - 9] = static_cast<char>(
-      static_cast<unsigned char>(stream[stream.size() - 9]) ^ 0x01);
+  const std::string tag = {'D', 'K', 'C', 'P'};
+  const std::size_t pckd = stream.rfind(tag);
+  ASSERT_NE(pckd, std::string::npos);
+  std::uint64_t len = 0;
+  std::memcpy(&len, stream.data() + pckd + 4, sizeof(len));
+  const std::size_t pckd_end = pckd + 12 + static_cast<std::size_t>(len);
+  ASSERT_LE(pckd_end, stream.size());
+  stream[pckd_end - 9] = static_cast<char>(
+      static_cast<unsigned char>(stream[pckd_end - 9]) ^ 0x01);
   fix_crc(stream);
 
   std::stringstream tampered(stream);
@@ -279,6 +288,209 @@ TEST(PlanIo, PackedPayloadWithCompressOffIsCorrupt) {
     FAIL() << "packed payload with index_compress=off was accepted";
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::kCorruptPlan);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan format v5: value sidecars (VALP) and the tuned config (TUNE).
+// ---------------------------------------------------------------------------
+
+TEST(PlanIo, RoundTripMixedPrecisionPlanBitwise) {
+  const auto a = gen::make_laplacian_2d(14, 14);
+  for (const ValuePrecision p :
+       {ValuePrecision::kFp32, ValuePrecision::kSplit}) {
+    PlanOptions opts;
+    opts.index_compress = true;
+    opts.value_precision = p;
+    auto plan = MpkPlan::build(a, opts);
+    ASSERT_GT(plan.stats().packed_value_bytes, 0u);
+
+    std::stringstream buf;
+    save_plan(plan, buf);
+    auto loaded = load_plan(buf);
+    EXPECT_EQ(loaded.options().value_precision, p);
+    EXPECT_EQ(loaded.packed_values().precision, p);
+    EXPECT_EQ(loaded.stats().packed_value_bytes,
+              plan.stats().packed_value_bytes);
+    EXPECT_EQ(loaded.packed_values().lossless(),
+              plan.packed_values().lossless());
+    expect_plans_equivalent(plan, loaded, a, 5);
+  }
+}
+
+TEST(PlanIo, TamperedValueSectionFailsDecodeCompare) {
+  const auto a = gen::make_laplacian_2d(16, 16);
+  PlanOptions opts;
+  opts.value_precision = ValuePrecision::kSplit;
+  auto plan = MpkPlan::build(a, opts);
+  std::stringstream buf;
+  save_plan(plan, buf);
+  std::string stream = buf.str();
+
+  // Locate the VALP frame ('VALP' as a little-endian u32 -> the byte
+  // string "PLAV"). Its layout: u32 precision, then the lower
+  // triangle's raw store — u8 precision, u8 lossless, u64 count,
+  // empty f32 vec (u64 size 0), hi vec (u64 size + data). Flip the
+  // first byte of lower.hi and re-stamp the CRC: framing and checksum
+  // pass, only the decode-compare against the fp64 split can catch it.
+  const std::string tag = {'P', 'L', 'A', 'V'};
+  const std::size_t valp = stream.rfind(tag);
+  ASSERT_NE(valp, std::string::npos);
+  const std::size_t hi0 = valp + 12 + 4 + 1 + 1 + 8 + 8 + 8;
+  ASSERT_LT(hi0, stream.size());
+  stream[hi0] = static_cast<char>(
+      static_cast<unsigned char>(stream[hi0]) ^ 0x01);
+  fix_crc(stream);
+
+  std::stringstream tampered(stream);
+  try {
+    load_plan(tampered);
+    FAIL() << "tampered value sidecar was accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCorruptPlan);
+  }
+}
+
+TEST(PlanIo, ValueSidecarWithFp64PrecisionIsCorrupt) {
+  // A plan claiming fp64 must not smuggle in value sidecars: flip the
+  // OPTS precision word of a split plan's stream to fp64 and re-stamp
+  // the CRC — the require-empty check must fire.
+  const auto a = gen::make_laplacian_2d(12, 12);
+  PlanOptions split_opts, plain_opts;
+  split_opts.value_precision = ValuePrecision::kSplit;
+  auto plan_split = MpkPlan::build(a, split_opts);
+  auto plan_plain = MpkPlan::build(a, plain_opts);
+  std::stringstream bs, bp;
+  save_plan(plan_split, bs);
+  save_plan(plan_plain, bp);
+  std::string s_split = bs.str();
+  const std::string s_plain = bp.str();
+
+  // The first differing payload byte is the serialized precision enum.
+  std::size_t pos = std::string::npos;
+  for (std::size_t i = kHeaderBytes;
+       i < std::min(s_split.size(), s_plain.size()); ++i) {
+    if (s_split[i] != s_plain[i]) {
+      pos = i;
+      break;
+    }
+  }
+  ASSERT_NE(pos, std::string::npos);
+  ASSERT_EQ(s_split[pos], 2);  // ValuePrecision::kSplit as u32 LSB
+  s_split[pos] = 0;            // claim fp64
+  fix_crc(s_split);
+
+  std::stringstream tampered(s_split);
+  try {
+    load_plan(tampered);
+    FAIL() << "value sidecar with fp64 precision was accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCorruptPlan);
+  }
+}
+
+TEST(PlanIo, TamperedTunedSectionIsRejected) {
+  const auto a = gen::make_laplacian_2d(10, 10);
+  auto plan = MpkPlan::build(a);
+  TunedConfig cfg;
+  cfg.valid = true;
+  cfg.backend = KernelBackend::kScalar;
+  cfg.tuned_threads = 4;
+  cfg.best_seconds = 1e-3;
+  plan.set_tuned_config(cfg);
+  std::stringstream buf;
+  save_plan(plan, buf);
+  std::string stream = buf.str();
+
+  // 'TUNE' little-endian -> "ENUT"; after tag+length comes the valid
+  // bool (u8) then the backend enum (u32). Stomp the enum out of range
+  // and re-stamp the CRC.
+  const std::string tag = {'E', 'N', 'U', 'T'};
+  const std::size_t tune = stream.rfind(tag);
+  ASSERT_NE(tune, std::string::npos);
+  stream[tune + 12 + 1] = static_cast<char>(0xFF);
+  fix_crc(stream);
+
+  std::stringstream tampered(stream);
+  try {
+    load_plan(tampered);
+    FAIL() << "out-of-range tuned backend was accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCorruptPlan);
+  }
+}
+
+TEST(PlanIo, TunedConfigRoundTripsAndRevalidatesStaleness) {
+  const auto a = gen::make_laplacian_2d(12, 12);
+  const auto threads = static_cast<index_t>(max_threads());
+
+  // A config tuned on "this machine": survives the round trip, fresh.
+  auto plan = MpkPlan::build(a);
+  TunedConfig cfg;
+  cfg.valid = true;
+  cfg.backend = KernelBackend::kScalar;
+  cfg.index_compress = true;
+  cfg.value_precision = ValuePrecision::kFp32;
+  cfg.tuned_threads = threads;
+  cfg.best_seconds = 2.5e-4;
+  plan.set_tuned_config(cfg);
+  std::stringstream buf;
+  save_plan(plan, buf);
+  auto loaded = load_plan(buf);
+  EXPECT_TRUE(loaded.tuned_config().valid);
+  EXPECT_EQ(loaded.tuned_config().backend, cfg.backend);
+  EXPECT_EQ(loaded.tuned_config().index_compress, cfg.index_compress);
+  EXPECT_EQ(loaded.tuned_config().value_precision, cfg.value_precision);
+  EXPECT_EQ(loaded.tuned_config().tuned_threads, threads);
+  EXPECT_EQ(loaded.tuned_config().best_seconds, cfg.best_seconds);
+  EXPECT_FALSE(loaded.tuned_config().stale);
+
+  // A config tuned at a different thread count: loads, flagged stale.
+  cfg.tuned_threads = threads + 7;
+  plan.set_tuned_config(cfg);
+  std::stringstream buf2;
+  save_plan(plan, buf2);
+  auto stale = load_plan(buf2);
+  EXPECT_TRUE(stale.tuned_config().valid);
+  EXPECT_TRUE(stale.tuned_config().stale);
+
+  // A never-tuned plan round-trips as never-tuned.
+  auto fresh = MpkPlan::build(a);
+  std::stringstream buf3;
+  save_plan(fresh, buf3);
+  auto untuned = load_plan(buf3);
+  EXPECT_FALSE(untuned.tuned_config().valid);
+  EXPECT_FALSE(untuned.tuned_config().stale);
+}
+
+// ---------------------------------------------------------------------------
+// Backward compatibility: committed v4 fixtures (written by the PR 3
+// build, before VALP/TUNE existed) must still load, defaulting to fp64
+// values and a never-tuned config, and reproduce today's numerics.
+// ---------------------------------------------------------------------------
+
+TEST(PlanIo, V4GoldenPlansStillLoad) {
+  struct Fixture {
+    const char* file;
+    bool compressed;
+  };
+  for (const Fixture f : {Fixture{"plan_v4.bin", false},
+                          Fixture{"plan_v4_packed.bin", true}}) {
+    SCOPED_TRACE(f.file);
+    auto loaded = load_plan_file(std::string(FBMPK_TEST_GOLDEN_DIR) + "/" +
+                                 f.file);
+    EXPECT_EQ(loaded.rows(), 64);  // laplacian_2d(8, 8)
+    EXPECT_EQ(loaded.options().value_precision, ValuePrecision::kFp64);
+    EXPECT_EQ(loaded.options().index_compress, f.compressed);
+    EXPECT_EQ(loaded.stats().packed_value_bytes, 0u);
+    EXPECT_FALSE(loaded.tuned_config().valid);
+
+    // The v4 plan must compute exactly what a fresh build computes.
+    const auto a = gen::make_laplacian_2d(8, 8);
+    PlanOptions opts;
+    opts.index_compress = f.compressed;
+    auto fresh = MpkPlan::build(a, opts);
+    expect_plans_equivalent(fresh, loaded, a, 5);
   }
 }
 

@@ -1,0 +1,285 @@
+// Seeded randomized differential-testing harness for mixed-precision
+// sweeps (PR 4).
+//
+// Every iteration draws a matrix family, size and vector from the
+// committed Xorshift64 generator (test_util.hpp), then runs the full
+// {value precision} x {backend} x {index compression} x {schedule}
+// cross-product against the exact scalar serial oracle:
+//
+//   - fp64 on the scalar/generic backends is bitwise equal to the
+//     oracle (the dispatched twins replicate the accumulation order);
+//   - every reduced-precision or vector configuration stays within the
+//     documented bound (docs/KERNELS.md): the fast-mode reassociation
+//     term plus the value-rounding term for the stored precision;
+//   - split storage is bitwise equal to fp64 when the matrix's values
+//     survive the hi/lo round-trip (lossless);
+//   - for a fixed configuration, serial / barrier / point-to-point
+//     engine schedules are bitwise identical to each other.
+//
+// The iteration count comes from FBMPK_PROP_SEEDS (CI runs 5). The
+// seed is attached to every assertion via SCOPED_TRACE, so a failure
+// names the exact case to replay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "gen/kkt.hpp"
+#include "gen/stencil.hpp"
+#include "kernels/dispatch.hpp"
+#include "sparse/packed_tri.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk {
+namespace {
+
+double inf_norm_matrix(const CsrMatrix<double>& a) {
+  double norm = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double row = 0.0;
+    for (index_t j = a.row_ptr()[i]; j < a.row_ptr()[i + 1]; ++j)
+      row += std::abs(a.values()[j]);
+    norm = std::max(norm, row);
+  }
+  return norm;
+}
+
+double inf_norm(std::span<const double> v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+index_t max_row_nnz(const CsrMatrix<double>& a) {
+  index_t m = 0;
+  for (index_t i = 0; i < a.rows(); ++i) m = std::max(m, a.row_nnz(i));
+  return m;
+}
+
+/// Per-value relative rounding of the stored precision (0 for fp64:
+/// the stream is the exact doubles).
+double precision_eps(ValuePrecision p) {
+  switch (p) {
+    case ValuePrecision::kFp64:
+      return 0.0;
+    case ValuePrecision::kFp32:
+      return 0x1.0p-24;
+    case ValuePrecision::kSplit:
+      return 0x1.0p-48;
+  }
+  return 0.0;
+}
+
+/// Error bound for one configuration vs the exact result
+/// (docs/KERNELS.md): reassociation + value rounding, composed over k.
+double error_bound(int k, double m, double eps_prec, double anorm,
+                   double xnorm) {
+  const double eps64 = std::numeric_limits<double>::epsilon();
+  return 8.0 * k * (m * eps64 + eps_prec) * std::pow(anorm, k) * xnorm;
+}
+
+/// A random matrix from one of four structurally distinct families.
+CsrMatrix<double> draw_matrix(test::Xorshift64& rng) {
+  switch (rng.next() % 4) {
+    case 0:  // symmetric banded (stencil-like after reordering)
+      return test::random_matrix(
+          static_cast<index_t>(rng.in_range(120, 280)),
+          4.0 + 6.0 * rng.uniform(), /*symmetric=*/true, rng.next());
+    case 1:  // unsymmetric banded
+      return test::random_matrix(
+          static_cast<index_t>(rng.in_range(100, 240)),
+          4.0 + 5.0 * rng.uniform(), /*symmetric=*/false, rng.next());
+    case 2:  // 2D Laplacian stencil
+      return gen::make_laplacian_2d(
+          static_cast<index_t>(rng.in_range(9, 17)),
+          static_cast<index_t>(rng.in_range(9, 17)));
+    default: {  // KKT saddle point
+      gen::KktOptions o;
+      o.seed = rng.next();
+      return gen::make_kkt_saddle(static_cast<index_t>(rng.in_range(3, 5)),
+                                  static_cast<index_t>(rng.in_range(3, 5)),
+                                  static_cast<index_t>(rng.in_range(3, 5)),
+                                  o);
+    }
+  }
+}
+
+/// Quantize values to a coarse binary grid so each survives the hi/lo
+/// float round-trip: the resulting matrix is split-lossless.
+CsrMatrix<double> quantize_values(const CsrMatrix<double>& a) {
+  AlignedVector<index_t> rp(a.row_ptr().begin(), a.row_ptr().end());
+  AlignedVector<index_t> ci(a.col_idx().begin(), a.col_idx().end());
+  AlignedVector<double> va(a.values().begin(), a.values().end());
+  for (auto& v : va) {
+    v = std::round(v * 1024.0) * 0x1.0p-10;
+    if (v == 0.0) v = 0x1.0p-10;  // keep the pattern (and the diagonal)
+  }
+  return CsrMatrix<double>(a.rows(), a.cols(), std::move(rp), std::move(ci),
+                           std::move(va));
+}
+
+std::vector<KernelBackend> harness_backends() {
+  std::vector<KernelBackend> v{KernelBackend::kScalar,
+                               KernelBackend::kGeneric};
+  const KernelBackend fast = resolve_backend(KernelBackend::kAuto);
+  if (fast != KernelBackend::kScalar && fast != KernelBackend::kGeneric)
+    v.push_back(fast);
+  return v;
+}
+
+bool exact_backend(KernelBackend b) {
+  return b == KernelBackend::kScalar || b == KernelBackend::kGeneric;
+}
+
+/// One full cross-product check of a (matrix, vector, k) case.
+void check_case(const CsrMatrix<double>& a, const AlignedVector<double>& x,
+                int k) {
+  const double anorm = inf_norm_matrix(a);
+  const double xnorm = inf_norm(x);
+  const double m = static_cast<double>(max_row_nnz(a));
+
+  // Oracle: exact scalar serial sweep, plain indices, fp64 values.
+  PlanOptions oracle_opts;
+  oracle_opts.parallel = false;
+  auto oracle = MpkPlan::build(a, oracle_opts);
+  AlignedVector<double> yref(x.size());
+  oracle.power(x, k, yref);
+
+  AlignedVector<double> ys(x.size()), yb(x.size()), yg(x.size());
+  for (const ValuePrecision prec :
+       {ValuePrecision::kFp64, ValuePrecision::kFp32,
+        ValuePrecision::kSplit}) {
+    for (const KernelBackend backend : harness_backends()) {
+      for (const bool compress : {false, true}) {
+        SCOPED_TRACE(std::string("precision=") + precision_name(prec) +
+                     " backend=" + backend_name(backend) +
+                     " compress=" + (compress ? "1" : "0") +
+                     " k=" + std::to_string(k));
+
+        PlanOptions serial;
+        serial.parallel = false;
+        serial.kernel_backend = backend;
+        serial.index_compress = compress;
+        serial.value_precision = prec;
+        auto ps = MpkPlan::build(a, serial);
+
+        PlanOptions barrier = serial;
+        barrier.parallel = true;
+        auto pb = MpkPlan::build(a, barrier);
+
+        PlanOptions engine = barrier;
+        engine.sweep.sync = SweepSync::kPointToPoint;
+        auto pe = MpkPlan::build(a, engine);
+
+        if (prec != ValuePrecision::kFp64)
+          ASSERT_GT(ps.stats().packed_value_bytes, 0u);
+
+        ps.power(x, k, ys);
+        pb.power(x, k, yb);
+        pe.power(x, k, yg);
+
+        // Determinism: the three schedules issue the same per-row
+        // kernels in a different order but with identical operands.
+        for (std::size_t i = 0; i < ys.size(); ++i) {
+          ASSERT_EQ(ys[i], yb[i]) << "barrier diverges at i=" << i;
+          ASSERT_EQ(ys[i], yg[i]) << "engine diverges at i=" << i;
+        }
+
+        if (prec == ValuePrecision::kFp64 && exact_backend(backend)) {
+          // Exact configurations reproduce the oracle bitwise.
+          for (std::size_t i = 0; i < ys.size(); ++i)
+            ASSERT_EQ(ys[i], yref[i]) << "exact config diverges at i=" << i;
+        } else {
+          const double bound =
+              error_bound(k, m, precision_eps(prec), anorm, xnorm);
+          for (std::size_t i = 0; i < ys.size(); ++i)
+            ASSERT_LE(std::abs(ys[i] - yref[i]), bound)
+                << "documented bound violated at i=" << i;
+        }
+
+        const bool lossless_split = prec == ValuePrecision::kSplit &&
+                                    ps.packed_values().lossless();
+        if (lossless_split && exact_backend(backend)) {
+          // Lossless split decodes to the exact doubles, so the scalar
+          // accumulation-order twins reproduce the oracle bitwise.
+          for (std::size_t i = 0; i < ys.size(); ++i)
+            ASSERT_EQ(ys[i], yref[i])
+                << "lossless split diverges at i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(PropertyRandom, MixedPrecisionCrossProductHoldsOverRandomCases) {
+  const int seeds = test::property_seed_count();
+  for (int seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("FBMPK_PROP_SEED=" + std::to_string(seed));
+    test::Xorshift64 rng(0x46424d504bull ^
+                         (static_cast<std::uint64_t>(seed) << 32));
+    const auto a = draw_matrix(rng);
+    const auto x = test::random_vector(a.rows(), rng.next());
+    const int k = static_cast<int>(rng.in_range(2, 6));
+    check_case(a, x, k);
+  }
+}
+
+TEST(PropertyRandom, QuantizedMatrixIsSplitLosslessAndBitwiseExact) {
+  const int seeds = test::property_seed_count();
+  for (int seed = 0; seed < seeds; ++seed) {
+    SCOPED_TRACE("FBMPK_PROP_SEED=" + std::to_string(seed));
+    test::Xorshift64 rng(0x51554e54ull ^
+                         (static_cast<std::uint64_t>(seed) << 32));
+    const auto a = quantize_values(draw_matrix(rng));
+    const auto x = test::random_vector(a.rows(), rng.next());
+    const int k = static_cast<int>(rng.in_range(2, 6));
+
+    PlanOptions exact;
+    exact.parallel = false;
+    auto pe = MpkPlan::build(a, exact);
+
+    PlanOptions split = exact;
+    split.value_precision = ValuePrecision::kSplit;
+    split.index_compress = true;
+    auto psp = MpkPlan::build(a, split);
+    ASSERT_TRUE(psp.packed_values().lossless())
+        << "quantized values must survive the hi/lo round-trip";
+
+    AlignedVector<double> ye(x.size()), ysp(x.size());
+    pe.power(x, k, ye);
+    psp.power(x, k, ysp);
+    for (std::size_t i = 0; i < ye.size(); ++i)
+      ASSERT_EQ(ye[i], ysp[i]) << "i=" << i;
+  }
+}
+
+// The fp32 stream really is floats: a matrix whose values do not fit
+// float range must be rejected at build, not silently truncated.
+TEST(PropertyRandom, OutOfFloatRangeValuesAreRejected) {
+  auto a = test::random_matrix(80, 5.0, /*symmetric=*/true, 77);
+  AlignedVector<index_t> rp(a.row_ptr().begin(), a.row_ptr().end());
+  AlignedVector<index_t> ci(a.col_idx().begin(), a.col_idx().end());
+  AlignedVector<double> va(a.values().begin(), a.values().end());
+  va[va.size() / 2] = 1e60;  // far beyond FLT_MAX
+  CsrMatrix<double> big(a.rows(), a.cols(), std::move(rp), std::move(ci),
+                        std::move(va));
+
+  for (const ValuePrecision prec :
+       {ValuePrecision::kFp32, ValuePrecision::kSplit}) {
+    PlanOptions o;
+    o.value_precision = prec;
+    try {
+      MpkPlan::build(big, o);
+      FAIL() << "out-of-range values accepted for "
+             << precision_name(prec);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kUnsupported);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fbmpk
