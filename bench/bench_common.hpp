@@ -19,9 +19,11 @@
 #include "kernels/mpk_baseline.hpp"
 #include "perf/harness.hpp"
 #include "perf/traffic_model.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/threading.hpp"
+#include "telemetry/hw_counters.hpp"
 
 namespace fbmpk::bench {
 
@@ -89,6 +91,27 @@ inline AlignedVector<double> bench_vector(index_t n) {
   return v;
 }
 
+/// Byte-meter a region with hardware counters: runs `fn` `runs` times
+/// inside one counter window and returns the per-run DRAM byte count,
+/// or -1 when no traffic-capable counter could be opened (restricted
+/// perf_event_paranoid, VM without a PMU — see docs/OBSERVABILITY.md).
+/// `source` reports the meter fidelity: "imc" for uncore CAS counters,
+/// "llc_proxy" for the LLC-miss x cache-line estimate.
+inline double measure_dram_bytes(const std::function<void()>& fn, int runs,
+                                 std::string* source = nullptr) {
+  if (source) source->clear();
+  if (runs <= 0) return -1.0;
+  telemetry::HwCounterGroup hw;
+  if (!hw.availability().traffic()) return -1.0;
+  hw.start();
+  for (int r = 0; r < runs; ++r) fn();
+  const telemetry::HwCounts counts = hw.stop();
+  const std::int64_t bytes = counts.memory_bytes();
+  if (bytes < 0) return -1.0;
+  if (source) *source = counts.dram_direct ? "imc" : "llc_proxy";
+  return static_cast<double>(bytes) / runs;
+}
+
 // ---------------------------------------------------------------------------
 // Machine-readable results: every figure bench can mirror its table
 // into BENCH_<name>.json so plots and regression checks do not have to
@@ -98,6 +121,14 @@ inline AlignedVector<double> bench_vector(index_t n) {
 /// One timed case. `bytes_moved` comes from the traffic model (the
 /// compulsory-DRAM estimate for the whole A^k x evaluation), `gflops`
 /// from the 2·nnz·sweeps flop count over the measured time.
+///
+/// The traffic-validation triple (schema v3): `modeled_bytes` is the
+/// analytic model's estimate for one A^k x evaluation, and
+/// `measured_bytes` is what a byte-capable meter actually observed for
+/// one evaluation — hardware counters (telemetry::HwCounterGroup) or
+/// the cache simulator, per `measured_source`. Negative means "not
+/// measured" and exports as null; the deviation percentage
+/// 100·(measured-modeled)/modeled is derived at write() time.
 struct JsonRecord {
   std::string matrix;
   std::string kernel;  ///< e.g. "fbmpk", "mpk", "engine_p2p"
@@ -106,15 +137,38 @@ struct JsonRecord {
   double seconds = 0.0;
   double gflops = 0.0;
   std::size_t bytes_moved = 0;
+  double modeled_bytes = -1.0;
+  double measured_bytes = -1.0;
+  std::string measured_source;  ///< "imc" | "llc_proxy" | "cache_sim" | ""
+
+  // Constructor (rather than aggregate init) so benches without a byte
+  // meter can keep the seven-field v2 form without -Wmissing-field-
+  // initializers noise under -Werror.
+  JsonRecord(std::string matrix_, std::string kernel_, int k_, int threads_,
+             double seconds_, double gflops_, std::size_t bytes_moved_,
+             double modeled_bytes_ = -1.0, double measured_bytes_ = -1.0,
+             std::string measured_source_ = {})
+      : matrix(std::move(matrix_)),
+        kernel(std::move(kernel_)),
+        k(k_),
+        threads(threads_),
+        seconds(seconds_),
+        gflops(gflops_),
+        bytes_moved(bytes_moved_),
+        modeled_bytes(modeled_bytes_),
+        measured_bytes(measured_bytes_),
+        measured_source(std::move(measured_source_)) {}
 };
 
 /// Accumulates records and writes `BENCH_<name>.json` on write() (or
-/// destruction). Schema v2: a top-level object `{"schema_version": 2,
+/// destruction). Schema v3: a top-level object `{"schema_version": 3,
 /// "records": [...]}` where each record keeps the flat stable keys of
-/// v1, so `jq .records` / pandas can consume it directly.
+/// v2 and adds modeled_bytes / measured_bytes / traffic_deviation_pct
+/// / measured_source (null or "" when the case was not byte-metered),
+/// so `jq .records` / pandas can consume it directly.
 class JsonReport {
  public:
-  static constexpr int kSchemaVersion = 2;
+  static constexpr int kSchemaVersion = 3;
 
   explicit JsonReport(std::string name) : name_(std::move(name)) {}
   ~JsonReport() {
@@ -137,31 +191,7 @@ class JsonReport {
   /// JSON string escaping (RFC 8259): quotes, backslashes and control
   /// characters. Matrix/kernel labels are normally plain identifiers,
   /// but a hostile --matrices flag must not produce invalid JSON.
-  static std::string escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\b': out += "\\b"; break;
-        case '\f': out += "\\f"; break;
-        case '\n': out += "\\n"; break;
-        case '\r': out += "\\r"; break;
-        case '\t': out += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x",
-                          static_cast<unsigned>(static_cast<unsigned char>(c)));
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
-    }
-    return out;
-  }
+  static std::string escape(const std::string& s) { return json_escape(s); }
 
   void write() {
     written_ = true;
@@ -179,7 +209,19 @@ class JsonReport {
           << escape(r.kernel) << "\", \"k\": " << r.k
           << ", \"threads\": " << r.threads << ", \"seconds\": " << r.seconds
           << ", \"gflops\": " << r.gflops
-          << ", \"bytes_moved\": " << r.bytes_moved << "}"
+          << ", \"bytes_moved\": " << r.bytes_moved << ", \"modeled_bytes\": "
+          << (r.modeled_bytes >= 0 ? json_number(r.modeled_bytes) : "null")
+          << ", \"measured_bytes\": "
+          << (r.measured_bytes >= 0 ? json_number(r.measured_bytes) : "null")
+          << ", \"traffic_deviation_pct\": ";
+      if (r.measured_bytes >= 0 && r.modeled_bytes > 0) {
+        out << json_number(
+            100.0 * telemetry::traffic_deviation(r.measured_bytes,
+                                                 r.modeled_bytes));
+      } else {
+        out << "null";
+      }
+      out << ", \"measured_source\": \"" << escape(r.measured_source) << "\"}"
           << (i + 1 < records_.size() ? ",\n" : "\n");
     }
     out << "]\n}\n";

@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   bench::print_banner("sweep engine — barrier vs point-to-point", opts);
   set_threads(threads);
 
-  perf::Table table({"matrix", "colors", "barrier_ms", "p2p_ms", "speedup"});
+  perf::Table table({"matrix", "colors", "barrier_ms", "p2p_ms", "speedup",
+                     "meas/model"});
   bench::JsonReport report("sweep_engine");
 
   for (const auto& name : bench::selected_names(opts)) {
@@ -42,18 +43,34 @@ int main(int argc, char** argv) {
         bench::time_plan_power(barrier_plan, wb, x, k, opts);
     const double p2p_s = bench::time_plan_power(p2p_plan, wp, x, k, opts);
 
+    // Traffic validation (satellite of docs/OBSERVABILITY.md): the
+    // analytic model's compulsory-byte estimate per A^k x evaluation,
+    // cross-checked against hardware counters where a traffic-capable
+    // PMU event opens. On restricted hosts measured stays null.
+    const double sweeps = perf::fbmpk_sweep_count(k);
+    const std::size_t bytes = perf::fbmpk_traffic(shape, k).total();
+    const double modeled = static_cast<double>(bytes);
+    AlignedVector<double> yb(static_cast<std::size_t>(m.matrix.rows()));
+    AlignedVector<double> yp(static_cast<std::size_t>(m.matrix.rows()));
+    std::string src_b, src_p;
+    const double meas_b = bench::measure_dram_bytes(
+        [&] { barrier_plan.power(x, k, yb, wb); }, opts.reps, &src_b);
+    const double meas_p = bench::measure_dram_bytes(
+        [&] { p2p_plan.power(x, k, yp, wp); }, opts.reps, &src_p);
+
     table.add_row({m.name, std::to_string(barrier_plan.stats().num_colors),
                    perf::Table::fmt(barrier_s * 1e3),
                    perf::Table::fmt(p2p_s * 1e3),
-                   perf::Table::fmt_ratio(barrier_s / p2p_s)});
+                   perf::Table::fmt_ratio(barrier_s / p2p_s),
+                   meas_p >= 0 ? perf::Table::fmt_percent(meas_p / modeled)
+                               : "n/a"});
 
-    const double sweeps = perf::fbmpk_sweep_count(k);
-    const std::size_t bytes = perf::fbmpk_traffic(shape, k).total();
     report.add({m.name, "barrier", k, threads, barrier_s,
-                bench::JsonReport::gflops_of(shape, sweeps, barrier_s),
-                bytes});
+                bench::JsonReport::gflops_of(shape, sweeps, barrier_s), bytes,
+                modeled, meas_b, src_b});
     report.add({m.name, "engine_p2p", k, threads, p2p_s,
-                bench::JsonReport::gflops_of(shape, sweeps, p2p_s), bytes});
+                bench::JsonReport::gflops_of(shape, sweeps, p2p_s), bytes,
+                modeled, meas_p, src_p});
   }
 
   table.print();

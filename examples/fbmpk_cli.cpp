@@ -9,18 +9,29 @@
 //   fbmpk_cli power --plan=plan.bin --k=5 [--x=x.txt] [--out=y.txt]
 //   fbmpk_cli poly  --plan=plan.bin --coeffs=1,0.5,0.25 [--x=...] [--out=...]
 //
+// Every command additionally accepts --telemetry=<file>[,hw]: enable the
+// runtime telemetry registry, run the command, and export a Chrome-trace
+// / Perfetto JSON (with the embedded fbmpkMetrics object) to <file>.
+// ",hw" also samples hardware counters around the run and attaches the
+// measured-vs-modeled traffic comparison (docs/OBSERVABILITY.md).
+//
 // <src> is either "suite:<name>[:scale]" or "file:<path.mtx>".
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "core/autotune.hpp"
 #include "core/fbmpk.hpp"
+#include "perf/traffic_model.hpp"
 #include "sparse/vector_io.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
+#include "telemetry/hw_counters.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace_export.hpp"
 
 using namespace fbmpk;
 
@@ -54,6 +65,93 @@ std::string get(const Args& args, const std::string& key,
   const auto it = args.find(key);
   return it == args.end() ? fallback : it->second;
 }
+
+// --telemetry=<file>[,hw] session: enables the registry before the
+// command runs, optionally brackets it with hardware counters, and
+// exports the trace afterwards. Export failures are reported as a
+// nonzero exit but never throw (telemetry must not take down the run).
+struct TelemetrySession {
+  bool on = false;
+  bool hw = false;
+  std::string path;
+  std::unique_ptr<telemetry::HwCounterGroup> counters;
+  telemetry::ExportMeta meta;
+
+  void parse(const Args& args) {
+    const auto it = args.find("telemetry");
+    if (it == args.end()) return;
+    on = true;
+    path = it->second;
+    const auto comma = path.find(',');
+    if (comma != std::string::npos) {
+      const std::string opt = path.substr(comma + 1);
+      FBMPK_CHECK_MSG(opt == "hw",
+                      "--telemetry only knows the ,hw option, got ," << opt);
+      hw = true;
+      path = path.substr(0, comma);
+    }
+    FBMPK_CHECK_MSG(!path.empty(), "--telemetry needs a file path");
+    telemetry::Registry::instance().set_enabled(true);
+    if (hw) {
+      counters = std::make_unique<telemetry::HwCounterGroup>();
+      meta.has_hw = true;
+      meta.hw_avail = counters->availability();
+      if (!counters->available())
+        std::fprintf(stderr, "telemetry: hardware counters unavailable (%s)\n",
+                     meta.hw_avail.detail.c_str());
+      else
+        counters->start();
+    }
+  }
+
+  /// Attach the analytic traffic prediction for an upcoming k-power run
+  /// so the export can report measured-vs-modeled deviation.
+  void expect_traffic(const MpkPlan& plan, int k) {
+    if (!on) return;
+    const auto& split = plan.split();
+    perf::MatrixShape shape;
+    shape.rows = plan.rows();
+    shape.diag_entries = 0;
+    for (double d : split.diag)
+      if (d != 0.0) ++shape.diag_entries;
+    shape.nnz = split.lower.nnz() + split.upper.nnz() + shape.diag_entries;
+    const double col_bytes = plan.options().index_compress
+                                 ? plan.packed_index().bytes_per_nnz()
+                                 : static_cast<double>(sizeof(index_t));
+    meta.has_traffic = true;
+    meta.traffic.k = k;
+    meta.traffic.runs = 1;
+    meta.traffic.modeled_bytes = static_cast<double>(
+        perf::fbmpk_traffic_mixed(shape, k, col_bytes,
+                                  plan.options().value_precision)
+            .total());
+  }
+
+  int finish() {
+    if (!on) return 0;
+    if (counters && counters->available()) {
+      meta.hw = counters->stop();
+      if (meta.has_traffic && meta.hw.memory_bytes() >= 0) {
+        meta.traffic.measured_bytes =
+            static_cast<double>(meta.hw.memory_bytes());
+        meta.traffic.measured_direct = meta.hw.dram_direct;
+      }
+    }
+    const telemetry::Snapshot snap =
+        telemetry::Registry::instance().snapshot();
+    const Status st = telemetry::export_trace_file(path, snap, meta);
+    if (!st.ok()) {
+      std::fprintf(stderr, "telemetry: export failed: %s\n",
+                   st.error().what());
+      return 1;
+    }
+    std::printf("telemetry: trace written to %s (%zu events)\n", path.c_str(),
+                snap.total_events());
+    return 0;
+  }
+};
+
+TelemetrySession g_telemetry;
 
 CsrMatrix<double> load_matrix(const std::string& src) {
   if (src.rfind("suite:", 0) == 0) {
@@ -206,6 +304,7 @@ int cmd_power(const Args& args) {
   const int k = std::stoi(need(args, "k"));
   const auto x = load_or_make_x(args, plan.rows());
   AlignedVector<double> y(x.size());
+  g_telemetry.expect_traffic(plan, k);
   Timer t;
   plan.power(x, k, y);
   std::printf("A^%d x computed in %.2f ms\n", k, t.milliseconds());
@@ -224,6 +323,7 @@ int cmd_poly(const Args& args) {
 
   const auto x = load_or_make_x(args, plan.rows());
   AlignedVector<double> y(x.size());
+  g_telemetry.expect_traffic(plan, static_cast<int>(coeffs.size()) - 1);
   Timer t;
   plan.polynomial(coeffs, x, y);
   std::printf("sum of %zu terms computed in %.2f ms\n", coeffs.size(),
@@ -246,19 +346,30 @@ int main(int argc, char** argv) {
                  "        [--precision=fp64|fp32|split]\n"
                  "  info  --plan=plan.bin\n"
                  "  power --plan=plan.bin --k=5 [--x=x.txt] [--out=y.txt]\n"
-                 "  poly  --plan=plan.bin --coeffs=1,0.5 [--x=] [--out=]\n",
+                 "  poly  --plan=plan.bin --coeffs=1,0.5 [--x=] [--out=]\n"
+                 "  any command also takes --telemetry=<file>[,hw]\n",
                  argv[0]);
     return 2;
   }
   const std::string cmd = argv[1];
   try {
     const Args args = parse_flags(argc, argv, 2);
-    if (cmd == "plan") return cmd_plan(args);
-    if (cmd == "info") return cmd_info(args);
-    if (cmd == "power") return cmd_power(args);
-    if (cmd == "poly") return cmd_poly(args);
-    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
-    return 2;
+    g_telemetry.parse(args);
+    int rc;
+    if (cmd == "plan")
+      rc = cmd_plan(args);
+    else if (cmd == "info")
+      rc = cmd_info(args);
+    else if (cmd == "power")
+      rc = cmd_power(args);
+    else if (cmd == "poly")
+      rc = cmd_poly(args);
+    else {
+      std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+      return 2;
+    }
+    const int trc = g_telemetry.finish();
+    return rc != 0 ? rc : trc;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -3,6 +3,7 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/timer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fbmpk {
 
@@ -24,8 +25,11 @@ AutotuneResult autotune_block_count(const CsrMatrix<double>& a, int k,
   AlignedVector<double> y(static_cast<std::size_t>(n));
 
   AutotuneResult result;
+  FBMPK_TSPAN(kAutotune, "autotune.block_count");
   for (index_t blocks : candidates) {
     FBMPK_CHECK_MSG(blocks >= 1, "block candidate must be positive");
+    FBMPK_TSPAN_ARGS(kAutotune, "autotune.block_probe",
+                     {.value = static_cast<std::int64_t>(blocks)});
     PlanOptions opts = base;
     opts.abmc.num_blocks = blocks;
 
@@ -69,7 +73,10 @@ SweepSyncResult autotune_sweep_sync(const CsrMatrix<double>& a, int k,
   for (auto& v : x) v = rng.next_double(-1.0, 1.0);
   AlignedVector<double> y(static_cast<std::size_t>(n));
 
+  FBMPK_TSPAN(kAutotune, "autotune.sweep_sync");
   auto measure = [&](SweepSync sync) {
+    FBMPK_TSPAN_ARGS(kAutotune, "autotune.sync_probe",
+                     {.value = sync == SweepSync::kPointToPoint ? 1 : 0});
     PlanOptions opts = base;
     opts.sweep.sync = sync;
     MpkPlan plan = MpkPlan::build(a, opts);
@@ -158,7 +165,12 @@ KernelConfigResult autotune_kernel_config(const CsrMatrix<double>& a, int k,
   for (auto& v : x) v = rng.next_double(-1.0, 1.0);
   AlignedVector<double> y(static_cast<std::size_t>(n));
 
+  FBMPK_TSPAN(kAutotune, "autotune.kernel_config");
   for (const Candidate& c : candidates) {
+    FBMPK_TSPAN_ARGS(
+        kAutotune, "autotune.kernel_probe",
+        {.value = static_cast<std::int64_t>(c.backend) * 100 +
+                  (c.compress ? 10 : 0) + static_cast<int>(c.precision)});
     PlanOptions opts = base;
     opts.kernel_backend = c.backend;
     opts.index_compress = c.compress;

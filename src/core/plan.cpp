@@ -5,8 +5,37 @@
 
 #include "kernels/fbmpk_parallel.hpp"
 #include "support/timer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fbmpk {
+
+namespace {
+
+#if FBMPK_TELEMETRY_ENABLED
+// Max-over-mean per-thread nnz load of the point-to-point schedule, in
+// parts-per-million (same diagnostic as perf::partition_imbalance, kept
+// local to avoid a core -> perf dependency). 1e6 == perfectly balanced.
+std::int64_t schedule_imbalance_ppm(const SweepSchedule& sched) {
+  if (sched.empty() || sched.load.empty()) return 0;
+  const std::size_t T_n = static_cast<std::size_t>(sched.num_threads);
+  std::vector<double> per_thread(T_n, 0.0);
+  for (std::size_t t = 0; t < T_n; ++t)
+    for (index_t c = 0; c < sched.num_colors; ++c)
+      per_thread[t] += static_cast<double>(
+          sched.load[t * static_cast<std::size_t>(sched.num_colors) +
+                     static_cast<std::size_t>(c)]);
+  double total = 0.0, peak = 0.0;
+  for (double v : per_thread) {
+    total += v;
+    peak = std::max(peak, v);
+  }
+  const double mean = total / static_cast<double>(T_n);
+  if (mean <= 0.0) return 0;
+  return static_cast<std::int64_t>(peak / mean * 1e6);
+}
+#endif
+
+}  // namespace
 
 MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
   FBMPK_CHECK_CODE(a.rows() == a.cols(), ErrorCode::kInvalidMatrix,
@@ -33,8 +62,12 @@ MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
   FBMPK_CHECK_MSG(opts.prefetch_dist >= 0 && opts.prefetch_dist <= 1024,
                   "prefetch_dist must be in [0, 1024], got "
                       << opts.prefetch_dist);
-  if (opts.validate_input) check_matrix(a, opts.sanitize);
+  if (opts.validate_input) {
+    FBMPK_TSPAN(kPlan, "plan.validate");
+    check_matrix(a, opts.sanitize);
+  }
 
+  FBMPK_TSPAN(kPlan, "plan.build");
   Timer total;
   MpkPlan plan;
   plan.n_ = a.rows();
@@ -42,19 +75,25 @@ MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
 
   if (opts.reorder) {
     Timer reorder_timer;
-    plan.schedule_ = abmc_order(a, opts.abmc);
+    {
+      FBMPK_TSPAN(kPlan, "plan.abmc");
+      plan.schedule_ = abmc_order(a, opts.abmc);
+    }
     plan.perm_ = plan.schedule_.perm;
     plan.stats_.reorder_seconds = reorder_timer.seconds();
     plan.stats_.num_blocks = plan.schedule_.num_blocks;
     plan.stats_.num_colors = plan.schedule_.num_colors;
+    FBMPK_TSPAN(kPlan, "plan.split");
     const CsrMatrix<double> permuted = permute_symmetric(a, plan.perm_);
     plan.split_ = split_triangular(permuted);
   } else {
+    FBMPK_TSPAN(kPlan, "plan.split");
     plan.perm_ = Permutation::identity(a.rows());
     plan.split_ = split_triangular(a);
   }
 
   if (opts.parallel && opts.scheduler == Scheduler::kLevels) {
+    FBMPK_TSPAN(kPlan, "plan.levels");
     plan.levels_ = LevelSchedulePair::of(plan.split_);
     plan.stats_.num_levels_forward = plan.levels_.forward.num_levels;
     plan.stats_.num_levels_backward = plan.levels_.backward.num_levels;
@@ -62,20 +101,25 @@ MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
 
   if (opts.parallel && opts.scheduler == Scheduler::kAbmc &&
       opts.sweep.sync == SweepSync::kPointToPoint) {
+    FBMPK_TSPAN(kPlan, "plan.sweep_schedule");
     const index_t threads = opts.sweep.threads > 0
                                 ? opts.sweep.threads
                                 : static_cast<index_t>(max_threads());
     plan.sweep_schedule_ =
         build_sweep_schedule(plan.schedule_, plan.split_, threads);
     plan.stats_.sweep_threads = threads;
+    FBMPK_TGAUGE("plan.partition_imbalance_ppm",
+                 schedule_imbalance_ppm(plan.sweep_schedule_));
   }
 
   if (opts.index_compress) {
+    FBMPK_TSPAN(kPlan, "plan.pack_index");
     plan.packed_.lower = PackedTriangleIndex::build(plan.split_.lower);
     plan.packed_.upper = PackedTriangleIndex::build(plan.split_.upper);
     plan.stats_.packed_index_bytes = plan.packed_.index_bytes();
   }
   if (opts.value_precision != ValuePrecision::kFp64) {
+    FBMPK_TSPAN(kPlan, "plan.pack_values");
     const auto lv = std::span<const double>(plan.split_.lower.values());
     const auto uv = std::span<const double>(plan.split_.upper.values());
     const auto dv = std::span<const double>(plan.split_.diag);
@@ -107,6 +151,9 @@ MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
   plan.stats_.storage_bytes = plan.split_.storage_bytes();
   plan.internal_ws_ = std::make_unique<Workspace>();
   plan.stats_.build_seconds = total.seconds();
+  FBMPK_TCOUNT("plan.builds", 1);
+  FBMPK_TGAUGE("plan.num_blocks", plan.stats_.num_blocks);
+  FBMPK_TGAUGE("plan.num_colors", plan.stats_.num_colors);
   return plan;
 }
 
@@ -226,6 +273,8 @@ void MpkPlan::power(std::span<const double> x, int k, std::span<double> y,
   FBMPK_CHECK(x.size() == static_cast<std::size_t>(n_));
   FBMPK_CHECK(y.size() == static_cast<std::size_t>(n_));
   FBMPK_CHECK(k >= 0);
+  FBMPK_TSPAN_ARGS(kSweep, "plan.power", {.k = k});
+  FBMPK_TCOUNT("plan.power_calls", 1);
   if (perm_.is_identity()) {
     run_power(x, k, y, ws);
     return;
@@ -247,6 +296,8 @@ void MpkPlan::power_all(std::span<const double> x, int k,
   FBMPK_CHECK(x.size() == n);
   FBMPK_CHECK(out.size() == n * static_cast<std::size_t>(k + 1));
   FBMPK_CHECK(k >= 0);
+  FBMPK_TSPAN_ARGS(kSweep, "plan.power_all", {.k = k});
+  FBMPK_TCOUNT("plan.power_all_calls", 1);
   if (perm_.is_identity()) {
     run_power_all(x, k, out, ws);
     return;
@@ -273,6 +324,8 @@ void MpkPlan::polynomial(std::span<const double> coeffs,
   const auto n = static_cast<std::size_t>(n_);
   FBMPK_CHECK(x.size() == n && y.size() == n);
   FBMPK_CHECK(!coeffs.empty());
+  FBMPK_TSPAN_ARGS(kSweep, "plan.polynomial",
+                   {.k = static_cast<int>(coeffs.size()) - 1});
   if (perm_.is_identity()) {
     run_polynomial(coeffs, x, y, ws);
     return;

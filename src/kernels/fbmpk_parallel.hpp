@@ -28,6 +28,7 @@
 #include "support/aligned_buffer.hpp"
 #include "support/error.hpp"
 #include "support/threading.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fbmpk {
 
@@ -112,8 +113,17 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
 #pragma omp parallel default(shared)
 #endif
   {
+    // Telemetry (compiled out when FBMPK_TELEMETRY is off): one span
+    // per (k-step, color) stage, recorded by thread 0 — the implicit
+    // barrier after each `omp for` makes its timestamps bracket the
+    // whole team's color.
+    FBMPK_TELEMETRY_ONLY(
+        telemetry::SweepRecorder fbmpk_rec{false};
+        const bool fbmpk_rec0 = thread_id() == 0;)
+
     // Head: even slots <- x0; tmp <- U·x0. Row-parallel, no coloring
     // needed (reads only x0).
+    FBMPK_TELEMETRY_ONLY(if (fbmpk_rec0) fbmpk_rec.stage_begin();)
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
@@ -126,6 +136,7 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
       rows.u_dot1(i, xy, 0, sum);
       tmp[i] = sum;
     }
+    FBMPK_TELEMETRY_ONLY(if (fbmpk_rec0) fbmpk_rec.stage_end("head", 0, -1);)
 
     for (int it = 0; it < pairs; ++it) {
       const int p_odd = 2 * it + 1;
@@ -134,6 +145,7 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
       // Forward: colors ascending; blocks of one color in parallel;
       // rows within a block top-down.
       for (index_t c = 0; c < num_colors; ++c) {
+        FBMPK_TELEMETRY_ONLY(if (fbmpk_rec0) fbmpk_rec.stage_begin();)
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
@@ -148,11 +160,15 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
             tmp[i] = sum1 + di * sum0;
           }
         }  // implicit barrier: color c complete before c+1 starts
+        FBMPK_TELEMETRY_ONLY(if (fbmpk_rec0)
+                                 fbmpk_rec.stage_end("fwd", p_odd,
+                                                     static_cast<int>(c));)
       }
 
       // Backward: colors descending; rows within a block bottom-up.
       const bool prime_next = !(it == pairs - 1 && k % 2 == 0);
       for (index_t c = num_colors; c-- > 0;) {
+        FBMPK_TELEMETRY_ONLY(if (fbmpk_rec0) fbmpk_rec.stage_begin();)
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
@@ -172,11 +188,15 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
             }
           }
         }
+        FBMPK_TELEMETRY_ONLY(if (fbmpk_rec0)
+                                 fbmpk_rec.stage_end("bwd", p_even,
+                                                     static_cast<int>(c));)
       }
     }
 
     if (k % 2 == 1) {
       // Tail: reads only completed even slots and tmp; row-parallel.
+      FBMPK_TELEMETRY_ONLY(if (fbmpk_rec0) fbmpk_rec.stage_begin();)
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
@@ -185,6 +205,7 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
         rows.l_dot1(i, xy, 0, sum);
         emit(k, i, sum);
       }
+      FBMPK_TELEMETRY_ONLY(if (fbmpk_rec0) fbmpk_rec.stage_end("tail", k, -1);)
     }
   }
 }
@@ -313,19 +334,24 @@ struct alignas(kCacheLineBytes) SweepEpoch {
 /// (tuned down to zero on oversubscribed teams, where spinning only
 /// steals the awaited thread's timeslice), then a futex-style block on
 /// the counter — the same sleeping a team barrier would do, but woken
-/// by the one thread this stage actually depends on.
-inline void sweep_wait(std::atomic<long long>& e, long long target,
+/// by the one thread this stage actually depends on. Returns whether
+/// the wait fell through to a futex block (telemetry classifies
+/// spin-satisfied vs blocked waits; callers otherwise ignore it).
+inline bool sweep_wait(std::atomic<long long>& e, long long target,
                        int spin_rounds) {
   SpinWaiter w;
   for (int i = 0; i < spin_rounds; ++i) {
-    if (e.load(std::memory_order_acquire) >= target) return;
+    if (e.load(std::memory_order_acquire) >= target) return false;
     w.wait();
   }
   long long cur = e.load(std::memory_order_acquire);
+  bool blocked = false;
   while (cur < target) {
+    blocked = true;
     e.wait(cur, std::memory_order_acquire);
     cur = e.load(std::memory_order_acquire);
   }
+  return blocked;
 }
 
 }  // namespace detail
@@ -393,6 +419,11 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
     }
     if (pin_threads) pin_team_compact();
 
+    // Telemetry (compiled out when FBMPK_TELEMETRY is off): every
+    // thread records its own (k-step, color) stage spans and
+    // spin-vs-futex wait accounting into its thread-local buffer.
+    FBMPK_TELEMETRY_ONLY(telemetry::SweepRecorder fbmpk_rec{true};)
+
     // Oversubscribed teams skip the spin phase entirely: the awaited
     // thread is not running concurrently, so spinning only delays its
     // next timeslice. Dedicated cores spin briefly before sleeping.
@@ -416,10 +447,20 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
       }
     };
     const auto wait_all = [&](long long target) {
+      FBMPK_TELEMETRY_ONLY(
+          const bool fbmpk_have_deps =
+              sched.all_dep_ptr[t] < sched.all_dep_ptr[t + 1];
+          if (fbmpk_have_deps && fbmpk_rec.active()) fbmpk_rec.wait_begin();
+          bool fbmpk_blocked = false;)
       for (index_t q = sched.all_dep_ptr[t]; q < sched.all_dep_ptr[t + 1];
-           ++q)
-        detail::sweep_wait(epochs[sched.all_deps[q]].value, target,
-                           pause_spins);
+           ++q) {
+        const bool blocked = detail::sweep_wait(epochs[sched.all_deps[q]].value,
+                                                target, pause_spins);
+        (void)blocked;
+        FBMPK_TELEMETRY_ONLY(fbmpk_blocked = fbmpk_blocked || blocked;)
+      }
+      FBMPK_TELEMETRY_ONLY(if (fbmpk_have_deps && fbmpk_rec.active())
+                               fbmpk_rec.wait_end(fbmpk_blocked);)
     };
 
     // head0: xy even slots <- x0 over owned rows. This is the
@@ -427,6 +468,7 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
     // along (row i's CSR data is only ever read while processing row
     // i, always by its owner, so this races with nothing).
     T sink{};
+    FBMPK_TELEMETRY_ONLY(fbmpk_rec.stage_begin();)
     for_own_rows([&](index_t i) {
       xy[2 * i] = x0p[i];
       if (warm_split) {
@@ -440,16 +482,19 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
       (void)keep;
     }
     bump();  // epoch 1
+    FBMPK_TELEMETRY_ONLY(fbmpk_rec.stage_end("head0", 0, -1);)
 
     // head1: tmp <- U·x0. Reads foreign xy even slots; needs every
     // neighbor owner past head0.
     wait_all(1);
+    FBMPK_TELEMETRY_ONLY(fbmpk_rec.stage_begin();)
     for_own_rows([&](index_t i) {
       T sum{};
       rows.u_dot1(i, xy, 0, sum);
       tmp[i] = sum;
     });
     bump();  // epoch 2
+    FBMPK_TELEMETRY_ONLY(fbmpk_rec.stage_end("head1", 0, -1);)
 
     for (int it = 0; it < pairs; ++it) {
       const int p_odd = 2 * it + 1;
@@ -460,12 +505,23 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
       // Forward stages: colors ascending, rows top-down.
       for (index_t c = 0; c < C; ++c) {
         const std::size_t slot = sched.slot(t, c);
+        FBMPK_TELEMETRY_ONLY(
+            const bool fbmpk_have_deps =
+                sched.fwd_dep_ptr[slot] < sched.fwd_dep_ptr[slot + 1];
+            if (fbmpk_have_deps && fbmpk_rec.active()) fbmpk_rec.wait_begin();
+            bool fbmpk_blocked = false;)
         for (index_t q = sched.fwd_dep_ptr[slot];
              q < sched.fwd_dep_ptr[slot + 1]; ++q) {
           const SweepDep& dep = sched.fwd_deps[q];
-          detail::sweep_wait(epochs[dep.thread].value, base + dep.color + 1,
-                             pause_spins);
+          const bool blocked = detail::sweep_wait(
+              epochs[dep.thread].value, base + dep.color + 1, pause_spins);
+          (void)blocked;
+          FBMPK_TELEMETRY_ONLY(fbmpk_blocked = fbmpk_blocked || blocked;)
         }
+        FBMPK_TELEMETRY_ONLY(
+            if (fbmpk_have_deps && fbmpk_rec.active())
+                fbmpk_rec.wait_end(fbmpk_blocked);
+            fbmpk_rec.stage_begin();)
         for (index_t pi = sched.part_ptr[slot];
              pi < sched.part_ptr[slot + 1]; ++pi) {
           const index_t b = sched.part_blocks[pi];
@@ -480,17 +536,32 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
           }
         }
         bump();  // epoch base + c + 1
+        FBMPK_TELEMETRY_ONLY(
+            fbmpk_rec.stage_end("F", p_odd, static_cast<int>(c));)
       }
 
       // Backward stages: colors descending, rows bottom-up.
       for (index_t c = C; c-- > 0;) {
         const std::size_t slot = sched.slot(t, c);
+        FBMPK_TELEMETRY_ONLY(
+            const bool fbmpk_have_deps =
+                sched.bwd_dep_ptr[slot] < sched.bwd_dep_ptr[slot + 1];
+            if (fbmpk_have_deps && fbmpk_rec.active()) fbmpk_rec.wait_begin();
+            bool fbmpk_blocked = false;)
         for (index_t q = sched.bwd_dep_ptr[slot];
              q < sched.bwd_dep_ptr[slot + 1]; ++q) {
           const SweepDep& dep = sched.bwd_deps[q];
-          detail::sweep_wait(epochs[dep.thread].value,
-                             base + C + (C - 1 - dep.color) + 1, pause_spins);
+          const bool blocked =
+              detail::sweep_wait(epochs[dep.thread].value,
+                                 base + C + (C - 1 - dep.color) + 1,
+                                 pause_spins);
+          (void)blocked;
+          FBMPK_TELEMETRY_ONLY(fbmpk_blocked = fbmpk_blocked || blocked;)
         }
+        FBMPK_TELEMETRY_ONLY(
+            if (fbmpk_have_deps && fbmpk_rec.active())
+                fbmpk_rec.wait_end(fbmpk_blocked);
+            fbmpk_rec.stage_begin();)
         for (index_t pi = sched.part_ptr[slot];
              pi < sched.part_ptr[slot + 1]; ++pi) {
           const index_t b = sched.part_blocks[pi];
@@ -510,6 +581,8 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
           }
         }
         bump();  // epoch base + C + (C-1-c) + 1
+        FBMPK_TELEMETRY_ONLY(
+            fbmpk_rec.stage_end("B", p_even, static_cast<int>(c));)
       }
     }
 
@@ -517,12 +590,14 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
       // Tail: reads foreign even slots; needs every neighbor owner
       // through the whole pair sequence.
       wait_all(2 + pairs * stage_pairs);
+      FBMPK_TELEMETRY_ONLY(fbmpk_rec.stage_begin();)
       for_own_rows([&](index_t i) {
         T sum = tmp[i] + rows.diag(i) * xy[2 * i];
         rows.l_dot1(i, xy, 0, sum);
         emit(k, i, sum);
       });
       bump();
+      FBMPK_TELEMETRY_ONLY(fbmpk_rec.stage_end("tail", k, -1);)
     }
   });
 

@@ -5,18 +5,36 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fbmpk::perf {
 
 RunningStats time_runs(const std::function<void()>& fn, int reps,
                        int warmup) {
   FBMPK_CHECK(reps >= 1 && warmup >= 0);
-  for (int i = 0; i < warmup; ++i) fn();
+  // Warmup iterations carry warmup=true in their span args and are
+  // excluded from the exported kBenchRun histogram, so a trace viewer
+  // can tell cache-priming runs from measured ones.
+  for (int i = 0; i < warmup; ++i) {
+    FBMPK_TSPAN_ARGS(kBench, "bench.run", {.warmup = true});
+    fn();
+  }
   RunningStats stats;
   for (int i = 0; i < reps; ++i) {
+    FBMPK_TSPAN_ARGS(kBench, "bench.run", {.warmup = false});
+    FBMPK_TELEMETRY_ONLY(const std::int64_t fbmpk_t0 =
+                             ::fbmpk::telemetry::now_ns();)
     Timer t;
     fn();
     stats.add(t.seconds());
+    FBMPK_TELEMETRY_ONLY({
+      auto& reg = ::fbmpk::telemetry::Registry::instance();
+      if (reg.enabled())
+        reg.thread_buffer().record(
+            ::fbmpk::telemetry::Hist::kBenchRun,
+            static_cast<std::uint64_t>(::fbmpk::telemetry::now_ns() -
+                                       fbmpk_t0));
+    })
   }
   return stats;
 }

@@ -6,6 +6,7 @@
 #include "reorder/permutation.hpp"
 #include "sparse/validate.hpp"
 #include "support/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fbmpk::solvers {
 
@@ -73,6 +74,7 @@ SolveResult pcg(const CsrMatrix<double>& a, std::span<const double> b,
   FBMPK_CHECK(a.rows() == a.cols());
   FBMPK_CHECK(b.size() == static_cast<std::size_t>(n) &&
               x.size() == static_cast<std::size_t>(n));
+  FBMPK_TSPAN(kSolver, "solver.pcg");
 
   AlignedVector<double> r(static_cast<std::size_t>(n));
   AlignedVector<double> z(static_cast<std::size_t>(n));
@@ -151,6 +153,7 @@ SolveResult chebyshev_iteration(const CsrMatrix<double>& a,
               x.size() == static_cast<std::size_t>(n));
   FBMPK_CHECK_MSG(0.0 < lambda_min && lambda_min < lambda_max,
                   "need 0 < lambda_min < lambda_max");
+  FBMPK_TSPAN(kSolver, "solver.chebyshev");
 
   // Standard Chebyshev semi-iteration (Saad, Iterative Methods §12.3).
   const double theta = 0.5 * (lambda_max + lambda_min);
@@ -216,6 +219,7 @@ EigenResult power_method(const CsrMatrix<double>& a, const MpkPlan& plan,
   const index_t n = a.rows();
   FBMPK_CHECK(v.size() == static_cast<std::size_t>(n));
   FBMPK_CHECK(block_steps >= 1);
+  FBMPK_TSPAN_ARGS(kSolver, "solver.power_method", {.k = block_steps});
 
   const double vn = norm2(v);
   FBMPK_CHECK_MSG(vn > 0.0, "initial vector must be nonzero");
@@ -319,6 +323,7 @@ void TwoLevelMultigrid::vcycle(std::span<const double> b,
   const index_t n = n_;
   FBMPK_CHECK(b.size() == static_cast<std::size_t>(n) &&
               x.size() == static_cast<std::size_t>(n));
+  FBMPK_TSPAN(kSolver, "solver.mg_vcycle");
 
   // Work in the permuted space.
   AlignedVector<double> pb(static_cast<std::size_t>(n));

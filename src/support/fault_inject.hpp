@@ -1,10 +1,13 @@
 // Deterministic fault injection for robustness tests.
 //
-// Three primitives exercise the untrusted-input paths:
+// Four primitives exercise the untrusted-input and export paths:
 //   * ShortReadStream  — an istream that yields the first N bytes of a
 //     blob and then reports EOF, simulating truncated files.
 //   * FailingStream    — an istream whose underlying buffer hard-fails
 //     (badbit) after N bytes, simulating mid-read I/O errors.
+//   * FailingWriteStream — an ostream whose sink accepts N bytes and
+//     then hard-fails (badbit), simulating a full disk / dead pipe for
+//     writers like the telemetry trace export.
 //   * flip_byte        — single-byte XOR mutator for checksum tests.
 //
 // Everything is header-only and deterministic: no clocks, no RNG. The
@@ -16,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <istream>
+#include <ostream>
 #include <streambuf>
 #include <string>
 
@@ -83,6 +87,54 @@ class FailingStream : public std::istream {
 
  private:
   FailingBuf buf_;
+};
+
+/// Streambuf that accepts `limit` bytes into an internal string and
+/// then refuses further output, as a full disk or dead pipe would.
+/// overflow() returning eof sets badbit on the owning stream.
+class FailingWriteBuf : public std::streambuf {
+ public:
+  explicit FailingWriteBuf(std::size_t limit) : limit_(limit) {}
+
+  const std::string& written() const { return written_; }
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (written_.size() >= limit_ || traits_type::eq_int_type(
+                                         ch, traits_type::eof()))
+      return traits_type::eof();
+    written_.push_back(traits_type::to_char_type(ch));
+    return ch;
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    std::streamsize accepted = 0;
+    while (accepted < n && written_.size() < limit_) {
+      written_.push_back(s[accepted]);
+      ++accepted;
+    }
+    return accepted;
+  }
+
+ private:
+  std::string written_;
+  std::size_t limit_;
+};
+
+/// ostream whose sink hard-fails after `limit` bytes. `written()`
+/// exposes what got through before the fault, so tests can assert that
+/// consumers of the stream never published a truncated artifact.
+class FailingWriteStream : public std::ostream {
+ public:
+  explicit FailingWriteStream(std::size_t limit)
+      : std::ostream(nullptr), buf_(limit) {
+    rdbuf(&buf_);
+    exceptions(std::ios_base::goodbit);  // failures become badbit
+  }
+
+  const std::string& written() const { return buf_.written(); }
+
+ private:
+  FailingWriteBuf buf_;
 };
 
 /// XOR the byte at `pos` with `mask` (mask must be nonzero to actually

@@ -1,0 +1,53 @@
+// Minimal JSON emission helpers shared by the machine-readable outputs
+// (bench/bench_common.hpp JsonReport, src/telemetry trace export).
+//
+// This is deliberately NOT a JSON library: the writers emit their own
+// structure; what must be shared is the escaping contract (RFC 8259 —
+// quotes, backslashes, control characters) so a hostile matrix name or
+// span label can never produce an invalid file anywhere.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace fbmpk {
+
+/// Escape `s` for inclusion inside a double-quoted JSON string.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Render a double as a JSON number. JSON has no NaN/Inf; both map to
+/// null so downstream `json.load`/`jq` never chokes on a degenerate
+/// measurement.
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace fbmpk

@@ -1,0 +1,315 @@
+#include "telemetry/hw_counters.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <fcntl.h>
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace fbmpk::telemetry {
+
+namespace {
+
+// HwCounts slot indices (keep in sync with apply_count below).
+enum Slot {
+  kCycles = 0,
+  kInstructions,
+  kLlcMisses,
+  kDramRead,
+  kDramWrite,
+  kTaskClock,
+};
+
+void apply_count(HwCounts& c, int slot, std::int64_t v) {
+  switch (slot) {
+    case kCycles: c.cycles = (c.cycles < 0 ? 0 : c.cycles) + v; break;
+    case kInstructions:
+      c.instructions = (c.instructions < 0 ? 0 : c.instructions) + v;
+      break;
+    case kLlcMisses:
+      c.llc_misses = (c.llc_misses < 0 ? 0 : c.llc_misses) + v;
+      break;
+    case kDramRead:
+      c.dram_read_bytes = (c.dram_read_bytes < 0 ? 0 : c.dram_read_bytes) + v;
+      break;
+    case kDramWrite:
+      c.dram_write_bytes =
+          (c.dram_write_bytes < 0 ? 0 : c.dram_write_bytes) + v;
+      break;
+    case kTaskClock:
+      c.task_clock_ns = (c.task_clock_ns < 0 ? 0 : c.task_clock_ns) + v;
+      break;
+    default: break;
+  }
+}
+
+}  // namespace
+
+std::int64_t HwCounts::memory_bytes() const {
+  if (dram_read_bytes >= 0 || dram_write_bytes >= 0) {
+    const std::int64_t rd = dram_read_bytes < 0 ? 0 : dram_read_bytes;
+    const std::int64_t wr = dram_write_bytes < 0 ? 0 : dram_write_bytes;
+    return rd + wr;
+  }
+  if (llc_misses >= 0) return llc_misses * 64;
+  return -1;
+}
+
+double traffic_deviation(double measured_bytes, double modeled_bytes) {
+  if (modeled_bytes == 0.0) return 0.0;
+  return (measured_bytes - modeled_bytes) / modeled_bytes;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+int perf_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+              unsigned long flags) {
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+/// Read a small sysfs file into a string (empty on failure).
+std::string read_sysfs(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "re");
+  if (f == nullptr) return {};
+  char buf[256];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  std::string s(buf);
+  while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
+  return s;
+}
+
+/// Parse an uncore event spec like "event=0x04,umask=0x03" into the
+/// standard x86 raw-config layout (event | umask << 8). Returns false
+/// on anything it does not understand — better to drop DRAM counters
+/// than to program a wrong event.
+bool parse_event_spec(const std::string& spec, std::uint64_t& config) {
+  config = 0;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string field = spec.substr(pos, comma - pos);
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = field.substr(0, eq);
+    const unsigned long long val =
+        std::strtoull(field.c_str() + eq + 1, nullptr, 0);
+    if (key == "event")
+      config |= val & 0xffULL;
+    else if (key == "umask")
+      config |= (val & 0xffULL) << 8;
+    else
+      return false;  // cmask/edge/... — unexpected for CAS counts
+    pos = comma + 1;
+  }
+  return true;
+}
+
+/// Multiplex-scaled counter value: raw * enabled / running.
+std::int64_t scaled_read(int fd) {
+  struct {
+    std::uint64_t value;
+    std::uint64_t time_enabled;
+    std::uint64_t time_running;
+  } data{};
+  if (read(fd, &data, sizeof(data)) != sizeof(data)) return 0;
+  if (data.time_running == 0) return 0;
+  const double scale = static_cast<double>(data.time_enabled) /
+                       static_cast<double>(data.time_running);
+  return static_cast<std::int64_t>(static_cast<double>(data.value) * scale);
+}
+
+perf_event_attr base_attr(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // restricted perf_event_paranoid allows this
+  attr.exclude_hv = 1;
+  attr.inherit = 1;  // count threads spawned after open
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return attr;
+}
+
+}  // namespace
+
+HwCounterGroup::HwCounterGroup() {
+  std::string& detail = avail_.detail;
+  const auto note = [&detail](const char* what, const char* outcome) {
+    detail += what;
+    detail += ": ";
+    detail += outcome;
+    detail += "; ";
+  };
+
+  // Per-process core counters. `inherit` cannot cover threads that
+  // already exist, so callers should construct the group before the
+  // first parallel region of the measured workload (the benches do).
+  struct CoreEvent {
+    const char* label;
+    std::uint32_t type;
+    std::uint64_t config;
+    int slot;
+    bool* flag;
+  };
+  const CoreEvent core_events[] = {
+      {"cycles", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, kCycles,
+       &avail_.cycles},
+      {"instructions", PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS,
+       kInstructions, &avail_.instructions},
+      {"llc_misses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES,
+       kLlcMisses, &avail_.llc_misses},
+      {"task_clock", PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK,
+       kTaskClock, &avail_.task_clock},
+  };
+  for (const CoreEvent& ev : core_events) {
+    perf_event_attr attr = base_attr(ev.type, ev.config);
+    const int fd = perf_open(&attr, /*pid=*/0, /*cpu=*/-1, -1, 0);
+    if (fd >= 0) {
+      fds_.push_back({fd, 1.0, ev.slot});
+      *ev.flag = true;
+      note(ev.label, "ok");
+    } else {
+      note(ev.label, std::strerror(errno));
+    }
+  }
+
+  // Socket-wide DRAM traffic through the uncore IMC PMUs (one device
+  // per memory controller). System-wide counters: pid=-1, cpu=0 —
+  // needs CAP_PERFMON / perf_event_paranoid <= 0.
+  const char* base = "/sys/bus/event_source/devices";
+  DIR* dir = opendir(base);
+  bool imc_seen = false;
+  int imc_read_ok = 0, imc_write_ok = 0;
+  if (dir != nullptr) {
+    while (dirent* de = readdir(dir)) {
+      const std::string name = de->d_name;
+      if (name.rfind("uncore_imc", 0) != 0) continue;
+      imc_seen = true;
+      const std::string dev = std::string(base) + "/" + name;
+      const std::string type_s = read_sysfs(dev + "/type");
+      if (type_s.empty()) continue;
+      const auto pmu_type =
+          static_cast<std::uint32_t>(std::strtoul(type_s.c_str(), nullptr, 10));
+      const struct {
+        const char* event;
+        int slot;
+        int* ok;
+      } cas[] = {{"cas_count_read", kDramRead, &imc_read_ok},
+                 {"cas_count_write", kDramWrite, &imc_write_ok}};
+      for (const auto& c : cas) {
+        const std::string spec = read_sysfs(dev + "/events/" + c.event);
+        std::uint64_t config = 0;
+        if (spec.empty() || !parse_event_spec(spec, config)) continue;
+        // Event scale/unit: CAS counts tick per 64B transfer; the
+        // sysfs scale converts ticks to the advertised unit.
+        double to_bytes = 64.0;
+        const std::string scale_s =
+            read_sysfs(dev + "/events/" + c.event + ".scale");
+        const std::string unit_s =
+            read_sysfs(dev + "/events/" + c.event + ".unit");
+        if (!scale_s.empty()) {
+          const double scale = std::strtod(scale_s.c_str(), nullptr);
+          if (scale > 0.0)
+            to_bytes = scale * (unit_s == "MiB"   ? 1024.0 * 1024.0
+                                : unit_s == "GiB" ? 1024.0 * 1024.0 * 1024.0
+                                                  : 1.0);
+        }
+        perf_event_attr attr = base_attr(pmu_type, config);
+        attr.inherit = 0;  // system-wide counters cannot inherit
+        attr.exclude_kernel = 0;
+        attr.exclude_hv = 0;
+        const int fd = perf_open(&attr, /*pid=*/-1, /*cpu=*/0, -1, 0);
+        if (fd >= 0) {
+          fds_.push_back({fd, to_bytes, c.slot});
+          ++*c.ok;
+        }
+      }
+    }
+    closedir(dir);
+  }
+  if (imc_read_ok > 0 && imc_write_ok > 0) {
+    avail_.dram = true;
+    note("dram_imc", "ok");
+  } else if (imc_seen) {
+    note("dram_imc", "present but unopenable (needs CAP_PERFMON / "
+                     "perf_event_paranoid<=0)");
+  } else {
+    note("dram_imc", "no uncore_imc PMU");
+  }
+}
+
+HwCounterGroup::~HwCounterGroup() {
+  for (const Fd& f : fds_)
+    if (f.fd >= 0) close(f.fd);
+}
+
+HwCounterGroup::HwCounterGroup(HwCounterGroup&& o) noexcept
+    : fds_(std::move(o.fds_)), avail_(std::move(o.avail_)) {
+  o.fds_.clear();
+}
+
+HwCounterGroup& HwCounterGroup::operator=(HwCounterGroup&& o) noexcept {
+  if (this != &o) {
+    for (const Fd& f : fds_)
+      if (f.fd >= 0) close(f.fd);
+    fds_ = std::move(o.fds_);
+    avail_ = std::move(o.avail_);
+    o.fds_.clear();
+  }
+  return *this;
+}
+
+void HwCounterGroup::start() {
+  for (const Fd& f : fds_) {
+    ioctl(f.fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(f.fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+HwCounts HwCounterGroup::stop() {
+  HwCounts counts;
+  for (const Fd& f : fds_) ioctl(f.fd, PERF_EVENT_IOC_DISABLE, 0);
+  for (const Fd& f : fds_) {
+    const std::int64_t raw = scaled_read(f.fd);
+    const std::int64_t v =
+        f.slot == kDramRead || f.slot == kDramWrite
+            ? static_cast<std::int64_t>(static_cast<double>(raw) * f.scale)
+            : raw;
+    apply_count(counts, f.slot, v);
+  }
+  counts.dram_direct = avail_.dram;
+  return counts;
+}
+
+#else  // !__linux__
+
+HwCounterGroup::HwCounterGroup() {
+  avail_.detail = "perf_event_open unavailable on this platform";
+}
+HwCounterGroup::~HwCounterGroup() = default;
+HwCounterGroup::HwCounterGroup(HwCounterGroup&&) noexcept = default;
+HwCounterGroup& HwCounterGroup::operator=(HwCounterGroup&&) noexcept =
+    default;
+void HwCounterGroup::start() {}
+HwCounts HwCounterGroup::stop() { return {}; }
+
+#endif  // __linux__
+
+}  // namespace fbmpk::telemetry

@@ -1,0 +1,104 @@
+// Linux perf_event_open hardware-counter backend — the runtime analogue
+// of the paper's LIKWID DRAM measurements (Fig 9).
+//
+// Opens a best-effort set of counters and degrades gracefully: every
+// event that the kernel refuses (restricted perf_event_paranoid, no PMU
+// in a VM, missing uncore driver) is simply marked unavailable, with
+// the reason collected into HwAvailability::detail. Nothing here ever
+// throws for a missing counter; callers branch on available().
+//
+// Counter set, in decreasing order of fidelity for traffic validation:
+//  - uncore IMC CAS_COUNT.RD/WR (socket-wide DRAM traffic, the LIKWID
+//    MEM group). Needs CAP_PERFMON or perf_event_paranoid <= 0; counts
+//    the whole socket, so measure on a quiet machine.
+//  - LLC misses (per-process, inherited by threads spawned after
+//    open): miss count x 64B is a read-traffic proxy that ignores
+//    write-backs and prefetches — flagged as indirect.
+//  - cycles / instructions (per-process).
+//  - task-clock (software event; openable even where the PMU is
+//    restricted — proves the plumbing end-to-end in CI).
+//
+// docs/OBSERVABILITY.md covers permissions and caveats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fbmpk::telemetry {
+
+/// Deltas read by HwCounterGroup::stop(). -1 means the underlying
+/// counter was unavailable (distinct from a measured 0).
+struct HwCounts {
+  std::int64_t cycles = -1;
+  std::int64_t instructions = -1;
+  std::int64_t llc_misses = -1;
+  std::int64_t dram_read_bytes = -1;   ///< uncore IMC CAS reads
+  std::int64_t dram_write_bytes = -1;  ///< uncore IMC CAS writes
+  std::int64_t task_clock_ns = -1;     ///< software fallback event
+  /// True when dram_*_bytes come from IMC CAS counters; false when the
+  /// only traffic signal is the LLC-miss proxy.
+  bool dram_direct = false;
+
+  /// Best available DRAM-traffic estimate in bytes, or -1 when no
+  /// traffic-capable counter was open. Indirect (LLC-miss x line)
+  /// estimates are returned too — check dram_direct for fidelity.
+  std::int64_t memory_bytes() const;
+};
+
+/// Which counters opened, and why the missing ones did not.
+struct HwAvailability {
+  bool cycles = false;
+  bool instructions = false;
+  bool llc_misses = false;
+  bool dram = false;        ///< uncore IMC CAS read+write pairs
+  bool task_clock = false;
+  std::string detail;       ///< human-readable per-event outcomes
+
+  /// At least one counter (of any kind) is live.
+  bool any() const {
+    return cycles || instructions || llc_misses || dram || task_clock;
+  }
+  /// At least one traffic-capable counter (IMC or LLC proxy) is live.
+  bool traffic() const { return dram || llc_misses; }
+};
+
+/// A set of perf counters measured together around a region:
+///
+///   HwCounterGroup hw;            // opens what it can
+///   if (hw.available()) { hw.start(); run(); auto c = hw.stop(); }
+///
+/// Counts are multiplex-scaled (time_enabled/time_running). The group
+/// is movable, not copyable; destruction closes every fd.
+class HwCounterGroup {
+ public:
+  HwCounterGroup();
+  ~HwCounterGroup();
+  HwCounterGroup(HwCounterGroup&& o) noexcept;
+  HwCounterGroup& operator=(HwCounterGroup&& o) noexcept;
+  HwCounterGroup(const HwCounterGroup&) = delete;
+  HwCounterGroup& operator=(const HwCounterGroup&) = delete;
+
+  const HwAvailability& availability() const { return avail_; }
+  bool available() const { return avail_.any(); }
+
+  /// Reset and enable every open counter.
+  void start();
+  /// Disable counters and return the deltas since start().
+  HwCounts stop();
+
+ private:
+  struct Fd {
+    int fd = -1;
+    double scale = 1.0;     ///< sysfs event scale (unit conversion)
+    int slot = 0;           ///< which HwCounts field this feeds
+  };
+  std::vector<Fd> fds_;
+  HwAvailability avail_;
+};
+
+/// Relative deviation of a measured byte count from the model:
+/// (measured - modeled) / modeled. Returns 0 when modeled is 0.
+double traffic_deviation(double measured_bytes, double modeled_bytes);
+
+}  // namespace fbmpk::telemetry

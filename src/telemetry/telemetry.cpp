@@ -1,0 +1,128 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace fbmpk::telemetry {
+
+const char* cat_name(Cat c) {
+  switch (c) {
+    case Cat::kPlan: return "plan";
+    case Cat::kAutotune: return "autotune";
+    case Cat::kSweep: return "sweep";
+    case Cat::kEngine: return "engine";
+    case Cat::kBench: return "bench";
+    case Cat::kSolver: return "solver";
+    case Cat::kCli: return "cli";
+    case Cat::kCount_: break;
+  }
+  return "unknown";
+}
+
+const char* hist_name(Hist h) {
+  switch (h) {
+    case Hist::kEngineWait: return "engine_wait_ns";
+    case Hist::kSweepStage: return "sweep_stage_ns";
+    case Hist::kBenchRun: return "bench_run_ns";
+    case Hist::kCount_: break;
+  }
+  return "unknown";
+}
+
+/// All mutable registry state behind one mutex. Counter cells are
+/// node-allocated so references handed out by counter() stay stable as
+/// the table grows.
+struct Registry::Impl {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  struct CounterCell {
+    const char* name;
+    std::atomic<std::int64_t> value{0};
+  };
+  std::vector<std::unique_ptr<CounterCell>> counters;
+};
+
+Registry& Registry::instance() {
+  // Deliberately leaked: OpenMP workers cache thread-buffer pointers
+  // and may outlive static destruction order.
+  static Registry* r = [] {
+    auto* reg = new Registry;
+    reg->impl_.store(new Impl, std::memory_order_release);
+    return reg;
+  }();
+  return *r;
+}
+
+Registry::Impl& Registry::impl() {
+  return *impl_.load(std::memory_order_acquire);
+}
+
+ThreadBuffer& Registry::thread_buffer() {
+  thread_local ThreadBuffer* cached = nullptr;
+  if (cached == nullptr) {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    const int tid = static_cast<int>(im.buffers.size());
+    im.buffers.emplace_back(new ThreadBuffer(tid));
+    buffer_allocs_.fetch_add(1, std::memory_order_relaxed);
+    cached = im.buffers.back().get();
+  }
+  return *cached;
+}
+
+std::atomic<std::int64_t>& Registry::counter(const char* name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (const auto& c : im.counters)
+    if (c->name == name || std::strcmp(c->name, name) == 0) return c->value;
+  im.counters.emplace_back(new Impl::CounterCell{name, {}});
+  return im.counters.back()->value;
+}
+
+std::size_t Registry::event_count() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::size_t n = 0;
+  for (const auto& b : im.buffers) n += b->events().size();
+  return n;
+}
+
+Snapshot Registry::snapshot() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  Snapshot snap;
+  snap.threads.reserve(im.buffers.size());
+  for (const auto& b : im.buffers) {
+    Snapshot::ThreadData td;
+    td.tid = b->tid();
+    td.events = b->events();
+    td.wait = b->wait_stats();
+    for (std::size_t h = 0; h < td.hists.size(); ++h)
+      td.hists[h] = b->hist(static_cast<Hist>(h));
+    snap.total_wait.merge(td.wait);
+    for (std::size_t h = 0; h < snap.merged.size(); ++h)
+      snap.merged[h].merge(td.hists[h]);
+    snap.threads.push_back(std::move(td));
+  }
+  for (const auto& c : im.counters) {
+    // Cells persist across reset() (handed-out references must stay
+    // valid), so a zero value is indistinguishable from "never
+    // touched" — omit it rather than export stale names.
+    const std::int64_t v = c->value.load(std::memory_order_relaxed);
+    if (v != 0) snap.counters.emplace_back(c->name, v);
+  }
+  std::sort(snap.counters.begin(), snap.counters.end());
+  return snap;
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (const auto& b : im.buffers) b->clear();
+  for (const auto& c : im.counters)
+    c->value.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fbmpk::telemetry

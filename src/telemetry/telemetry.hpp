@@ -1,0 +1,404 @@
+// Runtime telemetry substrate: span/metrics registry with a hard
+// zero-overhead-when-off contract (docs/OBSERVABILITY.md).
+//
+// Two independent switches gate every cost:
+//
+//  1. Compile time — the CMake option FBMPK_TELEMETRY (default OFF)
+//     defines FBMPK_TELEMETRY=1. When it is off, the FBMPK_TSPAN /
+//     FBMPK_TCOUNT macros and the hot-path recorder hooks expand to
+//     nothing: no call, no branch, no symbol. tests/check_notracer.cmake
+//     greps release kernel objects to keep it that way, exactly as it
+//     polices NullTracer.
+//  2. Run time — Registry::set_enabled(false) (the default). Spans then
+//     cost one relaxed atomic load; nothing is allocated or recorded.
+//     tests/test_telemetry.cpp asserts the sweep hot path performs zero
+//     telemetry allocations in this state.
+//
+// The registry itself (this library) is always compiled — it sits on no
+// hot path, so tests, the CLI and the benches can drive export and the
+// hardware-counter backend in either build flavor.
+//
+// Event model: POD spans with interned (static string) names and a
+// small fixed argument set (k-step, color, warmup flag, value), pushed
+// into per-thread buffers so recording never contends. Counters are
+// process-global named int64s; histograms are per-thread log2-bucketed
+// (nanosecond) distributions merged at snapshot time.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Per-TU override used by tests/notracer_probe.cpp so the zero-overhead
+// object check validates the OFF expansion in every build flavor.
+#if defined(FBMPK_TELEMETRY_FORCE_OFF)
+#define FBMPK_TELEMETRY_ENABLED 0
+#elif defined(FBMPK_TELEMETRY) && FBMPK_TELEMETRY
+#define FBMPK_TELEMETRY_ENABLED 1
+#else
+#define FBMPK_TELEMETRY_ENABLED 0
+#endif
+
+namespace fbmpk::telemetry {
+
+/// True when the hot-path instrumentation macros compile to real code
+/// in *this* translation unit. (The registry below exists either way.)
+constexpr bool compiled_in() { return FBMPK_TELEMETRY_ENABLED != 0; }
+
+/// Span taxonomy (docs/OBSERVABILITY.md). The category becomes the
+/// Chrome-trace "cat" field so Perfetto can filter tracks by layer.
+enum class Cat : std::uint8_t {
+  kPlan = 0,     ///< plan-build phases: validate, reorder, split, …
+  kAutotune,     ///< autotune probes (one span per measured candidate)
+  kSweep,        ///< sweep execution: per-(k-step, color) stages
+  kEngine,       ///< persistent-threads engine: stages + wait spans
+  kBench,        ///< harness iterations (warmup vs measured)
+  kSolver,       ///< solver-level spans (pcg, chebyshev, multigrid)
+  kCli,          ///< top-level driver spans
+  kCount_,       // sentinel
+};
+const char* cat_name(Cat c);
+
+/// Fixed per-span argument payload. -1 / false mean "not applicable";
+/// only applicable args are exported.
+struct SpanArgs {
+  std::int32_t k = -1;       ///< power / k-step index
+  std::int32_t color = -1;   ///< ABMC color
+  bool warmup = false;       ///< harness warmup iteration (excluded
+                             ///< from exported histograms)
+  std::int64_t value = -1;   ///< free slot (iterations, bytes, …)
+};
+
+/// One completed span. `name` must be a string with static storage
+/// duration (macro call sites pass literals).
+struct SpanEvent {
+  const char* name = nullptr;
+  Cat cat = Cat::kPlan;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  SpanArgs args;
+};
+
+/// Log2-bucketed nanosecond histogram: bucket b counts samples in
+/// [2^b, 2^{b+1}) ns (bucket 0 also takes 0). Cheap to record (one
+/// bit-scan + increment), mergeable, and enough resolution to separate
+/// spin-waits from futex sleeps across nine decades.
+struct Histogram {
+  static constexpr int kBuckets = 64;
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  void add(std::uint64_t ns) {
+    int b = 0;
+    while ((std::uint64_t{1} << (b + 1)) <= ns && b < kBuckets - 1) ++b;
+    ++buckets[static_cast<std::size_t>(b)];
+    ++count;
+    sum_ns += ns;
+    if (ns > max_ns) max_ns = ns;
+  }
+  void merge(const Histogram& o) {
+    for (int b = 0; b < kBuckets; ++b)
+      buckets[static_cast<std::size_t>(b)] +=
+          o.buckets[static_cast<std::size_t>(b)];
+    count += o.count;
+    sum_ns += o.sum_ns;
+    if (o.max_ns > max_ns) max_ns = o.max_ns;
+  }
+  double mean_ns() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_ns) /
+                            static_cast<double>(count);
+  }
+};
+
+/// Per-thread histogram kinds (fixed enum: no string lookups on the
+/// recording path).
+enum class Hist : std::uint8_t {
+  kEngineWait = 0,  ///< engine dependency-wait durations
+  kSweepStage,      ///< per-(k-step, color) stage durations
+  kBenchRun,        ///< measured harness iterations (warmup excluded)
+  kCount_,
+};
+const char* hist_name(Hist h);
+
+/// Persistent-threads engine wait accounting, accumulated locally by
+/// the recorder and flushed once per sweep (no hot-loop atomics).
+struct WaitStats {
+  std::uint64_t waits = 0;         ///< dependency waits issued
+  std::uint64_t spin_satisfied = 0;///< satisfied within the spin phase
+  std::uint64_t futex_blocks = 0;  ///< fell through to a futex sleep
+  std::uint64_t wait_ns = 0;       ///< total time spent waiting
+  std::uint64_t stages = 0;        ///< epoch bumps (stages executed)
+
+  void merge(const WaitStats& o) {
+    waits += o.waits;
+    spin_satisfied += o.spin_satisfied;
+    futex_blocks += o.futex_blocks;
+    wait_ns += o.wait_ns;
+    stages += o.stages;
+  }
+};
+
+/// Monotonic nanoseconds since an arbitrary process-local epoch.
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-thread event sink. Obtained through Registry::thread_buffer()
+/// (never constructed directly); push() is inline and touches only
+/// thread-local state.
+class ThreadBuffer {
+ public:
+  void push(const SpanEvent& e) { events_.push_back(e); }
+  void record(Hist h, std::uint64_t ns) {
+    hists_[static_cast<std::size_t>(h)].add(ns);
+  }
+  WaitStats& wait_stats() { return wait_; }
+
+  int tid() const { return tid_; }
+  const std::vector<SpanEvent>& events() const { return events_; }
+  const Histogram& hist(Hist h) const {
+    return hists_[static_cast<std::size_t>(h)];
+  }
+  const WaitStats& wait_stats() const { return wait_; }
+
+  void clear() {
+    events_.clear();
+    for (auto& h : hists_) h = Histogram{};
+    wait_ = WaitStats{};
+  }
+
+ private:
+  friend class Registry;
+  explicit ThreadBuffer(int tid) : tid_(tid) {
+    events_.reserve(kInitialCapacity);
+  }
+  static constexpr std::size_t kInitialCapacity = 4096;
+
+  int tid_;
+  std::vector<SpanEvent> events_;
+  std::array<Histogram, static_cast<std::size_t>(Hist::kCount_)> hists_{};
+  WaitStats wait_;
+};
+
+/// Merged, copy-out view of everything recorded so far (export input).
+struct Snapshot {
+  struct ThreadData {
+    int tid = 0;
+    std::vector<SpanEvent> events;
+    WaitStats wait;
+    std::array<Histogram, static_cast<std::size_t>(Hist::kCount_)> hists{};
+  };
+  std::vector<ThreadData> threads;
+  std::vector<std::pair<std::string, std::int64_t>> counters;  // sorted
+  std::array<Histogram, static_cast<std::size_t>(Hist::kCount_)> merged{};
+  WaitStats total_wait;
+  std::size_t total_events() const {
+    std::size_t n = 0;
+    for (const auto& t : threads) n += t.events.size();
+    return n;
+  }
+};
+
+/// Process-global telemetry registry. A leaky singleton: it must
+/// outlive every OpenMP worker that cached a thread-buffer pointer, so
+/// it is intentionally never destroyed.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Runtime master switch (default off). Spans and recorders check it
+  /// once with relaxed ordering; flipping it mid-run is safe (a running
+  /// recorder keeps its decision for the current scope).
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Calling thread's buffer, created and registered on first use.
+  /// Never returns null. Callers on hot paths must consult enabled()
+  /// first — acquiring a buffer may allocate.
+  ThreadBuffer& thread_buffer();
+
+  /// Named process-global counter cell (registered on first use; the
+  /// name must have static storage duration). Returned reference stays
+  /// valid forever — cache it, then add with relaxed ordering.
+  std::atomic<std::int64_t>& counter(const char* name);
+  void counter_add(const char* name, std::int64_t delta) {
+    if (!enabled()) return;
+    counter(name).fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Named gauge: last write wins (plan shape, imbalance x1e6, …).
+  /// Zero-valued cells are omitted from snapshots (indistinguishable
+  /// from never-touched after a reset()).
+  void gauge_set(const char* name, std::int64_t value) {
+    if (!enabled()) return;
+    counter(name).store(value, std::memory_order_relaxed);
+  }
+
+  /// Number of internal buffer allocations performed so far — the
+  /// zero-allocation-when-off test asserts this does not move across a
+  /// runtime-off sweep.
+  std::uint64_t buffer_allocations() const {
+    return buffer_allocs_.load(std::memory_order_relaxed);
+  }
+  /// Total events currently recorded (cheap sanity probe for tests).
+  std::size_t event_count();
+
+  /// Copy out everything recorded so far.
+  Snapshot snapshot();
+
+  /// Drop recorded events/histograms/counter values. Buffers stay
+  /// registered (thread-local pointers remain valid).
+  void reset();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> buffer_allocs_{0};
+  std::atomic<Impl*> impl_{nullptr};
+};
+
+/// RAII span. When telemetry is runtime-off the constructor is one
+/// relaxed load; the destructor a null check.
+class ScopedSpan {
+ public:
+  ScopedSpan(Cat cat, const char* name, SpanArgs args = {}) {
+    Registry& r = Registry::instance();
+    if (r.enabled()) {
+      buf_ = &r.thread_buffer();
+      cat_ = cat;
+      name_ = name;
+      args_ = args;
+      start_ = now_ns();
+    }
+  }
+  ~ScopedSpan() { finish(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Update the free-slot arg before the span closes (e.g. iteration
+  /// counts known only at the end).
+  void set_value(std::int64_t v) {
+    if (buf_) args_.value = v;
+  }
+  /// Close early (idempotent).
+  void finish() {
+    if (!buf_) return;
+    const std::int64_t end = now_ns();
+    buf_->push({name_, cat_, start_, end - start_, args_});
+    buf_ = nullptr;
+  }
+
+ private:
+  ThreadBuffer* buf_ = nullptr;
+  const char* name_ = nullptr;
+  Cat cat_ = Cat::kPlan;
+  std::int64_t start_ = 0;
+  SpanArgs args_;
+};
+
+/// Hot-loop recorder for the sweep kernels: one enabled check at
+/// construction, then stage/wait recording through a cached buffer
+/// pointer. Inert (single null check per call) when telemetry is
+/// runtime-off.
+class SweepRecorder {
+ public:
+  /// `engine` selects the category (kEngine vs kSweep tracks).
+  explicit SweepRecorder(bool engine) : engine_(engine) {
+    Registry& r = Registry::instance();
+    if (r.enabled()) buf_ = &r.thread_buffer();
+  }
+
+  bool active() const { return buf_ != nullptr; }
+
+  /// Per-(k-step, color) stage bracketing. `name` must be static.
+  void stage_begin() {
+    if (buf_) stage_start_ = now_ns();
+  }
+  void stage_end(const char* name, int k_step, int color) {
+    if (!buf_) return;
+    const std::int64_t end = now_ns();
+    const std::int64_t dur = end - stage_start_;
+    buf_->push({name, engine_ ? Cat::kEngine : Cat::kSweep, stage_start_, dur,
+                SpanArgs{k_step, color, false, -1}});
+    buf_->record(Hist::kSweepStage, static_cast<std::uint64_t>(dur));
+    ++buf_->wait_stats().stages;
+  }
+
+  /// Dependency-wait bracketing (engine only). Emits a "wait" span so
+  /// Perfetto shows per-thread wait tracks, feeds the wait histogram,
+  /// and classifies spin-satisfied vs futex-blocked outcomes.
+  void wait_begin() {
+    if (buf_) wait_start_ = now_ns();
+  }
+  void wait_end(bool blocked) {
+    if (!buf_) return;
+    const std::int64_t end = now_ns();
+    const std::int64_t dur = end - wait_start_;
+    buf_->push({"wait", Cat::kEngine, wait_start_, dur,
+                SpanArgs{-1, -1, false, -1}});
+    buf_->record(Hist::kEngineWait, static_cast<std::uint64_t>(dur));
+    WaitStats& w = buf_->wait_stats();
+    ++w.waits;
+    if (blocked)
+      ++w.futex_blocks;
+    else
+      ++w.spin_satisfied;
+    w.wait_ns += static_cast<std::uint64_t>(dur);
+  }
+
+ private:
+  ThreadBuffer* buf_ = nullptr;
+  bool engine_ = false;
+  std::int64_t stage_start_ = 0;
+  std::int64_t wait_start_ = 0;
+};
+
+}  // namespace fbmpk::telemetry
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. These — not direct API calls — are what hot
+// and warm paths use, so an FBMPK_TELEMETRY=OFF build compiles them
+// away entirely (object-grep enforced).
+// ---------------------------------------------------------------------------
+#if FBMPK_TELEMETRY_ENABLED
+
+#define FBMPK_TSPAN_CAT_(a, b) a##b
+#define FBMPK_TSPAN_NAME_(ctr) FBMPK_TSPAN_CAT_(fbmpk_tspan_, ctr)
+/// Scoped span: FBMPK_TSPAN(kPlan, "plan.split");
+#define FBMPK_TSPAN(cat, name)                          \
+  ::fbmpk::telemetry::ScopedSpan FBMPK_TSPAN_NAME_(     \
+      __COUNTER__)(::fbmpk::telemetry::Cat::cat, (name))
+/// Scoped span with args: FBMPK_TSPAN_ARGS(kSweep, "pair", {k, c});
+#define FBMPK_TSPAN_ARGS(cat, name, ...)                \
+  ::fbmpk::telemetry::ScopedSpan FBMPK_TSPAN_NAME_(     \
+      __COUNTER__)(::fbmpk::telemetry::Cat::cat, (name), \
+                   ::fbmpk::telemetry::SpanArgs __VA_ARGS__)
+/// Process-global counter bump.
+#define FBMPK_TCOUNT(name, delta) \
+  ::fbmpk::telemetry::Registry::instance().counter_add((name), (delta))
+/// Process-global gauge write.
+#define FBMPK_TGAUGE(name, value) \
+  ::fbmpk::telemetry::Registry::instance().gauge_set((name), (value))
+/// Statement executed only in instrumented builds (recorder plumbing
+/// inside kernel templates).
+#define FBMPK_TELEMETRY_ONLY(...) __VA_ARGS__
+
+#else  // !FBMPK_TELEMETRY_ENABLED
+
+#define FBMPK_TSPAN(cat, name) ((void)0)
+#define FBMPK_TSPAN_ARGS(cat, name, ...) ((void)0)
+#define FBMPK_TCOUNT(name, delta) ((void)0)
+#define FBMPK_TGAUGE(name, value) ((void)0)
+#define FBMPK_TELEMETRY_ONLY(...)
+
+#endif  // FBMPK_TELEMETRY_ENABLED

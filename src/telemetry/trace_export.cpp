@@ -1,0 +1,214 @@
+#include "telemetry/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "support/json.hpp"
+
+namespace fbmpk::telemetry {
+
+namespace {
+
+void write_int_or_null(std::ostream& os, std::int64_t v) {
+  if (v < 0)
+    os << "null";
+  else
+    os << v;
+}
+
+void write_histogram(std::ostream& os, const Histogram& h) {
+  os << "{\"count\": " << h.count << ", \"sum_ns\": " << h.sum_ns
+     << ", \"max_ns\": " << h.max_ns
+     << ", \"mean_ns\": " << json_number(h.mean_ns()) << ", \"buckets\": [";
+  // Sparse encoding: only non-empty buckets, as [lower_bound_ns, count].
+  bool first = true;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    const std::uint64_t n = h.buckets[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "[" << (b == 0 ? 0 : (std::uint64_t{1} << b)) << ", " << n << "]";
+  }
+  os << "]}";
+}
+
+void write_wait_stats(std::ostream& os, const WaitStats& w) {
+  os << "{\"waits\": " << w.waits
+     << ", \"spin_satisfied\": " << w.spin_satisfied
+     << ", \"futex_blocks\": " << w.futex_blocks
+     << ", \"wait_ns\": " << w.wait_ns << ", \"stages\": " << w.stages << "}";
+}
+
+void write_metrics(std::ostream& os, const Snapshot& snap,
+                   const ExportMeta& meta) {
+  os << "{\n  \"schema_version\": " << kMetricsSchemaVersion << ",\n";
+
+  os << "  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << "\"" << json_escape(snap.counters[i].first)
+       << "\": " << snap.counters[i].second;
+  }
+  os << "},\n";
+
+  os << "  \"histograms\": {";
+  bool first = true;
+  for (std::size_t h = 0; h < snap.merged.size(); ++h) {
+    if (snap.merged[h].count == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << hist_name(static_cast<Hist>(h)) << "\": ";
+    write_histogram(os, snap.merged[h]);
+  }
+  os << "},\n";
+
+  os << "  \"engine_wait\": ";
+  write_wait_stats(os, snap.total_wait);
+  os << ",\n  \"per_thread\": [";
+  first = true;
+  for (const auto& td : snap.threads) {
+    if (td.wait.stages == 0 && td.wait.waits == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"tid\": " << td.tid << ", \"wait\": ";
+    write_wait_stats(os, td.wait);
+    os << ", \"wait_hist\": ";
+    write_histogram(
+        os, td.hists[static_cast<std::size_t>(Hist::kEngineWait)]);
+    os << "}";
+  }
+  os << "]";
+
+  if (meta.has_hw) {
+    const HwAvailability& a = meta.hw_avail;
+    const HwCounts& c = meta.hw;
+    os << ",\n  \"hw\": {\"available\": " << (a.any() ? "true" : "false")
+       << ", \"traffic_capable\": " << (a.traffic() ? "true" : "false")
+       << ", \"detail\": \"" << json_escape(a.detail) << "\", \"cycles\": ";
+    write_int_or_null(os, c.cycles);
+    os << ", \"instructions\": ";
+    write_int_or_null(os, c.instructions);
+    os << ", \"llc_misses\": ";
+    write_int_or_null(os, c.llc_misses);
+    os << ", \"dram_read_bytes\": ";
+    write_int_or_null(os, c.dram_read_bytes);
+    os << ", \"dram_write_bytes\": ";
+    write_int_or_null(os, c.dram_write_bytes);
+    os << ", \"task_clock_ns\": ";
+    write_int_or_null(os, c.task_clock_ns);
+    os << ", \"memory_bytes\": ";
+    write_int_or_null(os, c.memory_bytes());
+    os << ", \"dram_direct\": " << (c.dram_direct ? "true" : "false") << "}";
+  }
+
+  if (meta.has_traffic) {
+    const TrafficReport& t = meta.traffic;
+    os << ",\n  \"traffic\": {\"model\": \"" << json_escape(t.model)
+       << "\", \"k\": " << t.k << ", \"runs\": " << t.runs
+       << ", \"modeled_bytes\": " << json_number(t.modeled_bytes)
+       << ", \"measured_bytes\": "
+       << (t.measured() ? json_number(t.measured_bytes) : "null")
+       << ", \"measured_direct\": " << (t.measured_direct ? "true" : "false")
+       << ", \"deviation\": "
+       << (t.measured() ? json_number(t.deviation()) : "null") << "}";
+  }
+
+  os << "\n  }";
+}
+
+}  // namespace
+
+Status write_trace(std::ostream& os, const Snapshot& snap,
+                   const ExportMeta& meta) {
+  try {
+    // Rebase timestamps so the trace starts near zero regardless of
+    // process uptime (Perfetto renders absolute ns poorly).
+    std::int64_t t0 = std::numeric_limits<std::int64_t>::max();
+    for (const auto& td : snap.threads)
+      for (const SpanEvent& e : td.events) t0 = std::min(t0, e.start_ns);
+    if (t0 == std::numeric_limits<std::int64_t>::max()) t0 = 0;
+
+    os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+    bool first = true;
+    for (const auto& td : snap.threads) {
+      if (td.events.empty()) continue;
+      if (!first) os << ",\n";
+      first = false;
+      os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+            "\"tid\": "
+         << td.tid << ", \"args\": {\"name\": \"fbmpk-worker-" << td.tid
+         << "\"}}";
+      for (const SpanEvent& e : td.events) {
+        os << ",\n  {\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
+           << cat_name(e.cat) << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+           << td.tid << ", \"ts\": "
+           << json_number(static_cast<double>(e.start_ns - t0) / 1e3)
+           << ", \"dur\": "
+           << json_number(static_cast<double>(e.dur_ns) / 1e3);
+        const SpanArgs& a = e.args;
+        if (a.k >= 0 || a.color >= 0 || a.warmup || a.value >= 0) {
+          os << ", \"args\": {";
+          bool afirst = true;
+          const auto arg = [&](const char* key, std::int64_t v) {
+            if (!afirst) os << ", ";
+            afirst = false;
+            os << "\"" << key << "\": " << v;
+          };
+          if (a.k >= 0) arg("k", a.k);
+          if (a.color >= 0) arg("color", a.color);
+          if (a.warmup) arg("warmup", 1);
+          if (a.value >= 0) arg("value", a.value);
+          os << "}";
+        }
+        os << "}";
+      }
+    }
+    os << "\n],\n\"fbmpkMetrics\": ";
+    write_metrics(os, snap, meta);
+    os << "\n}\n";
+    os.flush();
+    if (!os.good())
+      return Status(FBMPK_MAKE_ERROR(ErrorCode::kIo,
+                                     "telemetry trace stream failed while "
+                                     "writing"));
+    return Status();
+  } catch (const std::ios_base::failure& e) {
+    return Status(FBMPK_MAKE_ERROR(
+        ErrorCode::kIo, "telemetry trace stream raised: " << e.what()));
+  }
+}
+
+Status export_trace_file(const std::string& path, const Snapshot& snap,
+                         const ExportMeta& meta) {
+  if (path.empty())
+    return Status(
+        FBMPK_MAKE_ERROR(ErrorCode::kIo, "telemetry export path is empty"));
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open())
+      return Status(FBMPK_MAKE_ERROR(
+          ErrorCode::kIo, "cannot open telemetry output " << tmp));
+    const Status st = write_trace(out, snap, meta);
+    out.close();
+    if (!st.ok() || out.fail()) {
+      std::remove(tmp.c_str());
+      if (!st.ok()) return st;
+      return Status(FBMPK_MAKE_ERROR(
+          ErrorCode::kIo, "telemetry output truncated: " << tmp));
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status(FBMPK_MAKE_ERROR(
+        ErrorCode::kIo, "cannot move telemetry output into place: " << path));
+  }
+  return Status();
+}
+
+}  // namespace fbmpk::telemetry

@@ -1,0 +1,71 @@
+// Structured telemetry export (docs/OBSERVABILITY.md):
+//
+//  - Chrome-trace JSON ("traceEvents"): every recorded span as a
+//    complete ("X") event with its category, per-thread tracks and
+//    named threads. Loads directly in Perfetto (ui.perfetto.dev) and
+//    chrome://tracing.
+//  - Versioned metrics object ("fbmpkMetrics", kMetricsSchemaVersion):
+//    counters, merged + per-thread histograms, engine wait statistics,
+//    hardware-counter readings and the measured-vs-modeled traffic
+//    comparison. Both live in ONE file — Perfetto ignores unknown
+//    top-level keys — so a trace is always self-describing.
+//
+// All writers return Status instead of throwing: a telemetry export
+// must never take down the run it observed. File export is atomic
+// (write to "<path>.tmp", rename into place), so an injected I/O fault
+// can never leave a truncated trace under the requested name —
+// tests/test_telemetry.cpp drives this with fault-injection streams.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "support/error.hpp"
+#include "telemetry/hw_counters.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace fbmpk::telemetry {
+
+/// Version of the "fbmpkMetrics" object. Bump on any key change and
+/// record the delta in docs/OBSERVABILITY.md.
+inline constexpr int kMetricsSchemaVersion = 1;
+
+/// Measured-vs-modeled traffic comparison attached to a trace — the
+/// runtime analogue of the paper's Fig 9 columns.
+struct TrafficReport {
+  std::string model = "fbmpk_traffic_mixed";  ///< analytic model used
+  double modeled_bytes = 0.0;    ///< model prediction for the region
+  double measured_bytes = -1.0;  ///< hw reading; < 0 when unavailable
+  bool measured_direct = false;  ///< IMC CAS (true) vs LLC-miss proxy
+  int k = 0;                     ///< power count of the measured region
+  int runs = 1;                  ///< repetitions inside the region
+
+  bool measured() const { return measured_bytes >= 0.0; }
+  double deviation() const {
+    return measured() ? traffic_deviation(measured_bytes, modeled_bytes)
+                      : 0.0;
+  }
+};
+
+/// Optional sections of an export.
+struct ExportMeta {
+  bool has_hw = false;
+  HwAvailability hw_avail;
+  HwCounts hw;
+  bool has_traffic = false;
+  TrafficReport traffic;
+};
+
+/// Serialize `snap` (+ meta) as Chrome-trace JSON with the embedded
+/// metrics object. Returns kIo when the stream enters a failed state.
+Status write_trace(std::ostream& os, const Snapshot& snap,
+                   const ExportMeta& meta = {});
+
+/// Atomic file export: writes "<path>.tmp" and renames it into place
+/// on success. On any failure the tmp file is removed, `path` is left
+/// untouched (an existing file there survives intact), and a typed
+/// kIo Status is returned. Never throws.
+Status export_trace_file(const std::string& path, const Snapshot& snap,
+                         const ExportMeta& meta = {});
+
+}  // namespace fbmpk::telemetry

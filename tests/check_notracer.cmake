@@ -27,5 +27,17 @@ foreach(obj IN LISTS OBJS)
       "tracer hook symbol survived in release object ${obj}: ${hit}\n"
       "NullTracer::read/write must inline away (see kernels/tracer.hpp)")
   endif()
+  # Telemetry kill switch (src/telemetry/telemetry.hpp): the probe TU is
+  # compiled with the instrumentation macros expanded to nothing, so no
+  # telemetry symbol — Registry, SweepRecorder, ScopedSpan, now_ns — may
+  # be defined or referenced by the optimized kernel object.
+  string(REGEX MATCH "telemetry::" telemetry_hit "${symbols}")
+  if(telemetry_hit)
+    message(FATAL_ERROR
+      "telemetry symbol survived in release object ${obj}\n"
+      "FBMPK_TELEMETRY=OFF must compile instrumentation away "
+      "(see src/telemetry/telemetry.hpp)")
+  endif()
 endforeach()
-message(STATUS "no tracer hook symbols in release kernel objects")
+message(STATUS
+  "no tracer or telemetry symbols in release kernel objects")

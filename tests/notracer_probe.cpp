@@ -9,8 +9,17 @@
 // symbol means the hooks became real calls — the tracer would tax every
 // nonzero of every release sweep.
 //
+// The same object also polices the telemetry kill switch: this TU
+// force-disables the instrumentation macros (FBMPK_TELEMETRY_FORCE_OFF,
+// mirroring what an FBMPK_TELEMETRY=OFF build does globally) and
+// instantiates the barrier and engine sweeps. check_notracer.cmake then
+// asserts no fbmpk::telemetry symbol survives — proof that the spans,
+// recorders and counters compile to nothing on the hot paths.
+//
 // The entry points take runtime arguments and have external linkage so
 // the optimizer cannot fold the kernels away entirely.
+#define FBMPK_TELEMETRY_FORCE_OFF 1
+
 #include <span>
 
 #include "kernels/fbmpk.hpp"
@@ -35,6 +44,17 @@ void run_parallel(const TriangularSplit<double>& s, const AbmcOrdering& o,
                   std::span<const double> x, int k, std::span<double> y,
                   FbWorkspace<double>& ws) {
   fbmpk_parallel_power(s, o, x, k, y, ws);
+}
+
+bool run_engine(const TriangularSplit<double>& s, const AbmcOrdering& o,
+                const SweepSchedule& sched, std::span<const double> x, int k,
+                SweepWorkspace<double>& ws, std::span<double> y) {
+  double* yp = y.data();
+  return fbmpk_engine_try_sweep(
+      s, o, sched, x, k, ws, /*pin_threads=*/false,
+      [&](int p, index_t i, double v) {
+        if (p == k) yp[i] = v;
+      });
 }
 
 }  // namespace fbmpk::probe
