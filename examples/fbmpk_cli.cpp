@@ -16,16 +16,20 @@
 // measured-vs-modeled traffic comparison (docs/OBSERVABILITY.md).
 //
 // <src> is either "suite:<name>[:scale]" or "file:<path.mtx>".
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/autotune.hpp"
 #include "core/fbmpk.hpp"
 #include "perf/traffic_model.hpp"
+#include "service/service.hpp"
 #include "sparse/vector_io.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
@@ -332,12 +336,80 @@ int cmd_poly(const Args& args) {
   return 0;
 }
 
+// serve: drive the resilient serving front end (docs/SERVICE.md) —
+// concurrent clients against one MpkService, plan cache + admission
+// control + degradation ladder engaged, stats printed at the end.
+// With --telemetry the service.* counters land in the exported
+// fbmpkMetrics block.
+int cmd_serve(const Args& args) {
+  const auto a = load_matrix(need(args, "matrix"));
+  const int requests = std::stoi(get(args, "requests", "32"));
+  const int clients = std::stoi(get(args, "clients", "2"));
+  const int k = std::stoi(get(args, "k", "4"));
+
+  service::ServiceOptions sopts;
+  sopts.workers = std::stoi(get(args, "workers", "2"));
+  sopts.cache_capacity =
+      static_cast<std::size_t>(std::stoul(get(args, "cache", "4")));
+  sopts.max_queue =
+      static_cast<std::size_t>(std::stoul(get(args, "queue", "16")));
+  sopts.default_deadline_seconds = std::stod(get(args, "deadline", "0"));
+  service::MpkService svc(sopts);
+
+  const auto x = load_or_make_x(args, a.rows());
+  std::atomic<int> ok{0};
+  std::atomic<int> typed{0};
+  Timer t;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&] {
+      AlignedVector<double> y(static_cast<std::size_t>(a.rows()));
+      for (int i = 0; i < requests; ++i) {
+        const auto r = svc.power(a, x, k, y);
+        if (r.status.ok())
+          ok.fetch_add(1);
+        else
+          typed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const double ms = t.milliseconds();
+
+  const auto st = svc.stats();
+  std::printf("served %d requests (%d clients) in %.2f ms: %d ok, %d typed "
+              "errors\n",
+              clients * requests, clients, ms, ok.load(), typed.load());
+  std::printf("cache: %llu hits, %llu misses, %llu evictions "
+              "(%llu corrupt, %llu stale)\n",
+              static_cast<unsigned long long>(st.cache.hits),
+              static_cast<unsigned long long>(st.cache.misses),
+              static_cast<unsigned long long>(st.cache.evictions),
+              static_cast<unsigned long long>(st.cache.corrupt_evictions),
+              static_cast<unsigned long long>(st.cache.stale_rebuilds));
+  std::printf("ladder: %llu engine->barrier, %llu barrier->serial, "
+              "%llu fp64 rebuilds, %llu quarantines\n",
+              static_cast<unsigned long long>(st.degrade_engine_to_barrier),
+              static_cast<unsigned long long>(st.degrade_barrier_to_serial),
+              static_cast<unsigned long long>(st.precision_rebuilds),
+              static_cast<unsigned long long>(st.quarantines));
+  std::printf("admission: %llu submitted, %llu completed, %llu overload "
+              "rejections, %llu timeouts, %llu cancelled\n",
+              static_cast<unsigned long long>(st.submitted),
+              static_cast<unsigned long long>(st.completed),
+              static_cast<unsigned long long>(st.rejected_overload),
+              static_cast<unsigned long long>(st.timeouts),
+              static_cast<unsigned long long>(st.cancelled));
+  return st.submitted == st.completed ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s plan|info|power|poly --flag=value ...\n"
+                 "usage: %s plan|info|power|poly|serve --flag=value ...\n"
                  "  plan  --matrix=suite:pwtk|file:a.mtx --out=plan.bin"
                  " [--blocks=512] [--autotune-k=5]\n"
                  "        [--sweep=barrier|p2p] [--sweep-threads=0]\n"
@@ -347,6 +419,9 @@ int main(int argc, char** argv) {
                  "  info  --plan=plan.bin\n"
                  "  power --plan=plan.bin --k=5 [--x=x.txt] [--out=y.txt]\n"
                  "  poly  --plan=plan.bin --coeffs=1,0.5 [--x=] [--out=]\n"
+                 "  serve --matrix=suite:...|file:... [--requests=32]"
+                 " [--clients=2] [--workers=2]\n"
+                 "        [--k=4] [--deadline=0] [--cache=4] [--queue=16]\n"
                  "  any command also takes --telemetry=<file>[,hw]\n",
                  argv[0]);
     return 2;
@@ -364,6 +439,8 @@ int main(int argc, char** argv) {
       rc = cmd_power(args);
     else if (cmd == "poly")
       rc = cmd_poly(args);
+    else if (cmd == "serve")
+      rc = cmd_serve(args);
     else {
       std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
       return 2;

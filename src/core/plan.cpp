@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 
 #include "kernels/fbmpk_parallel.hpp"
 #include "support/timer.hpp"
@@ -204,6 +205,111 @@ void MpkPlan::run_power(std::span<const double> px, int k,
                        ws.sweep, opts_.sweep.pin_threads);
   else
     fbmpk_parallel_power(split_, schedule_, px, k, py, ws.fb);
+}
+
+void MpkPlan::run_power_path(std::span<const double> px, int k,
+                             std::span<double> py, Workspace& ws,
+                             ExecPath path, RunControl* ctl) const {
+  if (k == 0) {
+    std::copy(px.begin(), px.end(), py.begin());
+    return;
+  }
+  double* yp = py.data();
+  auto emit = [&](int p, index_t i, double v) {
+    if (p == k) yp[i] = v;
+  };
+
+  if (path == ExecPath::kSerial || !opts_.parallel) {
+    // Serial sweeps run outside any parallel region, so cancellation
+    // can safely unwind via a typed Error from the emit wrapper. The
+    // token is polled per row (one relaxed load); the heartbeat /
+    // stall checkpoint fires once per k boundary.
+    int last_p = 0;
+    auto cemit = [&](int p, index_t i, double v) {
+      if (ctl != nullptr) {
+        if (p != last_p) {
+          last_p = p;
+          (void)ctl->checkpoint();
+        }
+        if (ctl->cancelled())
+          throw Error(ctl->cancel_reason(), "serial sweep cancelled");
+      }
+      emit(p, i, v);
+    };
+    if (use_dispatch())
+      fbmpk_sweep_btb_fast(split_, dispatch_rows(), px, k, ws.fb, cemit);
+    else
+      fbmpk_sweep(split_, px, k, ws.fb, cemit, opts_.variant);
+    return;
+  }
+  if (path == ExecPath::kDefault && opts_.scheduler == Scheduler::kLevels) {
+    // The level-scheduled kernel has no mid-sweep cancellation points;
+    // the token is still honored before/after the sweep in try_power.
+    fbmpk_level_power(split_, levels_, px, k, py, ws.fb);
+    return;
+  }
+  const bool engine = path == ExecPath::kEngine ||
+                      (path == ExecPath::kDefault && use_engine());
+  if (use_dispatch()) {
+    const DispatchRows rows = dispatch_rows();
+    if (engine)
+      fbmpk_engine_sweep_rows(split_, schedule_, sweep_schedule_, rows, px, k,
+                              ws.sweep, emit, opts_.sweep.pin_threads, ctl);
+    else
+      fbmpk_parallel_sweep_rows(split_, schedule_, rows, px, k, ws.fb, emit,
+                                ctl);
+  } else if (engine) {
+    fbmpk_engine_sweep_rows(split_, schedule_, sweep_schedule_,
+                            ScalarRows<double>(split_), px, k, ws.sweep, emit,
+                            opts_.sweep.pin_threads, ctl);
+  } else {
+    fbmpk_parallel_sweep(split_, schedule_, px, k, ws.fb, emit, ctl);
+  }
+}
+
+Status MpkPlan::try_power(std::span<const double> x, int k,
+                          std::span<double> y, Workspace& ws, ExecPath path,
+                          RunControl* ctl) const {
+  try {
+    FBMPK_CHECK(x.size() == static_cast<std::size_t>(n_));
+    FBMPK_CHECK(y.size() == static_cast<std::size_t>(n_));
+    FBMPK_CHECK(k >= 0);
+    if (path == ExecPath::kEngine || path == ExecPath::kBarrier) {
+      FBMPK_CHECK_CODE(
+          opts_.parallel && opts_.scheduler == Scheduler::kAbmc &&
+              !schedule_.block_ptr.empty(),
+          ErrorCode::kUnsupported,
+          "engine/barrier execution override needs an ABMC-scheduled "
+          "parallel plan");
+      FBMPK_CHECK_CODE(path != ExecPath::kEngine || use_engine(),
+                       ErrorCode::kUnsupported,
+                       "plan carries no point-to-point sweep schedule");
+    }
+    if (ctl != nullptr && ctl->cancelled())
+      return Status(FBMPK_MAKE_ERROR(ctl->cancel_reason(),
+                                     "request cancelled before execution"));
+    FBMPK_TSPAN_ARGS(kSweep, "plan.try_power", {.k = k});
+
+    if (perm_.is_identity()) {
+      run_power_path(x, k, y, ws, path, ctl);
+    } else {
+      ws.px.resize(x.size());
+      ws.py.resize(y.size());
+      permute_vector<double>(perm_, x, ws.px);
+      run_power_path(ws.px, k, ws.py, ws, path, ctl);
+      if (ctl == nullptr || !ctl->cancelled())
+        unpermute_vector<double>(perm_, ws.py, y);
+    }
+    if (ctl != nullptr && ctl->cancelled())
+      return Status(FBMPK_MAKE_ERROR(ctl->cancel_reason(),
+                                     "sweep cancelled at a stage boundary"));
+    return Status();
+  } catch (const Error& e) {
+    return Status(e);
+  } catch (const std::bad_alloc&) {
+    return Status(FBMPK_MAKE_ERROR(ErrorCode::kResourceLimit,
+                                   "allocation failed during sweep"));
+  }
 }
 
 void MpkPlan::run_power_all(std::span<const double> px, int k,

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <span>
@@ -37,12 +38,34 @@
 
 namespace fbmpk {
 
+class MpkPlan;
+
+namespace detail {
+/// plan_io.cpp's loader worker; `total_size` (0 = unknown) lets file
+/// loads validate the header's claimed payload length against the
+/// artifact's real size before buffering anything.
+MpkPlan load_plan_impl(std::istream& in, std::uint64_t total_size);
+}  // namespace detail
+
 /// How the parallel sweeps are scheduled.
 enum class Scheduler {
   kAbmc,    ///< ABMC coloring (paper §III-D): permutes the matrix,
             ///< few barriers (2 x colors per pair)
   kLevels,  ///< level scheduling (paper §VII): original order, no
             ///< permutation, one barrier per dependency level
+};
+
+/// Execution-path override for MpkPlan::try_power — the knob the
+/// serving layer's degradation ladder turns (docs/SERVICE.md). kDefault
+/// runs whatever the plan options selected; the explicit rungs force
+/// one concrete sweep implementation. All rungs issue the same per-row
+/// kernels, so results are bitwise identical across them for a fixed
+/// plan configuration.
+enum class ExecPath {
+  kDefault = 0,  ///< the plan's own selection (options-driven)
+  kEngine,       ///< persistent-threads p2p engine (needs a schedule)
+  kBarrier,      ///< per-color barrier kernel (needs ABMC)
+  kSerial,       ///< serial sweep (always available)
 };
 
 /// How an ABMC-scheduled parallel sweep synchronizes between colors.
@@ -196,6 +219,18 @@ class MpkPlan {
              Workspace& ws) const;
   void power(std::span<const double> x, int k, std::span<double> y);
 
+  /// Cancellable, path-overridable power — the serving layer's entry
+  /// point (degradation-ladder rungs + per-request deadlines). Instead
+  /// of throwing, failures come back as a typed Status: kUnsupported
+  /// when the forced path needs structures this plan lacks, kCancelled
+  /// / kTimeout when `ctl` fired mid-sweep (y is then unspecified),
+  /// kResourceLimit on allocation failure. The token is polled at
+  /// sweep color/k boundaries; cancellation never throws across a
+  /// parallel region.
+  Status try_power(std::span<const double> x, int k, std::span<double> y,
+                   Workspace& ws, ExecPath path = ExecPath::kDefault,
+                   RunControl* ctl = nullptr) const;
+
   /// out[p*n + i] = (A^p x)[i] for p in [0, k] (row-major basis).
   void power_all(std::span<const double> x, int k, std::span<double> out,
                  Workspace& ws) const;
@@ -236,6 +271,7 @@ class MpkPlan {
 
   friend void save_plan(const MpkPlan&, std::ostream&);
   friend MpkPlan load_plan(std::istream&);
+  friend MpkPlan detail::load_plan_impl(std::istream&, std::uint64_t);
 
   bool use_engine() const {
     return opts_.sweep.sync == SweepSync::kPointToPoint &&
@@ -253,6 +289,9 @@ class MpkPlan {
 
   void run_power(std::span<const double> px, int k, std::span<double> py,
                  Workspace& ws) const;
+  void run_power_path(std::span<const double> px, int k,
+                      std::span<double> py, Workspace& ws, ExecPath path,
+                      RunControl* ctl) const;
   void run_power_all(std::span<const double> px, int k,
                      std::span<double> pout, Workspace& ws) const;
   void run_polynomial(std::span<const double> coeffs,

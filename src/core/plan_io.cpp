@@ -1,5 +1,6 @@
 #include "core/plan_io.hpp"
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -90,6 +91,15 @@ struct PlanStatsV4 {
 // than this is corrupt by definition (matches the read_vec bound the
 // v1 format used).
 constexpr std::uint64_t kMaxPlausibleBytes = 1ull << 40;
+
+// Runtime-configurable cap below the structural bound (default 64 GiB).
+// Checked before the payload buffer is committed, so a hostile length
+// field can cost at most the cap, never an OOM.
+std::atomic<std::uint64_t> g_payload_cap{1ull << 36};
+
+/// Fixed header: magic + u32 version + u32 index_width +
+/// u64 payload_size + u32 crc32.
+constexpr std::uint64_t kHeaderBytes = 8 + 4 + 4 + 8 + 4;
 
 // --------------------------- writing ---------------------------------------
 
@@ -464,7 +474,21 @@ void save_plan(const MpkPlan& plan, std::ostream& out) {
   FBMPK_CHECK_CODE(out.good(), ErrorCode::kIo, "plan write failed");
 }
 
-MpkPlan load_plan(std::istream& in) {
+void set_plan_payload_cap(std::uint64_t bytes) {
+  g_payload_cap.store(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t plan_payload_cap() {
+  return g_payload_cap.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+/// `total_size` is the byte count of the underlying artifact when the
+/// caller knows it (file loads), 0 when the stream is unbounded. A
+/// known size lets the header's claimed payload length be rejected
+/// before any payload byte is read or buffered.
+MpkPlan load_plan_impl(std::istream& in, std::uint64_t total_size) {
   char magic[8];
   in.read(magic, sizeof(magic));
   FBMPK_CHECK_CODE(in.good() && std::memcmp(magic, kMagic, 8) == 0,
@@ -497,6 +521,18 @@ MpkPlan load_plan(std::istream& in) {
   FBMPK_CHECK_CODE(payload_size < kMaxPlausibleBytes,
                    ErrorCode::kCorruptPlan,
                    "implausible payload size: " << payload_size);
+  FBMPK_CHECK_CODE(payload_size <= plan_payload_cap(),
+                   ErrorCode::kResourceLimit,
+                   "plan payload of " << payload_size
+                                      << " bytes exceeds the configured cap "
+                                      << plan_payload_cap());
+  if (total_size > 0)
+    FBMPK_CHECK_CODE(kHeaderBytes + payload_size == total_size,
+                     ErrorCode::kCorruptPlan,
+                     "plan header claims " << payload_size
+                                           << " payload bytes but the file "
+                                              "holds "
+                                           << (total_size - kHeaderBytes));
 
   // Read the payload in bounded chunks: a corrupted payload_size just
   // under the plausibility bound must not commit a huge zero-filled
@@ -769,6 +805,10 @@ MpkPlan load_plan(std::istream& in) {
   return plan;
 }
 
+}  // namespace detail
+
+MpkPlan load_plan(std::istream& in) { return detail::load_plan_impl(in, 0); }
+
 void save_plan_file(const MpkPlan& plan, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   FBMPK_CHECK_CODE(out.is_open(), ErrorCode::kIo,
@@ -779,7 +819,14 @@ void save_plan_file(const MpkPlan& plan, const std::string& path) {
 MpkPlan load_plan_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   FBMPK_CHECK_CODE(in.is_open(), ErrorCode::kIo, "cannot open: " << path);
-  return load_plan(in);
+  // Measure the artifact so the header's claimed payload length can be
+  // validated against reality before anything is allocated.
+  in.seekg(0, std::ios::end);
+  const auto end_pos = in.tellg();
+  in.seekg(0, std::ios::beg);
+  FBMPK_CHECK_CODE(end_pos >= 0 && in.good(), ErrorCode::kIo,
+                   "cannot determine size of: " << path);
+  return detail::load_plan_impl(in, static_cast<std::uint64_t>(end_pos));
 }
 
 Expected<MpkPlan> try_load_plan(std::istream& in) {

@@ -18,6 +18,7 @@
 // kVersionMismatch.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -41,5 +42,17 @@ MpkPlan load_plan_file(const std::string& path);
 /// quarantine on kCorruptPlan) without exception plumbing.
 Expected<MpkPlan> try_load_plan(std::istream& in);
 Expected<MpkPlan> try_load_plan_file(const std::string& path);
+
+/// Process-wide cap on the payload size load_plan will buffer, checked
+/// against the header's claimed length *before* any allocation — a
+/// corrupt length field fails typed (kResourceLimit over the cap,
+/// kCorruptPlan past the structural plausibility bound) instead of
+/// driving the process into bad_alloc/OOM. Default 64 GiB; serving
+/// deployments lower it to their artifact budget. The file-based
+/// loaders additionally reject any header whose claimed payload
+/// disagrees with the actual file size before reading a single payload
+/// byte.
+void set_plan_payload_cap(std::uint64_t bytes);
+std::uint64_t plan_payload_cap();
 
 }  // namespace fbmpk

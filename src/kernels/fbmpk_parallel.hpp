@@ -88,11 +88,19 @@ struct ScalarRows {
 /// emit(p, i, v) fires once per power p in [1, k] and (permuted) row i;
 /// it may be called concurrently for distinct rows and must be safe
 /// under that.
+///
+/// `ctl` (optional) is a cooperative cancellation token: it is polled
+/// at every stage boundary (head, each color of each sweep, tail).
+/// Once it reports cancelled, the remaining row work is skipped but
+/// every thread still encounters every worksharing construct, so the
+/// kernel terminates promptly with the outputs unspecified — the
+/// caller must discard them. Never throws across the parallel region.
 template <class T, class Rows, class Emit>
 void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
                                const AbmcOrdering& o, const Rows& rows,
                                std::span<const T> x0, int k,
-                               FbWorkspace<T>& ws, Emit&& emit) {
+                               FbWorkspace<T>& ws, Emit&& emit,
+                               RunControl* ctl = nullptr) {
   const index_t n = s.lower.rows();
   FBMPK_CHECK(s.upper.rows() == n &&
               s.diag.size() == static_cast<std::size_t>(n));
@@ -121,17 +129,32 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
         telemetry::SweepRecorder fbmpk_rec{false};
         const bool fbmpk_rec0 = thread_id() == 0;)
 
+    // Per-stage cancellation poll. Thread 0 additionally drives the
+    // heartbeat / injected-stall checkpoint; diverging answers across
+    // the team are harmless — every worksharing construct below is
+    // still encountered by every thread, only loop bodies are skipped.
+    const auto stage_dead = [&]() -> bool {
+      if (ctl == nullptr) return false;
+      if (thread_id() == 0) return ctl->checkpoint();
+      return ctl->cancelled();
+    };
+    bool dead = stage_dead();
+
     // Head: even slots <- x0; tmp <- U·x0. Row-parallel, no coloring
     // needed (reads only x0).
     FBMPK_TELEMETRY_ONLY(if (fbmpk_rec0) fbmpk_rec.stage_begin();)
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
-    for (index_t i = 0; i < n; ++i) xy[2 * i] = x0p[i];
+    for (index_t i = 0; i < n; ++i) {
+      if (dead) continue;
+      xy[2 * i] = x0p[i];
+    }
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
     for (index_t i = 0; i < n; ++i) {
+      if (dead) continue;
       T sum{};
       rows.u_dot1(i, xy, 0, sum);
       tmp[i] = sum;
@@ -145,11 +168,13 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
       // Forward: colors ascending; blocks of one color in parallel;
       // rows within a block top-down.
       for (index_t c = 0; c < num_colors; ++c) {
+        dead = dead || stage_dead();
         FBMPK_TELEMETRY_ONLY(if (fbmpk_rec0) fbmpk_rec.stage_begin();)
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
         for (index_t b = o.color_ptr[c]; b < o.color_ptr[c + 1]; ++b) {
+          if (dead) continue;
           for (index_t i = o.block_ptr[b]; i < o.block_ptr[b + 1]; ++i) {
             const T di = rows.diag(i);
             T sum0 = tmp[i] + di * xy[2 * i];
@@ -168,11 +193,13 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
       // Backward: colors descending; rows within a block bottom-up.
       const bool prime_next = !(it == pairs - 1 && k % 2 == 0);
       for (index_t c = num_colors; c-- > 0;) {
+        dead = dead || stage_dead();
         FBMPK_TELEMETRY_ONLY(if (fbmpk_rec0) fbmpk_rec.stage_begin();)
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
         for (index_t b = o.color_ptr[c]; b < o.color_ptr[c + 1]; ++b) {
+          if (dead) continue;
           for (index_t i = o.block_ptr[b + 1]; i-- > o.block_ptr[b];) {
             T sum0 = tmp[i];
             if (prime_next) {
@@ -196,11 +223,13 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
 
     if (k % 2 == 1) {
       // Tail: reads only completed even slots and tmp; row-parallel.
+      dead = dead || stage_dead();
       FBMPK_TELEMETRY_ONLY(if (fbmpk_rec0) fbmpk_rec.stage_begin();)
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
       for (index_t i = 0; i < n; ++i) {
+        if (dead) continue;
         T sum = tmp[i] + rows.diag(i) * xy[2 * i];
         rows.l_dot1(i, xy, 0, sum);
         emit(k, i, sum);
@@ -215,9 +244,9 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
 template <class T, class Emit>
 void fbmpk_parallel_sweep(const TriangularSplit<T>& s, const AbmcOrdering& o,
                           std::span<const T> x0, int k, FbWorkspace<T>& ws,
-                          Emit&& emit) {
+                          Emit&& emit, RunControl* ctl = nullptr) {
   fbmpk_parallel_sweep_rows(s, o, ScalarRows<T>(s), x0, k, ws,
-                            std::forward<Emit>(emit));
+                            std::forward<Emit>(emit), ctl);
 }
 
 /// y = A^k x0, parallel; operates in the permuted index space.
@@ -381,7 +410,7 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
                                  const SweepSchedule& sched, const Rows& rows,
                                  std::span<const T> x0, int k,
                                  SweepWorkspace<T>& ws, bool pin_threads,
-                                 Emit&& emit) {
+                                 Emit&& emit, RunControl* ctl = nullptr) {
   const index_t n = s.lower.rows();
   FBMPK_CHECK(s.upper.rows() == n &&
               s.diag.size() == static_cast<std::size_t>(n));
@@ -446,6 +475,17 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
         }
       }
     };
+    // Per-stage cancellation poll (thread 0 also drives the heartbeat /
+    // injected-stall checkpoint). A cancelled thread skips row work but
+    // keeps bumping its epoch, so every foreign wait still terminates —
+    // the acyclic stage protocol is preserved under cancellation.
+    bool dead = false;
+    const auto stage_dead = [&]() -> bool {
+      if (ctl == nullptr) return dead;
+      if (tid == 0) dead = dead || ctl->checkpoint();
+      else dead = dead || ctl->cancelled();
+      return dead;
+    };
     const auto wait_all = [&](long long target) {
       FBMPK_TELEMETRY_ONLY(
           const bool fbmpk_have_deps =
@@ -468,8 +508,9 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
     // along (row i's CSR data is only ever read while processing row
     // i, always by its owner, so this races with nothing).
     T sink{};
+    stage_dead();
     FBMPK_TELEMETRY_ONLY(fbmpk_rec.stage_begin();)
-    for_own_rows([&](index_t i) {
+    if (!dead) for_own_rows([&](index_t i) {
       xy[2 * i] = x0p[i];
       if (warm_split) {
         T acc{};
@@ -487,8 +528,9 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
     // head1: tmp <- U·x0. Reads foreign xy even slots; needs every
     // neighbor owner past head0.
     wait_all(1);
+    stage_dead();
     FBMPK_TELEMETRY_ONLY(fbmpk_rec.stage_begin();)
-    for_own_rows([&](index_t i) {
+    if (!dead) for_own_rows([&](index_t i) {
       T sum{};
       rows.u_dot1(i, xy, 0, sum);
       tmp[i] = sum;
@@ -518,23 +560,25 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
           (void)blocked;
           FBMPK_TELEMETRY_ONLY(fbmpk_blocked = fbmpk_blocked || blocked;)
         }
+        stage_dead();
         FBMPK_TELEMETRY_ONLY(
             if (fbmpk_have_deps && fbmpk_rec.active())
                 fbmpk_rec.wait_end(fbmpk_blocked);
             fbmpk_rec.stage_begin();)
-        for (index_t pi = sched.part_ptr[slot];
-             pi < sched.part_ptr[slot + 1]; ++pi) {
-          const index_t b = sched.part_blocks[pi];
-          for (index_t i = o.block_ptr[b]; i < o.block_ptr[b + 1]; ++i) {
-            const T di = rows.diag(i);
-            T sum0 = tmp[i] + di * xy[2 * i];
-            T sum1{};
-            rows.l_dot2(i, xy, sum0, sum1);
-            xy[2 * i + 1] = sum0;
-            emit(p_odd, i, sum0);
-            tmp[i] = sum1 + di * sum0;
+        if (!dead)
+          for (index_t pi = sched.part_ptr[slot];
+               pi < sched.part_ptr[slot + 1]; ++pi) {
+            const index_t b = sched.part_blocks[pi];
+            for (index_t i = o.block_ptr[b]; i < o.block_ptr[b + 1]; ++i) {
+              const T di = rows.diag(i);
+              T sum0 = tmp[i] + di * xy[2 * i];
+              T sum1{};
+              rows.l_dot2(i, xy, sum0, sum1);
+              xy[2 * i + 1] = sum0;
+              emit(p_odd, i, sum0);
+              tmp[i] = sum1 + di * sum0;
+            }
           }
-        }
         bump();  // epoch base + c + 1
         FBMPK_TELEMETRY_ONLY(
             fbmpk_rec.stage_end("F", p_odd, static_cast<int>(c));)
@@ -558,28 +602,30 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
           (void)blocked;
           FBMPK_TELEMETRY_ONLY(fbmpk_blocked = fbmpk_blocked || blocked;)
         }
+        stage_dead();
         FBMPK_TELEMETRY_ONLY(
             if (fbmpk_have_deps && fbmpk_rec.active())
                 fbmpk_rec.wait_end(fbmpk_blocked);
             fbmpk_rec.stage_begin();)
-        for (index_t pi = sched.part_ptr[slot];
-             pi < sched.part_ptr[slot + 1]; ++pi) {
-          const index_t b = sched.part_blocks[pi];
-          for (index_t i = o.block_ptr[b + 1]; i-- > o.block_ptr[b];) {
-            T sum0 = tmp[i];
-            if (prime_next) {
-              T sum1{};
-              rows.u_dot2(i, xy, sum1, sum0);
-              xy[2 * i] = sum0;
-              emit(p_even, i, sum0);
-              tmp[i] = sum1;
-            } else {
-              rows.u_dot1(i, xy, 1, sum0);
-              xy[2 * i] = sum0;
-              emit(p_even, i, sum0);
+        if (!dead)
+          for (index_t pi = sched.part_ptr[slot];
+               pi < sched.part_ptr[slot + 1]; ++pi) {
+            const index_t b = sched.part_blocks[pi];
+            for (index_t i = o.block_ptr[b + 1]; i-- > o.block_ptr[b];) {
+              T sum0 = tmp[i];
+              if (prime_next) {
+                T sum1{};
+                rows.u_dot2(i, xy, sum1, sum0);
+                xy[2 * i] = sum0;
+                emit(p_even, i, sum0);
+                tmp[i] = sum1;
+              } else {
+                rows.u_dot1(i, xy, 1, sum0);
+                xy[2 * i] = sum0;
+                emit(p_even, i, sum0);
+              }
             }
           }
-        }
         bump();  // epoch base + C + (C-1-c) + 1
         FBMPK_TELEMETRY_ONLY(
             fbmpk_rec.stage_end("B", p_even, static_cast<int>(c));)
@@ -590,8 +636,9 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
       // Tail: reads foreign even slots; needs every neighbor owner
       // through the whole pair sequence.
       wait_all(2 + pairs * stage_pairs);
+      stage_dead();
       FBMPK_TELEMETRY_ONLY(fbmpk_rec.stage_begin();)
-      for_own_rows([&](index_t i) {
+      if (!dead) for_own_rows([&](index_t i) {
         T sum = tmp[i] + rows.diag(i) * xy[2 * i];
         rows.l_dot1(i, xy, 0, sum);
         emit(k, i, sum);
@@ -602,7 +649,9 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
   });
 
   if (!team_ok.load(std::memory_order_relaxed)) return false;
-  ws.warmed = true;
+  // A cancelled run may have skipped part of the warm pass; only a
+  // completed head stage marks the workspace warm.
+  if (ctl == nullptr || !ctl->cancelled()) ws.warmed = true;
   return true;
 }
 
@@ -626,10 +675,11 @@ void fbmpk_engine_sweep_rows(const TriangularSplit<T>& s,
                              const AbmcOrdering& o, const SweepSchedule& sched,
                              const Rows& rows, std::span<const T> x0, int k,
                              SweepWorkspace<T>& ws, Emit&& emit,
-                             bool pin_threads = false) {
+                             bool pin_threads = false,
+                             RunControl* ctl = nullptr) {
   if (!fbmpk_engine_try_sweep_rows(s, o, sched, rows, x0, k, ws, pin_threads,
-                                   emit))
-    fbmpk_parallel_sweep_rows(s, o, rows, x0, k, ws.fallback, emit);
+                                   emit, ctl))
+    fbmpk_parallel_sweep_rows(s, o, rows, x0, k, ws.fallback, emit, ctl);
 }
 
 /// Point-to-point sweep with automatic fallback to the per-color

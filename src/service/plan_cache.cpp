@@ -1,0 +1,163 @@
+#include "service/plan_cache.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "core/plan_io.hpp"
+#include "support/checksum.hpp"
+#include "support/error.hpp"
+#include "support/threading.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace fbmpk::service {
+
+std::uint64_t fingerprint(const CsrMatrix<double>& a) {
+  std::uint32_t s = kCrc32Init;
+  const std::int64_t dims[2] = {a.rows(), a.cols()};
+  s = crc32_update(s, dims, sizeof(dims));
+  s = crc32_update(s, a.row_ptr().data(),
+                   a.row_ptr().size() * sizeof(index_t));
+  s = crc32_update(s, a.col_idx().data(),
+                   a.col_idx().size() * sizeof(index_t));
+  const std::uint32_t structure = crc32_finish(s);
+  const std::uint32_t values =
+      crc32(a.values().data(), a.values().size() * sizeof(double));
+  return (static_cast<std::uint64_t>(structure) << 32) | values;
+}
+
+PlanCache::PlanCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<PlanCache::Entry> PlanCache::insert_locked(
+    std::uint64_t key, std::shared_ptr<Entry> entry) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Lost a build race (or replacing a corrupt/quarantined entry that
+    // was erased and re-inserted by another thread): adopt the winner.
+    lru_.splice(lru_.end(), lru_, it->second.pos);
+    return it->second.entry;
+  }
+  lru_.push_back(key);
+  map_.emplace(key, Slot{entry, std::prev(lru_.end())});
+  while (map_.size() > capacity_) {
+    const std::uint64_t victim = lru_.front();
+    lru_.pop_front();
+    map_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    FBMPK_TCOUNT("service.cache.evict", 1);
+  }
+  return entry;
+}
+
+PlanCache::Lease PlanCache::acquire(std::uint64_t key, const Builder& build) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      std::shared_ptr<Entry> entry = it->second.entry;
+      if (entry->quarantined.load(std::memory_order_acquire)) {
+        // Watchdog-flagged plan: never served again — drop and rebuild.
+        lru_.erase(it->second.pos);
+        map_.erase(it);
+      } else {
+        // Memory-corruption fault drill: damage the artifact and drop
+        // the decode cache so the rehydration path below must run.
+        if (fault::should_fire(fault::Point::kCacheCorrupt) &&
+            !entry->artifact.empty()) {
+          entry->artifact[entry->artifact.size() / 2] ^= 0x40;
+          entry->plan.reset();
+        }
+        if (entry->plan == nullptr) {
+          // Rehydrate from the artifact; the loader re-verifies the
+          // checksum so corruption can't reach execution.
+          std::istringstream in(entry->artifact);
+          Expected<MpkPlan> loaded = try_load_plan(in);
+          if (loaded.has_value() && !loaded.value().tuned_config().stale) {
+            entry->plan = std::make_shared<const MpkPlan>(
+                std::move(loaded).value());
+          } else {
+            if (loaded.has_value()) {
+              stale_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+              FBMPK_TCOUNT("service.cache.stale_rebuild", 1);
+            } else {
+              corrupt_evictions_.fetch_add(1, std::memory_order_relaxed);
+              FBMPK_TCOUNT("service.cache.corrupt_evict", 1);
+            }
+            lru_.erase(it->second.pos);
+            map_.erase(key);
+            entry = nullptr;
+          }
+        }
+        if (entry != nullptr) {
+          lru_.splice(lru_.end(), lru_, it->second.pos);
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          FBMPK_TCOUNT("service.cache.hit", 1);
+          // Pin the plan while still holding the lock: entry->plan may
+          // be reset by another thread the moment we release it.
+          return Lease{entry, entry->plan};
+        }
+      }
+    }
+  }
+  // Miss (or evicted above): build outside the lock so concurrent
+  // requests for other fingerprints keep flowing.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  FBMPK_TCOUNT("service.cache.miss", 1);
+  auto entry = std::make_shared<Entry>();
+  entry->key = key;
+  {
+    FBMPK_TSPAN(kService, "service.cache.build");
+    entry->plan = std::make_shared<const MpkPlan>(build());
+  }
+  std::ostringstream out;
+  save_plan(*entry->plan, out);
+  entry->artifact = std::move(out).str();
+  std::shared_ptr<const MpkPlan> plan = entry->plan;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<Entry> adopted = insert_locked(key, std::move(entry));
+  // When we lost the build race the adopted entry's plan is the
+  // winner's; if a corruption drill already dropped that one, our own
+  // fresh build is still a correct plan for this key — serve it.
+  if (adopted->plan != nullptr) plan = adopted->plan;
+  return Lease{std::move(adopted), std::move(plan)};
+}
+
+bool PlanCache::corrupt_entry(std::uint64_t key, std::size_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end() || it->second.entry->artifact.empty()) return false;
+  Entry& e = *it->second.entry;
+  e.artifact[offset % e.artifact.size()] ^= 0x01;
+  e.plan.reset();
+  return true;
+}
+
+bool PlanCache::quarantine(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  it->second.entry->quarantined.store(true, std::memory_order_release);
+  return true;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::vector<std::uint64_t> PlanCache::keys_lru_order() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {lru_.begin(), lru_.end()};
+}
+
+CacheStats PlanCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.corrupt_evictions = corrupt_evictions_.load(std::memory_order_relaxed);
+  s.stale_rebuilds = stale_rebuilds_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace fbmpk::service

@@ -1,0 +1,441 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <new>
+#include <utility>
+
+#include "support/fault_inject.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace fbmpk::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Cache key salt for the fp64 rebuild of a reduced-precision plan —
+/// the rebuilt plan is a distinct artifact under the same matrix.
+constexpr std::uint64_t kFp64RebuildSalt = 0x9E3779B97F4A7C15ull;
+
+Clock::duration seconds_to_duration(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+bool all_finite(std::span<const double> v) {
+  for (double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+}  // namespace
+
+const char* rung_name(Rung r) {
+  switch (r) {
+    case Rung::kEngine: return "engine";
+    case Rung::kBarrier: return "barrier";
+    case Rung::kSerial: return "serial";
+  }
+  return "unknown";
+}
+
+/// One in-flight request. The ticket (m/cv/done) follows
+/// first-completer-wins: a worker finishing a sweep and a watchdog
+/// force-completing a stuck request race benignly — the second
+/// complete() is a no-op. The service copies x in at submit and the
+/// caller copies y out at wait, so no caller memory is ever touched
+/// after a force-completion.
+struct MpkService::Request {
+  RequestId id = 0;
+  const CsrMatrix<double>* matrix = nullptr;
+  std::uint64_t key = 0;
+  AlignedVector<double> x;
+  AlignedVector<double> y;
+  int k = 1;
+  double deadline_seconds = 0.0;  ///< resolved; <= 0 means none
+  Clock::time_point deadline_tp{};
+
+  RunControl ctl;
+  std::atomic<bool> running{false};  ///< a worker is executing the sweep
+  std::atomic<bool> done_flag{false};
+
+  // Watchdog-private stuck-detection state (only the watchdog thread
+  // reads or writes these).
+  bool cancel_seen = false;
+  std::uint64_t last_progress = 0;
+  Clock::time_point last_progress_change{};
+
+  // Completion ticket.
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  RequestResult result;
+};
+
+MpkService::MpkService(ServiceOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cache_capacity) {
+  const int n_workers = std::max(1, opts_.workers);
+  workers_.reserve(static_cast<std::size_t>(n_workers));
+  for (int i = 0; i < n_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+MpkService::~MpkService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    // Queued requests complete with kCancelled when a worker pops
+    // them; running sweeps see the token at the next stage boundary.
+    for (auto& [id, req] : active_)
+      req->ctl.request_cancel(ErrorCode::kCancelled);
+  }
+  queue_cv_.notify_all();
+  watchdog_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  watchdog_.join();
+}
+
+MpkService::RequestId MpkService::submit(const CsrMatrix<double>& a,
+                                         std::span<const double> x, int k,
+                                         RequestOptions ropts) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto req = std::make_shared<Request>();
+  req->matrix = &a;
+  req->key = fingerprint(a);
+  req->x.assign(x.begin(), x.end());
+  req->y.resize(static_cast<std::size_t>(a.rows()), 0.0);
+  req->k = k;
+  req->deadline_seconds = ropts.deadline_seconds < 0.0
+                              ? opts_.default_deadline_seconds
+                              : ropts.deadline_seconds;
+  if (req->deadline_seconds > 0.0)
+    req->deadline_tp = Clock::now() + seconds_to_duration(req->deadline_seconds);
+
+  Status early;  // non-ok -> reject without queueing
+  if (x.size() != static_cast<std::size_t>(a.rows()))
+    early = Error(ErrorCode::kInvalidMatrix,
+                  "request vector length does not match the matrix");
+
+  bool queued = false;
+  RequestId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    req->id = id;
+    active_.emplace(id, req);
+    if (early.ok()) {
+      if (shutdown_) {
+        early = Error(ErrorCode::kCancelled, "service is shutting down");
+      } else if (queue_.size() >= opts_.max_queue ||
+                 fault::should_fire(fault::Point::kQueueFull)) {
+        early = Error(ErrorCode::kOverloaded,
+                      "request queue is full (admission control)");
+      } else {
+        queue_.push_back(req);
+        queued = true;
+      }
+    }
+  }
+  if (queued) {
+    FBMPK_TCOUNT("service.admit", 1);
+    queue_cv_.notify_one();
+  } else {
+    if (early.code() == ErrorCode::kOverloaded) {
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      FBMPK_TCOUNT("service.reject_overload", 1);
+    }
+    complete(req, early, Rung::kSerial, 0, false, false);
+  }
+  return id;
+}
+
+RequestResult MpkService::wait(RequestId id, std::span<double> y) {
+  std::shared_ptr<Request> req;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(id);
+    if (it == active_.end()) {
+      RequestResult r;
+      r.status = Error(ErrorCode::kInternal, "unknown request id");
+      return r;
+    }
+    req = it->second;
+  }
+  RequestResult result;
+  {
+    std::unique_lock<std::mutex> lock(req->m);
+    req->cv.wait(lock, [&] { return req->done; });
+    result = req->result;
+  }
+  if (result.status.ok()) {
+    if (y.size() >= req->y.size()) {
+      std::copy(req->y.begin(), req->y.end(), y.begin());
+    } else {
+      result.status = Error(ErrorCode::kInternal,
+                            "output span shorter than the matrix dimension");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.erase(id);
+  return result;
+}
+
+bool MpkService::cancel(RequestId id) {
+  std::shared_ptr<Request> req;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(id);
+    if (it == active_.end()) return false;
+    req = it->second;
+  }
+  if (req->done_flag.load(std::memory_order_acquire)) return false;
+  req->ctl.request_cancel(ErrorCode::kCancelled);
+  return true;
+}
+
+RequestResult MpkService::power(const CsrMatrix<double>& a,
+                                std::span<const double> x, int k,
+                                std::span<double> y, RequestOptions ropts) {
+  return wait(submit(a, x, k, ropts), y);
+}
+
+void MpkService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Request> req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    execute(req);
+  }
+}
+
+Status MpkService::run_rung(const std::shared_ptr<Request>& req,
+                            const MpkPlan& plan, Rung rung,
+                            MpkPlan::Workspace& ws) {
+  // Parallel rungs allocate sweep scratch; the kAlloc fault point
+  // stands in for that allocation failing under memory pressure. The
+  // serial rung deliberately skips the check so the ladder always has
+  // a floor.
+  if (rung != Rung::kSerial && fault::should_fire(fault::Point::kAlloc))
+    return Error(ErrorCode::kResourceLimit,
+                 "injected sweep-scratch allocation failure");
+  ExecPath path = ExecPath::kSerial;
+  switch (rung) {
+    case Rung::kEngine: path = ExecPath::kEngine; break;
+    case Rung::kBarrier: path = ExecPath::kBarrier; break;
+    case Rung::kSerial: path = ExecPath::kSerial; break;
+  }
+  FBMPK_TSPAN_ARGS(kService, "service.rung", {.k = req->k});
+  return plan.try_power(std::span<const double>(req->x.data(), req->x.size()),
+                        req->k, std::span<double>(req->y.data(), req->y.size()),
+                        ws, path, &req->ctl);
+}
+
+void MpkService::execute(const std::shared_ptr<Request>& req) {
+  FBMPK_TSPAN_ARGS(kService, "service.request", {.k = req->k});
+  if (req->ctl.cancelled()) {
+    complete(req, Error(req->ctl.cancel_reason(),
+                        "request cancelled before execution"),
+             Rung::kSerial, 0, false, false);
+    return;
+  }
+
+  bool built = false;
+  PlanCache::Lease lease;
+  try {
+    lease = cache_.acquire(req->key, [&] {
+      built = true;
+      return MpkPlan::build(*req->matrix, opts_.plan);
+    });
+  } catch (const Error& e) {
+    complete(req, Status(e), Rung::kSerial, 0, false, false);
+    return;
+  } catch (const std::bad_alloc&) {
+    complete(req,
+             Error(ErrorCode::kResourceLimit, "plan build ran out of memory"),
+             Rung::kSerial, 0, false, false);
+    return;
+  }
+  const bool cache_hit = !built;
+
+  req->running.store(true, std::memory_order_release);
+  MpkPlan::Workspace ws;
+  int rung_i = std::clamp(
+      lease.entry->degrade_level.load(std::memory_order_acquire),
+                          0, static_cast<int>(Rung::kSerial));
+  int steps = 0;
+  bool precision_rebuilt = false;
+  Status st;
+  for (;;) {
+    const Rung rung = static_cast<Rung>(rung_i);
+    st = run_rung(req, *lease.plan, rung, ws);
+    if (st.ok()) break;
+    const ErrorCode code = st.code();
+    // Cancellation is final — degrading a cancelled request would
+    // burn more time the caller already gave up on.
+    if (code == ErrorCode::kCancelled || code == ErrorCode::kTimeout) break;
+    if (rung_i >= static_cast<int>(Rung::kSerial)) break;
+    if (code == ErrorCode::kUnsupported) {
+      // Capability gap (plan has no engine schedule / no ABMC
+      // coloring), not a runtime failure: fall through silently.
+      ++rung_i;
+      continue;
+    }
+    if (!opts_.allow_degradation) break;
+    // Genuine rung failure: step the ladder, stick the plan to the
+    // lower rung, and record the transition.
+    FBMPK_TSPAN(kService, "service.degrade");
+    if (rung == Rung::kEngine) {
+      degrade_engine_to_barrier_.fetch_add(1, std::memory_order_relaxed);
+      FBMPK_TCOUNT("service.degrade.engine_to_barrier", 1);
+    } else {
+      degrade_barrier_to_serial_.fetch_add(1, std::memory_order_relaxed);
+      FBMPK_TCOUNT("service.degrade.barrier_to_serial", 1);
+    }
+    ++steps;
+    ++rung_i;
+    lease.entry->degrade_level.store(rung_i, std::memory_order_release);
+  }
+
+  Rung rung_used = static_cast<Rung>(rung_i);
+  if (st.ok()) {
+    // Precision certification: a reduced-precision (or injected-fault)
+    // result that is not finite everywhere must not be served.
+    const bool cert_ok =
+        all_finite(req->y) &&
+        !fault::should_fire(fault::Point::kPrecisionCertify);
+    if (!cert_ok) {
+      if (opts_.rebuild_fp64_on_cert_failure) {
+        FBMPK_TSPAN(kService, "service.precision_rebuild");
+        precision_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+        FBMPK_TCOUNT("service.degrade.precision_rebuild", 1);
+        precision_rebuilt = true;
+        try {
+          PlanOptions fp64_opts = opts_.plan;
+          fp64_opts.value_precision = ValuePrecision::kFp64;
+          auto rebuilt = cache_.acquire(req->key ^ kFp64RebuildSalt, [&] {
+            return MpkPlan::build(*req->matrix, fp64_opts);
+          });
+          st = run_rung(req, *rebuilt.plan, rung_used, ws);
+          if (st.ok() && !all_finite(req->y))
+            st = Error(ErrorCode::kNumericalBreakdown,
+                       "result failed precision certification after the "
+                       "fp64 rebuild");
+        } catch (const Error& e) {
+          st = Status(e);
+        } catch (const std::bad_alloc&) {
+          st = Error(ErrorCode::kResourceLimit,
+                     "fp64 rebuild ran out of memory");
+        }
+      } else {
+        st = Error(ErrorCode::kNumericalBreakdown,
+                   "result failed precision certification (non-finite "
+                   "output); enable rebuild_fp64_on_cert_failure to retry "
+                   "at full precision");
+      }
+    }
+  }
+  req->running.store(false, std::memory_order_release);
+  complete(req, st, rung_used, steps, cache_hit, precision_rebuilt);
+}
+
+void MpkService::complete(const std::shared_ptr<Request>& req, Status status,
+                          Rung rung, int degrade_steps, bool cache_hit,
+                          bool precision_rebuilt) {
+  const ErrorCode code =
+      status.ok() ? ErrorCode::kInternal : status.code();
+  {
+    std::lock_guard<std::mutex> lock(req->m);
+    if (req->done) return;  // first completer wins
+    req->result.status = std::move(status);
+    req->result.rung = rung;
+    req->result.degrade_steps = degrade_steps;
+    req->result.cache_hit = cache_hit;
+    req->result.precision_rebuilt = precision_rebuilt;
+    // Counters update before `done` becomes visible so a caller that
+    // reads stats() right after wait() returns sees this completion.
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (code == ErrorCode::kTimeout) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      FBMPK_TCOUNT("service.timeout", 1);
+    } else if (code == ErrorCode::kCancelled) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      FBMPK_TCOUNT("service.cancelled", 1);
+    }
+    req->done = true;
+  }
+  req->done_flag.store(true, std::memory_order_release);
+  req->cv.notify_all();
+}
+
+void MpkService::watchdog_loop() {
+  const auto interval =
+      seconds_to_duration(std::max(1e-4, opts_.watchdog_interval_seconds));
+  const auto grace =
+      seconds_to_duration(std::max(1e-3, opts_.stuck_grace_seconds));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    watchdog_cv_.wait_for(lock, interval);
+    if (shutdown_) return;
+    const auto now = Clock::now();
+    for (auto& [id, req] : active_) {
+      if (req->done_flag.load(std::memory_order_acquire)) continue;
+      if (req->deadline_seconds > 0.0 && now >= req->deadline_tp)
+        req->ctl.request_cancel(ErrorCode::kTimeout);
+      if (!req->running.load(std::memory_order_acquire) ||
+          !req->ctl.cancelled())
+        continue;
+      // A cancelled request should unwind within a few stage
+      // boundaries. Track the sweep heartbeat: if it freezes past the
+      // grace period the plan's schedule is wedged — force-complete
+      // the ticket and quarantine the plan.
+      const std::uint64_t p =
+          req->ctl.progress.load(std::memory_order_relaxed);
+      if (!req->cancel_seen || p != req->last_progress) {
+        req->cancel_seen = true;
+        req->last_progress = p;
+        req->last_progress_change = now;
+        continue;
+      }
+      if (now - req->last_progress_change < grace) continue;
+      if (cache_.quarantine(req->key)) {
+        quarantines_.fetch_add(1, std::memory_order_relaxed);
+        FBMPK_TCOUNT("service.quarantine", 1);
+      }
+      complete(req,
+               Error(req->ctl.cancel_reason(),
+                     "sweep made no progress past the grace period; plan "
+                     "quarantined"),
+               Rung::kSerial, 0, false, false);
+    }
+  }
+}
+
+ServiceStats MpkService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.degrade_engine_to_barrier =
+      degrade_engine_to_barrier_.load(std::memory_order_relaxed);
+  s.degrade_barrier_to_serial =
+      degrade_barrier_to_serial_.load(std::memory_order_relaxed);
+  s.precision_rebuilds = precision_rebuilds_.load(std::memory_order_relaxed);
+  s.quarantines = quarantines_.load(std::memory_order_relaxed);
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace fbmpk::service

@@ -1,0 +1,177 @@
+// MpkService — a resilient, long-lived serving front end over MpkPlan
+// (docs/SERVICE.md).
+//
+// A request is "compute y = A^k x with a deadline". The service owns:
+//
+//  - an LRU PlanCache keyed by matrix fingerprint, so repeated
+//    requests against the same matrix amortize the one-off build the
+//    paper assumes is offline (§V-F);
+//  - admission control: a bounded queue; submissions past the bound
+//    are rejected immediately with ErrorCode::kOverloaded instead of
+//    growing latency without bound;
+//  - per-request deadlines: a watchdog thread cancels overdue
+//    requests through a cooperative RunControl token polled at sweep
+//    color/k boundaries (kTimeout), and quarantines a plan whose
+//    sweep stops making progress past a grace period;
+//  - a graceful-degradation ladder: p2p engine -> barrier kernel ->
+//    serial sweep, stepped on resource failures, plus an opt-in
+//    fp32 -> fp64 plan rebuild when precision certification fails.
+//    The rung is sticky per cached plan, and every transition is
+//    recorded (service.degrade.* counters + a kService span).
+//
+// Every request terminates with either a correct result or a typed
+// error — never a crash, hang, or silent wrong answer. All rungs
+// issue identical per-row kernels, so for exact-mode plans a degraded
+// result is bitwise identical to the serial oracle.
+//
+// Thread-safety: all public methods are safe to call concurrently.
+// The caller's x/y spans are copied in at submit and out at wait, so
+// a force-completed (timed-out) request can never write through a
+// span the caller has abandoned.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "service/plan_cache.hpp"
+#include "sparse/csr.hpp"
+#include "support/error.hpp"
+
+namespace fbmpk::service {
+
+/// Degradation-ladder rungs, fastest first. Each maps onto one
+/// MpkPlan::ExecPath; kSerial always succeeds (modulo cancellation).
+enum class Rung : int { kEngine = 0, kBarrier = 1, kSerial = 2 };
+
+const char* rung_name(Rung r);
+
+struct ServiceOptions {
+  std::size_t cache_capacity = 8;  ///< distinct plans kept hydrated
+  std::size_t max_queue = 64;      ///< admission bound (queued, not active)
+  int workers = 2;                 ///< request worker threads
+  /// Deadline applied when a request doesn't carry its own; <= 0
+  /// means no default deadline.
+  double default_deadline_seconds = 0.0;
+  double watchdog_interval_seconds = 0.005;
+  /// A cancelled request whose sweep heartbeat stays frozen this long
+  /// is declared stuck: its ticket is force-completed (kTimeout) and
+  /// the plan is quarantined so the wedged schedule is never reused.
+  double stuck_grace_seconds = 2.0;
+  bool allow_degradation = true;  ///< step the ladder on rung failure
+  /// Rebuild the plan at fp64 value storage and retry once when a
+  /// reduced-precision result fails certification (non-finite output).
+  bool rebuild_fp64_on_cert_failure = false;
+  PlanOptions plan;  ///< construction options for cache misses
+};
+
+struct RequestOptions {
+  /// Deadline for this request; < 0 uses the service default, 0
+  /// disables even the default.
+  double deadline_seconds = -1.0;
+};
+
+/// Outcome of one request, returned by wait()/power().
+struct RequestResult {
+  Status status;                 ///< ok, or typed kTimeout/kOverloaded/...
+  Rung rung = Rung::kEngine;     ///< ladder rung that produced the result
+  int degrade_steps = 0;         ///< ladder transitions taken this request
+  bool cache_hit = false;        ///< plan came from the cache
+  bool precision_rebuilt = false;  ///< fp64 rebuild path was taken
+};
+
+/// Monotonic service counters (snapshot; independent of telemetry).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< finished with any status
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t degrade_engine_to_barrier = 0;
+  std::uint64_t degrade_barrier_to_serial = 0;
+  std::uint64_t precision_rebuilds = 0;
+  std::uint64_t quarantines = 0;
+  CacheStats cache;
+};
+
+class MpkService {
+ public:
+  using RequestId = std::uint64_t;
+
+  explicit MpkService(ServiceOptions opts = {});
+  /// Cancels queued work, waits for in-flight requests, joins threads.
+  ~MpkService();
+
+  MpkService(const MpkService&) = delete;
+  MpkService& operator=(const MpkService&) = delete;
+
+  /// Enqueue y = a^k x. Copies `x`; `a` must stay alive until the
+  /// request completes (the plan build may read it on a cache miss).
+  /// Never throws and never blocks on the queue: an over-bound
+  /// submission is completed immediately with kOverloaded.
+  RequestId submit(const CsrMatrix<double>& a, std::span<const double> x,
+                   int k, RequestOptions ropts = {});
+
+  /// Block until `id` completes; copies the result into `y` when the
+  /// status is ok (`y` must hold rows() doubles). An unknown or
+  /// already-waited id fails with kInternal.
+  RequestResult wait(RequestId id, std::span<double> y);
+
+  /// Request cooperative cancellation (kCancelled). Returns false when
+  /// the request already completed or is unknown.
+  bool cancel(RequestId id);
+
+  /// Blocking convenience: submit + wait.
+  RequestResult power(const CsrMatrix<double>& a, std::span<const double> x,
+                      int k, std::span<double> y, RequestOptions ropts = {});
+
+  ServiceStats stats() const;
+  PlanCache& cache() { return cache_; }
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  struct Request;
+
+  void worker_loop();
+  void watchdog_loop();
+  void execute(const std::shared_ptr<Request>& req);
+  Status run_rung(const std::shared_ptr<Request>& req, const MpkPlan& plan,
+                  Rung rung, MpkPlan::Workspace& ws);
+  void complete(const std::shared_ptr<Request>& req, Status status,
+                Rung rung, int degrade_steps, bool cache_hit,
+                bool precision_rebuilt);
+
+  ServiceOptions opts_;
+  PlanCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;     ///< workers: queue became non-empty
+  std::condition_variable watchdog_cv_;  ///< watchdog: interval tick/shutdown
+  std::deque<std::shared_ptr<Request>> queue_;
+  std::unordered_map<RequestId, std::shared_ptr<Request>> active_;
+  bool shutdown_ = false;
+  std::uint64_t next_id_ = 1;
+
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> degrade_engine_to_barrier_{0};
+  std::atomic<std::uint64_t> degrade_barrier_to_serial_{0};
+  std::atomic<std::uint64_t> precision_rebuilds_{0};
+  std::atomic<std::uint64_t> quarantines_{0};
+};
+
+}  // namespace fbmpk::service

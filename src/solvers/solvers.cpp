@@ -96,6 +96,11 @@ SolveResult pcg(const CsrMatrix<double>& a, std::span<const double> b,
   double rz = dot(r, z);
 
   for (res.iterations = 0; res.iterations < opts.max_iterations;) {
+    if (opts.control != nullptr && opts.control->checkpoint()) {
+      res.cancelled = true;
+      res.code = opts.control->cancel_reason();
+      return res;
+    }
     spmv<double>(a, p, ap, SpmvExec::kParallel);
     const double pap = dot(p, ap);
     // Breakdown, not a bug: indefinite operators and NaN-poisoned
@@ -103,11 +108,13 @@ SolveResult pcg(const CsrMatrix<double>& a, std::span<const double> b,
     // unattended runs get a diagnosable status.
     if (!std::isfinite(pap)) {
       res.breakdown = true;
+      res.code = ErrorCode::kNumericalBreakdown;
       res.status = KernelStatus::breakdown(-1, "non-finite p^T A p");
       return res;
     }
     if (pap <= 0.0) {
       res.breakdown = true;
+      res.code = ErrorCode::kNumericalBreakdown;
       res.status = KernelStatus::breakdown(
           -1, "matrix not SPD along search direction");
       return res;
@@ -121,6 +128,7 @@ SolveResult pcg(const CsrMatrix<double>& a, std::span<const double> b,
     res.relative_residual = norm2(r) / b_norm;
     if (!std::isfinite(res.relative_residual)) {
       res.breakdown = true;
+      res.code = ErrorCode::kNumericalBreakdown;
       res.status = KernelStatus::breakdown(-1, "non-finite residual");
       return res;
     }
@@ -132,6 +140,7 @@ SolveResult pcg(const CsrMatrix<double>& a, std::span<const double> b,
     const double rz_new = dot(r, z);
     if (!std::isfinite(rz_new) || rz_new == 0.0) {
       res.breakdown = true;
+      res.code = ErrorCode::kNumericalBreakdown;
       res.status = KernelStatus::breakdown(
           -1, "preconditioned inner product degenerate");
       return res;
@@ -175,6 +184,11 @@ SolveResult chebyshev_iteration(const CsrMatrix<double>& a,
   for (index_t i = 0; i < n; ++i) d[i] = r[i] / theta;
 
   for (res.iterations = 0; res.iterations < opts.max_iterations;) {
+    if (opts.control != nullptr && opts.control->checkpoint()) {
+      res.cancelled = true;
+      res.code = opts.control->cancel_reason();
+      return res;
+    }
     for (index_t i = 0; i < n; ++i) x[i] += d[i];
     spmv<double>(a, x, r, SpmvExec::kParallel);
     for (index_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
@@ -182,6 +196,7 @@ SolveResult chebyshev_iteration(const CsrMatrix<double>& a,
     res.relative_residual = norm2(r) / b_norm;
     if (!std::isfinite(res.relative_residual)) {
       res.breakdown = true;
+      res.code = ErrorCode::kNumericalBreakdown;
       res.status = KernelStatus::breakdown(-1, "non-finite residual");
       return res;
     }
@@ -231,6 +246,11 @@ EigenResult power_method(const CsrMatrix<double>& a, const MpkPlan& plan,
   EigenResult res;
   double prev = 0.0;
   for (int iter = 0; iter * block_steps < opts.max_iterations; ++iter) {
+    if (opts.control != nullptr && opts.control->checkpoint()) {
+      res.cancelled = true;
+      res.code = opts.control->cancel_reason();
+      return res;
+    }
     plan.power(std::span<const double>(v.data(), v.size()), block_steps, y,
                ws);
     const double yn = norm2(y);
@@ -238,6 +258,7 @@ EigenResult power_method(const CsrMatrix<double>& a, const MpkPlan& plan,
       // A^s v overflowed, NaN-poisoned, or annihilated v — normalizing
       // would propagate NaN into the eigenvector estimate.
       res.breakdown = true;
+      res.code = ErrorCode::kNumericalBreakdown;
       return res;
     }
     for (index_t i = 0; i < n; ++i) v[i] = y[i] / yn;
@@ -376,6 +397,11 @@ SolveResult TwoLevelMultigrid::solve(std::span<const double> b,
   // permuted one via a round-trip (clarity over speed — this is the
   // outer loop).
   for (res.iterations = 0; res.iterations < opts.max_iterations;) {
+    if (opts.control != nullptr && opts.control->checkpoint()) {
+      res.cancelled = true;
+      res.code = opts.control->cancel_reason();
+      return res;
+    }
     vcycle(b, x);
     ++res.iterations;
     AlignedVector<double> px(x.size()), pr(x.size());

@@ -30,12 +30,23 @@ struct SolveResult {
   bool converged = false;
   bool breakdown = false;          ///< iteration stopped on a breakdown
   KernelStatus status;             ///< details when breakdown is set
+  bool cancelled = false;          ///< SolveOptions::control fired
+  /// Typed stop reason: kTimeout/kCancelled when `cancelled` (the
+  /// token's reason), kNumericalBreakdown when `breakdown`; kInternal
+  /// means neither fired.
+  ErrorCode code = ErrorCode::kInternal;
 };
 
 /// Solver controls.
 struct SolveOptions {
   int max_iterations = 1000;
   double tolerance = 1e-10;  ///< on the relative residual
+  /// Optional cooperative cancellation/deadline token (the serving
+  /// layer's RunControl). Polled once per outer iteration: when it has
+  /// fired the solver returns with `cancelled` set and `code` carrying
+  /// the token's reason (kTimeout/kCancelled) instead of running out
+  /// the iteration budget on a result nobody is waiting for.
+  RunControl* control = nullptr;
 };
 
 /// A preconditioner maps a residual r to z ~= M^{-1} r.
@@ -79,7 +90,9 @@ struct EigenResult {
   double eigenvalue = 0.0;
   int matvecs = 0;
   bool converged = false;
-  bool breakdown = false;  ///< A^s v became non-finite or zero
+  bool breakdown = false;   ///< A^s v became non-finite or zero
+  bool cancelled = false;   ///< SolveOptions::control fired
+  ErrorCode code = ErrorCode::kInternal;  ///< reason when cancelled
 };
 EigenResult power_method(const CsrMatrix<double>& a, const MpkPlan& plan,
                          std::span<double> v, int block_steps = 6,

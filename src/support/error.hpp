@@ -30,6 +30,9 @@ enum class ErrorCode {
   kResourceLimit,        ///< size/overflow guard tripped
   kCorruptPlan,          ///< plan blob failed checksum/framing/validation
   kVersionMismatch,      ///< plan format or index-width mismatch
+  kTimeout,              ///< request deadline expired before completion
+  kOverloaded,           ///< admission control rejected the request
+  kCancelled,            ///< caller (or shutdown) cancelled the request
 };
 
 /// Stable lowercase name for an ErrorCode (used in messages and logs).
@@ -44,6 +47,9 @@ constexpr const char* error_code_name(ErrorCode c) {
     case ErrorCode::kResourceLimit: return "resource_limit";
     case ErrorCode::kCorruptPlan: return "corrupt_plan";
     case ErrorCode::kVersionMismatch: return "version_mismatch";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kCancelled: return "cancelled";
   }
   return "unknown";
 }

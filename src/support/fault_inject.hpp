@@ -1,6 +1,7 @@
 // Deterministic fault injection for robustness tests.
 //
-// Four primitives exercise the untrusted-input and export paths:
+// Stream-level primitives exercise the untrusted-input and export
+// paths:
 //   * ShortReadStream  — an istream that yields the first N bytes of a
 //     blob and then reports EOF, simulating truncated files.
 //   * FailingStream    — an istream whose underlying buffer hard-fails
@@ -10,18 +11,31 @@
 //     writers like the telemetry trace export.
 //   * flip_byte        — single-byte XOR mutator for checksum tests.
 //
-// Everything is header-only and deterministic: no clocks, no RNG. The
-// fault-injection suite (tests/test_fault_injection.cpp) uses these to
-// prove that every single-byte mutation and every truncation point of a
-// valid plan blob is rejected with a typed fbmpk::Error.
+// The stream primitives are deterministic by construction: no clocks,
+// no RNG. The fault-injection suite (tests/test_fault_injection.cpp)
+// uses them to prove that every single-byte mutation and every
+// truncation point of a valid plan blob is rejected with a typed
+// fbmpk::Error.
+//
+// fault::Injector adds *runtime* fault points for the serving layer
+// (src/service/): named sites in production code consult the injector
+// and, when armed, simulate an allocation failure, a stalled sweep
+// stage, a corrupted cache entry, or a full admission queue. Disarmed
+// cost is a single relaxed atomic load, so the hooks stay compiled in
+// for release/soak builds. Arming is deterministic: "skip the first S
+// passes through the point, then fire F times".
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <istream>
 #include <ostream>
 #include <streambuf>
 #include <string>
+#include <thread>
 
 namespace fbmpk {
 
@@ -144,5 +158,111 @@ inline std::string flip_byte(std::string blob, std::size_t pos,
   blob[pos] = static_cast<char>(static_cast<std::uint8_t>(blob[pos]) ^ mask);
   return blob;
 }
+
+namespace fault {
+
+/// Named runtime fault sites. Each maps to exactly one place in the
+/// serving/kernel code (docs/SERVICE.md lists them all).
+enum class Point : int {
+  kAlloc = 0,         ///< service-side workspace/plan allocation fails
+  kSweepStall,        ///< sleep at a sweep stage boundary (stuck sweep)
+  kCacheCorrupt,      ///< flip a byte of the next touched cache artifact
+  kQueueFull,         ///< admission control reports the queue full
+  kPrecisionCertify,  ///< force a precision-certification failure
+  kCount_,            // sentinel
+};
+
+inline constexpr int kPointCount = static_cast<int>(Point::kCount_);
+
+/// Process-global runtime fault injector. Thread-safe: arming uses a
+/// mutex-free atomic protocol; firing is a bounded claim on atomic
+/// counters, so under concurrency the total number of fires never
+/// exceeds the armed count (which test assertions rely on).
+class Injector {
+ public:
+  static Injector& instance() {
+    static Injector inj;
+    return inj;
+  }
+
+  /// Arm `point`: let the first `skip` passes through, then fire on the
+  /// next `fires` passes. `stall_ms` only matters for stall-style
+  /// points (how long the firing thread sleeps).
+  void arm(Point point, long long fires, long long skip = 0,
+           long long stall_ms = 50) {
+    Slot& s = slot(point);
+    s.fires.store(0, std::memory_order_relaxed);  // close while updating
+    s.skip.store(skip, std::memory_order_relaxed);
+    s.stall_ms.store(stall_ms, std::memory_order_relaxed);
+    s.fires.store(fires, std::memory_order_relaxed);
+    armed_points_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Disarm every point and forget fire counts.
+  void reset() {
+    for (Slot& s : slots_) {
+      s.fires.store(0, std::memory_order_relaxed);
+      s.skip.store(0, std::memory_order_relaxed);
+      s.fired.store(0, std::memory_order_relaxed);
+    }
+    armed_points_.store(0, std::memory_order_release);
+  }
+
+  /// Consult the point; true exactly when this pass fires the fault.
+  /// Disarmed fast path: one relaxed load of armed_points_.
+  bool should_fire(Point point) {
+    if (armed_points_.load(std::memory_order_relaxed) == 0) return false;
+    Slot& s = slot(point);
+    if (s.fires.load(std::memory_order_relaxed) <= 0) return false;
+    if (s.skip.load(std::memory_order_relaxed) > 0 &&
+        s.skip.fetch_sub(1, std::memory_order_relaxed) > 0)
+      return false;
+    if (s.fires.fetch_sub(1, std::memory_order_relaxed) > 0) {
+      s.fired.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Stall-style consultation: sleep for the armed duration when the
+  /// point fires. Used at sweep stage boundaries.
+  void maybe_stall(Point point) {
+    if (armed_points_.load(std::memory_order_relaxed) == 0) return;
+    if (should_fire(point))
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(slot(point).stall_ms.load(
+              std::memory_order_relaxed)));
+  }
+
+  /// Times `point` actually fired since the last reset().
+  long long fired(Point point) const {
+    return slots_[static_cast<std::size_t>(point)].fired.load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  Injector() = default;
+  struct Slot {
+    std::atomic<long long> fires{0};
+    std::atomic<long long> skip{0};
+    std::atomic<long long> stall_ms{0};
+    std::atomic<long long> fired{0};
+  };
+  Slot& slot(Point p) { return slots_[static_cast<std::size_t>(p)]; }
+
+  std::array<Slot, static_cast<std::size_t>(kPointCount)> slots_{};
+  /// Nonzero once any point was armed since the last reset(). Monotone
+  /// within an arm epoch — a fired-out point keeps this nonzero, which
+  /// only costs the (cheap) per-slot check, never correctness.
+  std::atomic<int> armed_points_{0};
+};
+
+/// Free-function shims so call sites stay one line.
+inline bool should_fire(Point p) {
+  return Injector::instance().should_fire(p);
+}
+inline void maybe_stall(Point p) { Injector::instance().maybe_stall(p); }
+
+}  // namespace fault
 
 }  // namespace fbmpk

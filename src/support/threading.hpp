@@ -17,8 +17,12 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <thread>
+
+#include "support/error.hpp"
+#include "support/fault_inject.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -190,6 +194,49 @@ class SpinWaiter {
   static constexpr int kPauseSpins = 64;
   int pause_spins_ = kPauseSpins;
   int spins_ = 0;
+};
+
+/// Cooperative cancellation + liveness token for long-running sweeps.
+///
+/// A canceller (deadline watchdog, shutdown, explicit client cancel)
+/// calls request_cancel(reason); kernel threads poll cancelled() at
+/// stage boundaries (per color, per k-step) and skip the remaining row
+/// work while still passing every barrier / bumping every epoch, so
+/// the sweep protocol terminates normally with the output left
+/// unspecified. Nothing ever throws across a parallel region.
+///
+/// `progress` is a heartbeat bumped at the same boundaries; a watchdog
+/// distinguishes "slow but cooperating" (progress advancing) from
+/// "stuck" (progress frozen, e.g. a thread wedged inside a stage).
+struct RunControl {
+  std::atomic<bool> cancel{false};
+  std::atomic<ErrorCode> reason{ErrorCode::kCancelled};
+  std::atomic<std::uint64_t> progress{0};
+
+  bool cancelled() const { return cancel.load(std::memory_order_relaxed); }
+
+  /// First reason wins: a kTimeout set by the watchdog is not
+  /// overwritten by a later shutdown-driven kCancelled.
+  void request_cancel(ErrorCode why) {
+    bool expected = false;
+    if (cancel.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel))
+      reason.store(why, std::memory_order_release);
+  }
+
+  ErrorCode cancel_reason() const {
+    return reason.load(std::memory_order_acquire);
+  }
+
+  /// Stage-boundary checkpoint for kernel code: heartbeat, then the
+  /// injected-stall fault point (no-op unless armed), then the
+  /// cancellation poll. Returns true when the caller should skip the
+  /// remaining work of this stage.
+  bool checkpoint() {
+    progress.fetch_add(1, std::memory_order_relaxed);
+    fault::maybe_stall(fault::Point::kSweepStall);
+    return cancelled();
+  }
 };
 
 /// Number of CPUs the OS exposes (>= 1).

@@ -16,6 +16,7 @@ const char* cat_name(Cat c) {
     case Cat::kBench: return "bench";
     case Cat::kSolver: return "solver";
     case Cat::kCli: return "cli";
+    case Cat::kService: return "service";
     case Cat::kCount_: break;
   }
   return "unknown";

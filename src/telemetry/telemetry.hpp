@@ -58,6 +58,7 @@ enum class Cat : std::uint8_t {
   kBench,        ///< harness iterations (warmup vs measured)
   kSolver,       ///< solver-level spans (pcg, chebyshev, multigrid)
   kCli,          ///< top-level driver spans
+  kService,      ///< serving layer: requests, cache, degradation ladder
   kCount_,       // sentinel
 };
 const char* cat_name(Cat c);

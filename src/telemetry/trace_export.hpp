@@ -27,8 +27,11 @@
 namespace fbmpk::telemetry {
 
 /// Version of the "fbmpkMetrics" object. Bump on any key change and
-/// record the delta in docs/OBSERVABILITY.md.
-inline constexpr int kMetricsSchemaVersion = 1;
+/// record the delta in docs/OBSERVABILITY.md. v2: the serving layer's
+/// "service.*" counter namespace (cache hit/miss/evict, admission,
+/// degradation-ladder transitions — docs/SERVICE.md) is part of the
+/// counter contract whenever an MpkService ran with telemetry on.
+inline constexpr int kMetricsSchemaVersion = 2;
 
 /// Measured-vs-modeled traffic comparison attached to a trace — the
 /// runtime analogue of the paper's Fig 9 columns.

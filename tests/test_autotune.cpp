@@ -94,8 +94,9 @@ TEST(Autotune, KernelConfigSweepsPrecisionCandidates) {
   for (const auto& s : conservative.samples) {
     EXPECT_EQ(s.backend, KernelBackend::kScalar);
     EXPECT_NE(s.value_precision, ValuePrecision::kFp32);
-    if (s.value_precision == ValuePrecision::kSplit)
+    if (s.value_precision == ValuePrecision::kSplit) {
       EXPECT_GT(s.packed_value_bytes, 0u);
+    }
   }
 
   const auto fast = autotune_kernel_config(a, 3, /*reps=*/1, {},

@@ -5,6 +5,10 @@
 // format: the CRC32 makes every single-byte flip detectable).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,9 +46,15 @@ std::string valid_plan_blob_mixed(ValuePrecision p) {
 
 // Every corruption must surface as one of the ingestion error codes —
 // never kInternal (that would mean a validation hole reached deep
-// library invariants) and never a crash.
+// library invariants) and never a crash. kResourceLimit is in the set
+// because a flipped payload-length byte can claim a size that is
+// structurally plausible yet over the configured payload cap
+// (set_plan_payload_cap): that guard fires before any allocation, so
+// the corruption is still rejected typed instead of driving the
+// process toward bad_alloc.
 bool is_ingestion_code(ErrorCode c) {
-  return c == ErrorCode::kCorruptPlan || c == ErrorCode::kVersionMismatch;
+  return c == ErrorCode::kCorruptPlan || c == ErrorCode::kVersionMismatch ||
+         c == ErrorCode::kResourceLimit;
 }
 
 TEST(FaultInjection, EverySingleByteFlipIsRejected) {
@@ -307,6 +317,140 @@ TEST(FaultInjection, MatrixMarketShortRead) {
           << "at length " << len << ": " << e.what();
     }
   }
+}
+
+
+// ---------------------------------------------------------------------------
+// Length-field attacks: a corrupt size must fail typed BEFORE any
+// allocation sized by it (the serving layer loads untrusted cache
+// artifacts on the hot path — a bad length must never OOM the
+// process).
+// ---------------------------------------------------------------------------
+
+/// Patch a little-endian u64 at `off` and leave everything else —
+/// including the payload CRC, which does not cover the header — alone.
+std::string patch_u64(std::string blob, std::size_t off, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    blob[off + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  return blob;
+}
+
+/// Header layout: magic(8) version(u32) index_width(u32)
+/// payload_size(u64 at 16) crc32(u32 at 24); payload starts at 28.
+constexpr std::size_t kPayloadSizeOffset = 16;
+
+TEST(FaultInjection, HugeClaimedPayloadFailsTypedBeforeAllocating) {
+  const std::string blob = valid_plan_blob();
+  // 512 GiB: structurally plausible (under the 1 TiB sanity bound) but
+  // over the default 64 GiB payload cap — the cap must fire, typed,
+  // before the loader tries to buffer it.
+  const std::string huge =
+      patch_u64(blob, kPayloadSizeOffset, 1ull << 39);
+  std::istringstream in(huge);
+  try {
+    auto plan = load_plan(in);
+    FAIL() << "512 GiB claimed payload was accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceLimit);
+  }
+}
+
+TEST(FaultInjection, PayloadCapIsConfigurable) {
+  const std::string blob = valid_plan_blob();
+  const std::uint64_t restore = plan_payload_cap();
+  set_plan_payload_cap(16);  // far below any real plan
+  std::istringstream in(blob);
+  Expected<MpkPlan> r = try_load_plan(in);
+  set_plan_payload_cap(restore);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.code(), ErrorCode::kResourceLimit);
+
+  // With the cap restored the same bytes load fine.
+  std::istringstream in2(blob);
+  EXPECT_TRUE(try_load_plan(in2).has_value());
+}
+
+TEST(FaultInjection, FileSizeDisagreementIsRejectedBeforePayloadRead) {
+  const auto a = gen::make_laplacian_2d(6, 6);
+  auto plan = MpkPlan::build(a);
+  const std::string path =
+      ::testing::TempDir() + "/fbmpk_trailing_bytes.plan";
+  save_plan_file(plan, path);
+  {
+    std::ofstream app(path, std::ios::binary | std::ios::app);
+    app << "junk!";  // header now disagrees with the file size
+  }
+  Expected<MpkPlan> r = try_load_plan_file(path);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.code(), ErrorCode::kCorruptPlan);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjection, SectionLengthFieldAttackFailsTyped) {
+  // First framed section: tag(u32) at 28, length(u64) at 32. An
+  // inflated section length must die on a bounds check or the CRC —
+  // never reach an allocation of that size.
+  const std::string blob = valid_plan_blob();
+  for (const std::uint64_t claim :
+       {std::uint64_t{1} << 62, std::uint64_t{0xFFFFFFFFFFFFFFFF},
+        std::uint64_t{1} << 35}) {
+    const std::string bad = patch_u64(blob, 32, claim);
+    std::istringstream in(bad);
+    try {
+      auto plan = load_plan(in);
+      FAIL() << "inflated section length " << claim << " was accepted";
+    } catch (const Error& e) {
+      EXPECT_TRUE(is_ingestion_code(e.code()))
+          << "section length " << claim << " raised '" << e.what()
+          << "' with code " << error_code_name(e.code());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime fault injector (fault::Injector): the switchboard the
+// serving-layer soak flips. Semantics must be exact — tests arm
+// specific fire/skip budgets and assert ladder transitions off them.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, RuntimeInjectorFireAndSkipBudgets) {
+  auto& inj = fault::Injector::instance();
+  inj.reset();
+  EXPECT_FALSE(fault::should_fire(fault::Point::kAlloc));
+
+  inj.arm(fault::Point::kAlloc, /*fires=*/2, /*skip=*/1);
+  EXPECT_FALSE(fault::should_fire(fault::Point::kAlloc));  // skipped
+  EXPECT_TRUE(fault::should_fire(fault::Point::kAlloc));
+  EXPECT_TRUE(fault::should_fire(fault::Point::kAlloc));
+  EXPECT_FALSE(fault::should_fire(fault::Point::kAlloc));  // exhausted
+  EXPECT_EQ(inj.fired(fault::Point::kAlloc), 2);
+
+  // Points are independent.
+  inj.arm(fault::Point::kQueueFull, /*fires=*/1);
+  EXPECT_FALSE(fault::should_fire(fault::Point::kAlloc));
+  EXPECT_TRUE(fault::should_fire(fault::Point::kQueueFull));
+
+  inj.reset();
+  EXPECT_FALSE(fault::should_fire(fault::Point::kQueueFull));
+  EXPECT_EQ(inj.fired(fault::Point::kQueueFull), 0);
+}
+
+TEST(FaultInjection, RuntimeInjectorStallBlocksForArmedDuration) {
+  auto& inj = fault::Injector::instance();
+  inj.reset();
+  inj.arm(fault::Point::kSweepStall, /*fires=*/1, /*skip=*/0,
+          /*stall_ms=*/50);
+  const auto t0 = std::chrono::steady_clock::now();
+  fault::maybe_stall(fault::Point::kSweepStall);  // fires: sleeps
+  fault::maybe_stall(fault::Point::kSweepStall);  // exhausted: no-op
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(ms, 45.0);
+  EXPECT_LT(ms, 500.0);
+  inj.reset();
 }
 
 }  // namespace

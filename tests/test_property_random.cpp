@@ -174,8 +174,9 @@ void check_case(const CsrMatrix<double>& a, const AlignedVector<double>& x,
         engine.sweep.sync = SweepSync::kPointToPoint;
         auto pe = MpkPlan::build(a, engine);
 
-        if (prec != ValuePrecision::kFp64)
+        if (prec != ValuePrecision::kFp64) {
           ASSERT_GT(ps.stats().packed_value_bytes, 0u);
+        }
 
         ps.power(x, k, ys);
         pb.power(x, k, yb);

@@ -1,0 +1,394 @@
+// MpkService / PlanCache: the serving layer's resilience contract
+// (docs/SERVICE.md). Every request must terminate with a correct
+// result or a typed error — and a degraded-rung result must be
+// bitwise identical to the serial oracle for exact-mode plans.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "gen/stencil.hpp"
+#include "service/plan_cache.hpp"
+#include "service/service.hpp"
+#include "support/fault_inject.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk::service {
+namespace {
+
+/// Runs every case with a clean fault injector on both sides.
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Injector::instance().reset(); }
+  void TearDown() override { fault::Injector::instance().reset(); }
+};
+
+AlignedVector<double> test_input(index_t n) {
+  AlignedVector<double> x(static_cast<std::size_t>(n));
+  test::Xorshift64 rng(42);
+  for (auto& v : x) v = 2.0 * rng.uniform() - 1.0;
+  return x;
+}
+
+/// Serial-path reference through the same plan options: the ladder's
+/// correctness oracle (all rungs issue identical per-row kernels).
+AlignedVector<double> serial_oracle(const CsrMatrix<double>& a,
+                                    std::span<const double> x, int k,
+                                    const PlanOptions& po) {
+  MpkPlan plan = MpkPlan::build(a, po);
+  MpkPlan::Workspace ws;
+  AlignedVector<double> y(static_cast<std::size_t>(a.rows()));
+  const Status st = plan.try_power(x, k, y, ws, ExecPath::kSerial);
+  EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error().what());
+  return y;
+}
+
+void expect_bitwise_equal(std::span<const double> got,
+                          std::span<const double> want) {
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                        got.size() * sizeof(double)),
+            0);
+}
+
+TEST_F(ServiceTest, LruEvictionOrderIsDeterministic) {
+  PlanCache cache(2);
+  const auto a = gen::make_laplacian_2d(4, 4);
+  const auto b = gen::make_laplacian_2d(5, 4);
+  const auto c = gen::make_laplacian_2d(6, 4);
+  const std::uint64_t ka = fingerprint(a), kb = fingerprint(b),
+                      kc = fingerprint(c);
+  ASSERT_NE(ka, kb);
+  ASSERT_NE(kb, kc);
+
+  cache.acquire(ka, [&] { return MpkPlan::build(a); });
+  cache.acquire(kb, [&] { return MpkPlan::build(b); });
+  EXPECT_EQ(cache.keys_lru_order(), (std::vector<std::uint64_t>{ka, kb}));
+
+  // Touch `a` so `b` becomes least-recently used...
+  cache.acquire(ka, [&] { return MpkPlan::build(a); });
+  EXPECT_EQ(cache.keys_lru_order(), (std::vector<std::uint64_t>{kb, ka}));
+
+  // ...and inserting `c` must evict exactly `b`.
+  cache.acquire(kc, [&] { return MpkPlan::build(c); });
+  EXPECT_EQ(cache.keys_lru_order(), (std::vector<std::uint64_t>{ka, kc}));
+  EXPECT_EQ(cache.size(), 2u);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.evictions, 1u);
+}
+
+TEST_F(ServiceTest, CacheHitServesSecondRequestBitwiseEqual) {
+  const auto a = gen::make_laplacian_2d(16, 16);
+  const auto x = test_input(a.rows());
+  ServiceOptions opts;
+  opts.workers = 1;
+  MpkService svc(opts);
+
+  AlignedVector<double> y1(static_cast<std::size_t>(a.rows()));
+  AlignedVector<double> y2(static_cast<std::size_t>(a.rows()));
+  const RequestResult r1 = svc.power(a, x, 3, y1);
+  ASSERT_TRUE(r1.status.ok()) << r1.status.error().what();
+  EXPECT_FALSE(r1.cache_hit);
+  const RequestResult r2 = svc.power(a, x, 3, y2);
+  ASSERT_TRUE(r2.status.ok()) << r2.status.error().what();
+  EXPECT_TRUE(r2.cache_hit);
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.cache.misses, 1u);
+  EXPECT_EQ(st.cache.hits, 1u);
+  EXPECT_EQ(st.submitted, 2u);
+  EXPECT_EQ(st.completed, 2u);
+
+  const auto oracle = serial_oracle(a, x, 3, opts.plan);
+  expect_bitwise_equal(y1, oracle);
+  expect_bitwise_equal(y2, oracle);
+}
+
+TEST_F(ServiceTest, QueueFullRejectsWithTypedOverload) {
+  const auto a = gen::make_laplacian_2d(8, 8);
+  const auto x = test_input(a.rows());
+  MpkService svc;
+  fault::Injector::instance().arm(fault::Point::kQueueFull, /*fires=*/1);
+
+  AlignedVector<double> y(static_cast<std::size_t>(a.rows()));
+  const RequestResult r = svc.power(a, x, 2, y);
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), ErrorCode::kOverloaded);
+  EXPECT_GE(svc.stats().rejected_overload, 1u);
+
+  // The queue recovered: the next request is served normally.
+  const RequestResult r2 = svc.power(a, x, 2, y);
+  EXPECT_TRUE(r2.status.ok());
+}
+
+TEST_F(ServiceTest, DeadlineExpiryFailsTypedTimeout) {
+  const auto a = gen::make_laplacian_2d(40, 40);
+  const auto x = test_input(a.rows());
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.watchdog_interval_seconds = 0.002;
+  MpkService svc(opts);
+
+  // Stall the sweep at a few color boundaries so the 20 ms deadline
+  // expires mid-sweep; later checkpoints run clean so unwinding after
+  // cancellation stays fast.
+  fault::Injector::instance().arm(fault::Point::kSweepStall, /*fires=*/3,
+                                  /*skip=*/0, /*stall_ms=*/120);
+  AlignedVector<double> y(static_cast<std::size_t>(a.rows()));
+  RequestOptions ropts;
+  ropts.deadline_seconds = 0.02;
+  const RequestResult r = svc.power(a, x, 6, y, ropts);
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), ErrorCode::kTimeout);
+  EXPECT_GE(svc.stats().timeouts, 1u);
+}
+
+TEST_F(ServiceTest, StuckSweepIsForceCompletedAndPlanQuarantined) {
+  const auto a = gen::make_laplacian_2d(40, 40);
+  const auto x = test_input(a.rows());
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.watchdog_interval_seconds = 0.002;
+  opts.stuck_grace_seconds = 0.05;
+  MpkService svc(opts);
+
+  // One long stall freezes the heartbeat well past the grace period:
+  // the watchdog must force-complete the ticket (the caller gets its
+  // typed error long before the stall ends) and quarantine the plan.
+  // fired() flips just before the sleep begins, so polling it is a
+  // deterministic "the sweep is wedged right now" signal that holds
+  // regardless of how slowly the plan build runs (e.g. under TSan).
+  fault::Injector::instance().arm(fault::Point::kSweepStall, /*fires=*/1,
+                                  /*skip=*/0, /*stall_ms=*/1500);
+  AlignedVector<double> y(static_cast<std::size_t>(a.rows()));
+  const auto id = svc.submit(a, x, 6);
+  const auto t_arm = std::chrono::steady_clock::now();
+  while (fault::Injector::instance().fired(fault::Point::kSweepStall) < 1) {
+    ASSERT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t_arm)
+                  .count(),
+              10.0)
+        << "sweep never reached the stall point";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(svc.cancel(id));
+  const auto t0 = std::chrono::steady_clock::now();
+  const RequestResult r = svc.wait(id, y);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), ErrorCode::kCancelled);
+  EXPECT_LT(waited, 1.2) << "force-completion must beat the stall";
+  EXPECT_EQ(svc.stats().quarantines, 1u);
+
+  // The quarantined plan is never served again: the next request for
+  // the same matrix rebuilds from scratch and succeeds.
+  fault::Injector::instance().reset();
+  const RequestResult r2 = svc.power(a, x, 3, y);
+  ASSERT_TRUE(r2.status.ok()) << r2.status.error().what();
+  EXPECT_FALSE(r2.cache_hit);
+  EXPECT_EQ(svc.stats().cache.misses, 2u);
+}
+
+TEST_F(ServiceTest, ExplicitCancelFailsTypedCancelled) {
+  const auto a = gen::make_laplacian_2d(40, 40);
+  const auto x = test_input(a.rows());
+  ServiceOptions opts;
+  opts.workers = 1;
+  MpkService svc(opts);
+
+  fault::Injector::instance().arm(fault::Point::kSweepStall, /*fires=*/4,
+                                  /*skip=*/0, /*stall_ms=*/80);
+  const MpkService::RequestId id = svc.submit(a, x, 6);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(svc.cancel(id));
+
+  AlignedVector<double> y(static_cast<std::size_t>(a.rows()));
+  const RequestResult r = svc.wait(id, y);
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), ErrorCode::kCancelled);
+  EXPECT_GE(svc.stats().cancelled, 1u);
+}
+
+TEST_F(ServiceTest, DegradationLadderFallsToSerialBitwiseEqual) {
+  const auto a = gen::make_laplacian_2d(24, 24);
+  const auto x = test_input(a.rows());
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.plan.sweep.sync = SweepSync::kPointToPoint;  // enable the engine rung
+  MpkService svc(opts);
+
+  // Two injected scratch-allocation failures knock out the engine and
+  // barrier rungs; the serial floor must still produce the exact
+  // result.
+  fault::Injector::instance().arm(fault::Point::kAlloc, /*fires=*/2);
+  AlignedVector<double> y(static_cast<std::size_t>(a.rows()));
+  const RequestResult r = svc.power(a, x, 4, y);
+  ASSERT_TRUE(r.status.ok()) << r.status.error().what();
+  EXPECT_EQ(r.rung, Rung::kSerial);
+  EXPECT_EQ(r.degrade_steps, 2);
+  expect_bitwise_equal(y, serial_oracle(a, x, 4, opts.plan));
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.degrade_engine_to_barrier, 1u);
+  EXPECT_EQ(st.degrade_barrier_to_serial, 1u);
+
+  // The rung is sticky per cached plan: with no faults armed the next
+  // request starts straight at the serial floor.
+  const RequestResult r2 = svc.power(a, x, 4, y);
+  ASSERT_TRUE(r2.status.ok());
+  EXPECT_EQ(r2.rung, Rung::kSerial);
+  EXPECT_EQ(r2.degrade_steps, 0);
+}
+
+TEST_F(ServiceTest, CorruptCacheEntryIsEvictedAndRebuilt) {
+  const auto a = gen::make_laplacian_2d(16, 16);
+  const auto x = test_input(a.rows());
+  ServiceOptions opts;
+  opts.workers = 1;
+  MpkService svc(opts);
+
+  AlignedVector<double> y(static_cast<std::size_t>(a.rows()));
+  ASSERT_TRUE(svc.power(a, x, 3, y).status.ok());
+  ASSERT_TRUE(svc.cache().corrupt_entry(fingerprint(a)));
+
+  // The damaged artifact fails its checksum on rehydration — it is
+  // never served; the entry is evicted and rebuilt.
+  const RequestResult r = svc.power(a, x, 3, y);
+  ASSERT_TRUE(r.status.ok()) << r.status.error().what();
+  EXPECT_FALSE(r.cache_hit);
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.cache.corrupt_evictions, 1u);
+  EXPECT_EQ(st.cache.misses, 2u);
+  expect_bitwise_equal(y, serial_oracle(a, x, 3, opts.plan));
+}
+
+TEST_F(ServiceTest, InjectedCorruptionFaultTriggersRebuildOnHitPath) {
+  const auto a = gen::make_laplacian_2d(16, 16);
+  const auto x = test_input(a.rows());
+  ServiceOptions opts;
+  opts.workers = 1;
+  MpkService svc(opts);
+
+  AlignedVector<double> y(static_cast<std::size_t>(a.rows()));
+  ASSERT_TRUE(svc.power(a, x, 2, y).status.ok());
+  fault::Injector::instance().arm(fault::Point::kCacheCorrupt, /*fires=*/1);
+  const RequestResult r = svc.power(a, x, 2, y);
+  ASSERT_TRUE(r.status.ok()) << r.status.error().what();
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(svc.stats().cache.corrupt_evictions, 1u);
+}
+
+TEST_F(ServiceTest, PrecisionCertificationFailureRebuildsAtFp64) {
+  const auto a = gen::make_laplacian_2d(16, 16);
+  const auto x = test_input(a.rows());
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.rebuild_fp64_on_cert_failure = true;
+  opts.plan.value_precision = ValuePrecision::kFp32;
+  MpkService svc(opts);
+
+  fault::Injector::instance().arm(fault::Point::kPrecisionCertify,
+                                  /*fires=*/1);
+  AlignedVector<double> y(static_cast<std::size_t>(a.rows()));
+  const RequestResult r = svc.power(a, x, 3, y);
+  ASSERT_TRUE(r.status.ok()) << r.status.error().what();
+  EXPECT_TRUE(r.precision_rebuilt);
+  EXPECT_EQ(svc.stats().precision_rebuilds, 1u);
+
+  // The fp64 rebuild serves full-precision results: bitwise equal to
+  // a serial fp64 oracle.
+  PlanOptions fp64 = opts.plan;
+  fp64.value_precision = ValuePrecision::kFp64;
+  expect_bitwise_equal(y, serial_oracle(a, x, 3, fp64));
+}
+
+TEST_F(ServiceTest, CertificationFailureWithoutOptInFailsTyped) {
+  const auto a = gen::make_laplacian_2d(12, 12);
+  const auto x = test_input(a.rows());
+  ServiceOptions opts;
+  opts.workers = 1;
+  MpkService svc(opts);
+
+  fault::Injector::instance().arm(fault::Point::kPrecisionCertify,
+                                  /*fires=*/1);
+  AlignedVector<double> y(static_cast<std::size_t>(a.rows()));
+  const RequestResult r = svc.power(a, x, 2, y);
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), ErrorCode::kNumericalBreakdown);
+}
+
+TEST_F(ServiceTest, MismatchedVectorLengthIsRejectedTyped) {
+  const auto a = gen::make_laplacian_2d(8, 8);
+  AlignedVector<double> x(static_cast<std::size_t>(a.rows()) - 1, 1.0);
+  AlignedVector<double> y(static_cast<std::size_t>(a.rows()));
+  MpkService svc;
+  const RequestResult r = svc.power(a, x, 2, y);
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), ErrorCode::kInvalidMatrix);
+}
+
+// Multi-client hammering: every request must finish with a correct
+// result or a typed error, across cache churn (capacity below the
+// working set) and concurrent submissions. Runs under the TSan CI job.
+TEST_F(ServiceTest, ServiceStressManyClientsTypedOutcomesOnly) {
+  std::vector<CsrMatrix<double>> mats;
+  mats.push_back(gen::make_laplacian_2d(12, 12));
+  mats.push_back(gen::make_laplacian_2d(16, 12));
+  mats.push_back(gen::make_laplacian_2d(20, 12));
+
+  ServiceOptions opts;
+  opts.workers = 3;
+  opts.cache_capacity = 2;  // below the working set: forced churn
+  opts.max_queue = 8;
+  MpkService svc(opts);
+
+  std::vector<AlignedVector<double>> oracles;
+  std::vector<AlignedVector<double>> inputs;
+  for (const auto& m : mats) {
+    inputs.push_back(test_input(m.rows()));
+    oracles.push_back(serial_oracle(m, inputs.back(), 3, opts.plan));
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 16;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      test::Xorshift64 rng(1000 + static_cast<std::uint64_t>(c));
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::size_t mi = rng.next() % mats.size();
+        AlignedVector<double> y(
+            static_cast<std::size_t>(mats[mi].rows()));
+        const RequestResult r = svc.power(mats[mi], inputs[mi], 3, y);
+        if (r.status.ok()) {
+          if (std::memcmp(y.data(), oracles[mi].data(),
+                          y.size() * sizeof(double)) != 0)
+            failures.fetch_add(1);
+        } else {
+          const ErrorCode code = r.status.code();
+          if (code != ErrorCode::kOverloaded &&
+              code != ErrorCode::kTimeout && code != ErrorCode::kCancelled)
+            failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.submitted, st.completed);
+  EXPECT_EQ(st.submitted,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+}
+
+}  // namespace
+}  // namespace fbmpk::service

@@ -191,5 +191,49 @@ TEST(Multigrid, SolveReachesTolerance) {
   expect_solved(p, x, 1e-5);
 }
 
+
+// The serving layer hands solvers a RunControl: a fired token must end
+// the iteration with the token's typed reason, not run out the budget.
+TEST(Cancellation, PcgStopsWithTypedReason) {
+  const auto p = grid_problem(20, 20, 7);
+  AlignedVector<double> x(p.b.size(), 0.0);
+  RunControl ctl;
+  ctl.request_cancel(ErrorCode::kTimeout);
+  SolveOptions opts;
+  opts.control = &ctl;
+  const auto r = pcg(p.a, p.b, x, identity_preconditioner(), opts);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.code, ErrorCode::kTimeout);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Cancellation, ChebyshevAndMultigridAndPowerMethodStopTyped) {
+  const auto p = grid_problem(16, 16, 9);
+  RunControl ctl;
+  ctl.request_cancel(ErrorCode::kCancelled);
+  SolveOptions opts;
+  opts.control = &ctl;
+
+  AlignedVector<double> x(p.b.size(), 0.0);
+  const auto [lo, hi] = gershgorin_interval(p.a);
+  const auto rc = chebyshev_iteration(p.a, p.b, x, std::max(lo, 1e-8), hi,
+                                      opts);
+  EXPECT_TRUE(rc.cancelled);
+  EXPECT_EQ(rc.code, ErrorCode::kCancelled);
+
+  const auto mg = TwoLevelMultigrid::build(p.a);
+  std::fill(x.begin(), x.end(), 0.0);
+  const auto rm = mg.solve(p.b, x, opts);
+  EXPECT_TRUE(rm.cancelled);
+  EXPECT_EQ(rm.code, ErrorCode::kCancelled);
+
+  auto plan = MpkPlan::build(p.a);
+  AlignedVector<double> v = test::random_vector(p.a.rows(), 11);
+  const auto re = power_method(p.a, plan, v, 4, opts);
+  EXPECT_TRUE(re.cancelled);
+  EXPECT_EQ(re.code, ErrorCode::kCancelled);
+}
+
 }  // namespace
 }  // namespace fbmpk::solvers

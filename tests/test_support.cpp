@@ -188,6 +188,9 @@ TEST(Error, CodeNamesAreStable) {
                "version_mismatch");
   EXPECT_STREQ(error_code_name(ErrorCode::kNumericalBreakdown),
                "numerical_breakdown");
+  EXPECT_STREQ(error_code_name(ErrorCode::kTimeout), "timeout");
+  EXPECT_STREQ(error_code_name(ErrorCode::kOverloaded), "overloaded");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCancelled), "cancelled");
 }
 
 TEST(Expected, HoldsValueOrError) {

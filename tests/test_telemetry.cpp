@@ -260,7 +260,7 @@ TEST(TelemetryExport, TraceCarriesEventsAndVersionedMetrics) {
 
   EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(out.find("\"fbmpkMetrics\""), std::string::npos);
-  EXPECT_NE(out.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(out.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(out.find("\"name\": \"F\""), std::string::npos);
   EXPECT_NE(out.find("\"color\": 2"), std::string::npos);
   EXPECT_NE(out.find("\"test.counter\": 9"), std::string::npos);
@@ -363,9 +363,15 @@ TEST(TelemetryHw, GroupConstructsAndReportsAvailabilityEverywhere) {
   if (group.available()) {
     group.start();
     const telemetry::HwCounts counts = group.stop();
-    if (avail.task_clock) EXPECT_GE(counts.task_clock_ns, 0);
-    if (avail.cycles) EXPECT_GE(counts.cycles, 0);
-    if (!avail.traffic()) EXPECT_LT(counts.memory_bytes(), 0);
+    if (avail.task_clock) {
+      EXPECT_GE(counts.task_clock_ns, 0);
+    }
+    if (avail.cycles) {
+      EXPECT_GE(counts.cycles, 0);
+    }
+    if (!avail.traffic()) {
+      EXPECT_LT(counts.memory_bytes(), 0);
+    }
   }
 }
 

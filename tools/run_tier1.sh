@@ -32,10 +32,17 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   echo "== tier-1: Debug + ${SANITIZE} sanitizer pass =="
   export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=0}"
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-suppressions=$PWD/.tsan-suppressions halt_on_error=1}"
   run_suite "build-sanitize" \
     -DCMAKE_BUILD_TYPE=Debug \
     -DFBMPK_SANITIZE="$SANITIZE" \
     -DFBMPK_BUILD_BENCH=OFF
+  # Randomized fault-injection soak under the same sanitizer: the chaos
+  # schedule reaches lifetime/race interleavings the unit tests can't
+  # (see tools/fbmpk_soak.cpp for the pass contract).
+  echo "== tier-1: ${SANITIZE} fault-injection soak =="
+  "build-sanitize/tools/fbmpk_soak" --seconds="${FBMPK_SOAK_SECONDS:-20}" \
+    --seed="${FBMPK_SOAK_SEED:-1}" --clients=4 --workers=3
 fi
 
 echo "== tier-1: all checks passed =="
