@@ -6,7 +6,7 @@
 //                   [--autotune-k=5] [--backend=auto|scalar|avx2|avx512]
 //                   [--index-compress] [--prefetch-dist=16]
 //   fbmpk_cli info  --plan=plan.bin
-//   fbmpk_cli power --plan=plan.bin --k=5 [--x=x.txt] [--out=y.txt]
+//   fbmpk_cli power --plan=plan.bin --k=5 [--nvec=1] [--x=x.txt] [--out=y.txt]
 //   fbmpk_cli poly  --plan=plan.bin --coeffs=1,0.5,0.25 [--x=...] [--out=...]
 //
 // Every command additionally accepts --telemetry=<file>[,hw]: enable the
@@ -110,7 +110,7 @@ struct TelemetrySession {
 
   /// Attach the analytic traffic prediction for an upcoming k-power run
   /// so the export can report measured-vs-modeled deviation.
-  void expect_traffic(const MpkPlan& plan, int k) {
+  void expect_traffic(const MpkPlan& plan, int k, int nvec = 1) {
     if (!on) return;
     const auto& split = plan.split();
     perf::MatrixShape shape;
@@ -127,7 +127,7 @@ struct TelemetrySession {
     meta.traffic.runs = 1;
     meta.traffic.modeled_bytes = static_cast<double>(
         perf::fbmpk_traffic_mixed(shape, k, col_bytes,
-                                  plan.options().value_precision)
+                                  plan.options().value_precision, nvec)
             .total());
   }
 
@@ -306,13 +306,47 @@ int cmd_info(const Args& args) {
 int cmd_power(const Args& args) {
   auto plan = load_plan_file(need(args, "plan"));
   const int k = std::stoi(need(args, "k"));
+  const int nvec = std::stoi(get(args, "nvec", "1"));
+  FBMPK_CHECK_MSG(nvec >= 1, "--nvec must be >= 1");
   const auto x = load_or_make_x(args, plan.rows());
-  AlignedVector<double> y(x.size());
-  g_telemetry.expect_traffic(plan, k);
+  if (nvec == 1) {
+    AlignedVector<double> y(x.size());
+    g_telemetry.expect_traffic(plan, k);
+    Timer t;
+    plan.power(x, k, y);
+    std::printf("A^%d x computed in %.2f ms\n", k, t.milliseconds());
+    emit_result(args, y);
+    return 0;
+  }
+  // Batched run over nvec right-hand sides: lane 0 is the loaded (or
+  // default) x — its --out bytes match a --nvec=1 run — and lanes 1..
+  // are deterministic variants, so the run exercises the multi-vector
+  // sweep end to end.
+  std::vector<AlignedVector<double>> xs(static_cast<std::size_t>(nvec));
+  std::vector<AlignedVector<double>> ys(static_cast<std::size_t>(nvec));
+  std::vector<const double*> xp(static_cast<std::size_t>(nvec));
+  std::vector<double*> yp(static_cast<std::size_t>(nvec));
+  xs[0] = x;
+  for (int b = 1; b < nvec; ++b) {
+    Rng rng(static_cast<std::uint64_t>(b) + 1);
+    xs[static_cast<std::size_t>(b)].resize(x.size());
+    for (auto& e : xs[static_cast<std::size_t>(b)])
+      e = rng.next_double(-1.0, 1.0);
+  }
+  for (int b = 0; b < nvec; ++b) {
+    ys[static_cast<std::size_t>(b)].resize(x.size());
+    xp[static_cast<std::size_t>(b)] = xs[static_cast<std::size_t>(b)].data();
+    yp[static_cast<std::size_t>(b)] = ys[static_cast<std::size_t>(b)].data();
+  }
+  g_telemetry.expect_traffic(plan, k, nvec);
   Timer t;
-  plan.power(x, k, y);
-  std::printf("A^%d x computed in %.2f ms\n", k, t.milliseconds());
-  emit_result(args, y);
+  const Status st = plan.try_power_batch(xp.data(),
+                                         static_cast<index_t>(nvec), k,
+                                         yp.data());
+  st.value();  // rethrow a typed failure as the usual CLI error path
+  std::printf("A^%d x computed for %d vectors in %.2f ms\n", k, nvec,
+              t.milliseconds());
+  emit_result(args, ys[0]);
   return 0;
 }
 
@@ -354,6 +388,11 @@ int cmd_serve(const Args& args) {
   sopts.max_queue =
       static_cast<std::size_t>(std::stoul(get(args, "queue", "16")));
   sopts.default_deadline_seconds = std::stod(get(args, "deadline", "0"));
+  // Request coalescing: workers gather same-(matrix, k) requests under
+  // the window into one multi-vector sweep (docs/SERVICE.md).
+  sopts.max_batch =
+      static_cast<std::size_t>(std::stoul(get(args, "max-batch", "1")));
+  sopts.batch_window_us = std::stod(get(args, "batch-window-us", "0"));
   service::MpkService svc(sopts);
 
   const auto x = load_or_make_x(args, a.rows());
@@ -401,6 +440,10 @@ int cmd_serve(const Args& args) {
               static_cast<unsigned long long>(st.rejected_overload),
               static_cast<unsigned long long>(st.timeouts),
               static_cast<unsigned long long>(st.cancelled));
+  if (sopts.max_batch > 1)
+    std::printf("batching: %llu batched sweeps, %llu requests coalesced\n",
+                static_cast<unsigned long long>(st.batches),
+                static_cast<unsigned long long>(st.batch_coalesced));
   return st.submitted == st.completed ? 0 : 1;
 }
 
@@ -417,11 +460,13 @@ int main(int argc, char** argv) {
                  " [--index-compress] [--prefetch-dist=16]\n"
                  "        [--precision=fp64|fp32|split]\n"
                  "  info  --plan=plan.bin\n"
-                 "  power --plan=plan.bin --k=5 [--x=x.txt] [--out=y.txt]\n"
+                 "  power --plan=plan.bin --k=5 [--nvec=1] [--x=x.txt]"
+                 " [--out=y.txt]\n"
                  "  poly  --plan=plan.bin --coeffs=1,0.5 [--x=] [--out=]\n"
                  "  serve --matrix=suite:...|file:... [--requests=32]"
                  " [--clients=2] [--workers=2]\n"
                  "        [--k=4] [--deadline=0] [--cache=4] [--queue=16]\n"
+                 "        [--max-batch=1] [--batch-window-us=0]\n"
                  "  any command also takes --telemetry=<file>[,hw]\n",
                  argv[0]);
     return 2;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <new>
 
+#include "kernels/fb_batch.hpp"
 #include "kernels/fbmpk_parallel.hpp"
 #include "support/timer.hpp"
 #include "telemetry/telemetry.hpp"
@@ -309,6 +310,153 @@ Status MpkPlan::try_power(std::span<const double> x, int k,
   } catch (const std::bad_alloc&) {
     return Status(FBMPK_MAKE_ERROR(ErrorCode::kResourceLimit,
                                    "allocation failed during sweep"));
+  }
+}
+
+/// One B-wide chunk of a batched power: gather lanes straight from the
+/// request buffers (permutation applied inline), run the pipeline over
+/// Pack<double, B> iterates, scatter each lane's final power straight
+/// back to its ys[b]. Workspaces are per-call: the batched iterate
+/// array is a different shape per B, so sharing the plan Workspace
+/// would thrash its single-vector buffers.
+template <int B>
+Status MpkPlan::run_power_batch_chunk(const double* const* xs, int k,
+                                      double* const* ys, ExecPath path,
+                                      RunControl* ctl) const {
+  using P = Pack<double, B>;
+  const Permutation* perm = perm_.is_identity() ? nullptr : &perm_;
+  const BatchX0<B> x0{xs, perm, n_};
+  auto emit = [&](int p, index_t i, const P& v) {
+    if (p != k) return;
+    const index_t dst = perm == nullptr ? i : perm->old_of(i);
+    for (int b = 0; b < B; ++b) ys[b][dst] = v.v[b];
+  };
+
+  if (path == ExecPath::kSerial || !opts_.parallel ||
+      (path == ExecPath::kDefault && opts_.scheduler == Scheduler::kLevels)) {
+    // Serial batched sweep (also the batched form of a level-scheduled
+    // plan — the level kernel has no batched twin, and serial issues
+    // exactly the same per-row operations). Cancellation unwinds via a
+    // typed Error from the emit wrapper, as in run_power_path.
+    FbWorkspace<P> fbws;
+    int last_p = 0;
+    auto cemit = [&](int p, index_t i, const P& v) {
+      if (ctl != nullptr) {
+        if (p != last_p) {
+          last_p = p;
+          (void)ctl->checkpoint();
+        }
+        if (ctl->cancelled())
+          throw Error(ctl->cancel_reason(), "batched serial sweep cancelled");
+      }
+      emit(p, i, v);
+    };
+    if (use_dispatch())
+      fbmpk_sweep_btb_fast(split_,
+                           make_batch_dispatch_rows<B>(
+                               split_, opts_.index_compress ? &packed_ : nullptr,
+                               &values_, batch_row_kernels(resolved_backend_),
+                               opts_.prefetch_dist),
+                           x0, k, fbws, cemit);
+    else
+      fbmpk_sweep_btb_fast(split_, BatchScalarRows<B>(split_), x0, k, fbws,
+                           cemit);
+    return Status();
+  }
+
+  const bool engine = path == ExecPath::kEngine ||
+                      (path == ExecPath::kDefault && use_engine());
+  const auto run = [&](const auto& rows) {
+    if (engine) {
+      SweepWorkspace<P> swws;
+      // Per-call workspace: skip the NUMA warm pass (the matrix arrays
+      // are typically resident from prior single-vector runs, and the
+      // head stage first-touches xy regardless).
+      swws.resize(n_);
+      swws.warmed = true;
+      fbmpk_engine_sweep_rows(split_, schedule_, sweep_schedule_, rows, x0, k,
+                              swws, emit, opts_.sweep.pin_threads, ctl);
+    } else {
+      FbWorkspace<P> fbws;
+      fbmpk_parallel_sweep_rows(split_, schedule_, rows, x0, k, fbws, emit,
+                                ctl);
+    }
+  };
+  if (use_dispatch())
+    run(make_batch_dispatch_rows<B>(
+        split_, opts_.index_compress ? &packed_ : nullptr, &values_,
+        batch_row_kernels(resolved_backend_), opts_.prefetch_dist));
+  else
+    run(BatchScalarRows<B>(split_));
+  return Status();
+}
+
+Status MpkPlan::try_power_batch(const double* const* xs, index_t nvec, int k,
+                                double* const* ys, ExecPath path,
+                                RunControl* ctl) const {
+  try {
+    FBMPK_CHECK(xs != nullptr && ys != nullptr);
+    FBMPK_CHECK(nvec >= 1);
+    FBMPK_CHECK(k >= 0);
+    if (path == ExecPath::kEngine || path == ExecPath::kBarrier) {
+      FBMPK_CHECK_CODE(
+          opts_.parallel && opts_.scheduler == Scheduler::kAbmc &&
+              !schedule_.block_ptr.empty(),
+          ErrorCode::kUnsupported,
+          "engine/barrier execution override needs an ABMC-scheduled "
+          "parallel plan");
+      FBMPK_CHECK_CODE(path != ExecPath::kEngine || use_engine(),
+                       ErrorCode::kUnsupported,
+                       "plan carries no point-to-point sweep schedule");
+    }
+    if (ctl != nullptr && ctl->cancelled())
+      return Status(FBMPK_MAKE_ERROR(ctl->cancel_reason(),
+                                     "request cancelled before execution"));
+    FBMPK_TSPAN_ARGS(kSweep, "plan.try_power_batch", {.k = k});
+
+    if (k == 0) {
+      for (index_t b = 0; b < nvec; ++b)
+        std::copy(xs[b], xs[b] + n_, ys[b]);
+      return Status();
+    }
+
+    index_t done = 0;
+    while (done < nvec) {
+      const index_t rem = nvec - done;
+      Status st;
+      index_t width;
+      if (rem >= 16) {
+        width = 16;
+        st = run_power_batch_chunk<16>(xs + done, k, ys + done, path, ctl);
+      } else if (rem >= 8) {
+        width = 8;
+        st = run_power_batch_chunk<8>(xs + done, k, ys + done, path, ctl);
+      } else if (rem >= 4) {
+        width = 4;
+        st = run_power_batch_chunk<4>(xs + done, k, ys + done, path, ctl);
+      } else if (rem >= 2) {
+        width = 2;
+        st = run_power_batch_chunk<2>(xs + done, k, ys + done, path, ctl);
+      } else {
+        // Width 1 stays on the batch kernels (not try_power): the
+        // per-lane contract is "bitwise equal to the exact scalar
+        // accumulation order", and the single-vector path of a SIMD
+        // backend uses its own reduction shape.
+        width = 1;
+        st = run_power_batch_chunk<1>(xs + done, k, ys + done, path, ctl);
+      }
+      if (!st.ok()) return st;
+      if (ctl != nullptr && ctl->cancelled())
+        return Status(FBMPK_MAKE_ERROR(
+            ctl->cancel_reason(), "batched sweep cancelled at a chunk boundary"));
+      done += width;
+    }
+    return Status();
+  } catch (const Error& e) {
+    return Status(e);
+  } catch (const std::bad_alloc&) {
+    return Status(FBMPK_MAKE_ERROR(ErrorCode::kResourceLimit,
+                                   "allocation failed during batched sweep"));
   }
 }
 

@@ -231,6 +231,21 @@ class MpkPlan {
                    Workspace& ws, ExecPath path = ExecPath::kDefault,
                    RunControl* ctl = nullptr) const;
 
+  /// Batched right-hand sides: ys[b] = A^k xs[b] for b in [0, nvec) in
+  /// multi-vector sweeps over the xy[2·B·n] interleaved layout, so the
+  /// triangles are read once per chunk instead of once per vector.
+  /// nvec is chunked greedily over widths {16, 8, 4, 2, 1}; each lane's
+  /// result is bitwise identical to the serial scalar-backend sweep of
+  /// that vector alone at the same stored precision (the batch kernels
+  /// replicate the exact per-lane accumulation order for every backend
+  /// and schedule). Inputs are gathered straight from xs and scattered
+  /// straight to ys — no staging copies. Same Status contract as
+  /// try_power; on cancellation the ys are unspecified. Allocates its
+  /// own per-call workspace, so concurrent calls on one plan are safe.
+  Status try_power_batch(const double* const* xs, index_t nvec, int k,
+                         double* const* ys, ExecPath path = ExecPath::kDefault,
+                         RunControl* ctl = nullptr) const;
+
   /// out[p*n + i] = (A^p x)[i] for p in [0, k] (row-major basis).
   void power_all(std::span<const double> x, int k, std::span<double> out,
                  Workspace& ws) const;
@@ -292,6 +307,10 @@ class MpkPlan {
   void run_power_path(std::span<const double> px, int k,
                       std::span<double> py, Workspace& ws, ExecPath path,
                       RunControl* ctl) const;
+  template <int B>
+  Status run_power_batch_chunk(const double* const* xs, int k,
+                               double* const* ys, ExecPath path,
+                               RunControl* ctl) const;
   void run_power_all(std::span<const double> px, int k,
                      std::span<double> pout, Workspace& ws) const;
   void run_polynomial(std::span<const double> coeffs,

@@ -57,6 +57,7 @@ CsrMatrix<double> make_kkt_saddle(index_t nx, index_t ny, index_t nz,
     for (index_t e = 0; e < count; ++e) {
       index_t col = anchor + static_cast<index_t>(rng.next_below(64));
       if (col >= n) col = n - 1 - static_cast<index_t>(rng.next_below(64));
+      if (col < 0) col = 0;  // meshes smaller than the window underflow
       const double v = rng.next_double(-1.0, 1.0);
       coo.add(row, col, v);
       coo.add(col, row, v);

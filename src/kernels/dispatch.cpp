@@ -1346,6 +1346,24 @@ const RowOps& row_kernels(KernelBackend backend) {
              "kernel backend " << backend_name(b) << " not compiled in");
 }
 
+namespace detail {
+// Defined in dispatch_batch.cpp — compiled with the default global
+// flags so per-lane FMA-contraction decisions match the scalar twins.
+const BatchRowOps& portable_batch_ops();
+}  // namespace detail
+
+const BatchRowOps& batch_row_kernels(KernelBackend backend) {
+  const KernelBackend b = resolve_backend(backend);
+  FBMPK_CHECK_CODE(backend_available(b), ErrorCode::kUnsupported,
+                   "kernel backend " << backend_name(b)
+                                     << " not supported on this CPU");
+  // All backends share the portable lane-vectorized table: batching
+  // replaces the single-vector gathers with unit-stride lane loads, so
+  // there is no ISA-specific variant left to dispatch on — the
+  // compiler vectorizes the lane loops at the build's target ISA.
+  return detail::portable_batch_ops();
+}
+
 const char* backend_name(KernelBackend backend) {
   switch (backend) {
     case KernelBackend::kAuto:

@@ -97,9 +97,82 @@ struct RowOps {
                              double& s);
 };
 
+/// Widest batched-lane chunk the multi-vector sweeps instantiate.
+/// Larger request batches are chunked greedily over {16, 8, 4, 2, 1}.
+inline constexpr index_t kMaxBatch = 16;
+
+/// Batched (multi right-hand-side) row-dot table. Mirrors RowOps entry
+/// for entry, but the iterate array is the xy[2·B·n] vector-major
+/// layout (row c's even lanes at xy[2·B·c + b], odd lanes at
+/// xy[2·B·c + B + b]), `nvec` is the lane count B ≤ kMaxBatch, and the
+/// accumulators are lane arrays of length B.
+///
+/// Numerical contract: every entry keeps the scalar exact accumulation
+/// order *per lane* — only the lane dimension is vectorized (one
+/// gathered row slot feeds B unit-stride FMA pairs). Lane b of a
+/// batched sweep is therefore bitwise identical to the B=1 exact sweep
+/// of that lane's vector at the same stored precision, for every
+/// backend. This is why one portable table serves all backends: the
+/// gather elimination is ISA-independent, and the compiler vectorizes
+/// the unit-stride lane loops at whatever ISA the build targets.
+struct BatchRowOps {
+  /// s0[b] += row·xy_even lane b, s1[b] += row·xy_odd lane b.
+  void (*dot2_btb_bat)(const index_t* col, const double* val, index_t len,
+                       const double* xy, index_t nvec, int prefetch,
+                       double* s0, double* s1);
+  /// s[b] += row·xy lane b of the even (0) / odd (1) stream.
+  void (*dot1_btb_bat)(const index_t* col, const double* val, index_t len,
+                       const double* xy, index_t nvec, int offset,
+                       int prefetch, double* s);
+  void (*dot2_btb_u16_bat)(const std::uint16_t* col, const double* val,
+                           index_t len, index_t base, const double* xy,
+                           index_t nvec, int prefetch, double* s0,
+                           double* s1);
+  void (*dot1_btb_u16_bat)(const std::uint16_t* col, const double* val,
+                           index_t len, index_t base, const double* xy,
+                           index_t nvec, int offset, int prefetch, double* s);
+
+  void (*dot2_btb_f32_bat)(const index_t* col, const float* val, index_t len,
+                           const double* xy, index_t nvec, int prefetch,
+                           double* s0, double* s1);
+  void (*dot1_btb_f32_bat)(const index_t* col, const float* val, index_t len,
+                           const double* xy, index_t nvec, int offset,
+                           int prefetch, double* s);
+  void (*dot2_btb_u16_f32_bat)(const std::uint16_t* col, const float* val,
+                               index_t len, index_t base, const double* xy,
+                               index_t nvec, int prefetch, double* s0,
+                               double* s1);
+  void (*dot1_btb_u16_f32_bat)(const std::uint16_t* col, const float* val,
+                               index_t len, index_t base, const double* xy,
+                               index_t nvec, int offset, int prefetch,
+                               double* s);
+
+  void (*dot2_btb_split_bat)(const index_t* col, const float* hi,
+                             const float* lo, index_t len, const double* xy,
+                             index_t nvec, int prefetch, double* s0,
+                             double* s1);
+  void (*dot1_btb_split_bat)(const index_t* col, const float* hi,
+                             const float* lo, index_t len, const double* xy,
+                             index_t nvec, int offset, int prefetch,
+                             double* s);
+  void (*dot2_btb_u16_split_bat)(const std::uint16_t* col, const float* hi,
+                                 const float* lo, index_t len, index_t base,
+                                 const double* xy, index_t nvec, int prefetch,
+                                 double* s0, double* s1);
+  void (*dot1_btb_u16_split_bat)(const std::uint16_t* col, const float* hi,
+                                 const float* lo, index_t len, index_t base,
+                                 const double* xy, index_t nvec, int offset,
+                                 int prefetch, double* s);
+};
+
 /// Kernel table for a concrete backend (kAuto is resolved first).
 /// Asks for an unavailable backend -> throws kUnsupported.
 const RowOps& row_kernels(KernelBackend backend);
+
+/// Batched kernel table for a backend. Validates availability exactly
+/// like row_kernels; every backend currently shares the portable
+/// lane-vectorized table (see BatchRowOps contract above).
+const BatchRowOps& batch_row_kernels(KernelBackend backend);
 
 /// Resolve kAuto to the widest backend this CPU supports (cached after
 /// the first call). Honors the FBMPK_BACKEND environment override when

@@ -150,6 +150,104 @@ inline void row_dot1_btb(const index_t* col, const T* val, index_t lo,
   s += (a + b) + (c2 + d2);
 }
 
+// ---------------------------------------------------------------------------
+// Batched (multi right-hand-side) twins. The iterate array generalizes
+// from xy[2n] to xy[2·B·n], vector-major within each row slot: row c's
+// B even-iterate lanes live at xy[2·B·c + b] and its B odd lanes at
+// xy[2·B·c + B + b]. Each lane replicates the scalar helpers' exact
+// accumulation order (the same four independent partials, remainder
+// into partial 0, the same final reduction tree), and lanes never mix —
+// so lane b of a batched sweep is bitwise identical to a B=1 sweep of
+// that lane's vector. The per-lane loops are unit-stride, which is what
+// the compiler auto-vectorizes across lanes (no gathers needed: one
+// gathered row slot feeds B FMA pairs).
+//
+// Untraced on purpose: the batched path exists for throughput serving,
+// not for the cache-simulator studies the traced single-vector sweeps
+// feed.
+// ---------------------------------------------------------------------------
+
+/// Batched BtB dot pair: s0[b] += row·xy_even lane b, s1[b] += row·xy_odd
+/// lane b. `s0`/`s1` point at B lane accumulators.
+///
+/// noinline: each instantiation must exist exactly once in the binary.
+/// When these bodies inline into the serial, barrier, and engine sweep
+/// pipelines separately, the optimizer makes an independent FMA-
+/// contraction choice per inlining context (-ffp-contract defaults
+/// contract when the target has FMA), and those choices were observed
+/// to disagree — breaking the lane-vs-oracle bitwise contract on
+/// -march=x86-64-v3 builds. One out-of-line copy means one decision.
+template <int B, class T>
+[[gnu::noinline]] inline void row_dot2_btb_bat(const index_t* col,
+                                               const T* val, index_t lo,
+                                               index_t hi, const T* xy, T* s0,
+                                               T* s1) {
+  static_assert(B >= 1);
+  T a0[B]{}, a1[B]{}, b0[B]{}, b1[B]{}, c0s[B]{}, c1s[B]{}, d0[B]{}, d1[B]{};
+  index_t j = lo;
+  for (; j + 3 < hi; j += 4) {
+    const T* pa = xy + 2 * B * col[j];
+    const T* pb = xy + 2 * B * col[j + 1];
+    const T* pc = xy + 2 * B * col[j + 2];
+    const T* pd = xy + 2 * B * col[j + 3];
+    const T v0 = val[j];
+    const T v1 = val[j + 1];
+    const T v2 = val[j + 2];
+    const T v3 = val[j + 3];
+    for (int b = 0; b < B; ++b) a0[b] += v0 * pa[b];
+    for (int b = 0; b < B; ++b) a1[b] += v0 * pa[B + b];
+    for (int b = 0; b < B; ++b) b0[b] += v1 * pb[b];
+    for (int b = 0; b < B; ++b) b1[b] += v1 * pb[B + b];
+    for (int b = 0; b < B; ++b) c0s[b] += v2 * pc[b];
+    for (int b = 0; b < B; ++b) c1s[b] += v2 * pc[B + b];
+    for (int b = 0; b < B; ++b) d0[b] += v3 * pd[b];
+    for (int b = 0; b < B; ++b) d1[b] += v3 * pd[B + b];
+  }
+  for (; j < hi; ++j) {
+    const T* p = xy + 2 * B * col[j];
+    const T v = val[j];
+    for (int b = 0; b < B; ++b) a0[b] += v * p[b];
+    for (int b = 0; b < B; ++b) a1[b] += v * p[B + b];
+  }
+  for (int b = 0; b < B; ++b) {
+    s0[b] += (a0[b] + b0[b]) + (c0s[b] + d0[b]);
+    s1[b] += (a1[b] + b1[b]) + (c1s[b] + d1[b]);
+  }
+}
+
+/// Batched single BtB dot: s[b] += row·xy lane b of the even (offset 0)
+/// or odd (offset 1) stream. noinline: see row_dot2_btb_bat.
+template <int B, class T>
+[[gnu::noinline]] inline void row_dot1_btb_bat(const index_t* col,
+                                               const T* val, index_t lo,
+                                               index_t hi, const T* xy,
+                                               int offset, T* s) {
+  static_assert(B >= 1);
+  const int off = offset * B;
+  T a[B]{}, b2[B]{}, c2[B]{}, d2[B]{};
+  index_t j = lo;
+  for (; j + 3 < hi; j += 4) {
+    const T* pa = xy + 2 * B * col[j] + off;
+    const T* pb = xy + 2 * B * col[j + 1] + off;
+    const T* pc = xy + 2 * B * col[j + 2] + off;
+    const T* pd = xy + 2 * B * col[j + 3] + off;
+    const T v0 = val[j];
+    const T v1 = val[j + 1];
+    const T v2 = val[j + 2];
+    const T v3 = val[j + 3];
+    for (int b = 0; b < B; ++b) a[b] += v0 * pa[b];
+    for (int b = 0; b < B; ++b) b2[b] += v1 * pb[b];
+    for (int b = 0; b < B; ++b) c2[b] += v2 * pc[b];
+    for (int b = 0; b < B; ++b) d2[b] += v3 * pd[b];
+  }
+  for (; j < hi; ++j) {
+    const T* p = xy + 2 * B * col[j] + off;
+    const T v = val[j];
+    for (int b = 0; b < B; ++b) a[b] += v * p[b];
+  }
+  for (int b = 0; b < B; ++b) s[b] += (a[b] + b2[b]) + (c2[b] + d2[b]);
+}
+
 /// Single dot against a plain array: s += row·x.
 template <class T, MemoryTracer Tr>
 inline void row_dot1_plain(const index_t* col, const T* val, index_t lo,

@@ -220,10 +220,17 @@ inline DispatchRows make_dispatch_rows(const TriangularSplit<double>& s,
 
 /// Serial fast sweep — fbmpk_sweep_btb's pipeline with dispatched row
 /// dots. emit(p, i, v) fires once per power p in [1, k], row i.
-template <class Rows, class Emit>
+///
+/// Generic over the iterate element TI: double for single-vector runs,
+/// Pack<double, B> for batched multi-vector runs (the xy array then IS
+/// the raw xy[2·B·n] vector-major layout). `x0` only needs size() and
+/// operator[] returning something convertible to TI — a span for the
+/// single-vector case, a gather adapter reading straight from request
+/// buffers for the batched case (no staging copy).
+template <class TI, class Rows, class X0, class Emit>
 void fbmpk_sweep_btb_fast(const TriangularSplit<double>& s, const Rows& rows,
-                          std::span<const double> x0, int k,
-                          FbWorkspace<double>& ws, Emit&& emit) {
+                          const X0& x0, int k, FbWorkspace<TI>& ws,
+                          Emit&& emit) {
   const index_t n = s.lower.rows();
   FBMPK_CHECK(s.upper.rows() == n &&
               s.diag.size() == static_cast<std::size_t>(n));
@@ -231,12 +238,12 @@ void fbmpk_sweep_btb_fast(const TriangularSplit<double>& s, const Rows& rows,
   FBMPK_CHECK(k >= 1);
   ws.resize(n);
 
-  double* xy = ws.xy.data();
-  double* tmp = ws.tmp.data();
+  TI* xy = ws.xy.data();
+  TI* tmp = ws.tmp.data();
 
   for (index_t i = 0; i < n; ++i) xy[2 * i] = x0[i];
   for (index_t i = 0; i < n; ++i) {
-    double sum{};
+    TI sum{};
     rows.u_dot1(i, xy, 0, sum);
     tmp[i] = sum;
   }
@@ -248,19 +255,19 @@ void fbmpk_sweep_btb_fast(const TriangularSplit<double>& s, const Rows& rows,
 
     for (index_t i = 0; i < n; ++i) {
       const double di = rows.diag(i);
-      double sum0 = tmp[i] + di * xy[2 * i];
-      double sum1{};
+      TI sum0 = madd(di, xy[2 * i], tmp[i]);
+      TI sum1{};
       rows.l_dot2(i, xy, sum0, sum1);
       xy[2 * i + 1] = sum0;
       emit(p_odd, i, sum0);
-      tmp[i] = sum1 + di * sum0;
+      tmp[i] = madd(di, sum0, sum1);
     }
 
     const bool prime_next = !(it == pairs - 1 && k % 2 == 0);
     if (prime_next) {
       for (index_t i = n; i-- > 0;) {
-        double sum0 = tmp[i];
-        double sum1{};
+        TI sum0 = tmp[i];
+        TI sum1{};
         // dot2 accumulates (even, odd); backward wants sum0 += odd,
         // sum1 += even — same output swap as the exact sweep.
         rows.u_dot2(i, xy, sum1, sum0);
@@ -270,7 +277,7 @@ void fbmpk_sweep_btb_fast(const TriangularSplit<double>& s, const Rows& rows,
       }
     } else {
       for (index_t i = n; i-- > 0;) {
-        double sum0 = tmp[i];
+        TI sum0 = tmp[i];
         rows.u_dot1(i, xy, 1, sum0);
         xy[2 * i] = sum0;
         emit(p_even, i, sum0);
@@ -280,7 +287,7 @@ void fbmpk_sweep_btb_fast(const TriangularSplit<double>& s, const Rows& rows,
 
   if (k % 2 == 1) {
     for (index_t i = 0; i < n; ++i) {
-      double sum = tmp[i] + rows.diag(i) * xy[2 * i];
+      TI sum = madd(rows.diag(i), xy[2 * i], tmp[i]);
       rows.l_dot1(i, xy, 0, sum);
       emit(k, i, sum);
     }

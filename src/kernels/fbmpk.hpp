@@ -36,6 +36,58 @@
 
 namespace fbmpk {
 
+/// Fixed-width lane pack: the iterate element of a batched (multi
+/// right-hand-side) sweep. Standard layout with no padding, so an
+/// FbWorkspace<Pack<double, B>>::xy array IS the raw xy[2·B·n]
+/// vector-major interleaved layout: row slot i's B even-iterate lanes
+/// occupy doubles [2·B·i, 2·B·i + B) and its odd lanes
+/// [2·B·i + B, 2·B·i + 2B). Arithmetic is elementwise, so each lane
+/// follows exactly the scalar pipeline's operation order and a batched
+/// sweep's lane b is bitwise identical to the B=1 sweep of that lane.
+template <class T, int B>
+struct Pack {
+  T v[B];
+
+  Pack& operator+=(const Pack& o) {
+    for (int b = 0; b < B; ++b) v[b] += o.v[b];
+    return *this;
+  }
+  friend Pack operator+(Pack a, const Pack& b) {
+    for (int i = 0; i < B; ++i) a.v[i] += b.v[i];
+    return a;
+  }
+  friend Pack operator*(T s, Pack a) {
+    for (int i = 0; i < B; ++i) a.v[i] = s * a.v[i];
+    return a;
+  }
+};
+static_assert(sizeof(Pack<double, 4>) == 4 * sizeof(double));
+
+/// a + s·x with the multiply-add as ONE expression per lane. The sweep
+/// pipelines must use this — never `a + s * x` through the Pack
+/// operators — for the iterate updates: operator temporaries split the
+/// shape across statements, where FMA contraction under -ffp-contract
+/// defaults is at the optimizer's whim and was observed to diverge
+/// between the serial and the parallel instantiations of the same
+/// template. Expression-local contraction is uniform for the scalar
+/// form, so every pipeline makes the same decision per build.
+///
+/// The Pack overload is additionally noinline: even as a single
+/// expression per lane, the lane loop inlined into three different
+/// sweep pipelines gave the optimizer three independent shots at the
+/// contract-or-not choice, and the engine's Pack<double,2> copy was
+/// observed to disagree with the others on -march=x86-64-v3. One
+/// out-of-line copy per (T, B) means one choice, shared by every
+/// pipeline — load-bearing for the batched bitwise contract.
+inline double madd(double s, double x, double a) { return a + s * x; }
+template <class T, int B>
+[[gnu::noinline]] inline Pack<T, B> madd(T s, const Pack<T, B>& x,
+                                         const Pack<T, B>& a) {
+  Pack<T, B> r;
+  for (int b = 0; b < B; ++b) r.v[b] = a.v[b] + s * x.v[b];
+  return r;
+}
+
 /// Scratch vectors for serial FBMPK.
 template <class T>
 struct FbWorkspace {

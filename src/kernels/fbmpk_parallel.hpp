@@ -95,12 +95,16 @@ struct ScalarRows {
 /// every thread still encounters every worksharing construct, so the
 /// kernel terminates promptly with the outputs unspecified — the
 /// caller must discard them. Never throws across the parallel region.
-template <class T, class Rows, class Emit>
+///
+/// Generic over the iterate element TI (double, or Pack<double, B> for
+/// batched multi-vector sweeps) and the x0 source X0 (a span, or a
+/// gather adapter reading straight from request buffers); T stays the
+/// split's element type.
+template <class T, class TI, class Rows, class X0, class Emit>
 void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
                                const AbmcOrdering& o, const Rows& rows,
-                               std::span<const T> x0, int k,
-                               FbWorkspace<T>& ws, Emit&& emit,
-                               RunControl* ctl = nullptr) {
+                               const X0& x0, int k, FbWorkspace<TI>& ws,
+                               Emit&& emit, RunControl* ctl = nullptr) {
   const index_t n = s.lower.rows();
   FBMPK_CHECK(s.upper.rows() == n &&
               s.diag.size() == static_cast<std::size_t>(n));
@@ -110,9 +114,8 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
                   "schedule does not cover the matrix");
   ws.resize(n);
 
-  T* xy = ws.xy.data();
-  T* tmp = ws.tmp.data();
-  const T* x0p = x0.data();
+  TI* xy = ws.xy.data();
+  TI* tmp = ws.tmp.data();
 
   const int pairs = k / 2;
   const index_t num_colors = o.num_colors;
@@ -148,14 +151,14 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
 #endif
     for (index_t i = 0; i < n; ++i) {
       if (dead) continue;
-      xy[2 * i] = x0p[i];
+      xy[2 * i] = x0[i];
     }
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
     for (index_t i = 0; i < n; ++i) {
       if (dead) continue;
-      T sum{};
+      TI sum{};
       rows.u_dot1(i, xy, 0, sum);
       tmp[i] = sum;
     }
@@ -176,13 +179,13 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
         for (index_t b = o.color_ptr[c]; b < o.color_ptr[c + 1]; ++b) {
           if (dead) continue;
           for (index_t i = o.block_ptr[b]; i < o.block_ptr[b + 1]; ++i) {
-            const T di = rows.diag(i);
-            T sum0 = tmp[i] + di * xy[2 * i];
-            T sum1{};
+            const auto di = rows.diag(i);
+            TI sum0 = madd(di, xy[2 * i], tmp[i]);
+            TI sum1{};
             rows.l_dot2(i, xy, sum0, sum1);
             xy[2 * i + 1] = sum0;
             emit(p_odd, i, sum0);
-            tmp[i] = sum1 + di * sum0;
+            tmp[i] = madd(di, sum0, sum1);
           }
         }  // implicit barrier: color c complete before c+1 starts
         FBMPK_TELEMETRY_ONLY(if (fbmpk_rec0)
@@ -201,9 +204,9 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
         for (index_t b = o.color_ptr[c]; b < o.color_ptr[c + 1]; ++b) {
           if (dead) continue;
           for (index_t i = o.block_ptr[b + 1]; i-- > o.block_ptr[b];) {
-            T sum0 = tmp[i];
+            TI sum0 = tmp[i];
             if (prime_next) {
-              T sum1{};
+              TI sum1{};
               rows.u_dot2(i, xy, sum1, sum0);
               xy[2 * i] = sum0;
               emit(p_even, i, sum0);
@@ -230,7 +233,7 @@ void fbmpk_parallel_sweep_rows(const TriangularSplit<T>& s,
 #endif
       for (index_t i = 0; i < n; ++i) {
         if (dead) continue;
-        T sum = tmp[i] + rows.diag(i) * xy[2 * i];
+        TI sum = madd(rows.diag(i), xy[2 * i], tmp[i]);
         rows.l_dot1(i, xy, 0, sum);
         emit(k, i, sum);
       }
@@ -404,13 +407,13 @@ inline bool sweep_wait(std::atomic<long long>& e, long long target,
 /// Every dependency targets a strictly earlier stage in the list and
 /// every thread visits every stage (even with an empty partition), so
 /// the wait graph is acyclic: no deadlock.
-template <class T, class Rows, class Emit>
+template <class T, class TI, class Rows, class X0, class Emit>
 bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
                                  const AbmcOrdering& o,
                                  const SweepSchedule& sched, const Rows& rows,
-                                 std::span<const T> x0, int k,
-                                 SweepWorkspace<T>& ws, bool pin_threads,
-                                 Emit&& emit, RunControl* ctl = nullptr) {
+                                 const X0& x0, int k, SweepWorkspace<TI>& ws,
+                                 bool pin_threads, Emit&& emit,
+                                 RunControl* ctl = nullptr) {
   const index_t n = s.lower.rows();
   FBMPK_CHECK(s.upper.rows() == n &&
               s.diag.size() == static_cast<std::size_t>(n));
@@ -426,9 +429,8 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
   if (T_n > max_threads()) return false;
   ws.resize(n);
 
-  T* xy = ws.xy();
-  T* tmp = ws.tmp();
-  const T* x0p = x0.data();
+  TI* xy = ws.xy();
+  TI* tmp = ws.tmp();
 
   const int pairs = k / 2;
   const index_t C = sched.num_colors;
@@ -511,7 +513,7 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
     stage_dead();
     FBMPK_TELEMETRY_ONLY(fbmpk_rec.stage_begin();)
     if (!dead) for_own_rows([&](index_t i) {
-      xy[2 * i] = x0p[i];
+      xy[2 * i] = x0[i];
       if (warm_split) {
         T acc{};
         rows.warm(i, acc);
@@ -531,7 +533,7 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
     stage_dead();
     FBMPK_TELEMETRY_ONLY(fbmpk_rec.stage_begin();)
     if (!dead) for_own_rows([&](index_t i) {
-      T sum{};
+      TI sum{};
       rows.u_dot1(i, xy, 0, sum);
       tmp[i] = sum;
     });
@@ -570,13 +572,13 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
                pi < sched.part_ptr[slot + 1]; ++pi) {
             const index_t b = sched.part_blocks[pi];
             for (index_t i = o.block_ptr[b]; i < o.block_ptr[b + 1]; ++i) {
-              const T di = rows.diag(i);
-              T sum0 = tmp[i] + di * xy[2 * i];
-              T sum1{};
+              const auto di = rows.diag(i);
+              TI sum0 = madd(di, xy[2 * i], tmp[i]);
+              TI sum1{};
               rows.l_dot2(i, xy, sum0, sum1);
               xy[2 * i + 1] = sum0;
               emit(p_odd, i, sum0);
-              tmp[i] = sum1 + di * sum0;
+              tmp[i] = madd(di, sum0, sum1);
             }
           }
         bump();  // epoch base + c + 1
@@ -612,9 +614,9 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
                pi < sched.part_ptr[slot + 1]; ++pi) {
             const index_t b = sched.part_blocks[pi];
             for (index_t i = o.block_ptr[b + 1]; i-- > o.block_ptr[b];) {
-              T sum0 = tmp[i];
+              TI sum0 = tmp[i];
               if (prime_next) {
-                T sum1{};
+                TI sum1{};
                 rows.u_dot2(i, xy, sum1, sum0);
                 xy[2 * i] = sum0;
                 emit(p_even, i, sum0);
@@ -639,7 +641,7 @@ bool fbmpk_engine_try_sweep_rows(const TriangularSplit<T>& s,
       stage_dead();
       FBMPK_TELEMETRY_ONLY(fbmpk_rec.stage_begin();)
       if (!dead) for_own_rows([&](index_t i) {
-        T sum = tmp[i] + rows.diag(i) * xy[2 * i];
+        TI sum = madd(rows.diag(i), xy[2 * i], tmp[i]);
         rows.l_dot1(i, xy, 0, sum);
         emit(k, i, sum);
       });
@@ -670,11 +672,11 @@ bool fbmpk_engine_try_sweep(const TriangularSplit<T>& s,
 /// fallback to the per-color barrier kernel when the engine cannot
 /// run. Same emit contract and identical results either way (both
 /// paths issue the same per-row kernels).
-template <class T, class Rows, class Emit>
+template <class T, class TI, class Rows, class X0, class Emit>
 void fbmpk_engine_sweep_rows(const TriangularSplit<T>& s,
                              const AbmcOrdering& o, const SweepSchedule& sched,
-                             const Rows& rows, std::span<const T> x0, int k,
-                             SweepWorkspace<T>& ws, Emit&& emit,
+                             const Rows& rows, const X0& x0, int k,
+                             SweepWorkspace<TI>& ws, Emit&& emit,
                              bool pin_threads = false,
                              RunControl* ctl = nullptr) {
   if (!fbmpk_engine_try_sweep_rows(s, o, sched, rows, x0, k, ws, pin_threads,

@@ -96,9 +96,15 @@ TrafficEstimate fbmpk_traffic_compressed(const MatrixShape& m, int k,
 
 TrafficEstimate fbmpk_traffic_mixed(const MatrixShape& m, int k,
                                     double col_index_bytes,
-                                    ValuePrecision precision) {
-  return fbmpk_traffic_impl(m, k, col_index_bytes,
-                            precision_value_bytes(precision), sizeof(double));
+                                    ValuePrecision precision, int nvec) {
+  FBMPK_CHECK(nvec >= 1);
+  TrafficEstimate t =
+      fbmpk_traffic_impl(m, k, col_index_bytes,
+                         precision_value_bytes(precision), sizeof(double));
+  // Batched sweep: one matrix read for the whole batch, vector streams
+  // per lane.
+  t.vector_bytes *= static_cast<std::size_t>(nvec);
+  return t;
 }
 
 double traffic_ratio(const MatrixShape& m, int k, std::size_t value_size) {

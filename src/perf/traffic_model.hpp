@@ -78,9 +78,14 @@ TrafficEstimate fbmpk_traffic_compressed(
 /// for split (two floats) and fp64 — while the dense vectors stay fp64.
 /// fp32 therefore cuts the value stream in half; split changes nothing
 /// in this model (it trades no bytes, only mantissa width).
+///
+/// `nvec` models a batched sweep over nvec right-hand sides in the
+/// xy[2·B·n] interleaved layout: the matrix stream is read ONCE for
+/// the whole batch while every vector stream scales by nvec — the
+/// amortization batched MPK buys. nvec = 1 is the single-vector model.
 TrafficEstimate fbmpk_traffic_mixed(const MatrixShape& m, int k,
                                     double col_index_bytes,
-                                    ValuePrecision precision);
+                                    ValuePrecision precision, int nvec = 1);
 
 /// Number of full-matrix-equivalent sweeps each pipeline performs —
 /// k for standard, (k+1+(k odd ? 1 : 2)/2)/2-style count for FBMPK;

@@ -1,0 +1,14 @@
+#include "service/batcher.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+namespace fbmpk::service {
+
+void record_batch_telemetry(std::size_t width) {
+  FBMPK_THIST(kBatchWidth, width);
+  if (width > 1)
+    FBMPK_TCOUNT("service.batch_coalesced",
+                 static_cast<std::int64_t>(width));
+}
+
+}  // namespace fbmpk::service

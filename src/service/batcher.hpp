@@ -1,0 +1,96 @@
+// Request coalescer for MpkService (docs/SERVICE.md).
+//
+// Sits between the admission queue and execute: when batching is
+// enabled (max_batch > 1) a worker that pops a request holds it for a
+// short gather window, pulling every queued request with the same
+// batch key — matrix fingerprint x k, which pins the plan, the stored
+// precision and the exec path — into one multi-vector sweep
+// (MpkPlan::try_power_batch). The triangles are then read once per
+// batch instead of once per request.
+//
+// The coalescer itself is a small, lock-free-of-its-own policy object:
+// the service calls it under its queue mutex. Deadlines, cancellation
+// and the degradation ladder stay per-request — a cancelled member is
+// masked out of the batch, never the whole batch.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace fbmpk::service {
+
+/// Requests may share a batched sweep only when they resolve to the
+/// same plan and power: the cache fingerprint pins matrix, PlanOptions
+/// (hence value precision, backend and schedule) and quarantine state;
+/// k pins the sweep length.
+struct BatchKey {
+  std::uint64_t fingerprint = 0;
+  int k = 0;
+  friend bool operator==(const BatchKey&, const BatchKey&) = default;
+};
+
+/// Gather policy. enabled() == false (the default) makes the service
+/// byte-for-byte equivalent to the unbatched worker loop.
+class Coalescer {
+ public:
+  struct Options {
+    std::size_t max_batch = 1;    ///< widest sweep a worker may run
+    double window_us = 0.0;       ///< how long a worker waits for company
+  };
+
+  explicit Coalescer(Options o) : opts_(o) {}
+
+  bool enabled() const { return opts_.max_batch > 1; }
+  std::size_t max_batch() const { return opts_.max_batch; }
+
+  /// Latest point a worker holding a seed request keeps gathering.
+  std::chrono::steady_clock::time_point gather_deadline(
+      std::chrono::steady_clock::time_point start) const {
+    return start + std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double, std::micro>(
+                           opts_.window_us));
+  }
+
+  /// Move every queued request matching `key` (in FIFO order — later
+  /// same-key arrivals never jump earlier ones) into `batch`, up to
+  /// max_batch total members. Caller holds the queue lock.
+  template <class Req, class KeyOf>
+  void drain_matches(std::deque<std::shared_ptr<Req>>& queue,
+                     const BatchKey& key, KeyOf&& key_of,
+                     std::vector<std::shared_ptr<Req>>& batch) const {
+    for (auto it = queue.begin();
+         it != queue.end() && batch.size() < opts_.max_batch;) {
+      if (key_of(**it) == key) {
+        batch.push_back(std::move(*it));
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Whether the queue holds at least one request matching `key`
+  /// (wait predicate for the gather window). Caller holds the lock.
+  template <class Req, class KeyOf>
+  bool has_match(const std::deque<std::shared_ptr<Req>>& queue,
+                 const BatchKey& key, KeyOf&& key_of) const {
+    for (const auto& r : queue)
+      if (key_of(*r) == key) return true;
+    return false;
+  }
+
+ private:
+  Options opts_;
+};
+
+/// Telemetry for one coalesced rung: one service.batch_width sample,
+/// plus service.batch_coalesced bumped by the member count whenever
+/// the batch actually shared work (width > 1).
+void record_batch_telemetry(std::size_t width);
+
+}  // namespace fbmpk::service

@@ -72,10 +72,31 @@ struct MpkService::Request {
   std::condition_variable cv;
   bool done = false;
   RequestResult result;
+
+  BatchKey batch_key() const { return BatchKey{key, k}; }
+};
+
+/// One in-flight batched sweep. The sweep runs under the batch's own
+/// RunControl (members' tokens cannot cancel each other's work), and
+/// the watchdog scans batches_ the same way it scans single requests:
+/// all members dead -> cancel the batch; a cancelled batch whose
+/// progress freezes past the grace period -> quarantine + force-complete
+/// every member.
+struct MpkService::BatchExec {
+  std::vector<std::shared_ptr<Request>> members;
+  std::uint64_t key = 0;
+  RunControl ctl;
+
+  // Watchdog-private stuck-detection state.
+  bool cancel_seen = false;
+  std::uint64_t last_progress = 0;
+  Clock::time_point last_progress_change{};
 };
 
 MpkService::MpkService(ServiceOptions opts)
-    : opts_(std::move(opts)), cache_(opts_.cache_capacity) {
+    : opts_(std::move(opts)),
+      cache_(opts_.cache_capacity),
+      coalescer_(Coalescer::Options{opts_.max_batch, opts_.batch_window_us}) {
   const int n_workers = std::max(1, opts_.workers);
   workers_.reserve(static_cast<std::size_t>(n_workers));
   for (int i = 0; i < n_workers; ++i)
@@ -91,6 +112,7 @@ MpkService::~MpkService() {
     // them; running sweeps see the token at the next stage boundary.
     for (auto& [id, req] : active_)
       req->ctl.request_cancel(ErrorCode::kCancelled);
+    for (auto& b : batches_) b->ctl.request_cancel(ErrorCode::kCancelled);
   }
   queue_cv_.notify_all();
   watchdog_cv_.notify_all();
@@ -203,8 +225,9 @@ RequestResult MpkService::power(const CsrMatrix<double>& a,
 }
 
 void MpkService::worker_loop() {
+  const auto key_of = [](const Request& r) { return r.batch_key(); };
   for (;;) {
-    std::shared_ptr<Request> req;
+    std::vector<std::shared_ptr<Request>> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
@@ -212,10 +235,33 @@ void MpkService::worker_loop() {
         if (shutdown_) return;
         continue;
       }
-      req = std::move(queue_.front());
+      batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
+      if (coalescer_.enabled()) {
+        const BatchKey key = batch.front()->batch_key();
+        coalescer_.drain_matches(queue_, key, key_of, batch);
+        // Hold the seed for the gather window, waking on every submit
+        // to pull in same-key arrivals. A window of 0 batches only
+        // what was already queued.
+        const auto gather_end = coalescer_.gather_deadline(Clock::now());
+        while (!shutdown_ && batch.size() < coalescer_.max_batch()) {
+          if (!queue_cv_.wait_until(lock, gather_end, [&] {
+                return shutdown_ ||
+                       coalescer_.has_match(queue_, key, key_of);
+              }))
+            break;  // window expired without same-key company
+          coalescer_.drain_matches(queue_, key, key_of, batch);
+        }
+        // The gather consumed wakeups that may have been meant for
+        // other workers: pass the baton if work remains queued.
+        if (!queue_.empty()) queue_cv_.notify_one();
+      }
     }
-    execute(req);
+    if (coalescer_.enabled()) record_batch_telemetry(batch.size());
+    if (batch.size() == 1)
+      execute(batch.front());
+    else
+      execute_batch(batch);
   }
 }
 
@@ -307,46 +353,203 @@ void MpkService::execute(const std::shared_ptr<Request>& req) {
     lease.entry->degrade_level.store(rung_i, std::memory_order_release);
   }
 
-  Rung rung_used = static_cast<Rung>(rung_i);
-  if (st.ok()) {
-    // Precision certification: a reduced-precision (or injected-fault)
-    // result that is not finite everywhere must not be served.
-    const bool cert_ok =
-        all_finite(req->y) &&
-        !fault::should_fire(fault::Point::kPrecisionCertify);
-    if (!cert_ok) {
-      if (opts_.rebuild_fp64_on_cert_failure) {
-        FBMPK_TSPAN(kService, "service.precision_rebuild");
-        precision_rebuilds_.fetch_add(1, std::memory_order_relaxed);
-        FBMPK_TCOUNT("service.degrade.precision_rebuild", 1);
-        precision_rebuilt = true;
-        try {
-          PlanOptions fp64_opts = opts_.plan;
-          fp64_opts.value_precision = ValuePrecision::kFp64;
-          auto rebuilt = cache_.acquire(req->key ^ kFp64RebuildSalt, [&] {
-            return MpkPlan::build(*req->matrix, fp64_opts);
-          });
-          st = run_rung(req, *rebuilt.plan, rung_used, ws);
-          if (st.ok() && !all_finite(req->y))
-            st = Error(ErrorCode::kNumericalBreakdown,
-                       "result failed precision certification after the "
-                       "fp64 rebuild");
-        } catch (const Error& e) {
-          st = Status(e);
-        } catch (const std::bad_alloc&) {
-          st = Error(ErrorCode::kResourceLimit,
-                     "fp64 rebuild ran out of memory");
-        }
-      } else {
-        st = Error(ErrorCode::kNumericalBreakdown,
-                   "result failed precision certification (non-finite "
-                   "output); enable rebuild_fp64_on_cert_failure to retry "
-                   "at full precision");
-      }
-    }
-  }
+  const Rung rung_used = static_cast<Rung>(rung_i);
+  certify_result(req, st, rung_used, ws, precision_rebuilt);
   req->running.store(false, std::memory_order_release);
   complete(req, st, rung_used, steps, cache_hit, precision_rebuilt);
+}
+
+void MpkService::certify_result(const std::shared_ptr<Request>& req,
+                                Status& st, Rung rung,
+                                MpkPlan::Workspace& ws,
+                                bool& precision_rebuilt) {
+  if (!st.ok()) return;
+  // Precision certification: a reduced-precision (or injected-fault)
+  // result that is not finite everywhere must not be served.
+  const bool cert_ok = all_finite(req->y) &&
+                       !fault::should_fire(fault::Point::kPrecisionCertify);
+  if (cert_ok) return;
+  if (!opts_.rebuild_fp64_on_cert_failure) {
+    st = Error(ErrorCode::kNumericalBreakdown,
+               "result failed precision certification (non-finite "
+               "output); enable rebuild_fp64_on_cert_failure to retry "
+               "at full precision");
+    return;
+  }
+  FBMPK_TSPAN(kService, "service.precision_rebuild");
+  precision_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  FBMPK_TCOUNT("service.degrade.precision_rebuild", 1);
+  precision_rebuilt = true;
+  try {
+    PlanOptions fp64_opts = opts_.plan;
+    fp64_opts.value_precision = ValuePrecision::kFp64;
+    auto rebuilt = cache_.acquire(req->key ^ kFp64RebuildSalt, [&] {
+      return MpkPlan::build(*req->matrix, fp64_opts);
+    });
+    st = run_rung(req, *rebuilt.plan, rung, ws);
+    if (st.ok() && !all_finite(req->y))
+      st = Error(ErrorCode::kNumericalBreakdown,
+                 "result failed precision certification after the "
+                 "fp64 rebuild");
+  } catch (const Error& e) {
+    st = Status(e);
+  } catch (const std::bad_alloc&) {
+    st = Error(ErrorCode::kResourceLimit,
+               "fp64 rebuild ran out of memory");
+  }
+}
+
+void MpkService::execute_batch(
+    const std::vector<std::shared_ptr<Request>>& batch) {
+  // Mask members cancelled (or past deadline) while gathering: they
+  // complete with their own reason before the sweep, never poisoning
+  // the rest of the batch.
+  std::vector<std::shared_ptr<Request>> live;
+  live.reserve(batch.size());
+  for (const auto& req : batch) {
+    if (req->ctl.cancelled()) {
+      complete(req,
+               Error(req->ctl.cancel_reason(),
+                     "request cancelled before execution"),
+               Rung::kSerial, 0, false, false);
+    } else {
+      live.push_back(req);
+    }
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    execute(live.front());
+    return;
+  }
+
+  const auto& seed = live.front();
+  FBMPK_TSPAN_ARGS(kService, "service.batch", {.k = seed->k});
+  batches_run_.fetch_add(1, std::memory_order_relaxed);
+  batch_coalesced_.fetch_add(live.size(), std::memory_order_relaxed);
+
+  bool built = false;
+  PlanCache::Lease lease;
+  try {
+    lease = cache_.acquire(seed->key, [&] {
+      built = true;
+      return MpkPlan::build(*seed->matrix, opts_.plan);
+    });
+  } catch (const Error& e) {
+    for (const auto& r : live)
+      complete(r, Status(e), Rung::kSerial, 0, false, false);
+    return;
+  } catch (const std::bad_alloc&) {
+    const Status oom(Error(ErrorCode::kResourceLimit,
+                           "plan build ran out of memory"));
+    for (const auto& r : live)
+      complete(r, oom, Rung::kSerial, 0, false, false);
+    return;
+  }
+  const bool cache_hit = !built;
+
+  // The sweep runs under the batch's own control token; member tokens
+  // stay per-request (deadline/cancel of one member must not abort the
+  // others' work). Members keep running == false so the per-request
+  // stuck detector cannot fire on them — the watchdog tracks the batch
+  // token instead, via batches_.
+  auto exec = std::make_shared<BatchExec>();
+  exec->members = live;
+  exec->key = seed->key;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A destructor that already swept active_ will not see this batch:
+    // carry the shutdown cancellation over at registration.
+    if (shutdown_) exec->ctl.request_cancel(ErrorCode::kCancelled);
+    batches_.push_back(exec);
+  }
+
+  // No staging copies: lanes gather straight from the request input
+  // buffers and scatter straight into the request result buffers.
+  std::vector<const double*> xs;
+  std::vector<double*> ys;
+  xs.reserve(live.size());
+  ys.reserve(live.size());
+  for (const auto& r : live) {
+    xs.push_back(r->x.data());
+    ys.push_back(r->y.data());
+  }
+
+  const auto run_batch_rung = [&](Rung rung) -> Status {
+    if (rung != Rung::kSerial && fault::should_fire(fault::Point::kAlloc))
+      return Error(ErrorCode::kResourceLimit,
+                   "injected sweep-scratch allocation failure");
+    ExecPath path = ExecPath::kSerial;
+    switch (rung) {
+      case Rung::kEngine: path = ExecPath::kEngine; break;
+      case Rung::kBarrier: path = ExecPath::kBarrier; break;
+      case Rung::kSerial: path = ExecPath::kSerial; break;
+    }
+    FBMPK_TSPAN_ARGS(kService, "service.batch_rung", {.k = seed->k});
+    return lease.plan->try_power_batch(xs.data(),
+                                       static_cast<index_t>(xs.size()),
+                                       seed->k, ys.data(), path, &exec->ctl);
+  };
+
+  // Same degradation ladder as the single-vector path, shared sticky
+  // rung on the cached plan.
+  int rung_i = std::clamp(
+      lease.entry->degrade_level.load(std::memory_order_acquire), 0,
+      static_cast<int>(Rung::kSerial));
+  int steps = 0;
+  Status st;
+  for (;;) {
+    const Rung rung = static_cast<Rung>(rung_i);
+    st = run_batch_rung(rung);
+    if (st.ok()) break;
+    const ErrorCode code = st.code();
+    if (code == ErrorCode::kCancelled || code == ErrorCode::kTimeout) break;
+    if (rung_i >= static_cast<int>(Rung::kSerial)) break;
+    if (code == ErrorCode::kUnsupported) {
+      ++rung_i;
+      continue;
+    }
+    if (!opts_.allow_degradation) break;
+    FBMPK_TSPAN(kService, "service.degrade");
+    if (rung == Rung::kEngine) {
+      degrade_engine_to_barrier_.fetch_add(1, std::memory_order_relaxed);
+      FBMPK_TCOUNT("service.degrade.engine_to_barrier", 1);
+    } else {
+      degrade_barrier_to_serial_.fetch_add(1, std::memory_order_relaxed);
+      FBMPK_TCOUNT("service.degrade.barrier_to_serial", 1);
+    }
+    ++steps;
+    ++rung_i;
+    lease.entry->degrade_level.store(rung_i, std::memory_order_release);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::erase(batches_, exec);
+  }
+
+  // Per-member finalize: a member cancelled mid-sweep keeps its own
+  // reason (its lane's work was shared, but its answer was abandoned);
+  // survivors get the batch status, then per-member certification with
+  // the usual single-vector fp64 rebuild path.
+  const Rung rung_used = static_cast<Rung>(rung_i);
+  MpkPlan::Workspace ws;
+  for (const auto& r : live) {
+    if (r->done_flag.load(std::memory_order_acquire))
+      continue;  // force-completed by the watchdog
+    Status mst = st;
+    bool rebuilt = false;
+    if (r->ctl.cancelled()) {
+      mst = Error(r->ctl.cancel_reason(),
+                  "request cancelled during a batched sweep");
+    } else if (mst.ok()) {
+      // The rebuild rerun is a real sweep under the member's token:
+      // surface it to the stuck detector like any single run.
+      r->running.store(true, std::memory_order_release);
+      certify_result(r, mst, rung_used, ws, rebuilt);
+      r->running.store(false, std::memory_order_release);
+    }
+    complete(r, mst, rung_used, steps, cache_hit, rebuilt);
+  }
 }
 
 void MpkService::complete(const std::shared_ptr<Request>& req, Status status,
@@ -418,6 +621,42 @@ void MpkService::watchdog_loop() {
                      "quarantined"),
                Rung::kSerial, 0, false, false);
     }
+    for (auto& exec : batches_) {
+      // A batch whose members are all dead (cancelled or already
+      // force-completed) has nobody left to serve: cancel the sweep.
+      bool any_live = false;
+      for (const auto& r : exec->members)
+        if (!r->done_flag.load(std::memory_order_acquire) &&
+            !r->ctl.cancelled()) {
+          any_live = true;
+          break;
+        }
+      if (!any_live) exec->ctl.request_cancel(ErrorCode::kCancelled);
+      if (!exec->ctl.cancelled()) continue;
+      // Same frozen-heartbeat rule as single requests, on the batch
+      // token: no progress past the grace period means the schedule is
+      // wedged — quarantine the plan and force-complete every member.
+      const std::uint64_t p =
+          exec->ctl.progress.load(std::memory_order_relaxed);
+      if (!exec->cancel_seen || p != exec->last_progress) {
+        exec->cancel_seen = true;
+        exec->last_progress = p;
+        exec->last_progress_change = now;
+        continue;
+      }
+      if (now - exec->last_progress_change < grace) continue;
+      if (cache_.quarantine(exec->key)) {
+        quarantines_.fetch_add(1, std::memory_order_relaxed);
+        FBMPK_TCOUNT("service.quarantine", 1);
+      }
+      for (const auto& r : exec->members)
+        complete(r,
+                 Error(r->ctl.cancelled() ? r->ctl.cancel_reason()
+                                          : exec->ctl.cancel_reason(),
+                       "batched sweep made no progress past the grace "
+                       "period; plan quarantined"),
+                 Rung::kSerial, 0, false, false);
+    }
   }
 }
 
@@ -434,6 +673,8 @@ ServiceStats MpkService::stats() const {
       degrade_barrier_to_serial_.load(std::memory_order_relaxed);
   s.precision_rebuilds = precision_rebuilds_.load(std::memory_order_relaxed);
   s.quarantines = quarantines_.load(std::memory_order_relaxed);
+  s.batches = batches_run_.load(std::memory_order_relaxed);
+  s.batch_coalesced = batch_coalesced_.load(std::memory_order_relaxed);
   s.cache = cache_.stats();
   return s;
 }

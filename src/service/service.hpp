@@ -17,7 +17,11 @@
 //    serial sweep, stepped on resource failures, plus an opt-in
 //    fp32 -> fp64 plan rebuild when precision certification fails.
 //    The rung is sticky per cached plan, and every transition is
-//    recorded (service.degrade.* counters + a kService span).
+//    recorded (service.degrade.* counters + a kService span);
+//  - optional request coalescing (max_batch > 1): queued requests
+//    against the same matrix fingerprint and k are gathered under a
+//    short window into one multi-vector sweep (try_power_batch), with
+//    deadlines/cancellation/certification still applied per request.
 //
 // Every request terminates with either a correct result or a typed
 // error — never a crash, hang, or silent wrong answer. All rungs
@@ -42,6 +46,7 @@
 #include <vector>
 
 #include "core/plan.hpp"
+#include "service/batcher.hpp"
 #include "service/plan_cache.hpp"
 #include "sparse/csr.hpp"
 #include "support/error.hpp"
@@ -70,6 +75,15 @@ struct ServiceOptions {
   /// Rebuild the plan at fp64 value storage and retry once when a
   /// reduced-precision result fails certification (non-finite output).
   bool rebuild_fp64_on_cert_failure = false;
+  /// Request coalescing (docs/SERVICE.md): a worker that pops a
+  /// request gathers queued requests with the same matrix fingerprint
+  /// and k into one multi-vector sweep, up to max_batch wide. 1 (the
+  /// default) disables coalescing entirely.
+  std::size_t max_batch = 1;
+  /// How long a worker holding a lone request waits for same-key
+  /// company before sweeping it alone. 0 batches only what is already
+  /// queued at pop time.
+  double batch_window_us = 0.0;
   PlanOptions plan;  ///< construction options for cache misses
 };
 
@@ -99,6 +113,9 @@ struct ServiceStats {
   std::uint64_t degrade_barrier_to_serial = 0;
   std::uint64_t precision_rebuilds = 0;
   std::uint64_t quarantines = 0;
+  std::uint64_t batches = 0;  ///< multi-member batched sweeps run
+  /// Requests that were served inside a multi-member batch.
+  std::uint64_t batch_coalesced = 0;
   CacheStats cache;
 };
 
@@ -139,24 +156,37 @@ class MpkService {
 
  private:
   struct Request;
+  struct BatchExec;
 
   void worker_loop();
   void watchdog_loop();
   void execute(const std::shared_ptr<Request>& req);
+  void execute_batch(const std::vector<std::shared_ptr<Request>>& batch);
   Status run_rung(const std::shared_ptr<Request>& req, const MpkPlan& plan,
                   Rung rung, MpkPlan::Workspace& ws);
+  /// Post-sweep precision certification for one request's result, with
+  /// the optional one-shot fp64 rebuild. Updates st in place; sets
+  /// precision_rebuilt when the rebuild path ran.
+  void certify_result(const std::shared_ptr<Request>& req, Status& st,
+                      Rung rung, MpkPlan::Workspace& ws,
+                      bool& precision_rebuilt);
   void complete(const std::shared_ptr<Request>& req, Status status,
                 Rung rung, int degrade_steps, bool cache_hit,
                 bool precision_rebuilt);
 
   ServiceOptions opts_;
   PlanCache cache_;
+  Coalescer coalescer_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;     ///< workers: queue became non-empty
   std::condition_variable watchdog_cv_;  ///< watchdog: interval tick/shutdown
   std::deque<std::shared_ptr<Request>> queue_;
   std::unordered_map<RequestId, std::shared_ptr<Request>> active_;
+  /// In-flight batched sweeps, scanned by the watchdog: member
+  /// RunControls stay per-request, but the sweep itself runs under the
+  /// batch's own control token.
+  std::vector<std::shared_ptr<BatchExec>> batches_;
   bool shutdown_ = false;
   std::uint64_t next_id_ = 1;
 
@@ -172,6 +202,8 @@ class MpkService {
   std::atomic<std::uint64_t> degrade_barrier_to_serial_{0};
   std::atomic<std::uint64_t> precision_rebuilds_{0};
   std::atomic<std::uint64_t> quarantines_{0};
+  std::atomic<std::uint64_t> batches_run_{0};
+  std::atomic<std::uint64_t> batch_coalesced_{0};
 };
 
 }  // namespace fbmpk::service

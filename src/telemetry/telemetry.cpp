@@ -27,6 +27,7 @@ const char* hist_name(Hist h) {
     case Hist::kEngineWait: return "engine_wait_ns";
     case Hist::kSweepStage: return "sweep_stage_ns";
     case Hist::kBenchRun: return "bench_run_ns";
+    case Hist::kBatchWidth: return "service.batch_width";
     case Hist::kCount_: break;
   }
   return "unknown";

@@ -123,6 +123,7 @@ enum class Hist : std::uint8_t {
   kEngineWait = 0,  ///< engine dependency-wait durations
   kSweepStage,      ///< per-(k-step, color) stage durations
   kBenchRun,        ///< measured harness iterations (warmup excluded)
+  kBatchWidth,      ///< coalesced service batch widths (a count, not ns)
   kCount_,
 };
 const char* hist_name(Hist h);
@@ -387,6 +388,17 @@ class SweepRecorder {
 /// Process-global counter bump.
 #define FBMPK_TCOUNT(name, delta) \
   ::fbmpk::telemetry::Registry::instance().counter_add((name), (delta))
+/// Value-histogram sample (log2 buckets; the value need not be a
+/// duration — service.batch_width records widths). Warm-path macro:
+/// checks enabled() before touching the thread buffer.
+#define FBMPK_THIST(h, value)                                         \
+  do {                                                                \
+    auto& fbmpk_thist_reg_ = ::fbmpk::telemetry::Registry::instance(); \
+    if (fbmpk_thist_reg_.enabled())                                   \
+      fbmpk_thist_reg_.thread_buffer().record(                        \
+          ::fbmpk::telemetry::Hist::h,                                \
+          static_cast<std::uint64_t>(value));                         \
+  } while (0)
 /// Process-global gauge write.
 #define FBMPK_TGAUGE(name, value) \
   ::fbmpk::telemetry::Registry::instance().gauge_set((name), (value))
@@ -399,6 +411,7 @@ class SweepRecorder {
 #define FBMPK_TSPAN(cat, name) ((void)0)
 #define FBMPK_TSPAN_ARGS(cat, name, ...) ((void)0)
 #define FBMPK_TCOUNT(name, delta) ((void)0)
+#define FBMPK_THIST(h, value) ((void)0)
 #define FBMPK_TGAUGE(name, value) ((void)0)
 #define FBMPK_TELEMETRY_ONLY(...)
 

@@ -31,7 +31,10 @@ namespace fbmpk::telemetry {
 /// "service.*" counter namespace (cache hit/miss/evict, admission,
 /// degradation-ladder transitions — docs/SERVICE.md) is part of the
 /// counter contract whenever an MpkService ran with telemetry on.
-inline constexpr int kMetricsSchemaVersion = 2;
+/// v3: the request coalescer's "service.batch_width" histogram (widths,
+/// not nanoseconds) and "service.batch_coalesced" counter join the
+/// contract when batching is enabled (max_batch > 1).
+inline constexpr int kMetricsSchemaVersion = 3;
 
 /// Measured-vs-modeled traffic comparison attached to a trace — the
 /// runtime analogue of the paper's Fig 9 columns.

@@ -390,5 +390,107 @@ TEST_F(ServiceTest, ServiceStressManyClientsTypedOutcomesOnly) {
             static_cast<std::uint64_t>(kClients * kPerClient));
 }
 
+// --- request coalescing (docs/SERVICE.md) ---------------------------------
+
+TEST_F(ServiceTest, BatchedRequestsCoalesceAndMatchOracle) {
+  const auto a = gen::make_laplacian_2d(16, 16);
+  const int k = 4;
+  ServiceOptions opts;
+  opts.workers = 1;  // one worker: every request funnels through one gather
+  opts.max_batch = 6;
+  opts.batch_window_us = 3e5;  // 0.3 s — plenty to gather all six
+  MpkService svc(opts);
+
+  constexpr int kReqs = 6;
+  std::vector<AlignedVector<double>> xs;
+  std::vector<MpkService::RequestId> ids;
+  for (int i = 0; i < kReqs; ++i) {
+    xs.push_back(test::random_vector(
+        a.rows(), 1000 + static_cast<std::uint64_t>(i)));
+    ids.push_back(svc.submit(a, xs.back(), k));
+  }
+  for (int i = 0; i < kReqs; ++i) {
+    AlignedVector<double> y(static_cast<std::size_t>(a.rows()));
+    const RequestResult r = svc.wait(ids[i], y);
+    ASSERT_TRUE(r.status.ok()) << r.status.error().what();
+    // Per-request correctness is unchanged by sharing a sweep: each
+    // lane is bitwise the serial B=1 result for its own vector.
+    expect_bitwise_equal(y, serial_oracle(a, xs[i], k, opts.plan));
+  }
+  const ServiceStats st = svc.stats();
+  EXPECT_GE(st.batches, 1u);
+  EXPECT_GE(st.batch_coalesced, 2u);
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(kReqs));
+}
+
+TEST_F(ServiceTest, BatchMemberDeadlineDoesNotPoisonSiblings) {
+  const auto a = gen::make_laplacian_2d(16, 16);
+  const int k = 3;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 4;
+  opts.batch_window_us = 2.5e5;  // longer than the victim's deadline
+  opts.watchdog_interval_seconds = 0.001;
+  MpkService svc(opts);
+
+  const auto x1 = test::random_vector(a.rows(), 11);
+  const auto x2 = test::random_vector(a.rows(), 22);
+  const auto x3 = test::random_vector(a.rows(), 33);
+  // The victim's deadline expires inside the gather window, so it is
+  // masked out of the batch with kTimeout while its siblings sweep.
+  RequestOptions tight;
+  tight.deadline_seconds = 0.02;
+  const auto id1 = svc.submit(a, x1, k, tight);
+  const auto id2 = svc.submit(a, x2, k);
+  const auto id3 = svc.submit(a, x3, k);
+
+  AlignedVector<double> y1(static_cast<std::size_t>(a.rows()));
+  AlignedVector<double> y2(static_cast<std::size_t>(a.rows()));
+  AlignedVector<double> y3(static_cast<std::size_t>(a.rows()));
+  const RequestResult r1 = svc.wait(id1, y1);
+  const RequestResult r2 = svc.wait(id2, y2);
+  const RequestResult r3 = svc.wait(id3, y3);
+
+  ASSERT_FALSE(r1.status.ok());
+  EXPECT_EQ(r1.status.code(), ErrorCode::kTimeout);
+  ASSERT_TRUE(r2.status.ok()) << r2.status.error().what();
+  ASSERT_TRUE(r3.status.ok()) << r3.status.error().what();
+  expect_bitwise_equal(y2, serial_oracle(a, x2, k, opts.plan));
+  expect_bitwise_equal(y3, serial_oracle(a, x3, k, opts.plan));
+  EXPECT_GE(svc.stats().timeouts, 1u);
+}
+
+TEST_F(ServiceTest, PreCancelledBatchMemberIsMaskedOut) {
+  const auto a = gen::make_laplacian_2d(12, 12);
+  const int k = 3;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 4;
+  opts.batch_window_us = 2e5;
+  MpkService svc(opts);
+
+  const auto x1 = test::random_vector(a.rows(), 101);
+  const auto x2 = test::random_vector(a.rows(), 102);
+  const auto x3 = test::random_vector(a.rows(), 103);
+  const auto id1 = svc.submit(a, x1, k);
+  const auto id2 = svc.submit(a, x2, k);
+  const auto id3 = svc.submit(a, x3, k);
+  EXPECT_TRUE(svc.cancel(id2));
+
+  AlignedVector<double> y1(static_cast<std::size_t>(a.rows()));
+  AlignedVector<double> y2(static_cast<std::size_t>(a.rows()));
+  AlignedVector<double> y3(static_cast<std::size_t>(a.rows()));
+  const RequestResult r1 = svc.wait(id1, y1);
+  const RequestResult r2 = svc.wait(id2, y2);
+  const RequestResult r3 = svc.wait(id3, y3);
+
+  ASSERT_TRUE(r1.status.ok()) << r1.status.error().what();
+  ASSERT_FALSE(r2.status.ok());
+  EXPECT_EQ(r2.status.code(), ErrorCode::kCancelled);
+  ASSERT_TRUE(r3.status.ok()) << r3.status.error().what();
+  expect_bitwise_equal(y1, serial_oracle(a, x1, k, opts.plan));
+  expect_bitwise_equal(y3, serial_oracle(a, x3, k, opts.plan));
+}
+
 }  // namespace
 }  // namespace fbmpk::service

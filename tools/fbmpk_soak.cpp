@@ -2,11 +2,14 @@
 // (docs/SERVICE.md, CI `soak` job).
 //
 //   fbmpk_soak [--seconds=60] [--seed=1] [--clients=4] [--workers=3]
+//              [--max-batch=4] [--batch-window-us=200]
 //
 // A chaos thread continuously arms random runtime fault points
 // (allocation failure, sweep stalls, cache-artifact corruption,
 // queue-full, precision-certification failure) while client threads
 // hammer one MpkService with mixed deadlines and explicit cancels.
+// Clients periodically fire same-(matrix, k) bursts so the request
+// coalescer (enabled by default here) batches under chaos too.
 // The pass criteria are the serving layer's whole contract:
 //
 //   1. no crash, hang, or deadlock (the binary exits before the
@@ -76,9 +79,13 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flag(argc, argv, "seed", 1.0));
   const int clients = static_cast<int>(flag(argc, argv, "clients", 4.0));
   const int workers = static_cast<int>(flag(argc, argv, "workers", 3.0));
-  std::printf("fbmpk_soak: %.0f s, seed %llu, %d clients, %d workers\n",
+  const auto max_batch =
+      static_cast<std::size_t>(flag(argc, argv, "max-batch", 4.0));
+  const double batch_window_us = flag(argc, argv, "batch-window-us", 200.0);
+  std::printf("fbmpk_soak: %.0f s, seed %llu, %d clients, %d workers, "
+              "max-batch %zu (window %.0f us)\n",
               seconds, static_cast<unsigned long long>(seed), clients,
-              workers);
+              workers, max_batch, batch_window_us);
 
   std::vector<CsrMatrix<double>> mats;
   mats.push_back(gen::make_laplacian_2d(24, 24));
@@ -92,6 +99,8 @@ int main(int argc, char** argv) {
   sopts.watchdog_interval_seconds = 0.002;
   sopts.stuck_grace_seconds = 0.25;
   sopts.rebuild_fp64_on_cert_failure = true;
+  sopts.max_batch = max_batch;
+  sopts.batch_window_us = batch_window_us;
   sopts.plan.sweep.sync = SweepSync::kPointToPoint;  // engine rung live
 
   constexpr int kMaxK = 5;
@@ -169,24 +178,9 @@ int main(int argc, char** argv) {
   for (int c = 0; c < clients; ++c) {
     pool.emplace_back([&, c] {
       Rng64 rng(seed + 1000ull * static_cast<std::uint64_t>(c + 1));
-      while (!stop.load(std::memory_order_relaxed)) {
-        const std::size_t m = rng.next() % mats.size();
-        const int k = static_cast<int>(rng.range(1, kMaxK));
-        service::RequestOptions ropts;
-        switch (rng.range(0, 3)) {
-          case 0: ropts.deadline_seconds = 0.0; break;   // none
-          case 1: ropts.deadline_seconds = 0.03; break;  // tight
-          default: ropts.deadline_seconds = 0.5; break;  // generous
-        }
-        AlignedVector<double> y(
-            static_cast<std::size_t>(mats[m].rows()));
-        const auto id = svc.submit(mats[m], inputs[m], k, ropts);
-        if (rng.range(0, 9) == 0) {  // occasional explicit cancel
-          std::this_thread::sleep_for(
-              std::chrono::microseconds(rng.range(0, 2000)));
-          svc.cancel(id);
-        }
-        const service::RequestResult r = svc.wait(id, y);
+      const auto check = [&](const service::RequestResult& r,
+                             const AlignedVector<double>& y, std::size_t m,
+                             int k) {
         if (r.status.ok()) {
           ok_count.fetch_add(1);
           const auto& want = oracle[m][static_cast<std::size_t>(k)];
@@ -207,6 +201,39 @@ int main(int argc, char** argv) {
                          r.status.error().what());
           }
         }
+      };
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t m = rng.next() % mats.size();
+        const int k = static_cast<int>(rng.range(1, kMaxK));
+        service::RequestOptions ropts;
+        switch (rng.range(0, 3)) {
+          case 0: ropts.deadline_seconds = 0.0; break;   // none
+          case 1: ropts.deadline_seconds = 0.03; break;  // tight
+          default: ropts.deadline_seconds = 0.5; break;  // generous
+        }
+        if (rng.range(0, 7) == 0) {
+          // Same-fingerprint burst: submit several identical (matrix,
+          // k) requests back to back so the coalescer has company to
+          // gather — each lane must still match the oracle bitwise.
+          constexpr int kBurst = 3;
+          service::MpkService::RequestId ids[kBurst];
+          for (auto& id : ids) id = svc.submit(mats[m], inputs[m], k, ropts);
+          for (const auto id : ids) {
+            AlignedVector<double> y(
+                static_cast<std::size_t>(mats[m].rows()));
+            check(svc.wait(id, y), y, m, k);
+          }
+          continue;
+        }
+        AlignedVector<double> y(
+            static_cast<std::size_t>(mats[m].rows()));
+        const auto id = svc.submit(mats[m], inputs[m], k, ropts);
+        if (rng.range(0, 9) == 0) {  // occasional explicit cancel
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(rng.range(0, 2000)));
+          svc.cancel(id);
+        }
+        check(svc.wait(id, y), y, m, k);
       }
     });
   }
@@ -237,6 +264,9 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(st.rejected_overload),
       static_cast<unsigned long long>(st.timeouts),
       static_cast<unsigned long long>(st.cancelled));
+  std::printf("batching: %llu batched sweeps, %llu requests coalesced\n",
+              static_cast<unsigned long long>(st.batches),
+              static_cast<unsigned long long>(st.batch_coalesced));
   if (st.submitted != st.completed) {
     std::fprintf(stderr, "VIOLATION: %llu submitted but %llu completed\n",
                  static_cast<unsigned long long>(st.submitted),
