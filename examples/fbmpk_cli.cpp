@@ -16,6 +16,7 @@
 // measured-vs-modeled traffic comparison (docs/OBSERVABILITY.md).
 //
 // <src> is either "suite:<name>[:scale]" or "file:<path.mtx>".
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -370,6 +371,134 @@ int cmd_poly(const Args& args) {
   return 0;
 }
 
+// 1-based ranks of the entries of `vals` in ascending order; entries
+// with a negative value (unscored / untimed) get rank 0.
+std::vector<int> rank_ascending(const std::vector<double>& vals) {
+  std::vector<int> idx;
+  for (int i = 0; i < static_cast<int>(vals.size()); ++i)
+    if (vals[static_cast<std::size_t>(i)] >= 0.0) idx.push_back(i);
+  std::sort(idx.begin(), idx.end(), [&](int x, int y) {
+    return vals[static_cast<std::size_t>(x)] < vals[static_cast<std::size_t>(y)];
+  });
+  std::vector<int> rank(vals.size(), 0);
+  for (int r = 0; r < static_cast<int>(idx.size()); ++r)
+    rank[static_cast<std::size_t>(idx[static_cast<std::size_t>(r)])] = r + 1;
+  return rank;
+}
+
+// One table row: "<predicted MB> <oracle#>  <measured ms> <measured#>",
+// where pruned candidates show "pruned" instead of a time and failed
+// ones the typed error that skipped them (docs/AUTOTUNING.md).
+void print_candidate_tail(double predicted_bytes, int oracle_rank,
+                          double seconds, bool pruned, bool failed,
+                          ErrorCode error, int measured_rank) {
+  if (predicted_bytes >= 0.0)
+    std::printf("%13.2f %8d", predicted_bytes / (1024.0 * 1024.0),
+                oracle_rank);
+  else
+    std::printf("%13s %8s", "-", "-");
+  if (failed)
+    std::printf("  %12s %10s\n", error_code_name(error), "-");
+  else if (pruned)
+    std::printf("  %12s %10s\n", "pruned", "-");
+  else
+    std::printf("  %12.3f %10d\n", seconds * 1e3, measured_rank);
+}
+
+// autotune: run the model-guided sweeps directly (without building or
+// saving a plan) and report what the oracle did. --explain prints the
+// full per-candidate table: predicted DRAM bytes, oracle rank, and the
+// measured time (or "pruned" / the typed error) with its rank, so
+// model-vs-measurement agreement is visible at a glance.
+int cmd_autotune(const Args& args) {
+  const auto a = load_matrix(need(args, "matrix"));
+  std::printf("matrix: %d rows, %d nnz\n", a.rows(), a.nnz());
+  const int k = std::stoi(get(args, "k", "4"));
+  const int reps = std::stoi(get(args, "reps", "3"));
+  const bool explain = get(args, "explain", "0") != "0";
+  OracleOptions oracle;
+  oracle.enabled = get(args, "oracle", "on") != "off";
+  oracle.top_k = std::stoi(get(args, "top-k", "2"));
+
+  Timer t;
+  const AutotuneResult r = autotune_block_count(
+      a, k, default_block_candidates(), reps, PlanOptions{}, oracle);
+  const double sweep_ms = t.milliseconds();
+  std::printf("block sweep: k=%d, oracle=%s, %zu candidates, %d timed, "
+              "%d pruned, %.1f ms total\n",
+              k, r.oracle_used ? "on" : "off", r.samples.size(),
+              static_cast<int>(r.candidates_timed),
+              static_cast<int>(r.candidates_pruned), sweep_ms);
+  if (explain) {
+    std::vector<double> predicted, measured;
+    for (const auto& s : r.samples) {
+      predicted.push_back(s.predicted_bytes);
+      measured.push_back((s.pruned || s.failed) ? -1.0 : s.seconds);
+    }
+    const auto orank = rank_ascending(predicted);
+    const auto mrank = rank_ascending(measured);
+    std::printf("  %6s %6s %13s %8s  %12s %10s\n", "blocks", "colors",
+                "predicted MB", "oracle#", "measured ms", "measured#");
+    for (std::size_t i = 0; i < r.samples.size(); ++i) {
+      const auto& s = r.samples[i];
+      std::printf("  %6d %6d", static_cast<int>(s.num_blocks),
+                  static_cast<int>(s.num_colors));
+      print_candidate_tail(s.predicted_bytes, orank[i], s.seconds, s.pruned,
+                           s.failed, s.error, mrank[i]);
+    }
+  }
+  std::printf("picked %d blocks: %.3f ms/run", static_cast<int>(r.best_blocks),
+              r.best_seconds * 1e3);
+  if (r.oracle_used)
+    std::printf(", oracle ranked the winner #%d of the timed set",
+                static_cast<int>(r.oracle_rank_of_winner));
+  std::printf("\n");
+
+  if (get(args, "kernel", "0") != "0") {
+    const bool allow_fast = get(args, "allow-fast", "0") != "0";
+    Timer tk;
+    PlanOptions base;
+    base.abmc.num_blocks = r.best_blocks;
+    const KernelConfigResult kr =
+        autotune_kernel_config(a, k, reps, base, allow_fast, oracle);
+    std::printf("kernel sweep: oracle=%s, %zu candidates, %d timed, "
+                "%d pruned, %.1f ms total\n",
+                kr.oracle_used ? "on" : "off", kr.samples.size(),
+                static_cast<int>(kr.candidates_timed),
+                static_cast<int>(kr.candidates_pruned), tk.milliseconds());
+    if (explain) {
+      std::vector<double> predicted, measured;
+      for (const auto& s : kr.samples) {
+        predicted.push_back(s.predicted_bytes);
+        measured.push_back((s.pruned || s.failed) ? -1.0 : s.seconds);
+      }
+      const auto orank = rank_ascending(predicted);
+      const auto mrank = rank_ascending(measured);
+      std::printf("  %-20s %13s %8s  %12s %10s\n", "config", "predicted MB",
+                  "oracle#", "measured ms", "measured#");
+      for (std::size_t i = 0; i < kr.samples.size(); ++i) {
+        const auto& s = kr.samples[i];
+        std::string label = backend_name(s.backend);
+        label += "/";
+        label += precision_name(s.value_precision);
+        if (s.index_compress) label += "+cib";
+        std::printf("  %-20s", label.c_str());
+        print_candidate_tail(s.predicted_bytes, orank[i], s.seconds, s.pruned,
+                             s.failed, s.error, mrank[i]);
+      }
+    }
+    std::printf("picked %s/%s%s: %.3f ms/run",
+                backend_name(kr.best_backend),
+                precision_name(kr.best_value_precision),
+                kr.best_index_compress ? "+cib" : "", kr.best_seconds * 1e3);
+    if (kr.oracle_used)
+      std::printf(", oracle ranked the winner #%d of the timed set",
+                  static_cast<int>(kr.oracle_rank_of_winner));
+    std::printf("\n");
+  }
+  return 0;
+}
+
 // serve: drive the resilient serving front end (docs/SERVICE.md) —
 // concurrent clients against one MpkService, plan cache + admission
 // control + degradation ladder engaged, stats printed at the end.
@@ -452,7 +581,8 @@ int cmd_serve(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s plan|info|power|poly|serve --flag=value ...\n"
+                 "usage: %s plan|info|power|poly|autotune|serve"
+                 " --flag=value ...\n"
                  "  plan  --matrix=suite:pwtk|file:a.mtx --out=plan.bin"
                  " [--blocks=512] [--autotune-k=5]\n"
                  "        [--sweep=barrier|p2p] [--sweep-threads=0]\n"
@@ -463,6 +593,10 @@ int main(int argc, char** argv) {
                  "  power --plan=plan.bin --k=5 [--nvec=1] [--x=x.txt]"
                  " [--out=y.txt]\n"
                  "  poly  --plan=plan.bin --coeffs=1,0.5 [--x=] [--out=]\n"
+                 "  autotune --matrix=suite:...|file:... [--k=4] [--reps=3]"
+                 " [--explain]\n"
+                 "        [--oracle=on|off] [--top-k=2] [--kernel]"
+                 " [--allow-fast]\n"
                  "  serve --matrix=suite:...|file:... [--requests=32]"
                  " [--clients=2] [--workers=2]\n"
                  "        [--k=4] [--deadline=0] [--cache=4] [--queue=16]\n"
@@ -484,6 +618,8 @@ int main(int argc, char** argv) {
       rc = cmd_power(args);
     else if (cmd == "poly")
       rc = cmd_poly(args);
+    else if (cmd == "autotune")
+      rc = cmd_autotune(args);
     else if (cmd == "serve")
       rc = cmd_serve(args);
     else {

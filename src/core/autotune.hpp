@@ -6,6 +6,13 @@
 // count and the power k, this module measures a small candidate sweep
 // on the actual kernel and returns the winner — a one-off cost in the
 // same amortized-preprocessing budget as the reorder itself (§V-F).
+//
+// Model-guided pruning (docs/AUTOTUNING.md): timing every candidate is
+// the dominant cost when plans are built on a serving cache miss, so
+// both sweeps can first *score* every candidate with the sampled
+// cache-simulator replay (perf/sweep_replay) and time only the top-K
+// by predicted DRAM traffic. The full sample table is still returned —
+// pruned candidates carry their prediction and `pruned = true`.
 #pragma once
 
 #include <span>
@@ -15,18 +22,46 @@
 
 namespace fbmpk {
 
-/// One measured candidate.
+/// Knobs of the traffic-oracle pruning pass shared by both sweeps.
+struct OracleOptions {
+  /// Score candidates with the sampled replay and time only the top
+  /// `top_k`. When false (or when the oracle cannot model the
+  /// configuration — see docs/AUTOTUNING.md §fallback) every candidate
+  /// is timed, as before.
+  bool enabled = true;
+  /// Survivors to time per sweep. 2 keeps a runner-up so a model
+  /// mis-ranking of the top pick still gets caught by measurement.
+  int top_k = 2;
+  /// Row-sample budget forwarded to perf::ReplayConfig.
+  index_t max_sample_rows = 4096;
+};
+
+/// One candidate of the block-count sweep. Exactly one of three shapes:
+/// measured (`seconds` valid), pruned by the oracle (`pruned`, only
+/// `predicted_bytes` valid), or failed (`failed`, `error` holds the
+/// typed build error and the candidate is skipped, not fatal).
 struct AutotuneSample {
   index_t num_blocks = 0;
   index_t num_colors = 0;
   double seconds = 0.0;       ///< median kernel time for A^k x
   double build_seconds = 0.0; ///< plan construction time
+  double predicted_bytes = -1.0;  ///< oracle DRAM estimate (-1 = not scored)
+  bool pruned = false;   ///< scored below the top-K; never timed
+  bool failed = false;   ///< plan build threw; see `error`
+  ErrorCode error = ErrorCode::kInternal;  ///< valid iff `failed`
 };
 
 struct AutotuneResult {
   index_t best_blocks = 0;
   double best_seconds = 0.0;
   std::vector<AutotuneSample> samples;  ///< in candidate order
+  bool oracle_used = false;        ///< pruning pass actually ran
+  index_t candidates_timed = 0;    ///< samples measured end-to-end
+  index_t candidates_pruned = 0;   ///< samples skipped on prediction
+  /// Winner's 1-based position in the oracle's predicted ranking of the
+  /// *timed* survivors (1 = model's top pick won; 0 = oracle unused).
+  index_t oracle_rank_of_winner = 0;
+  double best_predicted_bytes = 0.0;  ///< winner's prediction (0 = unscored)
 };
 
 /// Default candidate ladder around the paper's 512/1024 defaults.
@@ -47,13 +82,19 @@ SweepSyncResult autotune_sweep_sync(const CsrMatrix<double>& a, int k,
                                     int reps = 3, PlanOptions base = {});
 
 /// Measure each candidate block count on y = A^k x and pick the
-/// fastest. `base` supplies every option except abmc.num_blocks.
+/// fastest. `base` supplies every option except abmc.num_blocks. With
+/// the oracle enabled (and `base.reorder` set, so the ABMC structure
+/// the model replays actually exists) candidates are first ranked by
+/// predicted DRAM traffic and only the top-K timed. Candidates whose
+/// plan build throws a typed Error are recorded as failed and skipped;
+/// the sweep only throws if *every* candidate fails.
 AutotuneResult autotune_block_count(
     const CsrMatrix<double>& a, int k,
     std::span<const index_t> candidates = default_block_candidates(),
-    int reps = 3, PlanOptions base = {});
+    int reps = 3, PlanOptions base = {}, const OracleOptions& oracle = {});
 
-/// One measured row-kernel configuration.
+/// One row-kernel configuration candidate; same three shapes as
+/// AutotuneSample (measured / pruned / failed).
 struct KernelConfigSample {
   KernelBackend backend = KernelBackend::kScalar;
   bool index_compress = false;
@@ -61,6 +102,10 @@ struct KernelConfigSample {
   double seconds = 0.0;            ///< median kernel time for A^k x
   std::size_t packed_index_bytes = 0;  ///< sidecar size (0 when plain)
   std::size_t packed_value_bytes = 0;  ///< value sidecar size (0 = fp64)
+  double predicted_bytes = -1.0;  ///< oracle DRAM estimate (-1 = not scored)
+  bool pruned = false;   ///< scored below the top-K; never timed
+  bool failed = false;   ///< plan build threw; see `error`
+  ErrorCode error = ErrorCode::kInternal;  ///< valid iff `failed`
 };
 
 struct KernelConfigResult {
@@ -69,6 +114,11 @@ struct KernelConfigResult {
   ValuePrecision best_value_precision = ValuePrecision::kFp64;
   double best_seconds = 0.0;
   std::vector<KernelConfigSample> samples;  ///< in candidate order
+  bool oracle_used = false;
+  index_t candidates_timed = 0;
+  index_t candidates_pruned = 0;
+  index_t oracle_rank_of_winner = 0;  ///< as in AutotuneResult
+  double best_predicted_bytes = 0.0;
 };
 
 /// Measure y = A^k x across row-kernel configurations — the exact
@@ -85,7 +135,8 @@ struct KernelConfigResult {
 /// skipped, leaving the scalar/plain baseline.
 KernelConfigResult autotune_kernel_config(const CsrMatrix<double>& a, int k,
                                           int reps = 3, PlanOptions base = {},
-                                          bool allow_fast = false);
+                                          bool allow_fast = false,
+                                          const OracleOptions& oracle = {});
 
 /// Convenience: build a plan with the autotuned block count, for
 /// parallel ABMC plans the autotuned sweep synchronization, and — only
@@ -94,6 +145,9 @@ KernelConfigResult autotune_kernel_config(const CsrMatrix<double>& a, int k,
 /// configuration is recorded on the plan (MpkPlan::tuned_config) and
 /// persisted by save_plan, so a reloaded plan knows what was tuned and
 /// whether the choice is stale on the loading machine.
+/// `base.autotune_oracle` (default on) routes both sweeps through the
+/// traffic-oracle pruning; the oracle's predicted-vs-measured ranking
+/// is persisted in TunedConfig for staleness checks.
 MpkPlan build_autotuned_plan(const CsrMatrix<double>& a, int k,
                              PlanOptions base = {},
                              bool allow_fast_kernels = false);

@@ -136,6 +136,14 @@ struct PlanOptions {
   /// fixed precision. Non-fp64 requires the BtB variant, a non-levels
   /// scheduler, and all values finite within float range.
   ValuePrecision value_precision = ValuePrecision::kFp64;
+  /// Let build_autotuned_plan consult the cache-simulator traffic
+  /// oracle (perf/sweep_replay, docs/AUTOTUNING.md): every candidate is
+  /// scored by predicted DRAM bytes and only the top few are timed,
+  /// cutting plan-build latency several-fold. Set false to fall back to
+  /// the exhaustive measured sweep (the right call when the oracle's
+  /// assumptions break — see docs/AUTOTUNING.md §fallback). Ignored by
+  /// the plain MpkPlan::build path, which never times candidates.
+  bool autotune_oracle = true;
 };
 
 /// Autotuned kernel configuration, persisted with the plan (format v5
@@ -152,6 +160,16 @@ struct TunedConfig {
   index_t tuned_threads = 0;  ///< max_threads() when measured
   double best_seconds = 0.0;  ///< measured median kernel time
   bool stale = false;         ///< set on load when revalidation fails
+  /// Oracle provenance (format v6). When the traffic oracle pruned the
+  /// search, the predicted-vs-measured ranking is kept with the plan so
+  /// a later load can judge whether the pruned choice deserves a
+  /// re-measure: oracle_rank_of_winner > 1 means the model mis-ranked
+  /// the timed survivors and the exhaustive sweep might disagree.
+  bool oracle_used = false;
+  double oracle_predicted_bytes = 0.0;  ///< winner's predicted DRAM bytes
+  index_t candidates_scored = 0;  ///< total candidates ranked by the model
+  index_t candidates_timed = 0;   ///< survivors actually measured
+  index_t oracle_rank_of_winner = 0;  ///< 1 = model's top pick won (0 = n/a)
 };
 
 /// Pure revalidation predicate: a persisted tuned config is stale when

@@ -52,10 +52,14 @@ namespace {
 // split's fp64 values and compared bitwise (any mismatch ->
 // kCorruptPlan). A loaded tuned config is revalidated against the
 // executing machine (tuned_config_stale) rather than trusted.
+// v6 added the autotune_oracle option to OPTS and the oracle
+// provenance fields (predicted bytes, candidates scored/timed, winner
+// rank) to TUNE; v4/v5 files still load with the oracle defaults
+// (option on, provenance absent).
 // ---------------------------------------------------------------------------
 
 constexpr char kMagic[8] = {'F', 'B', 'M', 'P', 'K', 'P', 'L', 'N'};
-constexpr std::uint32_t kVersion = 5;
+constexpr std::uint32_t kVersion = 6;
 constexpr std::uint32_t kMinVersion = 4;  // oldest still-loadable format
 
 // Section tags, in the order they are written.
@@ -399,6 +403,7 @@ void save_plan(const MpkPlan& plan, std::ostream& out) {
   w.boolean(o.index_compress);
   w.pod(static_cast<std::int32_t>(o.prefetch_dist));
   w.enumeration(o.value_precision);
+  w.boolean(o.autotune_oracle);
 
   w.begin_section(kSecStats);
   w.pod(plan.stats_);
@@ -457,6 +462,11 @@ void save_plan(const MpkPlan& plan, std::ostream& out) {
   w.enumeration(t.value_precision);
   w.pod(t.tuned_threads);
   w.pod(t.best_seconds);
+  w.boolean(t.oracle_used);
+  w.pod(t.oracle_predicted_bytes);
+  w.pod(t.candidates_scored);
+  w.pod(t.candidates_timed);
+  w.pod(t.oracle_rank_of_winner);
 
   const std::string& payload = w.blob();
   const auto payload_crc = crc32(payload.data(), payload.size());
@@ -603,6 +613,7 @@ MpkPlan load_plan_impl(std::istream& in, std::uint64_t total_size) {
   if (version >= 5)
     plan.opts_.value_precision =
         r.enumeration<ValuePrecision>(3, "value precision");
+  if (version >= 6) plan.opts_.autotune_oracle = r.boolean();
   r.end_section(sec, "options");
 
   sec = r.begin_section(kSecStats, "stats");
@@ -714,6 +725,25 @@ MpkPlan load_plan_impl(std::istream& in, std::uint64_t total_size) {
     plan.tuned_.best_seconds = r.pod<double>();
     FBMPK_CHECK_CODE(plan.tuned_.best_seconds >= 0.0, ErrorCode::kCorruptPlan,
                      "negative tuned timing in plan");
+    if (version >= 6) {
+      plan.tuned_.oracle_used = r.boolean();
+      plan.tuned_.oracle_predicted_bytes = r.pod<double>();
+      FBMPK_CHECK_CODE(plan.tuned_.oracle_predicted_bytes >= 0.0,
+                       ErrorCode::kCorruptPlan,
+                       "negative oracle prediction in plan");
+      plan.tuned_.candidates_scored = r.pod<index_t>();
+      plan.tuned_.candidates_timed = r.pod<index_t>();
+      plan.tuned_.oracle_rank_of_winner = r.pod<index_t>();
+      FBMPK_CHECK_CODE(
+          plan.tuned_.candidates_scored >= 0 &&
+              plan.tuned_.candidates_timed >= 0 &&
+              plan.tuned_.candidates_timed <= plan.tuned_.candidates_scored &&
+              plan.tuned_.oracle_rank_of_winner >= 0 &&
+              plan.tuned_.oracle_rank_of_winner <=
+                  plan.tuned_.candidates_timed,
+          ErrorCode::kCorruptPlan,
+          "inconsistent oracle provenance counts in plan");
+    }
     r.end_section(sec, "tuned config");
   }
   r.expect_exhausted();

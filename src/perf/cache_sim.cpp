@@ -10,32 +10,39 @@ bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
 }  // namespace
 
+namespace simdetail {
+
+Level make_level(const CacheConfig& cfg, std::size_t line_bytes) {
+  FBMPK_CHECK(cfg.size_bytes > 0 && cfg.associativity > 0);
+  FBMPK_CHECK_MSG(is_pow2(cfg.line_bytes), "line size must be power of 2");
+  FBMPK_CHECK_MSG(cfg.line_bytes == line_bytes,
+                  "all levels must share one line size");
+  Level lv;
+  lv.ways = cfg.associativity;
+  lv.line_bytes = cfg.line_bytes;
+  lv.sets = std::max<std::size_t>(
+      1, cfg.size_bytes / (cfg.associativity * cfg.line_bytes));
+  FBMPK_CHECK_MSG(is_pow2(lv.sets),
+                  "size/(assoc*line) must be a power of 2, got " << lv.sets
+                                                                 << " sets");
+  lv.store.assign(lv.sets * lv.ways, Way{});
+  return lv;
+}
+
+}  // namespace simdetail
+
 CacheHierarchy::CacheHierarchy(const std::vector<CacheConfig>& levels) {
   FBMPK_CHECK_MSG(!levels.empty(), "need at least one cache level");
-  for (const auto& cfg : levels) {
-    FBMPK_CHECK(cfg.size_bytes > 0 && cfg.associativity > 0);
-    FBMPK_CHECK_MSG(is_pow2(cfg.line_bytes), "line size must be power of 2");
-    FBMPK_CHECK_MSG(cfg.line_bytes == levels.front().line_bytes,
-                    "all levels must share one line size");
-    Level lv;
-    lv.ways = cfg.associativity;
-    lv.line_bytes = cfg.line_bytes;
-    lv.sets = std::max<std::size_t>(1, cfg.size_bytes /
-                                           (cfg.associativity * cfg.line_bytes));
-    FBMPK_CHECK_MSG(is_pow2(lv.sets),
-                    "size/(assoc*line) must be a power of 2, got "
-                        << lv.sets << " sets");
-    lv.store.assign(lv.sets * lv.ways, Way{});
-    levels_.push_back(std::move(lv));
-  }
+  for (const auto& cfg : levels)
+    levels_.push_back(simdetail::make_level(cfg, levels.front().line_bytes));
   stats_.assign(levels_.size(), LevelStats{});
 }
 
-std::size_t CacheHierarchy::lookup(Level& lv, std::uint64_t line,
+std::size_t CacheHierarchy::lookup(simdetail::Level& lv, std::uint64_t line,
                                    bool is_write) {
   const std::uint64_t set = line & (lv.sets - 1);
   const std::uint64_t tag = line >> 0;  // full line id as tag (simple)
-  Way* ways = lv.set_begin(set);
+  simdetail::Way* ways = lv.set_begin(set);
   for (std::size_t w = 0; w < lv.ways; ++w) {
     if (ways[w].valid && ways[w].tag == tag) {
       ways[w].lru = ++tick_;
@@ -48,9 +55,9 @@ std::size_t CacheHierarchy::lookup(Level& lv, std::uint64_t line,
 
 void CacheHierarchy::fill(std::size_t level_idx, std::uint64_t line,
                           bool dirty) {
-  Level& lv = levels_[level_idx];
+  simdetail::Level& lv = levels_[level_idx];
   const std::uint64_t set = line & (lv.sets - 1);
-  Way* ways = lv.set_begin(set);
+  simdetail::Way* ways = lv.set_begin(set);
   // Choose an invalid way, else the LRU victim.
   std::size_t victim = 0;
   for (std::size_t w = 0; w < lv.ways; ++w) {
@@ -67,7 +74,7 @@ void CacheHierarchy::fill(std::size_t level_idx, std::uint64_t line,
       const std::uint64_t evicted = ways[victim].tag;
       // The lower level may or may not hold the line (non-inclusive
       // victim handling): write-allocate it there.
-      Level& next = levels_[level_idx + 1];
+      simdetail::Level& next = levels_[level_idx + 1];
       const std::size_t hit_way = lookup(next, evicted, true);
       if (hit_way == static_cast<std::size_t>(-1))
         fill(level_idx + 1, evicted, true);
@@ -75,7 +82,7 @@ void CacheHierarchy::fill(std::size_t level_idx, std::uint64_t line,
       dram_write_bytes_ += lv.line_bytes;
     }
   }
-  ways[victim] = Way{line, ++tick_, true, dirty};
+  ways[victim] = simdetail::Way{line, ++tick_, true, dirty};
 }
 
 void CacheHierarchy::access(std::uintptr_t addr, bool is_write) {
@@ -111,29 +118,235 @@ void CacheHierarchy::flush() {
 }
 
 void CacheHierarchy::clear() {
-  for (auto& lv : levels_) std::fill(lv.store.begin(), lv.store.end(), Way{});
+  for (auto& lv : levels_)
+    std::fill(lv.store.begin(), lv.store.end(), simdetail::Way{});
   std::fill(stats_.begin(), stats_.end(), LevelStats{});
   dram_read_bytes_ = dram_write_bytes_ = 0;
   tick_ = 0;
 }
 
+// --------------------------- SharedCacheSim --------------------------------
+
+SharedCacheSim::SharedCacheSim(int cores,
+                               const std::vector<CacheConfig>& private_levels,
+                               const CacheConfig& llc) {
+  FBMPK_CHECK_MSG(cores >= 1, "need at least one core");
+  FBMPK_CHECK_MSG(!private_levels.empty(),
+                  "need at least one private cache level");
+  const std::size_t line = private_levels.front().line_bytes;
+  llc_ = simdetail::make_level(llc, line);
+  cores_.resize(static_cast<std::size_t>(cores));
+  for (auto& core : cores_)
+    for (const auto& cfg : private_levels)
+      core.push_back(simdetail::make_level(cfg, line));
+  private_stats_.assign(
+      static_cast<std::size_t>(cores),
+      std::vector<LevelStats>(private_levels.size(), LevelStats{}));
+}
+
+std::size_t SharedCacheSim::lookup(simdetail::Level& lv, std::uint64_t line,
+                                   bool is_write) {
+  const std::uint64_t set = line & (lv.sets - 1);
+  simdetail::Way* ways = lv.set_begin(set);
+  for (std::size_t w = 0; w < lv.ways; ++w) {
+    if (ways[w].valid && ways[w].tag == line) {
+      ways[w].lru = ++tick_;
+      if (is_write) ways[w].dirty = true;
+      return w;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+void SharedCacheSim::fill_private(int core, std::size_t level_idx,
+                                  std::uint64_t line, bool dirty) {
+  auto& levels = cores_[static_cast<std::size_t>(core)];
+  simdetail::Level& lv = levels[level_idx];
+  const std::uint64_t set = line & (lv.sets - 1);
+  simdetail::Way* ways = lv.set_begin(set);
+  std::size_t victim = 0;
+  for (std::size_t w = 0; w < lv.ways; ++w) {
+    if (!ways[w].valid) {
+      victim = w;
+      break;
+    }
+    if (ways[w].lru < ways[victim].lru) victim = w;
+  }
+  if (ways[victim].valid && ways[victim].dirty) {
+    const std::uint64_t evicted = ways[victim].tag;
+    if (level_idx + 1 < levels.size()) {
+      simdetail::Level& next = levels[level_idx + 1];
+      if (lookup(next, evicted, true) == static_cast<std::size_t>(-1))
+        fill_private(core, level_idx + 1, evicted, true);
+    } else {
+      // The last private level writes back into the shared LLC.
+      writeback_to_llc(evicted);
+    }
+  }
+  ways[victim] = simdetail::Way{line, ++tick_, true, dirty};
+}
+
+void SharedCacheSim::writeback_to_llc(std::uint64_t line) {
+  if (lookup(llc_, line, true) == static_cast<std::size_t>(-1))
+    fill_llc(line, true);  // inclusion hiccup: re-install dirty
+}
+
+void SharedCacheSim::fill_llc(std::uint64_t line, bool dirty) {
+  const std::uint64_t set = line & (llc_.sets - 1);
+  simdetail::Way* ways = llc_.set_begin(set);
+  std::size_t victim = 0;
+  for (std::size_t w = 0; w < llc_.ways; ++w) {
+    if (!ways[w].valid) {
+      victim = w;
+      break;
+    }
+    if (ways[w].lru < ways[victim].lru) victim = w;
+  }
+  if (ways[victim].valid) {
+    // Inclusive LLC: evicting a line drops every private copy; a dirty
+    // copy anywhere (LLC or private) makes this a DRAM write.
+    const std::uint64_t evicted = ways[victim].tag;
+    bool was_dirty = ways[victim].dirty;
+    for (auto& core : cores_) {
+      for (auto& lv : core) {
+        const std::uint64_t cset = evicted & (lv.sets - 1);
+        simdetail::Way* cways = lv.set_begin(cset);
+        for (std::size_t w = 0; w < lv.ways; ++w) {
+          if (cways[w].valid && cways[w].tag == evicted) {
+            was_dirty = was_dirty || cways[w].dirty;
+            cways[w] = simdetail::Way{};
+          }
+        }
+      }
+    }
+    if (was_dirty) dram_write_bytes_ += llc_.line_bytes;
+  }
+  ways[victim] = simdetail::Way{line, ++tick_, true, dirty};
+}
+
+void SharedCacheSim::access(int core, std::uintptr_t addr, bool is_write,
+                            bool fetch_on_miss) {
+  const std::uint64_t line = addr / llc_.line_bytes;
+  auto& levels = cores_[static_cast<std::size_t>(core)];
+  auto& stats = private_stats_[static_cast<std::size_t>(core)];
+  std::size_t hit_level = levels.size();
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    if (lookup(levels[l], line, is_write && l == 0) !=
+        static_cast<std::size_t>(-1)) {
+      ++stats[l].hits;
+      hit_level = l;
+      break;
+    }
+    ++stats[l].misses;
+  }
+  if (hit_level == levels.size()) {
+    // All privates missed: probe the shared LLC.
+    if (lookup(llc_, line, false) != static_cast<std::size_t>(-1)) {
+      ++llc_stats_.hits;
+    } else {
+      ++llc_stats_.misses;
+      if (fetch_on_miss || !is_write) dram_read_bytes_ += llc_.line_bytes;
+      fill_llc(line, false);
+    }
+  }
+  // Allocate in every missed private level (dirty bit lives in L1).
+  for (std::size_t l = std::min(hit_level, levels.size()); l-- > 0;)
+    fill_private(core, l, line, is_write && l == 0);
+}
+
+void SharedCacheSim::touch(int core, std::uintptr_t addr, std::size_t bytes,
+                           bool is_write, bool fetch_on_miss) {
+  if (bytes == 0) return;
+  const std::size_t line = llc_.line_bytes;
+  const std::uintptr_t first = addr / line;
+  const std::uintptr_t last = (addr + bytes - 1) / line;
+  for (std::uintptr_t l = first; l <= last; ++l)
+    access(core, l * line, is_write, fetch_on_miss);
+}
+
+void SharedCacheSim::flush() {
+  // Each distinct dirty line is written once. A private dirty copy
+  // implies an LLC copy (inclusion); clearing the LLC copy's dirty bit
+  // here prevents double counting when the LLC pass follows. The
+  // replayed partitions never write-share a line, so no line is dirty
+  // in two cores at once.
+  for (auto& core : cores_) {
+    for (auto& lv : core) {
+      for (auto& w : lv.store) {
+        if (w.valid && w.dirty) {
+          dram_write_bytes_ += lv.line_bytes;
+          w.dirty = false;
+          const std::uint64_t set = w.tag & (llc_.sets - 1);
+          simdetail::Way* lways = llc_.set_begin(set);
+          for (std::size_t i = 0; i < llc_.ways; ++i)
+            if (lways[i].valid && lways[i].tag == w.tag)
+              lways[i].dirty = false;
+        }
+      }
+    }
+  }
+  for (auto& w : llc_.store) {
+    if (w.valid && w.dirty) {
+      dram_write_bytes_ += llc_.line_bytes;
+      w.dirty = false;
+    }
+  }
+}
+
+void SharedCacheSim::clear() {
+  for (auto& core : cores_)
+    for (auto& lv : core)
+      std::fill(lv.store.begin(), lv.store.end(), simdetail::Way{});
+  std::fill(llc_.store.begin(), llc_.store.end(), simdetail::Way{});
+  for (auto& stats : private_stats_)
+    std::fill(stats.begin(), stats.end(), LevelStats{});
+  llc_stats_ = LevelStats{};
+  dram_read_bytes_ = dram_write_bytes_ = 0;
+  tick_ = 0;
+}
+
+// --------------------------- factories -------------------------------------
+
+namespace {
+
+std::size_t scaled_pow2(std::size_t bytes, double scale) {
+  // Round the scaled size to a power-of-two set count by rounding the
+  // size itself to a power of two (associativity and line are fixed).
+  auto target = static_cast<std::size_t>(static_cast<double>(bytes) * scale);
+  std::size_t pow2 = 4096;  // floor: one 8-way set minimum
+  while (pow2 * 2 <= target) pow2 *= 2;
+  return pow2;
+}
+
+// Table I, Xeon Gold 6230R: 64 KB L1, 1 MB L2, 35.75 MB LLC (per
+// socket; we model one socket and round the LLC to a power of two).
+constexpr std::size_t kXeonLevelBytes[3] = {
+    std::size_t{64} * 1024, std::size_t{1024} * 1024,
+    std::size_t{32} * 1024 * 1024};
+
+}  // namespace
+
+std::size_t xeon_like_level_bytes(std::size_t level, double scale) {
+  FBMPK_CHECK(level < 3 && scale > 0.0);
+  return scaled_pow2(kXeonLevelBytes[level], scale);
+}
+
 CacheHierarchy make_xeon_like_hierarchy(double scale) {
   FBMPK_CHECK(scale > 0.0);
-  auto scaled = [&](std::size_t bytes) {
-    // Round the scaled size to a power-of-two set count by rounding the
-    // size itself to a power of two (associativity and line are fixed).
-    auto target = static_cast<std::size_t>(static_cast<double>(bytes) * scale);
-    std::size_t pow2 = 4096;  // floor: one 8-way set minimum
-    while (pow2 * 2 <= target) pow2 *= 2;
-    return pow2;
-  };
-  // Table I, Xeon Gold 6230R: 64 KB L1, 1 MB L2, 35.75 MB LLC (per
-  // socket; we model one socket and round the LLC to a power of two).
   return CacheHierarchy({
-      CacheConfig{scaled(std::size_t{64} * 1024), 8, 64},
-      CacheConfig{scaled(std::size_t{1024} * 1024), 16, 64},
-      CacheConfig{scaled(std::size_t{32} * 1024 * 1024), 16, 64},
+      CacheConfig{xeon_like_level_bytes(0, scale), 8, 64},
+      CacheConfig{xeon_like_level_bytes(1, scale), 16, 64},
+      CacheConfig{xeon_like_level_bytes(2, scale), 16, 64},
   });
+}
+
+SharedCacheSim make_shared_xeon_like(int cores, double scale) {
+  FBMPK_CHECK(cores >= 1 && scale > 0.0);
+  return SharedCacheSim(
+      cores,
+      {CacheConfig{xeon_like_level_bytes(0, scale), 8, 64},
+       CacheConfig{xeon_like_level_bytes(1, scale), 16, 64}},
+      CacheConfig{xeon_like_level_bytes(2, scale), 16, 64});
 }
 
 }  // namespace fbmpk::perf

@@ -75,13 +75,19 @@ TrafficEstimate fbmpk_traffic_impl(const MatrixShape& m, int k,
                    (static_cast<std::size_t>(k / 2) + (odd ? 1 : 0)) *
                        static_cast<std::size_t>(m.rows) * matrix_value_size;
 
-  // Vector stream counts per stage (reads + writes of n-length arrays):
+  // Vector stream counts per stage (reads + writes of n-length arrays).
+  // Gathers to recently-written rows hit in cache (the reordering's
+  // whole point), except in the backward sweep, whose gathers re-read
+  // the xy pair the forward sweep left behind — one full pass over
+  // both lanes:
   //   head: read x0, write xy-even, write tmp                  -> 3n
-  //   forward: read tmp + xy pair (2n), write xy-odd + tmp     -> 6n
-  //   backward: read tmp + xy pair (2n), write xy-even + tmp   -> 6n
+  //   forward: read tmp + xy-even (the odd lane is produced,
+  //            not read), write xy-odd + tmp                   -> 4n
+  //   backward: read tmp + the xy pair its gathers re-fetch
+  //             (2n), write xy-even + tmp                      -> 6n
   //   tail: read tmp + xy-even, write y                        -> 3n
   const std::size_t n = static_cast<std::size_t>(m.rows);
-  const std::size_t pair_streams = 12 * static_cast<std::size_t>(k / 2);
+  const std::size_t pair_streams = 10 * static_cast<std::size_t>(k / 2);
   t.vector_bytes = (3 + pair_streams + (odd ? 3 : 0)) * n * vector_value_size;
   return t;
 }

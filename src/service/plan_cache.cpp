@@ -7,6 +7,7 @@
 #include "support/checksum.hpp"
 #include "support/error.hpp"
 #include "support/threading.hpp"
+#include "support/timer.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace fbmpk::service {
@@ -107,7 +108,13 @@ PlanCache::Lease PlanCache::acquire(std::uint64_t key, const Builder& build) {
   entry->key = key;
   {
     FBMPK_TSPAN(kService, "service.cache.build");
+    [[maybe_unused]] Timer build_timer;
     entry->plan = std::make_shared<const MpkPlan>(build());
+    // Last-build gauge: the request-path cost the autotune oracle is
+    // meant to shrink (docs/AUTOTUNING.md); spans carry the history,
+    // the gauge makes the latest cost scrapeable.
+    FBMPK_TGAUGE("service.plan_build_ns",
+                 static_cast<std::int64_t>(build_timer.seconds() * 1e9));
   }
   std::ostringstream out;
   save_plan(*entry->plan, out);

@@ -169,6 +169,7 @@ enum class Point : int {
   kCacheCorrupt,      ///< flip a byte of the next touched cache artifact
   kQueueFull,         ///< admission control reports the queue full
   kPrecisionCertify,  ///< force a precision-certification failure
+  kAutotuneBuild,     ///< fail a candidate plan build inside autotune
   kCount_,            // sentinel
 };
 

@@ -34,7 +34,11 @@ namespace fbmpk::telemetry {
 /// v3: the request coalescer's "service.batch_width" histogram (widths,
 /// not nanoseconds) and "service.batch_coalesced" counter join the
 /// contract when batching is enabled (max_batch > 1).
-inline constexpr int kMetricsSchemaVersion = 3;
+/// v4: the autotune oracle's "autotune.candidates_pruned" counter and
+/// the "plan.oracle_predicted_bytes" / "service.plan_build_ns" gauges
+/// (docs/AUTOTUNING.md) join the contract when build_autotuned_plan or
+/// a plan-cache miss ran with telemetry on.
+inline constexpr int kMetricsSchemaVersion = 4;
 
 /// Measured-vs-modeled traffic comparison attached to a trace — the
 /// runtime analogue of the paper's Fig 9 columns.

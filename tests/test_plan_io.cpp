@@ -169,6 +169,7 @@ TEST(PlanIo, RoundTripCompressedDispatchPlan) {
   opts.kernel_backend = KernelBackend::kGeneric;
   opts.index_compress = true;
   opts.prefetch_dist = 8;
+  opts.autotune_oracle = false;  // non-default, must round-trip (v6)
   auto plan = MpkPlan::build(a, opts);
   ASSERT_GT(plan.stats().packed_index_bytes, 0u);
 
@@ -179,6 +180,7 @@ TEST(PlanIo, RoundTripCompressedDispatchPlan) {
   EXPECT_EQ(loaded.options().kernel_backend, KernelBackend::kGeneric);
   EXPECT_TRUE(loaded.options().index_compress);
   EXPECT_EQ(loaded.options().prefetch_dist, 8);
+  EXPECT_FALSE(loaded.options().autotune_oracle);
   EXPECT_EQ(loaded.resolved_backend(), KernelBackend::kGeneric);
   EXPECT_EQ(loaded.stats().packed_index_bytes,
             plan.stats().packed_index_bytes);
@@ -433,6 +435,11 @@ TEST(PlanIo, TunedConfigRoundTripsAndRevalidatesStaleness) {
   cfg.value_precision = ValuePrecision::kFp32;
   cfg.tuned_threads = threads;
   cfg.best_seconds = 2.5e-4;
+  cfg.oracle_used = true;
+  cfg.oracle_predicted_bytes = 3.25e8;
+  cfg.candidates_scored = 9;
+  cfg.candidates_timed = 4;
+  cfg.oracle_rank_of_winner = 2;
   plan.set_tuned_config(cfg);
   std::stringstream buf;
   save_plan(plan, buf);
@@ -444,6 +451,14 @@ TEST(PlanIo, TunedConfigRoundTripsAndRevalidatesStaleness) {
   EXPECT_EQ(loaded.tuned_config().tuned_threads, threads);
   EXPECT_EQ(loaded.tuned_config().best_seconds, cfg.best_seconds);
   EXPECT_FALSE(loaded.tuned_config().stale);
+  // v6 oracle provenance survives the round trip.
+  EXPECT_TRUE(loaded.tuned_config().oracle_used);
+  EXPECT_EQ(loaded.tuned_config().oracle_predicted_bytes,
+            cfg.oracle_predicted_bytes);
+  EXPECT_EQ(loaded.tuned_config().candidates_scored, cfg.candidates_scored);
+  EXPECT_EQ(loaded.tuned_config().candidates_timed, cfg.candidates_timed);
+  EXPECT_EQ(loaded.tuned_config().oracle_rank_of_winner,
+            cfg.oracle_rank_of_winner);
 
   // A config tuned at a different thread count: loads, flagged stale.
   cfg.tuned_threads = threads + 7;
@@ -484,6 +499,8 @@ TEST(PlanIo, V4GoldenPlansStillLoad) {
     EXPECT_EQ(loaded.options().index_compress, f.compressed);
     EXPECT_EQ(loaded.stats().packed_value_bytes, 0u);
     EXPECT_FALSE(loaded.tuned_config().valid);
+    EXPECT_TRUE(loaded.options().autotune_oracle);  // v6 default
+    EXPECT_FALSE(loaded.tuned_config().oracle_used);
 
     // The v4 plan must compute exactly what a fresh build computes.
     const auto a = gen::make_laplacian_2d(8, 8);
