@@ -206,6 +206,10 @@ int cmd_plan(const Args& args) {
   std::printf("matrix: %d rows, %d nnz\n", a.rows(), a.nnz());
 
   PlanOptions opts;
+  // Scheduler choice (docs/PARALLELISM.md §9). Levels is the
+  // keep-the-order strategy, so it implies reorder off.
+  opts.scheduler = parse_scheduler(get(args, "scheduler", "abmc"));
+  if (opts.scheduler == Scheduler::kLevels) opts.reorder = false;
   const std::string sweep = get(args, "sweep", "barrier");
   if (sweep == "p2p") {
     opts.sweep.sync = SweepSync::kPointToPoint;
@@ -243,10 +247,18 @@ int cmd_plan(const Args& args) {
 
   const std::string out = need(args, "out");
   save_plan_file(plan, out);
-  std::printf("plan: %d blocks, %d colors, built in %.1f ms, saved to %s\n",
-              static_cast<int>(plan.stats().num_blocks),
-              static_cast<int>(plan.stats().num_colors),
-              plan.stats().build_seconds * 1e3, out.c_str());
+  if (plan.options().scheduler == Scheduler::kLevels)
+    std::printf("plan: %s scheduler, %d fwd / %d bwd levels, built in "
+                "%.1f ms, saved to %s\n",
+                scheduler_name(plan.options().scheduler),
+                static_cast<int>(plan.stats().num_levels_forward),
+                static_cast<int>(plan.stats().num_levels_backward),
+                plan.stats().build_seconds * 1e3, out.c_str());
+  else
+    std::printf("plan: %d blocks, %d colors, built in %.1f ms, saved to %s\n",
+                static_cast<int>(plan.stats().num_blocks),
+                static_cast<int>(plan.stats().num_colors),
+                plan.stats().build_seconds * 1e3, out.c_str());
   std::printf("kernel: backend=%s%s, values=%s\n",
               backend_name(plan.resolved_backend()),
               plan.options().index_compress ? ", compressed indices" : "",
@@ -262,13 +274,26 @@ int cmd_info(const Args& args) {
               static_cast<int>(st.num_colors));
   std::printf("storage:         %.2f MB (L+U+d)\n",
               static_cast<double>(st.storage_bytes) / (1024.0 * 1024.0));
+  const bool is_levels = plan.options().scheduler == Scheduler::kLevels;
   std::printf("scheduler:       %s, parallel=%s, reorder=%s\n",
-              plan.options().scheduler == Scheduler::kAbmc ? "abmc" : "levels",
+              scheduler_name(plan.options().scheduler),
               plan.options().parallel ? "yes" : "no",
               plan.options().reorder ? "yes" : "no");
+  if (is_levels) {
+    std::printf("levels:          %d forward / %d backward\n",
+                static_cast<int>(plan.levels().forward.num_levels),
+                static_cast<int>(plan.levels().backward.num_levels));
+    if (!plan.level_sweep_schedule().empty())
+      std::printf("level blocking:  %d fwd / %d bwd stages x %d threads\n",
+                  static_cast<int>(plan.level_sweep_schedule().fwd.num_stages),
+                  static_cast<int>(plan.level_sweep_schedule().bwd.num_stages),
+                  static_cast<int>(plan.level_sweep_schedule().num_threads));
+  }
   if (plan.options().sweep.sync == SweepSync::kPointToPoint)
     std::printf("sweep:           point-to-point, %d threads%s\n",
-                static_cast<int>(plan.sweep_schedule().num_threads),
+                static_cast<int>(is_levels
+                                     ? plan.level_sweep_schedule().num_threads
+                                     : plan.sweep_schedule().num_threads),
                 plan.options().sweep.pin_threads ? ", pinned" : "");
   else
     std::printf("sweep:           barrier\n");
@@ -306,6 +331,17 @@ int cmd_info(const Args& args) {
 
 int cmd_power(const Args& args) {
   auto plan = load_plan_file(need(args, "plan"));
+  // Scheduler pin: scripted runs can assert which scheduler the loaded
+  // plan persists instead of silently running the other one.
+  if (args.count("scheduler") != 0) {
+    const Scheduler want = parse_scheduler(args.at("scheduler"));
+    FBMPK_CHECK_CODE(plan.options().scheduler == want,
+                     ErrorCode::kUnsupported,
+                     "--scheduler=" << scheduler_name(want)
+                                    << " but the loaded plan persists '"
+                                    << scheduler_name(plan.options().scheduler)
+                                    << "'");
+  }
   const int k = std::stoi(need(args, "k"));
   const int nvec = std::stoi(get(args, "nvec", "1"));
   FBMPK_CHECK_MSG(nvec >= 1, "--nvec must be >= 1");
@@ -420,9 +456,28 @@ int cmd_autotune(const Args& args) {
   oracle.enabled = get(args, "oracle", "on") != "off";
   oracle.top_k = std::stoi(get(args, "top-k", "2"));
 
+  // Scheduler for the tuned plan: abmc / levels pin it, auto runs the
+  // measured race first (docs/AUTOTUNING.md §the-scheduler-race).
+  PlanOptions base;
+  base.scheduler = parse_scheduler(get(args, "scheduler", "abmc"));
+  if (base.scheduler == Scheduler::kLevels) base.reorder = false;
+  if (base.scheduler == Scheduler::kAuto) {
+    Timer ts;
+    const SchedulerRaceResult race =
+        autotune_scheduler(a, k, reps, PlanOptions{}, oracle);
+    std::printf("scheduler race: picked %s (%s)", scheduler_name(race.best),
+                race.measured ? "measured" : "structural");
+    if (race.measured)
+      std::printf(", abmc %.3f ms vs levels %.3f ms",
+                  race.abmc_seconds * 1e3, race.levels_seconds * 1e3);
+    std::printf(", %.1f ms total\n", ts.milliseconds());
+    base.scheduler = race.best;
+    if (race.best == Scheduler::kLevels) base.reorder = false;
+  }
+
   Timer t;
   const AutotuneResult r = autotune_block_count(
-      a, k, default_block_candidates(), reps, PlanOptions{}, oracle);
+      a, k, default_block_candidates(), reps, base, oracle);
   const double sweep_ms = t.milliseconds();
   std::printf("block sweep: k=%d, oracle=%s, %zu candidates, %d timed, "
               "%d pruned, %.1f ms total\n",
@@ -457,7 +512,6 @@ int cmd_autotune(const Args& args) {
   if (get(args, "kernel", "0") != "0") {
     const bool allow_fast = get(args, "allow-fast", "0") != "0";
     Timer tk;
-    PlanOptions base;
     base.abmc.num_blocks = r.best_blocks;
     const KernelConfigResult kr =
         autotune_kernel_config(a, k, reps, base, allow_fast, oracle);
@@ -511,6 +565,14 @@ int cmd_serve(const Args& args) {
   const int k = std::stoi(get(args, "k", "4"));
 
   service::ServiceOptions sopts;
+  // Scheduler for cache-miss plan builds. Levels implies natural order
+  // plus the blocked p2p engine so the full degradation ladder
+  // (engine -> barrier -> serial) stays populated.
+  sopts.plan.scheduler = parse_scheduler(get(args, "scheduler", "abmc"));
+  if (sopts.plan.scheduler == Scheduler::kLevels) {
+    sopts.plan.reorder = false;
+    sopts.plan.sweep.sync = SweepSync::kPointToPoint;
+  }
   sopts.workers = std::stoi(get(args, "workers", "2"));
   sopts.cache_capacity =
       static_cast<std::size_t>(std::stoul(get(args, "cache", "4")));
@@ -585,22 +647,25 @@ int main(int argc, char** argv) {
                  " --flag=value ...\n"
                  "  plan  --matrix=suite:pwtk|file:a.mtx --out=plan.bin"
                  " [--blocks=512] [--autotune-k=5]\n"
-                 "        [--sweep=barrier|p2p] [--sweep-threads=0]\n"
+                 "        [--scheduler=abmc|levels|auto]"
+                 " [--sweep=barrier|p2p] [--sweep-threads=0]\n"
                  "        [--backend=auto|scalar|generic|avx2|avx512]"
                  " [--index-compress] [--prefetch-dist=16]\n"
                  "        [--precision=fp64|fp32|split]\n"
                  "  info  --plan=plan.bin\n"
                  "  power --plan=plan.bin --k=5 [--nvec=1] [--x=x.txt]"
-                 " [--out=y.txt]\n"
+                 " [--out=y.txt] [--scheduler=abmc|levels]\n"
                  "  poly  --plan=plan.bin --coeffs=1,0.5 [--x=] [--out=]\n"
                  "  autotune --matrix=suite:...|file:... [--k=4] [--reps=3]"
                  " [--explain]\n"
-                 "        [--oracle=on|off] [--top-k=2] [--kernel]"
-                 " [--allow-fast]\n"
+                 "        [--scheduler=abmc|levels|auto] [--oracle=on|off]"
+                 " [--top-k=2] [--kernel]\n"
+                 "        [--allow-fast]\n"
                  "  serve --matrix=suite:...|file:... [--requests=32]"
                  " [--clients=2] [--workers=2]\n"
                  "        [--k=4] [--deadline=0] [--cache=4] [--queue=16]\n"
-                 "        [--max-batch=1] [--batch-window-us=0]\n"
+                 "        [--scheduler=abmc|levels|auto]"
+                 " [--max-batch=1] [--batch-window-us=0]\n"
                  "  any command also takes --telemetry=<file>[,hw]\n",
                  argv[0]);
     return 2;

@@ -241,8 +241,7 @@ SweepSyncResult autotune_sweep_sync(const CsrMatrix<double>& a, int k,
                                     int reps, PlanOptions base) {
   FBMPK_CHECK(k >= 1 && reps >= 1);
   SweepSyncResult result;
-  if (!base.parallel || base.scheduler != Scheduler::kAbmc ||
-      max_threads() <= 1)
+  if (!base.parallel || max_threads() <= 1)
     return result;  // point-to-point cannot win; keep the barrier
 
   ProbeVectors v(a.rows());
@@ -264,6 +263,103 @@ SweepSyncResult autotune_sweep_sync(const CsrMatrix<double>& a, int k,
   return result;
 }
 
+SchedulerRaceResult autotune_scheduler(const CsrMatrix<double>& a, int k,
+                                       int reps, PlanOptions base,
+                                       const OracleOptions& oracle) {
+  FBMPK_CHECK(k >= 1 && reps >= 1);
+  SchedulerRaceResult result;
+  if (!base.parallel || max_threads() <= 1) return result;  // kAbmc, forced
+  if (!base.reorder) {
+    // ABMC without its permutation is not a candidate; the level
+    // scheduler is exactly the keep-the-order strategy.
+    result.best = Scheduler::kLevels;
+    FBMPK_TCOUNT("autotune.scheduler_pick", 1);
+    return result;
+  }
+
+  FBMPK_TSPAN(kAutotune, "autotune.scheduler");
+
+  bool time_abmc = true, time_levels = true;
+  if (oracle.enabled && oracle.top_k >= 1) {
+    FBMPK_TSPAN(kAutotune, "autotune.oracle_score");
+    result.oracle_used = true;
+    const ScoringView view = make_scoring_view(a, oracle.max_sample_rows);
+    const CsrMatrix<double>& s = view.matrix(a);
+    perf::ReplayConfig rc;
+    rc.k = k;
+    rc.threads = max_threads();
+    rc.max_sample_rows = view.sampled
+                             ? std::max<index_t>(1024, oracle.max_sample_rows / 2)
+                             : oracle.max_sample_rows;
+    rc.matrix_value_bytes = stored_value_bytes(base.value_precision);
+
+    AbmcOptions ao = base.abmc;
+    ao.num_blocks = view.scaled_blocks(base.abmc.num_blocks);
+    const AbmcOrdering ord = abmc_order(s, ao);
+    rc.col_index_bytes =
+        base.index_compress
+            ? perf::estimate_packed_index_bytes_per_nnz(s, &ord)
+            : static_cast<double>(sizeof(index_t));
+    result.abmc_predicted_bytes =
+        static_cast<double>(
+            perf::replay_fbmpk_traffic(s, &ord, rc).dram_total_bytes()) *
+        view.traffic_scale;
+
+    // The level scheduler never permutes and the band-compressed
+    // sidecar is sized on the natural order.
+    rc.col_index_bytes =
+        base.index_compress
+            ? perf::estimate_packed_index_bytes_per_nnz(s, nullptr)
+            : static_cast<double>(sizeof(index_t));
+    const TriangularSplit<double> split = split_triangular(s);
+    const LevelSchedulePair levels = LevelSchedulePair::of(split);
+    result.levels_predicted_bytes =
+        static_cast<double>(perf::replay_fbmpk_level_traffic(
+                                s, levels.forward, levels.backward, rc)
+                                .dram_total_bytes()) *
+        view.traffic_scale;
+
+    if (oracle.top_k < 2) {
+      // Trust the model: time only its pick.
+      const bool levels_win =
+          result.levels_predicted_bytes < result.abmc_predicted_bytes;
+      time_abmc = !levels_win;
+      time_levels = levels_win;
+    }
+  }
+
+  ProbeVectors v(a.rows());
+  auto measure = [&](Scheduler sched) {
+    FBMPK_TSPAN_ARGS(kAutotune, "autotune.scheduler_probe",
+                     {.value = sched == Scheduler::kLevels ? 1 : 0});
+    PlanOptions opts = base;
+    opts.scheduler = sched;
+    if (sched == Scheduler::kLevels) {
+      // Levels is the keep-the-order strategy: race it the way a levels
+      // plan ships — natural order, blocked stages, p2p engine — which
+      // is also the configuration the oracle scored above. Leaving the
+      // base reorder on would time the per-level barrier kernel on the
+      // permuted matrix, a rung no production levels plan runs.
+      opts.reorder = false;
+      opts.sweep.sync = SweepSync::kPointToPoint;
+    }
+    MpkPlan plan = MpkPlan::build(a, opts);
+    return measure_power(plan, v, k, reps);
+  };
+  if (time_abmc) result.abmc_seconds = measure(Scheduler::kAbmc);
+  if (time_levels) result.levels_seconds = measure(Scheduler::kLevels);
+  result.measured = time_abmc && time_levels;
+  if (result.measured)
+    result.best = result.levels_seconds < result.abmc_seconds
+                      ? Scheduler::kLevels
+                      : Scheduler::kAbmc;
+  else
+    result.best = time_levels ? Scheduler::kLevels : Scheduler::kAbmc;
+  FBMPK_TCOUNT("autotune.scheduler_pick",
+               result.best == Scheduler::kLevels ? 1 : 0);
+  return result;
+}
+
 KernelConfigResult autotune_kernel_config(const CsrMatrix<double>& a, int k,
                                           int reps, PlanOptions base,
                                           bool allow_fast,
@@ -272,11 +368,9 @@ KernelConfigResult autotune_kernel_config(const CsrMatrix<double>& a, int k,
   KernelConfigResult result;
 
   // The plan builder only routes dispatched kernels through the BtB
-  // variant and the ABMC/serial schedulers; elsewhere the scalar/plain
-  // baseline is the only legal configuration.
-  const bool dispatch_ok =
-      base.variant == FbVariant::kBtb &&
-      !(base.parallel && base.scheduler == Scheduler::kLevels);
+  // variant (either scheduler); elsewhere the scalar/plain baseline is
+  // the only legal configuration.
+  const bool dispatch_ok = base.variant == FbVariant::kBtb;
 
   struct Candidate {
     KernelBackend backend;
@@ -441,10 +535,24 @@ MpkPlan build_autotuned_plan(const CsrMatrix<double>& a, int k,
                              PlanOptions base, bool allow_fast_kernels) {
   OracleOptions oracle;
   oracle.enabled = base.autotune_oracle;
+
+  // Resolve kAuto by measurement — the structural probe in
+  // MpkPlan::build is the cheap fallback for plain builds; here the
+  // race is affordable and its verdict is persisted (format v7).
+  SchedulerRaceResult race;
+  const bool raced = base.scheduler == Scheduler::kAuto;
+  if (raced) {
+    race = autotune_scheduler(a, k, /*reps=*/3, base, oracle);
+    base.scheduler = race.best;
+    // The race timed levels in its shipping configuration (natural
+    // order); carry that into the plan the remaining stages tune.
+    if (race.best == Scheduler::kLevels) base.reorder = false;
+  }
+
   const AutotuneResult tuned = autotune_block_count(
       a, k, default_block_candidates(), /*reps=*/3, base, oracle);
   base.abmc.num_blocks = tuned.best_blocks;
-  if (base.parallel && base.scheduler == Scheduler::kAbmc)
+  if (base.parallel)
     base.sweep.sync = autotune_sweep_sync(a, k, /*reps=*/3, base).best;
   const KernelConfigResult kcfg = autotune_kernel_config(
       a, k, /*reps=*/3, base, allow_fast_kernels, oracle);
@@ -470,6 +578,14 @@ MpkPlan build_autotuned_plan(const CsrMatrix<double>& a, int k,
       tuned.candidates_timed + kcfg.candidates_timed;
   chosen.oracle_rank_of_winner =
       std::max(tuned.oracle_rank_of_winner, kcfg.oracle_rank_of_winner);
+  chosen.scheduler = base.scheduler;
+  if (raced) {
+    chosen.scheduler_measured = race.measured;
+    chosen.scheduler_alt_seconds = race.best == Scheduler::kLevels
+                                       ? race.abmc_seconds
+                                       : race.levels_seconds;
+    chosen.oracle_used = chosen.oracle_used || race.oracle_used;
+  }
   if (chosen.oracle_used)
     FBMPK_TGAUGE("plan.oracle_predicted_bytes",
                  static_cast<std::int64_t>(chosen.oracle_predicted_bytes));

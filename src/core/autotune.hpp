@@ -76,10 +76,42 @@ struct SweepSyncResult {
 
 /// Measure y = A^k x under both sweep synchronization modes (same
 /// options otherwise) and pick the faster. Skips the measurement and
-/// returns kBarrier for serial plans, the level scheduler, or a
-/// single-thread runtime, where point-to-point cannot win.
+/// returns kBarrier for serial plans or a single-thread runtime, where
+/// point-to-point cannot win. Both schedulers have a point-to-point
+/// engine (the ABMC persistent-threads engine and the level engine),
+/// so the race runs for either.
 SweepSyncResult autotune_sweep_sync(const CsrMatrix<double>& a, int k,
                                     int reps = 3, PlanOptions base = {});
+
+/// ABMC-vs-level-scheduler race for one matrix (Scheduler::kAuto's
+/// measured resolution). Mirrors the oracle-then-time shape of the
+/// other sweeps: both schedulers are first *scored* with the sampled
+/// replay (perf/sweep_replay — the ABMC replay walks the recolored
+/// (color, block) structure, the level replay walks dependency levels
+/// over the natural order), then the top-K survivors are timed on real
+/// plans and the fastest wins. With the default top_k >= 2 both are
+/// always timed (`measured`); top_k == 1 trusts the model and times
+/// only its pick.
+struct SchedulerRaceResult {
+  Scheduler best = Scheduler::kAbmc;
+  /// Both schedulers were timed end-to-end (false when one was forced
+  /// structurally — serial, or !reorder — or pruned by the oracle).
+  bool measured = false;
+  double abmc_seconds = 0.0;    ///< median A^k x time (0 = not timed)
+  double levels_seconds = 0.0;  ///< median A^k x time (0 = not timed)
+  bool oracle_used = false;
+  double abmc_predicted_bytes = -1.0;    ///< -1 = not scored
+  double levels_predicted_bytes = -1.0;  ///< -1 = not scored
+};
+
+/// Race the two parallel schedulers on y = A^k x. Serial plans resolve
+/// to kAbmc without measurement; `!base.reorder` forces kLevels (ABMC
+/// needs the permutation it is built around, the level scheduler is
+/// exactly the no-reorder strategy). `base.scheduler` is ignored — the
+/// caller is asking which one to set.
+SchedulerRaceResult autotune_scheduler(const CsrMatrix<double>& a, int k,
+                                       int reps = 3, PlanOptions base = {},
+                                       const OracleOptions& oracle = {});
 
 /// Measure each candidate block count on y = A^k x and pick the
 /// fastest. `base` supplies every option except abmc.num_blocks. With
@@ -131,17 +163,22 @@ struct KernelConfigResult {
 /// every matrix value survives the hi/lo round-trip, split candidates
 /// are measured even without `allow_fast` because the scalar split
 /// kernel reproduces the exact result bitwise. Configurations the plan
-/// builder rejects (split variant, parallel level scheduler) are
-/// skipped, leaving the scalar/plain baseline.
+/// builder rejects (the split variant) are skipped, leaving the
+/// scalar/plain baseline; both schedulers dispatch the full candidate
+/// set.
 KernelConfigResult autotune_kernel_config(const CsrMatrix<double>& a, int k,
                                           int reps = 3, PlanOptions base = {},
                                           bool allow_fast = false,
                                           const OracleOptions& oracle = {});
 
 /// Convenience: build a plan with the autotuned block count, for
-/// parallel ABMC plans the autotuned sweep synchronization, and — only
+/// parallel plans the autotuned sweep synchronization, and — only
 /// when `allow_fast_kernels` opts in — the autotuned row-kernel
-/// backend / index compression / value precision. The winning
+/// backend / index compression / value precision. When
+/// `base.scheduler` is Scheduler::kAuto the ABMC-vs-levels race runs
+/// first (autotune_scheduler) and the measured winner is built; the
+/// pick, whether it was measured, and the loser's time are persisted
+/// in TunedConfig (plan format v7). The winning
 /// configuration is recorded on the plan (MpkPlan::tuned_config) and
 /// persisted by save_plan, so a reloaded plan knows what was tuned and
 /// whether the choice is stale on the loading machine.

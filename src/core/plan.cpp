@@ -35,9 +35,53 @@ std::int64_t schedule_imbalance_ppm(const SweepSchedule& sched) {
   if (mean <= 0.0) return 0;
   return static_cast<std::int64_t>(peak / mean * 1e6);
 }
+
+// Same diagnostic for the level-blocked schedule: per-thread nnz load
+// summed over both directions' stages.
+std::int64_t level_imbalance_ppm(const LevelSweepSchedule& sched) {
+  if (sched.empty()) return 0;
+  const std::size_t T_n = static_cast<std::size_t>(sched.num_threads);
+  std::vector<double> per_thread(T_n, 0.0);
+  const auto add = [&](const LevelBlockDirection& d) {
+    for (std::size_t t = 0; t < T_n; ++t)
+      for (index_t s = 0; s < d.num_stages; ++s)
+        per_thread[t] += static_cast<double>(
+            d.load[d.slot(static_cast<index_t>(t), s)]);
+  };
+  add(sched.fwd);
+  add(sched.bwd);
+  double total = 0.0, peak = 0.0;
+  for (double v : per_thread) {
+    total += v;
+    peak = std::max(peak, v);
+  }
+  const double mean = total / static_cast<double>(T_n);
+  if (mean <= 0.0) return 0;
+  return static_cast<std::int64_t>(peak / mean * 1e6);
+}
 #endif
 
 }  // namespace
+
+const char* scheduler_name(Scheduler s) {
+  switch (s) {
+    case Scheduler::kAbmc:
+      return "abmc";
+    case Scheduler::kLevels:
+      return "levels";
+    case Scheduler::kAuto:
+      return "auto";
+  }
+  return "abmc";
+}
+
+Scheduler parse_scheduler(const std::string& name) {
+  if (name == "abmc") return Scheduler::kAbmc;
+  if (name == "levels") return Scheduler::kLevels;
+  if (name == "auto") return Scheduler::kAuto;
+  throw Error(ErrorCode::kUnsupported,
+              "unknown scheduler '" + name + "' (abmc | levels | auto)");
+}
 
 MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
   FBMPK_CHECK_CODE(a.rows() == a.cols(), ErrorCode::kInvalidMatrix,
@@ -46,9 +90,9 @@ MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
   FBMPK_CHECK_CODE(a.rows() > 0, ErrorCode::kInvalidMatrix,
                    "MpkPlan needs a non-empty matrix");
   FBMPK_CHECK_MSG(
-      !opts.parallel || opts.reorder || opts.scheduler == Scheduler::kLevels,
+      !opts.parallel || opts.reorder || opts.scheduler != Scheduler::kAbmc,
       "ABMC-scheduled parallel execution requires the reorder; use "
-      "Scheduler::kLevels to run parallel without reordering");
+      "Scheduler::kLevels (or kAuto) to run parallel without reordering");
   const bool wants_dispatch =
       opts.kernel_backend != KernelBackend::kScalar || opts.index_compress ||
       opts.value_precision != ValuePrecision::kFp64;
@@ -56,11 +100,6 @@ MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
                    ErrorCode::kUnsupported,
                    "fast kernel backends / index compression cover the BtB "
                    "variant only");
-  FBMPK_CHECK_CODE(
-      !(wants_dispatch && opts.parallel &&
-        opts.scheduler == Scheduler::kLevels),
-      ErrorCode::kUnsupported,
-      "fast kernel backends are not wired into the level scheduler");
   FBMPK_CHECK_MSG(opts.prefetch_dist >= 0 && opts.prefetch_dist <= 1024,
                   "prefetch_dist must be in [0, 1024], got "
                       << opts.prefetch_dist);
@@ -94,11 +133,51 @@ MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
     plan.split_ = split_triangular(a);
   }
 
+  if (opts.parallel && opts.scheduler == Scheduler::kAuto) {
+    // Structural probe for the unmeasured build path: level scheduling
+    // wins when the dependency levels are wide enough to keep every
+    // thread busy without ABMC's recoloring barriers; long narrow
+    // chains favor ABMC (docs/PARALLELISM.md §choosing-a-scheduler).
+    // build_autotuned_plan replaces this with a measured race
+    // (autotune_scheduler). Plans never carry kAuto past this point.
+    FBMPK_TSPAN(kPlan, "plan.scheduler_probe");
+    if (!opts.reorder) {
+      opts.scheduler = Scheduler::kLevels;  // ABMC needs the reorder
+    } else {
+      const index_t threads = opts.sweep.threads > 0
+                                  ? opts.sweep.threads
+                                  : static_cast<index_t>(max_threads());
+      const index_t nl = forward_levels(plan.split_.lower).num_levels;
+      const double mean_width =
+          static_cast<double>(plan.n_) / static_cast<double>(std::max<index_t>(nl, 1));
+      opts.scheduler = mean_width >= 4.0 * static_cast<double>(threads)
+                           ? Scheduler::kLevels
+                           : Scheduler::kAbmc;
+    }
+    plan.opts_.scheduler = opts.scheduler;
+  } else if (opts.scheduler == Scheduler::kAuto) {
+    // Serial plans never consult the scheduler; resolve to the default
+    // so persisted options stay concrete.
+    opts.scheduler = Scheduler::kAbmc;
+    plan.opts_.scheduler = opts.scheduler;
+  }
+
   if (opts.parallel && opts.scheduler == Scheduler::kLevels) {
     FBMPK_TSPAN(kPlan, "plan.levels");
     plan.levels_ = LevelSchedulePair::of(plan.split_);
     plan.stats_.num_levels_forward = plan.levels_.forward.num_levels;
     plan.stats_.num_levels_backward = plan.levels_.backward.num_levels;
+    if (opts.sweep.sync == SweepSync::kPointToPoint) {
+      FBMPK_TSPAN(kPlan, "plan.level_blocking");
+      const index_t threads = opts.sweep.threads > 0
+                                  ? opts.sweep.threads
+                                  : static_cast<index_t>(max_threads());
+      plan.level_sweep_schedule_ =
+          build_level_sweep_schedule(plan.levels_, plan.split_, threads);
+      plan.stats_.sweep_threads = threads;
+      FBMPK_TGAUGE("plan.partition_imbalance_ppm",
+                   level_imbalance_ppm(plan.level_sweep_schedule_));
+    }
   }
 
   if (opts.parallel && opts.scheduler == Scheduler::kAbmc &&
@@ -156,6 +235,8 @@ MpkPlan MpkPlan::build(const CsrMatrix<double>& a, PlanOptions opts) {
   FBMPK_TCOUNT("plan.builds", 1);
   FBMPK_TGAUGE("plan.num_blocks", plan.stats_.num_blocks);
   FBMPK_TGAUGE("plan.num_colors", plan.stats_.num_colors);
+  FBMPK_TGAUGE("plan.scheduler",
+               plan.opts_.scheduler == Scheduler::kLevels ? 1 : 0);
   return plan;
 }
 
@@ -188,7 +269,14 @@ void MpkPlan::run_power(std::span<const double> px, int k,
     auto emit = [&](int p, index_t i, double v) {
       if (p == k) yp[i] = v;
     };
-    if (use_engine())
+    if (opts_.scheduler == Scheduler::kLevels) {
+      if (use_level_engine())
+        fbmpk_level_engine_sweep_rows(split_, levels_, level_sweep_schedule_,
+                                      rows, px, k, ws.sweep, emit,
+                                      opts_.sweep.pin_threads);
+      else
+        fbmpk_level_sweep_rows(split_, levels_, rows, px, k, ws.fb, emit);
+    } else if (use_engine())
       fbmpk_engine_sweep_rows(split_, schedule_, sweep_schedule_, rows, px, k,
                               ws.sweep, emit, opts_.sweep.pin_threads);
     else
@@ -199,9 +287,13 @@ void MpkPlan::run_power(std::span<const double> px, int k,
     fbmpk_power(split_, px, k, py, ws.fb, opts_.variant);
     return;
   }
-  if (opts_.scheduler == Scheduler::kLevels)
-    fbmpk_level_power(split_, levels_, px, k, py, ws.fb);
-  else if (use_engine())
+  if (opts_.scheduler == Scheduler::kLevels) {
+    if (use_level_engine())
+      fbmpk_level_engine_power(split_, levels_, level_sweep_schedule_, px, k,
+                               py, ws.sweep, opts_.sweep.pin_threads);
+    else
+      fbmpk_level_power(split_, levels_, px, k, py, ws.fb);
+  } else if (use_engine())
     fbmpk_engine_power(split_, schedule_, sweep_schedule_, px, k, py,
                        ws.sweep, opts_.sweep.pin_threads);
   else
@@ -243,10 +335,30 @@ void MpkPlan::run_power_path(std::span<const double> px, int k,
       fbmpk_sweep(split_, px, k, ws.fb, cemit, opts_.variant);
     return;
   }
-  if (path == ExecPath::kDefault && opts_.scheduler == Scheduler::kLevels) {
-    // The level-scheduled kernel has no mid-sweep cancellation points;
-    // the token is still honored before/after the sweep in try_power.
-    fbmpk_level_power(split_, levels_, px, k, py, ws.fb);
+  if (opts_.scheduler == Scheduler::kLevels) {
+    // Scheduler-polymorphic rungs: kEngine forces the level engine,
+    // kBarrier the per-level barrier kernel (both poll ctl at stage
+    // boundaries). kDefault follows the plan's sync option.
+    const bool lengine = path == ExecPath::kEngine ||
+                         (path == ExecPath::kDefault && use_level_engine());
+    if (use_dispatch()) {
+      const DispatchRows rows = dispatch_rows();
+      if (lengine)
+        fbmpk_level_engine_sweep_rows(split_, levels_, level_sweep_schedule_,
+                                      rows, px, k, ws.sweep, emit,
+                                      opts_.sweep.pin_threads, ctl);
+      else
+        fbmpk_level_sweep_rows(split_, levels_, rows, px, k, ws.fb, emit,
+                               ctl);
+    } else if (lengine) {
+      fbmpk_level_engine_sweep_rows(split_, levels_, level_sweep_schedule_,
+                                    ScalarRows<double>(split_), px, k,
+                                    ws.sweep, emit, opts_.sweep.pin_threads,
+                                    ctl);
+    } else {
+      fbmpk_level_sweep_rows(split_, levels_, ScalarRows<double>(split_), px,
+                             k, ws.fb, emit, ctl);
+    }
     return;
   }
   const bool engine = path == ExecPath::kEngine ||
@@ -276,15 +388,21 @@ Status MpkPlan::try_power(std::span<const double> x, int k,
     FBMPK_CHECK(y.size() == static_cast<std::size_t>(n_));
     FBMPK_CHECK(k >= 0);
     if (path == ExecPath::kEngine || path == ExecPath::kBarrier) {
+      // Scheduler-polymorphic rungs: the override needs whichever
+      // schedule structure the plan's scheduler uses.
+      const bool levels = opts_.scheduler == Scheduler::kLevels;
       FBMPK_CHECK_CODE(
-          opts_.parallel && opts_.scheduler == Scheduler::kAbmc &&
-              !schedule_.block_ptr.empty(),
+          opts_.parallel &&
+              (levels ? levels_.forward.num_levels > 0
+                      : !schedule_.block_ptr.empty()),
           ErrorCode::kUnsupported,
-          "engine/barrier execution override needs an ABMC-scheduled "
-          "parallel plan");
-      FBMPK_CHECK_CODE(path != ExecPath::kEngine || use_engine(),
-                       ErrorCode::kUnsupported,
-                       "plan carries no point-to-point sweep schedule");
+          "engine/barrier execution override needs a scheduled parallel "
+          "plan");
+      FBMPK_CHECK_CODE(
+          path != ExecPath::kEngine ||
+              (levels ? use_level_engine() : use_engine()),
+          ErrorCode::kUnsupported,
+          "plan carries no point-to-point sweep schedule");
     }
     if (ctl != nullptr && ctl->cancelled())
       return Status(FBMPK_MAKE_ERROR(ctl->cancel_reason(),
@@ -332,12 +450,9 @@ Status MpkPlan::run_power_batch_chunk(const double* const* xs, int k,
     for (int b = 0; b < B; ++b) ys[b][dst] = v.v[b];
   };
 
-  if (path == ExecPath::kSerial || !opts_.parallel ||
-      (path == ExecPath::kDefault && opts_.scheduler == Scheduler::kLevels)) {
-    // Serial batched sweep (also the batched form of a level-scheduled
-    // plan — the level kernel has no batched twin, and serial issues
-    // exactly the same per-row operations). Cancellation unwinds via a
-    // typed Error from the emit wrapper, as in run_power_path.
+  if (path == ExecPath::kSerial || !opts_.parallel) {
+    // Serial batched sweep. Cancellation unwinds via a typed Error from
+    // the emit wrapper, as in run_power_path.
     FbWorkspace<P> fbws;
     int last_p = 0;
     auto cemit = [&](int p, index_t i, const P& v) {
@@ -364,8 +479,11 @@ Status MpkPlan::run_power_batch_chunk(const double* const* xs, int k,
     return Status();
   }
 
-  const bool engine = path == ExecPath::kEngine ||
-                      (path == ExecPath::kDefault && use_engine());
+  const bool levels = opts_.scheduler == Scheduler::kLevels;
+  const bool engine =
+      path == ExecPath::kEngine ||
+      (path == ExecPath::kDefault &&
+       (levels ? use_level_engine() : use_engine()));
   const auto run = [&](const auto& rows) {
     if (engine) {
       SweepWorkspace<P> swws;
@@ -374,12 +492,20 @@ Status MpkPlan::run_power_batch_chunk(const double* const* xs, int k,
       // head stage first-touches xy regardless).
       swws.resize(n_);
       swws.warmed = true;
-      fbmpk_engine_sweep_rows(split_, schedule_, sweep_schedule_, rows, x0, k,
-                              swws, emit, opts_.sweep.pin_threads, ctl);
+      if (levels)
+        fbmpk_level_engine_sweep_rows(split_, levels_, level_sweep_schedule_,
+                                      rows, x0, k, swws, emit,
+                                      opts_.sweep.pin_threads, ctl);
+      else
+        fbmpk_engine_sweep_rows(split_, schedule_, sweep_schedule_, rows, x0,
+                                k, swws, emit, opts_.sweep.pin_threads, ctl);
     } else {
       FbWorkspace<P> fbws;
-      fbmpk_parallel_sweep_rows(split_, schedule_, rows, x0, k, fbws, emit,
-                                ctl);
+      if (levels)
+        fbmpk_level_sweep_rows(split_, levels_, rows, x0, k, fbws, emit, ctl);
+      else
+        fbmpk_parallel_sweep_rows(split_, schedule_, rows, x0, k, fbws, emit,
+                                  ctl);
     }
   };
   if (use_dispatch())
@@ -399,15 +525,19 @@ Status MpkPlan::try_power_batch(const double* const* xs, index_t nvec, int k,
     FBMPK_CHECK(nvec >= 1);
     FBMPK_CHECK(k >= 0);
     if (path == ExecPath::kEngine || path == ExecPath::kBarrier) {
+      const bool levels = opts_.scheduler == Scheduler::kLevels;
       FBMPK_CHECK_CODE(
-          opts_.parallel && opts_.scheduler == Scheduler::kAbmc &&
-              !schedule_.block_ptr.empty(),
+          opts_.parallel &&
+              (levels ? levels_.forward.num_levels > 0
+                      : !schedule_.block_ptr.empty()),
           ErrorCode::kUnsupported,
-          "engine/barrier execution override needs an ABMC-scheduled "
-          "parallel plan");
-      FBMPK_CHECK_CODE(path != ExecPath::kEngine || use_engine(),
-                       ErrorCode::kUnsupported,
-                       "plan carries no point-to-point sweep schedule");
+          "engine/barrier execution override needs a scheduled parallel "
+          "plan");
+      FBMPK_CHECK_CODE(
+          path != ExecPath::kEngine ||
+              (levels ? use_level_engine() : use_engine()),
+          ErrorCode::kUnsupported,
+          "plan carries no point-to-point sweep schedule");
     }
     if (ctl != nullptr && ctl->cancelled())
       return Status(FBMPK_MAKE_ERROR(ctl->cancel_reason(),
@@ -473,7 +603,14 @@ void MpkPlan::run_power_all(std::span<const double> px, int k,
     const DispatchRows rows = dispatch_rows();
     if (!opts_.parallel)
       fbmpk_sweep_btb_fast(split_, rows, px, k, ws.fb, emit);
-    else if (use_engine())
+    else if (opts_.scheduler == Scheduler::kLevels) {
+      if (use_level_engine())
+        fbmpk_level_engine_sweep_rows(split_, levels_, level_sweep_schedule_,
+                                      rows, px, k, ws.sweep, emit,
+                                      opts_.sweep.pin_threads);
+      else
+        fbmpk_level_sweep_rows(split_, levels_, rows, px, k, ws.fb, emit);
+    } else if (use_engine())
       fbmpk_engine_sweep_rows(split_, schedule_, sweep_schedule_, rows, px, k,
                               ws.sweep, emit, opts_.sweep.pin_threads);
     else
@@ -482,9 +619,13 @@ void MpkPlan::run_power_all(std::span<const double> px, int k,
   }
   if (!opts_.parallel)
     fbmpk_sweep(split_, px, k, ws.fb, emit, opts_.variant);
-  else if (opts_.scheduler == Scheduler::kLevels)
-    fbmpk_level_sweep(split_, levels_, px, k, ws.fb, emit);
-  else if (use_engine())
+  else if (opts_.scheduler == Scheduler::kLevels) {
+    if (use_level_engine())
+      fbmpk_level_engine_sweep(split_, levels_, level_sweep_schedule_, px, k,
+                               ws.sweep, emit, opts_.sweep.pin_threads);
+    else
+      fbmpk_level_sweep(split_, levels_, px, k, ws.fb, emit);
+  } else if (use_engine())
     fbmpk_engine_sweep(split_, schedule_, sweep_schedule_, px, k, ws.sweep,
                        emit, opts_.sweep.pin_threads);
   else
@@ -504,7 +645,14 @@ void MpkPlan::run_polynomial(std::span<const double> coeffs,
     const DispatchRows rows = dispatch_rows();
     if (!opts_.parallel)
       fbmpk_sweep_btb_fast(split_, rows, px, k, ws.fb, emit);
-    else if (use_engine())
+    else if (opts_.scheduler == Scheduler::kLevels) {
+      if (use_level_engine())
+        fbmpk_level_engine_sweep_rows(split_, levels_, level_sweep_schedule_,
+                                      rows, px, k, ws.sweep, emit,
+                                      opts_.sweep.pin_threads);
+      else
+        fbmpk_level_sweep_rows(split_, levels_, rows, px, k, ws.fb, emit);
+    } else if (use_engine())
       fbmpk_engine_sweep_rows(split_, schedule_, sweep_schedule_, rows, px, k,
                               ws.sweep, emit, opts_.sweep.pin_threads);
     else
@@ -513,9 +661,13 @@ void MpkPlan::run_polynomial(std::span<const double> coeffs,
   }
   if (!opts_.parallel)
     fbmpk_sweep(split_, px, k, ws.fb, emit, opts_.variant);
-  else if (opts_.scheduler == Scheduler::kLevels)
-    fbmpk_level_sweep(split_, levels_, px, k, ws.fb, emit);
-  else if (use_engine())
+  else if (opts_.scheduler == Scheduler::kLevels) {
+    if (use_level_engine())
+      fbmpk_level_engine_sweep(split_, levels_, level_sweep_schedule_, px, k,
+                               ws.sweep, emit, opts_.sweep.pin_threads);
+    else
+      fbmpk_level_sweep(split_, levels_, px, k, ws.fb, emit);
+  } else if (use_engine())
     fbmpk_engine_sweep(split_, schedule_, sweep_schedule_, px, k, ws.sweep,
                        emit, opts_.sweep.pin_threads);
   else
@@ -680,6 +832,8 @@ void MpkPlan::polynomial(std::span<const std::complex<double>> coeffs,
       const DispatchRows rows = dispatch_rows();
       if (!opts_.parallel)
         fbmpk_sweep_btb_fast(split_, rows, px, k, ws.fb, emit);
+      else if (opts_.scheduler == Scheduler::kLevels)
+        fbmpk_level_sweep_rows(split_, levels_, rows, px, k, ws.fb, emit);
       else
         fbmpk_parallel_sweep_rows(split_, schedule_, rows, px, k, ws.fb,
                                   emit);

@@ -26,11 +26,13 @@
 #include "kernels/fb_simd.hpp"
 #include "kernels/fbmpk.hpp"
 #include "kernels/fbmpk_level.hpp"
+#include "kernels/fbmpk_level_engine.hpp"
 #include "kernels/fbmpk_parallel.hpp"
 #include "kernels/fbmpk_recurrence.hpp"
 #include "kernels/sweep_schedule.hpp"
 #include "sparse/packed_tri.hpp"
 #include "reorder/abmc.hpp"
+#include "reorder/level_blocking.hpp"
 #include "reorder/permutation.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/split.hpp"
@@ -52,8 +54,21 @@ enum class Scheduler {
   kAbmc,    ///< ABMC coloring (paper §III-D): permutes the matrix,
             ///< few barriers (2 x colors per pair)
   kLevels,  ///< level scheduling (paper §VII): original order, no
-            ///< permutation, one barrier per dependency level
+            ///< permutation; cache-blocked stages with point-to-point
+            ///< sync (reorder/level_blocking.hpp), or one barrier per
+            ///< dependency level under SweepSync::kBarrier
+  kAuto,    ///< resolved at build: a structural probe (mean level
+            ///< width vs thread count) in MpkPlan::build, a measured
+            ///< pick (autotune_scheduler) in build_autotuned_plan.
+            ///< Plans never persist kAuto — the resolved choice is
+            ///< stored (docs/PARALLELISM.md §choosing-a-scheduler)
 };
+
+/// Human-readable scheduler name: "abmc" | "levels" | "auto".
+const char* scheduler_name(Scheduler s);
+
+/// Inverse of scheduler_name; throws kUnsupported on unknown names.
+Scheduler parse_scheduler(const std::string& name);
 
 /// Execution-path override for MpkPlan::try_power — the knob the
 /// serving layer's degradation ladder turns (docs/SERVICE.md). kDefault
@@ -61,21 +76,25 @@ enum class Scheduler {
 /// one concrete sweep implementation. All rungs issue the same per-row
 /// kernels, so results are bitwise identical across them for a fixed
 /// plan configuration.
+/// The rungs are scheduler-polymorphic: on an ABMC plan kEngine /
+/// kBarrier mean the color engine / per-color barrier kernel, on a
+/// level-scheduled plan the level engine / per-level barrier kernel.
 enum class ExecPath {
   kDefault = 0,  ///< the plan's own selection (options-driven)
   kEngine,       ///< persistent-threads p2p engine (needs a schedule)
-  kBarrier,      ///< per-color barrier kernel (needs ABMC)
+  kBarrier,      ///< barrier kernel (per color or per level)
   kSerial,       ///< serial sweep (always available)
 };
 
-/// How an ABMC-scheduled parallel sweep synchronizes between colors.
+/// How a scheduled parallel sweep synchronizes between units of work
+/// (colors under ABMC, level stages under the level scheduler).
 enum class SweepSync {
-  kBarrier,       ///< one team barrier per color per sweep (baseline)
+  kBarrier,       ///< one team barrier per color/level per sweep
   kPointToPoint,  ///< persistent threads, per-thread epoch counters,
-                  ///< precomputed SweepSchedule (docs/PARALLELISM.md)
+                  ///< precomputed schedule (docs/PARALLELISM.md)
 };
 
-/// Persistent-threads engine options (ABMC scheduler only).
+/// Persistent-threads engine options (both schedulers).
 struct SweepOptions {
   SweepSync sync = SweepSync::kBarrier;
   /// Thread count the schedule is built for; 0 means the runtime
@@ -98,7 +117,7 @@ struct PlanOptions {
   bool parallel = true;
   /// Parallel schedule construction.
   Scheduler scheduler = Scheduler::kAbmc;
-  /// Sweep synchronization for the ABMC scheduler.
+  /// Sweep synchronization (either scheduler).
   SweepOptions sweep;
   /// Serial pipeline flavor: BtB interleaved (default) or split vectors.
   FbVariant variant = FbVariant::kBtb;
@@ -114,8 +133,8 @@ struct PlanOptions {
   /// by the solvers' reproducibility contract. Anything else opts into
   /// fast mode — vectorized row dots with a bounded reassociation
   /// error (see docs/KERNELS.md). kAuto resolves via CPUID once per
-  /// process. Fast mode covers the BtB variant and the ABMC/serial
-  /// schedulers only.
+  /// process. Fast mode covers the BtB variant only (either
+  /// scheduler).
   KernelBackend kernel_backend = KernelBackend::kScalar;
   /// Store triangle column indices band-compressed (u16 offsets from a
   /// per-band base, full-width fallback per band). Cuts index traffic
@@ -133,8 +152,8 @@ struct PlanOptions {
   /// kSplit stores a hi/lo float pair whose sum reconstructs the
   /// double (lossless on many matrices). Accumulation is always fp64,
   /// and results stay bitwise deterministic across schedules for a
-  /// fixed precision. Non-fp64 requires the BtB variant, a non-levels
-  /// scheduler, and all values finite within float range.
+  /// fixed precision. Non-fp64 requires the BtB variant and all
+  /// values finite within float range.
   ValuePrecision value_precision = ValuePrecision::kFp64;
   /// Let build_autotuned_plan consult the cache-simulator traffic
   /// oracle (perf/sweep_replay, docs/AUTOTUNING.md): every candidate is
@@ -170,6 +189,12 @@ struct TunedConfig {
   index_t candidates_scored = 0;  ///< total candidates ranked by the model
   index_t candidates_timed = 0;   ///< survivors actually measured
   index_t oracle_rank_of_winner = 0;  ///< 1 = model's top pick won (0 = n/a)
+  /// Scheduler provenance (format v7). When autotune_scheduler raced
+  /// the ABMC and level schedulers, the losing side's measured time is
+  /// kept so a later load can see the margin the pick rests on.
+  Scheduler scheduler = Scheduler::kAbmc;  ///< scheduler the plan executes
+  bool scheduler_measured = false;  ///< true when both sides were timed
+  double scheduler_alt_seconds = 0.0;  ///< losing scheduler's median time
 };
 
 /// Pure revalidation predicate: a persisted tuned config is stale when
@@ -218,6 +243,12 @@ class MpkPlan {
   const Permutation& permutation() const { return perm_; }
   const AbmcOrdering& schedule() const { return schedule_; }
   const SweepSchedule& sweep_schedule() const { return sweep_schedule_; }
+  /// Dependency levels (populated for level-scheduled plans).
+  const LevelSchedulePair& levels() const { return levels_; }
+  /// Level-blocked p2p schedule (level scheduler + kPointToPoint only).
+  const LevelSweepSchedule& level_sweep_schedule() const {
+    return level_sweep_schedule_;
+  }
   const TriangularSplit<double>& split() const { return split_; }
   const PackedSplitIndex& packed_index() const { return packed_; }
   /// Reduced-precision value sidecar (empty for fp64 plans).
@@ -310,6 +341,10 @@ class MpkPlan {
     return opts_.sweep.sync == SweepSync::kPointToPoint &&
            !sweep_schedule_.empty();
   }
+  bool use_level_engine() const {
+    return opts_.sweep.sync == SweepSync::kPointToPoint &&
+           !level_sweep_schedule_.empty();
+  }
   /// True when the sweeps route through the runtime-dispatched row
   /// kernels (non-scalar backend and/or compressed indices) instead of
   /// the exact fb_detail path.
@@ -341,7 +376,8 @@ class MpkPlan {
   Permutation perm_;         ///< identity when reorder is off
   AbmcOrdering schedule_;    ///< empty when reorder is off
   LevelSchedulePair levels_; ///< populated for the level scheduler
-  SweepSchedule sweep_schedule_;  ///< point-to-point sync only
+  SweepSchedule sweep_schedule_;  ///< ABMC point-to-point sync only
+  LevelSweepSchedule level_sweep_schedule_;  ///< levels p2p sync only
   TriangularSplit<double> split_;
   PackedSplitIndex packed_;  ///< populated when index_compress is on
   PackedSplitValues values_; ///< populated when value_precision != fp64

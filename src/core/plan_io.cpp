@@ -56,10 +56,19 @@ namespace {
 // provenance fields (predicted bytes, candidates scored/timed, winner
 // rank) to TUNE; v4/v5 files still load with the oracle defaults
 // (option on, provenance absent).
+// v7 appended the level-blocked point-to-point schedule
+// (LevelSweepSchedule, reorder/level_blocking.hpp) to LVLS and the
+// scheduler-race provenance (scheduler, scheduler_measured,
+// scheduler_alt_seconds) to TUNE. v4-v6 files still load: a
+// level-scheduled point-to-point plan missing the blocked schedule has
+// it rebuilt from the (validated) split, exactly like a
+// thread-count-mismatched SWEP. A loaded blocked schedule is
+// structurally re-validated against the split
+// (validate_level_sweep_schedule); any violation -> kCorruptPlan.
 // ---------------------------------------------------------------------------
 
 constexpr char kMagic[8] = {'F', 'B', 'M', 'P', 'K', 'P', 'L', 'N'};
-constexpr std::uint32_t kVersion = 6;
+constexpr std::uint32_t kVersion = 7;
 constexpr std::uint32_t kMinVersion = 4;  // oldest still-loadable format
 
 // Section tags, in the order they are written.
@@ -305,6 +314,26 @@ LevelSchedule read_level_schedule(BlobReader& r) {
   return s;
 }
 
+void write_level_direction(BlobWriter& w, const LevelBlockDirection& d) {
+  w.pod(d.num_stages);
+  w.vec(d.stage_level_ptr);
+  w.vec(d.part_ptr);
+  w.vec(d.part_rows);
+  w.vec(d.load);
+}
+
+LevelBlockDirection read_level_direction(BlobReader& r) {
+  LevelBlockDirection d;
+  d.num_stages = r.pod<index_t>();
+  FBMPK_CHECK_CODE(d.num_stages >= 0, ErrorCode::kCorruptPlan,
+                   "negative level stage count in plan");
+  d.stage_level_ptr = r.vec<std::vector<index_t>>();
+  d.part_ptr = r.vec<std::vector<index_t>>();
+  d.part_rows = r.vec<std::vector<index_t>>();
+  d.load = r.vec<std::vector<index_t>>();
+  return d;
+}
+
 void write_packed(BlobWriter& w, const PackedTriangleIndex& p) {
   const PackedTriangleIndex::Raw raw = p.to_raw();
   w.pod(raw.rows);
@@ -436,6 +465,18 @@ void save_plan(const MpkPlan& plan, std::ostream& out) {
   w.begin_section(kSecLevels);
   write_level_schedule(w, plan.levels_.forward);
   write_level_schedule(w, plan.levels_.backward);
+  // v7: the level-blocked point-to-point schedule rides in the same
+  // section (empty for ABMC or barrier-sync plans).
+  const LevelSweepSchedule& ls = plan.level_sweep_schedule_;
+  w.pod(ls.num_threads);
+  write_level_direction(w, ls.fwd);
+  write_level_direction(w, ls.bwd);
+  w.vec(ls.fwd_dep_ptr);
+  w.vec(ls.fwd_deps);
+  w.vec(ls.bwd_dep_ptr);
+  w.vec(ls.bwd_deps);
+  w.vec(ls.bwd_fdep_ptr);
+  w.vec(ls.bwd_fdeps);
 
   w.begin_section(kSecSplit);
   write_csr(w, plan.split_.lower);
@@ -467,6 +508,9 @@ void save_plan(const MpkPlan& plan, std::ostream& out) {
   w.pod(t.candidates_scored);
   w.pod(t.candidates_timed);
   w.pod(t.oracle_rank_of_winner);
+  w.enumeration(t.scheduler);
+  w.boolean(t.scheduler_measured);
+  w.pod(t.scheduler_alt_seconds);
 
   const std::string& payload = w.blob();
   const auto payload_crc = crc32(payload.data(), payload.size());
@@ -691,6 +735,25 @@ MpkPlan load_plan_impl(std::istream& in, std::uint64_t total_size) {
   sec = r.begin_section(kSecLevels, "levels");
   plan.levels_.forward = read_level_schedule(r);
   plan.levels_.backward = read_level_schedule(r);
+  if (version >= 7) {
+    LevelSweepSchedule& ls = plan.level_sweep_schedule_;
+    ls.num_threads = r.pod<index_t>();
+    FBMPK_CHECK_CODE(ls.num_threads >= 0, ErrorCode::kCorruptPlan,
+                     "negative level schedule thread count in plan");
+    ls.fwd = read_level_direction(r);
+    ls.bwd = read_level_direction(r);
+    ls.fwd_dep_ptr = r.vec<std::vector<index_t>>();
+    ls.fwd_deps = r.vec<std::vector<LevelDep>>();
+    ls.bwd_dep_ptr = r.vec<std::vector<index_t>>();
+    ls.bwd_deps = r.vec<std::vector<LevelDep>>();
+    ls.bwd_fdep_ptr = r.vec<std::vector<index_t>>();
+    ls.bwd_fdeps = r.vec<std::vector<LevelDep>>();
+    FBMPK_CHECK_CODE(
+        ls.empty() || (plan.opts_.parallel &&
+                       plan.opts_.scheduler == Scheduler::kLevels),
+        ErrorCode::kCorruptPlan,
+        "plan carries a level-blocked schedule but is not level-scheduled");
+  }
   r.end_section(sec, "levels");
 
   sec = r.begin_section(kSecSplit, "split");
@@ -743,6 +806,14 @@ MpkPlan load_plan_impl(std::istream& in, std::uint64_t total_size) {
                   plan.tuned_.candidates_timed,
           ErrorCode::kCorruptPlan,
           "inconsistent oracle provenance counts in plan");
+    }
+    if (version >= 7) {
+      plan.tuned_.scheduler = r.enumeration<Scheduler>(2, "tuned scheduler");
+      plan.tuned_.scheduler_measured = r.boolean();
+      plan.tuned_.scheduler_alt_seconds = r.pod<double>();
+      FBMPK_CHECK_CODE(plan.tuned_.scheduler_alt_seconds >= 0.0,
+                       ErrorCode::kCorruptPlan,
+                       "negative scheduler timing in plan");
     }
     r.end_section(sec, "tuned config");
   }
@@ -822,6 +893,35 @@ MpkPlan load_plan_impl(std::istream& in, std::uint64_t total_size) {
       plan.sweep_schedule_ =
           build_sweep_schedule(plan.schedule_, plan.split_, want);
       plan.stats_.sweep_threads = want;
+    }
+  }
+
+  // Same discipline for the level-blocked schedule: structurally
+  // re-validate a loaded one against the split, and rebuild when it is
+  // absent (v4-v6 files) or built for a different thread count.
+  if (plan.opts_.parallel && plan.opts_.scheduler == Scheduler::kLevels) {
+    FBMPK_CHECK_CODE(
+        plan.levels_.forward.rows.size() ==
+                static_cast<std::size_t>(plan.n_) &&
+            plan.levels_.backward.rows.size() ==
+                static_cast<std::size_t>(plan.n_),
+        ErrorCode::kCorruptPlan,
+        "level schedule does not cover the matrix");
+    FBMPK_CHECK_CODE(plan.level_sweep_schedule_.empty() ||
+                         validate_level_sweep_schedule(
+                             plan.level_sweep_schedule_, plan.split_),
+                     ErrorCode::kCorruptPlan,
+                     "level-blocked schedule fails structural validation");
+    if (plan.opts_.sweep.sync == SweepSync::kPointToPoint) {
+      const index_t want = plan.opts_.sweep.threads > 0
+                               ? plan.opts_.sweep.threads
+                               : static_cast<index_t>(max_threads());
+      if (plan.level_sweep_schedule_.empty() ||
+          plan.level_sweep_schedule_.num_threads != want) {
+        plan.level_sweep_schedule_ =
+            build_level_sweep_schedule(plan.levels_, plan.split_, want);
+        plan.stats_.sweep_threads = want;
+      }
     }
   }
 

@@ -38,4 +38,25 @@ struct CircuitOptions {
 CsrMatrix<double> make_circuit_like(index_t nx, index_t ny,
                                     const CircuitOptions& opts);
 
+/// Options for power-law (hub-heavy) graphs.
+struct PowerLawOptions {
+  double avg_row_nnz = 8.0;  ///< expected stored entries per row
+  /// Column-popularity skew: endpoints are drawn as n·u^bias for
+  /// uniform u, so node j attracts mass ∝ (j/n)^(1/bias - 1) — bias 1
+  /// is uniform, larger values concentrate edges on low-index hubs
+  /// whose degree distribution follows a power law.
+  double bias = 3.0;
+  bool symmetric = true;  ///< mirror entries across the diagonal
+  std::uint64_t seed = 1;
+};
+
+/// Scale-free social/web-graph analogue: edge endpoints are sampled
+/// with power-law popularity so a few hub rows collect thousands of
+/// neighbours while the median row stays sparse. Hubs conflict with
+/// nearly every block under distance-2 coloring (ABMC's color count
+/// explodes and its colors shrink toward serial), while the dependency
+/// DAG after a triangular split stays shallow — the matrix class where
+/// level scheduling beats coloring (paper §VII, arXiv:2502.19284).
+CsrMatrix<double> make_power_law(index_t n, const PowerLawOptions& opts);
+
 }  // namespace fbmpk::gen

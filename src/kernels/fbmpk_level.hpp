@@ -6,35 +6,37 @@
 // a level in parallel), the backward sweep executes levels of U. The
 // per-row arithmetic is the shared fb_detail code, so results are
 // bitwise identical to serial FBMPK on the same matrix.
+//
+// This header holds the barrier variant: one team barrier per level per
+// sweep. It is the fallback for the point-to-point level engine
+// (fbmpk_level_engine.hpp), the same relationship the per-color barrier
+// kernel has to the ABMC engine. Both are templated on the Rows policy
+// (ScalarRows for the exact stream, DispatchRows for SIMD + packed
+// indices) and on the iterate type TI (double, or Pack<double, B> for
+// batched sweeps).
 #pragma once
 
 #include <span>
 
 #include "kernels/fb_detail.hpp"
 #include "kernels/fbmpk.hpp"
+#include "kernels/fbmpk_parallel.hpp"
 #include "reorder/level_schedule.hpp"
 #include "sparse/split.hpp"
 #include "support/error.hpp"
+#include "support/threading.hpp"
 
 namespace fbmpk {
 
-/// Forward+backward schedules for one split matrix.
-struct LevelSchedulePair {
-  LevelSchedule forward;   ///< levels of L (top-down sweep)
-  LevelSchedule backward;  ///< levels of U (bottom-up sweep)
-
-  template <class T>
-  static LevelSchedulePair of(const TriangularSplit<T>& s) {
-    return {forward_levels(s.lower), backward_levels(s.upper)};
-  }
-};
-
-/// Level-scheduled sweep; same Emit contract as the other kernels.
-template <class T, class Emit>
-void fbmpk_level_sweep(const TriangularSplit<T>& s,
-                       const LevelSchedulePair& sched,
-                       std::span<const T> x0, int k, FbWorkspace<T>& ws,
-                       Emit&& emit) {
+/// Level-scheduled sweep over an explicit row policy; same Emit and ctl
+/// contracts as fbmpk_parallel_sweep_rows. Cancellation is polled at
+/// stage boundaries; cancelled threads skip row work but still meet
+/// every worksharing construct.
+template <class T, class TI, class Rows, class X0, class Emit>
+void fbmpk_level_sweep_rows(const TriangularSplit<T>& s,
+                            const LevelSchedulePair& sched, const Rows& rows,
+                            const X0& x0, int k, FbWorkspace<TI>& ws,
+                            Emit&& emit, RunControl* ctl = nullptr) {
   const index_t n = s.lower.rows();
   FBMPK_CHECK(s.upper.rows() == n &&
               s.diag.size() == static_cast<std::size_t>(n));
@@ -46,34 +48,36 @@ void fbmpk_level_sweep(const TriangularSplit<T>& s,
       "level schedule does not cover the matrix");
   ws.resize(n);
 
-  const index_t* lrp = s.lower.row_ptr().data();
-  const index_t* lci = s.lower.col_idx().data();
-  const T* lva = s.lower.values().data();
-  const index_t* urp = s.upper.row_ptr().data();
-  const index_t* uci = s.upper.col_idx().data();
-  const T* uva = s.upper.values().data();
-  const T* d = s.diag.data();
-  T* xy = ws.xy.data();
-  T* tmp = ws.tmp.data();
-  const T* x0p = x0.data();
+  TI* xy = ws.xy.data();
+  TI* tmp = ws.tmp.data();
 
   const int pairs = k / 2;
-  NullTracer tr;
 
 #ifdef _OPENMP
 #pragma omp parallel default(shared)
 #endif
   {
-#ifdef _OPENMP
-#pragma omp for schedule(static)
-#endif
-    for (index_t i = 0; i < n; ++i) xy[2 * i] = x0p[i];
+    const auto stage_dead = [&]() -> bool {
+      if (ctl == nullptr) return false;
+      if (thread_id() == 0) return ctl->checkpoint();
+      return ctl->cancelled();
+    };
+    bool dead = stage_dead();
+
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
     for (index_t i = 0; i < n; ++i) {
-      T sum{};
-      detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 0, sum, tr);
+      if (dead) continue;
+      xy[2 * i] = x0[i];
+    }
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (index_t i = 0; i < n; ++i) {
+      if (dead) continue;
+      TI sum{};
+      rows.u_dot1(i, xy, 0, sum);
       tmp[i] = sum;
     }
 
@@ -82,41 +86,43 @@ void fbmpk_level_sweep(const TriangularSplit<T>& s,
       const int p_even = 2 * it + 2;
 
       for (index_t l = 0; l < sched.forward.num_levels; ++l) {
+        dead = dead || stage_dead();
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
         for (index_t r = sched.forward.level_ptr[l];
              r < sched.forward.level_ptr[l + 1]; ++r) {
+          if (dead) continue;
           const index_t i = sched.forward.rows[r];
-          T sum0 = tmp[i] + d[i] * xy[2 * i];
-          T sum1{};
-          detail::row_dot2_btb(lci, lva, lrp[i], lrp[i + 1], xy, sum0, sum1,
-                               tr);
+          const auto di = rows.diag(i);
+          TI sum0 = madd(di, xy[2 * i], tmp[i]);
+          TI sum1{};
+          rows.l_dot2(i, xy, sum0, sum1);
           xy[2 * i + 1] = sum0;
           emit(p_odd, i, sum0);
-          tmp[i] = sum1 + d[i] * sum0;
+          tmp[i] = madd(di, sum0, sum1);
         }  // barrier: level l done before l+1
       }
 
       const bool prime_next = !(it == pairs - 1 && k % 2 == 0);
       for (index_t l = 0; l < sched.backward.num_levels; ++l) {
+        dead = dead || stage_dead();
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
         for (index_t r = sched.backward.level_ptr[l];
              r < sched.backward.level_ptr[l + 1]; ++r) {
+          if (dead) continue;
           const index_t i = sched.backward.rows[r];
-          T sum0 = tmp[i];
+          TI sum0 = tmp[i];
           if (prime_next) {
-            T sum1{};
-            detail::row_dot2_btb(uci, uva, urp[i], urp[i + 1], xy, sum1,
-                                 sum0, tr);
+            TI sum1{};
+            rows.u_dot2(i, xy, sum1, sum0);
             xy[2 * i] = sum0;
             emit(p_even, i, sum0);
             tmp[i] = sum1;
           } else {
-            detail::row_dot1_btb(uci, uva, urp[i], urp[i + 1], xy, 1, sum0,
-                                 tr);
+            rows.u_dot1(i, xy, 1, sum0);
             xy[2 * i] = sum0;
             emit(p_even, i, sum0);
           }
@@ -125,16 +131,29 @@ void fbmpk_level_sweep(const TriangularSplit<T>& s,
     }
 
     if (k % 2 == 1) {
+      dead = dead || stage_dead();
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif
       for (index_t i = 0; i < n; ++i) {
-        T sum = tmp[i] + d[i] * xy[2 * i];
-        detail::row_dot1_btb(lci, lva, lrp[i], lrp[i + 1], xy, 0, sum, tr);
+        if (dead) continue;
+        TI sum = madd(rows.diag(i), xy[2 * i], tmp[i]);
+        rows.l_dot1(i, xy, 0, sum);
         emit(k, i, sum);
       }
     }
   }
+}
+
+/// Level-scheduled sweep with the exact scalar row policy — bitwise
+/// identical to serial FBMPK. Same Emit contract as the other kernels.
+template <class T, class Emit>
+void fbmpk_level_sweep(const TriangularSplit<T>& s,
+                       const LevelSchedulePair& sched,
+                       std::span<const T> x0, int k, FbWorkspace<T>& ws,
+                       Emit&& emit) {
+  fbmpk_level_sweep_rows<T, T>(s, sched, ScalarRows<T>(s), x0, k, ws,
+                               std::forward<Emit>(emit));
 }
 
 /// y = A^k x0 with the level schedule. k = 0 copies x0.

@@ -328,21 +328,17 @@ SharedCacheSim make_replay_sim(int threads, double llc_target) {
       CacheConfig{sets * ways * kLine, ways, kLine});
 }
 
-}  // namespace
-
-ReplayPrediction replay_fbmpk_traffic(const CsrMatrix<double>& a,
-                                      const AbmcOrdering* ord,
-                                      const ReplayConfig& cfg,
-                                      const SweepSchedule* sched) {
-  FBMPK_CHECK(cfg.k >= 1 && cfg.threads >= 1 && cfg.nvec >= 1);
-  FBMPK_CHECK(cfg.col_index_bytes > 0.0 && cfg.matrix_value_bytes > 0);
-  Timer timer;
-  const index_t n = a.rows();
+/// Shared replay driver: runs the BtB stage walk (head, F/B pairs,
+/// tail) over caller-supplied row visit orders, flushes the simulator,
+/// and scales the sampled traffic back to the full matrix. The sweep
+/// callables invoke visit(core, row) for every sampled row in the
+/// forward / backward execution order of the schedule being priced.
+/// `seconds` is left for the caller (its timer covers world building).
+template <class SweepF, class SweepB>
+ReplayPrediction run_replay(const CsrMatrix<double>& a, const ReplayWorld& w,
+                            const ReplayConfig& cfg, SweepF&& sweep_fwd,
+                            SweepB&& sweep_bwd) {
   ReplayPrediction out;
-  if (n == 0) return out;
-
-  const ReplayWorld w =
-      build_world(a, ord, cfg.threads, cfg.max_sample_rows, sched);
   out.replayed_rows = static_cast<index_t>(w.rows.size());
   out.replayed_nnz = w.lo_cols.size() + w.up_cols.size();
   out.sample_fraction =
@@ -373,28 +369,6 @@ ReplayPrediction replay_fbmpk_traffic(const CsrMatrix<double>& a,
   }();
   RowReplayer replay(sim, w, cfg);
 
-  const auto for_color = [&](index_t c, bool rows_forward, auto&& visit) {
-    const auto& threads = w.parts[static_cast<std::size_t>(c)];
-    for (std::size_t t = 0; t < threads.size(); ++t) {
-      for (std::uint32_t bi : threads[t]) {
-        const SampledBlock& b = w.blocks[bi];
-        if (rows_forward) {
-          for (std::uint32_t i = b.first_row; i < b.last_row; ++i)
-            visit(static_cast<int>(t), w.rows[i]);
-        } else {
-          for (std::uint32_t i = b.last_row; i-- > b.first_row;)
-            visit(static_cast<int>(t), w.rows[i]);
-        }
-      }
-    }
-  };
-  const auto sweep_fwd = [&](auto&& visit) {
-    for (index_t c = 0; c < w.num_colors; ++c) for_color(c, true, visit);
-  };
-  const auto sweep_bwd = [&](auto&& visit) {
-    for (index_t c = w.num_colors; c-- > 0;) for_color(c, false, visit);
-  };
-
   sweep_fwd([&](int core, const RowRef& r) { replay.head(core, r); });
   const int pairs = cfg.k / 2;
   for (int it = 0; it < pairs; ++it) {
@@ -416,6 +390,95 @@ ReplayPrediction replay_fbmpk_traffic(const CsrMatrix<double>& a,
       up);
   out.dram_write_bytes = static_cast<std::uint64_t>(
       static_cast<double>(sim.dram_write_bytes()) * up);
+  return out;
+}
+
+}  // namespace
+
+ReplayPrediction replay_fbmpk_traffic(const CsrMatrix<double>& a,
+                                      const AbmcOrdering* ord,
+                                      const ReplayConfig& cfg,
+                                      const SweepSchedule* sched) {
+  FBMPK_CHECK(cfg.k >= 1 && cfg.threads >= 1 && cfg.nvec >= 1);
+  FBMPK_CHECK(cfg.col_index_bytes > 0.0 && cfg.matrix_value_bytes > 0);
+  Timer timer;
+  const index_t n = a.rows();
+  if (n == 0) return {};
+
+  const ReplayWorld w =
+      build_world(a, ord, cfg.threads, cfg.max_sample_rows, sched);
+
+  const auto for_color = [&](index_t c, bool rows_forward, auto&& visit) {
+    const auto& threads = w.parts[static_cast<std::size_t>(c)];
+    for (std::size_t t = 0; t < threads.size(); ++t) {
+      for (std::uint32_t bi : threads[t]) {
+        const SampledBlock& b = w.blocks[bi];
+        if (rows_forward) {
+          for (std::uint32_t i = b.first_row; i < b.last_row; ++i)
+            visit(static_cast<int>(t), w.rows[i]);
+        } else {
+          for (std::uint32_t i = b.last_row; i-- > b.first_row;)
+            visit(static_cast<int>(t), w.rows[i]);
+        }
+      }
+    }
+  };
+  ReplayPrediction out = run_replay(
+      a, w, cfg,
+      [&](auto&& visit) {
+        for (index_t c = 0; c < w.num_colors; ++c) for_color(c, true, visit);
+      },
+      [&](auto&& visit) {
+        for (index_t c = w.num_colors; c-- > 0;) for_color(c, false, visit);
+      });
+  out.seconds = timer.seconds();
+  return out;
+}
+
+ReplayPrediction replay_fbmpk_level_traffic(const CsrMatrix<double>& a,
+                                            const LevelSchedule& fwd,
+                                            const LevelSchedule& bwd,
+                                            const ReplayConfig& cfg) {
+  FBMPK_CHECK(cfg.k >= 1 && cfg.threads >= 1 && cfg.nvec >= 1);
+  FBMPK_CHECK(cfg.col_index_bytes > 0.0 && cfg.matrix_value_bytes > 0);
+  FBMPK_CHECK_MSG(fwd.rows.size() == static_cast<std::size_t>(a.rows()) &&
+                      bwd.rows.size() == static_cast<std::size_t>(a.rows()),
+                  "level schedule does not cover the matrix");
+  Timer timer;
+  if (a.rows() == 0) return {};
+
+  // Natural order, no permutation: the level scheduler's defining
+  // property. Sampling (every S-th synthetic block) is the same as the
+  // ABMC replay's; rows absent from the sample are simply skipped in
+  // the level walk below.
+  const ReplayWorld w =
+      build_world(a, nullptr, cfg.threads, cfg.max_sample_rows, nullptr);
+
+  const auto rank_of = [&](index_t p) -> index_t {
+    const auto it = std::lower_bound(
+        w.rows.begin(), w.rows.end(), p,
+        [](const RowRef& r, index_t v) { return r.p < v; });
+    if (it == w.rows.end() || it->p != p) return -1;
+    return static_cast<index_t>(it - w.rows.begin());
+  };
+  // Rows of one level are independent; deal the sampled ones
+  // round-robin across the cores (the blocked schedule's LPT pass
+  // barely moves the traffic the oracle ranks, as with ABMC blocks).
+  const auto for_levels = [&](const LevelSchedule& ls, auto&& visit) {
+    for (index_t l = 0; l < ls.num_levels; ++l) {
+      index_t lane = 0;
+      for (index_t r = ls.level_ptr[l]; r < ls.level_ptr[l + 1]; ++r) {
+        const index_t rank = rank_of(ls.rows[r]);
+        if (rank < 0) continue;
+        visit(static_cast<int>(lane++ % cfg.threads),
+              w.rows[static_cast<std::size_t>(rank)]);
+      }
+    }
+  };
+  ReplayPrediction out =
+      run_replay(a, w, cfg,
+                 [&](auto&& visit) { for_levels(fwd, visit); },
+                 [&](auto&& visit) { for_levels(bwd, visit); });
   out.seconds = timer.seconds();
   return out;
 }

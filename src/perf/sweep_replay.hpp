@@ -26,6 +26,7 @@
 
 #include "perf/cache_sim.hpp"
 #include "reorder/abmc.hpp"
+#include "reorder/level_schedule.hpp"
 #include "sparse/csr.hpp"
 
 namespace fbmpk {
@@ -82,6 +83,20 @@ ReplayPrediction replay_fbmpk_traffic(const CsrMatrix<double>& a,
                                       const AbmcOrdering* ord,
                                       const ReplayConfig& cfg,
                                       const SweepSchedule* sched = nullptr);
+
+/// Level-scheduled replay (Scheduler::kLevels): the same stage walk,
+/// but rows are visited in dependency-level order over the NATURAL
+/// matrix order — `fwd` levels for the forward-shaped stages (head,
+/// F, tail), `bwd` levels for the backward stages — with each level's
+/// sampled rows dealt round-robin across the simulated cores. Prices
+/// the level scheduler's access pattern (no permutation, level-order
+/// traversal) against ABMC's without building either plan; the
+/// scheduler race (core/autotune.hpp, autotune_scheduler) ranks the
+/// two predictions before timing.
+ReplayPrediction replay_fbmpk_level_traffic(const CsrMatrix<double>& a,
+                                            const LevelSchedule& fwd,
+                                            const LevelSchedule& bwd,
+                                            const ReplayConfig& cfg);
 
 /// Cheap sampled estimate of PackedTriangleIndex::bytes_per_nnz for
 /// the triangles of `a` under `ord`'s permutation, without building

@@ -16,9 +16,11 @@
 // barriers — and uneven level widths.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "sparse/csr.hpp"
+#include "sparse/split.hpp"
 
 namespace fbmpk {
 
@@ -35,6 +37,15 @@ struct LevelSchedule {
   }
 };
 
+/// Forward+backward schedules for one split matrix.
+struct LevelSchedulePair {
+  LevelSchedule forward;   ///< levels of L (top-down sweep)
+  LevelSchedule backward;  ///< levels of U (bottom-up sweep)
+
+  template <class T>
+  static LevelSchedulePair of(const TriangularSplit<T>& s);
+};
+
 /// Levels for a top-down sweep over a strictly lower triangular matrix.
 template <class T>
 LevelSchedule forward_levels(const CsrMatrix<T>& lower);
@@ -49,6 +60,59 @@ LevelSchedule backward_levels(const CsrMatrix<T>& upper);
 template <class T>
 bool is_valid_level_schedule(const CsrMatrix<T>& tri, const LevelSchedule& s,
                              bool upper_triangle);
+
+/// Recursive level-set aggregation (the RACE idea, arXiv:2205.01598):
+/// merge consecutive dependency levels into stages so one stage's
+/// working set fits a cache budget and barriers amortize over many
+/// levels. `level_weight[l]` is the work of level l in abstract units,
+/// `stage_budget` the per-stage cap in the same units. A greedy pass
+/// packs levels up to the budget; each candidate range is then handed
+/// to `acceptable(l0, l1)` — the caller's parallelizability predicate
+/// (level_blocking checks connected-component balance) — and ranges it
+/// rejects are recursively bisected at their weight midpoint, down to
+/// single levels, which are always acceptable (rows of one level are
+/// pairwise independent). Returns stage_level_ptr: stage s aggregates
+/// levels [ptr[s], ptr[s+1]).
+template <class Acceptable>
+std::vector<index_t> aggregate_levels(std::span<const std::size_t> level_weight,
+                                      std::size_t stage_budget,
+                                      Acceptable&& acceptable) {
+  const auto num_levels = static_cast<index_t>(level_weight.size());
+  std::vector<index_t> ptr;
+  ptr.push_back(0);
+
+  const auto refine = [&](auto&& self, index_t l0, index_t l1) -> void {
+    if (l1 - l0 <= 1 || acceptable(l0, l1)) {
+      ptr.push_back(l1);
+      return;
+    }
+    // Bisect at the weight midpoint (both halves non-empty).
+    std::size_t total = 0;
+    for (index_t l = l0; l < l1; ++l) total += level_weight[l];
+    std::size_t acc = 0;
+    index_t mid = l0 + 1;
+    for (index_t l = l0; l + 1 < l1; ++l) {
+      acc += level_weight[l];
+      mid = l + 1;
+      if (2 * acc >= total) break;
+    }
+    self(self, l0, mid);
+    self(self, mid, l1);
+  };
+
+  index_t begin = 0;
+  std::size_t acc = 0;
+  for (index_t l = 0; l < num_levels; ++l) {
+    if (l > begin && acc + level_weight[l] > stage_budget) {
+      refine(refine, begin, l);
+      begin = l;
+      acc = 0;
+    }
+    acc += level_weight[l];
+  }
+  if (begin < num_levels) refine(refine, begin, num_levels);
+  return ptr;
+}
 
 // ---------------------------------------------------------------------------
 // Implementation
@@ -108,6 +172,11 @@ LevelSchedule backward_levels(const CsrMatrix<T>& upper) {
     level_of[i] = lvl;
   }
   return detail::bucket_by_level(level_of);
+}
+
+template <class T>
+LevelSchedulePair LevelSchedulePair::of(const TriangularSplit<T>& s) {
+  return {forward_levels(s.lower), backward_levels(s.upper)};
 }
 
 template <class T>

@@ -38,7 +38,11 @@ namespace fbmpk::telemetry {
 /// the "plan.oracle_predicted_bytes" / "service.plan_build_ns" gauges
 /// (docs/AUTOTUNING.md) join the contract when build_autotuned_plan or
 /// a plan-cache miss ran with telemetry on.
-inline constexpr int kMetricsSchemaVersion = 4;
+/// v5: the level scheduler (docs/PARALLELISM.md): the "plan.scheduler"
+/// gauge (0 = abmc, 1 = levels) on every parallel build and the
+/// "autotune.scheduler_pick" counter whenever the ABMC-vs-levels race
+/// ran (Scheduler::kAuto under build_autotuned_plan).
+inline constexpr int kMetricsSchemaVersion = 5;
 
 /// Measured-vs-modeled traffic comparison attached to a trace — the
 /// runtime analogue of the paper's Fig 9 columns.

@@ -7,6 +7,7 @@
 #include "gen/stencil.hpp"
 #include "kernels/mpk_baseline.hpp"
 #include "support/fault_inject.hpp"
+#include "support/threading.hpp"
 #include "test_util.hpp"
 
 namespace fbmpk {
@@ -321,6 +322,79 @@ TEST(AutotuneFaults, KernelConfigSkipsFailedCandidate) {
   EXPECT_FALSE(r.best_backend == KernelBackend::kScalar &&
                !r.best_index_compress &&
                r.best_value_precision == ValuePrecision::kFp64);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler race (docs/AUTOTUNING.md §the-scheduler-race).
+// ---------------------------------------------------------------------------
+
+TEST(AutotuneScheduler, StructuralShortcutsSkipTheRace) {
+  const auto a = gen::make_laplacian_2d(20, 20);
+
+  PlanOptions serial;
+  serial.parallel = false;
+  const SchedulerRaceResult sr = autotune_scheduler(a, 3, 1, serial);
+  EXPECT_EQ(sr.best, Scheduler::kAbmc);
+  EXPECT_FALSE(sr.measured);
+  EXPECT_FALSE(sr.oracle_used);
+
+  // Without the permutation ABMC is not a candidate at all.
+  const int dflt = max_threads();
+  set_threads(2);
+  PlanOptions natural;
+  natural.reorder = false;
+  const SchedulerRaceResult nr = autotune_scheduler(a, 3, 1, natural);
+  set_threads(dflt);
+  EXPECT_EQ(nr.best, Scheduler::kLevels);
+  EXPECT_FALSE(nr.measured);
+}
+
+TEST(AutotuneScheduler, RaceMeasuresBothAndScoresBoth) {
+  const auto a = test::random_matrix(220, 7.0, true, 19);
+  const int dflt = max_threads();
+  set_threads(2);
+  const SchedulerRaceResult r = autotune_scheduler(a, 4, /*reps=*/2);
+  set_threads(dflt);
+
+  // Default oracle keeps top_k = 2, so both contenders are timed and
+  // both predictions recorded; the verdict follows the measurement.
+  ASSERT_TRUE(r.measured);
+  EXPECT_TRUE(r.oracle_used);
+  EXPECT_GT(r.abmc_seconds, 0.0);
+  EXPECT_GT(r.levels_seconds, 0.0);
+  EXPECT_GT(r.abmc_predicted_bytes, 0.0);
+  EXPECT_GT(r.levels_predicted_bytes, 0.0);
+  EXPECT_EQ(r.best, r.levels_seconds < r.abmc_seconds ? Scheduler::kLevels
+                                                      : Scheduler::kAbmc);
+}
+
+TEST(AutotuneScheduler, AutotunedPlanCarriesSchedulerProvenance) {
+  const auto a = test::random_matrix(180, 6.0, true, 23);
+  const int dflt = max_threads();
+  set_threads(2);
+  PlanOptions base;
+  base.scheduler = Scheduler::kAuto;
+  auto plan = build_autotuned_plan(a, 3, base, /*allow_fast_kernels=*/false);
+  set_threads(dflt);
+
+  // kAuto never survives the build; the raced pick is persisted with
+  // the loser's time so a reloaded plan can explain itself.
+  EXPECT_NE(plan.options().scheduler, Scheduler::kAuto);
+  const TunedConfig& cfg = plan.tuned_config();
+  ASSERT_TRUE(cfg.valid);
+  EXPECT_EQ(cfg.scheduler, plan.options().scheduler);
+  EXPECT_TRUE(cfg.scheduler_measured);
+  EXPECT_GT(cfg.scheduler_alt_seconds, 0.0);
+  // A levels verdict carries its shipping configuration: natural order.
+  if (cfg.scheduler == Scheduler::kLevels)
+    EXPECT_FALSE(plan.options().reorder);
+}
+
+TEST(AutotuneScheduler, NameRoundTrip) {
+  for (const Scheduler s :
+       {Scheduler::kAbmc, Scheduler::kLevels, Scheduler::kAuto})
+    EXPECT_EQ(parse_scheduler(scheduler_name(s)), s);
+  EXPECT_THROW(parse_scheduler("colorful"), Error);
 }
 
 }  // namespace

@@ -247,17 +247,22 @@ TEST(FbSimd, DispatchRejectsUnsupportedPlanShapes) {
     }
   }
   {
-    // Parallel level scheduler has no dispatched path.
+    // The level scheduler runs the dispatched kernels since the
+    // blocked-stage engine landed: compressed indices must build and
+    // agree with the uncompressed plan bit for bit (same row kernels,
+    // same schedule).
     PlanOptions o;
     o.scheduler = Scheduler::kLevels;
     o.reorder = false;
     o.index_compress = true;
-    try {
-      MpkPlan::build(a, o);
-      FAIL() << "parallel levels + compressed indices must be rejected";
-    } catch (const Error& e) {
-      EXPECT_EQ(e.code(), ErrorCode::kUnsupported);
-    }
+    auto plan = MpkPlan::build(a, o);
+    o.index_compress = false;
+    auto ref = MpkPlan::build(a, o);
+    const auto x = test::random_vector(a.rows(), 11);
+    std::vector<double> yc(a.rows()), yr(a.rows());
+    plan.power(x, 4, yc);
+    ref.power(x, 4, yr);
+    for (index_t i = 0; i < a.rows(); ++i) EXPECT_EQ(yc[i], yr[i]);
   }
   {
     // Prefetch distance is range-checked.

@@ -108,6 +108,49 @@ TEST(GoldenOracle, SerialScalarPowerMatchesCommittedVectors) {
   }
 }
 
+// Level-scheduled golden vectors: the natural-order numerics of the
+// level scheduler's engine path, pinned end-to-end (the permutation
+// changes each row sum's accumulation order, so these differ from the
+// reordered vectors above by design — see docs/PARALLELISM.md). The
+// property suite proves every level schedule bitwise-equal to the
+// natural serial sweep; this file pins what that sweep computes.
+// Regenerate like the serial vectors:
+//   FBMPK_REGEN_GOLDEN=1 ./fbmpk_tests --gtest_filter='GoldenOracle.*'
+TEST(GoldenOracle, LevelScheduledPowerMatchesCommittedVectors) {
+  const bool regen = std::getenv("FBMPK_REGEN_GOLDEN") != nullptr;
+  if (build_contracts_fma())
+    GTEST_SKIP() << "build contracts a*b+c into fma; golden vectors pin "
+                    "the non-contracted default build";
+  for (const GoldenCase& c : {GoldenCase{"cant", 0.03},
+                              GoldenCase{"G3_circuit", 0.04}}) {
+    const auto a = gen::make_suite_matrix(c.name, c.scale).matrix;
+    const auto x = test::random_vector(a.rows(), kXSeed);
+    const int k = 4;
+    SCOPED_TRACE(std::string(c.name) + " levels k=" + std::to_string(k));
+
+    PlanOptions o;
+    o.reorder = false;
+    o.parallel = true;
+    o.scheduler = Scheduler::kLevels;
+    o.sweep.sync = SweepSync::kPointToPoint;
+    auto plan = MpkPlan::build(a, o);
+    AlignedVector<double> y(x.size());
+    plan.power(x, k, y);
+
+    const std::string path = std::string(FBMPK_TEST_GOLDEN_DIR) + "/" +
+                             c.name + "_levels_k" + std::to_string(k) +
+                             ".vec";
+    if (regen) {
+      write_vector_file(path, y);
+      continue;
+    }
+    const auto want = read_vector_file(path);
+    ASSERT_EQ(y.size(), want.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+      ASSERT_EQ(y[i], want[i]) << "i=" << i;
+  }
+}
+
 // The golden files double as an accuracy oracle for every fast / mixed-
 // precision configuration: reduced-precision storage on the widest
 // available backend with compressed indices must stay within the

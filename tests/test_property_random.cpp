@@ -13,8 +13,15 @@
 //     term plus the value-rounding term for the stored precision;
 //   - split storage is bitwise equal to fp64 when the matrix's values
 //     survive the hi/lo round-trip (lossless);
-//   - for a fixed configuration, serial / barrier / point-to-point
-//     engine schedules are bitwise identical to each other.
+//   - for a fixed configuration, every schedule — serial, the ABMC
+//     barrier and point-to-point engine, and the level scheduler's
+//     barrier and point-to-point engine (natural order, reorder off) —
+//     is bitwise identical to the others.
+//
+// The scheduler axis honors FBMPK_SCHEDULER: "abmc" restricts the
+// parallel plans to the ABMC pair, "levels" to the level pair (CI's
+// scheduler job runs the harness both ways), anything else or unset
+// runs all four.
 //
 // The iteration count comes from FBMPK_PROP_SEEDS (CI runs 5). The
 // seed is attached to every assertion via SCOPED_TRACE, so a failure
@@ -22,6 +29,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <string>
 #include <vector>
@@ -134,6 +142,57 @@ bool exact_backend(KernelBackend b) {
   return b == KernelBackend::kScalar || b == KernelBackend::kGeneric;
 }
 
+/// FBMPK_SCHEDULER env filter over the parallel-schedule axis.
+struct SchedulerFilter {
+  bool abmc = true;
+  bool levels = true;
+};
+
+SchedulerFilter scheduler_filter() {
+  const char* e = std::getenv("FBMPK_SCHEDULER");
+  if (e == nullptr) return {};
+  const std::string s(e);
+  if (s == "abmc") return {true, false};
+  if (s == "levels") return {false, true};
+  return {};
+}
+
+/// One parallel plan of the schedule axis. The level plans run the
+/// natural order (reorder off — the scheduler's home turf), so their
+/// bitwise oracle is the *natural-order* serial plan: the permutation
+/// changes each row sum's accumulation order, the schedule never does.
+struct SchedPlan {
+  std::string name;
+  MpkPlan plan;
+  bool natural = false;  ///< compare against the reorder=false oracle
+};
+
+/// The parallel plans of one configuration under the env filter:
+/// ABMC barrier + engine, level barrier + engine (natural order).
+std::vector<SchedPlan> parallel_plans(const CsrMatrix<double>& a,
+                                      const PlanOptions& serial) {
+  const SchedulerFilter f = scheduler_filter();
+  std::vector<SchedPlan> plans;
+  PlanOptions barrier = serial;
+  barrier.parallel = true;
+  if (f.abmc) {
+    plans.push_back({"abmc-barrier", MpkPlan::build(a, barrier), false});
+    PlanOptions engine = barrier;
+    engine.sweep.sync = SweepSync::kPointToPoint;
+    plans.push_back({"abmc-engine", MpkPlan::build(a, engine), false});
+  }
+  if (f.levels) {
+    PlanOptions lbarrier = barrier;
+    lbarrier.scheduler = Scheduler::kLevels;
+    lbarrier.reorder = false;
+    plans.push_back({"levels-barrier", MpkPlan::build(a, lbarrier), true});
+    PlanOptions lengine = lbarrier;
+    lengine.sweep.sync = SweepSync::kPointToPoint;
+    plans.push_back({"levels-engine", MpkPlan::build(a, lengine), true});
+  }
+  return plans;
+}
+
 /// One full cross-product check of a (matrix, vector, k) case.
 void check_case(const CsrMatrix<double>& a, const AlignedVector<double>& x,
                 int k) {
@@ -148,7 +207,7 @@ void check_case(const CsrMatrix<double>& a, const AlignedVector<double>& x,
   AlignedVector<double> yref(x.size());
   oracle.power(x, k, yref);
 
-  AlignedVector<double> ys(x.size()), yb(x.size()), yg(x.size());
+  AlignedVector<double> ys(x.size()), ysn(x.size()), yb(x.size());
   for (const ValuePrecision prec :
        {ValuePrecision::kFp64, ValuePrecision::kFp32,
         ValuePrecision::kSplit}) {
@@ -165,28 +224,26 @@ void check_case(const CsrMatrix<double>& a, const AlignedVector<double>& x,
         serial.index_compress = compress;
         serial.value_precision = prec;
         auto ps = MpkPlan::build(a, serial);
-
-        PlanOptions barrier = serial;
-        barrier.parallel = true;
-        auto pb = MpkPlan::build(a, barrier);
-
-        PlanOptions engine = barrier;
-        engine.sweep.sync = SweepSync::kPointToPoint;
-        auto pe = MpkPlan::build(a, engine);
+        PlanOptions serial_nat = serial;
+        serial_nat.reorder = false;
+        auto psn = MpkPlan::build(a, serial_nat);
 
         if (prec != ValuePrecision::kFp64) {
           ASSERT_GT(ps.stats().packed_value_bytes, 0u);
         }
 
         ps.power(x, k, ys);
-        pb.power(x, k, yb);
-        pe.power(x, k, yg);
+        psn.power(x, k, ysn);
 
-        // Determinism: the three schedules issue the same per-row
-        // kernels in a different order but with identical operands.
-        for (std::size_t i = 0; i < ys.size(); ++i) {
-          ASSERT_EQ(ys[i], yb[i]) << "barrier diverges at i=" << i;
-          ASSERT_EQ(ys[i], yg[i]) << "engine diverges at i=" << i;
+        // Determinism: every schedule issues the same per-row kernels
+        // in a different order but with identical operands.
+        for (auto& sp : parallel_plans(a, serial)) {
+          SCOPED_TRACE("schedule=" + sp.name);
+          const auto& oracle_y = sp.natural ? ysn : ys;
+          sp.plan.power(x, k, yb);
+          for (std::size_t i = 0; i < ys.size(); ++i)
+            ASSERT_EQ(oracle_y[i], yb[i]) << sp.name << " diverges at i="
+                                          << i;
         }
 
         if (prec == ValuePrecision::kFp64 && exact_backend(backend)) {
@@ -245,14 +302,7 @@ void check_batched_case(const CsrMatrix<double>& a, int k,
         serial.index_compress = compress;
         serial.value_precision = prec;
         auto ps = MpkPlan::build(a, serial);
-
-        PlanOptions barrier = serial;
-        barrier.parallel = true;
-        auto pb = MpkPlan::build(a, barrier);
-
-        PlanOptions engine = barrier;
-        engine.sweep.sync = SweepSync::kPointToPoint;
-        auto pe = MpkPlan::build(a, engine);
+        auto parallel = parallel_plans(a, serial);
 
         // Per-lane B=1 oracle: scalar-backend serial run at the same
         // stored precision. The batch kernels replicate the scalar
@@ -261,10 +311,15 @@ void check_batched_case(const CsrMatrix<double>& a, int k,
         PlanOptions oracle = serial;
         oracle.kernel_backend = KernelBackend::kScalar;
         auto po = MpkPlan::build(a, oracle);
-        std::vector<AlignedVector<double>> yref(kMaxNvec);
+        PlanOptions oracle_nat = oracle;
+        oracle_nat.reorder = false;
+        auto pon = MpkPlan::build(a, oracle_nat);
+        std::vector<AlignedVector<double>> yref(kMaxNvec), yref_nat(kMaxNvec);
         for (int b = 0; b < kMaxNvec; ++b) {
           yref[b].resize(n);
           po.power(xs[b], k, yref[b]);
+          yref_nat[b].resize(n);
+          pon.power(xs[b], k, yref_nat[b]);
         }
 
         for (const int nvec : {1, 2, 3, 8}) {
@@ -277,19 +332,26 @@ void check_batched_case(const CsrMatrix<double>& a, int k,
             ybat[b].assign(static_cast<std::size_t>(n), 0.0);
             yp[b] = ybat[b].data();
           }
-          const MpkPlan* plans[] = {&ps, &pb, &pe};
-          const char* names[] = {"serial", "barrier", "engine"};
-          for (int pi = 0; pi < 3; ++pi) {
-            SCOPED_TRACE(std::string("schedule=") + names[pi]);
+          struct Entry {
+            std::string name;
+            MpkPlan* plan;
+            bool natural;
+          };
+          std::vector<Entry> plans{{"serial", &ps, false}};
+          for (auto& sp : parallel)
+            plans.push_back({sp.name, &sp.plan, sp.natural});
+          for (auto& [name, plan, natural] : plans) {
+            SCOPED_TRACE("schedule=" + name);
+            const auto& ref = natural ? yref_nat : yref;
             for (int b = 0; b < nvec; ++b)
               std::fill(ybat[b].begin(), ybat[b].end(), 0.0);
-            const Status st = plans[pi]->try_power_batch(
+            const Status st = plan->try_power_batch(
                 xp.data(), static_cast<index_t>(nvec), k, yp.data());
             ASSERT_TRUE(st.ok()) << st.error().what();
             for (int b = 0; b < nvec; ++b) {
               SCOPED_TRACE("lane=" + std::to_string(b));
               for (index_t i = 0; i < n; ++i)
-                ASSERT_EQ(ybat[b][i], yref[b][i])
+                ASSERT_EQ(ybat[b][i], ref[b][i])
                     << "batched lane diverges at i=" << i;
             }
           }

@@ -260,7 +260,7 @@ TEST(TelemetryExport, TraceCarriesEventsAndVersionedMetrics) {
 
   EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(out.find("\"fbmpkMetrics\""), std::string::npos);
-  EXPECT_NE(out.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(out.find("\"schema_version\": 5"), std::string::npos);
   EXPECT_NE(out.find("\"name\": \"F\""), std::string::npos);
   EXPECT_NE(out.find("\"color\": 2"), std::string::npos);
   EXPECT_NE(out.find("\"test.counter\": 9"), std::string::npos);
