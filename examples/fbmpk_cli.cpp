@@ -18,6 +18,8 @@
 // <src> is either "suite:<name>[:scale]" or "file:<path.mtx>".
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -30,11 +32,15 @@
 #include "core/autotune.hpp"
 #include "core/fbmpk.hpp"
 #include "perf/traffic_model.hpp"
+#include "service/metrics_window.hpp"
 #include "service/service.hpp"
 #include "sparse/vector_io.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/hw_counters.hpp"
+#include "telemetry/metrics_http.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace_export.hpp"
 
@@ -79,10 +85,31 @@ struct TelemetrySession {
   bool on = false;
   bool hw = false;
   std::string path;
+  /// |measured-vs-modeled deviation| above this triggers a "deviation"
+  /// flight dump at finish(); 0 disables the trigger.
+  double flight_deviation = 0.0;
   std::unique_ptr<telemetry::HwCounterGroup> counters;
   telemetry::ExportMeta meta;
 
   void parse(const Args& args) {
+    // --flight-dir arms the always-on flight recorder independently of
+    // --telemetry: rings fill in memory, dumps land in <dir> on
+    // anomalies (docs/OBSERVABILITY.md). Without a full --telemetry
+    // session the registry runs in flight-only mode so a long-lived
+    // serve never accumulates an unbounded event vector.
+    const auto fit = args.find("flight-dir");
+    if (fit != args.end()) {
+      telemetry::FlightDumpOptions fopts;
+      fopts.dir = fit->second;
+      fopts.max_dumps = std::stoul(get(args, "flight-max", "8"));
+      telemetry::arm_flight_dumps(fopts);
+      telemetry::Registry::instance().set_enabled(true);
+      if (args.find("telemetry") == args.end())
+        telemetry::Registry::instance().set_trace_mode(
+            telemetry::TraceMode::kFlightOnly);
+    }
+    flight_deviation = std::stod(get(args, "flight-deviation", "0"));
+
     const auto it = args.find("telemetry");
     if (it == args.end()) return;
     on = true;
@@ -142,6 +169,12 @@ struct TelemetrySession {
         meta.traffic.measured_direct = meta.hw.dram_direct;
       }
     }
+    // Anomaly trigger: measured traffic strayed too far from the model.
+    if (flight_deviation > 0.0 && meta.has_traffic &&
+        meta.traffic.measured() &&
+        std::abs(meta.traffic.deviation()) > flight_deviation &&
+        telemetry::flight_dumps_armed())
+      (void)telemetry::trigger_flight_dump("deviation");
     const telemetry::Snapshot snap =
         telemetry::Registry::instance().snapshot();
     const Status st = telemetry::export_trace_file(path, snap, meta);
@@ -586,6 +619,68 @@ int cmd_serve(const Args& args) {
   sopts.batch_window_us = std::stod(get(args, "batch-window-us", "0"));
   service::MpkService svc(sopts);
 
+  // Live exposition (docs/OBSERVABILITY.md): an embedded Prometheus
+  // endpoint (--metrics-port, 0 = ephemeral), an atomic textfile for
+  // node_exporter (--metrics-textfile), and a human one-line heartbeat
+  // (--heartbeat=<seconds>). All are observers: any failure warns on
+  // stderr and serving continues.
+  const int metrics_port = std::stoi(get(args, "metrics-port", "-1"));
+  const std::string metrics_textfile = get(args, "metrics-textfile", "");
+  const double metrics_interval =
+      std::max(0.05, std::stod(get(args, "metrics-interval", "1")));
+  const double heartbeat_s = std::stod(get(args, "heartbeat", "0"));
+  const double linger_s = std::stod(get(args, "linger", "0"));
+
+  const auto render = [&svc] {
+    auto fams = service::service_families(svc.stats(), svc.window(60.0));
+    if (telemetry::Registry::instance().enabled())
+      telemetry::append_registry_families(
+          telemetry::Registry::instance().snapshot(), fams);
+    return telemetry::prometheus_render(fams);
+  };
+
+  telemetry::MetricsHttpServer http;
+  if (metrics_port >= 0) {
+    const Status hs = http.start(metrics_port, render);
+    if (hs.ok())
+      std::printf("metrics: listening on port %d\n", http.port());
+    else
+      std::fprintf(stderr, "metrics: %s (serving continues)\n",
+                   hs.error().what());
+  }
+
+  std::atomic<bool> stop_metrics{false};
+  std::thread metrics_thread;
+  if (!metrics_textfile.empty() || heartbeat_s > 0.0) {
+    metrics_thread = std::thread([&] {
+      using SteadyClock = std::chrono::steady_clock;
+      auto next_textfile = SteadyClock::now();
+      auto next_heartbeat = SteadyClock::now();
+      while (!stop_metrics.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        const auto now = SteadyClock::now();
+        if (!metrics_textfile.empty() && now >= next_textfile) {
+          next_textfile =
+              now + std::chrono::duration_cast<SteadyClock::duration>(
+                        std::chrono::duration<double>(metrics_interval));
+          const Status ws =
+              telemetry::write_textfile_atomic(metrics_textfile, render());
+          if (!ws.ok())
+            std::fprintf(stderr, "metrics: %s (serving continues)\n",
+                         ws.error().what());
+        }
+        if (heartbeat_s > 0.0 && now >= next_heartbeat) {
+          next_heartbeat =
+              now + std::chrono::duration_cast<SteadyClock::duration>(
+                        std::chrono::duration<double>(heartbeat_s));
+          std::printf("%s\n",
+                      service::format_heartbeat(svc.window(60.0)).c_str());
+          std::fflush(stdout);
+        }
+      }
+    });
+  }
+
   const auto x = load_or_make_x(args, a.rows());
   std::atomic<int> ok{0};
   std::atomic<int> typed{0};
@@ -606,6 +701,23 @@ int cmd_serve(const Args& args) {
   }
   for (auto& th : pool) th.join();
   const double ms = t.milliseconds();
+
+  // Keep the endpoint (and textfile refresh) alive past the burst so
+  // an external scraper has a window to observe the populated metrics.
+  if (linger_s > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger_s));
+  stop_metrics.store(true, std::memory_order_relaxed);
+  if (metrics_thread.joinable()) metrics_thread.join();
+  http.stop();
+  if (!metrics_textfile.empty()) {
+    const Status ws =
+        telemetry::write_textfile_atomic(metrics_textfile, render());
+    if (!ws.ok())
+      std::fprintf(stderr, "metrics: %s (serving continues)\n",
+                   ws.error().what());
+  }
+  if (heartbeat_s > 0.0)
+    std::printf("%s\n", service::format_heartbeat(svc.window(60.0)).c_str());
 
   const auto st = svc.stats();
   std::printf("served %d requests (%d clients) in %.2f ms: %d ok, %d typed "
@@ -666,7 +778,12 @@ int main(int argc, char** argv) {
                  "        [--k=4] [--deadline=0] [--cache=4] [--queue=16]\n"
                  "        [--scheduler=abmc|levels|auto]"
                  " [--max-batch=1] [--batch-window-us=0]\n"
-                 "  any command also takes --telemetry=<file>[,hw]\n",
+                 "        [--metrics-port=9464] [--metrics-textfile=m.prom]"
+                 " [--metrics-interval=1]\n"
+                 "        [--heartbeat=0] [--linger=0]\n"
+                 "  any command also takes --telemetry=<file>[,hw] and\n"
+                 "        --flight-dir=<dir> [--flight-max=8]"
+                 " [--flight-deviation=0]\n",
                  argv[0]);
     return 2;
   }

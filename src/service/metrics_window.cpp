@@ -1,0 +1,235 @@
+#include "service/metrics_window.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "service/service.hpp"
+
+namespace fbmpk::service {
+
+MetricsWindows::MetricsWindows(std::int64_t slice_ns, int slices)
+    : win_(slice_ns, slices) {}
+
+void MetricsWindows::record_request(std::uint64_t latency_ns, int rung,
+                                    bool ok, ErrorCode code,
+                                    std::int64_t t_ns) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Slice& s = win_.at(t_ns);
+  s.latency.add(latency_ns);
+  ++s.completed;
+  if (ok) ++s.ok;
+  if (rung >= 0 && rung < 3) ++s.rung[static_cast<std::size_t>(rung)];
+  if (!ok) {
+    if (code == ErrorCode::kTimeout) ++s.timeouts;
+    if (code == ErrorCode::kOverloaded) ++s.overloaded;
+    if (code == ErrorCode::kCancelled) ++s.cancelled;
+  }
+}
+
+void MetricsWindows::record_cache(bool hit, std::int64_t t_ns) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Slice& s = win_.at(t_ns);
+  if (hit)
+    ++s.cache_hits;
+  else
+    ++s.cache_misses;
+}
+
+void MetricsWindows::record_batch_width(std::size_t width,
+                                        std::int64_t t_ns) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Slice& s = win_.at(t_ns);
+  ++s.batches;
+  s.batch_width_sum += width;
+}
+
+void MetricsWindows::sample_queue_depth(std::size_t depth,
+                                        std::int64_t t_ns) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Slice& s = win_.at(t_ns);
+  ++s.queue_samples;
+  s.queue_depth_sum += depth;
+  s.queue_depth_max = std::max(s.queue_depth_max,
+                               static_cast<std::uint64_t>(depth));
+}
+
+ServiceMetricsWindow MetricsWindows::snapshot(double horizon_seconds,
+                                              std::int64_t t_ns) const {
+  ServiceMetricsWindow w;
+  w.window_seconds = horizon_seconds;
+  const std::int64_t horizon_ns =
+      static_cast<std::int64_t>(horizon_seconds * 1e9);
+
+  telemetry::Histogram latency;
+  std::uint64_t batch_width_sum = 0;
+  std::uint64_t queue_depth_sum = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    win_.for_each_live(horizon_ns, t_ns, [&](const Slice& s) {
+      latency.merge(s.latency);
+      w.completed += s.completed;
+      w.ok += s.ok;
+      for (std::size_t r = 0; r < 3; ++r) w.rung_completions[r] += s.rung[r];
+      w.timeouts += s.timeouts;
+      w.overloaded += s.overloaded;
+      w.cancelled += s.cancelled;
+      w.cache_hits += s.cache_hits;
+      w.cache_misses += s.cache_misses;
+      w.batches += s.batches;
+      batch_width_sum += s.batch_width_sum;
+      w.queue_samples += s.queue_samples;
+      queue_depth_sum += s.queue_depth_sum;
+      w.queue_depth_max = std::max(w.queue_depth_max, s.queue_depth_max);
+    });
+  }
+
+  w.p50_ms = latency.quantile(0.50) * 1e-6;
+  w.p95_ms = latency.quantile(0.95) * 1e-6;
+  w.p99_ms = latency.quantile(0.99) * 1e-6;
+  w.mean_ms = latency.mean_ns() * 1e-6;
+  w.max_ms = static_cast<double>(latency.max_ns) * 1e-6;
+  if (w.queue_samples > 0)
+    w.queue_depth_mean = static_cast<double>(queue_depth_sum) /
+                         static_cast<double>(w.queue_samples);
+  if (w.batches > 0)
+    w.batch_width_mean = static_cast<double>(batch_width_sum) /
+                         static_cast<double>(w.batches);
+  if (w.cache_hits + w.cache_misses > 0)
+    w.cache_hit_ratio = static_cast<double>(w.cache_hits) /
+                        static_cast<double>(w.cache_hits + w.cache_misses);
+  return w;
+}
+
+std::string format_heartbeat(const ServiceMetricsWindow& w) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "fbmpk-heartbeat win=%gs done=%" PRIu64 " ok=%" PRIu64
+      " p50=%gms p95=%gms p99=%gms depth=%g/%" PRIu64 " batch=%g hit=%g"
+      " rungs=%" PRIu64 "/%" PRIu64 "/%" PRIu64 " to=%" PRIu64
+      " ov=%" PRIu64 " cx=%" PRIu64,
+      w.window_seconds, w.completed, w.ok, w.p50_ms, w.p95_ms, w.p99_ms,
+      w.queue_depth_mean, w.queue_depth_max, w.batch_width_mean,
+      w.cache_hit_ratio, w.rung_completions[0], w.rung_completions[1],
+      w.rung_completions[2], w.timeouts, w.overloaded, w.cancelled);
+  return buf;
+}
+
+bool parse_heartbeat(const std::string& line, ServiceMetricsWindow* out) {
+  if (out == nullptr) return false;
+  ServiceMetricsWindow w;
+  const int n = std::sscanf(
+      line.c_str(),
+      "fbmpk-heartbeat win=%lfs done=%" SCNu64 " ok=%" SCNu64
+      " p50=%lfms p95=%lfms p99=%lfms depth=%lf/%" SCNu64
+      " batch=%lf hit=%lf rungs=%" SCNu64 "/%" SCNu64 "/%" SCNu64
+      " to=%" SCNu64 " ov=%" SCNu64 " cx=%" SCNu64,
+      &w.window_seconds, &w.completed, &w.ok, &w.p50_ms, &w.p95_ms,
+      &w.p99_ms, &w.queue_depth_mean, &w.queue_depth_max,
+      &w.batch_width_mean, &w.cache_hit_ratio, &w.rung_completions[0],
+      &w.rung_completions[1], &w.rung_completions[2], &w.timeouts,
+      &w.overloaded, &w.cancelled);
+  if (n != 16) return false;
+  *out = w;
+  return true;
+}
+
+std::vector<telemetry::PromFamily> service_families(
+    const ServiceStats& stats, const ServiceMetricsWindow& w) {
+  using telemetry::PromFamily;
+  std::vector<PromFamily> out;
+
+  const auto gauge = [&](const char* name, const char* help, double v) {
+    PromFamily f;
+    f.name = name;
+    f.help = help;
+    f.type = "gauge";
+    f.samples.push_back({"", "", v});
+    out.push_back(std::move(f));
+  };
+  const auto counter = [&](const char* name, const char* help,
+                           std::uint64_t v) {
+    PromFamily f;
+    f.name = name;
+    f.help = help;
+    f.type = "counter";
+    f.samples.push_back({"", "", static_cast<double>(v)});
+    out.push_back(std::move(f));
+  };
+
+  // Windowed SLO view (the "is it healthy now" metrics).
+  {
+    PromFamily f;
+    f.name = "fbmpk_request_latency_seconds";
+    f.help = "Request latency quantiles over the sliding window";
+    f.type = "summary";
+    f.samples.push_back({"", "quantile=\"0.5\"", w.p50_ms * 1e-3});
+    f.samples.push_back({"", "quantile=\"0.95\"", w.p95_ms * 1e-3});
+    f.samples.push_back({"", "quantile=\"0.99\"", w.p99_ms * 1e-3});
+    f.samples.push_back(
+        {"_sum", "",
+         w.mean_ms * 1e-3 * static_cast<double>(w.completed)});
+    f.samples.push_back({"_count", "", static_cast<double>(w.completed)});
+    out.push_back(std::move(f));
+  }
+  gauge("fbmpk_queue_depth",
+        "Mean queued requests over the sliding window", w.queue_depth_mean);
+  gauge("fbmpk_queue_depth_max",
+        "Peak queued requests over the sliding window",
+        static_cast<double>(w.queue_depth_max));
+  gauge("fbmpk_cache_hit_ratio",
+        "Plan-cache hit ratio over the sliding window", w.cache_hit_ratio);
+  gauge("fbmpk_batch_width_mean",
+        "Mean coalesced batch width over the sliding window",
+        w.batch_width_mean);
+  gauge("fbmpk_window_seconds", "Sliding-window horizon",
+        w.window_seconds);
+  {
+    PromFamily f;
+    f.name = "fbmpk_rung_completions";
+    f.help = "Requests completed per degradation-ladder rung over the "
+             "sliding window";
+    f.type = "gauge";
+    static const char* kRungs[3] = {"engine", "barrier", "serial"};
+    for (std::size_t r = 0; r < 3; ++r)
+      f.samples.push_back(
+          {"", "rung=\"" + std::string(kRungs[r]) + "\"",
+           static_cast<double>(w.rung_completions[r])});
+    out.push_back(std::move(f));
+  }
+  gauge("fbmpk_window_timeouts",
+        "Requests timed out over the sliding window",
+        static_cast<double>(w.timeouts));
+  gauge("fbmpk_window_overloaded",
+        "Requests rejected kOverloaded over the sliding window",
+        static_cast<double>(w.overloaded));
+
+  // Monotonic totals since process start (ServiceStats).
+  counter("fbmpk_requests_submitted_total", "Requests submitted",
+          stats.submitted);
+  counter("fbmpk_requests_completed_total",
+          "Requests finished with any status", stats.completed);
+  counter("fbmpk_rejected_overload_total",
+          "Submissions rejected at admission", stats.rejected_overload);
+  counter("fbmpk_timeouts_total", "Requests cancelled by deadline",
+          stats.timeouts);
+  counter("fbmpk_cancelled_total", "Requests cancelled by the caller",
+          stats.cancelled);
+  counter("fbmpk_degrade_engine_to_barrier_total",
+          "Ladder transitions engine->barrier",
+          stats.degrade_engine_to_barrier);
+  counter("fbmpk_degrade_barrier_to_serial_total",
+          "Ladder transitions barrier->serial",
+          stats.degrade_barrier_to_serial);
+  counter("fbmpk_quarantines_total", "Plans quarantined by the watchdog",
+          stats.quarantines);
+  counter("fbmpk_batches_total", "Multi-member batched sweeps run",
+          stats.batches);
+  counter("fbmpk_cache_hits_total", "Plan-cache hits", stats.cache.hits);
+  counter("fbmpk_cache_misses_total", "Plan-cache misses (builds)",
+          stats.cache.misses);
+  return out;
+}
+
+}  // namespace fbmpk::service

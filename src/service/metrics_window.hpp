@@ -1,0 +1,135 @@
+// Sliding-window SLO metrics for MpkService (docs/OBSERVABILITY.md).
+//
+// The service's ServiceStats counters are monotonic since process
+// start — useful for totals, useless for "is the service healthy right
+// now". MetricsWindows keeps the last ~minute of request latency,
+// queue depth, batch width, cache behaviour and ladder-rung outcomes
+// in a fixed ring of slices (telemetry::SlidingWindow), and
+// snapshot() folds the live slices into one ServiceMetricsWindow with
+// p50/p95/p99 latency. Memory is constant no matter how long the
+// service runs.
+//
+// The same snapshot feeds three consumers: the `serve --heartbeat`
+// one-liner (format_heartbeat / parse_heartbeat), the Prometheus
+// exposition (service_families + telemetry::prometheus_render), and
+// tests. Every recording method takes an explicit now so tests are
+// deterministic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "telemetry/prometheus.hpp"
+#include "telemetry/sliding_window.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace fbmpk::service {
+
+struct ServiceStats;
+
+/// One folded view over the live slices of a MetricsWindows.
+struct ServiceMetricsWindow {
+  double window_seconds = 0.0;  ///< horizon the snapshot covered
+
+  // Request completions inside the window.
+  std::uint64_t completed = 0;
+  std::uint64_t ok = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+
+  // Queue depth as sampled by the watchdog tick.
+  double queue_depth_mean = 0.0;
+  std::uint64_t queue_depth_max = 0;
+  std::uint64_t queue_samples = 0;
+
+  // Coalescer batch widths (multi-member sweeps only count > 1 wide
+  // when batching is on; width 1 still counts a batch).
+  double batch_width_mean = 0.0;
+  std::uint64_t batches = 0;
+
+  // Plan-cache behaviour for requests admitted in the window.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_hit_ratio = 0.0;  ///< hits / (hits + misses); 0 when idle
+
+  /// Completions per ladder rung: [engine, barrier, serial].
+  std::array<std::uint64_t, 3> rung_completions{};
+
+  // Failure classes inside the window.
+  std::uint64_t timeouts = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t cancelled = 0;
+};
+
+/// Fixed-memory sliding aggregation; all methods thread-safe (one
+/// internal mutex — callers are the service's cold paths, never the
+/// sweep hot loop).
+class MetricsWindows {
+ public:
+  /// Defaults cover a 65 s ring (13 slices x 5 s) so the default 60 s
+  /// horizon always has a full complement of slices behind it.
+  explicit MetricsWindows(std::int64_t slice_ns = 5'000'000'000,
+                          int slices = 13);
+
+  void record_request(std::uint64_t latency_ns, int rung, bool ok,
+                      ErrorCode code,
+                      std::int64_t t_ns = telemetry::now_ns());
+  void record_cache(bool hit, std::int64_t t_ns = telemetry::now_ns());
+  void record_batch_width(std::size_t width,
+                          std::int64_t t_ns = telemetry::now_ns());
+  void sample_queue_depth(std::size_t depth,
+                          std::int64_t t_ns = telemetry::now_ns());
+
+  ServiceMetricsWindow snapshot(
+      double horizon_seconds,
+      std::int64_t t_ns = telemetry::now_ns()) const;
+
+ private:
+  struct Slice {
+    telemetry::Histogram latency;
+    std::uint64_t completed = 0;
+    std::uint64_t ok = 0;
+    std::array<std::uint64_t, 3> rung{};
+    std::uint64_t timeouts = 0;
+    std::uint64_t overloaded = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batch_width_sum = 0;
+    std::uint64_t queue_samples = 0;
+    std::uint64_t queue_depth_sum = 0;
+    std::uint64_t queue_depth_max = 0;
+  };
+
+  mutable std::mutex mu_;
+  telemetry::SlidingWindow<Slice> win_;
+};
+
+/// One-line heartbeat for `serve --heartbeat` and fbmpk_soak. The
+/// format is a stable contract (parse_heartbeat round-trips it):
+///   fbmpk-heartbeat win=60s done=123 ok=120 p50=1.2ms p95=3.4ms
+///   p99=7.8ms depth=0.5/3 batch=1.8 hit=0.96 rungs=118/2/0 to=1 ov=2
+///   cx=0
+std::string format_heartbeat(const ServiceMetricsWindow& w);
+
+/// Parse a format_heartbeat() line back into `out` (fields not carried
+/// by the line — mean/max latency, sample counts — stay zero). Returns
+/// false on any malformed or truncated line.
+bool parse_heartbeat(const std::string& line, ServiceMetricsWindow* out);
+
+/// Prometheus families for one service: windowed SLO gauges/summary
+/// (fbmpk_request_latency_seconds{quantile=...}, fbmpk_queue_depth,
+/// fbmpk_cache_hit_ratio, fbmpk_rung_completions{rung=...}, ...) plus
+/// the monotonic ServiceStats totals as counters.
+std::vector<telemetry::PromFamily> service_families(
+    const ServiceStats& stats, const ServiceMetricsWindow& w);
+
+}  // namespace fbmpk::service

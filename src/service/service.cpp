@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "support/fault_inject.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace fbmpk::service {
@@ -14,6 +15,15 @@ namespace fbmpk::service {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Anomaly hook (docs/OBSERVABILITY.md): when flight dumps are armed,
+/// snapshot the in-memory rings around this event. `reason` must be a
+/// string literal; failures (budget exhausted, I/O) are swallowed —
+/// an observer must never affect serving.
+void maybe_flight_dump(const char* reason) {
+  if (!telemetry::flight_dumps_armed()) return;
+  (void)telemetry::trigger_flight_dump(reason);
+}
 
 /// Cache key salt for the fp64 rebuild of a reduced-precision plan —
 /// the rebuilt plan is a distinct artifact under the same matrix.
@@ -56,6 +66,7 @@ struct MpkService::Request {
   int k = 1;
   double deadline_seconds = 0.0;  ///< resolved; <= 0 means none
   Clock::time_point deadline_tp{};
+  Clock::time_point submitted_at{};  ///< for windowed latency
 
   RunControl ctl;
   std::atomic<bool> running{false};  ///< a worker is executing the sweep
@@ -125,6 +136,12 @@ MpkService::RequestId MpkService::submit(const CsrMatrix<double>& a,
                                          RequestOptions ropts) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   auto req = std::make_shared<Request>();
+  // Mint the id up front (atomic, no lock) so the request's trace
+  // context exists from the very first span.
+  const RequestId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req->id = id;
+  FBMPK_TSPAN_ARGS(kService, "service.submit",
+                   {.k = k, .req = static_cast<std::int64_t>(id)});
   req->matrix = &a;
   req->key = fingerprint(a);
   req->x.assign(x.begin(), x.end());
@@ -133,8 +150,10 @@ MpkService::RequestId MpkService::submit(const CsrMatrix<double>& a,
   req->deadline_seconds = ropts.deadline_seconds < 0.0
                               ? opts_.default_deadline_seconds
                               : ropts.deadline_seconds;
+  req->submitted_at = Clock::now();
   if (req->deadline_seconds > 0.0)
-    req->deadline_tp = Clock::now() + seconds_to_duration(req->deadline_seconds);
+    req->deadline_tp =
+        req->submitted_at + seconds_to_duration(req->deadline_seconds);
 
   Status early;  // non-ok -> reject without queueing
   if (x.size() != static_cast<std::size_t>(a.rows()))
@@ -142,11 +161,8 @@ MpkService::RequestId MpkService::submit(const CsrMatrix<double>& a,
                   "request vector length does not match the matrix");
 
   bool queued = false;
-  RequestId id = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    id = next_id_++;
-    req->id = id;
     active_.emplace(id, req);
     if (early.ok()) {
       if (shutdown_) {
@@ -257,7 +273,10 @@ void MpkService::worker_loop() {
         if (!queue_.empty()) queue_cv_.notify_one();
       }
     }
-    if (coalescer_.enabled()) record_batch_telemetry(batch.size());
+    if (coalescer_.enabled()) {
+      record_batch_telemetry(batch.size());
+      windows_.record_batch_width(batch.size());
+    }
     if (batch.size() == 1)
       execute(batch.front());
     else
@@ -281,14 +300,16 @@ Status MpkService::run_rung(const std::shared_ptr<Request>& req,
     case Rung::kBarrier: path = ExecPath::kBarrier; break;
     case Rung::kSerial: path = ExecPath::kSerial; break;
   }
-  FBMPK_TSPAN_ARGS(kService, "service.rung", {.k = req->k});
+  FBMPK_TSPAN_ARGS(kService, "service.rung",
+                   {.k = req->k, .req = static_cast<std::int64_t>(req->id)});
   return plan.try_power(std::span<const double>(req->x.data(), req->x.size()),
                         req->k, std::span<double>(req->y.data(), req->y.size()),
                         ws, path, &req->ctl);
 }
 
 void MpkService::execute(const std::shared_ptr<Request>& req) {
-  FBMPK_TSPAN_ARGS(kService, "service.request", {.k = req->k});
+  FBMPK_TSPAN_ARGS(kService, "service.request",
+                   {.k = req->k, .req = static_cast<std::int64_t>(req->id)});
   if (req->ctl.cancelled()) {
     complete(req, Error(req->ctl.cancel_reason(),
                         "request cancelled before execution"),
@@ -313,6 +334,7 @@ void MpkService::execute(const std::shared_ptr<Request>& req) {
     return;
   }
   const bool cache_hit = !built;
+  windows_.record_cache(cache_hit);
 
   req->running.store(true, std::memory_order_release);
   MpkPlan::Workspace ws;
@@ -348,6 +370,7 @@ void MpkService::execute(const std::shared_ptr<Request>& req) {
       degrade_barrier_to_serial_.fetch_add(1, std::memory_order_relaxed);
       FBMPK_TCOUNT("service.degrade.barrier_to_serial", 1);
     }
+    maybe_flight_dump("degrade");
     ++steps;
     ++rung_i;
     lease.entry->degrade_level.store(rung_i, std::memory_order_release);
@@ -357,6 +380,8 @@ void MpkService::execute(const std::shared_ptr<Request>& req) {
   certify_result(req, st, rung_used, ws, precision_rebuilt);
   req->running.store(false, std::memory_order_release);
   complete(req, st, rung_used, steps, cache_hit, precision_rebuilt);
+  if (!st.ok() && st.code() == ErrorCode::kTimeout)
+    maybe_flight_dump("timeout");
 }
 
 void MpkService::certify_result(const std::shared_ptr<Request>& req,
@@ -423,7 +448,15 @@ void MpkService::execute_batch(
   }
 
   const auto& seed = live.front();
-  FBMPK_TSPAN_ARGS(kService, "service.batch", {.k = seed->k});
+  FBMPK_TSPAN_ARGS(kService, "service.batch",
+                   {.k = seed->k, .req = static_cast<std::int64_t>(seed->id)});
+  // One near-zero span per member so every coalesced request's trace
+  // context reaches the batched sweep (flow events stitch them).
+  for (const auto& r : live) {
+    FBMPK_TSPAN_ARGS(kService, "service.batch_member",
+                     {.k = r->k, .req = static_cast<std::int64_t>(r->id)});
+    (void)r;
+  }
   batches_run_.fetch_add(1, std::memory_order_relaxed);
   batch_coalesced_.fetch_add(live.size(), std::memory_order_relaxed);
 
@@ -446,6 +479,7 @@ void MpkService::execute_batch(
     return;
   }
   const bool cache_hit = !built;
+  windows_.record_cache(cache_hit);
 
   // The sweep runs under the batch's own control token; member tokens
   // stay per-request (deadline/cancel of one member must not abort the
@@ -517,6 +551,7 @@ void MpkService::execute_batch(
       degrade_barrier_to_serial_.fetch_add(1, std::memory_order_relaxed);
       FBMPK_TCOUNT("service.degrade.barrier_to_serial", 1);
     }
+    maybe_flight_dump("degrade");
     ++steps;
     ++rung_i;
     lease.entry->degrade_level.store(rung_i, std::memory_order_release);
@@ -533,6 +568,7 @@ void MpkService::execute_batch(
   // the usual single-vector fp64 rebuild path.
   const Rung rung_used = static_cast<Rung>(rung_i);
   MpkPlan::Workspace ws;
+  bool any_timeout = false;
   for (const auto& r : live) {
     if (r->done_flag.load(std::memory_order_acquire))
       continue;  // force-completed by the watchdog
@@ -548,18 +584,29 @@ void MpkService::execute_batch(
       certify_result(r, mst, rung_used, ws, rebuilt);
       r->running.store(false, std::memory_order_release);
     }
+    if (!mst.ok() && mst.code() == ErrorCode::kTimeout) any_timeout = true;
     complete(r, mst, rung_used, steps, cache_hit, rebuilt);
   }
+  if (any_timeout) maybe_flight_dump("timeout");
 }
 
 void MpkService::complete(const std::shared_ptr<Request>& req, Status status,
                           Rung rung, int degrade_steps, bool cache_hit,
                           bool precision_rebuilt) {
-  const ErrorCode code =
-      status.ok() ? ErrorCode::kInternal : status.code();
+  const bool ok = status.ok();
+  const ErrorCode code = ok ? ErrorCode::kInternal : status.code();
   {
     std::lock_guard<std::mutex> lock(req->m);
     if (req->done) return;  // first completer wins
+    // Windowed SLO accounting happens exactly once, on the winning
+    // completion (MetricsWindows has its own lock; never takes mu_).
+    const auto lat = Clock::now() - req->submitted_at;
+    const std::uint64_t latency_ns = static_cast<std::uint64_t>(std::max<
+        std::int64_t>(
+        0,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(lat).count()));
+    windows_.record_request(latency_ns, static_cast<int>(rung), ok, code);
+    FBMPK_THIST(kRequestLatency, latency_ns);
     req->result.status = std::move(status);
     req->result.rung = rung;
     req->result.degrade_steps = degrade_steps;
@@ -591,6 +638,11 @@ void MpkService::watchdog_loop() {
     watchdog_cv_.wait_for(lock, interval);
     if (shutdown_) return;
     const auto now = Clock::now();
+    windows_.sample_queue_depth(queue_.size());
+    // Quarantine dumps are deferred past both scans: the dump does
+    // I/O and takes the telemetry registry lock, neither of which
+    // belongs under mu_.
+    const char* pending_dump = nullptr;
     for (auto& [id, req] : active_) {
       if (req->done_flag.load(std::memory_order_acquire)) continue;
       if (req->deadline_seconds > 0.0 && now >= req->deadline_tp)
@@ -614,6 +666,7 @@ void MpkService::watchdog_loop() {
       if (cache_.quarantine(req->key)) {
         quarantines_.fetch_add(1, std::memory_order_relaxed);
         FBMPK_TCOUNT("service.quarantine", 1);
+        pending_dump = "quarantine";
       }
       complete(req,
                Error(req->ctl.cancel_reason(),
@@ -648,6 +701,7 @@ void MpkService::watchdog_loop() {
       if (cache_.quarantine(exec->key)) {
         quarantines_.fetch_add(1, std::memory_order_relaxed);
         FBMPK_TCOUNT("service.quarantine", 1);
+        pending_dump = "quarantine";
       }
       for (const auto& r : exec->members)
         complete(r,
@@ -656,6 +710,11 @@ void MpkService::watchdog_loop() {
                        "batched sweep made no progress past the grace "
                        "period; plan quarantined"),
                  Rung::kSerial, 0, false, false);
+    }
+    if (pending_dump != nullptr) {
+      lock.unlock();
+      maybe_flight_dump(pending_dump);
+      lock.lock();
     }
   }
 }
@@ -677,6 +736,10 @@ ServiceStats MpkService::stats() const {
   s.batch_coalesced = batch_coalesced_.load(std::memory_order_relaxed);
   s.cache = cache_.stats();
   return s;
+}
+
+ServiceMetricsWindow MpkService::window(double horizon_seconds) const {
+  return windows_.snapshot(horizon_seconds);
 }
 
 }  // namespace fbmpk::service

@@ -47,6 +47,7 @@
 
 #include "core/plan.hpp"
 #include "service/batcher.hpp"
+#include "service/metrics_window.hpp"
 #include "service/plan_cache.hpp"
 #include "sparse/csr.hpp"
 #include "support/error.hpp"
@@ -151,6 +152,10 @@ class MpkService {
                       int k, std::span<double> y, RequestOptions ropts = {});
 
   ServiceStats stats() const;
+  /// Sliding-window SLO snapshot over the last `horizon_seconds`
+  /// (docs/OBSERVABILITY.md): latency quantiles, queue depth, batch
+  /// width, cache hit ratio, rung occupancy.
+  ServiceMetricsWindow window(double horizon_seconds = 60.0) const;
   PlanCache& cache() { return cache_; }
   const ServiceOptions& options() const { return opts_; }
 
@@ -188,7 +193,13 @@ class MpkService {
   /// batch's own control token.
   std::vector<std::shared_ptr<BatchExec>> batches_;
   bool shutdown_ = false;
-  std::uint64_t next_id_ = 1;
+  /// Atomic so submit() can mint the id (and open the request's trace
+  /// context) before taking mu_.
+  std::atomic<std::uint64_t> next_id_{1};
+
+  /// Sliding-window SLO aggregation (own internal mutex; never held
+  /// together with mu_ in a path that could invert the order).
+  mutable MetricsWindows windows_;
 
   std::vector<std::thread> workers_;
   std::thread watchdog_;

@@ -1,0 +1,97 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace_export.hpp"
+
+namespace fbmpk::telemetry {
+
+namespace {
+
+/// Synthetic track id for the trigger marker event — far above any
+/// real worker tid so the dump shows a dedicated "what fired" lane.
+constexpr int kTriggerTid = 9999;
+
+struct DumpState {
+  std::mutex mu;
+  FlightDumpOptions opts;
+  std::uint64_t attempts = 0;  ///< dump file names + budget accounting
+};
+
+std::atomic<bool> g_armed{false};
+std::atomic<std::uint64_t> g_written{0};
+
+DumpState& state() {
+  // Leaked for the same reason as the registry: triggers may fire from
+  // worker threads that outlive static destruction order.
+  static DumpState* s = new DumpState;
+  return *s;
+}
+
+}  // namespace
+
+void arm_flight_dumps(const FlightDumpOptions& opts) {
+  DumpState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.opts = opts;
+  s.attempts = 0;
+  g_written.store(0, std::memory_order_relaxed);
+  g_armed.store(!opts.dir.empty(), std::memory_order_release);
+}
+
+void disarm_flight_dumps() {
+  g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool flight_dumps_armed() {
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t flight_dump_count() {
+  return g_written.load(std::memory_order_relaxed);
+}
+
+Expected<std::string> trigger_flight_dump(const char* reason) {
+  if (!flight_dumps_armed())
+    return Expected<std::string>(FBMPK_MAKE_ERROR(
+        ErrorCode::kUnsupported,
+        "flight dumps are not armed (arm_flight_dumps first)"));
+  DumpState& s = state();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.attempts >= s.opts.max_dumps)
+      return Expected<std::string>(FBMPK_MAKE_ERROR(
+          ErrorCode::kResourceLimit,
+          "flight dump budget exhausted (" << s.opts.max_dumps
+                                           << " per arming)"));
+    path = s.opts.dir + "/flight-" + reason + "-" +
+           std::to_string(s.attempts) + ".json";
+    ++s.attempts;  // failed attempts consume budget too: no I/O storms
+  }
+
+  Registry& reg = Registry::instance();
+  Snapshot snap = reg.flight_snapshot();
+  // Marker lane: one zero-duration event named after the trigger, so
+  // the dump is self-describing in any trace viewer.
+  Snapshot::ThreadData marker;
+  marker.tid = kTriggerTid;
+  SpanEvent ev;
+  ev.name = reason;
+  ev.cat = Cat::kService;
+  ev.start_ns = now_ns();
+  ev.dur_ns = 0;
+  marker.events.push_back(ev);
+  snap.threads.push_back(std::move(marker));
+
+  const Status st = export_trace_file(path, snap);
+  if (!st.ok()) return Expected<std::string>(st.error());
+  reg.counter_add("telemetry.flight_dump", 1);
+  g_written.fetch_add(1, std::memory_order_relaxed);
+  return Expected<std::string>(std::move(path));
+}
+
+}  // namespace fbmpk::telemetry

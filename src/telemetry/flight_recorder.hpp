@@ -1,0 +1,55 @@
+// Flight-recorder dump triggers (docs/OBSERVABILITY.md).
+//
+// The per-thread FlightRing (telemetry.hpp) records the last ~1024
+// spans of every instrumented thread in fixed memory whenever the
+// registry is runtime-enabled. This header is the incident side: a
+// process-global arming switch plus trigger_flight_dump(), which
+// snapshots all rings and writes them as a normal Chrome trace — so
+// every anomaly (request timeout, plan quarantine, degradation-rung
+// transition, traffic-model deviation) ships with the trace of what
+// led up to it.
+//
+// Design rules:
+//  - Disarmed cost is one relaxed atomic load; anomaly paths call
+//    trigger_flight_dump() unconditionally and fire-and-forget.
+//  - Dumps are budgeted (max_dumps per arming) so a flapping anomaly
+//    can never fill a disk; exhaustion is a typed kResourceLimit.
+//  - All failures are typed Status/Expected — a dump must never take
+//    down the serving process it observes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace fbmpk::telemetry {
+
+struct FlightDumpOptions {
+  std::string dir;            ///< directory receiving the dump files
+  std::size_t max_dumps = 8;  ///< lifetime budget for this arming
+};
+
+/// Arm automatic flight dumps into opts.dir (resets the budget and the
+/// dump counter). An empty dir disarms. Thread-safe.
+void arm_flight_dumps(const FlightDumpOptions& opts);
+void disarm_flight_dumps();
+
+/// One relaxed load — anomaly paths may consult this to skip even the
+/// call, but calling trigger_flight_dump() disarmed is just as cheap.
+bool flight_dumps_armed();
+
+/// Dumps successfully written since the last arm_flight_dumps().
+std::uint64_t flight_dump_count();
+
+/// Snapshot every thread's flight ring and write it as a Chrome trace
+/// "<dir>/flight-<reason>-<n>.json" (atomic tmp+rename). `reason` must
+/// be a static string ("timeout", "quarantine", "degrade",
+/// "deviation", …); it becomes a zero-duration marker event in the
+/// dump and part of the file name. Returns the written path, or typed
+/// errors: kUnsupported (disarmed), kResourceLimit (budget exhausted),
+/// kIo (write failure). Never throws; safe to call from any thread
+/// while recording continues.
+Expected<std::string> trigger_flight_dump(const char* reason);
+
+}  // namespace fbmpk::telemetry

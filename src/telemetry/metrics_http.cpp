@@ -1,0 +1,135 @@
+#include "telemetry/metrics_http.hpp"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace fbmpk::telemetry {
+
+#ifdef _WIN32
+
+Status MetricsHttpServer::start(int, Renderer) {
+  return Status(FBMPK_MAKE_ERROR(
+      ErrorCode::kUnsupported,
+      "embedded metrics endpoint is POSIX-only; use --metrics-textfile"));
+}
+void MetricsHttpServer::stop() {}
+void MetricsHttpServer::loop() {}
+
+#else
+
+namespace {
+
+void send_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away: a scrape is best-effort
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Status MetricsHttpServer::start(int port, Renderer render) {
+  if (thread_.joinable())
+    return Status(FBMPK_MAKE_ERROR(ErrorCode::kInternal,
+                                   "metrics endpoint already started"));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Status(FBMPK_MAKE_ERROR(
+        ErrorCode::kIo, "metrics socket() failed: " << std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int e = errno;
+    ::close(fd);
+    return Status(FBMPK_MAKE_ERROR(
+        ErrorCode::kIo,
+        "cannot bind metrics port " << port << ": " << std::strerror(e)));
+  }
+  if (::listen(fd, 16) != 0) {
+    const int e = errno;
+    ::close(fd);
+    return Status(FBMPK_MAKE_ERROR(
+        ErrorCode::kIo, "metrics listen() failed: " << std::strerror(e)));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  else
+    port_ = port;
+
+  listen_fd_ = fd;
+  render_ = std::move(render);
+  stop_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+  return Status();
+}
+
+void MetricsHttpServer::loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&p, 1, /*timeout_ms=*/100);
+    if (r <= 0) continue;  // timeout (stop check) or transient error
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Counted at accept, before the response: a client that saw its
+    // reply complete must also see scrapes() reflect it.
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+    // Best-effort read of the request line + headers; the response is
+    // the same exposition regardless.
+    char reqbuf[1024];
+    (void)::recv(fd, reqbuf, sizeof reqbuf, 0);
+    std::string body;
+    if (render_) {
+      try {
+        body = render_();
+      } catch (...) {
+        body.clear();  // an observer must never kill the connection path
+      }
+    }
+    char hdr[160];
+    const int n = std::snprintf(
+        hdr, sizeof hdr,
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: %zu\r\n"
+        "Connection: close\r\n\r\n",
+        body.size());
+    send_all(fd, hdr, static_cast<std::size_t>(n));
+    send_all(fd, body.data(), body.size());
+    ::shutdown(fd, SHUT_WR);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+#endif  // _WIN32
+
+}  // namespace fbmpk::telemetry

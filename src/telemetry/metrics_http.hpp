@@ -1,0 +1,67 @@
+// Minimal embedded metrics endpoint (docs/OBSERVABILITY.md).
+//
+// One listener thread, poll + accept, one text/plain response per
+// connection rendered on demand by the caller-supplied Renderer. This
+// is deliberately NOT a general HTTP server: every connection gets the
+// current exposition regardless of method or path, headers are read
+// best-effort and discarded, connections close after one response.
+// That is all a Prometheus scraper needs, and the ~100 lines keep the
+// serving process free of any networking dependency.
+//
+// Failure contract (docs/SERVICE.md anomaly triggers): start() returns
+// a typed kIo Status on socket/bind/listen failure — the caller logs a
+// warning and keeps serving; exposition is an observer, never a
+// dependency. stop() is idempotent and joins the listener thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace fbmpk::telemetry {
+
+class MetricsHttpServer {
+ public:
+  /// Produces the exposition body for one scrape. Called on the
+  /// listener thread; must be thread-safe and must not throw (a throw
+  /// is swallowed into an empty body).
+  using Renderer = std::function<std::string()>;
+
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { stop(); }
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Bind 0.0.0.0:`port` (0 = ephemeral; see port() for the result)
+  /// and start the listener thread. Typed kIo on any socket failure,
+  /// kInternal when already running.
+  Status start(int port, Renderer render);
+
+  /// Stop the listener and close the socket. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves port 0), or -1 when not running.
+  int port() const { return port_; }
+  /// Connections served (tests + liveness probes).
+  std::uint64_t scrapes() const {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  Renderer render_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> scrapes_{0};
+  int listen_fd_ = -1;
+  int port_ = -1;
+};
+
+}  // namespace fbmpk::telemetry

@@ -1,0 +1,170 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace fbmpk::telemetry {
+
+namespace {
+
+/// Prometheus sample values are plain decimals; non-finite values have
+/// spelled-out forms (unlike JSON, which nulls them).
+std::string prom_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+bool valid_name_char(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':')
+    return true;
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+/// Escape a HELP string: backslash and newline per the format spec.
+std::string escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prom_sanitize(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 1);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    out += valid_name_char(c, out.empty()) ? c : '_';
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+Status prometheus_render(std::ostream& os,
+                         const std::vector<PromFamily>& families) {
+  for (const PromFamily& f : families) {
+    if (f.samples.empty()) continue;
+    if (!f.help.empty())
+      os << "# HELP " << f.name << " " << escape_help(f.help) << "\n";
+    os << "# TYPE " << f.name << " " << f.type << "\n";
+    for (const PromSample& s : f.samples) {
+      os << f.name << s.suffix;
+      if (!s.labels.empty()) os << "{" << s.labels << "}";
+      os << " " << prom_value(s.value) << "\n";
+    }
+  }
+  os.flush();
+  if (!os.good())
+    return Status(FBMPK_MAKE_ERROR(
+        ErrorCode::kIo, "prometheus exposition stream failed while writing"));
+  return Status();
+}
+
+std::string prometheus_render(const std::vector<PromFamily>& families) {
+  std::ostringstream os;
+  (void)prometheus_render(os, families);
+  return os.str();
+}
+
+PromFamily histogram_family(std::string name, std::string help,
+                            const Histogram& h, double scale) {
+  PromFamily f;
+  f.name = std::move(name);
+  f.help = std::move(help);
+  f.type = "histogram";
+  std::uint64_t cum = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    const std::uint64_t n = h.buckets[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    cum += n;
+    // Upper bound of octave b is 2^(b+1); compute in double to survive
+    // b = 63.
+    const double le =
+        static_cast<double>(std::uint64_t{1} << b) * 2.0 * scale;
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.10g", le);
+    f.samples.push_back({"_bucket", "le=\"" + std::string(buf) + "\"",
+                         static_cast<double>(cum)});
+  }
+  f.samples.push_back(
+      {"_bucket", "le=\"+Inf\"", static_cast<double>(h.count)});
+  f.samples.push_back({"_sum", "", static_cast<double>(h.sum_ns) * scale});
+  f.samples.push_back({"_count", "", static_cast<double>(h.count)});
+  return f;
+}
+
+void append_registry_families(const Snapshot& snap,
+                              std::vector<PromFamily>& out) {
+  for (const auto& [name, value] : snap.counters) {
+    PromFamily f;
+    f.name = "fbmpk_" + prom_sanitize(name);
+    f.help = "Registry cell " + name;
+    // The registry cell table mixes monotonic counters and last-write
+    // gauges; untyped is the honest exposition type for both.
+    f.type = "untyped";
+    f.samples.push_back({"", "", static_cast<double>(value)});
+    out.push_back(std::move(f));
+  }
+  for (std::size_t i = 0; i < snap.merged.size(); ++i) {
+    const Histogram& h = snap.merged[i];
+    if (h.count == 0) continue;
+    const Hist kind = static_cast<Hist>(i);
+    const std::string raw = hist_name(kind);
+    // Nanosecond kinds export in seconds; value kinds (batch width)
+    // export unscaled.
+    const bool is_ns = raw.size() > 3 && raw.rfind("_ns") == raw.size() - 3;
+    std::string name =
+        "fbmpk_" + prom_sanitize(is_ns ? raw.substr(0, raw.size() - 3) +
+                                             "_seconds"
+                                       : raw);
+    out.push_back(histogram_family(std::move(name),
+                                   "Merged registry histogram " + raw, h,
+                                   is_ns ? 1e-9 : 1.0));
+  }
+}
+
+Status write_textfile_atomic(const std::string& path,
+                             const std::string& body) {
+  if (path.empty())
+    return Status(FBMPK_MAKE_ERROR(ErrorCode::kIo,
+                                   "metrics textfile path is empty"));
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open())
+      return Status(FBMPK_MAKE_ERROR(
+          ErrorCode::kIo, "cannot open metrics textfile " << tmp));
+    out << body;
+    out.close();
+    if (out.fail()) {
+      std::remove(tmp.c_str());
+      return Status(FBMPK_MAKE_ERROR(
+          ErrorCode::kIo, "metrics textfile truncated: " << tmp));
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status(FBMPK_MAKE_ERROR(
+        ErrorCode::kIo, "cannot move metrics textfile into place: " << path));
+  }
+  return Status();
+}
+
+}  // namespace fbmpk::telemetry

@@ -1,0 +1,69 @@
+// Prometheus text-format exposition (docs/OBSERVABILITY.md).
+//
+// Serializes metric families into the Prometheus text format
+// (version 0.0.4): "# HELP" / "# TYPE" headers plus one sample line
+// per (suffix, labels) pair. Producers build PromFamily vectors —
+// append_registry_families() covers the telemetry registry's counters
+// and merged histograms; the service layer adds its sliding-window
+// families (src/service/metrics_window.hpp) — and either the embedded
+// HTTP listener (metrics_http.hpp) or the textfile writer ships them.
+//
+// Like the trace export, every writer returns Status instead of
+// throwing, and the textfile path is atomic (tmp + rename) so a
+// node_exporter collector never reads a torn file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace fbmpk::telemetry {
+
+/// One sample line: `<family.name><suffix>{<labels>} <value>`.
+struct PromSample {
+  std::string suffix;  ///< e.g. "", "_bucket", "_sum", "_count"
+  std::string labels;  ///< pre-rendered `k="v",k2="v2"`, no braces
+  double value = 0.0;
+};
+
+struct PromFamily {
+  std::string name;  ///< full metric name, already sanitized
+  std::string help;
+  std::string type = "gauge";  ///< counter|gauge|histogram|summary|untyped
+  std::vector<PromSample> samples;
+};
+
+/// Map an internal dotted name onto the Prometheus charset
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): dots and other invalid characters
+/// become underscores, a leading digit gains one.
+std::string prom_sanitize(const std::string& raw);
+
+/// Render `families` in exposition text format. Returns a typed kIo
+/// Status when the stream enters a failed state; never throws.
+Status prometheus_render(std::ostream& os,
+                         const std::vector<PromFamily>& families);
+/// Convenience string form (string streams cannot fail).
+std::string prometheus_render(const std::vector<PromFamily>& families);
+
+/// Families for a registry snapshot: every counter/gauge cell as an
+/// untyped `fbmpk_<name>` sample, every non-empty merged histogram as
+/// a histogram family (nanosecond kinds scaled to seconds).
+void append_registry_families(const Snapshot& snap,
+                              std::vector<PromFamily>& out);
+
+/// One log2 histogram as a Prometheus histogram family: cumulative
+/// `le` buckets at the octave upper bounds (scaled by `scale`, e.g.
+/// 1e-9 for ns→s), plus _sum and _count.
+PromFamily histogram_family(std::string name, std::string help,
+                            const Histogram& h, double scale);
+
+/// Atomic textfile exposition for node_exporter's textfile collector:
+/// write "<path>.tmp", rename into place. Typed kIo on any failure,
+/// tmp removed, an existing file at `path` left intact. Never throws.
+Status write_textfile_atomic(const std::string& path,
+                             const std::string& body);
+
+}  // namespace fbmpk::telemetry

@@ -1,0 +1,101 @@
+// Sliding-window aggregation over the telemetry log2 histograms
+// (docs/OBSERVABILITY.md).
+//
+// A window is N fixed slices of width slice_ns; a writer stamps into
+// the slice covering "now" (clearing it lazily when its epoch rolled
+// over), and a reader merges every slice younger than a horizon. Memory
+// is fixed at N slices forever — exactly what a long-lived serving
+// process needs for p50/p95/p99-over-the-last-minute without unbounded
+// event retention.
+//
+// Deliberately not thread-safe: the owner (service::MetricsWindows, a
+// test) wraps it in its own lock; the telemetry hot path never touches
+// these. Every method takes an explicit now_ns so tests are
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace fbmpk::telemetry {
+
+/// Generic slice rotation: SliceT must be default-constructible (the
+/// empty slice) — rotation clears by assignment.
+template <class SliceT>
+class SlidingWindow {
+ public:
+  SlidingWindow(std::int64_t slice_ns, int slices)
+      : slice_ns_(slice_ns > 0 ? slice_ns : 1),
+        entries_(static_cast<std::size_t>(slices > 0 ? slices : 1)) {}
+
+  std::int64_t slice_ns() const { return slice_ns_; }
+  int slices() const { return static_cast<int>(entries_.size()); }
+
+  /// Mutable slice covering t_ns, cleared first if its ring slot still
+  /// holds an older epoch.
+  SliceT& at(std::int64_t t_ns) {
+    const std::int64_t e = epoch_of(t_ns);
+    Entry& en = entries_[slot_of(e)];
+    if (en.epoch != e) {
+      en.data = SliceT{};
+      en.epoch = e;
+    }
+    return en.data;
+  }
+
+  /// Visit every slice whose epoch lies within horizon_ns of t_ns
+  /// (inclusive of the current partial slice). Untouched or expired
+  /// slices are skipped.
+  template <class F>
+  void for_each_live(std::int64_t horizon_ns, std::int64_t t_ns,
+                     F&& f) const {
+    const std::int64_t newest = epoch_of(t_ns);
+    std::int64_t live = (horizon_ns + slice_ns_ - 1) / slice_ns_;
+    if (live < 1) live = 1;
+    if (live > static_cast<std::int64_t>(entries_.size()))
+      live = static_cast<std::int64_t>(entries_.size());
+    for (const Entry& en : entries_)
+      if (en.epoch >= 0 && en.epoch <= newest && newest - en.epoch < live)
+        f(en.data);
+  }
+
+ private:
+  struct Entry {
+    std::int64_t epoch = -1;
+    SliceT data{};
+  };
+  std::int64_t epoch_of(std::int64_t t_ns) const { return t_ns / slice_ns_; }
+  std::size_t slot_of(std::int64_t epoch) const {
+    return static_cast<std::size_t>(epoch) % entries_.size();
+  }
+
+  std::int64_t slice_ns_;
+  std::vector<Entry> entries_;
+};
+
+/// The registry-level windowed view over one log2 histogram: add
+/// samples as they happen, merge the last horizon on demand (then ask
+/// the merged Histogram for quantile()/mean_ns()).
+class WindowedHistogram {
+ public:
+  WindowedHistogram(std::int64_t slice_ns, int slices)
+      : win_(slice_ns, slices) {}
+
+  void add(std::uint64_t v, std::int64_t t_ns = now_ns()) {
+    win_.at(t_ns).add(v);
+  }
+  Histogram merged(std::int64_t horizon_ns,
+                   std::int64_t t_ns = now_ns()) const {
+    Histogram out;
+    win_.for_each_live(horizon_ns, t_ns,
+                       [&](const Histogram& h) { out.merge(h); });
+    return out;
+  }
+
+ private:
+  SlidingWindow<Histogram> win_;
+};
+
+}  // namespace fbmpk::telemetry

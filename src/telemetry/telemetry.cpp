@@ -28,6 +28,7 @@ const char* hist_name(Hist h) {
     case Hist::kSweepStage: return "sweep_stage_ns";
     case Hist::kBenchRun: return "bench_run_ns";
     case Hist::kBatchWidth: return "service.batch_width";
+    case Hist::kRequestLatency: return "service.request_latency_ns";
     case Hist::kCount_: break;
   }
   return "unknown";
@@ -117,6 +118,33 @@ Snapshot Registry::snapshot() {
   }
   std::sort(snap.counters.begin(), snap.counters.end());
   return snap;
+}
+
+Snapshot Registry::flight_snapshot() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  Snapshot snap;
+  snap.threads.reserve(im.buffers.size());
+  for (const auto& b : im.buffers) {
+    Snapshot::ThreadData td;
+    td.tid = b->tid();
+    b->flight().snapshot(td.events);
+    if (!td.events.empty()) snap.threads.push_back(std::move(td));
+  }
+  for (const auto& c : im.counters) {
+    const std::int64_t v = c->value.load(std::memory_order_relaxed);
+    if (v != 0) snap.counters.emplace_back(c->name, v);
+  }
+  std::sort(snap.counters.begin(), snap.counters.end());
+  return snap;
+}
+
+std::uint64_t Registry::flight_pushes() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::uint64_t n = 0;
+  for (const auto& b : im.buffers) n += b->flight().pushes();
+  return n;
 }
 
 void Registry::reset() {

@@ -25,8 +25,10 @@
 // (nanosecond) distributions merged at snapshot time.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -71,6 +73,9 @@ struct SpanArgs {
   bool warmup = false;       ///< harness warmup iteration (excluded
                              ///< from exported histograms)
   std::int64_t value = -1;   ///< free slot (iterations, bytes, …)
+  std::int64_t req = -1;     ///< serving-layer request id (trace
+                             ///< context: exported traces connect all
+                             ///< spans of one request with flow events)
 };
 
 /// One completed span. `name` must be a string with static storage
@@ -95,8 +100,12 @@ struct Histogram {
   std::uint64_t max_ns = 0;
 
   void add(std::uint64_t ns) {
-    int b = 0;
-    while ((std::uint64_t{1} << (b + 1)) <= ns && b < kBuckets - 1) ++b;
+    // bucket = floor(log2(ns)) via one bit-scan; 0 and 1 share bucket 0,
+    // UINT64_MAX lands in bucket 63 (tests pin the boundaries).
+    const int b =
+        ns == 0 ? 0
+                : std::min(static_cast<int>(std::bit_width(ns)) - 1,
+                           kBuckets - 1);
     ++buckets[static_cast<std::size_t>(b)];
     ++count;
     sum_ns += ns;
@@ -115,6 +124,34 @@ struct Histogram {
                       : static_cast<double>(sum_ns) /
                             static_cast<double>(count);
   }
+  /// Approximate q-quantile (q in [0, 1]), assuming uniform mass inside
+  /// each log2 bucket — good to within one octave, which is what a
+  /// sliding-window p99 needs. Returns 0 for an empty histogram and
+  /// never exceeds the recorded max.
+  double quantile(double q) const {
+    if (count == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double target = q * static_cast<double>(count);
+    double cum = 0.0;
+    for (int b = 0; b < kBuckets; ++b) {
+      const double n =
+          static_cast<double>(buckets[static_cast<std::size_t>(b)]);
+      if (n == 0.0) continue;
+      if (cum + n >= target) {
+        const double lo =
+            b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << b);
+        const double hi = lo == 0.0 ? 2.0 : lo * 2.0;
+        double frac = (target - cum) / n;
+        if (frac < 0.0) frac = 0.0;
+        const double v = lo + frac * (hi - lo);
+        const double mx = static_cast<double>(max_ns);
+        return v < mx ? v : mx;
+      }
+      cum += n;
+    }
+    return static_cast<double>(max_ns);
+  }
 };
 
 /// Per-thread histogram kinds (fixed enum: no string lookups on the
@@ -124,6 +161,7 @@ enum class Hist : std::uint8_t {
   kSweepStage,      ///< per-(k-step, color) stage durations
   kBenchRun,        ///< measured harness iterations (warmup excluded)
   kBatchWidth,      ///< coalesced service batch widths (a count, not ns)
+  kRequestLatency,  ///< service submit-to-complete latency
   kCount_,
 };
 const char* hist_name(Hist h);
@@ -153,12 +191,106 @@ inline std::int64_t now_ns() {
       .count();
 }
 
+/// Always-on flight recorder ring: the last kCapacity SpanEvents of one
+/// thread, in fixed memory, overwrite-oldest. Single writer (the owning
+/// thread) — concurrent snapshot() from any thread is safe: every slot
+/// field is an atomic and a per-slot seqlock generation detects torn or
+/// in-flight slots, so the dumper never publishes a mixed event and
+/// TSan sees no race. ~64 KiB per thread, allocated only when the
+/// registry is runtime-enabled (the ring lives inside ThreadBuffer).
+class FlightRing {
+ public:
+  static constexpr std::size_t kCapacity = 1024;  // power of two
+  static_assert((kCapacity & (kCapacity - 1)) == 0);
+
+  void push(const SpanEvent& e) {
+    const std::uint64_t i = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[i & (kCapacity - 1)];
+    // Seqlock write protocol: odd = in progress, 2*(i+1) = event i
+    // complete. The release fence orders the odd marker before the
+    // field stores; the final release store orders the fields before
+    // the even marker.
+    s.seq.store(2 * i + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s.name.store(e.name, std::memory_order_relaxed);
+    s.cat.store(static_cast<std::uint8_t>(e.cat), std::memory_order_relaxed);
+    s.start_ns.store(e.start_ns, std::memory_order_relaxed);
+    s.dur_ns.store(e.dur_ns, std::memory_order_relaxed);
+    s.k.store(e.args.k, std::memory_order_relaxed);
+    s.color.store(e.args.color, std::memory_order_relaxed);
+    s.warmup.store(e.args.warmup, std::memory_order_relaxed);
+    s.value.store(e.args.value, std::memory_order_relaxed);
+    s.req.store(e.args.req, std::memory_order_relaxed);
+    s.seq.store(2 * (i + 1), std::memory_order_release);
+    head_.store(i + 1, std::memory_order_release);
+  }
+
+  /// Lifetime pushes (≥ resident events; overwritten events count).
+  std::uint64_t pushes() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Append a consistent copy of the resident events, oldest first.
+  /// Slots the writer is overwriting mid-copy are skipped, never torn.
+  void snapshot(std::vector<SpanEvent>& out) const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t n = h < kCapacity ? h : kCapacity;
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      const Slot& s = slots_[i & (kCapacity - 1)];
+      const std::uint64_t want = 2 * (i + 1);
+      if (s.seq.load(std::memory_order_acquire) != want) continue;
+      SpanEvent e;
+      e.name = s.name.load(std::memory_order_relaxed);
+      e.cat = static_cast<Cat>(s.cat.load(std::memory_order_relaxed));
+      e.start_ns = s.start_ns.load(std::memory_order_relaxed);
+      e.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+      e.args.k = s.k.load(std::memory_order_relaxed);
+      e.args.color = s.color.load(std::memory_order_relaxed);
+      e.args.warmup = s.warmup.load(std::memory_order_relaxed);
+      e.args.value = s.value.load(std::memory_order_relaxed);
+      e.args.req = s.req.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_relaxed) != want) continue;
+      if (e.name != nullptr) out.push_back(e);
+    }
+  }
+
+  /// Drop resident events. Owner-thread (or quiesced) use only; a
+  /// concurrent writer makes the result merely empty-ish, never racy.
+  void clear() {
+    for (auto& s : slots_) s.seq.store(0, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_release);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::int64_t> start_ns{0};
+    std::atomic<std::int64_t> dur_ns{0};
+    std::atomic<std::int64_t> value{-1};
+    std::atomic<std::int64_t> req{-1};
+    std::atomic<std::int32_t> k{-1};
+    std::atomic<std::int32_t> color{-1};
+    std::atomic<std::uint8_t> cat{0};
+    std::atomic<bool> warmup{false};
+  };
+  std::atomic<std::uint64_t> head_{0};
+  std::array<Slot, kCapacity> slots_{};
+};
+
+/// What push() keeps besides the flight ring. kFull (default) also
+/// appends to the unbounded per-thread event vector for end-of-run
+/// trace export; kFlightOnly bounds memory for long-lived serving —
+/// only the ring and the histograms/counters keep recording.
+enum class TraceMode : std::uint8_t { kFull = 0, kFlightOnly = 1 };
+
 /// Per-thread event sink. Obtained through Registry::thread_buffer()
 /// (never constructed directly); push() is inline and touches only
-/// thread-local state.
+/// thread-local state plus one relaxed registry mode load.
 class ThreadBuffer {
  public:
-  void push(const SpanEvent& e) { events_.push_back(e); }
+  void push(const SpanEvent& e);  // defined after Registry
   void record(Hist h, std::uint64_t ns) {
     hists_[static_cast<std::size_t>(h)].add(ns);
   }
@@ -170,11 +302,14 @@ class ThreadBuffer {
     return hists_[static_cast<std::size_t>(h)];
   }
   const WaitStats& wait_stats() const { return wait_; }
+  const FlightRing& flight() const { return flight_; }
+  FlightRing& flight() { return flight_; }
 
   void clear() {
     events_.clear();
     for (auto& h : hists_) h = Histogram{};
     wait_ = WaitStats{};
+    flight_.clear();
   }
 
  private:
@@ -188,6 +323,7 @@ class ThreadBuffer {
   std::vector<SpanEvent> events_;
   std::array<Histogram, static_cast<std::size_t>(Hist::kCount_)> hists_{};
   WaitStats wait_;
+  FlightRing flight_;
 };
 
 /// Merged, copy-out view of everything recorded so far (export input).
@@ -222,6 +358,18 @@ class Registry {
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// What push() records (docs/OBSERVABILITY.md): kFull keeps the
+  /// unbounded export vector, kFlightOnly only the bounded ring. The
+  /// flight ring records in both modes.
+  void set_trace_mode(TraceMode m) {
+    trace_mode_.store(static_cast<std::uint8_t>(m),
+                      std::memory_order_relaxed);
+  }
+  TraceMode trace_mode() const {
+    return static_cast<TraceMode>(
+        trace_mode_.load(std::memory_order_relaxed));
+  }
+
   /// Calling thread's buffer, created and registered on first use.
   /// Never returns null. Callers on hot paths must consult enabled()
   /// first — acquiring a buffer may allocate.
@@ -255,6 +403,15 @@ class Registry {
   /// Copy out everything recorded so far.
   Snapshot snapshot();
 
+  /// Copy out only the flight rings (+ counters): the incident view of
+  /// the last ~kCapacity spans per thread, safe to take while writer
+  /// threads keep recording. Thread order matches snapshot().
+  Snapshot flight_snapshot();
+  /// Lifetime flight-ring pushes across all threads (monotonic; the
+  /// zero-allocation-when-off test asserts it does not move when the
+  /// registry is runtime-disabled).
+  std::uint64_t flight_pushes();
+
   /// Drop recorded events/histograms/counter values. Buffers stay
   /// registered (thread-local pointers remain valid).
   void reset();
@@ -265,9 +422,16 @@ class Registry {
   Impl& impl();
 
   std::atomic<bool> enabled_{false};
+  std::atomic<std::uint8_t> trace_mode_{0};
   std::atomic<std::uint64_t> buffer_allocs_{0};
   std::atomic<Impl*> impl_{nullptr};
 };
+
+inline void ThreadBuffer::push(const SpanEvent& e) {
+  flight_.push(e);
+  if (Registry::instance().trace_mode() == TraceMode::kFull)
+    events_.push_back(e);
+}
 
 /// RAII span. When telemetry is runtime-off the constructor is one
 /// relaxed load; the destructor a null check.

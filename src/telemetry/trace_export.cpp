@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "support/json.hpp"
 
@@ -133,6 +135,15 @@ Status write_trace(std::ostream& os, const Snapshot& snap,
       for (const SpanEvent& e : td.events) t0 = std::min(t0, e.start_ns);
     if (t0 == std::numeric_limits<std::int64_t>::max()) t0 = 0;
 
+    // Spans tagged with the same request id are stitched into one flow
+    // (schema v6): collect (tid, rebased start) per req while emitting
+    // the X events, then append s/t/f flow events afterwards.
+    struct FlowPoint {
+      int tid;
+      std::int64_t start_ns;
+    };
+    std::map<std::int64_t, std::vector<FlowPoint>> flows;
+
     os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
     bool first = true;
     for (const auto& td : snap.threads) {
@@ -151,7 +162,8 @@ Status write_trace(std::ostream& os, const Snapshot& snap,
            << ", \"dur\": "
            << json_number(static_cast<double>(e.dur_ns) / 1e3);
         const SpanArgs& a = e.args;
-        if (a.k >= 0 || a.color >= 0 || a.warmup || a.value >= 0) {
+        if (a.k >= 0 || a.color >= 0 || a.warmup || a.value >= 0 ||
+            a.req >= 0) {
           os << ", \"args\": {";
           bool afirst = true;
           const auto arg = [&](const char* key, std::int64_t v) {
@@ -163,8 +175,29 @@ Status write_trace(std::ostream& os, const Snapshot& snap,
           if (a.color >= 0) arg("color", a.color);
           if (a.warmup) arg("warmup", 1);
           if (a.value >= 0) arg("value", a.value);
+          if (a.req >= 0) arg("req", a.req);
           os << "}";
         }
+        os << "}";
+        if (a.req >= 0) flows[a.req].push_back({td.tid, e.start_ns - t0});
+      }
+    }
+    for (auto& [req, points] : flows) {
+      // A flow needs at least two anchors; a lone span already carries
+      // its "req" arg.
+      if (points.size() < 2) continue;
+      std::sort(points.begin(), points.end(),
+                [](const FlowPoint& x, const FlowPoint& y) {
+                  return x.start_ns < y.start_ns;
+                });
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const char* ph =
+            i == 0 ? "s" : (i + 1 == points.size() ? "f" : "t");
+        os << ",\n  {\"name\": \"req\", \"cat\": \"service\", \"ph\": \""
+           << ph << "\", \"id\": " << req << ", \"pid\": 1, \"tid\": "
+           << points[i].tid << ", \"ts\": "
+           << json_number(static_cast<double>(points[i].start_ns) / 1e3);
+        if (ph[0] == 'f') os << ", \"bp\": \"e\"";
         os << "}";
       }
     }

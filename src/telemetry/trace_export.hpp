@@ -42,7 +42,12 @@ namespace fbmpk::telemetry {
 /// gauge (0 = abmc, 1 = levels) on every parallel build and the
 /// "autotune.scheduler_pick" counter whenever the ABMC-vs-levels race
 /// ran (Scheduler::kAuto under build_autotuned_plan).
-inline constexpr int kMetricsSchemaVersion = 5;
+/// v6: per-request trace context (docs/OBSERVABILITY.md): the "req"
+/// span argument on serving-layer spans, flow events ("s"/"t"/"f")
+/// stitching every request's spans across threads, the
+/// "service.request_latency_ns" histogram on every completed request
+/// and the "telemetry.flight_dump" counter when an anomaly dump fired.
+inline constexpr int kMetricsSchemaVersion = 6;
 
 /// Measured-vs-modeled traffic comparison attached to a trace — the
 /// runtime analogue of the paper's Fig 9 columns.

@@ -179,7 +179,9 @@ TEST(AutotuneOracle, PrunesBlockCandidatesAndScoresAll) {
   EXPECT_GT(r.best_predicted_bytes, 0.0);
   // The winner is never a pruned candidate.
   for (const auto& s : r.samples)
-    if (s.num_blocks == r.best_blocks) EXPECT_FALSE(s.pruned);
+    if (s.num_blocks == r.best_blocks) {
+      EXPECT_FALSE(s.pruned);
+    }
 }
 
 TEST(AutotuneOracle, FallsBackToExhaustiveWithoutReorder) {
@@ -206,7 +208,9 @@ TEST(AutotuneOracle, PrunesKernelConfigCandidates) {
   EXPECT_LE(r.candidates_timed, 2);
   for (const auto& s : r.samples) {
     EXPECT_GE(s.predicted_bytes, 0.0);
-    if (s.pruned) EXPECT_EQ(s.seconds, 0.0);
+    if (s.pruned) {
+      EXPECT_EQ(s.seconds, 0.0);
+    }
   }
   // Compressed indices shrink the modeled stream, so a compressed
   // candidate must never predict more traffic than its plain twin at
@@ -214,8 +218,9 @@ TEST(AutotuneOracle, PrunesKernelConfigCandidates) {
   for (const auto& s : r.samples)
     for (const auto& t : r.samples)
       if (s.index_compress && !t.index_compress &&
-          s.value_precision == t.value_precision)
+          s.value_precision == t.value_precision) {
         EXPECT_LE(s.predicted_bytes, t.predicted_bytes);
+      }
 }
 
 // The CI `autotune-oracle` job runs this test by name. The pruned
@@ -386,8 +391,9 @@ TEST(AutotuneScheduler, AutotunedPlanCarriesSchedulerProvenance) {
   EXPECT_TRUE(cfg.scheduler_measured);
   EXPECT_GT(cfg.scheduler_alt_seconds, 0.0);
   // A levels verdict carries its shipping configuration: natural order.
-  if (cfg.scheduler == Scheduler::kLevels)
+  if (cfg.scheduler == Scheduler::kLevels) {
     EXPECT_FALSE(plan.options().reorder);
+  }
 }
 
 TEST(AutotuneScheduler, NameRoundTrip) {

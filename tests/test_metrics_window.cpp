@@ -1,0 +1,237 @@
+// Sliding-window SLO metrics (src/telemetry/sliding_window.hpp,
+// src/service/metrics_window.*): slice rotation and lazy clearing,
+// horizon merging, deterministic quantile snapshots, the heartbeat
+// line contract, the service Prometheus families, and the live
+// MpkService::window() end-to-end path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/stencil.hpp"
+#include "service/metrics_window.hpp"
+#include "service/service.hpp"
+#include "telemetry/sliding_window.hpp"
+#include "test_util.hpp"
+
+namespace fbmpk::service {
+namespace {
+
+constexpr std::int64_t kSec = 1'000'000'000;
+
+TEST(SlidingWindow, RotationLazilyClearsRecycledSlots) {
+  telemetry::SlidingWindow<int> win(/*slice_ns=*/100, /*slices=*/4);
+  win.at(50) = 7;    // epoch 0
+  win.at(150) = 8;   // epoch 1
+  win.at(250) = 9;   // epoch 2
+
+  int sum = 0, seen = 0;
+  win.for_each_live(/*horizon_ns=*/300, /*t_ns=*/250, [&](const int& v) {
+    sum += v;
+    ++seen;
+  });
+  EXPECT_EQ(seen, 3);
+  EXPECT_EQ(sum, 7 + 8 + 9);
+
+  // Epoch 4 reuses epoch 0's ring slot: the stale 7 must be cleared by
+  // the write, not merged into future readers.
+  EXPECT_EQ(win.at(450), 0);
+  win.at(450) = 11;
+  sum = 0;
+  win.for_each_live(/*horizon_ns=*/400, /*t_ns=*/450, [&](const int& v) {
+    sum += v;
+  });
+  EXPECT_EQ(sum, 8 + 9 + 11);
+}
+
+TEST(SlidingWindow, HorizonExcludesSlicesOlderThanLive) {
+  telemetry::SlidingWindow<int> win(100, 8);
+  win.at(50) = 1;   // epoch 0
+  win.at(550) = 2;  // epoch 5
+  int sum = 0;
+  // Horizon of one slice: only the current epoch survives.
+  win.for_each_live(100, 550, [&](const int& v) { sum += v; });
+  EXPECT_EQ(sum, 2);
+  // A huge horizon is clamped to the ring size, never out of bounds.
+  sum = 0;
+  win.for_each_live(1'000'000, 550, [&](const int& v) { sum += v; });
+  EXPECT_EQ(sum, 3);
+}
+
+TEST(SlidingWindow, WindowedHistogramMergesOnlyLiveSlices) {
+  telemetry::WindowedHistogram wh(/*slice_ns=*/kSec, /*slices=*/4);
+  wh.add(1000, 0);
+  wh.add(1000, kSec / 2);
+  wh.add(4000, 2 * kSec);
+  const telemetry::Histogram recent = wh.merged(/*horizon_ns=*/kSec,
+                                                /*t_ns=*/2 * kSec);
+  EXPECT_EQ(recent.count, 1u);
+  const telemetry::Histogram all = wh.merged(4 * kSec, 2 * kSec);
+  EXPECT_EQ(all.count, 3u);
+}
+
+TEST(MetricsWindow, SnapshotFoldsLiveSlicesDeterministically) {
+  MetricsWindows mw(/*slice_ns=*/5 * kSec, /*slices=*/13);
+  const std::int64_t t0 = 100 * kSec;
+  // 99 fast requests at ~1 ms, one slow at ~1.07 s (2^30 ns), spread
+  // over two slices.
+  for (int i = 0; i < 99; ++i)
+    mw.record_request(1'000'000, /*rung=*/0, /*ok=*/true,
+                      ErrorCode::kInternal /* ignored when ok */, t0 + i);
+  mw.record_request(std::uint64_t{1} << 30, /*rung=*/2, /*ok=*/false,
+                    ErrorCode::kTimeout, t0 + 6 * kSec);
+  mw.record_cache(true, t0);
+  mw.record_cache(true, t0);
+  mw.record_cache(false, t0 + 6 * kSec);
+  mw.record_batch_width(4, t0);
+  mw.record_batch_width(2, t0 + 6 * kSec);
+  mw.sample_queue_depth(1, t0);
+  mw.sample_queue_depth(5, t0 + 6 * kSec);
+
+  const ServiceMetricsWindow w =
+      mw.snapshot(/*horizon_seconds=*/60.0, t0 + 7 * kSec);
+  EXPECT_EQ(w.completed, 100u);
+  EXPECT_EQ(w.ok, 99u);
+  EXPECT_EQ(w.timeouts, 1u);
+  EXPECT_EQ(w.rung_completions[0], 99u);
+  EXPECT_EQ(w.rung_completions[2], 1u);
+  // p50 sits in the 1 ms octave; p99 must see the slow outlier's octave.
+  EXPECT_GT(w.p50_ms, 0.5);
+  EXPECT_LT(w.p50_ms, 3.0);
+  EXPECT_GT(w.p99_ms, w.p50_ms);
+  EXPECT_GT(w.max_ms, 1000.0);
+  EXPECT_NEAR(w.cache_hit_ratio, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(w.batch_width_mean, 3.0, 1e-9);
+  EXPECT_NEAR(w.queue_depth_mean, 3.0, 1e-9);
+  EXPECT_EQ(w.queue_depth_max, 5u);
+  EXPECT_EQ(w.queue_samples, 2u);
+  EXPECT_EQ(w.batches, 2u);
+
+  // 70 s later everything has aged out: the window reads empty, not
+  // stale.
+  const ServiceMetricsWindow later = mw.snapshot(60.0, t0 + 77 * kSec);
+  EXPECT_EQ(later.completed, 0u);
+  EXPECT_EQ(later.p99_ms, 0.0);
+  EXPECT_EQ(later.cache_hits + later.cache_misses, 0u);
+}
+
+TEST(MetricsWindow, HeartbeatLineRoundTripsAllFields) {
+  ServiceMetricsWindow w;
+  w.window_seconds = 60.0;
+  w.completed = 123;
+  w.ok = 120;
+  w.p50_ms = 1.25;
+  w.p95_ms = 3.5;
+  w.p99_ms = 7.75;
+  w.queue_depth_mean = 0.5;
+  w.queue_depth_max = 3;
+  w.batch_width_mean = 1.75;
+  w.cache_hit_ratio = 0.9375;
+  w.rung_completions = {118, 2, 0};
+  w.timeouts = 1;
+  w.overloaded = 2;
+  w.cancelled = 0;
+
+  const std::string line = format_heartbeat(w);
+  EXPECT_EQ(line.rfind("fbmpk-heartbeat ", 0), 0u) << line;
+  ServiceMetricsWindow back;
+  ASSERT_TRUE(parse_heartbeat(line, &back)) << line;
+  EXPECT_EQ(back.window_seconds, w.window_seconds);
+  EXPECT_EQ(back.completed, w.completed);
+  EXPECT_EQ(back.ok, w.ok);
+  EXPECT_EQ(back.p50_ms, w.p50_ms);
+  EXPECT_EQ(back.p95_ms, w.p95_ms);
+  EXPECT_EQ(back.p99_ms, w.p99_ms);
+  EXPECT_EQ(back.queue_depth_mean, w.queue_depth_mean);
+  EXPECT_EQ(back.queue_depth_max, w.queue_depth_max);
+  EXPECT_EQ(back.batch_width_mean, w.batch_width_mean);
+  EXPECT_EQ(back.cache_hit_ratio, w.cache_hit_ratio);
+  EXPECT_EQ(back.rung_completions, w.rung_completions);
+  EXPECT_EQ(back.timeouts, w.timeouts);
+  EXPECT_EQ(back.overloaded, w.overloaded);
+  EXPECT_EQ(back.cancelled, w.cancelled);
+
+  EXPECT_FALSE(parse_heartbeat("", &back));
+  EXPECT_FALSE(parse_heartbeat("fbmpk-heartbeat win=60s done=1", &back));
+  EXPECT_FALSE(parse_heartbeat("not-a-heartbeat at all", &back));
+  EXPECT_FALSE(parse_heartbeat(line, nullptr));
+}
+
+TEST(MetricsWindow, ServiceFamiliesExposeSloAndTotals) {
+  ServiceStats stats;
+  stats.submitted = 10;
+  stats.completed = 9;
+  stats.timeouts = 1;
+  stats.quarantines = 2;
+  stats.cache.hits = 5;
+  stats.cache.misses = 4;
+  ServiceMetricsWindow w;
+  w.window_seconds = 60.0;
+  w.completed = 9;
+  w.p50_ms = 1.0;
+  w.p95_ms = 2.0;
+  w.p99_ms = 4.0;
+  w.mean_ms = 1.5;
+  w.queue_depth_mean = 0.25;
+  w.cache_hit_ratio = 5.0 / 9.0;
+  w.rung_completions = {7, 2, 0};
+
+  const std::string out =
+      telemetry::prometheus_render(service_families(stats, w));
+  EXPECT_NE(out.find("# TYPE fbmpk_request_latency_seconds summary\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("fbmpk_request_latency_seconds{quantile=\"0.5\"} "
+                     "0.001\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("fbmpk_request_latency_seconds{quantile=\"0.99\"} "
+                     "0.004\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("fbmpk_request_latency_seconds_count 9\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("fbmpk_queue_depth 0.25\n"), std::string::npos);
+  EXPECT_NE(out.find("fbmpk_rung_completions{rung=\"engine\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("fbmpk_rung_completions{rung=\"barrier\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE fbmpk_requests_submitted_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("fbmpk_requests_submitted_total 10\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("fbmpk_quarantines_total 2\n"), std::string::npos);
+  EXPECT_NE(out.find("fbmpk_cache_hits_total 5\n"), std::string::npos);
+}
+
+TEST(MetricsWindow, LiveServiceWindowSeesCompletionsAndCacheHits) {
+  const auto a = gen::make_laplacian_2d(16, 16);
+  AlignedVector<double> x(static_cast<std::size_t>(a.rows()), 1.0);
+  ServiceOptions opts;
+  opts.workers = 1;
+  MpkService svc(opts);
+  AlignedVector<double> y(static_cast<std::size_t>(a.rows()));
+  for (int i = 0; i < 3; ++i) {
+    const RequestResult r = svc.power(a, x, 2, y);
+    ASSERT_TRUE(r.status.ok()) << r.status.error().what();
+  }
+
+  const ServiceMetricsWindow w = svc.window(60.0);
+  EXPECT_EQ(w.completed, 3u);
+  EXPECT_EQ(w.ok, 3u);
+  // Which rung serves depends on the plan's capabilities (an engine
+  // gap falls through silently); the window must still attribute every
+  // completion to exactly one rung.
+  EXPECT_EQ(w.rung_completions[0] + w.rung_completions[1] +
+                w.rung_completions[2],
+            3u);
+  EXPECT_EQ(w.cache_hits, 2u);
+  EXPECT_EQ(w.cache_misses, 1u);
+  EXPECT_GT(w.max_ms, 0.0);
+  // The window snapshot and the heartbeat agree with the monotonic
+  // totals for a fresh service.
+  ServiceMetricsWindow back;
+  ASSERT_TRUE(parse_heartbeat(format_heartbeat(w), &back));
+  EXPECT_EQ(back.completed, svc.stats().completed);
+}
+
+}  // namespace
+}  // namespace fbmpk::service

@@ -1,0 +1,249 @@
+// Prometheus exposition tests (src/telemetry/prometheus.*,
+// metrics_http.*): name sanitization, text-format rendering incl.
+// non-finite spellings, cumulative histogram families, atomic textfile
+// semantics, fault-injected writers, and the embedded scrape endpoint
+// (bind, scrape, port conflict, idempotent stop).
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include <gtest/gtest.h>
+
+#include "support/fault_inject.hpp"
+#include "telemetry/metrics_http.hpp"
+#include "telemetry/prometheus.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace fbmpk {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Prometheus, SanitizeMapsInvalidCharactersToUnderscore) {
+  EXPECT_EQ(telemetry::prom_sanitize("service.request_latency_ns"),
+            "service_request_latency_ns");
+  EXPECT_EQ(telemetry::prom_sanitize("already_valid:name"),
+            "already_valid:name");
+  EXPECT_EQ(telemetry::prom_sanitize("9starts_with_digit"),
+            "_starts_with_digit");
+  EXPECT_EQ(telemetry::prom_sanitize("spaces and-dashes"),
+            "spaces_and_dashes");
+  EXPECT_EQ(telemetry::prom_sanitize(""), "_");
+}
+
+TEST(Prometheus, RenderEmitsHelpTypeAndSampleLines) {
+  std::vector<telemetry::PromFamily> fams;
+  telemetry::PromFamily g;
+  g.name = "fbmpk_queue_depth";
+  g.help = "Mean queue depth over the window\nsecond line \\ backslash";
+  g.type = "gauge";
+  g.samples.push_back({"", "", 2.5});
+  fams.push_back(g);
+  telemetry::PromFamily labeled;
+  labeled.name = "fbmpk_rung_completions";
+  labeled.type = "gauge";
+  labeled.samples.push_back({"", "rung=\"engine\"", 7.0});
+  fams.push_back(labeled);
+  telemetry::PromFamily empty;
+  empty.name = "fbmpk_should_not_appear";
+  empty.help = "no samples, no output";
+  fams.push_back(empty);
+
+  const std::string out = telemetry::prometheus_render(fams);
+  EXPECT_NE(out.find("# HELP fbmpk_queue_depth Mean queue depth over the "
+                     "window\\nsecond line \\\\ backslash\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE fbmpk_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("fbmpk_queue_depth 2.5\n"), std::string::npos);
+  EXPECT_NE(out.find("fbmpk_rung_completions{rung=\"engine\"} 7\n"),
+            std::string::npos);
+  EXPECT_EQ(out.find("fbmpk_should_not_appear"), std::string::npos);
+}
+
+TEST(Prometheus, RenderSpellsOutNonFiniteValues) {
+  std::vector<telemetry::PromFamily> fams(1);
+  fams[0].name = "fbmpk_edge";
+  fams[0].type = "gauge";
+  fams[0].samples.push_back({"", "v=\"nan\"", std::nan("")});
+  fams[0].samples.push_back(
+      {"", "v=\"pinf\"", std::numeric_limits<double>::infinity()});
+  fams[0].samples.push_back(
+      {"", "v=\"ninf\"", -std::numeric_limits<double>::infinity()});
+  const std::string out = telemetry::prometheus_render(fams);
+  EXPECT_NE(out.find("fbmpk_edge{v=\"nan\"} NaN\n"), std::string::npos);
+  EXPECT_NE(out.find("fbmpk_edge{v=\"pinf\"} +Inf\n"), std::string::npos);
+  EXPECT_NE(out.find("fbmpk_edge{v=\"ninf\"} -Inf\n"), std::string::npos);
+}
+
+TEST(Prometheus, StreamFaultReturnsTypedIoStatus) {
+  std::vector<telemetry::PromFamily> fams(1);
+  fams[0].name = "fbmpk_fault";
+  fams[0].help = "long enough help text to overflow a tiny sink";
+  fams[0].samples.push_back({"", "", 1.0});
+  for (std::size_t limit : {std::size_t{0}, std::size_t{8}, std::size_t{32}}) {
+    FailingWriteStream os(limit);
+    Status st = Status();
+    EXPECT_NO_THROW(st = telemetry::prometheus_render(os, fams));
+    ASSERT_FALSE(st.ok()) << "limit=" << limit;
+    EXPECT_EQ(st.code(), ErrorCode::kIo);
+  }
+}
+
+TEST(Prometheus, HistogramFamilyEmitsCumulativeOctaveBuckets) {
+  telemetry::Histogram h;
+  h.add(1);     // bucket 0, upper bound 2 ns
+  h.add(1);     // bucket 0
+  h.add(1000);  // bucket 9, upper bound 2^10 ns
+  h.add(5000);  // bucket 12, upper bound 2^13 ns
+  const telemetry::PromFamily f = telemetry::histogram_family(
+      "fbmpk_lat_seconds", "latency", h, 1e-9);
+  EXPECT_EQ(f.type, "histogram");
+  const std::string out = telemetry::prometheus_render({f});
+  // Cumulative counts at each populated octave's upper bound (ns→s).
+  EXPECT_NE(out.find("fbmpk_lat_seconds_bucket{le=\"2e-09\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("fbmpk_lat_seconds_bucket{le=\"1.024e-06\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("fbmpk_lat_seconds_bucket{le=\"8.192e-06\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("fbmpk_lat_seconds_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("fbmpk_lat_seconds_count 4\n"), std::string::npos);
+  // _sum = 6002 ns in seconds.
+  EXPECT_NE(out.find("fbmpk_lat_seconds_sum 6.002e-06\n"), std::string::npos);
+}
+
+TEST(Prometheus, AppendRegistryFamiliesScalesNsHistogramsToSeconds) {
+  telemetry::Snapshot snap;
+  snap.counters.emplace_back("service.completed", 42);
+  snap.merged[static_cast<std::size_t>(telemetry::Hist::kRequestLatency)]
+      .add(2'000'000);  // 2 ms
+  std::vector<telemetry::PromFamily> fams;
+  telemetry::append_registry_families(snap, fams);
+  const std::string out = telemetry::prometheus_render(fams);
+  EXPECT_NE(out.find("fbmpk_service_completed 42\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE fbmpk_service_completed untyped\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("_seconds_count 1\n"), std::string::npos);
+  EXPECT_EQ(out.find("_ns_"), std::string::npos)
+      << "nanosecond family leaked unscaled: " << out;
+}
+
+TEST(Prometheus, TextfileAtomicWritesAndRefusesBadPaths) {
+  const fs::path dir = fs::temp_directory_path() / "fbmpk_prom_textfile";
+  fs::create_directories(dir);
+  const std::string path = (dir / "metrics.prom").string();
+  ASSERT_TRUE(telemetry::write_textfile_atomic(path, "fbmpk_up 1\n").ok());
+  {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), "fbmpk_up 1\n");
+  }
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+  // Unwritable directory: typed kIo, the previous file stays intact.
+  const Status bad = telemetry::write_textfile_atomic(
+      "/nonexistent_fbmpk_prom_dir/metrics.prom", "x");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), ErrorCode::kIo);
+  const Status empty = telemetry::write_textfile_atomic("", "x");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.code(), ErrorCode::kIo);
+  {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), "fbmpk_up 1\n") << "failed write clobbered the file";
+  }
+  fs::remove_all(dir);
+}
+
+#ifndef _WIN32
+
+/// One blocking loopback scrape against the embedded endpoint.
+std::string scrape_once(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const char req[] = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  (void)::send(fd, req, sizeof req - 1, 0);
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(Prometheus, HttpServerServesExpositionOnEphemeralPort) {
+  telemetry::MetricsHttpServer srv;
+  const Status st = srv.start(0, [] {
+    std::vector<telemetry::PromFamily> fams(1);
+    fams[0].name = "fbmpk_live_probe";
+    fams[0].type = "gauge";
+    fams[0].samples.push_back({"", "", 1.0});
+    return telemetry::prometheus_render(fams);
+  });
+  ASSERT_TRUE(st.ok()) << st.error().what();
+  ASSERT_TRUE(srv.running());
+  ASSERT_GT(srv.port(), 0);
+
+  const std::string resp = scrape_once(srv.port());
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(resp.find("fbmpk_live_probe 1\n"), std::string::npos);
+  EXPECT_GE(srv.scrapes(), 1u);
+
+  // Double-start on a running server is a typed kInternal.
+  const Status again = srv.start(0, [] { return std::string(); });
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), ErrorCode::kInternal);
+
+  srv.stop();
+  EXPECT_FALSE(srv.running());
+  srv.stop();  // idempotent
+}
+
+TEST(Prometheus, HttpServerBindConflictIsTypedIoAndFirstKeepsServing) {
+  telemetry::MetricsHttpServer first;
+  ASSERT_TRUE(first.start(0, [] { return std::string("fbmpk_first 1\n"); })
+                  .ok());
+  telemetry::MetricsHttpServer second;
+  const Status st =
+      second.start(first.port(), [] { return std::string(); });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kIo);
+  EXPECT_FALSE(second.running());
+  // The losing bind must not have disturbed the first listener.
+  EXPECT_NE(scrape_once(first.port()).find("fbmpk_first 1\n"),
+            std::string::npos);
+  first.stop();
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace fbmpk

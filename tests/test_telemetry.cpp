@@ -146,6 +146,54 @@ TEST(TelemetryRegistry, HistogramBucketsMergeAndAverage) {
   EXPECT_EQ(a.buckets[20], 1u);
 }
 
+TEST(TelemetryRegistry, HistogramAddPinsOctaveBoundaries) {
+  // The bit_width-based bucket index must agree with the documented
+  // octave layout [2^b, 2^(b+1)) at every boundary.
+  telemetry::Histogram h;
+  h.add(0);
+  EXPECT_EQ(h.buckets[0], 1u);
+  h.add(1);
+  EXPECT_EQ(h.buckets[0], 2u);  // bucket 0 holds 0 and 1
+  h.add(2);
+  EXPECT_EQ(h.buckets[1], 1u);
+  h.add(3);
+  EXPECT_EQ(h.buckets[1], 2u);
+  h.add(4);
+  EXPECT_EQ(h.buckets[2], 1u);
+  for (int b = 3; b < 63; ++b) {
+    telemetry::Histogram hb;
+    hb.add(std::uint64_t{1} << b);        // lower edge -> bucket b
+    hb.add((std::uint64_t{1} << b) - 1);  // below edge -> bucket b-1
+    EXPECT_EQ(hb.buckets[static_cast<std::size_t>(b)], 1u) << "b=" << b;
+    EXPECT_EQ(hb.buckets[static_cast<std::size_t>(b - 1)], 1u) << "b=" << b;
+  }
+  telemetry::Histogram top;
+  top.add(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(top.buckets[63], 1u);
+  EXPECT_EQ(top.max_ns, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(TelemetryRegistry, HistogramQuantileInterpolatesAndClamps) {
+  telemetry::Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  // 100 samples all in bucket 10 ([1024, 2048)): every quantile lies
+  // inside the octave and never exceeds the recorded max.
+  telemetry::Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(1500);
+  EXPECT_GE(h.quantile(0.0), 1024.0);
+  EXPECT_GE(h.quantile(0.99), h.quantile(0.5));
+  EXPECT_LE(h.quantile(1.0), 1500.0);  // clamped to max_ns
+  EXPECT_LE(h.quantile(2.0), 1500.0);  // q out of range clamps too
+
+  // Spread samples: p50 below the big outlier, p99 near it.
+  telemetry::Histogram s;
+  for (int i = 0; i < 99; ++i) s.add(1000);
+  s.add(1 << 20);
+  EXPECT_LT(s.quantile(0.5), 2048.0);
+  EXPECT_GT(s.quantile(0.999), 1 << 19);
+}
+
 // --------------------------------------------------------------------------
 // Hot-path instrumentation (build-flavor dependent)
 // --------------------------------------------------------------------------
@@ -212,9 +260,13 @@ TEST(TelemetryHotPath, RuntimeOffSweepAllocatesNothing) {
 
   const std::uint64_t allocs_before = reg().buffer_allocations();
   const std::size_t events_before = reg().event_count();
+  const std::uint64_t flight_before = reg().flight_pushes();
   for (int r = 0; r < 3; ++r) plan.power(x, 4, y);
   EXPECT_EQ(reg().buffer_allocations(), allocs_before);
   EXPECT_EQ(reg().event_count(), events_before);
+  // The flight recorder rides inside the (never-allocated) thread
+  // buffers: runtime-off must not push a single ring slot either.
+  EXPECT_EQ(reg().flight_pushes(), flight_before);
 }
 
 TEST(TelemetryHotPath, HarnessMarksWarmupAndExcludesItFromHistogram) {
@@ -260,7 +312,7 @@ TEST(TelemetryExport, TraceCarriesEventsAndVersionedMetrics) {
 
   EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(out.find("\"fbmpkMetrics\""), std::string::npos);
-  EXPECT_NE(out.find("\"schema_version\": 5"), std::string::npos);
+  EXPECT_NE(out.find("\"schema_version\": 6"), std::string::npos);
   EXPECT_NE(out.find("\"name\": \"F\""), std::string::npos);
   EXPECT_NE(out.find("\"color\": 2"), std::string::npos);
   EXPECT_NE(out.find("\"test.counter\": 9"), std::string::npos);
@@ -270,6 +322,41 @@ TEST(TelemetryExport, TraceCarriesEventsAndVersionedMetrics) {
             std::count(out.begin(), out.end(), '}'));
   EXPECT_EQ(std::count(out.begin(), out.end(), '['),
             std::count(out.begin(), out.end(), ']'));
+}
+
+TEST(TelemetryExport, RequestContextEmitsReqArgAndFlowEvents) {
+  // Two spans tagged with the same request id must export the "req"
+  // arg and a flow chain stitching them ("s" start, "f" end with
+  // bp=e); a lone-span request gets the arg but no flow events.
+  telemetry::Snapshot snap;
+  {
+    ScopedTelemetry scope;
+    {
+      telemetry::ScopedSpan a(telemetry::Cat::kService, "service.submit",
+                              telemetry::SpanArgs{2, -1, false, -1, 7});
+    }
+    {
+      telemetry::ScopedSpan b(telemetry::Cat::kService, "service.request",
+                              telemetry::SpanArgs{2, -1, false, -1, 7});
+    }
+    {
+      telemetry::ScopedSpan lone(telemetry::Cat::kService, "service.submit",
+                                 telemetry::SpanArgs{2, -1, false, -1, 9});
+    }
+    snap = reg().snapshot();
+  }
+  std::ostringstream os;
+  ASSERT_TRUE(telemetry::write_trace(os, snap).ok());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"req\": 7"), std::string::npos);
+  EXPECT_NE(out.find("\"req\": 9"), std::string::npos);
+  EXPECT_NE(out.find("\"ph\": \"s\", \"id\": 7"), std::string::npos);
+  EXPECT_NE(out.find("\"ph\": \"f\", \"id\": 7"), std::string::npos);
+  EXPECT_NE(out.find("\"bp\": \"e\""), std::string::npos);
+  // req 9 had a single span: no flow events for it.
+  EXPECT_EQ(out.find("\"ph\": \"s\", \"id\": 9"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
 }
 
 TEST(TelemetryExport, HwAndTrafficSectionsExportWhenPresent) {

@@ -33,8 +33,11 @@
 #include <vector>
 
 #include "gen/stencil.hpp"
+#include "service/metrics_window.hpp"
 #include "service/service.hpp"
 #include "support/fault_inject.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace fbmpk;
 using Clock = std::chrono::steady_clock;
@@ -65,6 +68,15 @@ double flag(int argc, char** argv, const char* name, double fallback) {
   return fallback;
 }
 
+std::string string_flag(int argc, char** argv, const char* name,
+                        const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return std::string(argv[i] + prefix.size());
+  return fallback;
+}
+
 bool allowed_error(ErrorCode c) {
   return c == ErrorCode::kTimeout || c == ErrorCode::kOverloaded ||
          c == ErrorCode::kCancelled || c == ErrorCode::kCorruptPlan ||
@@ -82,6 +94,20 @@ int main(int argc, char** argv) {
   const auto max_batch =
       static_cast<std::size_t>(flag(argc, argv, "max-batch", 4.0));
   const double batch_window_us = flag(argc, argv, "batch-window-us", 200.0);
+  // --flight-dir arms the always-on flight recorder: the chaos the soak
+  // injects (timeouts, quarantines, degradations) should then leave
+  // automatic dumps behind (docs/OBSERVABILITY.md, CI validates them).
+  const std::string flight_dir = string_flag(argc, argv, "flight-dir", "");
+  if (!flight_dir.empty()) {
+    fbmpk::telemetry::FlightDumpOptions fopts;
+    fopts.dir = flight_dir;
+    fopts.max_dumps =
+        static_cast<std::size_t>(flag(argc, argv, "flight-max", 8.0));
+    fbmpk::telemetry::arm_flight_dumps(fopts);
+    auto& reg = fbmpk::telemetry::Registry::instance();
+    reg.set_enabled(true);
+    reg.set_trace_mode(fbmpk::telemetry::TraceMode::kFlightOnly);
+  }
   std::printf("fbmpk_soak: %.0f s, seed %llu, %d clients, %d workers, "
               "max-batch %zu (window %.0f us)\n",
               seconds, static_cast<unsigned long long>(seed), clients,
@@ -267,6 +293,34 @@ int main(int argc, char** argv) {
   std::printf("batching: %llu batched sweeps, %llu requests coalesced\n",
               static_cast<unsigned long long>(st.batches),
               static_cast<unsigned long long>(st.batch_coalesced));
+  // Heartbeat contract: the sliding-window snapshot must format into
+  // the one-line heartbeat and parse back — the same line `serve
+  // --heartbeat` emits for operators (docs/OBSERVABILITY.md).
+  {
+    const service::ServiceMetricsWindow w = svc.window(60.0);
+    const std::string hb = service::format_heartbeat(w);
+    std::printf("%s\n", hb.c_str());
+    service::ServiceMetricsWindow parsed;
+    if (!service::parse_heartbeat(hb, &parsed) ||
+        parsed.completed != w.completed || parsed.ok != w.ok ||
+        parsed.timeouts != w.timeouts ||
+        parsed.rung_completions != w.rung_completions) {
+      std::fprintf(stderr,
+                   "VIOLATION: heartbeat line failed to round-trip: %s\n",
+                   hb.c_str());
+      violations.fetch_add(1);
+    }
+    if (w.completed == 0) {
+      std::fprintf(stderr,
+                   "VIOLATION: sliding window saw no completions\n");
+      violations.fetch_add(1);
+    }
+  }
+  if (!flight_dir.empty())
+    std::printf("flight: %llu dump(s) written to %s\n",
+                static_cast<unsigned long long>(
+                    fbmpk::telemetry::flight_dump_count()),
+                flight_dir.c_str());
   if (st.submitted != st.completed) {
     std::fprintf(stderr, "VIOLATION: %llu submitted but %llu completed\n",
                  static_cast<unsigned long long>(st.submitted),
